@@ -1,0 +1,109 @@
+//! Balls-in-bins Monte Carlo for Lemma 9.
+//!
+//! Lemma 9: throwing `b = m/β` balls into `m` bins with `3 ≤ β < m`, the
+//! probability that *no* ball lands alone in a bin is below `2^{-b/2}`.
+//! This bound is what makes the renaming rounds of `IdReduction` succeed
+//! once the active set is below `C/6`. Experiment E7 measures the
+//! probability directly and compares it to the bound.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One throw: returns `true` if **no** ball ended up alone in its bin.
+///
+/// # Panics
+///
+/// Panics if `bins == 0`.
+#[must_use]
+pub fn throw_has_no_lone_ball(balls: usize, bins: usize, rng: &mut SmallRng) -> bool {
+    assert!(bins > 0, "need at least one bin");
+    let mut counts = vec![0u32; bins];
+    let mut picks = Vec::with_capacity(balls);
+    for _ in 0..balls {
+        let bin = rng.gen_range(0..bins);
+        counts[bin] += 1;
+        picks.push(bin);
+    }
+    !picks.iter().any(|&bin| counts[bin] == 1)
+}
+
+/// Monte Carlo estimate of `P[no ball alone]` for `balls` balls in `bins`
+/// bins over `trials` trials.
+///
+/// # Panics
+///
+/// Panics if `trials == 0` or `bins == 0`.
+#[must_use]
+pub fn no_lone_ball_probability(balls: usize, bins: usize, trials: usize, seed: u64) -> f64 {
+    assert!(trials > 0, "need at least one trial");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let hits = (0..trials)
+        .filter(|_| throw_has_no_lone_ball(balls, bins, &mut rng))
+        .count();
+    hits as f64 / trials as f64
+}
+
+/// Lemma 9's bound for `b` balls: `2^{-b/2}`.
+#[must_use]
+pub fn lemma9_bound(balls: usize) -> f64 {
+    0.5f64.powf(balls as f64 / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_balls_trivially_has_no_lone_ball() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert!(throw_has_no_lone_ball(0, 5, &mut rng));
+    }
+
+    #[test]
+    fn one_ball_is_always_alone() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert!(!throw_has_no_lone_ball(1, 5, &mut rng));
+        }
+    }
+
+    #[test]
+    fn two_balls_one_bin_never_alone() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert!(throw_has_no_lone_ball(2, 1, &mut rng));
+    }
+
+    #[test]
+    fn two_balls_two_bins_matches_closed_form() {
+        // P[no lone ball] = P[same bin] = 1/2.
+        let p = no_lone_ball_probability(2, 2, 40_000, 7);
+        assert!((p - 0.5).abs() < 0.02, "estimate {p} far from 0.5");
+    }
+
+    #[test]
+    fn lemma9_bound_holds_empirically_in_its_regime() {
+        // b = m/beta with beta in [3, m): a few spot checks.
+        for (beta, m) in [(3usize, 30usize), (4, 64), (8, 128)] {
+            let b = m / beta;
+            let p = no_lone_ball_probability(b, m, 20_000, 11);
+            let bound = lemma9_bound(b);
+            assert!(
+                p <= bound + 0.02,
+                "beta={beta} m={m}: measured {p} vs bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn bound_decreases_with_more_balls() {
+        assert!(lemma9_bound(10) < lemma9_bound(4));
+        assert!((lemma9_bound(2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_estimate_is_deterministic_in_seed() {
+        let a = no_lone_ball_probability(5, 20, 1000, 3);
+        let b = no_lone_ball_probability(5, 20, 1000, 3);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,214 @@
+//! Least-squares fitting of measured round counts against theory curves.
+//!
+//! The experiments never try to match the paper's hidden constants — they
+//! check *shape*: e.g. E1 fits measured `TwoActive` rounds to
+//! `a·(lg n / lg C) + b·lg lg n + c` and verifies the fit explains the
+//! variance (high `R²`) with a stable `a` across sweeps.
+
+/// A fitted linear model and its goodness of fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fit {
+    /// Fitted coefficients, one per regressor (plus the intercept last).
+    pub coefficients: Vec<f64>,
+    /// Coefficient of determination `R²` (1 − SSR/SST; 1.0 when the
+    /// response is constant and perfectly predicted).
+    pub r_squared: f64,
+}
+
+impl Fit {
+    /// Predicted value for the given regressor values (without intercept).
+    #[must_use]
+    pub fn predict(&self, xs: &[f64]) -> f64 {
+        assert_eq!(
+            xs.len() + 1,
+            self.coefficients.len(),
+            "regressor count mismatch"
+        );
+        let mut y = *self.coefficients.last().expect("has intercept");
+        for (c, x) in self.coefficients.iter().zip(xs) {
+            y += c * x;
+        }
+        y
+    }
+}
+
+/// Fits `y ≈ a·x + c` by ordinary least squares.
+///
+/// # Panics
+///
+/// Panics if `xs` and `ys` differ in length or hold fewer than 2 points.
+#[must_use]
+pub fn fit_linear(xs: &[f64], ys: &[f64]) -> Fit {
+    let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
+    fit_least_squares(&rows, ys)
+}
+
+/// Fits `y ≈ a·x1 + b·x2 + c` by ordinary least squares — the two-term form
+/// of the paper's bounds (`x1 = lg n / lg C`, `x2 = lg lg n`, say).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or hold fewer than 3 points.
+#[must_use]
+pub fn fit_two_term(x1: &[f64], x2: &[f64], ys: &[f64]) -> Fit {
+    assert_eq!(x1.len(), x2.len(), "regressor lengths differ");
+    let rows: Vec<Vec<f64>> = x1.iter().zip(x2).map(|(&a, &b)| vec![a, b]).collect();
+    fit_least_squares(&rows, ys)
+}
+
+/// General OLS with an implicit intercept column, solved by Gaussian
+/// elimination on the normal equations (fine for the ≤ 3 coefficients the
+/// experiments need).
+fn fit_least_squares(rows: &[Vec<f64>], ys: &[f64]) -> Fit {
+    assert_eq!(rows.len(), ys.len(), "row/response lengths differ");
+    let k = rows.first().map_or(0, Vec::len) + 1; // + intercept
+    assert!(
+        rows.len() >= k,
+        "need at least {k} points for {k} coefficients, got {}",
+        rows.len()
+    );
+
+    // Build the normal equations A^T A x = A^T y with the intercept column.
+    let mut ata = vec![vec![0.0f64; k]; k];
+    let mut aty = vec![0.0f64; k];
+    for (row, &y) in rows.iter().zip(ys) {
+        assert_eq!(row.len(), k - 1, "ragged regressor row");
+        let full: Vec<f64> = row.iter().copied().chain(std::iter::once(1.0)).collect();
+        for i in 0..k {
+            aty[i] += full[i] * y;
+            for j in 0..k {
+                ata[i][j] += full[i] * full[j];
+            }
+        }
+    }
+
+    let coefficients = solve(ata, aty);
+
+    // R^2.
+    let mean_y = ys.iter().sum::<f64>() / ys.len() as f64;
+    let sst: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
+    let ssr: f64 = rows
+        .iter()
+        .zip(ys)
+        .map(|(row, &y)| {
+            let pred = row
+                .iter()
+                .zip(&coefficients)
+                .map(|(x, c)| x * c)
+                .sum::<f64>()
+                + coefficients[k - 1];
+            (y - pred).powi(2)
+        })
+        .sum();
+    let r_squared = if sst <= f64::EPSILON {
+        1.0
+    } else {
+        1.0 - ssr / sst
+    };
+
+    Fit {
+        coefficients,
+        r_squared,
+    }
+}
+
+/// Gaussian elimination with partial pivoting.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("no NaN"))
+            .expect("nonempty");
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let diag = a[col][col];
+        assert!(
+            diag.abs() > 1e-12,
+            "singular normal equations: regressors are collinear"
+        );
+        let pivot_row = a[col].clone();
+        for row in 0..n {
+            if row == col {
+                continue;
+            }
+            let factor = a[row][col] / diag;
+            for (cell, pivot_cell) in a[row][col..n].iter_mut().zip(&pivot_row[col..n]) {
+                *cell -= factor * pivot_cell;
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    (0..n).map(|i| b[i] / a[i][i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let xs: Vec<f64> = (0..10).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 7.0).collect();
+        let fit = fit_linear(&xs, &ys);
+        assert!((fit.coefficients[0] - 3.0).abs() < 1e-9);
+        assert!((fit.coefficients[1] - 7.0).abs() < 1e-9);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!((fit.predict(&[4.0]) - 19.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_term_plane_is_recovered() {
+        let mut x1 = Vec::new();
+        let mut x2 = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..6 {
+            for j in 0..6 {
+                x1.push(f64::from(i));
+                x2.push(f64::from(j * j)); // nonlinear in j to avoid collinearity
+                ys.push(2.0 * f64::from(i) + 0.5 * f64::from(j * j) + 1.0);
+            }
+        }
+        let fit = fit_two_term(&x1, &x2, &ys);
+        assert!((fit.coefficients[0] - 2.0).abs() < 1e-9);
+        assert!((fit.coefficients[1] - 0.5).abs() < 1e-9);
+        assert!((fit.coefficients[2] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_fit_has_sensible_r_squared() {
+        let xs: Vec<f64> = (0..100).map(f64::from).collect();
+        // Deterministic "noise" to keep the test reproducible.
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 2.0 * x + 5.0 + if (*x as u64).is_multiple_of(2) { 1.0 } else { -1.0 })
+            .collect();
+        let fit = fit_linear(&xs, &ys);
+        assert!(fit.r_squared > 0.99);
+        assert!((fit.coefficients[0] - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn constant_response_gives_r2_of_one() {
+        let xs: Vec<f64> = (0..5).map(f64::from).collect();
+        let ys = vec![4.0; 5];
+        let fit = fit_linear(&xs, &ys);
+        assert!((fit.coefficients[0]).abs() < 1e-9);
+        assert!((fit.r_squared - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "collinear")]
+    fn collinear_regressors_panic() {
+        let x1 = vec![1.0, 2.0, 3.0, 4.0];
+        let x2 = vec![2.0, 4.0, 6.0, 8.0];
+        let ys = vec![1.0, 2.0, 3.0, 4.0];
+        let _ = fit_two_term(&x1, &x2, &ys);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least")]
+    fn too_few_points_panics() {
+        let _ = fit_linear(&[1.0], &[1.0]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Power-of-two bucketed histograms, for round-count distributions.
+//!
+//! W.h.p. claims live in distribution tails; a log-bucketed histogram is
+//! the compact way to report them (bucket `k` holds samples in
+//! `[2^k, 2^{k+1})`).
+
+use std::fmt;
+
+/// A histogram over `u64` samples with power-of-two buckets.
+///
+/// ```
+/// use contention_analysis::histogram::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for x in [1u64, 2, 3, 4, 5, 9, 100] {
+///     h.record(x);
+/// }
+/// assert_eq!(h.count(), 7);
+/// assert_eq!(h.bucket_count(0), 1); // [1, 2)
+/// assert_eq!(h.bucket_count(1), 2); // [2, 4)
+/// assert_eq!(h.bucket_count(2), 2); // [4, 8)
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// `buckets[k]` counts samples in `[2^k, 2^{k+1})`; index 64 is unused
+    /// headroom for `u64::MAX`.
+    buckets: Vec<u64>,
+    count: u64,
+    zeros: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample. Zero is tracked separately (it has no log
+    /// bucket).
+    pub fn record(&mut self, sample: u64) {
+        self.count += 1;
+        if sample == 0 {
+            self.zeros += 1;
+            return;
+        }
+        let bucket = 63 - sample.leading_zeros() as usize;
+        if self.buckets.len() <= bucket {
+            self.buckets.resize(bucket + 1, 0);
+        }
+        self.buckets[bucket] += 1;
+    }
+
+    /// Records every sample of a slice.
+    pub fn record_all(&mut self, samples: &[u64]) {
+        for &s in samples {
+            self.record(s);
+        }
+    }
+
+    /// Total recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Samples equal to zero.
+    #[must_use]
+    pub fn zero_count(&self) -> u64 {
+        self.zeros
+    }
+
+    /// Count in bucket `k` (`[2^k, 2^{k+1})`).
+    #[must_use]
+    pub fn bucket_count(&self, k: usize) -> u64 {
+        self.buckets.get(k).copied().unwrap_or(0)
+    }
+
+    /// The fraction of samples `≥ 2^k` — the empirical tail at the bucket
+    /// boundaries. Returns 0.0 for an empty histogram.
+    #[must_use]
+    pub fn tail_at(&self, k: usize) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let above: u64 = self.buckets.iter().skip(k).sum();
+        above as f64 / self.count as f64
+    }
+
+    /// Iterates `(bucket_floor, count)` for nonempty buckets, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(k, &c)| (1u64 << k, c))
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            return f.write_str("(empty histogram)");
+        }
+        let max = self.buckets.iter().copied().max().unwrap_or(0).max(self.zeros);
+        let bar = |c: u64| "#".repeat(((c * 40) / max.max(1)) as usize);
+        if self.zeros > 0 {
+            writeln!(f, "{:>12} {:>8}  {}", 0, self.zeros, bar(self.zeros))?;
+        }
+        for (floor, count) in self.iter() {
+            writeln!(f, "{floor:>12} {count:>8}  {}", bar(count))?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<u64> for Histogram {
+    fn from_iter<T: IntoIterator<Item = u64>>(iter: T) -> Self {
+        let mut h = Histogram::new();
+        for s in iter {
+            h.record(s);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_power_of_two_ranges() {
+        let h: Histogram = [1u64, 1, 2, 3, 4, 7, 8, 1023, 1024].into_iter().collect();
+        assert_eq!(h.bucket_count(0), 2);
+        assert_eq!(h.bucket_count(1), 2);
+        assert_eq!(h.bucket_count(2), 2);
+        assert_eq!(h.bucket_count(3), 1);
+        assert_eq!(h.bucket_count(9), 1);
+        assert_eq!(h.bucket_count(10), 1);
+        assert_eq!(h.count(), 9);
+    }
+
+    #[test]
+    fn zeros_tracked_separately() {
+        let h: Histogram = [0u64, 0, 5].into_iter().collect();
+        assert_eq!(h.zero_count(), 2);
+        assert_eq!(h.bucket_count(2), 1);
+    }
+
+    #[test]
+    fn tail_fractions() {
+        let h: Histogram = (1..=8u64).collect();
+        assert!((h.tail_at(0) - 1.0).abs() < 1e-12);
+        // Samples >= 4: {4,5,6,7,8} = 5 of 8.
+        assert!((h.tail_at(2) - 5.0 / 8.0).abs() < 1e-12);
+        assert_eq!(h.tail_at(30), 0.0);
+    }
+
+    #[test]
+    fn display_draws_bars() {
+        let h: Histogram = [1u64, 2, 2, 2].into_iter().collect();
+        let s = h.to_string();
+        assert!(s.contains('#'));
+        assert!(s.lines().count() == 2);
+        assert_eq!(Histogram::new().to_string(), "(empty histogram)");
+    }
+
+    #[test]
+    fn iter_skips_empty_buckets() {
+        let h: Histogram = [1u64, 1024].into_iter().collect();
+        let pairs: Vec<_> = h.iter().collect();
+        assert_eq!(pairs, vec![(1, 1), (1024, 1)]);
+    }
+}

@@ -1,0 +1,274 @@
+//! Sample summaries for round-count distributions.
+
+use std::fmt;
+
+/// Summary statistics of a sample of measurements.
+///
+/// ```
+/// use contention_analysis::Summary;
+///
+/// let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0, 100.0]);
+/// assert_eq!(s.n, 5);
+/// assert_eq!(s.median, 3.0);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 100.0);
+/// assert!((s.mean - 22.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n ≤ 1).
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (50th percentile, linear interpolation).
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes a summary of `samples`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or contains NaN.
+    #[must_use]
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "cannot summarize an empty sample");
+        assert!(
+            samples.iter().all(|x| !x.is_nan()),
+            "samples must not contain NaN"
+        );
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            median: percentile_sorted(&sorted, 50.0),
+            p95: percentile_sorted(&sorted, 95.0),
+            max: sorted[n - 1],
+        }
+    }
+
+    /// Convenience constructor from integer samples (round counts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    #[must_use]
+    pub fn from_u64(samples: &[u64]) -> Self {
+        let float: Vec<f64> = samples.iter().map(|&x| x as f64).collect();
+        Summary::from_samples(&float)
+    }
+
+    /// Half-width of the normal-approximation 95% confidence interval for
+    /// the mean (`1.96·σ/√n`).
+    #[must_use]
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n <= 1 {
+            0.0
+        } else {
+            1.96 * self.std_dev / (self.n as f64).sqrt()
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mean {:.2} ± {:.2} (median {:.1}, p95 {:.1}, range {:.0}–{:.0}, n={})",
+            self.mean,
+            self.ci95_half_width(),
+            self.median,
+            self.p95,
+            self.min,
+            self.max,
+            self.n
+        )
+    }
+}
+
+/// Percentile of an already-sorted slice, with linear interpolation between
+/// order statistics (the "exclusive" scheme used by numpy's default).
+fn percentile_sorted(sorted: &[f64], pct: f64) -> f64 {
+    debug_assert!((0.0..=100.0).contains(&pct));
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = pct / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_summary() {
+        let s = Summary::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.138).abs() < 1e-3);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.median - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::from_samples(&[42.0]);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 42.0);
+        assert_eq!(s.p95, 42.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn from_u64_roundtrip() {
+        let s = Summary::from_u64(&[1, 2, 3]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.n, 3);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let sorted: Vec<f64> = (0..=100).map(f64::from).collect();
+        assert!((percentile_sorted(&sorted, 95.0) - 95.0).abs() < 1e-9);
+        assert!((percentile_sorted(&sorted, 50.0) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ci_shrinks_with_n() {
+        let small = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        let many: Vec<f64> = (0..400).map(|i| f64::from(i % 4) + 1.0).collect();
+        let big = Summary::from_samples(&many);
+        assert!(big.ci95_half_width() < small.ci95_half_width());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_panics() {
+        let _ = Summary::from_samples(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_sample_panics() {
+        let _ = Summary::from_samples(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = Summary::from_samples(&[1.0, 2.0, 3.0]);
+        let text = s.to_string();
+        assert!(text.contains("mean 2.00"));
+        assert!(text.contains("n=3"));
+    }
+}
+
+/// The Kolmogorov–Smirnov distance between an integer-valued sample and a
+/// reference CDF: `max_k |F_empirical(k) − F(k)|` over `k` from 0 to the
+/// sample maximum. Both functions are right-continuous step functions with
+/// knots at integers, so the maximum over integers is the exact supremum.
+///
+/// Used by the experiments to quantify how closely a measured round-count
+/// distribution matches its predicted law (e.g. the geometric renaming race
+/// of Lemma 2). `cdf(k)` must return `P[X ≤ k]`.
+///
+/// ```
+/// use contention_analysis::stats::ks_distance;
+///
+/// // A fair die sample against the die CDF.
+/// let samples: Vec<u64> = (0..600).map(|i| i % 6 + 1).collect();
+/// let d = ks_distance(&samples, |k| (k.min(6) as f64) / 6.0);
+/// assert!(d < 1e-9, "{d}");
+/// ```
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+#[must_use]
+pub fn ks_distance(samples: &[u64], cdf: impl Fn(u64) -> f64) -> f64 {
+    assert!(!samples.is_empty(), "cannot compute KS distance of an empty sample");
+    let n = samples.len() as f64;
+    let max = *samples.iter().max().expect("nonempty");
+    // Counts per value up to the max.
+    let mut counts = vec![0u64; (max + 1) as usize];
+    for &s in samples {
+        counts[s as usize] += 1;
+    }
+    let mut cumulative = 0u64;
+    let mut sup: f64 = 0.0;
+    for k in 0..=max {
+        cumulative += counts[k as usize];
+        let emp = cumulative as f64 / n;
+        sup = sup.max((emp - cdf(k)).abs());
+    }
+    sup
+}
+
+#[cfg(test)]
+mod ks_tests {
+    use super::*;
+
+    #[test]
+    fn geometric_sample_matches_geometric_cdf() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let p = 0.25f64;
+        let mut rng = SmallRng::seed_from_u64(7);
+        let samples: Vec<u64> = (0..20_000)
+            .map(|_| {
+                let mut k = 1u64;
+                while !rng.gen_bool(p) {
+                    k += 1;
+                }
+                k
+            })
+            .collect();
+        let cdf = |k: u64| 1.0 - (1.0 - p).powi(k as i32);
+        let d = ks_distance(&samples, cdf);
+        assert!(d < 0.02, "geometric sample should fit its own CDF: {d}");
+        // And clearly NOT fit a different rate.
+        let wrong = |k: u64| 1.0 - 0.2f64.powi(k as i32);
+        assert!(ks_distance(&samples, wrong) > 0.2);
+    }
+
+    #[test]
+    fn point_mass_against_uniform_die() {
+        // All samples at 3 vs a fair 6-sided die: sup at k = 3.
+        let d = ks_distance(&[3; 10], |k| (k.min(6) as f64) / 6.0);
+        assert!((d - 0.5).abs() < 1e-12, "{d}");
+    }
+
+    #[test]
+    fn zero_valued_samples_are_handled() {
+        let d = ks_distance(&[0, 0, 1, 1], |k| if k == 0 { 0.5 } else { 1.0 });
+        assert!(d < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_panics() {
+        let _ = ks_distance(&[], |_| 0.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Markdown / TSV table rendering for experiment reports.
+
+use std::fmt;
+
+/// A simple column-aligned table that renders to GitHub-flavored markdown
+/// (for `EXPERIMENTS.md`) or TSV (for downstream plotting).
+///
+/// ```
+/// use contention_analysis::Table;
+///
+/// let mut t = Table::new(&["n", "C", "rounds"]);
+/// t.row(&["1024", "16", "12.3"]);
+/// t.row(&["4096", "16", "14.1"]);
+/// let md = t.to_markdown();
+/// assert!(md.starts_with("| n"));
+/// assert_eq!(md.lines().count(), 4); // header + separator + 2 rows
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    #[must_use]
+    pub fn new(headers: &[&str]) -> Self {
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        Table {
+            headers: headers.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's width differs from the header's.
+    pub fn row(&mut self, cells: &[&str]) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != column count {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells.iter().map(ToString::to_string).collect());
+    }
+
+    /// Appends a row of already-owned cells (convenient with `format!`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's width differs from the header's.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != column count {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as a GitHub-flavored markdown table with padded columns.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let widths: Vec<usize> = (0..self.headers.len())
+            .map(|c| {
+                self.rows
+                    .iter()
+                    .map(|r| r[c].len())
+                    .chain(std::iter::once(self.headers[c].len()))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let mut out = String::new();
+        let render_row = |cells: &[String]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(cell, w)| format!("{cell:<w$}"))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        out.push_str(&render_row(&self.headers));
+        out.push('\n');
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("| {} |", sep.join(" | ")));
+        for row in &self.rows {
+            out.push('\n');
+            out.push_str(&render_row(row));
+        }
+        out
+    }
+
+    /// Renders as tab-separated values, header first.
+    #[must_use]
+    pub fn to_tsv(&self) -> String {
+        let mut out = self.headers.join("\t");
+        for row in &self.rows {
+            out.push('\n');
+            out.push_str(&row.join("\t"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_markdown())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering_pads_columns() {
+        let mut t = Table::new(&["algo", "rounds"]);
+        t.row(&["full", "10"]);
+        t.row(&["binary-descent", "17"]);
+        let md = t.to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("algo"));
+        assert!(lines[1].starts_with("| ---"));
+        // All lines have equal width thanks to padding.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn tsv_rendering() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row_owned(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_tsv(), "a\tb\n1\t2");
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_row_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_headers_panic() {
+        let _ = Table::new(&[]);
+    }
+
+    #[test]
+    fn display_matches_markdown() {
+        let mut t = Table::new(&["x"]);
+        t.row(&["1"]);
+        assert_eq!(t.to_string(), t.to_markdown());
+    }
+}

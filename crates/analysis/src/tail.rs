@@ -1,0 +1,91 @@
+//! Empirical tails for with-high-probability claims.
+//!
+//! The paper's guarantees are of the form "within `T` rounds with
+//! probability `≥ 1 − n^{-c}`". Empirically we can only estimate the tail
+//! from finitely many trials, so the experiments report the *exceedance
+//! fraction* against a budget and check it is consistent with a w.h.p.
+//! bound (usually: zero exceedances at the chosen trial counts).
+
+/// The fraction of `samples` strictly exceeding `budget`.
+///
+/// ```
+/// use contention_analysis::exceed_fraction;
+///
+/// let samples = [1.0, 2.0, 3.0, 10.0];
+/// assert_eq!(exceed_fraction(&samples, 3.0), 0.25);
+/// assert_eq!(exceed_fraction(&samples, 10.0), 0.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+#[must_use]
+pub fn exceed_fraction(samples: &[f64], budget: f64) -> f64 {
+    assert!(!samples.is_empty(), "no samples");
+    let over = samples.iter().filter(|&&s| s > budget).count();
+    over as f64 / samples.len() as f64
+}
+
+/// An upper confidence bound on the true exceedance probability when `k`
+/// of `n` trials exceeded, via the rule-of-three style bound
+/// `p ≤ (k + 3) / n` (exact rule of three when `k = 0`: `p ≤ 3/n` at 95%).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `k > n`.
+#[must_use]
+pub fn exceedance_upper_bound(k: usize, n: usize) -> f64 {
+    assert!(n > 0, "no trials");
+    assert!(k <= n, "more exceedances than trials");
+    ((k + 3) as f64 / n as f64).min(1.0)
+}
+
+/// The geometric-distribution check used by experiment E3: given per-trial
+/// success probability `p`, the probability of still running after `t`
+/// attempts is `(1-p)^t`. Returns that reference tail for comparison with
+/// the empirical one.
+///
+/// # Panics
+///
+/// Panics unless `0 < p <= 1`.
+#[must_use]
+pub fn geometric_tail(p: f64, t: u32) -> f64 {
+    assert!(p > 0.0 && p <= 1.0, "p must be a probability in (0, 1]");
+    (1.0 - p).powi(t as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exceed_fraction_counts_strictly() {
+        assert_eq!(exceed_fraction(&[1.0, 1.0], 1.0), 0.0);
+        assert_eq!(exceed_fraction(&[1.0, 2.0], 1.0), 0.5);
+    }
+
+    #[test]
+    fn rule_of_three() {
+        assert!((exceedance_upper_bound(0, 300) - 0.01).abs() < 1e-12);
+        assert_eq!(exceedance_upper_bound(300, 300), 1.0);
+    }
+
+    #[test]
+    fn geometric_tail_values() {
+        assert!((geometric_tail(0.5, 1) - 0.5).abs() < 1e-12);
+        assert!((geometric_tail(0.5, 10) - 1.0 / 1024.0).abs() < 1e-12);
+        assert_eq!(geometric_tail(1.0, 5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_samples_panic() {
+        let _ = exceed_fraction(&[], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_probability_panics() {
+        let _ = geometric_tail(0.0, 1);
+    }
+}

@@ -1,0 +1,49 @@
+//! Bench target for experiment **E13** (coalescing-cohorts ablation):
+//! `(p+1)`-ary vs forced-binary `SplitSearch`. Tables: `repro e13`.
+
+use contention::LeafElection;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mac_sim::{Executor, SimConfig, StopWhen};
+use std::hint::black_box;
+
+fn run(c: u32, x: u32, binary: bool, seed: u64) -> u64 {
+    let cfg = SimConfig::new(c)
+        .seed(seed)
+        .stop_when(StopWhen::AllTerminated)
+        .max_rounds(1_000_000);
+    let mut exec = Executor::new(cfg);
+    let leaves = u64::from(c / 2);
+    for id in contention_harness::sample_distinct(leaves, x as usize, seed) {
+        let id = id as u32 + 1;
+        exec.add_node(if binary {
+            LeafElection::with_binary_search(c, id)
+        } else {
+            LeafElection::new(c, id)
+        });
+    }
+    exec.run().expect("elects").rounds_executed
+}
+
+fn bench_ablation(criterion: &mut Criterion) {
+    let c = 1u32 << 14;
+    let mut group = criterion.benchmark_group("ablation/split_search(C=2^14)");
+    for x in [16u32, 256] {
+        for (label, binary) in [("cohort", false), ("binary", true)] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("x={x}/{label}")),
+                &(x, binary),
+                |b, &(x, binary)| {
+                    let mut seed = 0;
+                    b.iter(|| {
+                        seed += 1;
+                        black_box(run(c, x, binary, seed))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Bench target for experiment **E7** (Lemma 9): the balls-in-bins Monte
+//! Carlo. Tables: `repro e7`.
+
+use contention_analysis::balls::no_lone_ball_probability;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_balls(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("balls_in_bins/monte_carlo");
+    for (balls, bins) in [(16usize, 48usize), (64, 512), (256, 2048)] {
+        group.throughput(Throughput::Elements(1000));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("b={balls},m={bins}")),
+            &(balls, bins),
+            |b, &(balls, bins)| {
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(no_lone_ball_probability(balls, bins, 1000, seed))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_balls);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Bench target for experiments **E9/E10** (Theorem 4, optimality): one
+//! execution of each algorithm at the headline configuration. Tables:
+//! `repro e9 e10`.
+
+use contention::baselines::{BinaryDescent, Decay, MultiChannelNoCd};
+use contention::{FullAlgorithm, Params};
+use criterion::{criterion_group, criterion_main, Criterion};
+use mac_sim::{CdMode, Executor, SimConfig};
+use std::hint::black_box;
+
+const C: u32 = 256;
+const N: u64 = 1 << 14;
+const ACTIVE: usize = 256;
+
+fn bench_algorithms(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("shootout(C=256,n=2^14,|A|=256)");
+
+    group.bench_function("full_algorithm", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let mut exec = Executor::new(SimConfig::new(C).seed(seed).max_rounds(10_000_000));
+            for _ in 0..ACTIVE {
+                exec.add_node(FullAlgorithm::new(Params::practical(), C, N));
+            }
+            black_box(exec.run().expect("solves").solved_round)
+        });
+    });
+
+    group.bench_function("binary_descent", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let mut exec = Executor::new(SimConfig::new(C).seed(seed).max_rounds(10_000_000));
+            for id in contention_harness::sample_distinct(N, ACTIVE, seed) {
+                exec.add_node(BinaryDescent::new(id, N));
+            }
+            black_box(exec.run().expect("solves").solved_round)
+        });
+    });
+
+    group.bench_function("decay_no_cd", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let cfg = SimConfig::new(C).seed(seed).cd_mode(CdMode::None).max_rounds(10_000_000);
+            let mut exec = Executor::new(cfg);
+            for _ in 0..ACTIVE {
+                exec.add_node(Decay::new(N));
+            }
+            black_box(exec.run().expect("solves").solved_round)
+        });
+    });
+
+    group.bench_function("multichannel_no_cd", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let cfg = SimConfig::new(C).seed(seed).cd_mode(CdMode::None).max_rounds(10_000_000);
+            let mut exec = Executor::new(cfg);
+            for _ in 0..ACTIVE {
+                exec.add_node(MultiChannelNoCd::new(C, N));
+            }
+            black_box(exec.run().expect("solves").solved_round)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

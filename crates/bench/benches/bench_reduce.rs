@@ -1,0 +1,37 @@
+//! Bench target for experiment **E5** (Theorem 5): the knock-out step at
+//! increasing activation densities. Tables: `repro e5`.
+
+use contention::Reduce;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mac_sim::{Executor, SimConfig, StopWhen};
+use std::hint::black_box;
+
+fn bench_reduce(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("reduce/knockout(n=2^16)");
+    for active in [64usize, 1024, 16384] {
+        group.throughput(Throughput::Elements(active as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("A={active}")),
+            &active,
+            |b, &active| {
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    let cfg = SimConfig::new(1)
+                        .seed(seed)
+                        .stop_when(StopWhen::AllTerminated)
+                        .max_rounds(100_000);
+                    let mut exec = Executor::new(cfg);
+                    for _ in 0..active {
+                        exec.add_node(Reduce::new(1 << 16));
+                    }
+                    black_box(exec.run().expect("terminates").rounds_executed)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reduce);
+criterion_main!(benches);

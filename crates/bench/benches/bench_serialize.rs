@@ -1,0 +1,77 @@
+//! Bench target for experiment **E17** (serving all contenders): the
+//! generic serializer and the Capetanakis tree algorithm. Tables:
+//! `repro e17`.
+
+use contention::baselines::{CdTournament, TreeSplit};
+use contention::serialize::SerializeAll;
+use contention::{FullAlgorithm, Params};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mac_sim::{Executor, SimConfig, StopWhen};
+use std::hint::black_box;
+
+fn bench_serializers(criterion: &mut Criterion) {
+    let (c, n) = (64u32, 1u64 << 10);
+    let mut group = criterion.benchmark_group("serialize/drain(n=2^10)");
+    for k in [16usize, 128] {
+        group.throughput(Throughput::Elements(k as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("k={k}/pipeline")),
+            &k,
+            |b, &k| {
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    let cfg = SimConfig::new(c)
+                        .seed(seed)
+                        .stop_when(StopWhen::AllTerminated)
+                        .max_rounds(10_000_000);
+                    let mut exec = Executor::new(cfg);
+                    for payload in 0..k as u32 {
+                        let factory = move || FullAlgorithm::new(Params::practical(), c, n);
+                        exec.add_node(SerializeAll::new(factory, payload));
+                    }
+                    black_box(exec.run().expect("drains").rounds_executed)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("k={k}/tournament")),
+            &k,
+            |b, &k| {
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    let cfg = SimConfig::new(1)
+                        .seed(seed)
+                        .stop_when(StopWhen::AllTerminated)
+                        .max_rounds(10_000_000);
+                    let mut exec = Executor::new(cfg);
+                    for payload in 0..k as u32 {
+                        exec.add_node(SerializeAll::new(CdTournament::new, payload));
+                    }
+                    black_box(exec.run().expect("drains").rounds_executed)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("k={k}/tree-split")),
+            &k,
+            |b, &k| {
+                b.iter(|| {
+                    let cfg = SimConfig::new(1)
+                        .stop_when(StopWhen::AllTerminated)
+                        .max_rounds(10_000_000);
+                    let mut exec = Executor::new(cfg);
+                    for i in 0..k as u64 {
+                        exec.add_node(TreeSplit::new(i * (n / k as u64), n));
+                    }
+                    black_box(exec.run().expect("drains").rounds_executed)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serializers);
+criterion_main!(benches);

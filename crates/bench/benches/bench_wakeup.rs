@@ -1,0 +1,34 @@
+//! Bench target for experiment **E12** (§3 transform): the staggered-start
+//! wrapper under adversarial wake-ups. Tables: `repro e12`.
+
+use contention::wakeup::StaggeredStart;
+use contention::{FullAlgorithm, Params};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mac_sim::{Executor, SimConfig};
+use std::hint::black_box;
+
+fn bench_wakeup(criterion: &mut Criterion) {
+    let (c, n, active) = (64u32, 1u64 << 12, 48usize);
+    let mut group = criterion.benchmark_group("wakeup/staggered_start");
+    for (name, stride) in [("simultaneous", 0u64), ("offset-1", 1), ("ramp", 3)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &stride, |b, &stride| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                let mut exec = Executor::new(SimConfig::new(c).seed(seed).max_rounds(1_000_000));
+                for i in 0..active as u64 {
+                    let off = if stride == 0 { 0 } else { (i * stride) % 13 };
+                    exec.add_node_at(
+                        StaggeredStart::new(FullAlgorithm::new(Params::practical(), c, n)),
+                        off,
+                    );
+                }
+                black_box(exec.run().expect("solves").solved_round)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wakeup);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Prior-art baselines the paper compares against (§2, "Related Work").
+//!
+//! | Baseline | Model | Bound | Source |
+//! |---|---|---|---|
+//! | [`BinaryDescent`] | 1 channel, collision detection, ids in `[n]` | `O(log n)`, probability 1 | classic (Hayes/Capetanakis-style; §2 of the paper) |
+//! | [`TreeSplit`] | 1 channel, collision detection, ids in `[n]` | first slot in `O(log n)`; *all* `k` contenders served in `O(k + k·log(n/k))` | Capetanakis tree algorithm (the paper's refs \[9, 13\] lineage) |
+//! | [`CdTournament`] | 1 channel, collision detection, no ids | `O(log n)` w.h.p. | folklore coin-flip knock-out |
+//! | [`Willard`] | 1 channel, collision detection, no ids | **expected** `O(log log n)` | Willard 1986 — the paper's ref \[5\] |
+//! | [`Decay`] | 1 channel, **no** collision detection | `O(log² n)` w.h.p. | Jurdziński–Stachowiak 2002 shape |
+//! | [`MultiChannelNoCd`] | `C` channels, **no** collision detection | `O(log² n / C + log n)` w.h.p. | Daum–Gilbert–Kuhn–Newport 2012 shape (simplified; see DESIGN.md) |
+//!
+//! Before this paper, the best known bound for *multiple channels with
+//! collision detection* was simply the single-channel `O(log n)` algorithm —
+//! which is why [`BinaryDescent`] is the headline comparator in experiment
+//! E9.
+
+mod binary_descent;
+mod cd_tournament;
+mod decay;
+mod multichannel_nocd;
+mod tree_split;
+mod willard;
+
+pub use binary_descent::BinaryDescent;
+pub use cd_tournament::CdTournament;
+pub use decay::Decay;
+pub use multichannel_nocd::MultiChannelNoCd;
+pub use tree_split::TreeSplit;
+pub use willard::Willard;

@@ -1,0 +1,332 @@
+//! The composed general algorithm of §5 (Theorem 4):
+//! `Reduce → IdReduction → LeafElection`, solving contention resolution for
+//! any number of active nodes in
+//! `O(log n / log C + (log log n)(log log log n))` rounds w.h.p.
+//!
+//! For `C` below a constant the multi-channel machinery cannot help (the
+//! lower bound degenerates to `Ω(log n)`), so — exactly as the paper's
+//! analysis prescribes — the algorithm falls back to an optimal
+//! single-channel collision-detection protocol
+//! ([`crate::baselines::CdTournament`]).
+//!
+//! All three steps are globally synchronized: `Reduce` runs for a fixed
+//! number of rounds, and `IdReduction` ends for every participant in the
+//! same report round, so survivors enter each next step in lockstep.
+
+use mac_sim::{Action, Feedback, Protocol, RoundContext, Status};
+use rand::rngs::SmallRng;
+
+use crate::baselines::CdTournament;
+use crate::id_reduction::{IdReduction, IdReductionOutcome};
+use crate::leaf_election::LeafElection;
+use crate::params::Params;
+use crate::reduce::{Reduce, ReduceOutcome};
+
+/// Which step of the pipeline a [`FullAlgorithm`] node finished in, plus the
+/// id it adopted if it reached step 3. Exposed for experiments E9–E11.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FullStats {
+    /// Rounds spent in step 1 (`Reduce`).
+    pub reduce_rounds: u64,
+    /// Rounds spent in step 2 (`IdReduction`).
+    pub id_reduction_rounds: u64,
+    /// Rounds spent in step 3 (`LeafElection`).
+    pub election_rounds: u64,
+    /// The unique id from `[C/2]` adopted in step 2, if the node got there.
+    pub adopted_id: Option<u32>,
+    /// Whether the single-channel fallback was used instead of the pipeline.
+    pub used_fallback: bool,
+}
+
+#[derive(Debug, Clone)]
+enum Stage {
+    Reduce(Reduce),
+    IdReduction(IdReduction),
+    LeafElection(LeafElection),
+    Fallback(CdTournament),
+    Done(Status),
+}
+
+/// The paper's general contention-resolution algorithm (Theorem 4).
+///
+/// Every activated node runs one instance; `n` is the (known) maximum
+/// number of nodes and `channels` the number of available channels.
+///
+/// ```
+/// use contention::{FullAlgorithm, Params};
+/// use mac_sim::{Executor, SimConfig};
+///
+/// # fn main() -> Result<(), mac_sim::SimError> {
+/// let (c, n) = (128u32, 1u64 << 14);
+/// let mut exec = Executor::new(SimConfig::new(c).seed(2));
+/// for _ in 0..1000 {
+///     exec.add_node(FullAlgorithm::new(Params::practical(), c, n));
+/// }
+/// assert!(exec.run()?.is_solved());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FullAlgorithm {
+    params: Params,
+    channels: u32,
+    stage: Stage,
+    stats: FullStats,
+}
+
+impl FullAlgorithm {
+    /// Creates a node of the general algorithm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `channels < 1`.
+    #[must_use]
+    pub fn new(params: Params, channels: u32, n: u64) -> Self {
+        assert!(channels >= 1, "the model requires C >= 1");
+        let (stage, used_fallback) = if channels < params.fallback_below_channels {
+            (Stage::Fallback(CdTournament::new()), true)
+        } else {
+            (Stage::Reduce(Reduce::with_params(params, n)), false)
+        };
+        FullAlgorithm {
+            params,
+            channels,
+            stage,
+            stats: FullStats {
+                used_fallback,
+                ..FullStats::default()
+            },
+        }
+    }
+
+    /// Per-step round counters and outcome details.
+    #[must_use]
+    pub fn stats(&self) -> FullStats {
+        self.stats
+    }
+
+    /// The step this node is currently in, as a short label.
+    #[must_use]
+    pub fn stage_name(&self) -> &'static str {
+        match self.stage {
+            Stage::Reduce(_) => "reduce",
+            Stage::IdReduction(_) => "id-reduction",
+            Stage::LeafElection(_) => "leaf-election",
+            Stage::Fallback(_) => "fallback",
+            Stage::Done(_) => "done",
+        }
+    }
+}
+
+impl Protocol for FullAlgorithm {
+    type Msg = u32;
+
+    fn act(&mut self, ctx: &RoundContext, rng: &mut SmallRng) -> Action<u32> {
+        match &mut self.stage {
+            Stage::Reduce(inner) => {
+                self.stats.reduce_rounds += 1;
+                inner.act(ctx, rng)
+            }
+            Stage::IdReduction(inner) => {
+                self.stats.id_reduction_rounds += 1;
+                inner.act(ctx, rng)
+            }
+            Stage::LeafElection(inner) => {
+                self.stats.election_rounds += 1;
+                inner.act(ctx, rng)
+            }
+            Stage::Fallback(inner) => inner.act(ctx, rng),
+            Stage::Done(_) => Action::Sleep,
+        }
+    }
+
+    fn observe(&mut self, ctx: &RoundContext, feedback: Feedback<u32>, rng: &mut SmallRng) {
+        match &mut self.stage {
+            Stage::Reduce(inner) => {
+                inner.observe(ctx, feedback, rng);
+                match inner.outcome() {
+                    None => {}
+                    Some(ReduceOutcome::Leader) => self.stage = Stage::Done(Status::Leader),
+                    Some(ReduceOutcome::Knocked) => self.stage = Stage::Done(Status::Inactive),
+                    Some(ReduceOutcome::Survived) => {
+                        self.stage =
+                            Stage::IdReduction(IdReduction::new(self.params, self.channels));
+                    }
+                }
+            }
+            Stage::IdReduction(inner) => {
+                inner.observe(ctx, feedback, rng);
+                match inner.outcome() {
+                    None => {}
+                    Some(IdReductionOutcome::Eliminated) => {
+                        self.stage = Stage::Done(Status::Inactive);
+                    }
+                    Some(IdReductionOutcome::Renamed(id)) => {
+                        self.stats.adopted_id = Some(id);
+                        self.stage = Stage::LeafElection(LeafElection::new(self.channels, id));
+                    }
+                }
+            }
+            Stage::LeafElection(inner) => {
+                inner.observe(ctx, feedback, rng);
+                if inner.status().is_terminated() {
+                    self.stage = Stage::Done(inner.status());
+                }
+            }
+            Stage::Fallback(inner) => {
+                inner.observe(ctx, feedback, rng);
+                if inner.status().is_terminated() {
+                    self.stage = Stage::Done(inner.status());
+                }
+            }
+            Stage::Done(_) => {}
+        }
+    }
+
+    fn status(&self) -> Status {
+        match &self.stage {
+            Stage::Done(status) => *status,
+            _ => Status::Active,
+        }
+    }
+
+    fn phase(&self) -> &'static str {
+        match &self.stage {
+            Stage::Reduce(inner) => inner.phase(),
+            Stage::IdReduction(inner) => inner.phase(),
+            Stage::LeafElection(inner) => inner.phase(),
+            Stage::Fallback(inner) => inner.phase(),
+            Stage::Done(_) => "done",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mac_sim::{Executor, RunReport, SimConfig, StopWhen};
+    use std::collections::HashSet;
+
+    fn run(c: u32, n: u64, active: usize, seed: u64) -> (RunReport, Vec<FullAlgorithm>) {
+        let cfg = SimConfig::new(c)
+            .seed(seed)
+            .stop_when(StopWhen::AllTerminated)
+            .max_rounds(1_000_000);
+        let mut exec = Executor::new(cfg);
+        for _ in 0..active {
+            exec.add_node(FullAlgorithm::new(Params::practical(), c, n));
+        }
+        let report = exec.run().expect("run succeeds");
+        let nodes = exec.iter_nodes().cloned().collect();
+        (report, nodes)
+    }
+
+    #[test]
+    fn solves_across_activation_scales() {
+        let n = 1u64 << 12;
+        for active in [1usize, 2, 3, 10, 100, 1000, 4096] {
+            let (report, _) = run(64, n, active, 42);
+            assert!(report.is_solved(), "active={active}");
+            assert!(report.leaders.len() <= 1, "active={active}");
+            assert!(report.active_remaining.is_empty(), "active={active}");
+        }
+    }
+
+    #[test]
+    fn many_seeds_never_split_brain() {
+        for seed in 0..40 {
+            let (report, _) = run(32, 1 << 10, 200, seed);
+            assert!(report.is_solved(), "seed {seed}");
+            assert!(report.leaders.len() <= 1, "seed {seed}: {:?}", report.leaders);
+        }
+    }
+
+    #[test]
+    fn adopted_ids_are_unique() {
+        for seed in 0..20 {
+            let (_, nodes) = run(64, 1 << 12, 500, seed);
+            let ids: Vec<u32> = nodes.iter().filter_map(|p| p.stats().adopted_id).collect();
+            let set: HashSet<u32> = ids.iter().copied().collect();
+            assert_eq!(set.len(), ids.len(), "seed {seed}: duplicate ids");
+            assert!(ids.iter().all(|&id| id <= 32), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn small_c_uses_fallback_and_still_solves() {
+        let (report, nodes) = run(4, 1 << 10, 100, 9);
+        assert!(report.is_solved());
+        assert!(nodes.iter().all(|p| p.stats().used_fallback));
+    }
+
+    #[test]
+    fn large_c_uses_pipeline() {
+        let (report, nodes) = run(256, 1 << 12, 300, 5);
+        assert!(report.is_solved());
+        assert!(nodes.iter().all(|p| !p.stats().used_fallback));
+        // Someone must have made it to leaf election unless the problem was
+        // solved earlier by a lone transmission (also a success).
+        let reached_le = nodes.iter().any(|p| p.stats().election_rounds > 0);
+        let solved_early = report.solved_round.is_some();
+        assert!(reached_le || solved_early);
+    }
+
+    #[test]
+    fn rounds_fit_theorem_4_budget() {
+        // Generous concrete budget for O(log n/log C + lglg n * lglglg n):
+        // 6*(lg n/lg C) + 6*lglg(n)*max(lglglg n,1) + 40.
+        let n = 1u64 << 16;
+        for c in [16u32, 64, 256, 1024] {
+            for seed in 0..10 {
+                let (report, _) = run(c, n, 800, seed);
+                let lg_n = (n as f64).log2();
+                let lglg = lg_n.log2();
+                let budget = 6.0 * lg_n / f64::from(c).log2() + 6.0 * lglg * lglg.log2().max(1.0) + 40.0;
+                let rounds = report.rounds_to_solve().unwrap() as f64;
+                assert!(
+                    rounds <= budget,
+                    "C={c} seed={seed}: {rounds} rounds > {budget}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (r1, _) = run(64, 1 << 10, 123, 77);
+        let (r2, _) = run(64, 1 << 10, 123, 77);
+        assert_eq!(r1.solved_round, r2.solved_round);
+        assert_eq!(r1.leaders, r2.leaders);
+    }
+
+    #[test]
+    fn works_with_two_active_nodes() {
+        // The general algorithm must also handle the restricted case.
+        for seed in 0..20 {
+            let (report, _) = run(64, 1 << 14, 2, seed);
+            assert!(report.is_solved(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn paper_params_also_solve() {
+        let cfg = SimConfig::new(1 << 10)
+            .seed(4)
+            .stop_when(StopWhen::AllTerminated)
+            .max_rounds(1_000_000);
+        let mut exec = Executor::new(cfg);
+        for _ in 0..500 {
+            exec.add_node(FullAlgorithm::new(Params::paper(), 1 << 10, 1 << 12));
+        }
+        let report = exec.run().expect("run succeeds");
+        assert!(report.is_solved());
+    }
+
+    #[test]
+    fn stage_name_tracks_progress() {
+        let node = FullAlgorithm::new(Params::practical(), 64, 1 << 10);
+        assert_eq!(node.stage_name(), "reduce");
+        let node = FullAlgorithm::new(Params::practical(), 2, 1 << 10);
+        assert_eq!(node.stage_name(), "fallback");
+    }
+}

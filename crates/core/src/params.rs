@@ -1,0 +1,132 @@
+//! Tunable constants of the general algorithm.
+//!
+//! The paper's analysis fixes constants chosen for proof convenience, not
+//! for execution: e.g. the knock-out probability of `IdReduction`'s
+//! reduction rounds is `1/k` with `k = √C/144`, which is below 1 only once
+//! `C > 20 736` and satisfies the analysis' `k ≥ 3` only once
+//! `C ≥ 186 624`. Running the algorithm therefore requires picking real
+//! constants. [`Params::practical`] is the default used by examples and
+//! experiments; [`Params::paper`] preserves the literal constants so the
+//! analysis-fidelity tests can exercise them at (very) large `C`.
+//!
+//! Changing these constants never changes the algorithm's structure — only
+//! the hidden constants in its `O(·)` bounds.
+
+/// Constants for the general (any-number-of-nodes) algorithm of §5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Params {
+    /// Divisor in `k = √C / knock_divisor`, the inverse knock-out
+    /// probability of `IdReduction`'s reduction rounds. Paper: 144.
+    pub knock_divisor: f64,
+    /// Lower clamp on `k` so the knock probability `1/k` stays a sensible
+    /// probability for small `C`. Paper analysis assumes `k ≥ 3`.
+    pub min_k: f64,
+    /// Multiplier on `⌈lg lg n⌉`, the number of knock-out iterations the
+    /// `Reduce` step performs (each iteration is 2 rounds). Raising it
+    /// raises the exponent of the `Reduce` step's failure probability
+    /// (the `β` of Theorem 5).
+    pub reduce_factor: u32,
+    /// Channel counts strictly below this make the full algorithm fall back
+    /// to the optimal single-channel collision-detection algorithm, as the
+    /// paper prescribes for `C = O(1)` (§5.2: "when C = O(1), the lower
+    /// bound simplifies to Ω(log n), which we can match with the well-known
+    /// O(log n) contention resolution algorithm").
+    pub fallback_below_channels: u32,
+}
+
+impl Params {
+    /// The literal constants from the paper's analysis. Only meaningful for
+    /// very large `C`; experiments use [`Params::practical`].
+    #[must_use]
+    pub fn paper() -> Self {
+        Params {
+            knock_divisor: 144.0,
+            min_k: 3.0,
+            reduce_factor: 1,
+            fallback_below_channels: 8,
+        }
+    }
+
+    /// Constants tuned for execution at laptop scales. Same asymptotics,
+    /// usable at `C` as small as 8.
+    #[must_use]
+    pub fn practical() -> Self {
+        Params {
+            knock_divisor: 2.0,
+            min_k: 2.0,
+            reduce_factor: 1,
+            fallback_below_channels: 8,
+        }
+    }
+
+    /// The inverse knock-out probability `k` used by `IdReduction`'s
+    /// reduction rounds for a given channel count.
+    #[must_use]
+    pub fn knock_k(&self, channels: u32) -> f64 {
+        (f64::from(channels).sqrt() / self.knock_divisor).max(self.min_k)
+    }
+
+    /// Number of knock-out iterations `Reduce` performs for `n` possible
+    /// nodes: `reduce_factor · ⌈lg lg n⌉` (each iteration is two rounds).
+    #[must_use]
+    pub fn reduce_iterations(&self, n: u64) -> u32 {
+        let lg = (n.max(2) as f64).log2();
+        let lglg = lg.log2().max(0.0);
+        self.reduce_factor * (lglg.ceil() as u32).max(1)
+    }
+}
+
+impl Default for Params {
+    /// Defaults to [`Params::practical`].
+    fn default() -> Self {
+        Params::practical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants_are_literal() {
+        let p = Params::paper();
+        assert_eq!(p.knock_divisor, 144.0);
+        assert_eq!(p.min_k, 3.0);
+        // k = sqrt(C)/144 once C is large enough for the clamp not to bind.
+        let c = 1u32 << 30;
+        let expect = f64::from(c).sqrt() / 144.0;
+        assert!((p.knock_k(c) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn practical_k_is_clamped_for_small_c() {
+        let p = Params::practical();
+        assert_eq!(p.knock_k(4), 2.0);
+        assert_eq!(p.knock_k(16), 2.0);
+        assert_eq!(p.knock_k(64), 4.0);
+        assert_eq!(p.knock_k(256), 8.0);
+    }
+
+    #[test]
+    fn reduce_iterations_track_lglg_n() {
+        let p = Params::practical();
+        assert_eq!(p.reduce_iterations(2), 1); // lg lg 2 = 0, clamped to 1
+        assert_eq!(p.reduce_iterations(4), 1);
+        assert_eq!(p.reduce_iterations(16), 2);
+        assert_eq!(p.reduce_iterations(256), 3);
+        assert_eq!(p.reduce_iterations(1 << 16), 4);
+        assert_eq!(p.reduce_iterations(u64::MAX), 6);
+    }
+
+    #[test]
+    fn reduce_factor_scales_iterations() {
+        let mut p = Params::practical();
+        p.reduce_factor = 3;
+        assert_eq!(p.reduce_iterations(256), 9);
+    }
+
+    #[test]
+    fn default_is_practical() {
+        assert_eq!(Params::default(), Params::practical());
+    }
+}

@@ -1,0 +1,441 @@
+//! A one-stop facade: pick an algorithm, describe the network, run.
+//!
+//! The lower-level API (construct protocols, add them to a
+//! [`mac_sim::Executor`]) gives full control; [`Session`] wraps the common
+//! case — *"solve contention resolution among `k` activated nodes out of
+//! `n`, on `C` channels, with algorithm X"* — including the feedback-model
+//! bookkeeping (no-collision-detection algorithms are automatically run
+//! under [`CdMode::None`]) and optional staggered wake-ups via the §3
+//! transform.
+
+use mac_sim::{CdMode, Executor, Protocol, RunReport, SimConfig, SimError, StopWhen, TraceLevel};
+use std::error::Error;
+use std::fmt;
+
+use crate::baselines::{BinaryDescent, CdTournament, Decay, MultiChannelNoCd, TreeSplit, Willard};
+use crate::extensions::ExpectedConstant;
+use crate::full::FullAlgorithm;
+use crate::params::Params;
+use crate::two_active::TwoActive;
+use crate::wakeup::StaggeredStart;
+
+/// Which contention-resolution algorithm a [`Session`] runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Algorithm {
+    /// The paper's general pipeline (Theorem 4) with the given constants.
+    Paper(Params),
+    /// The paper's two-node specialist (§4); requires exactly two actives.
+    TwoActive,
+    /// Single-channel coin-flip knock-out, `O(log n)` w.h.p., no ids.
+    CdTournament,
+    /// Deterministic binary descent over ids, `O(log n)` worst case.
+    BinaryDescent,
+    /// Capetanakis tree splitting over ids: first slot in `O(log n)`,
+    /// all contenders served if run to completion.
+    TreeSplit,
+    /// Decay cycle without collision detection, `O(log² n)` w.h.p.
+    Decay,
+    /// Multi-channel no-CD baseline, `O(log² n / C + log n)` shape.
+    MultiChannelNoCd,
+    /// Expected-`O(1)` with `≈ lg n` channels (§6 extension).
+    ExpectedConstant,
+    /// Willard's expected-`O(log log n)` single-channel classic (ref \[5\]).
+    Willard,
+}
+
+impl Algorithm {
+    /// Short display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Paper(_) => "paper-pipeline",
+            Algorithm::TwoActive => "two-active",
+            Algorithm::CdTournament => "cd-tournament",
+            Algorithm::BinaryDescent => "binary-descent",
+            Algorithm::TreeSplit => "tree-split",
+            Algorithm::Decay => "decay",
+            Algorithm::MultiChannelNoCd => "multichannel-no-cd",
+            Algorithm::ExpectedConstant => "expected-constant",
+            Algorithm::Willard => "willard",
+        }
+    }
+
+    /// The feedback model the algorithm is designed for — sessions run
+    /// under exactly this model so comparisons are honest.
+    #[must_use]
+    pub fn cd_mode(self) -> CdMode {
+        match self {
+            Algorithm::Decay | Algorithm::MultiChannelNoCd => CdMode::None,
+            _ => CdMode::Strong,
+        }
+    }
+
+    /// Minimum channel count the algorithm requires.
+    #[must_use]
+    pub fn min_channels(self) -> u32 {
+        match self {
+            Algorithm::TwoActive | Algorithm::ExpectedConstant => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// Errors from [`Session::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SessionError {
+    /// The configuration cannot host the chosen algorithm.
+    InvalidConfig(String),
+    /// The underlying simulation failed.
+    Sim(SimError),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SessionError::Sim(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl Error for SessionError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SessionError::Sim(e) => Some(e),
+            SessionError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<SimError> for SessionError {
+    fn from(value: SimError) -> Self {
+        SessionError::Sim(value)
+    }
+}
+
+/// The outcome of a resolved session.
+#[derive(Debug, Clone)]
+pub struct Resolution {
+    /// The algorithm that ran.
+    pub algorithm: &'static str,
+    /// The full simulator report (solve round, leaders, metrics, trace).
+    pub report: RunReport,
+}
+
+impl Resolution {
+    /// Rounds until the problem was solved.
+    #[must_use]
+    pub fn rounds(&self) -> Option<u64> {
+        self.report.rounds_to_solve()
+    }
+}
+
+/// Builder-style session configuration.
+///
+/// ```
+/// use contention::session::{Algorithm, Session};
+/// use contention::Params;
+///
+/// # fn main() -> Result<(), contention::session::SessionError> {
+/// let resolution = Session::new(64, 1 << 12)
+///     .algorithm(Algorithm::Paper(Params::practical()))
+///     .seed(7)
+///     .run(500)?;
+/// assert!(resolution.rounds().is_some());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Session {
+    channels: u32,
+    n: u64,
+    algorithm: Algorithm,
+    seed: u64,
+    max_rounds: u64,
+    run_to_completion: bool,
+    trace: bool,
+    wake_offsets: Option<Vec<u64>>,
+}
+
+impl Session {
+    /// Creates a session on `channels` channels with universe size `n`,
+    /// defaulting to the paper's pipeline with practical constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0` or `n < 2`.
+    #[must_use]
+    pub fn new(channels: u32, n: u64) -> Self {
+        assert!(channels >= 1, "the model requires C >= 1");
+        assert!(n >= 2, "the model requires n >= 2");
+        Session {
+            channels,
+            n,
+            algorithm: Algorithm::Paper(Params::practical()),
+            seed: 0,
+            max_rounds: 10_000_000,
+            run_to_completion: false,
+            trace: false,
+            wake_offsets: None,
+        }
+    }
+
+    /// Selects the algorithm.
+    #[must_use]
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the master seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the round cap.
+    #[must_use]
+    pub fn max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Runs until every node terminates instead of stopping at the first
+    /// solving transmission.
+    #[must_use]
+    pub fn run_to_completion(mut self, yes: bool) -> Self {
+        self.run_to_completion = yes;
+        self
+    }
+
+    /// Enables channel tracing in the resulting report.
+    #[must_use]
+    pub fn trace(mut self, yes: bool) -> Self {
+        self.trace = yes;
+        self
+    }
+
+    /// Staggers wake-ups with the given per-node offsets (the §3 transform
+    /// is applied automatically). Length must equal the `active` count
+    /// passed to [`Session::run`].
+    #[must_use]
+    pub fn wake_offsets(mut self, offsets: Vec<u64>) -> Self {
+        self.wake_offsets = Some(offsets);
+        self
+    }
+
+    /// Builds one protocol instance for node index `idx`.
+    fn make_node(&self, idx: usize, active: usize) -> Box<dyn Protocol<Msg = u32>> {
+        match self.algorithm {
+            Algorithm::Paper(params) => {
+                Box::new(FullAlgorithm::new(params, self.channels, self.n))
+            }
+            Algorithm::TwoActive => Box::new(TwoActive::new(self.channels, self.n)),
+            Algorithm::CdTournament => Box::new(CdTournament::new()),
+            Algorithm::BinaryDescent => {
+                // Spread ids evenly across the universe, deterministically.
+                let id = (idx as u64) * (self.n / active as u64).max(1);
+                Box::new(BinaryDescent::new(id.min(self.n - 1), self.n))
+            }
+            Algorithm::TreeSplit => {
+                let id = (idx as u64) * (self.n / active as u64).max(1);
+                Box::new(TreeSplit::new(id.min(self.n - 1), self.n))
+            }
+            Algorithm::Decay => Box::new(Decay::new(self.n)),
+            Algorithm::MultiChannelNoCd => {
+                Box::new(MultiChannelNoCd::new(self.channels, self.n))
+            }
+            Algorithm::ExpectedConstant => {
+                Box::new(ExpectedConstant::new(self.channels, self.n))
+            }
+            Algorithm::Willard => Box::new(Willard::new(self.n)),
+        }
+    }
+
+    /// Activates `active` nodes and runs the session.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::InvalidConfig`] when the algorithm cannot run at this
+    /// configuration (too few channels, wrong active count for the
+    /// specialist, mismatched wake-offset length, `active > n`);
+    /// [`SessionError::Sim`] when the simulation itself fails (timeout).
+    pub fn run(&self, active: usize) -> Result<Resolution, SessionError> {
+        if active == 0 {
+            return Err(SessionError::InvalidConfig("no nodes activated".into()));
+        }
+        if active as u64 > self.n {
+            return Err(SessionError::InvalidConfig(format!(
+                "cannot activate {active} of {} possible nodes",
+                self.n
+            )));
+        }
+        if self.channels < self.algorithm.min_channels() {
+            return Err(SessionError::InvalidConfig(format!(
+                "{} needs at least {} channels, got {}",
+                self.algorithm.name(),
+                self.algorithm.min_channels(),
+                self.channels
+            )));
+        }
+        if self.algorithm == Algorithm::TwoActive && active != 2 {
+            return Err(SessionError::InvalidConfig(format!(
+                "two-active solves the |A| = 2 restricted case, got {active}"
+            )));
+        }
+        if let Some(offsets) = &self.wake_offsets {
+            if offsets.len() != active {
+                return Err(SessionError::InvalidConfig(format!(
+                    "{} wake offsets for {active} nodes",
+                    offsets.len()
+                )));
+            }
+        }
+
+        let cfg = SimConfig::new(self.channels)
+            .seed(self.seed)
+            .cd_mode(self.algorithm.cd_mode())
+            .max_rounds(self.max_rounds)
+            .stop_when(if self.run_to_completion {
+                StopWhen::AllTerminated
+            } else {
+                StopWhen::Solved
+            })
+            .trace_level(if self.trace {
+                TraceLevel::Channels
+            } else {
+                TraceLevel::Off
+            });
+
+        let report = match &self.wake_offsets {
+            None => {
+                let mut exec = Executor::new(cfg);
+                for idx in 0..active {
+                    exec.add_node(self.make_node(idx, active));
+                }
+                exec.run()?
+            }
+            Some(offsets) => {
+                let mut exec = Executor::new(cfg);
+                for (idx, &off) in offsets.iter().enumerate() {
+                    exec.add_node_at(StaggeredStart::new(self.make_node(idx, active)), off);
+                }
+                exec.run()?
+            }
+        };
+
+        Ok(Resolution {
+            algorithm: self.algorithm.name(),
+            report,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_algorithm_resolves_through_the_facade() {
+        let algos = [
+            Algorithm::Paper(Params::practical()),
+            Algorithm::CdTournament,
+            Algorithm::BinaryDescent,
+            Algorithm::TreeSplit,
+            Algorithm::Willard,
+            Algorithm::Decay,
+            Algorithm::MultiChannelNoCd,
+            Algorithm::ExpectedConstant,
+        ];
+        for algo in algos {
+            let res = Session::new(32, 1 << 10)
+                .algorithm(algo)
+                .seed(5)
+                .run(100)
+                .unwrap_or_else(|e| panic!("{}: {e}", algo.name()));
+            assert!(res.rounds().is_some(), "{}", algo.name());
+            assert_eq!(res.algorithm, algo.name());
+        }
+    }
+
+    #[test]
+    fn two_active_requires_exactly_two() {
+        let session = Session::new(32, 1 << 10).algorithm(Algorithm::TwoActive);
+        assert!(matches!(session.run(3), Err(SessionError::InvalidConfig(_))));
+        assert!(session.run(2).is_ok());
+    }
+
+    #[test]
+    fn activation_cannot_exceed_universe() {
+        let err = Session::new(8, 16).run(17).unwrap_err();
+        assert!(matches!(err, SessionError::InvalidConfig(_)));
+        assert!(err.to_string().contains("17"));
+    }
+
+    #[test]
+    fn zero_active_is_rejected() {
+        assert!(Session::new(8, 16).run(0).is_err());
+    }
+
+    #[test]
+    fn channel_minimums_are_enforced() {
+        let err = Session::new(1, 1 << 10)
+            .algorithm(Algorithm::ExpectedConstant)
+            .run(10)
+            .unwrap_err();
+        assert!(err.to_string().contains("channels"));
+    }
+
+    #[test]
+    fn wake_offsets_must_match_active_count() {
+        let err = Session::new(32, 1 << 10)
+            .wake_offsets(vec![0, 1])
+            .run(3)
+            .unwrap_err();
+        assert!(matches!(err, SessionError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn staggered_session_solves() {
+        let res = Session::new(32, 1 << 10)
+            .seed(3)
+            .wake_offsets((0..20).map(|i| i % 3).collect())
+            .run(20)
+            .expect("solves");
+        assert!(res.rounds().is_some());
+    }
+
+    #[test]
+    fn completion_mode_reports_leaders() {
+        let res = Session::new(32, 1 << 10)
+            .seed(9)
+            .run_to_completion(true)
+            .run(50)
+            .expect("completes");
+        assert!(res.report.leaders.len() <= 1);
+        assert!(res.report.active_remaining.is_empty());
+    }
+
+    #[test]
+    fn trace_flag_records_channels() {
+        let res = Session::new(8, 1 << 8).trace(true).seed(1).run(10).expect("solves");
+        assert!(!res.report.trace.is_empty());
+    }
+
+    #[test]
+    fn no_cd_algorithms_run_under_none_mode() {
+        assert_eq!(Algorithm::Decay.cd_mode(), CdMode::None);
+        assert_eq!(Algorithm::MultiChannelNoCd.cd_mode(), CdMode::None);
+        assert_eq!(Algorithm::Paper(Params::practical()).cd_mode(), CdMode::Strong);
+    }
+
+    #[test]
+    fn session_error_displays() {
+        let e = SessionError::InvalidConfig("boom".into());
+        assert!(e.to_string().contains("boom"));
+        let e = SessionError::from(SimError::NoNodes);
+        assert!(e.to_string().contains("simulation failed"));
+    }
+}

@@ -1,0 +1,149 @@
+//! White-box driving of `IdReduction`: hand-crafted feedback exercises
+//! every branch of the three-round schedule deterministically.
+
+use contention::{IdReduction, IdReductionOutcome, Params};
+use mac_sim::{Action, Feedback, Protocol, RoundContext, Status};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn ctx() -> RoundContext {
+    RoundContext {
+        round: 0,
+        local_round: 0,
+        channels: 1 << 16,
+    }
+}
+
+fn new_node(c: u32) -> (IdReduction, SmallRng) {
+    (IdReduction::new(Params::practical(), c), SmallRng::seed_from_u64(7))
+}
+
+#[test]
+fn rename_alone_then_lone_report_terminates_renamed() {
+    let (mut node, mut rng) = new_node(64);
+    // Rename round: transmits on some channel in [1, 32].
+    let action = node.act(&ctx(), &mut rng);
+    let Action::Transmit { channel, .. } = action else { panic!("rename transmits") };
+    assert!(channel.get() <= 32);
+    // Alone: hears its own message.
+    node.observe(&ctx(), Feedback::Message(0), &mut rng);
+    // Report round: adopters transmit on the primary channel.
+    let action = node.act(&ctx(), &mut rng);
+    let Action::Transmit { channel: report_ch, .. } = action else { panic!("adopter reports") };
+    assert!(report_ch.is_primary());
+    // Lone reporter: message delivered; outcome Renamed(picked channel).
+    node.observe(&ctx(), Feedback::Message(0), &mut rng);
+    assert_eq!(node.outcome(), Some(IdReductionOutcome::Renamed(channel.get())));
+    assert_eq!(node.status(), Status::Inactive); // standalone semantics
+}
+
+#[test]
+fn rename_alone_but_crowded_report_still_renames() {
+    let (mut node, mut rng) = new_node(64);
+    node.act(&ctx(), &mut rng);
+    node.observe(&ctx(), Feedback::Message(0), &mut rng); // alone -> candidate
+    node.act(&ctx(), &mut rng);
+    // Multiple adopters: the report round collides — still a success.
+    node.observe(&ctx(), Feedback::Collision, &mut rng);
+    assert!(matches!(node.outcome(), Some(IdReductionOutcome::Renamed(_))));
+}
+
+#[test]
+fn rename_collision_then_silent_report_continues_to_reduction() {
+    let (mut node, mut rng) = new_node(64);
+    node.act(&ctx(), &mut rng);
+    node.observe(&ctx(), Feedback::Collision, &mut rng); // not alone
+    // Report round: non-adopters listen.
+    let action = node.act(&ctx(), &mut rng);
+    assert!(matches!(action, Action::Listen { channel } if channel.is_primary()));
+    node.observe(&ctx(), Feedback::Silence, &mut rng); // nobody renamed
+    assert_eq!(node.outcome(), None);
+    assert_eq!(node.phase(), "id-reduce");
+}
+
+#[test]
+fn hearing_a_report_while_unrenamed_eliminates() {
+    let (mut node, mut rng) = new_node(64);
+    node.act(&ctx(), &mut rng);
+    node.observe(&ctx(), Feedback::Collision, &mut rng);
+    node.act(&ctx(), &mut rng);
+    // Someone else renamed (lone or crowd — either signal ends the step).
+    node.observe(&ctx(), Feedback::Message(0), &mut rng);
+    assert_eq!(node.outcome(), Some(IdReductionOutcome::Eliminated));
+}
+
+#[test]
+fn reduction_round_knocks_listeners_who_hear_traffic() {
+    let (mut node, mut rng) = new_node(64);
+    // Walk to the reduction round with no renaming anywhere.
+    node.act(&ctx(), &mut rng);
+    node.observe(&ctx(), Feedback::Collision, &mut rng);
+    node.act(&ctx(), &mut rng);
+    node.observe(&ctx(), Feedback::Silence, &mut rng);
+    // Reduction round: transmit or listen (seeded: deterministic).
+    let action = node.act(&ctx(), &mut rng);
+    match action {
+        Action::Listen { channel } => {
+            assert!(channel.is_primary());
+            node.observe(&ctx(), Feedback::Collision, &mut rng);
+            assert_eq!(node.outcome(), Some(IdReductionOutcome::Eliminated));
+        }
+        Action::Transmit { channel, .. } => {
+            // A transmitter survives the reduction round regardless.
+            assert!(channel.is_primary());
+            node.observe(&ctx(), Feedback::Collision, &mut rng);
+            assert_eq!(node.outcome(), None);
+            assert_eq!(node.phase(), "id-rename"); // schedule wrapped
+        }
+        Action::Sleep => panic!("reduction round never sleeps"),
+    }
+}
+
+#[test]
+fn silent_reduction_round_changes_nothing() {
+    let (mut node, mut rng) = new_node(64);
+    node.act(&ctx(), &mut rng);
+    node.observe(&ctx(), Feedback::Collision, &mut rng);
+    node.act(&ctx(), &mut rng);
+    node.observe(&ctx(), Feedback::Silence, &mut rng);
+    let action = node.act(&ctx(), &mut rng);
+    if matches!(action, Action::Listen { .. }) {
+        node.observe(&ctx(), Feedback::Silence, &mut rng);
+        assert_eq!(node.outcome(), None, "silence must not eliminate");
+    } else {
+        node.observe(&ctx(), Feedback::Message(0), &mut rng);
+        assert_eq!(node.outcome(), None, "a lone reducer survives");
+    }
+    assert_eq!(node.phase(), "id-rename");
+}
+
+#[test]
+fn schedule_cycles_rename_report_reduce() {
+    let (mut node, mut rng) = new_node(64);
+    let phases: Vec<&'static str> = (0..6)
+        .map(|i| {
+            let phase = node.phase();
+            let action = node.act(&ctx(), &mut rng);
+            // Answer so that nothing terminates: collisions in rename,
+            // silence in report, and silence for reduce listeners / message
+            // for a lone reduce transmitter (its own).
+            let fb = match i % 3 {
+                0 => Feedback::Collision,
+                1 => Feedback::Silence,
+                _ => match action {
+                    Action::Transmit { .. } => Feedback::Message(0),
+                    _ => Feedback::Silence,
+                },
+            };
+            node.observe(&ctx(), fb, &mut rng);
+            phase
+        })
+        .collect();
+    assert_eq!(
+        phases,
+        vec!["id-rename", "id-report", "id-reduce", "id-rename", "id-report", "id-reduce"]
+    );
+    assert_eq!(node.stats().rename_rounds, 2);
+    assert_eq!(node.stats().reduction_rounds, 2);
+    assert_eq!(node.stats().total_rounds, 6);
+}

@@ -1,0 +1,109 @@
+//! Exhaustive facade matrix: every algorithm × a grid of configurations,
+//! through the `Session` API, with uniform invariants.
+
+use contention::session::{Algorithm, Session, SessionError};
+use contention::Params;
+
+fn all_algorithms() -> Vec<Algorithm> {
+    vec![
+        Algorithm::Paper(Params::practical()),
+        Algorithm::Paper(Params::paper()),
+        Algorithm::CdTournament,
+        Algorithm::BinaryDescent,
+        Algorithm::TreeSplit,
+        Algorithm::Willard,
+        Algorithm::Decay,
+        Algorithm::MultiChannelNoCd,
+        Algorithm::ExpectedConstant,
+    ]
+}
+
+#[test]
+fn matrix_of_configurations_all_resolve() {
+    for algo in all_algorithms() {
+        for &(c, n, active) in &[
+            (2u32, 1u64 << 6, 5usize),
+            (16, 1 << 10, 100),
+            (128, 1 << 12, 1000),
+        ] {
+            if c < algo.min_channels() {
+                continue;
+            }
+            let res = Session::new(c, n)
+                .algorithm(algo)
+                .seed(7)
+                .run(active)
+                .unwrap_or_else(|e| panic!("{} C={c} n={n} |A|={active}: {e}", algo.name()));
+            assert!(
+                res.rounds().is_some(),
+                "{} C={c} n={n} |A|={active}: unsolved",
+                algo.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn completion_mode_has_no_stragglers_for_terminating_algorithms() {
+    // Algorithms whose nodes all terminate: the CD family.
+    for algo in [
+        Algorithm::Paper(Params::practical()),
+        Algorithm::CdTournament,
+        Algorithm::BinaryDescent,
+        Algorithm::TreeSplit,
+        Algorithm::Willard,
+    ] {
+        let res = Session::new(32, 1 << 10)
+            .algorithm(algo)
+            .seed(3)
+            .run_to_completion(true)
+            .run(64)
+            .unwrap_or_else(|e| panic!("{}: {e}", algo.name()));
+        assert!(
+            res.report.active_remaining.is_empty(),
+            "{}: stragglers {:?}",
+            algo.name(),
+            res.report.active_remaining
+        );
+        assert!(res.report.leaders.len() <= 1, "{}", algo.name());
+    }
+}
+
+#[test]
+fn determinism_through_the_facade() {
+    for algo in all_algorithms() {
+        let run = || {
+            Session::new(32, 1 << 10)
+                .algorithm(algo)
+                .seed(11)
+                .run(50)
+                .map(|r| r.report.solved_round)
+        };
+        assert_eq!(run().ok(), run().ok(), "{}", algo.name());
+    }
+}
+
+#[test]
+fn min_channel_constraints_are_per_algorithm() {
+    for algo in all_algorithms() {
+        let session = Session::new(1, 1 << 8).algorithm(algo);
+        let result = session.run(10);
+        if algo.min_channels() > 1 {
+            assert!(
+                matches!(result, Err(SessionError::InvalidConfig(_))),
+                "{} should reject C = 1",
+                algo.name()
+            );
+        } else {
+            assert!(result.is_ok(), "{} should run at C = 1", algo.name());
+        }
+    }
+}
+
+#[test]
+fn names_are_distinct() {
+    let mut names: Vec<&str> = all_algorithms().iter().map(|a| a.name()).collect();
+    names.dedup(); // Paper appears twice (two constant sets), same name.
+    let set: std::collections::HashSet<&str> = names.iter().copied().collect();
+    assert_eq!(set.len(), names.len());
+}

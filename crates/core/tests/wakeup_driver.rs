@@ -1,0 +1,143 @@
+//! White-box driving of the §3 wake-up transform: listen-window length,
+//! beacon parity, retirement, and inner-protocol scheduling, all checked
+//! against hand-fed feedback.
+
+use contention::baselines::CdTournament;
+use contention::wakeup::{StaggeredStart, LISTEN_ROUNDS};
+use mac_sim::{Action, Feedback, Protocol, RoundContext, Status};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn ctx() -> RoundContext {
+    RoundContext {
+        round: 0,
+        local_round: 0,
+        channels: 8,
+    }
+}
+
+/// A minimal inner protocol that records how many rounds it was given.
+#[derive(Clone)]
+struct Probe {
+    acts: u64,
+    observes: u64,
+}
+
+impl Protocol for Probe {
+    type Msg = u32;
+    fn act(&mut self, _ctx: &RoundContext, _rng: &mut SmallRng) -> Action<u32> {
+        self.acts += 1;
+        Action::listen(mac_sim::ChannelId::new(2))
+    }
+    fn observe(&mut self, _ctx: &RoundContext, _fb: Feedback<u32>, _rng: &mut SmallRng) {
+        self.observes += 1;
+    }
+    fn status(&self) -> Status {
+        Status::Active
+    }
+}
+
+#[test]
+fn silent_window_promotes_to_runner_with_beacon_first() {
+    let mut node = StaggeredStart::new(Probe { acts: 0, observes: 0 });
+    let mut rng = SmallRng::seed_from_u64(0);
+    // The listen window: exactly LISTEN_ROUNDS listens on the primary.
+    for _ in 0..LISTEN_ROUNDS {
+        let action = node.act(&ctx(), &mut rng);
+        assert!(matches!(action, Action::Listen { channel } if channel.is_primary()));
+        node.observe(&ctx(), Feedback::Silence, &mut rng);
+    }
+    // First runner round: a beacon on the primary channel.
+    let action = node.act(&ctx(), &mut rng);
+    assert!(
+        matches!(action, Action::Transmit { channel, .. } if channel.is_primary()),
+        "first runner round must beacon"
+    );
+    assert_eq!(node.inner_rounds(), 0, "inner must not have run yet");
+    // Colliding beacon (other runners exist): keep going.
+    node.observe(&ctx(), Feedback::Collision, &mut rng);
+    // Second runner round: the inner protocol's round 0.
+    let _ = node.act(&ctx(), &mut rng);
+    assert_eq!(node.inner_rounds(), 1);
+    node.observe(&ctx(), Feedback::Silence, &mut rng);
+    // Beacons and inner rounds alternate strictly.
+    for expect_inner in [false, true, false, true] {
+        let before = node.inner_rounds();
+        let action = node.act(&ctx(), &mut rng);
+        if expect_inner {
+            assert_eq!(node.inner_rounds(), before + 1);
+        } else {
+            assert!(matches!(action, Action::Transmit { channel, .. } if channel.is_primary()));
+            assert_eq!(node.inner_rounds(), before);
+        }
+        node.observe(&ctx(), Feedback::Collision, &mut rng);
+    }
+}
+
+#[test]
+fn any_signal_in_window_retires_the_node() {
+    for (when, fb) in [
+        (0, Feedback::Message(5)),
+        (1, Feedback::Collision),
+        (LISTEN_ROUNDS - 1, Feedback::Message(0)),
+    ] {
+        let mut node = StaggeredStart::new(Probe { acts: 0, observes: 0 });
+        let mut rng = SmallRng::seed_from_u64(1);
+        for i in 0..=when {
+            let _ = node.act(&ctx(), &mut rng);
+            let feedback = if i == when { fb.clone() } else { Feedback::Silence };
+            node.observe(&ctx(), feedback, &mut rng);
+        }
+        assert_eq!(node.status(), Status::Inactive, "window round {when}");
+        assert!(node.retired_early());
+        assert_eq!(node.inner_rounds(), 0);
+    }
+}
+
+#[test]
+fn lone_beacon_wins_immediately() {
+    let mut node = StaggeredStart::new(CdTournament::new());
+    let mut rng = SmallRng::seed_from_u64(2);
+    for _ in 0..LISTEN_ROUNDS {
+        let _ = node.act(&ctx(), &mut rng);
+        node.observe(&ctx(), Feedback::Silence, &mut rng);
+    }
+    let _ = node.act(&ctx(), &mut rng); // beacon
+    node.observe(&ctx(), Feedback::Message(0), &mut rng); // alone!
+    assert_eq!(node.status(), Status::Leader);
+}
+
+#[test]
+fn inner_termination_propagates() {
+    // An inner protocol that instantly leads ends the wrapper too.
+    #[derive(Clone)]
+    struct InstantLeader;
+    impl Protocol for InstantLeader {
+        type Msg = u32;
+        fn act(&mut self, _: &RoundContext, _: &mut SmallRng) -> Action<u32> {
+            Action::transmit(mac_sim::ChannelId::PRIMARY, 0)
+        }
+        fn observe(&mut self, _: &RoundContext, _: Feedback<u32>, _: &mut SmallRng) {}
+        fn status(&self) -> Status {
+            Status::Leader
+        }
+    }
+    let mut node = StaggeredStart::new(InstantLeader);
+    let mut rng = SmallRng::seed_from_u64(3);
+    for _ in 0..LISTEN_ROUNDS {
+        let _ = node.act(&ctx(), &mut rng);
+        node.observe(&ctx(), Feedback::Silence, &mut rng);
+    }
+    let _ = node.act(&ctx(), &mut rng); // beacon round
+    node.observe(&ctx(), Feedback::Collision, &mut rng);
+    let _ = node.act(&ctx(), &mut rng); // inner round
+    node.observe(&ctx(), Feedback::Collision, &mut rng);
+    assert_eq!(node.status(), Status::Leader);
+}
+
+#[test]
+fn inner_accessor_exposes_wrapped_state() {
+    let node = StaggeredStart::new(Probe { acts: 0, observes: 0 });
+    assert_eq!(node.inner().acts, 0);
+    assert_eq!(node.phase(), "wakeup-listen");
+}

@@ -1,0 +1,83 @@
+//! PRAM simulation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by [`crate::Machine::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PramError {
+    /// Two or more processors wrote the same memory cell in the same step —
+    /// forbidden by the Exclusive-Write rule of the CREW model.
+    WriteConflict {
+        /// The contended memory address.
+        addr: usize,
+        /// The step in which the conflict occurred.
+        step: usize,
+        /// Ids of (the first two) conflicting processors.
+        processors: (usize, usize),
+    },
+    /// A processor read or wrote outside the allocated shared memory.
+    AddressOutOfBounds {
+        /// The offending address.
+        addr: usize,
+        /// The memory size.
+        memory: usize,
+    },
+    /// The program did not halt within the step cap.
+    StepLimit {
+        /// The configured cap that was hit.
+        max_steps: usize,
+    },
+    /// The machine was started with no processors.
+    NoProcessors,
+}
+
+impl fmt::Display for PramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PramError::WriteConflict {
+                addr,
+                step,
+                processors,
+            } => write!(
+                f,
+                "CREW violation: processors {} and {} both wrote cell {addr} in step {step}",
+                processors.0, processors.1
+            ),
+            PramError::AddressOutOfBounds { addr, memory } => {
+                write!(f, "address {addr} out of bounds for memory of {memory} cells")
+            }
+            PramError::StepLimit { max_steps } => {
+                write!(f, "program did not halt within {max_steps} steps")
+            }
+            PramError::NoProcessors => f.write_str("machine started with no processors"),
+        }
+    }
+}
+
+impl Error for PramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PramError::WriteConflict {
+            addr: 4,
+            step: 9,
+            processors: (1, 2),
+        };
+        let s = e.to_string();
+        assert!(s.contains("cell 4"));
+        assert!(s.contains("step 9"));
+        assert!(PramError::NoProcessors.to_string().contains("no processors"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PramError>();
+    }
+}

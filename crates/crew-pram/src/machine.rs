@@ -1,0 +1,446 @@
+//! The CREW PRAM machine: shared memory + lock-step processors.
+
+use crate::error::PramError;
+
+/// The machine word: every shared-memory cell holds one.
+pub type Word = i64;
+
+/// A single write request emitted by a processor at the end of a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Write {
+    /// Target memory address.
+    pub addr: usize,
+    /// Value to store.
+    pub value: Word,
+}
+
+impl Write {
+    /// Creates a write of `value` to `addr`.
+    #[must_use]
+    pub fn new(addr: usize, value: Word) -> Self {
+        Write { addr, value }
+    }
+}
+
+/// What a processor does in one step: the writes it emits, and whether it
+/// halts afterwards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// Keep running; apply these writes at the end of the step.
+    Continue(Vec<Write>),
+    /// Apply these writes, then halt permanently.
+    Halt(Vec<Write>),
+}
+
+impl StepOutcome {
+    /// A step that writes nothing and keeps running.
+    #[must_use]
+    pub fn idle() -> Self {
+        StepOutcome::Continue(Vec::new())
+    }
+
+    /// A step that writes nothing and halts.
+    #[must_use]
+    pub fn done() -> Self {
+        StepOutcome::Halt(Vec::new())
+    }
+
+    fn writes(&self) -> &[Write] {
+        match self {
+            StepOutcome::Continue(w) | StepOutcome::Halt(w) => w,
+        }
+    }
+
+    fn halts(&self) -> bool {
+        matches!(self, StepOutcome::Halt(_))
+    }
+}
+
+/// Read-only view of shared memory handed to processors during a step.
+///
+/// Reads are concurrent — any number of processors may read any cell in the
+/// same step (the *CR* in CREW).
+#[derive(Debug)]
+pub struct MemView<'a> {
+    cells: &'a [Word],
+}
+
+impl MemView<'_> {
+    /// Reads cell `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of bounds. (The machine validates program
+    /// *writes* gracefully, but a read out of bounds is a program bug, not
+    /// a data-dependent hazard, so it panics like slice indexing does.)
+    #[must_use]
+    pub fn read(&self, addr: usize) -> Word {
+        self.cells[addr]
+    }
+
+    /// Number of cells in shared memory.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Returns `true` if the memory has no cells.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+/// A PRAM processor: a state machine advanced once per synchronous step.
+pub trait Processor {
+    /// Executes step `step` (0-based): read shared memory through `mem`,
+    /// update local state, and emit writes. All processors observe the
+    /// memory state from *before* any of this step's writes.
+    fn step(&mut self, step: usize, mem: &MemView<'_>) -> StepOutcome;
+}
+
+/// A synchronous CREW PRAM.
+///
+/// ```
+/// use crew_pram::{Machine, MemView, Processor, StepOutcome, Write};
+///
+/// /// Doubles cell 0 once, then halts.
+/// struct Doubler;
+/// impl Processor for Doubler {
+///     fn step(&mut self, _step: usize, mem: &MemView<'_>) -> StepOutcome {
+///         StepOutcome::Halt(vec![Write::new(0, mem.read(0) * 2)])
+///     }
+/// }
+///
+/// # fn main() -> Result<(), crew_pram::PramError> {
+/// let mut machine = Machine::new(1);
+/// machine.store(0, 21);
+/// let steps = machine.run(&mut [Box::new(Doubler)], 10)?;
+/// assert_eq!(steps, 1);
+/// assert_eq!(machine.load(0), 42);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    cells: Vec<Word>,
+}
+
+impl Machine {
+    /// Creates a machine with `memory` zeroed cells.
+    #[must_use]
+    pub fn new(memory: usize) -> Self {
+        Machine {
+            cells: vec![0; memory],
+        }
+    }
+
+    /// Stores `value` at `addr` before (or between) runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of bounds.
+    pub fn store(&mut self, addr: usize, value: Word) {
+        self.cells[addr] = value;
+    }
+
+    /// Loads the value at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of bounds.
+    #[must_use]
+    pub fn load(&self, addr: usize) -> Word {
+        self.cells[addr]
+    }
+
+    /// The full memory contents.
+    #[must_use]
+    pub fn memory(&self) -> &[Word] {
+        &self.cells
+    }
+
+    /// Runs `processors` in lock-step until all halt. Returns the number of
+    /// steps executed.
+    ///
+    /// Each step has classic PRAM semantics: every still-running processor
+    /// reads the pre-step memory, then all emitted writes are applied
+    /// simultaneously. Two writes to the same cell in one step — even of the
+    /// same value — violate Exclusive Write and abort the run.
+    ///
+    /// # Errors
+    ///
+    /// * [`PramError::NoProcessors`] if `processors` is empty;
+    /// * [`PramError::WriteConflict`] on an exclusive-write violation;
+    /// * [`PramError::AddressOutOfBounds`] if a write targets a missing cell;
+    /// * [`PramError::StepLimit`] if not all processors halt in `max_steps`.
+    pub fn run(
+        &mut self,
+        processors: &mut [Box<dyn Processor + '_>],
+        max_steps: usize,
+    ) -> Result<usize, PramError> {
+        if processors.is_empty() {
+            return Err(PramError::NoProcessors);
+        }
+        let mut running: Vec<bool> = vec![true; processors.len()];
+        let mut writer_of: Vec<Option<usize>> = vec![None; self.cells.len()];
+        let mut touched: Vec<usize> = Vec::new();
+        let mut pending: Vec<Write> = Vec::new();
+
+        for step in 0..max_steps {
+            if running.iter().all(|r| !r) {
+                return Ok(step);
+            }
+            pending.clear();
+            for &t in &touched {
+                writer_of[t] = None;
+            }
+            touched.clear();
+
+            let view = MemView { cells: &self.cells };
+            let mut outcomes: Vec<(usize, StepOutcome)> = Vec::new();
+            for (pid, proc_) in processors.iter_mut().enumerate() {
+                if !running[pid] {
+                    continue;
+                }
+                outcomes.push((pid, proc_.step(step, &view)));
+            }
+
+            for (pid, outcome) in &outcomes {
+                for w in outcome.writes() {
+                    if w.addr >= self.cells.len() {
+                        return Err(PramError::AddressOutOfBounds {
+                            addr: w.addr,
+                            memory: self.cells.len(),
+                        });
+                    }
+                    if let Some(prev) = writer_of[w.addr] {
+                        return Err(PramError::WriteConflict {
+                            addr: w.addr,
+                            step,
+                            processors: (prev, *pid),
+                        });
+                    }
+                    writer_of[w.addr] = Some(*pid);
+                    touched.push(w.addr);
+                    pending.push(*w);
+                }
+                if outcome.halts() {
+                    running[*pid] = false;
+                }
+            }
+
+            for w in &pending {
+                self.cells[w.addr] = w.value;
+            }
+        }
+
+        if running.iter().all(|r| !r) {
+            Ok(max_steps)
+        } else {
+            Err(PramError::StepLimit { max_steps })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Writes `value` to `addr` at step `when`, halts at `halt_at`.
+    struct Poker {
+        addr: usize,
+        value: Word,
+        when: usize,
+        halt_at: usize,
+    }
+
+    impl Processor for Poker {
+        fn step(&mut self, step: usize, _mem: &MemView<'_>) -> StepOutcome {
+            let writes = if step == self.when {
+                vec![Write::new(self.addr, self.value)]
+            } else {
+                Vec::new()
+            };
+            if step >= self.halt_at {
+                StepOutcome::Halt(writes)
+            } else {
+                StepOutcome::Continue(writes)
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_reads_are_allowed() {
+        /// Every processor reads cell 0 and accumulates it locally.
+        struct Reader {
+            sum: Word,
+        }
+        impl Processor for Reader {
+            fn step(&mut self, _step: usize, mem: &MemView<'_>) -> StepOutcome {
+                self.sum += mem.read(0);
+                StepOutcome::done()
+            }
+        }
+        let mut m = Machine::new(1);
+        m.store(0, 5);
+        let mut procs: Vec<Box<dyn Processor>> = (0..8).map(|_| Box::new(Reader { sum: 0 }) as _).collect();
+        let steps = m.run(&mut procs, 10).unwrap();
+        assert_eq!(steps, 1);
+    }
+
+    #[test]
+    fn exclusive_write_violation_is_detected() {
+        let mut m = Machine::new(2);
+        let mut procs: Vec<Box<dyn Processor>> = vec![
+            Box::new(Poker {
+                addr: 1,
+                value: 1,
+                when: 0,
+                halt_at: 0,
+            }),
+            Box::new(Poker {
+                addr: 1,
+                value: 1, // same value still conflicts: EW is strict
+                when: 0,
+                halt_at: 0,
+            }),
+        ];
+        let err = m.run(&mut procs, 10).unwrap_err();
+        assert_eq!(
+            err,
+            PramError::WriteConflict {
+                addr: 1,
+                step: 0,
+                processors: (0, 1)
+            }
+        );
+    }
+
+    #[test]
+    fn disjoint_writes_in_one_step_are_fine() {
+        let mut m = Machine::new(4);
+        let mut procs: Vec<Box<dyn Processor>> = (0..4)
+            .map(|i| {
+                Box::new(Poker {
+                    addr: i,
+                    value: i as Word * 10,
+                    when: 0,
+                    halt_at: 0,
+                }) as _
+            })
+            .collect();
+        m.run(&mut procs, 10).unwrap();
+        assert_eq!(m.memory(), &[0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn writes_in_different_steps_do_not_conflict() {
+        let mut m = Machine::new(1);
+        let mut procs: Vec<Box<dyn Processor>> = vec![
+            Box::new(Poker {
+                addr: 0,
+                value: 1,
+                when: 0,
+                halt_at: 1,
+            }),
+            Box::new(Poker {
+                addr: 0,
+                value: 2,
+                when: 1,
+                halt_at: 1,
+            }),
+        ];
+        m.run(&mut procs, 10).unwrap();
+        assert_eq!(m.load(0), 2);
+    }
+
+    #[test]
+    fn reads_see_pre_step_memory() {
+        /// Swaps cells 0 and 1 in a single step using two processors —
+        /// only correct if both read the pre-step values.
+        struct Swapper {
+            from: usize,
+            to: usize,
+        }
+        impl Processor for Swapper {
+            fn step(&mut self, _step: usize, mem: &MemView<'_>) -> StepOutcome {
+                StepOutcome::Halt(vec![Write::new(self.to, mem.read(self.from))])
+            }
+        }
+        let mut m = Machine::new(2);
+        m.store(0, 7);
+        m.store(1, 9);
+        let mut procs: Vec<Box<dyn Processor>> = vec![
+            Box::new(Swapper { from: 0, to: 1 }),
+            Box::new(Swapper { from: 1, to: 0 }),
+        ];
+        m.run(&mut procs, 10).unwrap();
+        assert_eq!(m.memory(), &[9, 7]);
+    }
+
+    #[test]
+    fn out_of_bounds_write_is_an_error() {
+        let mut m = Machine::new(1);
+        let mut procs: Vec<Box<dyn Processor>> = vec![Box::new(Poker {
+            addr: 5,
+            value: 1,
+            when: 0,
+            halt_at: 0,
+        })];
+        let err = m.run(&mut procs, 10).unwrap_err();
+        assert_eq!(err, PramError::AddressOutOfBounds { addr: 5, memory: 1 });
+    }
+
+    #[test]
+    fn step_limit_is_an_error() {
+        struct Forever;
+        impl Processor for Forever {
+            fn step(&mut self, _step: usize, _mem: &MemView<'_>) -> StepOutcome {
+                StepOutcome::idle()
+            }
+        }
+        let mut m = Machine::new(1);
+        let mut procs: Vec<Box<dyn Processor>> = vec![Box::new(Forever)];
+        let err = m.run(&mut procs, 3).unwrap_err();
+        assert_eq!(err, PramError::StepLimit { max_steps: 3 });
+    }
+
+    #[test]
+    fn no_processors_is_an_error() {
+        let mut m = Machine::new(1);
+        let err = m.run(&mut [], 3).unwrap_err();
+        assert_eq!(err, PramError::NoProcessors);
+    }
+
+    #[test]
+    fn halted_processors_stop_stepping() {
+        struct CountSteps {
+            steps: usize,
+            halt_after: usize,
+        }
+        impl Processor for CountSteps {
+            fn step(&mut self, _step: usize, _mem: &MemView<'_>) -> StepOutcome {
+                self.steps += 1;
+                if self.steps > self.halt_after {
+                    StepOutcome::done()
+                } else {
+                    StepOutcome::idle()
+                }
+            }
+        }
+        let mut m = Machine::new(1);
+        let mut procs: Vec<Box<dyn Processor>> = vec![
+            Box::new(CountSteps {
+                steps: 0,
+                halt_after: 0,
+            }),
+            Box::new(CountSteps {
+                steps: 0,
+                halt_after: 3,
+            }),
+        ];
+        let steps = m.run(&mut procs, 100).unwrap();
+        assert_eq!(steps, 4);
+    }
+}

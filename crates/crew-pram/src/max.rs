@@ -1,0 +1,114 @@
+//! Parallel maximum by binary tournament: `p` processors find the max of
+//! `p` values in `⌈lg p⌉` CREW steps.
+//!
+//! The paper's conclusion conjectures that coalescing cohorts can simulate
+//! "a variety of well-known parallel algorithms" beyond Snir's search. This
+//! module provides the second such reference program (the `contention`
+//! crate's `cohort_compute` module is its distributed simulation): a
+//! standard tournament where in step `k` processor `i` (0-based, with
+//! `i mod 2^{k+1} == 0`) combines its value with processor `i + 2^k`'s.
+
+use crate::error::PramError;
+use crate::machine::{Machine, MemView, Processor, StepOutcome, Word, Write};
+
+/// One tournament processor.
+struct MaxPlayer {
+    pid: usize,
+    p: usize,
+}
+
+impl Processor for MaxPlayer {
+    fn step(&mut self, step: usize, mem: &MemView<'_>) -> StepOutcome {
+        let stride = 1usize << step;
+        if stride >= self.p {
+            return StepOutcome::done();
+        }
+        // Active combiners this step: pid divisible by 2^(step+1).
+        if !self.pid.is_multiple_of(stride * 2) {
+            return StepOutcome::idle();
+        }
+        let partner = self.pid + stride;
+        if partner >= self.p {
+            return StepOutcome::idle();
+        }
+        let mine = mem.read(self.pid);
+        let theirs = mem.read(partner);
+        if theirs > mine {
+            StepOutcome::Continue(vec![Write::new(self.pid, theirs)])
+        } else {
+            StepOutcome::idle()
+        }
+    }
+}
+
+/// Report of a tournament run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaxReport {
+    /// The maximum value.
+    pub max: Word,
+    /// PRAM steps executed (`⌈lg p⌉ + 1` including the halt step).
+    pub steps: usize,
+}
+
+/// Computes the maximum of `values` with one processor per value.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+///
+/// # Errors
+///
+/// Propagates [`PramError`] from the machine (cannot occur for well-formed
+/// input; exposed for API uniformity).
+pub fn tournament_max(values: &[Word]) -> Result<MaxReport, PramError> {
+    assert!(!values.is_empty(), "need at least one value");
+    let p = values.len();
+    let mut machine = Machine::new(p);
+    for (i, &v) in values.iter().enumerate() {
+        machine.store(i, v);
+    }
+    let mut procs: Vec<Box<dyn Processor>> = (0..p)
+        .map(|pid| Box::new(MaxPlayer { pid, p }) as Box<dyn Processor>)
+        .collect();
+    let max_steps = (usize::BITS - p.leading_zeros()) as usize + 2;
+    let steps = machine.run(&mut procs, max_steps)?;
+    Ok(MaxReport {
+        max: machine.load(0),
+        steps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_the_max_in_log_steps() {
+        for p in 1..=64usize {
+            let values: Vec<Word> = (0..p as Word).map(|i| (i * 37) % 101).collect();
+            let report = tournament_max(&values).expect("runs");
+            assert_eq!(report.max, *values.iter().max().expect("nonempty"), "p={p}");
+            let budget = (p as f64).log2().ceil() as usize + 1;
+            assert!(report.steps <= budget, "p={p}: {} steps > {budget}", report.steps);
+        }
+    }
+
+    #[test]
+    fn handles_duplicates_and_negatives() {
+        let report = tournament_max(&[-5, -5, -2, -9]).expect("runs");
+        assert_eq!(report.max, -2);
+    }
+
+    #[test]
+    fn single_value_is_instant() {
+        let report = tournament_max(&[42]).expect("runs");
+        assert_eq!(report.max, 42);
+        assert!(report.steps <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn empty_input_panics() {
+        let _ = tournament_max(&[]);
+    }
+}

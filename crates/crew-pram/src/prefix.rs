@@ -1,0 +1,110 @@
+//! Parallel prefix sums (scan): `p` processors compute all prefixes of `p`
+//! values in `⌈lg p⌉` CREW steps — the Hillis–Steele scan.
+//!
+//! Included as a third reference PRAM program (alongside Snir's search and
+//! the max tournament) backing the paper's conclusion that cohort structure
+//! can host classic parallel algorithms. In step `k`, processor `i` with
+//! `i ≥ 2^k` adds the value at `i − 2^k` to its own cell; concurrent reads
+//! are CREW-legal and every processor writes only its own cell.
+
+use crate::error::PramError;
+use crate::machine::{Machine, MemView, Processor, StepOutcome, Word, Write};
+
+struct Scanner {
+    pid: usize,
+    p: usize,
+}
+
+impl Processor for Scanner {
+    fn step(&mut self, step: usize, mem: &MemView<'_>) -> StepOutcome {
+        let stride = 1usize << step;
+        if stride >= self.p {
+            return StepOutcome::done();
+        }
+        if self.pid < stride {
+            return StepOutcome::idle();
+        }
+        let sum = mem.read(self.pid) + mem.read(self.pid - stride);
+        StepOutcome::Continue(vec![Write::new(self.pid, sum)])
+    }
+}
+
+/// Report of a scan run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanReport {
+    /// Inclusive prefix sums of the input.
+    pub prefixes: Vec<Word>,
+    /// PRAM steps executed.
+    pub steps: usize,
+}
+
+/// Computes inclusive prefix sums of `values` with one processor per value.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+///
+/// # Errors
+///
+/// Propagates [`PramError`] from the machine.
+pub fn prefix_sums(values: &[Word]) -> Result<ScanReport, PramError> {
+    assert!(!values.is_empty(), "need at least one value");
+    let p = values.len();
+    let mut machine = Machine::new(p);
+    for (i, &v) in values.iter().enumerate() {
+        machine.store(i, v);
+    }
+    let mut procs: Vec<Box<dyn Processor>> = (0..p)
+        .map(|pid| Box::new(Scanner { pid, p }) as Box<dyn Processor>)
+        .collect();
+    let max_steps = (usize::BITS - p.leading_zeros()) as usize + 2;
+    let steps = machine.run(&mut procs, max_steps)?;
+    Ok(ScanReport {
+        prefixes: machine.memory().to_vec(),
+        steps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_scan(values: &[Word]) -> Vec<Word> {
+        values
+            .iter()
+            .scan(0, |acc, &v| {
+                *acc += v;
+                Some(*acc)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_sequential_scan() {
+        for p in 1..=64usize {
+            let values: Vec<Word> = (0..p as Word).map(|i| (i * 7) % 13 - 5).collect();
+            let report = prefix_sums(&values).expect("runs");
+            assert_eq!(report.prefixes, reference_scan(&values), "p={p}");
+            let budget = (p as f64).log2().ceil() as usize + 1;
+            assert!(report.steps <= budget, "p={p}");
+        }
+    }
+
+    #[test]
+    fn single_element() {
+        let report = prefix_sums(&[9]).expect("runs");
+        assert_eq!(report.prefixes, vec![9]);
+    }
+
+    #[test]
+    fn all_zeros() {
+        let report = prefix_sums(&[0, 0, 0, 0]).expect("runs");
+        assert_eq!(report.prefixes, vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn empty_input_panics() {
+        let _ = prefix_sums(&[]);
+    }
+}

@@ -1,0 +1,356 @@
+//! Snir's `(p+1)`-ary parallel search, as a CREW PRAM program.
+//!
+//! Snir \[SIAM J. Comput. 1985\] showed that `p` CREW processors can locate
+//! the boundary of a monotone predicate over `N` positions in
+//! `Θ(log N / log(p+1))` iterations: each iteration splits the remaining
+//! interval into `p+1` subranges, one processor probes each interior split
+//! point, and (because the predicate is monotone) exactly one subrange
+//! survives.
+//!
+//! `SplitSearch` in the paper's `LeafElection` (Fig. 3) is a
+//! round-for-round *distributed simulation* of this program, with cohort
+//! members standing in for processors and collision detection standing in
+//! for the predicate probe. The `contention` crate's property tests check
+//! that the two implementations visit identical intervals and return
+//! identical answers.
+//!
+//! The search here maintains the same invariant as `SplitSearch`: over a
+//! monotone 0→1 bit array `f` indexed `0..=m` with `f(lo) = 0` and
+//! `f(hi) = 1` known, find `min { j : f(j) = 1 }` in `(lo, hi]`.
+
+use crate::error::PramError;
+use crate::machine::{Machine, MemView, Processor, StepOutcome, Word, Write};
+
+/// Memory cell holding the interval's lower bound `lo`.
+const CELL_LO: usize = 0;
+/// Memory cell holding the interval's upper bound `hi`.
+const CELL_HI: usize = 1;
+/// First of `p` probe-result cells (one per processor).
+const CELL_PROBES: usize = 2;
+
+/// Result of a completed parallel search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchReport {
+    /// The answer: the smallest index at which the predicate is 1 (for
+    /// [`snir_boundary`]), or the lower-bound insertion index (for
+    /// [`snir_lower_bound`]).
+    pub index: usize,
+    /// Number of `(p+1)`-ary iterations executed.
+    pub iterations: usize,
+    /// Number of raw PRAM steps executed (2 per iteration).
+    pub steps: usize,
+}
+
+/// The split points `q_1 < q_2 < … < q_{k-1}` (interior) and `q_k = hi`
+/// of one iteration over `(lo, hi]` with `p` processors; returns
+/// `(seg, k)` where `q_i = lo + i·seg` for `i < k`.
+///
+/// `seg = ⌈(hi−lo)/(p+1)⌉` — the *p+1* here is the pseudocode repair
+/// documented in DESIGN.md: Fig. 3 divides by `cSize`, which fails to
+/// shrink the interval when `cSize = 1`; the prose ("subdivided into p+1
+/// subranges") pins down the intended divisor.
+#[must_use]
+pub fn split_points(lo: usize, hi: usize, p: usize) -> (usize, usize) {
+    debug_assert!(hi > lo);
+    let range = hi - lo;
+    let seg = range.div_ceil(p + 1);
+    // k = smallest value with lo + k*seg >= hi.
+    let k = range.div_ceil(seg);
+    (seg, k)
+}
+
+/// One processor of the Snir search program.
+struct Searcher {
+    /// This processor's id in `0..p`.
+    pid: usize,
+    /// Total processor count `p`.
+    p: usize,
+    /// Memory offset such that `f(j)` lives at `pred_base + j` for `j ≥ 1`
+    /// (`f(0) = 0` is virtual and never probed).
+    pred_base: usize,
+    /// Whether the next step is a probe step (A) or a decide step (B).
+    probing: bool,
+}
+
+impl Searcher {
+    /// Probe index handled by this processor: `j = pid + 1`.
+    fn probe_index(&self) -> usize {
+        self.pid + 1
+    }
+}
+
+impl Processor for Searcher {
+    fn step(&mut self, _step: usize, mem: &MemView<'_>) -> StepOutcome {
+        let lo = mem.read(CELL_LO) as usize;
+        let hi = mem.read(CELL_HI) as usize;
+
+        if self.probing {
+            // Step A: halt if the interval is resolved, otherwise probe.
+            if hi - lo <= 1 {
+                return StepOutcome::done();
+            }
+            self.probing = false;
+            let (seg, k) = split_points(lo, hi, self.p);
+            let j = self.probe_index();
+            let result: Word = if j < k {
+                let q = lo + j * seg;
+                mem.read(self.pred_base + q)
+            } else {
+                -1 // this processor has no split point this iteration
+            };
+            StepOutcome::Continue(vec![Write::new(CELL_PROBES + self.pid, result)])
+        } else {
+            // Step B: everyone recomputes the surviving subrange locally
+            // (concurrent reads are free in CREW); processor 0 writes it.
+            self.probing = true;
+            let (seg, k) = split_points(lo, hi, self.p);
+            // Find the smallest j in 1..=k with f(q_j) = 1; f(q_k)=f(hi)=1.
+            let mut j_star = k;
+            for j in 1..k {
+                if mem.read(CELL_PROBES + j - 1) == 1 {
+                    j_star = j;
+                    break;
+                }
+            }
+            let new_lo = lo + (j_star - 1) * seg;
+            let new_hi = if j_star == k { hi } else { lo + j_star * seg };
+            if self.pid == 0 {
+                StepOutcome::Continue(vec![
+                    Write::new(CELL_LO, new_lo as Word),
+                    Write::new(CELL_HI, new_hi as Word),
+                ])
+            } else {
+                StepOutcome::idle()
+            }
+        }
+    }
+}
+
+/// Finds the boundary of a monotone predicate with `p` PRAM processors.
+///
+/// `bits` is interpreted as `f(1), f(2), …, f(m)` with an implicit
+/// `f(0) = 0`; it must be monotone non-decreasing and end in `1`. Returns
+/// the smallest `j ≥ 1` with `f(j) = 1`, together with iteration counts.
+///
+/// # Panics
+///
+/// Panics if `p == 0`, if `bits` is empty, if `bits` is not monotone, or if
+/// its last entry is not `1` (the invariant `f(hi) = 1` must hold).
+///
+/// # Errors
+///
+/// Propagates [`PramError`] from the underlying machine (a conflict or step
+/// overrun would indicate a bug in the program itself).
+pub fn snir_boundary(bits: &[bool], p: usize) -> Result<SearchReport, PramError> {
+    assert!(p >= 1, "at least one processor is required");
+    assert!(!bits.is_empty(), "the predicate must have at least one position");
+    assert!(
+        bits.windows(2).all(|w| w[0] <= w[1]),
+        "the predicate must be monotone 0 -> 1"
+    );
+    assert!(*bits.last().expect("nonempty"), "f(hi) = 1 must hold");
+
+    let m = bits.len();
+    let pred_base = CELL_PROBES + p;
+    let mut machine = Machine::new(pred_base + m + 1);
+    machine.store(CELL_LO, 0);
+    machine.store(CELL_HI, m as Word);
+    for (j, &b) in bits.iter().enumerate() {
+        machine.store(pred_base + j + 1, Word::from(b));
+    }
+
+    let mut procs: Vec<Box<dyn Processor>> = (0..p)
+        .map(|pid| {
+            Box::new(Searcher {
+                pid,
+                p,
+                pred_base,
+                probing: true,
+            }) as Box<dyn Processor>
+        })
+        .collect();
+
+    // Each iteration is 2 steps and shrinks the interval to at most
+    // ceil(range/(p+1)) positions, so 4·log2(m)+8 steps is generous.
+    let max_steps = 4 * (usize::BITS - m.leading_zeros()) as usize + 8;
+    let steps = machine.run(&mut procs, max_steps)?;
+
+    let lo = machine.load(CELL_LO) as usize;
+    let hi = machine.load(CELL_HI) as usize;
+    debug_assert!(hi - lo <= 1);
+    Ok(SearchReport {
+        index: hi,
+        iterations: steps / 2,
+        steps,
+    })
+}
+
+/// Parallel lower bound: the smallest index `i` with `sorted[i] >= target`
+/// (or `sorted.len()` if no such element), found by [`snir_boundary`] with
+/// `p` processors.
+///
+/// # Panics
+///
+/// Panics if `p == 0` or if `sorted` is not sorted in non-decreasing order.
+///
+/// # Errors
+///
+/// Propagates [`PramError`] from the underlying machine.
+pub fn snir_lower_bound(sorted: &[Word], target: Word, p: usize) -> Result<SearchReport, PramError> {
+    assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "input must be sorted non-decreasing"
+    );
+    // f(j) for j in 1..=N+1 means "the answer is < j", i.e. sorted[j-1] >= target
+    // for j <= N, and f(N+1) = 1 unconditionally.
+    let bits: Vec<bool> = (1..=sorted.len() + 1)
+        .map(|j| j > sorted.len() || sorted[j - 1] >= target)
+        .collect();
+    let report = snir_boundary(&bits, p)?;
+    Ok(SearchReport {
+        index: report.index - 1,
+        ..report
+    })
+}
+
+/// The worst-case number of `(p+1)`-ary iterations needed to resolve a
+/// search over `range` positions — the closed-form counterpart of
+/// Lemma 16's `O(log_{p+1} h)` bound, computed by simulating the interval
+/// shrink (`range → ⌈range/(p+1)⌉`).
+#[must_use]
+pub fn ideal_iterations(mut range: usize, p: usize) -> usize {
+    assert!(p >= 1, "at least one processor is required");
+    let mut iterations = 0;
+    while range > 1 {
+        range = range.div_ceil(p + 1);
+        iterations += 1;
+    }
+    iterations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_boundary(bits: &[bool]) -> usize {
+        bits.iter().position(|&b| b).expect("has a 1") + 1
+    }
+
+    #[test]
+    fn boundary_on_tiny_inputs() {
+        assert_eq!(snir_boundary(&[true], 1).unwrap().index, 1);
+        assert_eq!(snir_boundary(&[false, true], 1).unwrap().index, 2);
+        assert_eq!(snir_boundary(&[true, true], 3).unwrap().index, 1);
+    }
+
+    #[test]
+    fn boundary_matches_reference_for_all_positions() {
+        for m in 1..=40 {
+            for ans in 1..=m {
+                let bits: Vec<bool> = (1..=m).map(|j| j >= ans).collect();
+                for p in [1, 2, 3, 7, 16] {
+                    let got = snir_boundary(&bits, p).unwrap();
+                    assert_eq!(
+                        got.index,
+                        reference_boundary(&bits),
+                        "m={m} ans={ans} p={p}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn iterations_match_the_snir_bound() {
+        // For p processors, iterations must be <= ideal (worst case) and the
+        // ideal must track ceil(log_{p+1} m).
+        for m in [4usize, 16, 64, 256, 1024] {
+            for p in [1usize, 3, 7, 15] {
+                let bits: Vec<bool> = (1..=m).map(|j| j > m / 2).collect();
+                let got = snir_boundary(&bits, p).unwrap();
+                let ideal = ideal_iterations(m, p);
+                assert!(
+                    got.iterations <= ideal,
+                    "m={m} p={p}: {} > ideal {ideal}",
+                    got.iterations
+                );
+                let log = (m as f64).ln() / ((p + 1) as f64).ln();
+                assert!(
+                    (ideal as f64) <= log.ceil() + 1.0,
+                    "ideal {ideal} too far above log_(p+1)(m) = {log}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_processors_never_slow_the_search() {
+        let m = 512;
+        let bits: Vec<bool> = (1..=m).map(|j| j >= 300).collect();
+        let mut last = usize::MAX;
+        for p in [1, 2, 4, 8, 16, 32] {
+            let it = snir_boundary(&bits, p).unwrap().iterations;
+            assert!(it <= last, "p={p} regressed: {it} > {last}");
+            last = it;
+        }
+    }
+
+    #[test]
+    fn lower_bound_agrees_with_partition_point() {
+        let sorted: Vec<Word> = vec![-5, -5, 0, 3, 3, 3, 9, 120];
+        for target in [-10, -5, -1, 0, 1, 3, 4, 9, 120, 121] {
+            for p in [1, 2, 5] {
+                let got = snir_lower_bound(&sorted, target, p).unwrap().index;
+                let want = sorted.partition_point(|&x| x < target);
+                assert_eq!(got, want, "target={target} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn lower_bound_on_empty_slice() {
+        assert_eq!(snir_lower_bound(&[], 5, 2).unwrap().index, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn non_monotone_predicate_panics() {
+        let _ = snir_boundary(&[true, false, true], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "f(hi) = 1")]
+    fn all_zero_predicate_panics() {
+        let _ = snir_boundary(&[false, false], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_input_panics() {
+        let _ = snir_lower_bound(&[3, 1], 2, 1);
+    }
+
+    #[test]
+    fn split_points_shrink_interval() {
+        // Every (lo, hi, p) must produce segments that strictly shrink.
+        for range in 2..200 {
+            for p in 1..10 {
+                let (seg, k) = split_points(100, 100 + range, p);
+                assert!(seg >= 1);
+                assert!(k >= 1 && k <= p + 1, "range={range} p={p} k={k}");
+                assert!(100 + (k - 1) * seg < 100 + range);
+                assert!(100 + k * seg >= 100 + range);
+                assert!(seg < range || range == 1 || k == 1);
+            }
+        }
+    }
+
+    #[test]
+    fn ideal_iterations_small_cases() {
+        assert_eq!(ideal_iterations(1, 1), 0);
+        assert_eq!(ideal_iterations(2, 1), 1);
+        assert_eq!(ideal_iterations(4, 1), 2);
+        assert_eq!(ideal_iterations(4, 3), 1);
+        assert_eq!(ideal_iterations(16, 3), 2);
+    }
+}

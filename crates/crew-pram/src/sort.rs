@@ -1,0 +1,181 @@
+//! Bitonic sort: `p` processors sort `p` values in `O(log² p)` CREW steps.
+//!
+//! The fourth reference program of this substrate (after search, max, and
+//! prefix sums). Batcher's bitonic network is the classic synchronous
+//! sorting algorithm: a fixed schedule of compare-exchange stages, each of
+//! which touches disjoint pairs — so under CREW each pair's *lower-indexed*
+//! processor reads both cells and writes both back with no write conflicts
+//! (the partner idles that step).
+//!
+//! Requires a power-of-two input length (the standard bitonic restriction;
+//! callers pad with sentinels if needed).
+
+use crate::error::PramError;
+use crate::machine::{Machine, MemView, Processor, StepOutcome, Word, Write};
+
+/// The compare-exchange schedule of the bitonic network for `p = 2^k`
+/// elements: a list of steps, each a list of `(i, j, ascending)` pairs with
+/// `i < j`. Exposed for tests and for distributed simulations of the
+/// network.
+#[must_use]
+pub fn bitonic_schedule(p: usize) -> Vec<Vec<(usize, usize, bool)>> {
+    assert!(p.is_power_of_two(), "bitonic sort needs a power-of-two size");
+    let mut steps = Vec::new();
+    let mut k = 2;
+    while k <= p {
+        let mut j = k / 2;
+        while j >= 1 {
+            let mut stage = Vec::new();
+            for i in 0..p {
+                let partner = i ^ j;
+                if partner > i {
+                    let ascending = i & k == 0;
+                    stage.push((i, partner, ascending));
+                }
+            }
+            steps.push(stage);
+            j /= 2;
+        }
+        k *= 2;
+    }
+    steps
+}
+
+/// One processor of the bitonic sorter: processor `i` owns cell `i` and
+/// performs the compare-exchange whenever it is the lower index of a pair.
+struct BitonicProc {
+    pid: usize,
+    schedule: Vec<Vec<(usize, usize, bool)>>,
+}
+
+impl Processor for BitonicProc {
+    fn step(&mut self, step: usize, mem: &MemView<'_>) -> StepOutcome {
+        let Some(stage) = self.schedule.get(step) else {
+            return StepOutcome::done();
+        };
+        // Find this processor's pair (it is the writer iff it leads one).
+        let mine = stage.iter().find(|&&(i, _, _)| i == self.pid);
+        let writes = match mine {
+            None => Vec::new(),
+            Some(&(i, j, ascending)) => {
+                let (a, b) = (mem.read(i), mem.read(j));
+                let out_of_order = if ascending { a > b } else { a < b };
+                if out_of_order {
+                    vec![Write::new(i, b), Write::new(j, a)]
+                } else {
+                    Vec::new()
+                }
+            }
+        };
+        if step + 1 == self.schedule.len() {
+            StepOutcome::Halt(writes)
+        } else {
+            StepOutcome::Continue(writes)
+        }
+    }
+}
+
+/// Report of a sort run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SortReport {
+    /// The sorted values, ascending.
+    pub sorted: Vec<Word>,
+    /// PRAM steps executed (`lg p · (lg p + 1) / 2`).
+    pub steps: usize,
+}
+
+/// Sorts `values` ascending with one processor per value.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or its length is not a power of two.
+///
+/// # Errors
+///
+/// Propagates [`PramError`] from the machine.
+pub fn bitonic_sort(values: &[Word]) -> Result<SortReport, PramError> {
+    assert!(!values.is_empty(), "need at least one value");
+    let p = values.len();
+    let schedule = bitonic_schedule(p);
+    let mut machine = Machine::new(p);
+    for (i, &v) in values.iter().enumerate() {
+        machine.store(i, v);
+    }
+    if schedule.is_empty() {
+        // p == 1: already sorted.
+        return Ok(SortReport {
+            sorted: values.to_vec(),
+            steps: 0,
+        });
+    }
+    let mut procs: Vec<Box<dyn Processor>> = (0..p)
+        .map(|pid| {
+            Box::new(BitonicProc {
+                pid,
+                schedule: schedule.clone(),
+            }) as Box<dyn Processor>
+        })
+        .collect();
+    let steps = machine.run(&mut procs, schedule.len() + 1)?;
+    Ok(SortReport {
+        sorted: machine.memory().to_vec(),
+        steps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_all_power_of_two_sizes() {
+        for k in 0..=7u32 {
+            let p = 1usize << k;
+            let values: Vec<Word> = (0..p as Word).map(|i| (i * 131) % 251 - 100).collect();
+            let report = bitonic_sort(&values).expect("sorts");
+            let mut want = values.clone();
+            want.sort_unstable();
+            assert_eq!(report.sorted, want, "p={p}");
+        }
+    }
+
+    #[test]
+    fn step_count_is_lg_squared() {
+        let p = 64usize;
+        let values: Vec<Word> = (0..p as Word).rev().collect();
+        let report = bitonic_sort(&values).expect("sorts");
+        let lg = 6;
+        assert_eq!(report.steps, lg * (lg + 1) / 2);
+    }
+
+    #[test]
+    fn schedule_pairs_are_disjoint_per_stage() {
+        for stage in bitonic_schedule(32) {
+            let mut seen = std::collections::HashSet::new();
+            for (i, j, _) in stage {
+                assert!(i < j);
+                assert!(seen.insert(i), "index {i} in two pairs");
+                assert!(seen.insert(j), "index {j} in two pairs");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_and_negatives() {
+        let report = bitonic_sort(&[3, -1, 3, -1]).expect("sorts");
+        assert_eq!(report.sorted, vec![-1, -1, 3, 3]);
+    }
+
+    #[test]
+    fn singleton_is_trivial() {
+        let report = bitonic_sort(&[9]).expect("sorts");
+        assert_eq!(report.sorted, vec![9]);
+        assert_eq!(report.steps, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_panics() {
+        let _ = bitonic_sort(&[1, 2, 3]);
+    }
+}

@@ -1,0 +1,140 @@
+//! `contend` — run one contention-resolution session from the command line.
+//!
+//! ```text
+//! contend [--algo NAME] [--channels C] [--universe N] [--active K]
+//!         [--seed S] [--trace] [--complete]
+//!
+//!   --algo      paper | two-active | tournament | descent | tree-split |
+//!               willard | decay | multichannel-nocd | expected   (default: paper)
+//!   --channels  number of channels C            (default: 64)
+//!   --universe  universe size n                 (default: 4096)
+//!   --active    activated nodes |A|             (default: 100)
+//!   --seed      master seed                     (default: 0)
+//!   --trace     print the channel-activity chart of the run
+//!   --complete  run until every node terminates (default: stop at solve)
+//! ```
+
+use contention::session::{Algorithm, Session};
+use contention::Params;
+
+struct Args {
+    algo: Algorithm,
+    channels: u32,
+    universe: u64,
+    active: usize,
+    seed: u64,
+    trace: bool,
+    complete: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        algo: Algorithm::Paper(Params::practical()),
+        channels: 64,
+        universe: 4096,
+        active: 100,
+        seed: 0,
+        trace: false,
+        complete: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--algo" => {
+                args.algo = match value("--algo")?.as_str() {
+                    "paper" => Algorithm::Paper(Params::practical()),
+                    "paper-literal" => Algorithm::Paper(Params::paper()),
+                    "two-active" => Algorithm::TwoActive,
+                    "tournament" => Algorithm::CdTournament,
+                    "descent" => Algorithm::BinaryDescent,
+                    "tree-split" => Algorithm::TreeSplit,
+                    "decay" => Algorithm::Decay,
+                    "multichannel-nocd" => Algorithm::MultiChannelNoCd,
+                    "expected" => Algorithm::ExpectedConstant,
+                    "willard" => Algorithm::Willard,
+                    other => return Err(format!("unknown algorithm: {other}")),
+                };
+            }
+            "--channels" | "-c" => {
+                args.channels = value("--channels")?.parse().map_err(|e| format!("--channels: {e}"))?;
+            }
+            "--universe" | "-n" => {
+                args.universe = value("--universe")?.parse().map_err(|e| format!("--universe: {e}"))?;
+            }
+            "--active" | "-k" => {
+                args.active = value("--active")?.parse().map_err(|e| format!("--active: {e}"))?;
+            }
+            "--seed" | "-s" => {
+                args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--trace" => args.trace = true,
+            "--complete" => args.complete = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: contend [--algo NAME] [--channels C] [--universe N] \
+                     [--active K] [--seed S] [--trace] [--complete]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
+
+    let session = Session::new(args.channels, args.universe)
+        .algorithm(args.algo)
+        .seed(args.seed)
+        .trace(args.trace)
+        .run_to_completion(args.complete);
+
+    match session.run(args.active) {
+        Ok(resolution) => {
+            println!(
+                "{}: C={} n={} |A|={} seed={}",
+                resolution.algorithm, args.channels, args.universe, args.active, args.seed
+            );
+            match resolution.report.solved_round {
+                Some(round) => println!("solved in round {round} ({} rounds)", round + 1),
+                None => println!("run ended without a lone primary-channel transmission"),
+            }
+            if let Some(solver) = resolution.report.solver {
+                println!("solving transmission by node {solver}");
+            }
+            println!(
+                "energy: {} transmissions, {} listens",
+                resolution.report.metrics.transmissions, resolution.report.metrics.listens
+            );
+            let mut phases: Vec<String> = resolution
+                .report
+                .metrics
+                .phases
+                .iter()
+                .map(|(p, r)| format!("{p}={r}"))
+                .collect();
+            phases.sort();
+            println!("rounds by phase: {}", phases.join(" "));
+            if args.trace {
+                println!("\nactivity (S silence, M message, X collision):");
+                print!("{}", mac_sim::render::activity_chart(&resolution.report.trace, 60));
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

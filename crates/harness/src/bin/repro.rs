@@ -1,0 +1,76 @@
+//! `repro` — regenerate every experiment table from the paper reproduction.
+//!
+//! ```text
+//! repro [--quick] [ids...]
+//!
+//!   --quick     reduced trial counts / thinned grids (seconds, not minutes)
+//!   --tsv       emit tab-separated tables (for plotting) instead of markdown
+//!   ids         experiment ids to run, e.g. `e1 e9 e16`; default: all
+//! ```
+
+use contention_harness::{experiments, Scale};
+use std::io::Write as _;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Full;
+    let mut tsv = false;
+    let mut ids: Vec<String> = Vec::new();
+    for arg in &args {
+        match arg.as_str() {
+            "--quick" | "-q" => scale = Scale::Quick,
+            "--full" => scale = Scale::Full,
+            "--tsv" => tsv = true,
+            "--list" => {
+                for (id, title) in experiments::list() {
+                    println!("{id:<5} {title}");
+                }
+                return;
+            }
+            "--help" | "-h" => {
+                println!("usage: repro [--quick] [--tsv] [--list] [e1 e2 ... e17]");
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    writeln!(
+        out,
+        "# Reproduction: Contention Resolution on Multiple Channels with Collision Detection (PODC 2016)\n"
+    )
+    .expect("stdout");
+    writeln!(out, "_Scale: {scale:?}_\n").expect("stdout");
+
+    let started = Instant::now();
+    let mut emit = |report: &contention_harness::ExperimentReport| {
+        if tsv {
+            for section in &report.sections {
+                writeln!(out, "# {} / {}", report.id, section.caption).expect("stdout");
+                writeln!(out, "{}", section.table.to_tsv()).expect("stdout");
+                writeln!(out).expect("stdout");
+            }
+        } else {
+            writeln!(out, "{report}").expect("stdout");
+        }
+    };
+    if ids.is_empty() {
+        for report in experiments::run_all(scale) {
+            emit(&report);
+        }
+    } else {
+        for id in &ids {
+            match experiments::by_id(id) {
+                Some(runner) => emit(&runner(scale)),
+                None => {
+                    eprintln!("unknown experiment id: {id} (valid: e1..e17)");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    writeln!(out, "\n_Total wall time: {:.1?}_", started.elapsed()).expect("stdout");
+}

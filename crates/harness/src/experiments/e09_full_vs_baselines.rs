@@ -1,0 +1,235 @@
+//! **E9** — the headline landscape (Theorem 4 + the related-work table of
+//! §2): the full algorithm against the three prior-art baselines across the
+//! `(n, C)` grid. The paper predicts:
+//!
+//! * at `C = 1`, collision detection gives `Θ(log n)` (descent/tournament)
+//!   and no-CD costs `Θ(log² n)`;
+//! * growing `C` lets no-CD improve as `log² n / C` until its `log n` floor;
+//! * the new algorithm beats them all once `C` is large, flattening at the
+//!   `(log log n)(log log log n)` floor that no other combination reaches.
+
+use contention::baselines::{BinaryDescent, CdTournament, Decay, MultiChannelNoCd};
+use contention::{FullAlgorithm, Params};
+use contention_analysis::{Summary, Table};
+use mac_sim::{CdMode, Executor, SimConfig};
+
+use super::seed_base;
+use crate::{run_trials, sample_distinct, ExperimentReport, Scale};
+
+pub(crate) fn full_rounds(c: u32, n: u64, active: usize, trials: usize, seed: u64) -> Vec<u64> {
+    run_trials(trials, seed, |s| {
+        let mut exec = Executor::new(SimConfig::new(c).seed(s).max_rounds(10_000_000));
+        for _ in 0..active {
+            exec.add_node(FullAlgorithm::new(Params::practical(), c, n));
+        }
+        exec
+    })
+    .iter()
+    .map(|r| r.rounds_to_solve().expect("solved"))
+    .collect()
+}
+
+pub(crate) fn descent_rounds(c: u32, n: u64, active: usize, trials: usize, seed: u64) -> Vec<u64> {
+    run_trials(trials, seed, |s| {
+        let mut exec = Executor::new(SimConfig::new(c).seed(s).max_rounds(10_000_000));
+        for id in sample_distinct(n, active, s ^ 0x9D) {
+            exec.add_node(BinaryDescent::new(id, n));
+        }
+        exec
+    })
+    .iter()
+    .map(|r| r.rounds_to_solve().expect("solved"))
+    .collect()
+}
+
+pub(crate) fn decay_rounds(c: u32, n: u64, active: usize, trials: usize, seed: u64) -> Vec<u64> {
+    run_trials(trials, seed, |s| {
+        let cfg = SimConfig::new(c).seed(s).cd_mode(CdMode::None).max_rounds(10_000_000);
+        let mut exec = Executor::new(cfg);
+        for _ in 0..active {
+            exec.add_node(Decay::new(n));
+        }
+        exec
+    })
+    .iter()
+    .map(|r| r.rounds_to_solve().expect("solved"))
+    .collect()
+}
+
+pub(crate) fn nocd_rounds(c: u32, n: u64, active: usize, trials: usize, seed: u64) -> Vec<u64> {
+    run_trials(trials, seed, |s| {
+        let cfg = SimConfig::new(c).seed(s).cd_mode(CdMode::None).max_rounds(10_000_000);
+        let mut exec = Executor::new(cfg);
+        for _ in 0..active {
+            exec.add_node(MultiChannelNoCd::new(c, n));
+        }
+        exec
+    })
+    .iter()
+    .map(|r| r.rounds_to_solve().expect("solved"))
+    .collect()
+}
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(scale: Scale) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "E9",
+        "Full algorithm vs baselines across (n, C) — who wins where",
+    );
+    let ns: Vec<u64> = scale.thin(&[1u64 << 10, 1 << 14, 1 << 18]);
+    let cs: Vec<u32> = scale.thin(&[1, 4, 32, 256, 2048]);
+    let trials = scale.trials().min(40);
+
+    let mut table = Table::new(&[
+        "n",
+        "C",
+        "this paper (CD, multi)",
+        "binary descent (CD, 1ch)",
+        "decay (no CD, 1ch)",
+        "multi no-CD",
+        "winner",
+    ]);
+    let mut crossovers = Vec::new();
+    for &n in &ns {
+        // Dense-ish activation: the adversarial case the worst-case bounds
+        // target (capped so the biggest grid point stays laptop-scale).
+        let active = (n as usize).min(4096);
+        let mut wins: Vec<u32> = Vec::new();
+        for &c in &cs {
+            let sb = |tag: &str| seed_base(tag, u64::from(c), n);
+            let full = Summary::from_u64(&full_rounds(c, n, active, trials, sb("e9f")));
+            let descent = Summary::from_u64(&descent_rounds(c, n, active, trials, sb("e9d")));
+            let decay = Summary::from_u64(&decay_rounds(c, n, active, trials, sb("e9y")));
+            let nocd = Summary::from_u64(&nocd_rounds(c, n, active, trials, sb("e9m")));
+            let entries = [
+                ("this paper", full.mean),
+                ("descent", descent.mean),
+                ("decay", decay.mean),
+                ("multi-nocd", nocd.mean),
+            ];
+            let winner = entries
+                .iter()
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"))
+                .expect("nonempty")
+                .0;
+            if winner == "this paper" {
+                wins.push(c);
+            }
+            table.row_owned(vec![
+                format!("2^{}", (n as f64).log2() as u32),
+                c.to_string(),
+                format!("{:.1}", full.mean),
+                format!("{:.1}", descent.mean),
+                format!("{:.1}", decay.mean),
+                format!("{:.1}", nocd.mean),
+                winner.to_string(),
+            ]);
+        }
+        crossovers.push((n, wins));
+    }
+    report.section("Mean rounds to solve, |A| = min(n, 4096)", table);
+
+    // |A|-sensitivity: the pipeline's cost is indexed by n, the adaptive
+    // tournament's by |A| — so the pipeline is nearly flat across four
+    // decades of activation density while the tournament scales as lg |A|.
+    let (n, c) = (1u64 << 14, 256u32);
+    let mut density = Table::new(&["|A|", "this paper", "CD tournament (lg |A|-adaptive)"]);
+    for &a in &[2usize, 16, 128, 1024, 8192] {
+        let full = Summary::from_u64(&full_rounds(c, n, a, trials, seed_base("e9da", a as u64, n)));
+        let tour = Summary::from_u64(
+            &run_trials(trials, seed_base("e9dt", a as u64, n), |s| {
+                let mut exec = Executor::new(SimConfig::new(c).seed(s).max_rounds(10_000_000));
+                for _ in 0..a {
+                    exec.add_node(CdTournament::new());
+                }
+                exec
+            })
+            .iter()
+            .map(|r| r.rounds_to_solve().expect("solved"))
+            .collect::<Vec<_>>(),
+        );
+        density.row_owned(vec![
+            a.to_string(),
+            format!("{:.1}", full.mean),
+            format!("{:.1}", tour.mean),
+        ]);
+    }
+    report.section(format!("Density sensitivity at n = 2^14, C = {c}"), density);
+    report.note(
+        "Density sensitivity: the tournament's mean grows as lg |A| (it adapts to          the actual contenders) while the pipeline is governed by n — flat-ish in          |A| and ahead once |A| is within a few powers of two of n. For very sparse          activations the adaptive baseline is the better engineering choice, a          trade-off outside the paper's worst-case lens."
+            .to_string(),
+    );
+    for (n, wins) in crossovers {
+        let ne = (n as f64).log2() as u32;
+        if wins.is_empty() {
+            report.note(format!(
+                "n = 2^{ne}: the CD baselines win at every tested C (expected only for tiny \
+                 n, where lg n is already as small as the paper's lglg-term constants)."
+            ));
+        } else {
+            report.note(format!(
+                "n = 2^{ne}: this paper's algorithm wins at C ∈ {wins:?}. The margin over \
+                 the O(log n) descent widens with n (lg lg n·lg lg lg n vs lg n), while at \
+                 small n the two are within each other's noise."
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean(v: &[u64]) -> f64 {
+        v.iter().sum::<u64>() as f64 / v.len() as f64
+    }
+
+    #[test]
+    fn cd_beats_no_cd_on_one_channel() {
+        let (n, a) = (1u64 << 14, 128usize);
+        let cd = mean(&descent_rounds(1, n, a, 8, 1));
+        let no_cd = mean(&decay_rounds(1, n, a, 8, 1));
+        assert!(
+            cd < no_cd,
+            "collision detection must win on one channel: {cd} vs {no_cd}"
+        );
+    }
+
+    #[test]
+    fn full_beats_descent_with_many_channels() {
+        // The paper's point: with C large, log n/log C + lglg·lglglg beats log n.
+        let (n, a) = (1u64 << 18, 256usize);
+        let full = mean(&full_rounds(2048, n, a, 10, 2));
+        let descent = mean(&descent_rounds(2048, n, a, 10, 2));
+        assert!(
+            full < descent,
+            "at C=2048, n=2^18 the paper's algorithm must win: {full} vs {descent}"
+        );
+    }
+
+    #[test]
+    fn nocd_baselines_sit_in_the_same_envelope() {
+        // Typical (mean) solve times for the no-CD algorithms are governed
+        // by the decay-sweep latency Θ(lg n) at any C — the log²n/C term is
+        // a confidence-tail effect (see DESIGN.md §4). Sanity: the
+        // multi-channel variant stays within a small factor of plain decay.
+        let (n, a) = (1u64 << 14, 512usize);
+        let decay = mean(&decay_rounds(1, n, a, 8, 3));
+        for c in [1u32, 16, 64] {
+            let nocd = mean(&nocd_rounds(c, n, a, 8, 3));
+            assert!(
+                nocd <= 4.0 * decay + 20.0,
+                "C={c}: no-CD multi ({nocd}) far outside decay envelope ({decay})"
+            );
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = run(Scale::Quick);
+        assert_eq!(r.sections.len(), 2);
+        assert!(!r.notes.is_empty());
+    }
+}

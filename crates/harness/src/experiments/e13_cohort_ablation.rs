@@ -1,0 +1,140 @@
+//! **E13** — ablation of the paper's main technique: what do *coalescing
+//! cohorts* actually buy? We run `LeafElection` twice — once with the
+//! cohort-accelerated `(p+1)`-ary `SplitSearch` (the paper) and once with
+//! the search degraded to plain binary search (what a cohort-free design
+//! would do). The paper predicts `O(log h · log log x)` vs
+//! `O(log h · log x)` rounds, so the speed-up factor must *grow with `x`*.
+//!
+//! The ablation is run under **dense occupancy** (leaves `1..=x`), the
+//! regime where cohorts actually coalesce all the way to size `x`; under
+//! sparse random occupancy most cohorts retire unpaired after 2–4 phases
+//! and neither search strategy dominates (that regime is reported too, as
+//! a second table, because it is an honest finding about the technique).
+
+use contention_analysis::{Summary, Table};
+
+use super::e08_leaf_election::{measure, Occupancy};
+use super::seed_base;
+use crate::{ExperimentReport, Scale};
+
+fn mean_rounds(c: u32, x: u32, trials: usize, seed: u64, binary: bool, occ: Occupancy) -> Summary {
+    Summary::from_u64(
+        &measure(c, x, trials, seed, binary, occ)
+            .iter()
+            .map(|d| d.0)
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(scale: Scale) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "E13",
+        "Coalescing-cohorts ablation: (p+1)-ary vs binary SplitSearch",
+    );
+    let c = 1u32 << 14; // 8192-leaf tree, h = 13
+    let xs: Vec<u32> = scale.thin(&[4, 16, 64, 512, 4096]);
+    let trials = scale.trials().min(40);
+
+    let mut table = Table::new(&[
+        "x (dense leaves)",
+        "cohort search mean rounds",
+        "binary search mean rounds",
+        "speed-up",
+    ]);
+    let mut speedups = Vec::new();
+    for &x in &xs {
+        let cohort = mean_rounds(c, x, trials, seed_base("e13c", u64::from(x), 0), false, Occupancy::Dense);
+        let binary = mean_rounds(c, x, trials, seed_base("e13b", u64::from(x), 0), true, Occupancy::Dense);
+        let speedup = binary.mean / cohort.mean;
+        speedups.push((x, speedup));
+        table.row_owned(vec![
+            x.to_string(),
+            format!("{:.1}", cohort.mean),
+            format!("{:.1}", binary.mean),
+            format!("{speedup:.2}×"),
+        ]);
+    }
+    report.section(
+        format!("Dense occupancy at C = 2^14 ({trials} trials/point)"),
+        table,
+    );
+
+    // Sparse counterpoint: with random leaves the pairing rule retires most
+    // cohorts before they grow, so the two variants tie.
+    let mut sparse = Table::new(&["x (random leaves)", "cohort", "binary", "speed-up"]);
+    for &x in &[64u32, 512] {
+        let cohort = mean_rounds(c, x, trials, seed_base("e13cs", u64::from(x), 0), false, Occupancy::Random);
+        let binary = mean_rounds(c, x, trials, seed_base("e13bs", u64::from(x), 0), true, Occupancy::Random);
+        sparse.row_owned(vec![
+            x.to_string(),
+            format!("{:.1}", cohort.mean),
+            format!("{:.1}", binary.mean),
+            format!("{:.2}×", binary.mean / cohort.mean),
+        ]);
+    }
+    report.section("Sparse (random) occupancy counterpoint", sparse);
+
+    let (first, last) = (speedups.first().expect("nonempty"), speedups.last().expect("nonempty"));
+    report.note(format!(
+        "Dense occupancy: speed-up grows from {:.2}× at x = {} to {:.2}× at x = {} — \
+         the log x vs log log x separation the coalescing-cohorts technique was \
+         invented for.",
+        first.1, first.0, last.1, last.0
+    ));
+    report.note(
+        "Sparse occupancy: near-1× speed-up, because Fig. 3's pairing rule retires \
+         unpaired cohorts and runs finish before cohorts grow — the technique's \
+         payoff is specifically the adversarial dense case its worst-case bound \
+         covers."
+            .to_string(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cohort_search_beats_binary_when_dense() {
+        let c = 1u32 << 14;
+        let cohort = mean_rounds(c, 512, 8, 11, false, Occupancy::Dense).mean;
+        let binary = mean_rounds(c, 512, 8, 11, true, Occupancy::Dense).mean;
+        assert!(
+            cohort < binary,
+            "cohorts must accelerate the dense search: {cohort} vs {binary}"
+        );
+    }
+
+    #[test]
+    fn both_variants_always_elect() {
+        // measure() panics if no leader emerges, so surviving is the test.
+        let _ = measure(1 << 10, 64, 5, 1, true, Occupancy::Dense);
+        let _ = measure(1 << 10, 64, 5, 1, false, Occupancy::Random);
+    }
+
+    #[test]
+    fn speedup_grows_with_x_when_dense() {
+        let c = 1u32 << 14;
+        let ratio = |x: u32| {
+            mean_rounds(c, x, 8, 11, true, Occupancy::Dense).mean
+                / mean_rounds(c, x, 8, 11, false, Occupancy::Dense).mean
+        };
+        let small = ratio(4);
+        let large = ratio(4096);
+        assert!(
+            large > small,
+            "ablation gap must widen with x: {small:.2} -> {large:.2}"
+        );
+        assert!(large > 1.3, "dense speed-up should be substantial: {large:.2}");
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = run(Scale::Quick);
+        assert_eq!(r.sections.len(), 2);
+        assert!(!r.notes.is_empty());
+    }
+}

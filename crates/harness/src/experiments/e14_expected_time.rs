@@ -1,0 +1,175 @@
+//! **E14** (extension) — the §6 expected-time discussion: with `≈ lg n`
+//! channels, contention resolution drops to **O(1) expected** rounds
+//! (`contention::extensions::ExpectedConstant`), at the cost of a heavier
+//! tail than the w.h.p.-optimal pipeline. This experiment charts both the
+//! flattening of the mean as `C` grows and the expected-vs-tail trade-off.
+
+use contention::baselines::{CdTournament, Willard};
+use contention::extensions::ExpectedConstant;
+use contention::{FullAlgorithm, Params};
+use contention_analysis::{Summary, Table};
+use mac_sim::{Executor, SimConfig};
+
+use super::seed_base;
+use crate::{run_trials, ExperimentReport, Scale};
+
+fn expected_rounds(c: u32, n: u64, active: usize, trials: usize, seed: u64) -> Vec<u64> {
+    run_trials(trials, seed, |s| {
+        let mut exec = Executor::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
+        for _ in 0..active {
+            exec.add_node(ExpectedConstant::new(c, n));
+        }
+        exec
+    })
+    .iter()
+    .map(|r| r.rounds_to_solve().expect("solved"))
+    .collect()
+}
+
+fn full_rounds(c: u32, n: u64, active: usize, trials: usize, seed: u64) -> Vec<u64> {
+    run_trials(trials, seed, |s| {
+        let mut exec = Executor::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
+        for _ in 0..active {
+            exec.add_node(FullAlgorithm::new(Params::practical(), c, n));
+        }
+        exec
+    })
+    .iter()
+    .map(|r| r.rounds_to_solve().expect("solved"))
+    .collect()
+}
+
+fn willard_rounds(n: u64, active: usize, trials: usize, seed: u64) -> Vec<u64> {
+    run_trials(trials, seed, |s| {
+        let mut exec = Executor::new(SimConfig::new(1).seed(s).max_rounds(1_000_000));
+        for _ in 0..active {
+            exec.add_node(Willard::new(n));
+        }
+        exec
+    })
+    .iter()
+    .map(|r| r.rounds_to_solve().expect("solved"))
+    .collect()
+}
+
+fn tournament_rounds(c: u32, active: usize, trials: usize, seed: u64) -> Vec<u64> {
+    run_trials(trials, seed, |s| {
+        let mut exec = Executor::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
+        for _ in 0..active {
+            exec.add_node(CdTournament::new());
+        }
+        exec
+    })
+    .iter()
+    .map(|r| r.rounds_to_solve().expect("solved"))
+    .collect()
+}
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(scale: Scale) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "E14",
+        "Expected-O(1) with ~lg n channels (§6 discussion, implemented)",
+    );
+    let n = 1u64 << 16; // lg n = 16
+    let active = 1024usize;
+    let trials = scale.trials();
+
+    // Mean vs C: the expected-time algorithm flattens once C >= lg n. The
+    // single-channel expected-time classic (Willard, the paper's ref [5])
+    // anchors the comparison: multi-channel expected-time must at least
+    // match its O(lg lg n).
+    let willard = Summary::from_u64(&willard_rounds(n, active, trials, seed_base("e14w", 0, n)));
+    let mut table = Table::new(&[
+        "C",
+        "expected-O(1) mean",
+        "pipeline (Thm 4) mean",
+        "CD tournament mean",
+        "Willard (1ch, ref [5]) mean",
+    ]);
+    for &ce in &scale.thin(&[1u32, 2, 3, 4, 5, 8]) {
+        let c = 1u32 << ce;
+        let xc = Summary::from_u64(&expected_rounds(c, n, active, trials, seed_base("e14x", u64::from(c), n)));
+        let full = Summary::from_u64(&full_rounds(c, n, active, trials, seed_base("e14f", u64::from(c), n)));
+        let tour = Summary::from_u64(&tournament_rounds(c, active, trials, seed_base("e14t", u64::from(c), n)));
+        table.row_owned(vec![
+            c.to_string(),
+            format!("{:.1}", xc.mean),
+            format!("{:.1}", full.mean),
+            format!("{:.1}", tour.mean),
+            format!("{:.1}", willard.mean),
+        ]);
+    }
+    report.section(format!("Mean rounds, n = 2^16, |A| = {active}"), table);
+
+    // Density independence at C = lg n + 2.
+    let c = 18u32;
+    let mut dens = Table::new(&["|A|", "expected-O(1) mean", "p95", "max"]);
+    for &a in &[1usize, 16, 256, 4096, 16384] {
+        let xc = Summary::from_u64(&expected_rounds(c, n, a, trials, seed_base("e14d", a as u64, n)));
+        dens.row_owned(vec![
+            a.to_string(),
+            format!("{:.1}", xc.mean),
+            format!("{:.1}", xc.p95),
+            format!("{:.0}", xc.max),
+        ]);
+    }
+    report.section(format!("Density independence at C = {c}"), dens);
+    report.note(
+        "Means flatten to a small constant once C approaches lg n, independently of \
+         |A| — the §6 observation that expected-time solutions leave 'only a small \
+         band of parameters' where collision detection can help. The max column \
+         shows the price: a fatter tail than the w.h.p. pipeline."
+            .to_string(),
+    );
+    report.note(
+        "Willard's classic (single channel, ref [5]) already achieves expected \
+         O(lg lg n) ≈ 5 rounds here — the bar the multi-channel variant only \
+         matches, not beats, at this n. That is precisely §6's closing point: \
+         expected-time solutions are already so fast that extra channels (and \
+         even collision detection itself) have 'only a small band of parameters' \
+         left to improve — the paper's contribution lives in the w.h.p. regime."
+            .to_string(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_time_flattens_with_channels() {
+        let n = 1u64 << 16;
+        let mean = |c: u32| {
+            let v = expected_rounds(c, n, 512, 15, 3);
+            v.iter().sum::<u64>() as f64 / v.len() as f64
+        };
+        let narrow = mean(2);
+        let wide = mean(32);
+        assert!(wide < narrow, "C=32 ({wide}) must beat C=2 ({narrow})");
+        assert!(wide <= 16.0, "expected-constant regime: got {wide}");
+    }
+
+    #[test]
+    fn mean_is_density_independent_at_log_n_channels() {
+        let n = 1u64 << 16;
+        let mean = |a: usize| {
+            let v = expected_rounds(18, n, a, 15, 5);
+            v.iter().sum::<u64>() as f64 / v.len() as f64
+        };
+        let sparse = mean(2);
+        let dense = mean(8192);
+        assert!(
+            (sparse - dense).abs() <= 10.0,
+            "means should be density-independent: {sparse} vs {dense}"
+        );
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = run(Scale::Quick);
+        assert_eq!(r.sections.len(), 2);
+    }
+}

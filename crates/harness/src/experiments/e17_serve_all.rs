@@ -1,0 +1,152 @@
+//! **E17** (extension) — serving *all* contenders, the original
+//! conflict-resolution problem (ALOHA onward; the paper's refs \[9, 13\]).
+//! Three strategies drain the same burst:
+//!
+//! * `SerializeAll` around the paper's pipeline — every delivery inherits
+//!   the multi-channel speed-up;
+//! * `SerializeAll` around the single-channel tournament — the adaptive
+//!   `O(log k)`-per-epoch generic alternative;
+//! * the deterministic Capetanakis `TreeSplit` — the classic
+//!   `O(k + k·log(n/k))` benchmark.
+//!
+//! The interesting read-out is rounds **per packet** as a function of
+//! burst density `k/n`.
+
+use contention::baselines::{CdTournament, TreeSplit};
+use contention::serialize::SerializeAll;
+use contention::{FullAlgorithm, Params};
+use contention_analysis::{Summary, Table};
+use mac_sim::{Executor, SimConfig, StopWhen};
+
+use super::seed_base;
+use crate::{run_trials, ExperimentReport, Scale};
+
+fn pipeline_drain(c: u32, n: u64, k: usize, trials: usize, seed: u64) -> Vec<u64> {
+    run_trials(trials, seed, |s| {
+        let cfg = SimConfig::new(c)
+            .seed(s)
+            .stop_when(StopWhen::AllTerminated)
+            .max_rounds(10_000_000);
+        let mut exec = Executor::new(cfg);
+        for payload in 0..k as u32 {
+            let factory = move || FullAlgorithm::new(Params::practical(), c, n);
+            exec.add_node(SerializeAll::new(factory, payload));
+        }
+        exec
+    })
+    .iter()
+    .map(|r| r.rounds_executed)
+    .collect()
+}
+
+fn tournament_drain(k: usize, trials: usize, seed: u64) -> Vec<u64> {
+    run_trials(trials, seed, |s| {
+        let cfg = SimConfig::new(1)
+            .seed(s)
+            .stop_when(StopWhen::AllTerminated)
+            .max_rounds(10_000_000);
+        let mut exec = Executor::new(cfg);
+        for payload in 0..k as u32 {
+            exec.add_node(SerializeAll::new(CdTournament::new, payload));
+        }
+        exec
+    })
+    .iter()
+    .map(|r| r.rounds_executed)
+    .collect()
+}
+
+fn tree_split_drain(n: u64, k: usize, trials: usize, seed: u64) -> Vec<u64> {
+    // Random id placement: evenly spaced ids would be the DFS's best case
+    // (every singleton subtree resolves in one probe); random placement is
+    // the fair workload for the O(k·log(n/k)) claim.
+    run_trials(trials, seed, |s| {
+        let cfg = SimConfig::new(1)
+            .seed(s)
+            .stop_when(StopWhen::AllTerminated)
+            .max_rounds(10_000_000);
+        let mut exec = Executor::new(cfg);
+        for id in crate::sample_distinct(n, k, s ^ 0x17) {
+            exec.add_node(TreeSplit::new(id, n));
+        }
+        exec
+    })
+    .iter()
+    .map(|r| r.rounds_executed)
+    .collect()
+}
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(scale: Scale) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "E17",
+        "Serving all contenders: per-packet cost of three strategies",
+    );
+    let n = 1u64 << 12;
+    let c = 64u32;
+    let trials = scale.trials().min(15);
+
+    let mut table = Table::new(&[
+        "k (packets)",
+        "k/n",
+        "pipeline serializer (r/pkt)",
+        "tournament serializer (r/pkt)",
+        "tree split (r/pkt)",
+    ]);
+    for &k in &scale.thin(&[16usize, 64, 256, 1024]) {
+        // Big bursts cost O(k) epochs each; scale trials down so every grid
+        // point costs roughly the same wall time.
+        let kt = trials.max(3) * 64 / k.max(64);
+        let kt = kt.clamp(3, trials);
+        let per = |rounds: &[u64]| Summary::from_u64(rounds).mean / k as f64;
+        let pipeline = per(&pipeline_drain(c, n, k, kt, seed_base("e17p", k as u64, n)));
+        let tournament = per(&tournament_drain(k, kt, seed_base("e17t", k as u64, n)));
+        let tree = per(&tree_split_drain(n, k, kt, seed_base("e17s", k as u64, n)));
+        table.row_owned(vec![
+            k.to_string(),
+            format!("{:.3}", k as f64 / n as f64),
+            format!("{pipeline:.1}"),
+            format!("{tournament:.1}"),
+            format!("{tree:.1}"),
+        ]);
+    }
+    report.section(format!("Rounds per packet, n = 2^12, C = {c} (pipeline only)"), table);
+    report.note(
+        "Tree splitting — the one strategy here that consumes unique ids — is the \
+         efficiency reference at every density (O(k + k·log(n/k)) total). Among the \
+         id-free strategies, the tournament serializer pays ~2·lg k per packet while \
+         the pipeline serializer is governed by n, flat in k: the two cross near \
+         k ≈ 2^8, the same density story as E9 but for full service."
+            .to_string(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_three_strategies_drain() {
+        let n = 1u64 << 10;
+        let k = 32usize;
+        assert!(!pipeline_drain(16, n, k, 2, 1).is_empty());
+        assert!(!tournament_drain(k, 2, 1).is_empty());
+        assert!(!tree_split_drain(n, k, 2, 1).is_empty());
+    }
+
+    #[test]
+    fn tree_split_flat_per_packet_when_dense() {
+        let n = 1u64 << 10;
+        let dense = tree_split_drain(n, 1024, 1, 0)[0] as f64 / 1024.0;
+        assert!(dense <= 3.0, "dense tree split should be ~2 rounds/packet: {dense}");
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = run(Scale::Quick);
+        assert_eq!(r.sections.len(), 1);
+        assert!(!r.notes.is_empty());
+    }
+}

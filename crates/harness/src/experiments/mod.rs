@@ -1,0 +1,168 @@
+//! The experiment suite: one module per claim reproduced. See DESIGN.md §3
+//! for the claim ↔ experiment index and EXPERIMENTS.md for recorded output.
+
+pub mod e01_two_active_vs_n;
+pub mod e02_two_active_vs_c;
+pub mod e03_rename_geometric;
+pub mod e04_split_check;
+pub mod e05_reduce;
+pub mod e06_id_reduction;
+pub mod e07_balls_in_bins;
+pub mod e08_leaf_election;
+pub mod e09_full_vs_baselines;
+pub mod e10_lower_bound_ratio;
+pub mod e11_two_vs_general;
+pub mod e12_wakeup;
+pub mod e13_cohort_ablation;
+pub mod e14_expected_time;
+pub mod e15_energy;
+pub mod e16_cd_modes;
+pub mod e17_serve_all;
+
+use crate::{ExperimentReport, Scale};
+
+/// Base-2 logarithm, as the paper's `lg`.
+#[must_use]
+pub fn lg(x: f64) -> f64 {
+    x.log2()
+}
+
+/// The tight two-node / lower-bound curve: `lg n / lg C + max(lg lg n, 1)`.
+#[must_use]
+pub fn theory_two_active(n: u64, c: u32) -> f64 {
+    lg(n as f64) / lg(f64::from(c.max(2))) + lg(lg(n as f64)).max(1.0)
+}
+
+/// The general-algorithm curve of Theorem 4:
+/// `lg n / lg C + lg lg n · max(lg lg lg n, 1)`.
+#[must_use]
+pub fn theory_general(n: u64, c: u32) -> f64 {
+    let lglg = lg(lg(n as f64)).max(1.0);
+    lg(n as f64) / lg(f64::from(c.max(2))) + lglg * lg(lglg).max(1.0)
+}
+
+/// A deterministic per-configuration seed base so that sweep points use
+/// decorrelated seed ranges.
+#[must_use]
+pub fn seed_base(tag: &str, a: u64, b: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for byte in tag.bytes().chain(a.to_le_bytes()).chain(b.to_le_bytes()) {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs every experiment at the given scale, in order.
+#[must_use]
+pub fn run_all(scale: Scale) -> Vec<ExperimentReport> {
+    vec![
+        e01_two_active_vs_n::run(scale),
+        e02_two_active_vs_c::run(scale),
+        e03_rename_geometric::run(scale),
+        e04_split_check::run(scale),
+        e05_reduce::run(scale),
+        e06_id_reduction::run(scale),
+        e07_balls_in_bins::run(scale),
+        e08_leaf_election::run(scale),
+        e09_full_vs_baselines::run(scale),
+        e10_lower_bound_ratio::run(scale),
+        e11_two_vs_general::run(scale),
+        e12_wakeup::run(scale),
+        e13_cohort_ablation::run(scale),
+        e14_expected_time::run(scale),
+        e15_energy::run(scale),
+        e16_cd_modes::run(scale),
+        e17_serve_all::run(scale),
+    ]
+}
+
+/// All experiment ids with their one-line titles, in order.
+#[must_use]
+pub fn list() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("e1", "TwoActive vs n (Theorem 1)"),
+        ("e2", "TwoActive vs C (Theorem 1 crossover)"),
+        ("e3", "Renaming race tail (Lemma 2)"),
+        ("e4", "SplitCheck probe count (Lemma 3)"),
+        ("e5", "Reduce survivor counts (Theorem 5)"),
+        ("e6", "IdReduction (Theorem 6, Lemmas 7-10)"),
+        ("e7", "Balls-in-bins (Lemma 9)"),
+        ("e8", "LeafElection (Theorem 17, Lemma 16)"),
+        ("e9", "Full algorithm vs baselines (Theorem 4)"),
+        ("e10", "Lower-bound ratio (optimality)"),
+        ("e11", "TwoActive vs general on |A| = 2"),
+        ("e12", "Wake-up transform (section 3)"),
+        ("e13", "Coalescing-cohorts ablation"),
+        ("e14", "Expected-O(1) with ~lg n channels (section 6)"),
+        ("e15", "Transmission energy"),
+        ("e16", "Collision-detection model matrix"),
+        ("e17", "Serving all contenders (conflict resolution)"),
+    ]
+}
+
+/// Looks up a single experiment runner by id (`"e1"`, `"E07"`, …).
+#[must_use]
+pub fn by_id(id: &str) -> Option<fn(Scale) -> ExperimentReport> {
+    let norm = id.trim().to_lowercase();
+    let norm = norm.strip_prefix('e').unwrap_or(&norm);
+    match norm.trim_start_matches('0') {
+        "1" => Some(e01_two_active_vs_n::run),
+        "2" => Some(e02_two_active_vs_c::run),
+        "3" => Some(e03_rename_geometric::run),
+        "4" => Some(e04_split_check::run),
+        "5" => Some(e05_reduce::run),
+        "6" => Some(e06_id_reduction::run),
+        "7" => Some(e07_balls_in_bins::run),
+        "8" => Some(e08_leaf_election::run),
+        "9" => Some(e09_full_vs_baselines::run),
+        "10" => Some(e10_lower_bound_ratio::run),
+        "11" => Some(e11_two_vs_general::run),
+        "12" => Some(e12_wakeup::run),
+        "13" => Some(e13_cohort_ablation::run),
+        "14" => Some(e14_expected_time::run),
+        "15" => Some(e15_energy::run),
+        "16" => Some(e16_cd_modes::run),
+        "17" => Some(e17_serve_all::run),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theory_curves_are_monotone_sensibly() {
+        assert!(theory_two_active(1 << 20, 4) > theory_two_active(1 << 10, 4));
+        assert!(theory_two_active(1 << 20, 1024) < theory_two_active(1 << 20, 4));
+        assert!(theory_general(1 << 20, 4) >= theory_two_active(1 << 20, 4));
+    }
+
+    #[test]
+    fn seed_bases_differ() {
+        assert_ne!(seed_base("a", 1, 2), seed_base("a", 2, 1));
+        assert_ne!(seed_base("a", 1, 2), seed_base("b", 1, 2));
+        assert_eq!(seed_base("a", 1, 2), seed_base("a", 1, 2));
+    }
+
+    #[test]
+    fn list_is_complete_and_resolvable() {
+        let listed = list();
+        assert_eq!(listed.len(), 17);
+        for (id, title) in listed {
+            assert!(by_id(id).is_some(), "{id} listed but unresolvable");
+            assert!(!title.is_empty());
+        }
+    }
+
+    #[test]
+    fn by_id_resolves_all_seventeen() {
+        for i in 1..=17 {
+            assert!(by_id(&format!("e{i}")).is_some(), "e{i} missing");
+            assert!(by_id(&format!("E{i:02}")).is_some(), "E{i:02} missing");
+        }
+        assert!(by_id("e18").is_none());
+        assert!(by_id("banana").is_none());
+    }
+}

@@ -1,0 +1,93 @@
+//! Experiment output: captioned tables plus prose notes.
+
+use contention_analysis::Table;
+use std::fmt;
+
+/// One captioned table within an experiment report.
+#[derive(Debug, Clone)]
+pub struct Section {
+    /// Human-readable caption.
+    pub caption: String,
+    /// The data.
+    pub table: Table,
+}
+
+/// The rendered result of one experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// Short id, e.g. `"E1"`.
+    pub id: &'static str,
+    /// One-line title naming the claim being reproduced.
+    pub title: &'static str,
+    /// Captioned result tables.
+    pub sections: Vec<Section>,
+    /// Free-form observations (the paper-vs-measured verdicts).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report.
+    #[must_use]
+    pub fn new(id: &'static str, title: &'static str) -> Self {
+        ExperimentReport {
+            id,
+            title,
+            sections: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds a captioned table.
+    pub fn section(&mut self, caption: impl Into<String>, table: Table) {
+        self.sections.push(Section {
+            caption: caption.into(),
+            table,
+        });
+    }
+
+    /// Adds a prose note.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Renders the whole report as markdown.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("## {} — {}\n", self.id, self.title);
+        for section in &self.sections {
+            out.push_str(&format!("\n**{}**\n\n{}\n", section.caption, section.table));
+        }
+        if !self.notes.is_empty() {
+            out.push('\n');
+            for note in &self.notes {
+                out.push_str(&format!("- {note}\n"));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for ExperimentReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_markdown())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown() {
+        let mut r = ExperimentReport::new("E0", "smoke");
+        let mut t = Table::new(&["x"]);
+        t.row(&["1"]);
+        r.section("numbers", t);
+        r.note("looks fine");
+        let md = r.to_markdown();
+        assert!(md.contains("## E0 — smoke"));
+        assert!(md.contains("**numbers**"));
+        assert!(md.contains("- looks fine"));
+        assert_eq!(md, r.to_string());
+    }
+}

@@ -1,0 +1,158 @@
+//! Multi-seed trial execution, parallelized across OS threads.
+
+use mac_sim::{Executor, Protocol, RunReport};
+
+/// Runs `trials` independent executions built by `build` (which receives
+/// the trial's seed) and returns their reports in seed order.
+///
+/// Trials are spread over `std::thread::available_parallelism()` threads;
+/// results are deterministic regardless of thread count because each trial
+/// is fully determined by its seed.
+///
+/// # Panics
+///
+/// Panics if any trial fails (a timeout or protocol error is an experiment
+/// bug, not a data point — the panic message carries the seed for replay).
+pub fn run_trials<P, F>(trials: usize, base_seed: u64, build: F) -> Vec<RunReport>
+where
+    P: Protocol,
+    F: Fn(u64) -> Executor<P> + Sync,
+{
+    run_trials_with(trials, base_seed, build, |_, report| report.clone())
+}
+
+/// Like [`run_trials`], but maps each finished execution through `extract`,
+/// which also receives the executor so it can inspect final protocol state
+/// (adopted ids, survivor flags, per-phase stats, …).
+///
+/// # Panics
+///
+/// Panics if any trial fails; the message carries the seed for replay.
+pub fn run_trials_with<P, F, G, T>(trials: usize, base_seed: u64, build: F, extract: G) -> Vec<T>
+where
+    P: Protocol,
+    F: Fn(u64) -> Executor<P> + Sync,
+    G: Fn(&Executor<P>, &RunReport) -> T + Sync,
+    T: Send,
+{
+    let threads = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+    let threads = threads.min(trials.max(1));
+    let mut results: Vec<Option<T>> = (0..trials).map(|_| None).collect();
+
+    std::thread::scope(|scope| {
+        let chunk_size = trials.div_ceil(threads);
+        for (chunk_idx, chunk) in results.chunks_mut(chunk_size).enumerate() {
+            let build = &build;
+            let extract = &extract;
+            let start = chunk_idx * chunk_size;
+            scope.spawn(move || {
+                for (offset, slot) in chunk.iter_mut().enumerate() {
+                    let seed = base_seed + (start + offset) as u64;
+                    let mut exec = build(seed);
+                    let report = exec
+                        .run()
+                        .unwrap_or_else(|e| panic!("trial with seed {seed} failed: {e}"));
+                    *slot = Some(extract(&exec, &report));
+                }
+            });
+        }
+    });
+
+    results.into_iter().map(|r| r.expect("trial completed")).collect()
+}
+
+/// Samples `count` distinct values from `0..universe` (a partial
+/// Fisher-Yates), deterministically from `seed`. Used to pick which node
+/// ids are activated in baseline runs.
+///
+/// # Panics
+///
+/// Panics if `count > universe`.
+#[must_use]
+pub fn sample_distinct(universe: u64, count: usize, seed: u64) -> Vec<u64> {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    assert!(
+        count as u64 <= universe,
+        "cannot sample {count} distinct values from 0..{universe}"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Partial Fisher–Yates over a sparse map to stay O(count) in memory.
+    let mut swaps: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count as u64 {
+        let j = rng.gen_range(i..universe);
+        let vi = *swaps.get(&i).unwrap_or(&i);
+        let vj = *swaps.get(&j).unwrap_or(&j);
+        out.push(vj);
+        swaps.insert(j, vi);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contention::baselines::CdTournament;
+    use mac_sim::SimConfig;
+
+    #[test]
+    fn trials_are_deterministic_and_ordered() {
+        let build = |seed: u64| {
+            let mut exec = Executor::new(SimConfig::new(1).seed(seed).max_rounds(10_000));
+            for _ in 0..16 {
+                exec.add_node(CdTournament::new());
+            }
+            exec
+        };
+        let a: Vec<u64> = run_trials(8, 100, build)
+            .iter()
+            .map(|r| r.rounds_to_solve().unwrap())
+            .collect();
+        let b: Vec<u64> = run_trials(8, 100, build)
+            .iter()
+            .map(|r| r.rounds_to_solve().unwrap())
+            .collect();
+        assert_eq!(a, b);
+        // Different seeds give different outcomes somewhere in the batch.
+        let c: Vec<u64> = run_trials(8, 999, build)
+            .iter()
+            .map(|r| r.rounds_to_solve().unwrap())
+            .collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn single_trial_works() {
+        let build = |seed: u64| {
+            let mut exec = Executor::new(SimConfig::new(1).seed(seed).max_rounds(10_000));
+            exec.add_node(CdTournament::new());
+            exec
+        };
+        assert_eq!(run_trials(1, 0, build).len(), 1);
+    }
+
+    #[test]
+    fn sample_distinct_is_distinct_and_in_range() {
+        for seed in 0..20 {
+            let s = sample_distinct(100, 50, seed);
+            assert_eq!(s.len(), 50);
+            let set: std::collections::HashSet<u64> = s.iter().copied().collect();
+            assert_eq!(set.len(), 50, "seed {seed}: duplicates");
+            assert!(s.iter().all(|&x| x < 100));
+        }
+    }
+
+    #[test]
+    fn sample_distinct_full_universe_is_permutation() {
+        let mut s = sample_distinct(10, 10, 3);
+        s.sort_unstable();
+        assert_eq!(s, (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn oversampling_panics() {
+        let _ = sample_distinct(5, 6, 0);
+    }
+}

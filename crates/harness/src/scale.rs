@@ -1,0 +1,84 @@
+//! Experiment sizing.
+
+/// How big an experiment run should be.
+///
+/// `Quick` keeps every experiment under a few seconds (used by the test
+/// suite and `repro --quick`); `Full` is the publication-grade sweep the
+/// numbers in `EXPERIMENTS.md` come from — still laptop-scale, minutes not
+/// hours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Scale {
+    /// Reduced trial counts and parameter grids.
+    Quick,
+    /// The full sweep.
+    #[default]
+    Full,
+}
+
+impl Scale {
+    /// Number of trials per configuration point.
+    #[must_use]
+    pub fn trials(self) -> usize {
+        match self {
+            Scale::Quick => 15,
+            Scale::Full => 100,
+        }
+    }
+
+    /// Trials for the cheap Monte-Carlo experiments (balls-in-bins).
+    #[must_use]
+    pub fn mc_trials(self) -> usize {
+        match self {
+            Scale::Quick => 5_000,
+            Scale::Full => 100_000,
+        }
+    }
+
+    /// Thins a parameter grid: `Quick` keeps ~half the points (always
+    /// retaining the first and last), `Full` keeps all.
+    #[must_use]
+    pub fn thin<T: Copy>(self, grid: &[T]) -> Vec<T> {
+        match self {
+            Scale::Full => grid.to_vec(),
+            Scale::Quick => {
+                if grid.len() <= 2 {
+                    return grid.to_vec();
+                }
+                let mut out: Vec<T> = grid.iter().copied().step_by(2).collect();
+                if grid.len().is_multiple_of(2) {
+                    // step_by(2) missed the final element; include it so the
+                    // endpoints of the sweep are always present.
+                    out.push(grid[grid.len() - 1]);
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_is_smaller() {
+        assert!(Scale::Quick.trials() < Scale::Full.trials());
+        assert!(Scale::Quick.mc_trials() < Scale::Full.mc_trials());
+    }
+
+    #[test]
+    fn thin_preserves_endpoints() {
+        let grid = [1, 2, 3, 4, 5, 6];
+        let thinned = Scale::Quick.thin(&grid);
+        assert_eq!(thinned.first(), Some(&1));
+        assert_eq!(thinned.last(), Some(&6));
+        assert!(thinned.len() < grid.len());
+        assert_eq!(Scale::Full.thin(&grid), grid.to_vec());
+    }
+
+    #[test]
+    fn thin_tiny_grids_untouched() {
+        assert_eq!(Scale::Quick.thin(&[7]), vec![7]);
+        assert_eq!(Scale::Quick.thin(&[7, 9]), vec![7, 9]);
+    }
+}

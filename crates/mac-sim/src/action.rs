@@ -1,0 +1,127 @@
+//! Per-round node actions and the feedback the channel returns for them.
+
+use crate::channel::ChannelId;
+
+/// What one node does in one round.
+///
+/// The paper's model (§3) requires each active node to pick a single channel
+/// and either transmit or receive on it. [`Action::Sleep`] extends the model
+/// with a node that participates on no channel at all this round — the paper
+/// uses this implicitly (e.g., inactive nodes, and the "do nothing for 4
+/// rounds" step of `SplitSearch` in Fig. 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action<M> {
+    /// Transmit `msg` on `channel`.
+    Transmit {
+        /// Channel to transmit on.
+        channel: ChannelId,
+        /// The message payload delivered if the transmission is alone.
+        msg: M,
+    },
+    /// Listen on `channel` without transmitting.
+    Listen {
+        /// Channel to listen on.
+        channel: ChannelId,
+    },
+    /// Participate on no channel this round; the node learns nothing.
+    Sleep,
+}
+
+impl<M> Action<M> {
+    /// Convenience constructor for [`Action::Transmit`].
+    pub fn transmit(channel: ChannelId, msg: M) -> Self {
+        Action::Transmit { channel, msg }
+    }
+
+    /// Convenience constructor for [`Action::Listen`].
+    pub fn listen(channel: ChannelId) -> Self {
+        Action::Listen { channel }
+    }
+
+    /// The channel this action participates on, if any.
+    pub fn channel(&self) -> Option<ChannelId> {
+        match self {
+            Action::Transmit { channel, .. } | Action::Listen { channel } => Some(*channel),
+            Action::Sleep => None,
+        }
+    }
+
+    /// Returns `true` if this action transmits.
+    pub fn is_transmit(&self) -> bool {
+        matches!(self, Action::Transmit { .. })
+    }
+}
+
+/// What one node learns at the end of one round, as filtered by the
+/// configured collision-detection mode ([`crate::CdMode`]).
+///
+/// Under the paper's strong collision detection, a node participating on a
+/// channel observes [`Feedback::Silence`], [`Feedback::Message`], or
+/// [`Feedback::Collision`] exactly according to the transmitter count —
+/// *including transmitters*, which is the capability the paper's renaming
+/// steps rely on ("transmit and use their collision detectors to see if they
+/// are alone").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Feedback<M> {
+    /// No node transmitted on the node's channel.
+    Silence,
+    /// Exactly one node transmitted; this is its message. A lone transmitter
+    /// receives its own message back (it learns it was alone).
+    Message(M),
+    /// Two or more nodes transmitted on the node's channel.
+    Collision,
+    /// The node transmitted but its radio gives transmitters no feedback
+    /// (only under [`crate::CdMode::ReceiverOnly`] / [`crate::CdMode::None`]).
+    TransmittedBlind,
+    /// The node slept this round and learns nothing.
+    Slept,
+}
+
+impl<M> Feedback<M> {
+    /// Returns `true` for [`Feedback::Collision`].
+    pub fn is_collision(&self) -> bool {
+        matches!(self, Feedback::Collision)
+    }
+
+    /// Returns `true` for [`Feedback::Silence`].
+    pub fn is_silence(&self) -> bool {
+        matches!(self, Feedback::Silence)
+    }
+
+    /// Returns the delivered message, if the feedback carries one.
+    pub fn message(&self) -> Option<&M> {
+        match self {
+            Feedback::Message(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_channel_accessor() {
+        let t: Action<u8> = Action::transmit(ChannelId::new(3), 7);
+        let l: Action<u8> = Action::listen(ChannelId::new(4));
+        let s: Action<u8> = Action::Sleep;
+        assert_eq!(t.channel(), Some(ChannelId::new(3)));
+        assert_eq!(l.channel(), Some(ChannelId::new(4)));
+        assert_eq!(s.channel(), None);
+        assert!(t.is_transmit());
+        assert!(!l.is_transmit());
+        assert!(!s.is_transmit());
+    }
+
+    #[test]
+    fn feedback_predicates() {
+        let c: Feedback<u8> = Feedback::Collision;
+        let s: Feedback<u8> = Feedback::Silence;
+        let m: Feedback<u8> = Feedback::Message(9);
+        assert!(c.is_collision());
+        assert!(s.is_silence());
+        assert_eq!(m.message(), Some(&9));
+        assert_eq!(c.message(), None);
+    }
+}

@@ -1,0 +1,406 @@
+//! Activation adversaries: who wakes, and when.
+//!
+//! The contention-resolution model lets an adversary pick the activated
+//! subset `A ⊆ V` and (in the non-simultaneous variant of §3) per-node
+//! wake-up rounds. This module provides named generators for both choices,
+//! so experiments can state their workload as data
+//! (`WakeSchedule::offset_one(40)`) instead of ad-hoc loops.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A wake-up schedule: one start round per node.
+///
+/// ```
+/// use mac_sim::adversary::WakeSchedule;
+///
+/// let s = WakeSchedule::offset_one(4);
+/// assert_eq!(s.offsets(), &[0, 1, 0, 1]);
+/// assert_eq!(s.len(), 4);
+/// assert_eq!(s.span(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WakeSchedule {
+    offsets: Vec<u64>,
+}
+
+impl WakeSchedule {
+    /// All `k` nodes wake in round 0 (the paper's base model).
+    #[must_use]
+    pub fn simultaneous(k: usize) -> Self {
+        WakeSchedule {
+            offsets: vec![0; k],
+        }
+    }
+
+    /// Alternating offsets 0/1 — the adversary that defeats a 2-round
+    /// listen window (see `contention::wakeup`).
+    #[must_use]
+    pub fn offset_one(k: usize) -> Self {
+        WakeSchedule {
+            offsets: (0..k as u64).map(|i| i % 2).collect(),
+        }
+    }
+
+    /// `waves` equal bursts, `gap` rounds apart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `waves == 0`.
+    #[must_use]
+    pub fn waves(k: usize, waves: usize, gap: u64) -> Self {
+        assert!(waves >= 1, "at least one wave required");
+        WakeSchedule {
+            offsets: (0..k).map(|i| (i % waves) as u64 * gap).collect(),
+        }
+    }
+
+    /// A slow ramp: node `i` wakes at round `i·stride mod period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0`.
+    #[must_use]
+    pub fn ramp(k: usize, stride: u64, period: u64) -> Self {
+        assert!(period >= 1, "period must be positive");
+        WakeSchedule {
+            offsets: (0..k as u64).map(|i| (i * stride) % period).collect(),
+        }
+    }
+
+    /// Independent uniform offsets in `0..window`, seeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    #[must_use]
+    pub fn uniform(k: usize, window: u64, seed: u64) -> Self {
+        assert!(window >= 1, "window must be positive");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        WakeSchedule {
+            offsets: (0..k).map(|_| rng.gen_range(0..window)).collect(),
+        }
+    }
+
+    /// The per-node offsets, in node-insertion order.
+    #[must_use]
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// Number of nodes in the schedule.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Returns `true` if the schedule covers no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// The latest offset minus the earliest (0 for simultaneous wake-up).
+    #[must_use]
+    pub fn span(&self) -> u64 {
+        let max = self.offsets.iter().max().copied().unwrap_or(0);
+        let min = self.offsets.iter().min().copied().unwrap_or(0);
+        max - min
+    }
+
+    /// Iterates the offsets.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.offsets.iter().copied()
+    }
+}
+
+/// Which subset of the `n` possible identities is activated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ActivationPattern {
+    /// Identities `0..k`: dense prefix — packs tree leaves tightly and is
+    /// the worst case for cohort-style algorithms (maximal pairing depth).
+    DensePrefix {
+        /// Number of activated nodes.
+        k: usize,
+    },
+    /// `k` identities sampled uniformly without replacement.
+    UniformSubset {
+        /// Number of activated nodes.
+        k: usize,
+        /// Sampling seed.
+        seed: u64,
+    },
+    /// Every `stride`-th identity: a comb. With `stride ≥ 2` no two
+    /// activated leaves are tree siblings, which maximizes early cohort
+    /// retirement in `LeafElection`.
+    Comb {
+        /// Number of activated nodes.
+        k: usize,
+        /// Gap between consecutive activated identities.
+        stride: u64,
+    },
+}
+
+impl ActivationPattern {
+    /// Materializes the activated identities for a universe of size `n`,
+    /// sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern does not fit in `0..n` (e.g. `k > n`, or the
+    /// comb runs past the universe).
+    #[must_use]
+    pub fn materialize(&self, n: u64) -> Vec<u64> {
+        match *self {
+            ActivationPattern::DensePrefix { k } => {
+                assert!(k as u64 <= n, "prefix of {k} exceeds universe {n}");
+                (0..k as u64).collect()
+            }
+            ActivationPattern::UniformSubset { k, seed } => {
+                assert!(k as u64 <= n, "subset of {k} exceeds universe {n}");
+                let mut rng = SmallRng::seed_from_u64(seed);
+                // Floyd's algorithm for a sorted distinct sample.
+                let mut chosen = std::collections::BTreeSet::new();
+                for j in n - k as u64..n {
+                    let t = rng.gen_range(0..=j);
+                    if !chosen.insert(t) {
+                        chosen.insert(j);
+                    }
+                }
+                chosen.into_iter().collect()
+            }
+            ActivationPattern::Comb { k, stride } => {
+                assert!(stride >= 1, "stride must be positive");
+                let last = (k as u64 - 1).saturating_mul(stride);
+                assert!(last < n, "comb of {k}×{stride} exceeds universe {n}");
+                (0..k as u64).map(|i| i * stride).collect()
+            }
+        }
+    }
+
+    /// Number of activated nodes.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        match *self {
+            ActivationPattern::DensePrefix { k }
+            | ActivationPattern::UniformSubset { k, .. }
+            | ActivationPattern::Comb { k, .. } => k,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simultaneous_is_all_zero() {
+        let s = WakeSchedule::simultaneous(5);
+        assert_eq!(s.offsets(), &[0; 5]);
+        assert_eq!(s.span(), 0);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn offset_one_alternates() {
+        let s = WakeSchedule::offset_one(5);
+        assert_eq!(s.offsets(), &[0, 1, 0, 1, 0]);
+        assert_eq!(s.span(), 1);
+    }
+
+    #[test]
+    fn waves_spread_evenly() {
+        let s = WakeSchedule::waves(6, 3, 4);
+        assert_eq!(s.offsets(), &[0, 4, 8, 0, 4, 8]);
+        assert_eq!(s.span(), 8);
+    }
+
+    #[test]
+    fn ramp_wraps_at_period() {
+        let s = WakeSchedule::ramp(5, 3, 7);
+        assert_eq!(s.offsets(), &[0, 3, 6, 2, 5]);
+    }
+
+    #[test]
+    fn uniform_is_seeded_and_bounded() {
+        let a = WakeSchedule::uniform(100, 10, 1);
+        let b = WakeSchedule::uniform(100, 10, 1);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|o| o < 10));
+        let c = WakeSchedule::uniform(100, 10, 2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one wave")]
+    fn zero_waves_panics() {
+        let _ = WakeSchedule::waves(4, 0, 1);
+    }
+
+    #[test]
+    fn dense_prefix_materializes() {
+        let ids = ActivationPattern::DensePrefix { k: 4 }.materialize(10);
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn uniform_subset_is_distinct_sorted_and_seeded() {
+        let p = ActivationPattern::UniformSubset { k: 50, seed: 9 };
+        let ids = p.materialize(100);
+        assert_eq!(ids.len(), 50);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        assert!(ids.iter().all(|&x| x < 100));
+        assert_eq!(ids, p.materialize(100));
+        assert_eq!(p.count(), 50);
+    }
+
+    #[test]
+    fn full_subset_is_whole_universe() {
+        let ids = ActivationPattern::UniformSubset { k: 16, seed: 0 }.materialize(16);
+        assert_eq!(ids, (0..16).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn comb_spaces_identities() {
+        let ids = ActivationPattern::Comb { k: 4, stride: 3 }.materialize(10);
+        assert_eq!(ids, vec![0, 3, 6, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds universe")]
+    fn comb_overflow_panics() {
+        let _ = ActivationPattern::Comb { k: 4, stride: 4 }.materialize(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds universe")]
+    fn oversized_prefix_panics() {
+        let _ = ActivationPattern::DensePrefix { k: 11 }.materialize(10);
+    }
+}
+
+/// Crash-stop fault injection: runs `inner` normally until a scheduled
+/// round, then the node falls permanently silent (classic crash-stop).
+///
+/// The contention-resolution model has no crash faults — this wrapper
+/// exists so tests can *measure* how far the paper's algorithms tolerate
+/// them anyway (knocked-out nodes are irrelevant; coordinators mid-cohort
+/// are not; see the `contention` crate's fault-injection tests).
+#[derive(Debug, Clone)]
+pub struct CrashAt<P> {
+    inner: P,
+    crash_after: u64,
+    lived: u64,
+}
+
+impl<P> CrashAt<P> {
+    /// Wraps `inner`; the node crashes after participating in
+    /// `crash_after` rounds (0 = dead on arrival).
+    #[must_use]
+    pub fn new(inner: P, crash_after: u64) -> Self {
+        CrashAt {
+            inner,
+            crash_after,
+            lived: 0,
+        }
+    }
+
+    /// Whether the crash point has been reached.
+    #[must_use]
+    pub fn crashed(&self) -> bool {
+        self.lived >= self.crash_after
+    }
+
+    /// The wrapped protocol (its state is frozen at the crash point).
+    #[must_use]
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<P: crate::Protocol> crate::Protocol for CrashAt<P> {
+    type Msg = P::Msg;
+
+    fn on_wake(&mut self, ctx: &crate::RoundContext, rng: &mut rand::rngs::SmallRng) {
+        self.inner.on_wake(ctx, rng);
+    }
+
+    fn act(&mut self, ctx: &crate::RoundContext, rng: &mut rand::rngs::SmallRng) -> crate::Action<P::Msg> {
+        debug_assert!(!self.crashed(), "crashed node scheduled");
+        self.lived += 1;
+        self.inner.act(ctx, rng)
+    }
+
+    fn observe(
+        &mut self,
+        ctx: &crate::RoundContext,
+        feedback: crate::Feedback<P::Msg>,
+        rng: &mut rand::rngs::SmallRng,
+    ) {
+        self.inner.observe(ctx, feedback, rng);
+    }
+
+    fn status(&self) -> crate::Status {
+        if self.crashed() {
+            crate::Status::Inactive
+        } else {
+            self.inner.status()
+        }
+    }
+
+    fn phase(&self) -> &'static str {
+        if self.crashed() {
+            "crashed"
+        } else {
+            self.inner.phase()
+        }
+    }
+}
+
+#[cfg(test)]
+mod crash_tests {
+    use super::*;
+    use crate::{Action, ChannelId, Executor, Feedback, Protocol, RoundContext, SimConfig, Status, StopWhen};
+    use rand::rngs::SmallRng;
+
+    struct Chatter;
+    impl Protocol for Chatter {
+        type Msg = u32;
+        fn act(&mut self, _: &RoundContext, _: &mut SmallRng) -> Action<u32> {
+            Action::transmit(ChannelId::new(2), 0)
+        }
+        fn observe(&mut self, _: &RoundContext, _: Feedback<u32>, _: &mut SmallRng) {}
+        fn status(&self) -> Status {
+            Status::Active
+        }
+    }
+
+    #[test]
+    fn crash_silences_the_node() {
+        let cfg = SimConfig::new(2).stop_when(StopWhen::AllTerminated).max_rounds(100);
+        let mut exec = Executor::new(cfg);
+        let id = exec.add_node(CrashAt::new(Chatter, 3));
+        let report = exec.run().expect("terminates once crashed");
+        assert_eq!(report.rounds_executed, 3);
+        assert_eq!(report.metrics.transmissions, 3);
+        assert!(exec.node(id).crashed());
+    }
+
+    #[test]
+    fn dead_on_arrival_never_acts() {
+        let cfg = SimConfig::new(2).stop_when(StopWhen::AllTerminated).max_rounds(100);
+        let mut exec = Executor::new(cfg);
+        exec.add_node(CrashAt::new(Chatter, 0));
+        let report = exec.run().expect("terminates");
+        assert_eq!(report.metrics.transmissions, 0);
+    }
+
+    #[test]
+    fn uncrashed_wrapper_is_transparent() {
+        let cfg = SimConfig::new(2).max_rounds(5);
+        let mut exec = Executor::new(cfg);
+        exec.add_node(CrashAt::new(Chatter, 1_000));
+        // Chatter never terminates and never hits channel 1: timeout.
+        assert!(exec.run().is_err());
+    }
+}

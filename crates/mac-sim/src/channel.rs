@@ -1,0 +1,183 @@
+//! Channel identifiers and per-round channel outcomes.
+
+use std::fmt;
+
+/// Identifier of one of the `C` multiple-access channels.
+///
+/// Channels are labelled `1..=C`, matching the paper's convention. Channel 1
+/// is the *primary* channel: the contention resolution problem is solved in
+/// the first round in which exactly one node transmits on it.
+///
+/// ```
+/// use mac_sim::ChannelId;
+///
+/// let ch = ChannelId::new(3);
+/// assert_eq!(ch.get(), 3);
+/// assert!(!ch.is_primary());
+/// assert!(ChannelId::PRIMARY.is_primary());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChannelId(u32);
+
+impl ChannelId {
+    /// The primary channel (channel 1), on which the problem must be solved.
+    pub const PRIMARY: ChannelId = ChannelId(1);
+
+    /// Creates a channel id from its 1-based label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is zero; channel labels start at 1.
+    #[must_use]
+    pub fn new(label: u32) -> Self {
+        assert!(label >= 1, "channel labels are 1-based; got 0");
+        ChannelId(label)
+    }
+
+    /// Returns the 1-based label of this channel.
+    #[must_use]
+    pub fn get(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the 0-based index of this channel (label − 1), convenient for
+    /// array indexing.
+    #[must_use]
+    pub fn index(self) -> usize {
+        (self.0 - 1) as usize
+    }
+
+    /// Returns `true` if this is the primary channel (channel 1).
+    #[must_use]
+    pub fn is_primary(self) -> bool {
+        self.0 == 1
+    }
+}
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
+impl From<ChannelId> for u32 {
+    fn from(value: ChannelId) -> Self {
+        value.0
+    }
+}
+
+/// The physical outcome on one channel in one round, before the collision
+/// detection mode filters what each participant actually learns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OutcomeKind {
+    /// No node transmitted on the channel this round.
+    Silence,
+    /// Exactly one node transmitted; the message is delivered.
+    Message,
+    /// Two or more nodes transmitted; the transmissions destroyed each other.
+    Collision,
+}
+
+impl OutcomeKind {
+    /// Classifies a transmitter count into an outcome.
+    #[must_use]
+    pub fn from_transmitters(count: usize) -> Self {
+        match count {
+            0 => OutcomeKind::Silence,
+            1 => OutcomeKind::Message,
+            _ => OutcomeKind::Collision,
+        }
+    }
+}
+
+impl fmt::Display for OutcomeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OutcomeKind::Silence => "silence",
+            OutcomeKind::Message => "message",
+            OutcomeKind::Collision => "collision",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Aggregate outcome on one channel in one round, as recorded in traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelOutcome {
+    /// Which channel this outcome describes.
+    pub channel: ChannelId,
+    /// What physically happened on the channel.
+    pub kind: OutcomeKind,
+    /// How many nodes transmitted on the channel.
+    pub transmitters: usize,
+    /// How many nodes listened on the channel.
+    pub listeners: usize,
+}
+
+impl fmt::Display for ChannelOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} ({} tx, {} rx)",
+            self.channel, self.kind, self.transmitters, self.listeners
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_is_channel_one() {
+        assert_eq!(ChannelId::PRIMARY.get(), 1);
+        assert!(ChannelId::PRIMARY.is_primary());
+        assert!(!ChannelId::new(2).is_primary());
+    }
+
+    #[test]
+    fn index_is_zero_based() {
+        assert_eq!(ChannelId::new(1).index(), 0);
+        assert_eq!(ChannelId::new(17).index(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn zero_label_panics() {
+        let _ = ChannelId::new(0);
+    }
+
+    #[test]
+    fn outcome_classification() {
+        assert_eq!(OutcomeKind::from_transmitters(0), OutcomeKind::Silence);
+        assert_eq!(OutcomeKind::from_transmitters(1), OutcomeKind::Message);
+        assert_eq!(OutcomeKind::from_transmitters(2), OutcomeKind::Collision);
+        assert_eq!(OutcomeKind::from_transmitters(100), OutcomeKind::Collision);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ChannelId::new(5).to_string(), "ch5");
+        assert_eq!(OutcomeKind::Collision.to_string(), "collision");
+        let oc = ChannelOutcome {
+            channel: ChannelId::new(2),
+            kind: OutcomeKind::Message,
+            transmitters: 1,
+            listeners: 3,
+        };
+        assert_eq!(oc.to_string(), "ch2: message (1 tx, 3 rx)");
+    }
+
+    #[test]
+    fn conversion_to_u32() {
+        let ch = ChannelId::new(9);
+        let raw: u32 = ch.into();
+        assert_eq!(raw, 9);
+    }
+
+    #[test]
+    fn ordering_follows_labels() {
+        assert!(ChannelId::new(1) < ChannelId::new(2));
+        assert!(ChannelId::new(10) > ChannelId::new(9));
+    }
+}

@@ -1,0 +1,159 @@
+//! Simulation configuration: channel count, feedback model, stop conditions.
+
+use crate::trace::TraceLevel;
+
+/// Collision-detection capability of the radios.
+///
+/// The paper assumes the *classical* strong definition ("both transmitters
+/// and receivers learn about message collisions on their channel in a given
+/// round", §3). The weaker modes exist so experiments can show that the
+/// paper's algorithms genuinely depend on the strong assumption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CdMode {
+    /// Strong collision detection: every participant on a channel — listener
+    /// or transmitter — observes silence / message / collision truthfully.
+    #[default]
+    Strong,
+    /// Receiver-side collision detection only: listeners observe the truth;
+    /// transmitters learn nothing ([`crate::Feedback::TransmittedBlind`]).
+    ReceiverOnly,
+    /// No collision detection: listeners cannot distinguish a collision from
+    /// silence (collisions are delivered as [`crate::Feedback::Silence`]);
+    /// transmitters learn nothing.
+    None,
+}
+
+/// When the executor stops a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StopWhen {
+    /// Stop in the first round in which exactly one node transmits on the
+    /// primary channel — the problem definition's notion of "solved". This
+    /// is the default and the measure used by every round-complexity
+    /// experiment.
+    #[default]
+    Solved,
+    /// Keep running until every node has terminated (status `Leader` or
+    /// `Inactive`), even after the solve round. Useful for checking that
+    /// protocols shut down cleanly and agree on the leader.
+    AllTerminated,
+}
+
+/// Configuration for one simulation run.
+///
+/// Built with a fluent API:
+///
+/// ```
+/// use mac_sim::{CdMode, SimConfig, StopWhen};
+///
+/// let cfg = SimConfig::new(64)
+///     .seed(42)
+///     .max_rounds(100_000)
+///     .cd_mode(CdMode::Strong)
+///     .stop_when(StopWhen::AllTerminated);
+/// assert_eq!(cfg.channels, 64);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Number of channels `C ≥ 1`.
+    pub channels: u32,
+    /// Master seed from which per-node seeds are derived.
+    pub master_seed: u64,
+    /// Hard cap on executed rounds; exceeding it is a [`crate::SimError::Timeout`].
+    pub max_rounds: u64,
+    /// Collision-detection model.
+    pub cd_mode: CdMode,
+    /// Stop condition.
+    pub stop_when: StopWhen,
+    /// How much per-round detail to record.
+    pub trace_level: TraceLevel,
+}
+
+impl SimConfig {
+    /// Creates a configuration with `channels` channels and defaults:
+    /// seed 0, 1 000 000 round cap, strong CD, stop at first solve, no trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`; the model requires `C ≥ 1`.
+    #[must_use]
+    pub fn new(channels: u32) -> Self {
+        assert!(channels >= 1, "the model requires C >= 1 channels");
+        SimConfig {
+            channels,
+            master_seed: 0,
+            max_rounds: 1_000_000,
+            cd_mode: CdMode::Strong,
+            stop_when: StopWhen::Solved,
+            trace_level: TraceLevel::Off,
+        }
+    }
+
+    /// Sets the master seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.master_seed = seed;
+        self
+    }
+
+    /// Sets the round cap.
+    #[must_use]
+    pub fn max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Sets the collision-detection mode.
+    #[must_use]
+    pub fn cd_mode(mut self, cd_mode: CdMode) -> Self {
+        self.cd_mode = cd_mode;
+        self
+    }
+
+    /// Sets the stop condition.
+    #[must_use]
+    pub fn stop_when(mut self, stop_when: StopWhen) -> Self {
+        self.stop_when = stop_when;
+        self
+    }
+
+    /// Sets the trace level.
+    #[must_use]
+    pub fn trace_level(mut self, trace_level: TraceLevel) -> Self {
+        self.trace_level = trace_level;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let cfg = SimConfig::new(8)
+            .seed(99)
+            .max_rounds(10)
+            .cd_mode(CdMode::None)
+            .stop_when(StopWhen::AllTerminated)
+            .trace_level(TraceLevel::Channels);
+        assert_eq!(cfg.channels, 8);
+        assert_eq!(cfg.master_seed, 99);
+        assert_eq!(cfg.max_rounds, 10);
+        assert_eq!(cfg.cd_mode, CdMode::None);
+        assert_eq!(cfg.stop_when, StopWhen::AllTerminated);
+        assert_eq!(cfg.trace_level, TraceLevel::Channels);
+    }
+
+    #[test]
+    fn defaults_match_paper_model() {
+        let cfg = SimConfig::new(1);
+        assert_eq!(cfg.cd_mode, CdMode::Strong);
+        assert_eq!(cfg.stop_when, StopWhen::Solved);
+    }
+
+    #[test]
+    #[should_panic(expected = "C >= 1")]
+    fn zero_channels_rejected() {
+        let _ = SimConfig::new(0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Simulation errors.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::channel::ChannelId;
+use crate::executor::NodeId;
+
+/// Errors produced by [`crate::Executor::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A protocol chose a channel outside `1..=C`.
+    ChannelOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// Round in which the action was taken.
+        round: u64,
+        /// The chosen (invalid) channel.
+        channel: ChannelId,
+        /// The configured channel count `C`.
+        channels: u32,
+    },
+    /// The run exceeded the configured round cap without meeting the stop
+    /// condition.
+    Timeout {
+        /// The configured cap that was hit.
+        max_rounds: u64,
+    },
+    /// The executor was started with no nodes at all.
+    NoNodes,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::ChannelOutOfRange {
+                node,
+                round,
+                channel,
+                channels,
+            } => write!(
+                f,
+                "node {node} chose {channel} in round {round} but only channels 1..={channels} exist"
+            ),
+            SimError::Timeout { max_rounds } => {
+                write!(f, "run exceeded the {max_rounds}-round cap")
+            }
+            SimError::NoNodes => f.write_str("executor started with no nodes"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::ChannelOutOfRange {
+            node: NodeId(3),
+            round: 12,
+            channel: ChannelId::new(99),
+            channels: 16,
+        };
+        let s = e.to_string();
+        assert!(s.contains("node 3"));
+        assert!(s.contains("ch99"));
+        assert!(s.contains("round 12"));
+        assert!(s.contains("1..=16"));
+        assert!(SimError::Timeout { max_rounds: 7 }.to_string().contains('7'));
+        assert!(!SimError::NoNodes.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,102 @@
+//! # mac-sim — a multiple-access-channel simulator with collision detection
+//!
+//! This crate is the substrate on which the algorithms from *Contention
+//! Resolution on Multiple Channels with Collision Detection* (Fineman,
+//! Newport, Wang; PODC 2016) run. It simulates the paper's model exactly
+//! (§3 of the paper):
+//!
+//! * time proceeds in synchronous rounds;
+//! * there are `C ≥ 1` channels, labelled `1..=C`, each behaving like a
+//!   standard MAC with **strong collision detection**;
+//! * in each round every awake, active node picks one channel and either
+//!   *transmits* a message on it or *listens* to it;
+//! * on a channel with no transmitter, participants detect **silence**; with
+//!   exactly one transmitter, every participant (including the transmitter)
+//!   receives the **message**; with two or more, every participant observes a
+//!   **collision**;
+//! * the *contention resolution* problem is solved in the first round in
+//!   which exactly one node transmits on channel 1 (the *primary* channel).
+//!
+//! The simulator is deterministic: a master seed derives one independent
+//! [`rand::rngs::SmallRng`] per node, so every run is exactly reproducible.
+//!
+//! Weaker feedback models ([`CdMode::ReceiverOnly`], [`CdMode::None`]) are
+//! also provided so experiments can demonstrate *why* the paper's strong-CD
+//! assumption matters.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use mac_sim::{Action, ChannelId, Executor, Feedback, Protocol, RoundContext,
+//!               SimConfig, Status};
+//! use rand::rngs::SmallRng;
+//!
+//! /// A toy protocol: transmit on the primary channel with probability 1/2
+//! /// until you hear a lone transmission.
+//! struct Half {
+//!     status: Status,
+//!     sent: bool,
+//! }
+//!
+//! impl Protocol for Half {
+//!     type Msg = ();
+//!
+//!     fn act(&mut self, _ctx: &RoundContext, rng: &mut SmallRng) -> Action<()> {
+//!         use rand::Rng;
+//!         self.sent = rng.gen_bool(0.5);
+//!         if self.sent {
+//!             Action::transmit(ChannelId::PRIMARY, ())
+//!         } else {
+//!             Action::listen(ChannelId::PRIMARY)
+//!         }
+//!     }
+//!
+//!     fn observe(&mut self, _ctx: &RoundContext, fb: Feedback<()>, _rng: &mut SmallRng) {
+//!         match fb {
+//!             Feedback::Message(()) if self.sent => self.status = Status::Leader,
+//!             Feedback::Message(()) => self.status = Status::Inactive,
+//!             _ => {}
+//!         }
+//!     }
+//!
+//!     fn status(&self) -> Status {
+//!         self.status
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), mac_sim::SimError> {
+//! let config = SimConfig::new(4).seed(7).max_rounds(10_000);
+//! let mut exec = Executor::new(config);
+//! for _ in 0..2 {
+//!     exec.add_node(Half { status: Status::Active, sent: false });
+//! }
+//! let report = exec.run()?;
+//! assert!(report.solved_round.is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod action;
+pub mod adversary;
+mod channel;
+mod config;
+mod error;
+mod executor;
+mod metrics;
+mod protocol;
+pub mod render;
+mod rng;
+mod trace;
+
+pub use action::{Action, Feedback};
+pub use channel::{ChannelId, ChannelOutcome, OutcomeKind};
+pub use config::{CdMode, SimConfig, StopWhen};
+pub use error::SimError;
+pub use executor::{Executor, NodeId, RunReport, StepStatus};
+pub use metrics::{Metrics, PhaseBreakdown};
+pub use protocol::{Protocol, RoundContext, Status};
+pub use rng::derive_node_seed;
+pub use trace::{RoundTrace, Trace, TraceLevel};

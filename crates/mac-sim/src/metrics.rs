@@ -1,0 +1,160 @@
+//! Run metrics: round counts, transmissions (energy), per-phase breakdowns.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Rounds spent in each protocol phase, keyed by the phase label of the
+/// lowest-indexed node that was still active when the round started.
+///
+/// Because the paper's algorithms are globally synchronized (every active
+/// node is in the same step of the same phase in the same round), this
+/// single-representative accounting is exact for them.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    rounds: BTreeMap<&'static str, u64>,
+}
+
+impl PhaseBreakdown {
+    /// Creates an empty breakdown.
+    #[must_use]
+    pub fn new() -> Self {
+        PhaseBreakdown::default()
+    }
+
+    /// Records one round spent in `phase`.
+    pub fn record(&mut self, phase: &'static str) {
+        *self.rounds.entry(phase).or_insert(0) += 1;
+    }
+
+    /// Rounds recorded for `phase` (0 if never seen).
+    #[must_use]
+    pub fn rounds_in(&self, phase: &str) -> u64 {
+        self.rounds.get(phase).copied().unwrap_or(0)
+    }
+
+    /// Iterates `(phase, rounds)` pairs in phase-name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.rounds.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Total rounds across all phases.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.rounds.values().sum()
+    }
+}
+
+impl fmt::Display for PhaseBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (phase, rounds) in &self.rounds {
+            if !first {
+                f.write_str(", ")?;
+            }
+            write!(f, "{phase}={rounds}")?;
+            first = false;
+        }
+        if first {
+            f.write_str("(no rounds)")?;
+        }
+        Ok(())
+    }
+}
+
+/// Aggregate metrics of one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Total transmissions across all nodes and rounds (the TX energy proxy).
+    pub transmissions: u64,
+    /// Total listen actions across all nodes and rounds (the RX energy
+    /// proxy — receivers burn power too).
+    pub listens: u64,
+    /// Per-node transmission counts, indexed by node id.
+    pub transmissions_per_node: Vec<u64>,
+    /// Transmissions attributed to the phase the execution was in.
+    pub transmissions_by_phase: BTreeMap<&'static str, u64>,
+    /// Rounds spent per phase.
+    pub phases: PhaseBreakdown,
+}
+
+impl Metrics {
+    /// Creates metrics for `nodes` nodes, all zeroed.
+    #[must_use]
+    pub fn new(nodes: usize) -> Self {
+        Metrics {
+            transmissions: 0,
+            listens: 0,
+            transmissions_per_node: vec![0; nodes],
+            transmissions_by_phase: BTreeMap::new(),
+            phases: PhaseBreakdown::new(),
+        }
+    }
+
+    /// Records one transmission by node `node` during `phase`.
+    pub fn record_transmission(&mut self, node: usize, phase: &'static str) {
+        self.transmissions += 1;
+        if let Some(slot) = self.transmissions_per_node.get_mut(node) {
+            *slot += 1;
+        }
+        *self.transmissions_by_phase.entry(phase).or_insert(0) += 1;
+    }
+
+    /// Records one listen action.
+    pub fn record_listen(&mut self) {
+        self.listens += 1;
+    }
+
+    /// The maximum number of transmissions made by any single node.
+    #[must_use]
+    pub fn max_transmissions_per_node(&self) -> u64 {
+        self.transmissions_per_node.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_breakdown_counts() {
+        let mut pb = PhaseBreakdown::new();
+        pb.record("reduce");
+        pb.record("reduce");
+        pb.record("rename");
+        assert_eq!(pb.rounds_in("reduce"), 2);
+        assert_eq!(pb.rounds_in("rename"), 1);
+        assert_eq!(pb.rounds_in("absent"), 0);
+        assert_eq!(pb.total(), 3);
+        let pairs: Vec<_> = pb.iter().collect();
+        assert_eq!(pairs, vec![("reduce", 2), ("rename", 1)]);
+        assert_eq!(pb.to_string(), "reduce=2, rename=1");
+    }
+
+    #[test]
+    fn empty_breakdown_display_nonempty() {
+        assert_eq!(PhaseBreakdown::new().to_string(), "(no rounds)");
+    }
+
+    #[test]
+    fn metrics_transmissions() {
+        let mut m = Metrics::new(3);
+        m.record_transmission(0, "a");
+        m.record_transmission(0, "a");
+        m.record_transmission(2, "b");
+        m.record_listen();
+        assert_eq!(m.transmissions, 3);
+        assert_eq!(m.listens, 1);
+        assert_eq!(m.transmissions_per_node, vec![2, 0, 1]);
+        assert_eq!(m.max_transmissions_per_node(), 2);
+        assert_eq!(m.transmissions_by_phase.get("a"), Some(&2));
+        assert_eq!(m.transmissions_by_phase.get("b"), Some(&1));
+    }
+
+    #[test]
+    fn metrics_out_of_range_node_is_ignored_in_vector() {
+        let mut m = Metrics::new(1);
+        m.record_transmission(5, "a");
+        assert_eq!(m.transmissions, 1);
+        assert_eq!(m.transmissions_per_node, vec![0]);
+    }
+}

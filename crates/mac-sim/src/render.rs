@@ -1,0 +1,149 @@
+//! ASCII rendering of recorded traces: a channel × round activity chart.
+//!
+//! Useful for eyeballing an execution — which channels the algorithm
+//! touches, where the collisions are, when the primary channel goes quiet:
+//!
+//! ```text
+//! ch  1 |X..M.....S
+//! ch  2 |.M...X....
+//!        0123456789
+//! ```
+//!
+//! `S` silence-with-listeners, `M` a delivered message, `X` a collision,
+//! `.` an untouched channel.
+
+use std::fmt::Write as _;
+
+use crate::channel::OutcomeKind;
+use crate::trace::Trace;
+
+/// Renders `trace` as an activity chart, showing only channels that carried
+/// any activity and at most `max_rounds` columns (from the start).
+///
+/// Returns an empty string for an empty trace.
+#[must_use]
+pub fn activity_chart(trace: &Trace, max_rounds: usize) -> String {
+    let rounds: Vec<_> = trace.rounds().iter().take(max_rounds).collect();
+    if rounds.is_empty() {
+        return String::new();
+    }
+
+    // Channels that appear at least once, sorted.
+    let mut channels: Vec<u32> = rounds
+        .iter()
+        .flat_map(|rt| rt.outcomes.iter().map(|oc| oc.channel.get()))
+        .collect();
+    channels.sort_unstable();
+    channels.dedup();
+
+    let cols = rounds.len();
+    let mut out = String::new();
+    for &ch in &channels {
+        let _ = write!(out, "ch{ch:>5} |");
+        for rt in &rounds {
+            let cell = rt
+                .outcomes
+                .iter()
+                .find(|oc| oc.channel.get() == ch)
+                .map_or('.', |oc| match oc.kind {
+                    OutcomeKind::Silence => 'S',
+                    OutcomeKind::Message => 'M',
+                    OutcomeKind::Collision => 'X',
+                });
+            out.push(cell);
+        }
+        out.push('\n');
+    }
+    // Round ruler (mod 10).
+    let _ = write!(out, "{:>8} ", "round");
+    for (i, _) in rounds.iter().enumerate().take(cols) {
+        let _ = write!(out, "{}", i % 10);
+    }
+    out.push('\n');
+    out
+}
+
+/// Per-channel activity counts over a trace: `(channel, messages,
+/// collisions, silences)`, sorted by channel. The utilization summary the
+/// energy experiments report.
+#[must_use]
+pub fn channel_utilization(trace: &Trace) -> Vec<(u32, u64, u64, u64)> {
+    let mut map: std::collections::BTreeMap<u32, (u64, u64, u64)> = std::collections::BTreeMap::new();
+    for rt in trace.rounds() {
+        for oc in &rt.outcomes {
+            let entry = map.entry(oc.channel.get()).or_insert((0, 0, 0));
+            match oc.kind {
+                OutcomeKind::Message => entry.0 += 1,
+                OutcomeKind::Collision => entry.1 += 1,
+                OutcomeKind::Silence => entry.2 += 1,
+            }
+        }
+    }
+    map.into_iter().map(|(ch, (m, x, s))| (ch, m, x, s)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{ChannelId, ChannelOutcome};
+    use crate::trace::RoundTrace;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new();
+        t.push(RoundTrace {
+            round: 0,
+            outcomes: vec![
+                ChannelOutcome {
+                    channel: ChannelId::new(1),
+                    kind: OutcomeKind::Collision,
+                    transmitters: 3,
+                    listeners: 0,
+                },
+                ChannelOutcome {
+                    channel: ChannelId::new(3),
+                    kind: OutcomeKind::Message,
+                    transmitters: 1,
+                    listeners: 2,
+                },
+            ],
+            phase: "p",
+        });
+        t.push(RoundTrace {
+            round: 1,
+            outcomes: vec![ChannelOutcome {
+                channel: ChannelId::new(1),
+                kind: OutcomeKind::Silence,
+                transmitters: 0,
+                listeners: 4,
+            }],
+            phase: "p",
+        });
+        t
+    }
+
+    #[test]
+    fn chart_shows_only_active_channels() {
+        let chart = activity_chart(&sample_trace(), 100);
+        assert!(chart.contains("ch    1 |XS"));
+        assert!(chart.contains("ch    3 |M."));
+        assert!(!chart.contains("ch    2"));
+        assert!(chart.contains("round 01"));
+    }
+
+    #[test]
+    fn chart_truncates_to_max_rounds() {
+        let chart = activity_chart(&sample_trace(), 1);
+        assert!(chart.contains("ch    1 |X\n"));
+    }
+
+    #[test]
+    fn empty_trace_renders_empty() {
+        assert_eq!(activity_chart(&Trace::new(), 10), "");
+    }
+
+    #[test]
+    fn utilization_counts() {
+        let util = channel_utilization(&sample_trace());
+        assert_eq!(util, vec![(1, 0, 1, 1), (3, 1, 0, 0)]);
+    }
+}

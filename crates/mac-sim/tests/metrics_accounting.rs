@@ -1,0 +1,118 @@
+//! Precise accounting tests for the executor's metrics: per-phase TX
+//! attribution, RX counting, and phase-round bookkeeping, all against
+//! scripted executions with known ground truth.
+
+use mac_sim::{
+    Action, ChannelId, Executor, Feedback, Protocol, RoundContext, SimConfig, Status, StopWhen,
+};
+use rand::rngs::SmallRng;
+
+/// Transmits for `tx_rounds` rounds in phase "alpha", then listens for
+/// `rx_rounds` rounds in phase "beta", then stops.
+struct TwoPhase {
+    tx_rounds: u64,
+    rx_rounds: u64,
+    done_rounds: u64,
+}
+
+impl Protocol for TwoPhase {
+    type Msg = u32;
+    fn act(&mut self, _ctx: &RoundContext, _rng: &mut SmallRng) -> Action<u32> {
+        self.done_rounds += 1;
+        if self.done_rounds <= self.tx_rounds {
+            Action::transmit(ChannelId::new(2), 0)
+        } else {
+            Action::listen(ChannelId::new(3))
+        }
+    }
+    fn observe(&mut self, _ctx: &RoundContext, _fb: Feedback<u32>, _rng: &mut SmallRng) {}
+    fn status(&self) -> Status {
+        if self.done_rounds >= self.tx_rounds + self.rx_rounds {
+            Status::Inactive
+        } else {
+            Status::Active
+        }
+    }
+    fn phase(&self) -> &'static str {
+        if self.done_rounds < self.tx_rounds {
+            "alpha"
+        } else {
+            "beta"
+        }
+    }
+}
+
+#[test]
+fn per_phase_transmissions_are_attributed() {
+    let cfg = SimConfig::new(4).stop_when(StopWhen::AllTerminated).max_rounds(100);
+    let mut exec = Executor::new(cfg);
+    exec.add_node(TwoPhase {
+        tx_rounds: 3,
+        rx_rounds: 2,
+        done_rounds: 0,
+    });
+    let report = exec.run().expect("finishes");
+    assert_eq!(report.metrics.transmissions, 3);
+    assert_eq!(report.metrics.listens, 2);
+    assert_eq!(report.metrics.transmissions_by_phase.get("alpha"), Some(&3));
+    assert_eq!(report.metrics.transmissions_by_phase.get("beta"), None);
+    assert_eq!(report.metrics.phases.rounds_in("alpha"), 3);
+    assert_eq!(report.metrics.phases.rounds_in("beta"), 2);
+    assert_eq!(report.metrics.phases.total(), report.rounds_executed);
+}
+
+#[test]
+fn per_node_counts_sum_to_total() {
+    let cfg = SimConfig::new(4).stop_when(StopWhen::AllTerminated).max_rounds(100);
+    let mut exec = Executor::new(cfg);
+    for i in 0..5u64 {
+        exec.add_node(TwoPhase {
+            tx_rounds: i,
+            rx_rounds: 1,
+            done_rounds: 0,
+        });
+    }
+    let report = exec.run().expect("finishes");
+    let total: u64 = report.metrics.transmissions_per_node.iter().sum();
+    assert_eq!(total, report.metrics.transmissions);
+    assert_eq!(report.metrics.transmissions, 10);
+    assert_eq!(report.metrics.transmissions_per_node, vec![0, 1, 2, 3, 4]);
+    assert_eq!(report.metrics.max_transmissions_per_node(), 4);
+}
+
+#[test]
+fn late_wakers_do_not_consume_phase_rounds_before_waking() {
+    let cfg = SimConfig::new(4).stop_when(StopWhen::AllTerminated).max_rounds(100);
+    let mut exec = Executor::new(cfg);
+    exec.add_node_at(
+        TwoPhase {
+            tx_rounds: 1,
+            rx_rounds: 1,
+            done_rounds: 0,
+        },
+        4,
+    );
+    let report = exec.run().expect("finishes");
+    // Rounds 0..4 are idle (no awake active node), then alpha, beta.
+    assert_eq!(report.metrics.phases.rounds_in("idle"), 4);
+    assert_eq!(report.metrics.phases.rounds_in("alpha"), 1);
+    assert_eq!(report.metrics.phases.rounds_in("beta"), 1);
+    assert_eq!(report.rounds_executed, 6);
+}
+
+#[test]
+fn mid_run_snapshot_metrics_are_prefixes() {
+    let cfg = SimConfig::new(4).stop_when(StopWhen::AllTerminated).max_rounds(100);
+    let mut exec = Executor::new(cfg);
+    exec.add_node(TwoPhase {
+        tx_rounds: 4,
+        rx_rounds: 0,
+        done_rounds: 0,
+    });
+    exec.step().expect("steps");
+    exec.step().expect("steps");
+    let snap = exec.report();
+    assert_eq!(snap.metrics.transmissions, 2);
+    let _ = exec.run().expect("finishes");
+    assert_eq!(exec.report().metrics.transmissions, 4);
+}

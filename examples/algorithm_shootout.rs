@@ -1,0 +1,92 @@
+//! Scenario: picking a symmetry-breaking algorithm for a given radio.
+//!
+//! ```text
+//! cargo run --release -p contention-bench --example algorithm_shootout
+//! ```
+//!
+//! A systems designer choosing between radios (with/without collision
+//! detection, narrow/wideband) wants the contention-resolution landscape:
+//! this example races the paper's algorithm against the three prior-art
+//! baselines across channel counts and prints a decision table — a
+//! miniature of experiment E9 (run `repro e9` for the full sweep).
+
+use contention::baselines::{BinaryDescent, Decay, MultiChannelNoCd};
+use contention::{FullAlgorithm, Params};
+use contention_analysis::Table;
+use mac_sim::{CdMode, Executor, SimConfig};
+
+const N: u64 = 1 << 14;
+// Dense activation (|A| = n): the adversarial case the worst-case bounds
+// target, and where the landscape separates most cleanly.
+const ACTIVE: usize = 1 << 14;
+const TRIALS: u64 = 12;
+
+fn mean_rounds(build: impl Fn(u64) -> Executor<Box<dyn mac_sim::Protocol<Msg = u32>>>) -> f64 {
+    let mut total = 0u64;
+    for seed in 0..TRIALS {
+        let mut exec = build(seed);
+        total += exec
+            .run()
+            .expect("run succeeds")
+            .rounds_to_solve()
+            .expect("solved");
+    }
+    total as f64 / TRIALS as f64
+}
+
+fn main() {
+    println!("algorithm shootout: n = {N}, |A| = {ACTIVE}, {TRIALS} trials/cell\n");
+
+    let mut table = Table::new(&[
+        "C",
+        "this paper (CD)",
+        "binary descent (CD)",
+        "decay (no CD)",
+        "multi no-CD",
+    ]);
+
+    for c in [1u32, 8, 64, 512] {
+        let full = mean_rounds(|seed| {
+            let mut exec = Executor::new(SimConfig::new(c).seed(seed).max_rounds(10_000_000));
+            for _ in 0..ACTIVE {
+                exec.add_node(Box::new(FullAlgorithm::new(Params::practical(), c, N)) as _);
+            }
+            exec
+        });
+        let descent = mean_rounds(|seed| {
+            let mut exec = Executor::new(SimConfig::new(c).seed(seed).max_rounds(10_000_000));
+            for i in 0..ACTIVE {
+                // Spread ids evenly over the universe.
+                let id = (i as u64) * (N / ACTIVE as u64);
+                exec.add_node(Box::new(BinaryDescent::new(id, N)) as _);
+            }
+            exec
+        });
+        let decay = mean_rounds(|seed| {
+            let cfg = SimConfig::new(c).seed(seed).cd_mode(CdMode::None).max_rounds(10_000_000);
+            let mut exec = Executor::new(cfg);
+            for _ in 0..ACTIVE {
+                exec.add_node(Box::new(Decay::new(N)) as _);
+            }
+            exec
+        });
+        let nocd = mean_rounds(|seed| {
+            let cfg = SimConfig::new(c).seed(seed).cd_mode(CdMode::None).max_rounds(10_000_000);
+            let mut exec = Executor::new(cfg);
+            for _ in 0..ACTIVE {
+                exec.add_node(Box::new(MultiChannelNoCd::new(c, N)) as _);
+            }
+            exec
+        });
+        table.row_owned(vec![
+            c.to_string(),
+            format!("{full:.1}"),
+            format!("{descent:.1}"),
+            format!("{decay:.1}"),
+            format!("{nocd:.1}"),
+        ]);
+    }
+
+    println!("{table}");
+    println!("\n(mean rounds to the first lone primary-channel transmission; lower is better)");
+}

@@ -1,0 +1,90 @@
+//! Reproducibility guarantees: every run is a pure function of
+//! (seed, configuration, node set) — the property that makes the
+//! experiment tables in EXPERIMENTS.md regenerable bit-for-bit.
+
+use contention::baselines::CdTournament;
+use contention::{FullAlgorithm, Params, TwoActive};
+use mac_sim::{Executor, RunReport, SimConfig, StopWhen};
+
+fn run_full(seed: u64, c: u32, n: u64, active: usize) -> RunReport {
+    let cfg = SimConfig::new(c)
+        .seed(seed)
+        .stop_when(StopWhen::AllTerminated)
+        .max_rounds(1_000_000);
+    let mut exec = Executor::new(cfg);
+    for _ in 0..active {
+        exec.add_node(FullAlgorithm::new(Params::practical(), c, n));
+    }
+    exec.run().expect("runs")
+}
+
+#[test]
+fn identical_seeds_identical_everything() {
+    let a = run_full(12345, 64, 1 << 12, 300);
+    let b = run_full(12345, 64, 1 << 12, 300);
+    assert_eq!(a.solved_round, b.solved_round);
+    assert_eq!(a.solver, b.solver);
+    assert_eq!(a.leaders, b.leaders);
+    assert_eq!(a.rounds_executed, b.rounds_executed);
+    assert_eq!(a.metrics.transmissions, b.metrics.transmissions);
+    assert_eq!(a.metrics.transmissions_per_node, b.metrics.transmissions_per_node);
+}
+
+#[test]
+fn different_seeds_differ_somewhere() {
+    let outcomes: Vec<Option<u64>> = (0..10).map(|s| run_full(s, 64, 1 << 12, 300).solved_round).collect();
+    let first = outcomes[0];
+    assert!(
+        outcomes.iter().any(|&o| o != first),
+        "10 different seeds all produced {first:?}"
+    );
+}
+
+#[test]
+fn node_insertion_order_defines_identity() {
+    // Swapping insertion order re-seeds nodes, so outcomes may change, but
+    // the same order twice must agree — node identity is positional.
+    let build = |seed| {
+        let cfg = SimConfig::new(8).seed(seed).stop_when(StopWhen::AllTerminated).max_rounds(100_000);
+        let mut exec = Executor::new(cfg);
+        exec.add_node(TwoActive::new(8, 256));
+        exec.add_node(TwoActive::new(8, 256));
+        exec
+    };
+    let w1 = build(7).run().expect("runs").leaders;
+    let w2 = build(7).run().expect("runs").leaders;
+    assert_eq!(w1, w2);
+}
+
+#[test]
+fn harness_parallel_runner_is_deterministic() {
+    use contention_harness::run_trials;
+    let build = |seed: u64| {
+        let mut exec = Executor::new(SimConfig::new(1).seed(seed).max_rounds(100_000));
+        for _ in 0..32 {
+            exec.add_node(CdTournament::new());
+        }
+        exec
+    };
+    let a: Vec<Option<u64>> = run_trials(16, 5, build).iter().map(|r| r.solved_round).collect();
+    let b: Vec<Option<u64>> = run_trials(16, 5, build).iter().map(|r| r.solved_round).collect();
+    assert_eq!(a, b, "thread scheduling leaked into results");
+}
+
+#[test]
+fn trace_is_reproducible() {
+    use mac_sim::TraceLevel;
+    let run = || {
+        let cfg = SimConfig::new(16)
+            .seed(3)
+            .trace_level(TraceLevel::Channels)
+            .stop_when(StopWhen::AllTerminated)
+            .max_rounds(100_000);
+        let mut exec = Executor::new(cfg);
+        for _ in 0..10 {
+            exec.add_node(FullAlgorithm::new(Params::practical(), 16, 1 << 8));
+        }
+        exec.run().expect("runs").trace
+    };
+    assert_eq!(run(), run());
+}
