@@ -118,7 +118,12 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
     for col in 0..n {
         // Pivot.
         let pivot = (col..n)
-            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("no NaN"))
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("no NaN")
+            })
             .expect("nonempty");
         a.swap(col, pivot);
         b.swap(col, pivot);
@@ -181,7 +186,15 @@ mod tests {
         // Deterministic "noise" to keep the test reproducible.
         let ys: Vec<f64> = xs
             .iter()
-            .map(|x| 2.0 * x + 5.0 + if (*x as u64).is_multiple_of(2) { 1.0 } else { -1.0 })
+            .map(|x| {
+                2.0 * x
+                    + 5.0
+                    + if (*x as u64).is_multiple_of(2) {
+                        1.0
+                    } else {
+                        -1.0
+                    }
+            })
             .collect();
         let fit = fit_linear(&xs, &ys);
         assert!(fit.r_squared > 0.99);

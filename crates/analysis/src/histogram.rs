@@ -102,7 +102,13 @@ impl fmt::Display for Histogram {
         if self.count == 0 {
             return f.write_str("(empty histogram)");
         }
-        let max = self.buckets.iter().copied().max().unwrap_or(0).max(self.zeros);
+        let max = self
+            .buckets
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+            .max(self.zeros);
         let bar = |c: u64| "#".repeat(((c * 40) / max.max(1)) as usize);
         if self.zeros > 0 {
             writeln!(f, "{:>12} {:>8}  {}", 0, self.zeros, bar(self.zeros))?;

@@ -24,8 +24,8 @@ pub mod table;
 pub mod tail;
 
 pub use balls::no_lone_ball_probability;
-pub use histogram::Histogram;
 pub use fit::{fit_linear, fit_two_term, Fit};
+pub use histogram::Histogram;
 pub use stats::Summary;
 pub use table::Table;
 pub use tail::exceed_fraction;

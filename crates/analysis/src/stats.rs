@@ -208,7 +208,10 @@ mod tests {
 /// Panics if `samples` is empty.
 #[must_use]
 pub fn ks_distance(samples: &[u64], cdf: impl Fn(u64) -> f64) -> f64 {
-    assert!(!samples.is_empty(), "cannot compute KS distance of an empty sample");
+    assert!(
+        !samples.is_empty(),
+        "cannot compute KS distance of an empty sample"
+    );
     let n = samples.len() as f64;
     let max = *samples.iter().max().expect("nonempty");
     // Counts per value up to the max.

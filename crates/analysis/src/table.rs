@@ -49,7 +49,8 @@ impl Table {
             cells.len(),
             self.headers.len()
         );
-        self.rows.push(cells.iter().map(ToString::to_string).collect());
+        self.rows
+            .push(cells.iter().map(ToString::to_string).collect());
     }
 
     /// Appends a row of already-owned cells (convenient with `format!`).

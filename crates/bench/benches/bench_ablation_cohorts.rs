@@ -3,7 +3,7 @@
 
 use contention::LeafElection;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mac_sim::{Executor, SimConfig, StopWhen};
+use mac_sim::{Engine, SimConfig, StopWhen};
 use std::hint::black_box;
 
 fn run(c: u32, x: u32, binary: bool, seed: u64) -> u64 {
@@ -11,7 +11,7 @@ fn run(c: u32, x: u32, binary: bool, seed: u64) -> u64 {
         .seed(seed)
         .stop_when(StopWhen::AllTerminated)
         .max_rounds(1_000_000);
-    let mut exec = Executor::new(cfg);
+    let mut exec = Engine::new(cfg);
     let leaves = u64::from(c / 2);
     for id in contention_harness::sample_distinct(leaves, x as usize, seed) {
         let id = id as u32 + 1;

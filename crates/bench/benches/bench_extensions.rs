@@ -4,24 +4,28 @@
 use contention::cohort_compute::{AggregateOp, CohortAggregate};
 use contention::extensions::ExpectedConstant;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mac_sim::{ChannelId, Executor, SimConfig, StopWhen};
+use mac_sim::{ChannelId, Engine, SimConfig, StopWhen};
 use std::hint::black_box;
 
 fn bench_expected_constant(criterion: &mut Criterion) {
     let n = 1u64 << 16;
     let mut group = criterion.benchmark_group("extensions/expected_o1(n=2^16,|A|=1024)");
     for c in [4u32, 18, 64] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("C={c}")), &c, |b, &c| {
-            let mut seed = 0;
-            b.iter(|| {
-                seed += 1;
-                let mut exec = Executor::new(SimConfig::new(c).seed(seed).max_rounds(1_000_000));
-                for _ in 0..1024 {
-                    exec.add_node(ExpectedConstant::new(c, n));
-                }
-                black_box(exec.run().expect("solves").solved_round)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("C={c}")),
+            &c,
+            |b, &c| {
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    let mut exec = Engine::new(SimConfig::new(c).seed(seed).max_rounds(1_000_000));
+                    for _ in 0..1024 {
+                        exec.add_node(ExpectedConstant::new(c, n));
+                    }
+                    black_box(exec.run().expect("solves").solved_round)
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -29,22 +33,28 @@ fn bench_expected_constant(criterion: &mut Criterion) {
 fn bench_cohort_aggregate(criterion: &mut Criterion) {
     let mut group = criterion.benchmark_group("extensions/cohort_aggregate");
     for p in [4u32, 32, 256] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("p={p}")), &p, |b, &p| {
-            b.iter(|| {
-                let cfg = SimConfig::new(512).stop_when(StopWhen::AllTerminated).max_rounds(1000);
-                let mut exec = Executor::new(cfg);
-                for i in 1..=p {
-                    exec.add_node(CohortAggregate::new(
-                        ChannelId::new(2),
-                        p,
-                        i,
-                        i64::from(i * 13 % 97),
-                        AggregateOp::Max,
-                    ));
-                }
-                black_box(exec.run().expect("aggregates").rounds_executed)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("p={p}")),
+            &p,
+            |b, &p| {
+                b.iter(|| {
+                    let cfg = SimConfig::new(512)
+                        .stop_when(StopWhen::AllTerminated)
+                        .max_rounds(1000);
+                    let mut exec = Engine::new(cfg);
+                    for i in 1..=p {
+                        exec.add_node(CohortAggregate::new(
+                            ChannelId::new(2),
+                            p,
+                            i,
+                            i64::from(i * 13 % 97),
+                            AggregateOp::Max,
+                        ));
+                    }
+                    black_box(exec.run().expect("aggregates").rounds_executed)
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -5,7 +5,7 @@
 use contention::baselines::{BinaryDescent, Decay, MultiChannelNoCd};
 use contention::{FullAlgorithm, Params};
 use criterion::{criterion_group, criterion_main, Criterion};
-use mac_sim::{CdMode, Executor, SimConfig};
+use mac_sim::{CdMode, Engine, SimConfig};
 use std::hint::black_box;
 
 const C: u32 = 256;
@@ -19,7 +19,7 @@ fn bench_algorithms(criterion: &mut Criterion) {
         let mut seed = 0;
         b.iter(|| {
             seed += 1;
-            let mut exec = Executor::new(SimConfig::new(C).seed(seed).max_rounds(10_000_000));
+            let mut exec = Engine::new(SimConfig::new(C).seed(seed).max_rounds(10_000_000));
             for _ in 0..ACTIVE {
                 exec.add_node(FullAlgorithm::new(Params::practical(), C, N));
             }
@@ -31,7 +31,7 @@ fn bench_algorithms(criterion: &mut Criterion) {
         let mut seed = 0;
         b.iter(|| {
             seed += 1;
-            let mut exec = Executor::new(SimConfig::new(C).seed(seed).max_rounds(10_000_000));
+            let mut exec = Engine::new(SimConfig::new(C).seed(seed).max_rounds(10_000_000));
             for id in contention_harness::sample_distinct(N, ACTIVE, seed) {
                 exec.add_node(BinaryDescent::new(id, N));
             }
@@ -43,8 +43,11 @@ fn bench_algorithms(criterion: &mut Criterion) {
         let mut seed = 0;
         b.iter(|| {
             seed += 1;
-            let cfg = SimConfig::new(C).seed(seed).cd_mode(CdMode::None).max_rounds(10_000_000);
-            let mut exec = Executor::new(cfg);
+            let cfg = SimConfig::new(C)
+                .seed(seed)
+                .cd_mode(CdMode::None)
+                .max_rounds(10_000_000);
+            let mut exec = Engine::new(cfg);
             for _ in 0..ACTIVE {
                 exec.add_node(Decay::new(N));
             }
@@ -56,8 +59,11 @@ fn bench_algorithms(criterion: &mut Criterion) {
         let mut seed = 0;
         b.iter(|| {
             seed += 1;
-            let cfg = SimConfig::new(C).seed(seed).cd_mode(CdMode::None).max_rounds(10_000_000);
-            let mut exec = Executor::new(cfg);
+            let cfg = SimConfig::new(C)
+                .seed(seed)
+                .cd_mode(CdMode::None)
+                .max_rounds(10_000_000);
+            let mut exec = Engine::new(cfg);
             for _ in 0..ACTIVE {
                 exec.add_node(MultiChannelNoCd::new(C, N));
             }

@@ -3,28 +3,32 @@
 
 use contention::{IdReduction, Params};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mac_sim::{Executor, SimConfig, StopWhen};
+use mac_sim::{Engine, SimConfig, StopWhen};
 use std::hint::black_box;
 
 fn bench_id_reduction(criterion: &mut Criterion) {
     let mut group = criterion.benchmark_group("id_reduction/rename(|A|=64)");
     for ce in [4u32, 8, 12] {
         let c = 1u32 << ce;
-        group.bench_with_input(BenchmarkId::from_parameter(format!("C=2^{ce}")), &c, |b, &c| {
-            let mut seed = 0;
-            b.iter(|| {
-                seed += 1;
-                let cfg = SimConfig::new(c)
-                    .seed(seed)
-                    .stop_when(StopWhen::AllTerminated)
-                    .max_rounds(1_000_000);
-                let mut exec = Executor::new(cfg);
-                for _ in 0..64 {
-                    exec.add_node(IdReduction::new(Params::practical(), c));
-                }
-                black_box(exec.run().expect("terminates").rounds_executed)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("C=2^{ce}")),
+            &c,
+            |b, &c| {
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    let cfg = SimConfig::new(c)
+                        .seed(seed)
+                        .stop_when(StopWhen::AllTerminated)
+                        .max_rounds(1_000_000);
+                    let mut exec = Engine::new(cfg);
+                    for _ in 0..64 {
+                        exec.add_node(IdReduction::new(Params::practical(), c));
+                    }
+                    black_box(exec.run().expect("terminates").rounds_executed)
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -3,7 +3,7 @@
 
 use contention::LeafElection;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use mac_sim::{Executor, SimConfig, StopWhen};
+use mac_sim::{Engine, SimConfig, StopWhen};
 use std::hint::black_box;
 
 fn bench_leaf_election(criterion: &mut Criterion) {
@@ -11,21 +11,25 @@ fn bench_leaf_election(criterion: &mut Criterion) {
     let mut group = criterion.benchmark_group("leaf_election/elect(C=2^12)");
     for x in [4u32, 64, 1024] {
         group.throughput(Throughput::Elements(u64::from(x)));
-        group.bench_with_input(BenchmarkId::from_parameter(format!("x={x}")), &x, |b, &x| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                let cfg = SimConfig::new(c)
-                    .seed(seed)
-                    .stop_when(StopWhen::AllTerminated)
-                    .max_rounds(1_000_000);
-                let mut exec = Executor::new(cfg);
-                for id in contention_harness::sample_distinct(2048, x as usize, seed) {
-                    exec.add_node(LeafElection::new(c, id as u32 + 1));
-                }
-                black_box(exec.run().expect("elects").rounds_executed)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("x={x}")),
+            &x,
+            |b, &x| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let cfg = SimConfig::new(c)
+                        .seed(seed)
+                        .stop_when(StopWhen::AllTerminated)
+                        .max_rounds(1_000_000);
+                    let mut exec = Engine::new(cfg);
+                    for id in contention_harness::sample_distinct(2048, x as usize, seed) {
+                        exec.add_node(LeafElection::new(c, id as u32 + 1));
+                    }
+                    black_box(exec.run().expect("elects").rounds_executed)
+                });
+            },
+        );
     }
     group.finish();
 }

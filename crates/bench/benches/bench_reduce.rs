@@ -3,7 +3,7 @@
 
 use contention::Reduce;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use mac_sim::{Executor, SimConfig, StopWhen};
+use mac_sim::{Engine, SimConfig, StopWhen};
 use std::hint::black_box;
 
 fn bench_reduce(criterion: &mut Criterion) {
@@ -21,7 +21,7 @@ fn bench_reduce(criterion: &mut Criterion) {
                         .seed(seed)
                         .stop_when(StopWhen::AllTerminated)
                         .max_rounds(100_000);
-                    let mut exec = Executor::new(cfg);
+                    let mut exec = Engine::new(cfg);
                     for _ in 0..active {
                         exec.add_node(Reduce::new(1 << 16));
                     }

@@ -1,0 +1,76 @@
+//! Bench target for the layered round engine itself: the same workload
+//! (the paper's full algorithm at C = 64, n = 2¹², |A| = 500) driven
+//! through each execution path, so the cost of the observation layer is
+//! visible in isolation:
+//!
+//! * `run/full_report` — the default path: metrics on, full [`RunReport`];
+//! * `run_summary/no_observers` — metrics off, cheap [`RunSummary`] only;
+//! * `run/trace_channels` — per-round channel outcomes recorded too.
+
+use contention::{FullAlgorithm, Params};
+use criterion::{criterion_group, criterion_main, Criterion};
+use mac_sim::{Engine, SimConfig, TraceLevel};
+use std::hint::black_box;
+
+const C: u32 = 64;
+const N: u64 = 1 << 12;
+const ACTIVE: usize = 500;
+
+fn engine(config: SimConfig) -> Engine<FullAlgorithm> {
+    let mut engine = Engine::new(config);
+    for _ in 0..ACTIVE {
+        engine.add_node(FullAlgorithm::new(Params::practical(), C, N));
+    }
+    engine
+}
+
+fn bench_round_engine(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("round_engine(C=64,n=2^12,|A|=500)");
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    group.bench_function("run/full_report", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            // Cycle a fixed seed set so every execution path measures the
+            // exact same ensemble of runs.
+            seed = (seed % 16) + 1;
+            let mut eng = engine(SimConfig::new(C).seed(seed).max_rounds(10_000_000));
+            black_box(eng.run().expect("solves").solved_round)
+        });
+    });
+
+    group.bench_function("run_summary/no_observers", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            // Cycle a fixed seed set so every execution path measures the
+            // exact same ensemble of runs.
+            seed = (seed % 16) + 1;
+            let cfg = SimConfig::new(C)
+                .seed(seed)
+                .max_rounds(10_000_000)
+                .record_metrics(false);
+            let mut eng = engine(cfg);
+            black_box(eng.run_summary().expect("solves").solved_round)
+        });
+    });
+
+    group.bench_function("run/trace_channels", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            // Cycle a fixed seed set so every execution path measures the
+            // exact same ensemble of runs.
+            seed = (seed % 16) + 1;
+            let cfg = SimConfig::new(C)
+                .seed(seed)
+                .max_rounds(10_000_000)
+                .trace_level(TraceLevel::Channels);
+            let mut eng = engine(cfg);
+            black_box(eng.run().expect("solves").solved_round)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_round_engine);
+criterion_main!(benches);

@@ -6,7 +6,7 @@ use contention::baselines::{CdTournament, TreeSplit};
 use contention::serialize::SerializeAll;
 use contention::{FullAlgorithm, Params};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use mac_sim::{Executor, SimConfig, StopWhen};
+use mac_sim::{Engine, SimConfig, StopWhen};
 use std::hint::black_box;
 
 fn bench_serializers(criterion: &mut Criterion) {
@@ -25,7 +25,7 @@ fn bench_serializers(criterion: &mut Criterion) {
                         .seed(seed)
                         .stop_when(StopWhen::AllTerminated)
                         .max_rounds(10_000_000);
-                    let mut exec = Executor::new(cfg);
+                    let mut exec = Engine::new(cfg);
                     for payload in 0..k as u32 {
                         let factory = move || FullAlgorithm::new(Params::practical(), c, n);
                         exec.add_node(SerializeAll::new(factory, payload));
@@ -45,7 +45,7 @@ fn bench_serializers(criterion: &mut Criterion) {
                         .seed(seed)
                         .stop_when(StopWhen::AllTerminated)
                         .max_rounds(10_000_000);
-                    let mut exec = Executor::new(cfg);
+                    let mut exec = Engine::new(cfg);
                     for payload in 0..k as u32 {
                         exec.add_node(SerializeAll::new(CdTournament::new, payload));
                     }
@@ -61,7 +61,7 @@ fn bench_serializers(criterion: &mut Criterion) {
                     let cfg = SimConfig::new(1)
                         .stop_when(StopWhen::AllTerminated)
                         .max_rounds(10_000_000);
-                    let mut exec = Executor::new(cfg);
+                    let mut exec = Engine::new(cfg);
                     for i in 0..k as u64 {
                         exec.add_node(TreeSplit::new(i * (n / k as u64), n));
                     }

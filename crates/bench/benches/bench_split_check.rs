@@ -10,9 +10,13 @@ fn bench_snir_boundary(criterion: &mut Criterion) {
     let mut group = criterion.benchmark_group("pram/snir_boundary(m=4096)");
     let bits: Vec<bool> = (1..=4096).map(|j| j >= 2000).collect();
     for p in [1usize, 4, 16, 64] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("p={p}")), &p, |b, &p| {
-            b.iter(|| black_box(snir_boundary(&bits, p).expect("searches")));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("p={p}")),
+            &p,
+            |b, &p| {
+                b.iter(|| black_box(snir_boundary(&bits, p).expect("searches")));
+            },
+        );
     }
     group.finish();
 }
@@ -22,7 +26,9 @@ fn bench_snir_lower_bound(criterion: &mut Criterion) {
     for m in [256usize, 4096, 65536] {
         let sorted: Vec<i64> = (0..m as i64).map(|x| x * 3).collect();
         group.bench_with_input(BenchmarkId::from_parameter(format!("m={m}")), &m, |b, _| {
-            b.iter(|| black_box(snir_lower_bound(&sorted, 3 * (m as i64) / 2, 8).expect("searches")));
+            b.iter(|| {
+                black_box(snir_lower_bound(&sorted, 3 * (m as i64) / 2, 8).expect("searches"))
+            });
         });
     }
     group.finish();

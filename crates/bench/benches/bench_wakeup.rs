@@ -4,7 +4,7 @@
 use contention::wakeup::StaggeredStart;
 use contention::{FullAlgorithm, Params};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mac_sim::{Executor, SimConfig};
+use mac_sim::{Engine, SimConfig};
 use std::hint::black_box;
 
 fn bench_wakeup(criterion: &mut Criterion) {
@@ -15,7 +15,7 @@ fn bench_wakeup(criterion: &mut Criterion) {
             let mut seed = 0;
             b.iter(|| {
                 seed += 1;
-                let mut exec = Executor::new(SimConfig::new(c).seed(seed).max_rounds(1_000_000));
+                let mut exec = Engine::new(SimConfig::new(c).seed(seed).max_rounds(1_000_000));
                 for i in 0..active as u64 {
                     let off = if stride == 0 { 0 } else { (i * stride) % 13 };
                     exec.add_node_at(

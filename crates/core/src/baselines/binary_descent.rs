@@ -23,11 +23,11 @@ use rand::rngs::SmallRng;
 ///
 /// ```
 /// use contention::baselines::BinaryDescent;
-/// use mac_sim::{Executor, SimConfig};
+/// use mac_sim::{Engine, SimConfig};
 ///
 /// # fn main() -> Result<(), mac_sim::SimError> {
 /// let n = 1u64 << 10;
-/// let mut exec = Executor::new(SimConfig::new(1));
+/// let mut exec = Engine::new(SimConfig::new(1));
 /// for id in [17u64, 400, 900] {
 ///     exec.add_node(BinaryDescent::new(id, n));
 /// }
@@ -134,13 +134,13 @@ impl Protocol for BinaryDescent {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mac_sim::{Executor, SimConfig, StopWhen};
+    use mac_sim::{Engine, SimConfig, StopWhen};
 
     fn run(n: u64, ids: &[u64]) -> mac_sim::RunReport {
         let cfg = SimConfig::new(1)
             .stop_when(StopWhen::AllTerminated)
             .max_rounds(10_000);
-        let mut exec = Executor::new(cfg);
+        let mut exec = Engine::new(cfg);
         for &id in ids {
             exec.add_node(BinaryDescent::new(id, n));
         }
@@ -162,7 +162,10 @@ mod tests {
             let ids: Vec<u64> = (0..8).filter(|b| mask & (1 << b) != 0).collect();
             let report = run(8, &ids);
             assert_eq!(report.leaders.len(), 1, "ids {ids:?}");
-            assert_eq!(report.leaders[0].0, 0, "ids {ids:?} (min is inserted first)");
+            assert_eq!(
+                report.leaders[0].0, 0,
+                "ids {ids:?} (min is inserted first)"
+            );
             assert!(report.is_solved(), "ids {ids:?}");
         }
     }

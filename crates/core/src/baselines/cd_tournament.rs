@@ -19,10 +19,10 @@ use rand::Rng;
 ///
 /// ```
 /// use contention::baselines::CdTournament;
-/// use mac_sim::{Executor, SimConfig};
+/// use mac_sim::{Engine, SimConfig};
 ///
 /// # fn main() -> Result<(), mac_sim::SimError> {
-/// let mut exec = Executor::new(SimConfig::new(1).seed(5));
+/// let mut exec = Engine::new(SimConfig::new(1).seed(5));
 /// for _ in 0..100 {
 ///     exec.add_node(CdTournament::new());
 /// }
@@ -86,7 +86,7 @@ impl Protocol for CdTournament {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mac_sim::{Executor, SimConfig, StopWhen};
+    use mac_sim::{Engine, SimConfig, StopWhen};
 
     #[test]
     fn elects_exactly_one_leader() {
@@ -95,7 +95,7 @@ mod tests {
                 .seed(seed)
                 .stop_when(StopWhen::AllTerminated)
                 .max_rounds(10_000);
-            let mut exec = Executor::new(cfg);
+            let mut exec = Engine::new(cfg);
             for _ in 0..64 {
                 exec.add_node(CdTournament::new());
             }
@@ -111,7 +111,7 @@ mod tests {
         for (n, cap) in [(16u64, 60u64), (256, 90), (4096, 130)] {
             for seed in 0..10 {
                 let cfg = SimConfig::new(1).seed(seed).max_rounds(100_000);
-                let mut exec = Executor::new(cfg);
+                let mut exec = Engine::new(cfg);
                 for _ in 0..n {
                     exec.add_node(CdTournament::new());
                 }
@@ -125,7 +125,7 @@ mod tests {
     #[test]
     fn lone_node_wins_quickly() {
         let cfg = SimConfig::new(1).seed(0).max_rounds(200);
-        let mut exec = Executor::new(cfg);
+        let mut exec = Engine::new(cfg);
         exec.add_node(CdTournament::new());
         let report = exec.run().expect("run succeeds");
         assert!(report.rounds_to_solve().unwrap() <= 64);

@@ -23,11 +23,11 @@ use rand::Rng;
 ///
 /// ```
 /// use contention::baselines::Decay;
-/// use mac_sim::{CdMode, Executor, SimConfig};
+/// use mac_sim::{CdMode, Engine, SimConfig};
 ///
 /// # fn main() -> Result<(), mac_sim::SimError> {
 /// let cfg = SimConfig::new(1).seed(3).cd_mode(CdMode::None);
-/// let mut exec = Executor::new(cfg);
+/// let mut exec = Engine::new(cfg);
 /// for _ in 0..50 {
 ///     exec.add_node(Decay::new(1 << 10));
 /// }
@@ -107,14 +107,14 @@ impl Protocol for Decay {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mac_sim::{CdMode, Executor, SimConfig};
+    use mac_sim::{CdMode, Engine, SimConfig};
 
     fn rounds_to_solve(n: u64, active: usize, seed: u64) -> u64 {
         let cfg = SimConfig::new(1)
             .seed(seed)
             .cd_mode(CdMode::None)
             .max_rounds(1_000_000);
-        let mut exec = Executor::new(cfg);
+        let mut exec = Engine::new(cfg);
         for _ in 0..active {
             exec.add_node(Decay::new(n));
         }

@@ -31,12 +31,12 @@ use rand::Rng;
 ///
 /// ```
 /// use contention::baselines::MultiChannelNoCd;
-/// use mac_sim::{CdMode, Executor, SimConfig};
+/// use mac_sim::{CdMode, Engine, SimConfig};
 ///
 /// # fn main() -> Result<(), mac_sim::SimError> {
 /// let c = 16;
 /// let cfg = SimConfig::new(c).seed(9).cd_mode(CdMode::None);
-/// let mut exec = Executor::new(cfg);
+/// let mut exec = Engine::new(cfg);
 /// for _ in 0..200 {
 ///     exec.add_node(MultiChannelNoCd::new(c, 1 << 10));
 /// }
@@ -135,14 +135,14 @@ impl Protocol for MultiChannelNoCd {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mac_sim::{CdMode, Executor, SimConfig};
+    use mac_sim::{CdMode, Engine, SimConfig};
 
     fn rounds_to_solve(c: u32, n: u64, active: usize, seed: u64) -> u64 {
         let cfg = SimConfig::new(c)
             .seed(seed)
             .cd_mode(CdMode::None)
             .max_rounds(2_000_000);
-        let mut exec = Executor::new(cfg);
+        let mut exec = Engine::new(cfg);
         for _ in 0..active {
             exec.add_node(MultiChannelNoCd::new(c, n));
         }
@@ -169,10 +169,7 @@ mod tests {
         };
         let one = mean(1);
         let many = mean(64);
-        assert!(
-            many < one,
-            "C=64 ({many}) should beat C=1 ({one})"
-        );
+        assert!(many < one, "C=64 ({many}) should beat C=1 ({one})");
     }
 
     #[test]
@@ -190,7 +187,11 @@ mod tests {
                 seen.insert(node.spread_exponent(sweep, ch));
             }
         }
-        assert_eq!(seen.len(), 8, "two sweeps of 4 channels cover all 8 exponents");
+        assert_eq!(
+            seen.len(),
+            8,
+            "two sweeps of 4 channels cover all 8 exponents"
+        );
     }
 
     #[test]

@@ -26,12 +26,12 @@ use rand::rngs::SmallRng;
 ///
 /// ```
 /// use contention::baselines::TreeSplit;
-/// use mac_sim::{Executor, SimConfig, StopWhen};
+/// use mac_sim::{Engine, SimConfig, StopWhen};
 ///
 /// # fn main() -> Result<(), mac_sim::SimError> {
 /// let n = 64;
 /// let cfg = SimConfig::new(1).stop_when(StopWhen::AllTerminated);
-/// let mut exec = Executor::new(cfg);
+/// let mut exec = Engine::new(cfg);
 /// for id in [3u64, 17, 40, 41] {
 ///     exec.add_node(TreeSplit::new(id, n));
 /// }
@@ -167,13 +167,13 @@ impl Protocol for TreeSplit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mac_sim::{Executor, SimConfig, StopWhen};
+    use mac_sim::{Engine, SimConfig, StopWhen};
 
     fn run(n: u64, ids: &[u64]) -> (mac_sim::RunReport, Vec<TreeSplit>) {
         let cfg = SimConfig::new(1)
             .stop_when(StopWhen::AllTerminated)
             .max_rounds(100_000);
-        let mut exec = Executor::new(cfg);
+        let mut exec = Engine::new(cfg);
         for &id in ids {
             exec.add_node(TreeSplit::new(id, n));
         }
@@ -188,7 +188,10 @@ mod tests {
         let (report, nodes) = run(64, &ids);
         assert!(report.is_solved());
         assert_eq!(report.leaders.len(), 1);
-        let mut slots: Vec<u64> = nodes.iter().map(|t| t.served_at().expect("served")).collect();
+        let mut slots: Vec<u64> = nodes
+            .iter()
+            .map(|t| t.served_at().expect("served"))
+            .collect();
         slots.sort_unstable();
         slots.dedup();
         assert_eq!(slots.len(), ids.len(), "two nodes shared a slot");
@@ -243,7 +246,10 @@ mod tests {
     fn lone_contender_is_served_fast() {
         let (report, nodes) = run(1 << 20, &[12345]);
         assert!(report.rounds_to_solve().expect("solved") <= 2);
-        assert_eq!(nodes[0].served_at(), Some(report.solved_round.expect("solved")));
+        assert_eq!(
+            nodes[0].served_at(),
+            Some(report.solved_round.expect("solved"))
+        );
     }
 
     #[test]

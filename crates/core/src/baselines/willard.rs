@@ -36,10 +36,10 @@ enum Stage {
 ///
 /// ```
 /// use contention::baselines::Willard;
-/// use mac_sim::{Executor, SimConfig};
+/// use mac_sim::{Engine, SimConfig};
 ///
 /// # fn main() -> Result<(), mac_sim::SimError> {
-/// let mut exec = Executor::new(SimConfig::new(1).seed(5));
+/// let mut exec = Engine::new(SimConfig::new(1).seed(5));
 /// for _ in 0..500 {
 ///     exec.add_node(Willard::new(1 << 16));
 /// }
@@ -136,7 +136,10 @@ impl Protocol for Willard {
                     (lo, mid.saturating_sub(1).max(lo))
                 };
                 self.stage = if nlo >= nhi {
-                    Stage::Exploit { center: nhi, step: 0 }
+                    Stage::Exploit {
+                        center: nhi,
+                        step: 0,
+                    }
                 } else {
                     Stage::Search { lo: nlo, hi: nhi }
                 };
@@ -175,14 +178,17 @@ impl Protocol for Willard {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mac_sim::{Executor, SimConfig, StopWhen};
+    use mac_sim::{Engine, SimConfig, StopWhen};
 
     fn rounds_to_solve(n: u64, active: usize, seed: u64) -> u64 {
-        let mut exec = Executor::new(SimConfig::new(1).seed(seed).max_rounds(1_000_000));
+        let mut exec = Engine::new(SimConfig::new(1).seed(seed).max_rounds(1_000_000));
         for _ in 0..active {
             exec.add_node(Willard::new(n));
         }
-        exec.run().expect("solves").rounds_to_solve().expect("solved")
+        exec.run()
+            .expect("solves")
+            .rounds_to_solve()
+            .expect("solved")
     }
 
     #[test]
@@ -216,14 +222,20 @@ mod tests {
         use crate::baselines::CdTournament;
         let n = 1u64 << 16;
         let active = 4096usize;
-        let willard: f64 = (0..15).map(|s| rounds_to_solve(n, active, s) as f64).sum::<f64>() / 15.0;
+        let willard: f64 = (0..15)
+            .map(|s| rounds_to_solve(n, active, s) as f64)
+            .sum::<f64>()
+            / 15.0;
         let tournament: f64 = (0..15)
             .map(|s| {
-                let mut exec = Executor::new(SimConfig::new(1).seed(s).max_rounds(1_000_000));
+                let mut exec = Engine::new(SimConfig::new(1).seed(s).max_rounds(1_000_000));
                 for _ in 0..active {
                     exec.add_node(CdTournament::new());
                 }
-                exec.run().expect("solves").rounds_to_solve().expect("solved") as f64
+                exec.run()
+                    .expect("solves")
+                    .rounds_to_solve()
+                    .expect("solved") as f64
             })
             .sum::<f64>()
             / 15.0;
@@ -239,7 +251,7 @@ mod tests {
             .seed(9)
             .stop_when(StopWhen::AllTerminated)
             .max_rounds(1_000_000);
-        let mut exec = Executor::new(cfg);
+        let mut exec = Engine::new(cfg);
         for _ in 0..200 {
             exec.add_node(Willard::new(1 << 12));
         }

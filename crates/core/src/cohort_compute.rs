@@ -71,13 +71,13 @@ enum Stage {
 ///
 /// ```
 /// use contention::cohort_compute::{AggregateOp, CohortAggregate};
-/// use mac_sim::{ChannelId, Executor, SimConfig, StopWhen};
+/// use mac_sim::{ChannelId, Engine, SimConfig, StopWhen};
 ///
 /// # fn main() -> Result<(), mac_sim::SimError> {
 /// let values = [13i64, -4, 99, 7, 22];
 /// let p = values.len() as u32;
 /// let cfg = SimConfig::new(16).stop_when(StopWhen::AllTerminated);
-/// let mut exec = Executor::new(cfg);
+/// let mut exec = Engine::new(cfg);
 /// for (i, &v) in values.iter().enumerate() {
 ///     exec.add_node(CohortAggregate::new(
 ///         ChannelId::new(2), p, i as u32 + 1, v, AggregateOp::Max,
@@ -113,17 +113,18 @@ impl CohortAggregate {
     #[must_use]
     pub fn new(base: ChannelId, p: u32, c_id: u32, value: i64, op: AggregateOp) -> Self {
         assert!(p >= 1, "cohort must have at least one member");
-        assert!(
-            (1..=p).contains(&c_id),
-            "cohort id {c_id} outside 1..={p}"
-        );
+        assert!((1..=p).contains(&c_id), "cohort id {c_id} outside 1..={p}");
         CohortAggregate {
             base,
             p,
             c_id,
             op,
             acc: op.seed(value),
-            stage: if p == 1 { Stage::Announce } else { Stage::Fold { k: 0 } },
+            stage: if p == 1 {
+                Stage::Announce
+            } else {
+                Stage::Fold { k: 0 }
+            },
             result: None,
             rounds: 0,
         }
@@ -241,14 +242,22 @@ impl Protocol for CohortAggregate {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mac_sim::{Executor, SimConfig, StopWhen};
+    use mac_sim::{Engine, SimConfig, StopWhen};
 
     fn run(values: &[i64], op: AggregateOp) -> (Vec<Option<i64>>, u64) {
         let p = values.len() as u32;
-        let cfg = SimConfig::new(64).stop_when(StopWhen::AllTerminated).max_rounds(1000);
-        let mut exec = Executor::new(cfg);
+        let cfg = SimConfig::new(64)
+            .stop_when(StopWhen::AllTerminated)
+            .max_rounds(1000);
+        let mut exec = Engine::new(cfg);
         for (i, &v) in values.iter().enumerate() {
-            exec.add_node(CohortAggregate::new(ChannelId::new(2), p, i as u32 + 1, v, op));
+            exec.add_node(CohortAggregate::new(
+                ChannelId::new(2),
+                p,
+                i as u32 + 1,
+                v,
+                op,
+            ));
         }
         let report = exec.run().expect("aggregates");
         let results = exec.iter_nodes().map(CohortAggregate::result).collect();
@@ -302,16 +311,33 @@ mod tests {
 
     #[test]
     fn two_cohorts_on_disjoint_bases_do_not_interfere() {
-        let cfg = SimConfig::new(64).stop_when(StopWhen::AllTerminated).max_rounds(1000);
-        let mut exec = Executor::new(cfg);
+        let cfg = SimConfig::new(64)
+            .stop_when(StopWhen::AllTerminated)
+            .max_rounds(1000);
+        let mut exec = Engine::new(cfg);
         for (i, &v) in [1i64, 9, 4].iter().enumerate() {
-            exec.add_node(CohortAggregate::new(ChannelId::new(2), 3, i as u32 + 1, v, AggregateOp::Max));
+            exec.add_node(CohortAggregate::new(
+                ChannelId::new(2),
+                3,
+                i as u32 + 1,
+                v,
+                AggregateOp::Max,
+            ));
         }
         for (i, &v) in [100i64, 50].iter().enumerate() {
-            exec.add_node(CohortAggregate::new(ChannelId::new(30), 2, i as u32 + 1, v, AggregateOp::Max));
+            exec.add_node(CohortAggregate::new(
+                ChannelId::new(30),
+                2,
+                i as u32 + 1,
+                v,
+                AggregateOp::Max,
+            ));
         }
         exec.run().expect("aggregates");
         let results: Vec<Option<i64>> = exec.iter_nodes().map(CohortAggregate::result).collect();
-        assert_eq!(results, vec![Some(9), Some(9), Some(9), Some(100), Some(100)]);
+        assert_eq!(
+            results,
+            vec![Some(9), Some(9), Some(9), Some(100), Some(100)]
+        );
     }
 }

@@ -41,11 +41,11 @@ enum Step {
 ///
 /// ```
 /// use contention::extensions::ExpectedConstant;
-/// use mac_sim::{Executor, SimConfig};
+/// use mac_sim::{Engine, SimConfig};
 ///
 /// # fn main() -> Result<(), mac_sim::SimError> {
 /// let (c, n) = (16u32, 1u64 << 12); // C >= lg n + 1 = 13
-/// let mut exec = Executor::new(SimConfig::new(c).seed(3));
+/// let mut exec = Engine::new(SimConfig::new(c).seed(3));
 /// for _ in 0..500 {
 ///     exec.add_node(ExpectedConstant::new(c, n));
 /// }
@@ -213,11 +213,11 @@ impl Protocol for ExpectedConstant {
 ///
 /// ```
 /// use contention::extensions::SizeEstimate;
-/// use mac_sim::{Executor, SimConfig, StopWhen};
+/// use mac_sim::{Engine, SimConfig, StopWhen};
 ///
 /// # fn main() -> Result<(), mac_sim::SimError> {
 /// let cfg = SimConfig::new(1).seed(2).stop_when(StopWhen::AllTerminated);
-/// let mut exec = Executor::new(cfg);
+/// let mut exec = Engine::new(cfg);
 /// for _ in 0..300 {
 ///     exec.add_node(SizeEstimate::new(1 << 12));
 /// }
@@ -304,14 +304,17 @@ impl Protocol for SizeEstimate {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mac_sim::{Executor, SimConfig, StopWhen};
+    use mac_sim::{Engine, SimConfig, StopWhen};
 
     fn rounds_to_solve(c: u32, n: u64, active: usize, seed: u64) -> u64 {
-        let mut exec = Executor::new(SimConfig::new(c).seed(seed).max_rounds(1_000_000));
+        let mut exec = Engine::new(SimConfig::new(c).seed(seed).max_rounds(1_000_000));
         for _ in 0..active {
             exec.add_node(ExpectedConstant::new(c, n));
         }
-        exec.run().expect("solves").rounds_to_solve().expect("solved")
+        exec.run()
+            .expect("solves")
+            .rounds_to_solve()
+            .expect("solved")
     }
 
     #[test]
@@ -346,7 +349,7 @@ mod tests {
             .seed(5)
             .stop_when(StopWhen::AllTerminated)
             .max_rounds(1_000_000);
-        let mut exec = Executor::new(cfg);
+        let mut exec = Engine::new(cfg);
         for _ in 0..200 {
             exec.add_node(ExpectedConstant::new(16, 1 << 10));
         }
@@ -374,12 +377,14 @@ mod tests {
             .seed(seed)
             .stop_when(StopWhen::AllTerminated)
             .max_rounds(1000);
-        let mut exec = Executor::new(cfg);
+        let mut exec = Engine::new(cfg);
         for _ in 0..active {
             exec.add_node(SizeEstimate::new(n));
         }
         exec.run().expect("sweeps");
-        exec.iter_nodes().map(|e| e.estimate().expect("estimated")).collect()
+        exec.iter_nodes()
+            .map(|e| e.estimate().expect("estimated"))
+            .collect()
     }
 
     #[test]
@@ -407,8 +412,11 @@ mod tests {
 
     #[test]
     fn sweep_length_is_lg_n_plus_one() {
-        let cfg = SimConfig::new(1).seed(0).stop_when(StopWhen::AllTerminated).max_rounds(100);
-        let mut exec = Executor::new(cfg);
+        let cfg = SimConfig::new(1)
+            .seed(0)
+            .stop_when(StopWhen::AllTerminated)
+            .max_rounds(100);
+        let mut exec = Engine::new(cfg);
         for _ in 0..10 {
             exec.add_node(SizeEstimate::new(1 << 8));
         }

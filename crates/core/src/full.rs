@@ -54,11 +54,11 @@ enum Stage {
 ///
 /// ```
 /// use contention::{FullAlgorithm, Params};
-/// use mac_sim::{Executor, SimConfig};
+/// use mac_sim::{Engine, SimConfig};
 ///
 /// # fn main() -> Result<(), mac_sim::SimError> {
 /// let (c, n) = (128u32, 1u64 << 14);
-/// let mut exec = Executor::new(SimConfig::new(c).seed(2));
+/// let mut exec = Engine::new(SimConfig::new(c).seed(2));
 /// for _ in 0..1000 {
 ///     exec.add_node(FullAlgorithm::new(Params::practical(), c, n));
 /// }
@@ -204,7 +204,7 @@ impl Protocol for FullAlgorithm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mac_sim::{Executor, RunReport, SimConfig, StopWhen};
+    use mac_sim::{Engine, RunReport, SimConfig, StopWhen};
     use std::collections::HashSet;
 
     fn run(c: u32, n: u64, active: usize, seed: u64) -> (RunReport, Vec<FullAlgorithm>) {
@@ -212,7 +212,7 @@ mod tests {
             .seed(seed)
             .stop_when(StopWhen::AllTerminated)
             .max_rounds(1_000_000);
-        let mut exec = Executor::new(cfg);
+        let mut exec = Engine::new(cfg);
         for _ in 0..active {
             exec.add_node(FullAlgorithm::new(Params::practical(), c, n));
         }
@@ -237,7 +237,11 @@ mod tests {
         for seed in 0..40 {
             let (report, _) = run(32, 1 << 10, 200, seed);
             assert!(report.is_solved(), "seed {seed}");
-            assert!(report.leaders.len() <= 1, "seed {seed}: {:?}", report.leaders);
+            assert!(
+                report.leaders.len() <= 1,
+                "seed {seed}: {:?}",
+                report.leaders
+            );
         }
     }
 
@@ -281,7 +285,8 @@ mod tests {
                 let (report, _) = run(c, n, 800, seed);
                 let lg_n = (n as f64).log2();
                 let lglg = lg_n.log2();
-                let budget = 6.0 * lg_n / f64::from(c).log2() + 6.0 * lglg * lglg.log2().max(1.0) + 40.0;
+                let budget =
+                    6.0 * lg_n / f64::from(c).log2() + 6.0 * lglg * lglg.log2().max(1.0) + 40.0;
                 let rounds = report.rounds_to_solve().unwrap() as f64;
                 assert!(
                     rounds <= budget,
@@ -314,7 +319,7 @@ mod tests {
             .seed(4)
             .stop_when(StopWhen::AllTerminated)
             .max_rounds(1_000_000);
-        let mut exec = Executor::new(cfg);
+        let mut exec = Engine::new(cfg);
         for _ in 0..500 {
             exec.add_node(FullAlgorithm::new(Params::paper(), 1 << 10, 1 << 12));
         }

@@ -65,13 +65,13 @@ enum SubRound {
 ///
 /// ```
 /// use contention::{IdReduction, IdReductionOutcome, Params};
-/// use mac_sim::{Executor, SimConfig, StopWhen};
+/// use mac_sim::{Engine, SimConfig, StopWhen};
 /// use std::collections::HashSet;
 ///
 /// # fn main() -> Result<(), mac_sim::SimError> {
 /// let c = 64;
 /// let cfg = SimConfig::new(c).seed(11).stop_when(StopWhen::AllTerminated);
-/// let mut exec = Executor::new(cfg);
+/// let mut exec = Engine::new(cfg);
 /// for _ in 0..12 {
 ///     exec.add_node(IdReduction::new(Params::practical(), c));
 /// }
@@ -233,7 +233,7 @@ impl Protocol for IdReduction {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mac_sim::{Executor, SimConfig, StopWhen};
+    use mac_sim::{Engine, SimConfig, StopWhen};
     use std::collections::HashSet;
 
     fn run(c: u32, active: usize, seed: u64) -> (mac_sim::RunReport, Vec<IdReductionOutcome>) {
@@ -241,7 +241,7 @@ mod tests {
             .seed(seed)
             .stop_when(StopWhen::AllTerminated)
             .max_rounds(100_000);
-        let mut exec = Executor::new(cfg);
+        let mut exec = Engine::new(cfg);
         for _ in 0..active {
             exec.add_node(IdReduction::new(Params::practical(), c));
         }
@@ -332,8 +332,14 @@ mod tests {
         };
         let small = mean(16);
         let large = mean(1 << 14);
-        assert!(large <= small, "rounds must not grow with C: {large} vs {small}");
-        assert!(large < 4.0, "with C=16384 renaming is ~1 attempt, got {large}");
+        assert!(
+            large <= small,
+            "rounds must not grow with C: {large} vs {small}"
+        );
+        assert!(
+            large < 4.0,
+            "with C=16384 renaming is ~1 attempt, got {large}"
+        );
     }
 
     #[test]
@@ -362,7 +368,7 @@ mod tests {
                 .seed(5)
                 .stop_when(StopWhen::AllTerminated)
                 .max_rounds(100_000);
-            let mut exec = Executor::new(cfg);
+            let mut exec = Engine::new(cfg);
             for _ in 0..40 {
                 exec.add_node(IdReduction::new(Params::paper(), 1 << 12));
             }
@@ -379,8 +385,11 @@ mod tests {
     #[test]
     fn stats_count_rounds() {
         let (_, _) = run(16, 10, 3);
-        let cfg = SimConfig::new(16).seed(3).stop_when(StopWhen::AllTerminated).max_rounds(10_000);
-        let mut exec = Executor::new(cfg);
+        let cfg = SimConfig::new(16)
+            .seed(3)
+            .stop_when(StopWhen::AllTerminated)
+            .max_rounds(10_000);
+        let mut exec = Engine::new(cfg);
         for _ in 0..10 {
             exec.add_node(IdReduction::new(Params::practical(), 16));
         }

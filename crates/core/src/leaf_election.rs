@@ -82,12 +82,12 @@ enum Stage {
 ///
 /// ```
 /// use contention::LeafElection;
-/// use mac_sim::{Executor, SimConfig, StopWhen};
+/// use mac_sim::{Engine, SimConfig, StopWhen};
 ///
 /// # fn main() -> Result<(), mac_sim::SimError> {
 /// let c = 64; // tree with 32 leaves
 /// let cfg = SimConfig::new(c).stop_when(StopWhen::AllTerminated);
-/// let mut exec = Executor::new(cfg);
+/// let mut exec = Engine::new(cfg);
 /// for id in [3, 7, 20, 21, 30] {
 ///     exec.add_node(LeafElection::new(c, id));
 /// }
@@ -219,7 +219,11 @@ impl LeafElection {
 
     /// Whether this node probes in the current iteration (`cID ≤ k−1`).
     fn is_prober(&self, s: &SearchState) -> bool {
-        let (_, k) = split_points(s.l_min as usize, s.l_max as usize, self.search_width() as usize);
+        let (_, k) = split_points(
+            s.l_min as usize,
+            s.l_max as usize,
+            self.search_width() as usize,
+        );
         (self.c_id as usize) < k
     }
 
@@ -364,8 +368,8 @@ impl Protocol for LeafElection {
                     let s = *s;
                     let check1 = s.check1.unwrap_or(false);
                     let check2 = s.check2.unwrap_or(false);
-                    let announced_by_me = self.is_prober(&s)
-                        && ((self.c_id == 1 && !check1) || (check1 && !check2));
+                    let announced_by_me =
+                        self.is_prober(&s) && ((self.c_id == 1 && !check1) || (check1 && !check2));
                     let i = if announced_by_me {
                         if self.c_id == 1 && !check1 {
                             0
@@ -429,13 +433,13 @@ impl Protocol for LeafElection {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mac_sim::{Executor, RunReport, SimConfig, StopWhen};
+    use mac_sim::{Engine, RunReport, SimConfig, StopWhen};
 
     fn run_ids(c: u32, ids: &[u32]) -> (RunReport, Vec<LeafElection>) {
         let cfg = SimConfig::new(c)
             .stop_when(StopWhen::AllTerminated)
             .max_rounds(100_000);
-        let mut exec = Executor::new(cfg);
+        let mut exec = Engine::new(cfg);
         for &id in ids {
             exec.add_node(LeafElection::new(c, id));
         }
@@ -448,7 +452,10 @@ mod tests {
     fn elects_exactly_one_leader_for_all_small_id_sets() {
         // Exhaustive over all nonempty subsets of an 8-leaf tree (C = 16).
         for mask in 1u32..(1 << 8) {
-            let ids: Vec<u32> = (0..8).filter(|b| mask & (1 << b) != 0).map(|b| b + 1).collect();
+            let ids: Vec<u32> = (0..8)
+                .filter(|b| mask & (1 << b) != 0)
+                .map(|b| b + 1)
+                .collect();
             let (report, _) = run_ids(16, &ids);
             assert_eq!(report.leaders.len(), 1, "ids {ids:?}");
             assert!(report.is_solved(), "ids {ids:?}");
@@ -504,7 +511,9 @@ mod tests {
         // The winning cohort at the end: collect members with same c_node.
         let members: Vec<&LeafElection> = nodes
             .iter()
-            .filter(|n| n.cohort_node() == winner.cohort_node() && n.cohort_size() == winner.cohort_size())
+            .filter(|n| {
+                n.cohort_node() == winner.cohort_node() && n.cohort_size() == winner.cohort_size()
+            })
             .collect();
         let mut cids: Vec<u32> = members.iter().map(|m| m.cohort_id()).collect();
         cids.sort_unstable();
@@ -545,7 +554,10 @@ mod tests {
         assert_eq!(report.leaders.len(), 1);
         let winner = &nodes[report.leaders[0].0];
         let by_phase = &winner.stats().search_rounds_by_phase;
-        assert!(by_phase.len() >= 4, "expected several phases, got {by_phase:?}");
+        assert!(
+            by_phase.len() >= 4,
+            "expected several phases, got {by_phase:?}"
+        );
         for w in by_phase.windows(2) {
             assert!(
                 w[1] <= w[0] + 5,

@@ -43,11 +43,11 @@
 //!
 //! ```
 //! use contention::{FullAlgorithm, Params};
-//! use mac_sim::{Executor, SimConfig};
+//! use mac_sim::{Engine, SimConfig};
 //!
 //! # fn main() -> Result<(), mac_sim::SimError> {
 //! let (n, c, active) = (1u64 << 12, 64u32, 500usize);
-//! let mut exec = Executor::new(SimConfig::new(c).seed(7));
+//! let mut exec = Engine::new(SimConfig::new(c).seed(7));
 //! for _ in 0..active {
 //!     exec.add_node(FullAlgorithm::new(Params::practical(), c, n));
 //! }

@@ -41,12 +41,12 @@ pub enum ReduceOutcome {
 ///
 /// ```
 /// use contention::{Reduce, ReduceOutcome};
-/// use mac_sim::{Executor, SimConfig, StopWhen};
+/// use mac_sim::{Engine, SimConfig, StopWhen};
 ///
 /// # fn main() -> Result<(), mac_sim::SimError> {
 /// let n = 1u64 << 16;
 /// let cfg = SimConfig::new(1).seed(3).stop_when(StopWhen::AllTerminated);
-/// let mut exec = Executor::new(cfg);
+/// let mut exec = Engine::new(cfg);
 /// for _ in 0..1000 {
 ///     exec.add_node(Reduce::with_params(contention::Params::practical(), n));
 /// }
@@ -170,14 +170,14 @@ impl Protocol for Reduce {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mac_sim::{Executor, SimConfig, StopWhen};
+    use mac_sim::{Engine, SimConfig, StopWhen};
 
     fn run(n: u64, active: usize, seed: u64) -> (mac_sim::RunReport, Vec<ReduceOutcome>) {
         let cfg = SimConfig::new(1)
             .seed(seed)
             .stop_when(StopWhen::AllTerminated)
             .max_rounds(10_000);
-        let mut exec = Executor::new(cfg);
+        let mut exec = Engine::new(cfg);
         for _ in 0..active {
             exec.add_node(Reduce::new(n));
         }
@@ -187,7 +187,10 @@ mod tests {
     }
 
     fn survivors(outcomes: &[ReduceOutcome]) -> usize {
-        outcomes.iter().filter(|&&o| o == ReduceOutcome::Survived).count()
+        outcomes
+            .iter()
+            .filter(|&&o| o == ReduceOutcome::Survived)
+            .count()
     }
 
     #[test]
@@ -203,7 +206,10 @@ mod tests {
     fn at_least_one_node_always_survives_or_leads() {
         for seed in 0..30 {
             let (_, outcomes) = run(1 << 12, 300, seed);
-            let leaders = outcomes.iter().filter(|&&o| o == ReduceOutcome::Leader).count();
+            let leaders = outcomes
+                .iter()
+                .filter(|&&o| o == ReduceOutcome::Leader)
+                .count();
             assert!(
                 survivors(&outcomes) + leaders >= 1,
                 "seed {seed}: everyone knocked out"
@@ -221,10 +227,7 @@ mod tests {
         for seed in 0..20 {
             let (_, outcomes) = run(n, n as usize / 4, seed);
             let s = survivors(&outcomes);
-            assert!(
-                (s as f64) <= bound,
-                "seed {seed}: {s} survivors > {bound}"
-            );
+            assert!((s as f64) <= bound, "seed {seed}: {s} survivors > {bound}");
         }
     }
 
@@ -276,8 +279,14 @@ mod tests {
         // both stay.) Verify that invariant across seeds.
         for seed in 0..40 {
             let (_, outcomes) = run(1 << 32, 2, seed);
-            let knocked = outcomes.iter().filter(|&&o| o == ReduceOutcome::Knocked).count();
-            let leaders = outcomes.iter().filter(|&&o| o == ReduceOutcome::Leader).count();
+            let knocked = outcomes
+                .iter()
+                .filter(|&&o| o == ReduceOutcome::Knocked)
+                .count();
+            let leaders = outcomes
+                .iter()
+                .filter(|&&o| o == ReduceOutcome::Leader)
+                .count();
             if knocked > 0 {
                 assert_eq!(leaders, 1, "seed {seed}: knocked without a leader");
             }

@@ -58,12 +58,12 @@ enum Mode {
 /// ```
 /// use contention::serialize::SerializeAll;
 /// use contention::{FullAlgorithm, Params};
-/// use mac_sim::{Executor, SimConfig, StopWhen};
+/// use mac_sim::{Engine, SimConfig, StopWhen};
 ///
 /// # fn main() -> Result<(), mac_sim::SimError> {
 /// let (c, n, k) = (32u32, 1u64 << 10, 12usize);
 /// let cfg = SimConfig::new(c).seed(4).stop_when(StopWhen::AllTerminated);
-/// let mut exec = Executor::new(cfg);
+/// let mut exec = Engine::new(cfg);
 /// for payload in 0..k as u32 {
 ///     let factory = move || FullAlgorithm::new(Params::practical(), c, n);
 ///     exec.add_node(SerializeAll::new(factory, payload));
@@ -238,14 +238,19 @@ mod tests {
     use super::*;
     use crate::baselines::CdTournament;
     use crate::{FullAlgorithm, Params};
-    use mac_sim::{Executor, SimConfig, StopWhen};
+    use mac_sim::{Engine, SimConfig, StopWhen};
 
-    fn run_serializer(c: u32, n: u64, k: usize, seed: u64) -> Vec<SerializeAll<impl ElectionFactory + Clone>> {
+    fn run_serializer(
+        c: u32,
+        n: u64,
+        k: usize,
+        seed: u64,
+    ) -> Vec<SerializeAll<impl ElectionFactory + Clone>> {
         let cfg = SimConfig::new(c)
             .seed(seed)
             .stop_when(StopWhen::AllTerminated)
             .max_rounds(10_000_000);
-        let mut exec = Executor::new(cfg);
+        let mut exec = Engine::new(cfg);
         for payload in 0..k as u32 {
             let factory = move || FullAlgorithm::new(Params::practical(), c, n);
             exec.add_node(SerializeAll::new(factory, payload));
@@ -287,7 +292,12 @@ mod tests {
         assert_eq!(unique.len(), 10, "duplicate deliveries: {full:?}");
         for node in &nodes {
             let d = node.deliveries();
-            assert_eq!(d, &full[..d.len()], "divergent order at {:?}", node.payload());
+            assert_eq!(
+                d,
+                &full[..d.len()],
+                "divergent order at {:?}",
+                node.payload()
+            );
         }
     }
 
@@ -298,7 +308,7 @@ mod tests {
                 .seed(9)
                 .stop_when(StopWhen::AllTerminated)
                 .max_rounds(10_000_000);
-            let mut exec = Executor::new(cfg);
+            let mut exec = Engine::new(cfg);
             for payload in 0..k as u32 {
                 let factory = move || FullAlgorithm::new(Params::practical(), 32, 1 << 10);
                 exec.add_node(SerializeAll::new(factory, payload));
@@ -307,7 +317,10 @@ mod tests {
         };
         let few = rounds(4);
         let many = rounds(16);
-        assert!(many > few, "serving 16 ({many}) must cost more than 4 ({few})");
+        assert!(
+            many > few,
+            "serving 16 ({many}) must cost more than 4 ({few})"
+        );
         // Linear-ish in k: 16 contenders shouldn't cost more than ~8x the 4.
         assert!(many < few * 12, "cost blow-up: {few} -> {many}");
     }
@@ -318,12 +331,15 @@ mod tests {
             .seed(2)
             .stop_when(StopWhen::AllTerminated)
             .max_rounds(1_000_000);
-        let mut exec = Executor::new(cfg);
+        let mut exec = Engine::new(cfg);
         for payload in 0..8u32 {
             exec.add_node(SerializeAll::new(CdTournament::new, payload));
         }
         exec.run().expect("serializes");
-        let served = exec.iter_nodes().filter(|s| s.served_at().is_some()).count();
+        let served = exec
+            .iter_nodes()
+            .filter(|s| s.served_at().is_some())
+            .count();
         assert_eq!(served, 8);
     }
 

@@ -1,14 +1,14 @@
 //! A one-stop facade: pick an algorithm, describe the network, run.
 //!
 //! The lower-level API (construct protocols, add them to a
-//! [`mac_sim::Executor`]) gives full control; [`Session`] wraps the common
+//! [`mac_sim::Engine`]) gives full control; [`Session`] wraps the common
 //! case — *"solve contention resolution among `k` activated nodes out of
 //! `n`, on `C` channels, with algorithm X"* — including the feedback-model
 //! bookkeeping (no-collision-detection algorithms are automatically run
 //! under [`CdMode::None`]) and optional staggered wake-ups via the §3
 //! transform.
 
-use mac_sim::{CdMode, Executor, Protocol, RunReport, SimConfig, SimError, StopWhen, TraceLevel};
+use mac_sim::{CdMode, Engine, Protocol, RunReport, SimConfig, SimError, StopWhen, TraceLevel};
 use std::error::Error;
 use std::fmt;
 
@@ -229,9 +229,7 @@ impl Session {
     /// Builds one protocol instance for node index `idx`.
     fn make_node(&self, idx: usize, active: usize) -> Box<dyn Protocol<Msg = u32>> {
         match self.algorithm {
-            Algorithm::Paper(params) => {
-                Box::new(FullAlgorithm::new(params, self.channels, self.n))
-            }
+            Algorithm::Paper(params) => Box::new(FullAlgorithm::new(params, self.channels, self.n)),
             Algorithm::TwoActive => Box::new(TwoActive::new(self.channels, self.n)),
             Algorithm::CdTournament => Box::new(CdTournament::new()),
             Algorithm::BinaryDescent => {
@@ -244,12 +242,8 @@ impl Session {
                 Box::new(TreeSplit::new(id.min(self.n - 1), self.n))
             }
             Algorithm::Decay => Box::new(Decay::new(self.n)),
-            Algorithm::MultiChannelNoCd => {
-                Box::new(MultiChannelNoCd::new(self.channels, self.n))
-            }
-            Algorithm::ExpectedConstant => {
-                Box::new(ExpectedConstant::new(self.channels, self.n))
-            }
+            Algorithm::MultiChannelNoCd => Box::new(MultiChannelNoCd::new(self.channels, self.n)),
+            Algorithm::ExpectedConstant => Box::new(ExpectedConstant::new(self.channels, self.n)),
             Algorithm::Willard => Box::new(Willard::new(self.n)),
         }
     }
@@ -311,14 +305,14 @@ impl Session {
 
         let report = match &self.wake_offsets {
             None => {
-                let mut exec = Executor::new(cfg);
+                let mut exec = Engine::new(cfg);
                 for idx in 0..active {
                     exec.add_node(self.make_node(idx, active));
                 }
                 exec.run()?
             }
             Some(offsets) => {
-                let mut exec = Executor::new(cfg);
+                let mut exec = Engine::new(cfg);
                 for (idx, &off) in offsets.iter().enumerate() {
                     exec.add_node_at(StaggeredStart::new(self.make_node(idx, active)), off);
                 }
@@ -363,7 +357,10 @@ mod tests {
     #[test]
     fn two_active_requires_exactly_two() {
         let session = Session::new(32, 1 << 10).algorithm(Algorithm::TwoActive);
-        assert!(matches!(session.run(3), Err(SessionError::InvalidConfig(_))));
+        assert!(matches!(
+            session.run(3),
+            Err(SessionError::InvalidConfig(_))
+        ));
         assert!(session.run(2).is_ok());
     }
 
@@ -420,7 +417,11 @@ mod tests {
 
     #[test]
     fn trace_flag_records_channels() {
-        let res = Session::new(8, 1 << 8).trace(true).seed(1).run(10).expect("solves");
+        let res = Session::new(8, 1 << 8)
+            .trace(true)
+            .seed(1)
+            .run(10)
+            .expect("solves");
         assert!(!res.report.trace.is_empty());
     }
 
@@ -428,7 +429,10 @@ mod tests {
     fn no_cd_algorithms_run_under_none_mode() {
         assert_eq!(Algorithm::Decay.cd_mode(), CdMode::None);
         assert_eq!(Algorithm::MultiChannelNoCd.cd_mode(), CdMode::None);
-        assert_eq!(Algorithm::Paper(Params::practical()).cd_mode(), CdMode::Strong);
+        assert_eq!(
+            Algorithm::Paper(Params::practical()).cd_mode(),
+            CdMode::Strong
+        );
     }
 
     #[test]

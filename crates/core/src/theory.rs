@@ -76,7 +76,10 @@ pub fn leaf_election_phase_budget(h: u32, i: u32) -> f64 {
 pub fn leaf_election_budget(h: u32, x: u32) -> f64 {
     assert!(x >= 1, "need at least one active node");
     let phases = (f64::from(x)).log2().ceil() as u32 + 1;
-    (1..=phases).map(|i| leaf_election_phase_budget(h, i)).sum::<f64>() + 1.0
+    (1..=phases)
+        .map(|i| leaf_election_phase_budget(h, i))
+        .sum::<f64>()
+        + 1.0
 }
 
 /// A concrete end-to-end budget for the general algorithm (Theorem 4):

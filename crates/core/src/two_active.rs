@@ -66,12 +66,12 @@ enum State {
 ///
 /// ```
 /// use contention::TwoActive;
-/// use mac_sim::{Executor, SimConfig};
+/// use mac_sim::{Engine, SimConfig};
 ///
 /// # fn main() -> Result<(), mac_sim::SimError> {
 /// let c = 64;
 /// let n = 1 << 16;
-/// let mut exec = Executor::new(SimConfig::new(c).seed(1));
+/// let mut exec = Engine::new(SimConfig::new(c).seed(1));
 /// exec.add_node(TwoActive::new(c, n));
 /// exec.add_node(TwoActive::new(c, n));
 /// let report = exec.run()?;
@@ -132,14 +132,24 @@ impl TwoActive {
     /// this node's level-`m` ancestor within its level — the paper's
     /// `⌈id / 2^{lg C − m}⌉`.
     fn probe_channel(&self, m: u32) -> ChannelId {
-        ChannelId::new(self.tree.leaf(self.id).ancestor_at_level(m).position_in_level())
+        ChannelId::new(
+            self.tree
+                .leaf(self.id)
+                .ancestor_at_level(m)
+                .position_in_level(),
+        )
     }
 
     /// Whether this node wins at split level `level`: its path node at that
     /// level is a left child. `level == 0` only happens if no collision was
     /// ever observed (the node is alone); it then claims victory.
     fn wins_at(&self, level: u32) -> bool {
-        level == 0 || self.tree.leaf(self.id).ancestor_at_level(level).is_left_child()
+        level == 0
+            || self
+                .tree
+                .leaf(self.id)
+                .ancestor_at_level(level)
+                .is_left_child()
     }
 }
 
@@ -247,14 +257,14 @@ impl Protocol for TwoActive {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mac_sim::{Executor, SimConfig, SimError, StopWhen};
+    use mac_sim::{Engine, SimConfig, SimError, StopWhen};
 
     fn run_pair(c: u32, n: u64, seed: u64) -> (mac_sim::RunReport, TwoActiveStats, TwoActiveStats) {
         let cfg = SimConfig::new(c)
             .seed(seed)
             .stop_when(StopWhen::AllTerminated)
             .max_rounds(100_000);
-        let mut exec = Executor::new(cfg);
+        let mut exec = Engine::new(cfg);
         let a = exec.add_node(TwoActive::new(c, n));
         let b = exec.add_node(TwoActive::new(c, n));
         let report = exec.run().expect("run succeeds");
@@ -318,12 +328,17 @@ mod tests {
         // Averaged over seeds, the geometric step-1 length has mean
         // C/(C-1); with many channels it should almost always be 1 round.
         let mean = |c: u32| -> f64 {
-            let total: u64 = (0..40).map(|s| run_pair(c, 1 << 16, s).1.rename_rounds).sum();
+            let total: u64 = (0..40)
+                .map(|s| run_pair(c, 1 << 16, s).1.rename_rounds)
+                .sum();
             total as f64 / 40.0
         };
         let coarse = mean(2);
         let fine = mean(1024);
-        assert!(fine < coarse, "more channels must speed renaming: {fine} vs {coarse}");
+        assert!(
+            fine < coarse,
+            "more channels must speed renaming: {fine} vs {coarse}"
+        );
         assert!(fine <= 1.2, "with C=1024 renaming is ~1 round, got {fine}");
     }
 
@@ -361,8 +376,10 @@ mod tests {
     fn lone_node_declares_itself_leader() {
         // Robustness beyond the paper: a single node never sees a collision,
         // its search collapses to level 0, and it claims victory.
-        let cfg = SimConfig::new(8).stop_when(StopWhen::AllTerminated).max_rounds(1000);
-        let mut exec = Executor::new(cfg);
+        let cfg = SimConfig::new(8)
+            .stop_when(StopWhen::AllTerminated)
+            .max_rounds(1000);
+        let mut exec = Engine::new(cfg);
         exec.add_node(TwoActive::new(8, 256));
         let report = exec.run().expect("run succeeds");
         assert_eq!(report.leaders.len(), 1);
@@ -373,7 +390,12 @@ mod tests {
     fn total_rounds_match_theorem_one_budget() {
         // Theorem 1: O(log n / log C + log log n). Check against a generous
         // concrete budget: 4·(lg n / lg C) + 2·lg lg C + 8.
-        for (c, n) in [(4u32, 1u64 << 16), (64, 1 << 16), (1024, 1 << 20), (2, 1 << 10)] {
+        for (c, n) in [
+            (4u32, 1u64 << 16),
+            (64, 1 << 16),
+            (1024, 1 << 20),
+            (2, 1 << 10),
+        ] {
             for seed in 0..20 {
                 let (report, _, _) = run_pair(c, n, seed);
                 let budget = 4.0 * (n as f64).log2() / f64::from(c).log2()
@@ -401,7 +423,7 @@ mod tests {
     fn timeout_error_propagates() {
         // A one-round cap cannot accommodate the declaration round.
         let cfg = SimConfig::new(4).max_rounds(0);
-        let mut exec = Executor::new(cfg);
+        let mut exec = Engine::new(cfg);
         exec.add_node(TwoActive::new(4, 16));
         exec.add_node(TwoActive::new(4, 16));
         assert_eq!(exec.run().unwrap_err(), SimError::Timeout { max_rounds: 0 });

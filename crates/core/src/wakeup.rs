@@ -43,17 +43,17 @@ enum WakeState {
 }
 
 /// Wraps any simultaneous-start [`Protocol`] into one that tolerates
-/// arbitrary staggered wake-ups (use [`mac_sim::Executor::add_node_at`] to
+/// arbitrary staggered wake-ups (use [`mac_sim::Engine::add_node_at`] to
 /// schedule them).
 ///
 /// ```
 /// use contention::wakeup::StaggeredStart;
 /// use contention::{FullAlgorithm, Params};
-/// use mac_sim::{Executor, SimConfig};
+/// use mac_sim::{Engine, SimConfig};
 ///
 /// # fn main() -> Result<(), mac_sim::SimError> {
 /// let (c, n) = (32u32, 1u64 << 10);
-/// let mut exec = Executor::new(SimConfig::new(c).seed(8));
+/// let mut exec = Engine::new(SimConfig::new(c).seed(8));
 /// for i in 0..50u64 {
 ///     let node = StaggeredStart::new(FullAlgorithm::new(Params::practical(), c, n));
 ///     exec.add_node_at(node, i % 7); // adversarial wake-up offsets
@@ -210,7 +210,7 @@ mod tests {
     use super::*;
     use crate::baselines::CdTournament;
     use crate::{FullAlgorithm, Params};
-    use mac_sim::{Executor, SimConfig, StopWhen};
+    use mac_sim::{Engine, SimConfig, StopWhen};
 
     fn run_with_offsets(offsets: &[u64], seed: u64) -> mac_sim::RunReport {
         let (c, n) = (32u32, 1u64 << 10);
@@ -218,7 +218,7 @@ mod tests {
             .seed(seed)
             .stop_when(StopWhen::Solved)
             .max_rounds(100_000);
-        let mut exec = Executor::new(cfg);
+        let mut exec = Engine::new(cfg);
         for &off in offsets {
             let node = StaggeredStart::new(FullAlgorithm::new(Params::practical(), c, n));
             exec.add_node_at(node, off);
@@ -257,7 +257,7 @@ mod tests {
             .seed(5)
             .stop_when(StopWhen::AllTerminated)
             .max_rounds(100_000);
-        let mut exec = Executor::new(cfg);
+        let mut exec = Engine::new(cfg);
         let mut late = Vec::new();
         for i in 0..20 {
             let node = StaggeredStart::new(FullAlgorithm::new(Params::practical(), c, n));
@@ -272,7 +272,10 @@ mod tests {
         }
         exec.run().expect("run succeeds");
         for id in late {
-            assert!(exec.node(id).retired_early(), "late node {id} ran the protocol");
+            assert!(
+                exec.node(id).retired_early(),
+                "late node {id} ran the protocol"
+            );
         }
     }
 
@@ -281,7 +284,7 @@ mod tests {
         // A single node waking at round 10 with no earlier activity hears
         // silence, becomes the only runner, and its first beacon solves.
         let cfg = SimConfig::new(4).seed(0).max_rounds(1000);
-        let mut exec = Executor::new(cfg);
+        let mut exec = Engine::new(cfg);
         exec.add_node_at(StaggeredStart::new(CdTournament::new()), 10);
         let report = exec.run().expect("run succeeds");
         assert_eq!(report.solved_round, Some(10 + LISTEN_ROUNDS));
@@ -291,7 +294,7 @@ mod tests {
     fn overhead_is_at_most_double_plus_constant() {
         let (c, n) = (32u32, 1u64 << 10);
         let base = {
-            let mut exec = Executor::new(SimConfig::new(c).seed(6).max_rounds(100_000));
+            let mut exec = Engine::new(SimConfig::new(c).seed(6).max_rounds(100_000));
             for _ in 0..30 {
                 exec.add_node(FullAlgorithm::new(Params::practical(), c, n));
             }

@@ -16,7 +16,7 @@
 
 use contention::{FullAlgorithm, Params};
 use mac_sim::adversary::CrashAt;
-use mac_sim::{Executor, SimConfig, SimError, StopWhen};
+use mac_sim::{Engine, SimConfig, SimError, StopWhen};
 
 fn run_with_crashes(
     c: u32,
@@ -26,8 +26,11 @@ fn run_with_crashes(
     seed: u64,
     cap: u64,
 ) -> Result<mac_sim::RunReport, SimError> {
-    let cfg = SimConfig::new(c).seed(seed).stop_when(StopWhen::Solved).max_rounds(cap);
-    let mut exec = Executor::new(cfg);
+    let cfg = SimConfig::new(c)
+        .seed(seed)
+        .stop_when(StopWhen::Solved)
+        .max_rounds(cap);
+    let mut exec = Engine::new(cfg);
     for idx in 0..active {
         exec.add_node(CrashAt::new(
             FullAlgorithm::new(Params::practical(), c, n),
@@ -75,14 +78,7 @@ fn staggered_crash_wave_during_reduce_is_tolerated() {
     // Crashes spread over the Reduce step (rounds 1..=8): knocked-out-to-be
     // nodes disappearing early only *reduces* contention.
     for seed in 0..10 {
-        let report = run_with_crashes(
-            64,
-            1 << 12,
-            400,
-            |idx| 1 + (idx as u64 % 8),
-            seed,
-            100_000,
-        );
+        let report = run_with_crashes(64, 1 << 12, 400, |idx| 1 + (idx as u64 % 8), seed, 100_000);
         // The entire population crashes within 8 rounds; a solve only
         // happens if some lone transmission landed first. Either outcome
         // (solve, or a clean everyone-terminated end) is acceptable — what
@@ -103,9 +99,7 @@ fn crashing_every_cohort_coordinator_wedges_leaf_election() {
     // progress. We crash every node at round 30 (typically mid-election for
     // this configuration) and expect a timeout, not a wrong answer:
     // split-brain (two leaders) must never occur even under crashes.
-    let result = std::panic::catch_unwind(|| {
-        run_with_crashes(256, 1 << 12, 300, |_| 30, 5, 2_000)
-    });
+    let result = std::panic::catch_unwind(|| run_with_crashes(256, 1 << 12, 300, |_| 30, 5, 2_000));
     match result {
         Ok(Ok(report)) => {
             // Solved before the crash wave hit, or survivors limped through.

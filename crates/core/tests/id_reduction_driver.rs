@@ -15,7 +15,10 @@ fn ctx() -> RoundContext {
 }
 
 fn new_node(c: u32) -> (IdReduction, SmallRng) {
-    (IdReduction::new(Params::practical(), c), SmallRng::seed_from_u64(7))
+    (
+        IdReduction::new(Params::practical(), c),
+        SmallRng::seed_from_u64(7),
+    )
 }
 
 #[test]
@@ -23,17 +26,27 @@ fn rename_alone_then_lone_report_terminates_renamed() {
     let (mut node, mut rng) = new_node(64);
     // Rename round: transmits on some channel in [1, 32].
     let action = node.act(&ctx(), &mut rng);
-    let Action::Transmit { channel, .. } = action else { panic!("rename transmits") };
+    let Action::Transmit { channel, .. } = action else {
+        panic!("rename transmits")
+    };
     assert!(channel.get() <= 32);
     // Alone: hears its own message.
     node.observe(&ctx(), Feedback::Message(0), &mut rng);
     // Report round: adopters transmit on the primary channel.
     let action = node.act(&ctx(), &mut rng);
-    let Action::Transmit { channel: report_ch, .. } = action else { panic!("adopter reports") };
+    let Action::Transmit {
+        channel: report_ch, ..
+    } = action
+    else {
+        panic!("adopter reports")
+    };
     assert!(report_ch.is_primary());
     // Lone reporter: message delivered; outcome Renamed(picked channel).
     node.observe(&ctx(), Feedback::Message(0), &mut rng);
-    assert_eq!(node.outcome(), Some(IdReductionOutcome::Renamed(channel.get())));
+    assert_eq!(
+        node.outcome(),
+        Some(IdReductionOutcome::Renamed(channel.get()))
+    );
     assert_eq!(node.status(), Status::Inactive); // standalone semantics
 }
 
@@ -45,7 +58,10 @@ fn rename_alone_but_crowded_report_still_renames() {
     node.act(&ctx(), &mut rng);
     // Multiple adopters: the report round collides — still a success.
     node.observe(&ctx(), Feedback::Collision, &mut rng);
-    assert!(matches!(node.outcome(), Some(IdReductionOutcome::Renamed(_))));
+    assert!(matches!(
+        node.outcome(),
+        Some(IdReductionOutcome::Renamed(_))
+    ));
 }
 
 #[test]
@@ -53,7 +69,7 @@ fn rename_collision_then_silent_report_continues_to_reduction() {
     let (mut node, mut rng) = new_node(64);
     node.act(&ctx(), &mut rng);
     node.observe(&ctx(), Feedback::Collision, &mut rng); // not alone
-    // Report round: non-adopters listen.
+                                                         // Report round: non-adopters listen.
     let action = node.act(&ctx(), &mut rng);
     assert!(matches!(action, Action::Listen { channel } if channel.is_primary()));
     node.observe(&ctx(), Feedback::Silence, &mut rng); // nobody renamed
@@ -141,7 +157,14 @@ fn schedule_cycles_rename_report_reduce() {
         .collect();
     assert_eq!(
         phases,
-        vec!["id-rename", "id-report", "id-reduce", "id-rename", "id-report", "id-reduce"]
+        vec![
+            "id-rename",
+            "id-report",
+            "id-reduce",
+            "id-rename",
+            "id-report",
+            "id-reduce"
+        ]
     );
     assert_eq!(node.stats().rename_rounds, 2);
     assert_eq!(node.stats().reduction_rounds, 2);

@@ -4,13 +4,13 @@
 use contention::tree::ChannelTree;
 use contention::LeafElection;
 use mac_sim::adversary::ActivationPattern;
-use mac_sim::{Executor, RunReport, SimConfig, StopWhen};
+use mac_sim::{Engine, RunReport, SimConfig, StopWhen};
 
 fn run(c: u32, ids: &[u32]) -> (RunReport, Vec<LeafElection>) {
     let cfg = SimConfig::new(c)
         .stop_when(StopWhen::AllTerminated)
         .max_rounds(100_000);
-    let mut exec = Executor::new(cfg);
+    let mut exec = Engine::new(cfg);
     for &id in ids {
         exec.add_node(LeafElection::new(c, id));
     }
@@ -91,7 +91,7 @@ fn one_sided_occupancy() {
         .stop_when(StopWhen::AllTerminated)
         .trace_level(mac_sim::TraceLevel::Channels)
         .max_rounds(100_000);
-    let mut exec = Executor::new(cfg);
+    let mut exec = Engine::new(cfg);
     for &id in &ids {
         exec.add_node(LeafElection::new(c, id));
     }

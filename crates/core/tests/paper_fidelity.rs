@@ -2,7 +2,7 @@
 //! the paper's figures, checked against recorded channel traces.
 
 use contention::{IdReduction, LeafElection, Params, Reduce, TwoActive};
-use mac_sim::{Executor, SimConfig, StopWhen, TraceLevel};
+use mac_sim::{Engine, SimConfig, StopWhen, TraceLevel};
 
 /// Fig. 2: `Reduce` runs exactly `2·⌈lg lg n⌉` rounds when no leader
 /// emerges, all of them on the primary channel only.
@@ -16,7 +16,7 @@ fn reduce_round_schedule_matches_figure_2() {
             .stop_when(StopWhen::AllTerminated)
             .trace_level(TraceLevel::Channels)
             .max_rounds(100);
-        let mut exec = Executor::new(cfg);
+        let mut exec = Engine::new(cfg);
         exec.add_node(Reduce::new(n));
         exec.add_node(Reduce::new(n));
         let report = exec.run().expect("terminates");
@@ -49,7 +49,7 @@ fn id_reduction_schedule_matches_section_5_2() {
         .stop_when(StopWhen::AllTerminated)
         .trace_level(TraceLevel::Channels)
         .max_rounds(10_000);
-    let mut exec = Executor::new(cfg);
+    let mut exec = Engine::new(cfg);
     for _ in 0..40 {
         exec.add_node(IdReduction::new(Params::practical(), c));
     }
@@ -94,7 +94,7 @@ fn two_active_everyone_transmits_until_renamed() {
         .stop_when(StopWhen::AllTerminated)
         .trace_level(TraceLevel::Channels)
         .max_rounds(10_000);
-    let mut exec = Executor::new(cfg);
+    let mut exec = Engine::new(cfg);
     exec.add_node(TwoActive::new(c, 1 << 10));
     exec.add_node(TwoActive::new(c, 1 << 10));
     let report = exec.run().expect("terminates");
@@ -119,7 +119,7 @@ fn split_search_iterations_cost_exactly_five_rounds() {
         .seed(7)
         .stop_when(StopWhen::AllTerminated)
         .max_rounds(100_000);
-    let mut exec = Executor::new(cfg);
+    let mut exec = Engine::new(cfg);
     for id in 1..=64u32 {
         exec.add_node(LeafElection::new(c, id));
     }
@@ -151,7 +151,7 @@ fn staggered_start_beacons_on_odd_local_rounds() {
         .seed(2)
         .trace_level(TraceLevel::Channels)
         .max_rounds(100);
-    let mut exec = Executor::new(cfg);
+    let mut exec = Engine::new(cfg);
     exec.add_node(StaggeredStart::new(Decay::new(16)));
     let report = exec.run().expect("solves");
     assert_eq!(report.solved_round, Some(LISTEN_ROUNDS));
@@ -166,7 +166,7 @@ fn full_pipeline_phase_accounting_is_complete() {
         .seed(11)
         .stop_when(StopWhen::AllTerminated)
         .max_rounds(100_000);
-    let mut exec = Executor::new(cfg);
+    let mut exec = Engine::new(cfg);
     for _ in 0..200 {
         exec.add_node(FullAlgorithm::new(Params::practical(), 64, 1 << 12));
     }
@@ -186,7 +186,7 @@ fn theory_budgets_hold_end_to_end() {
                 .seed(seed)
                 .stop_when(StopWhen::AllTerminated)
                 .max_rounds(100_000);
-            let mut exec = Executor::new(cfg);
+            let mut exec = Engine::new(cfg);
             exec.add_node(TwoActive::new(c, n));
             exec.add_node(TwoActive::new(c, n));
             let report = exec.run().expect("solves");
@@ -204,7 +204,7 @@ fn theory_budgets_hold_end_to_end() {
             .seed(3)
             .stop_when(StopWhen::AllTerminated)
             .max_rounds(100_000);
-        let mut exec = Executor::new(cfg);
+        let mut exec = Engine::new(cfg);
         for id in 1..=x {
             exec.add_node(LeafElection::new(c, id));
         }

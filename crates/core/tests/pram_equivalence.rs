@@ -13,7 +13,7 @@
 
 use contention::LeafElection;
 use crew_pram::search::split_points;
-use mac_sim::{Executor, Protocol as _, SimConfig, Status, StepStatus, StopWhen};
+use mac_sim::{Engine, Protocol as _, SimConfig, Status, StepStatus, StopWhen};
 
 /// Steps an election and collects, for each distinct search the lowest-id
 /// surviving node performs, the sequence of `(l_min, l_max, c_size)`.
@@ -22,7 +22,7 @@ fn interval_traces(c: u32, ids: &[u32]) -> Vec<Vec<(u32, u32, u32)>> {
         .seed(0)
         .stop_when(StopWhen::AllTerminated)
         .max_rounds(100_000);
-    let mut exec = Executor::new(cfg);
+    let mut exec = Engine::new(cfg);
     for &id in ids {
         exec.add_node(LeafElection::new(c, id));
     }
@@ -33,7 +33,10 @@ fn interval_traces(c: u32, ids: &[u32]) -> Vec<Vec<(u32, u32, u32)>> {
         let probe = exec
             .iter_nodes()
             .find(|n| n.status() == Status::Active)
-            .and_then(|n| n.search_interval().map(|(lo, hi)| (lo, hi, n.cohort_size())));
+            .and_then(|n| {
+                n.search_interval()
+                    .map(|(lo, hi)| (lo, hi, n.cohort_size()))
+            });
         if probe != last {
             if let Some(interval) = probe {
                 let starts_new = last.is_none()
@@ -95,7 +98,10 @@ fn split_search_follows_the_pram_schedule_densely() {
     // Dense occupancy coalesces: later searches must run at larger p.
     let first_p = traces.first().expect("nonempty")[0].2;
     let last_p = traces.last().expect("nonempty")[0].2;
-    assert!(last_p > first_p, "cohorts never grew: {first_p} -> {last_p}");
+    assert!(
+        last_p > first_p,
+        "cohorts never grew: {first_p} -> {last_p}"
+    );
 }
 
 #[test]

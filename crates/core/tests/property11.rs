@@ -14,7 +14,7 @@
 //! 4. all cohort nodes are distinct tree nodes at the same level.
 
 use contention::LeafElection;
-use mac_sim::{Executor, Protocol as _, SimConfig, Status, StepStatus, StopWhen};
+use mac_sim::{Engine, Protocol as _, SimConfig, Status, StepStatus, StopWhen};
 use std::collections::HashMap;
 
 /// Audits Property 11 over the active nodes of an execution.
@@ -26,7 +26,11 @@ fn audit(nodes: &[&LeafElection], round: u64) {
     let level = nodes[0].cohort_node().level();
     let mut cohorts: HashMap<u32, Vec<u32>> = HashMap::new();
     for node in nodes {
-        assert_eq!(node.cohort_size(), c_size, "round {round}: cohort sizes diverged");
+        assert_eq!(
+            node.cohort_size(),
+            c_size,
+            "round {round}: cohort sizes diverged"
+        );
         assert_eq!(
             node.cohort_node().level(),
             level,
@@ -53,7 +57,7 @@ fn stepped_audit(c: u32, ids: &[u32], seed: u64) {
         .seed(seed)
         .stop_when(StopWhen::AllTerminated)
         .max_rounds(10_000);
-    let mut exec = Executor::new(cfg);
+    let mut exec = Engine::new(cfg);
     for &id in ids {
         exec.add_node(LeafElection::new(c, id));
     }
@@ -120,7 +124,7 @@ fn binary_search_ablation_preserves_property_11() {
         .seed(1)
         .stop_when(StopWhen::AllTerminated)
         .max_rounds(10_000);
-    let mut exec = Executor::new(cfg);
+    let mut exec = Engine::new(cfg);
     for id in 1..=64u32 {
         exec.add_node(LeafElection::with_binary_search(256, id));
     }

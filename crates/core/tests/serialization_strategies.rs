@@ -5,11 +5,13 @@
 use contention::baselines::TreeSplit;
 use contention::serialize::SerializeAll;
 use contention::{FullAlgorithm, Params};
-use mac_sim::{Executor, SimConfig, StopWhen};
+use mac_sim::{Engine, SimConfig, StopWhen};
 
 fn tree_split_drain(n: u64, ids: &[u64]) -> u64 {
-    let cfg = SimConfig::new(1).stop_when(StopWhen::AllTerminated).max_rounds(10_000_000);
-    let mut exec = Executor::new(cfg);
+    let cfg = SimConfig::new(1)
+        .stop_when(StopWhen::AllTerminated)
+        .max_rounds(10_000_000);
+    let mut exec = Engine::new(cfg);
     for &id in ids {
         exec.add_node(TreeSplit::new(id, n));
     }
@@ -23,7 +25,7 @@ fn serializer_drain(c: u32, n: u64, k: usize, seed: u64) -> u64 {
         .seed(seed)
         .stop_when(StopWhen::AllTerminated)
         .max_rounds(10_000_000);
-    let mut exec = Executor::new(cfg);
+    let mut exec = Engine::new(cfg);
     for payload in 0..k as u32 {
         let factory = move || FullAlgorithm::new(Params::practical(), c, n);
         exec.add_node(SerializeAll::new(factory, payload));
@@ -69,6 +71,9 @@ fn per_packet_cost_scales_with_log_density() {
         let rounds = tree_split_drain(n, &ids);
         let per = rounds as f64 / k as f64;
         let bound = 3.0 * ((n as f64 / k as f64).log2() + 2.0);
-        assert!(per <= bound, "n={n} k={k}: {per:.1} rounds/packet > {bound:.1}");
+        assert!(
+            per <= bound,
+            "n={n} k={k}: {per:.1} rounds/packet > {bound:.1}"
+        );
     }
 }

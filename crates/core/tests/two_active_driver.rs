@@ -60,7 +60,9 @@ fn drive_against_virtual_partner(
                 // ceil(id / 2^(h-m)), i.e. the ancestor's level position.
                 assert_eq!(
                     channel.get(),
-                    tree.leaf(my_id).ancestor_at_level(level).position_in_level(),
+                    tree.leaf(my_id)
+                        .ancestor_at_level(level)
+                        .position_in_level(),
                     "probe channel does not match Fig. 1's formula"
                 );
                 let same = tree.leaf(virtual_partner).ancestor_at_level(level)
@@ -72,7 +74,11 @@ fn drive_against_virtual_partner(
                 }
                 node.observe(
                     &ctx(),
-                    if same { Feedback::Collision } else { Feedback::Message(0) },
+                    if same {
+                        Feedback::Collision
+                    } else {
+                        Feedback::Message(0)
+                    },
                     &mut rng,
                 );
             }
@@ -101,7 +107,11 @@ fn winner_loser_assignment_matches_tree_orientation() {
             let (status, my_id, _) = drive_against_virtual_partner(c, 1 << 12, partner, seed);
             let level = tree.divergence_level(my_id, partner).expect("distinct");
             let i_am_left = tree.leaf(my_id).ancestor_at_level(level).is_left_child();
-            let expect = if i_am_left { Status::Leader } else { Status::Inactive };
+            let expect = if i_am_left {
+                Status::Leader
+            } else {
+                Status::Inactive
+            };
             assert_eq!(status, expect, "my_id={my_id} partner={partner}");
         }
     }

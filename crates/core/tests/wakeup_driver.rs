@@ -39,7 +39,10 @@ impl Protocol for Probe {
 
 #[test]
 fn silent_window_promotes_to_runner_with_beacon_first() {
-    let mut node = StaggeredStart::new(Probe { acts: 0, observes: 0 });
+    let mut node = StaggeredStart::new(Probe {
+        acts: 0,
+        observes: 0,
+    });
     let mut rng = SmallRng::seed_from_u64(0);
     // The listen window: exactly LISTEN_ROUNDS listens on the primary.
     for _ in 0..LISTEN_ROUNDS {
@@ -81,11 +84,18 @@ fn any_signal_in_window_retires_the_node() {
         (1, Feedback::Collision),
         (LISTEN_ROUNDS - 1, Feedback::Message(0)),
     ] {
-        let mut node = StaggeredStart::new(Probe { acts: 0, observes: 0 });
+        let mut node = StaggeredStart::new(Probe {
+            acts: 0,
+            observes: 0,
+        });
         let mut rng = SmallRng::seed_from_u64(1);
         for i in 0..=when {
             let _ = node.act(&ctx(), &mut rng);
-            let feedback = if i == when { fb.clone() } else { Feedback::Silence };
+            let feedback = if i == when {
+                fb.clone()
+            } else {
+                Feedback::Silence
+            };
             node.observe(&ctx(), feedback, &mut rng);
         }
         assert_eq!(node.status(), Status::Inactive, "window round {when}");
@@ -137,7 +147,10 @@ fn inner_termination_propagates() {
 
 #[test]
 fn inner_accessor_exposes_wrapped_state() {
-    let node = StaggeredStart::new(Probe { acts: 0, observes: 0 });
+    let node = StaggeredStart::new(Probe {
+        acts: 0,
+        observes: 0,
+    });
     assert_eq!(node.inner().acts, 0);
     assert_eq!(node.phase(), "wakeup-listen");
 }

@@ -46,7 +46,10 @@ impl fmt::Display for PramError {
                 processors.0, processors.1
             ),
             PramError::AddressOutOfBounds { addr, memory } => {
-                write!(f, "address {addr} out of bounds for memory of {memory} cells")
+                write!(
+                    f,
+                    "address {addr} out of bounds for memory of {memory} cells"
+                )
             }
             PramError::StepLimit { max_steps } => {
                 write!(f, "program did not halt within {max_steps} steps")
@@ -72,7 +75,9 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("cell 4"));
         assert!(s.contains("step 9"));
-        assert!(PramError::NoProcessors.to_string().contains("no processors"));
+        assert!(PramError::NoProcessors
+            .to_string()
+            .contains("no processors"));
     }
 
     #[test]

@@ -284,7 +284,8 @@ mod tests {
         }
         let mut m = Machine::new(1);
         m.store(0, 5);
-        let mut procs: Vec<Box<dyn Processor>> = (0..8).map(|_| Box::new(Reader { sum: 0 }) as _).collect();
+        let mut procs: Vec<Box<dyn Processor>> =
+            (0..8).map(|_| Box::new(Reader { sum: 0 }) as _).collect();
         let steps = m.run(&mut procs, 10).unwrap();
         assert_eq!(steps, 1);
     }

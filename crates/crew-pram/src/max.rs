@@ -89,7 +89,11 @@ mod tests {
             let report = tournament_max(&values).expect("runs");
             assert_eq!(report.max, *values.iter().max().expect("nonempty"), "p={p}");
             let budget = (p as f64).log2().ceil() as usize + 1;
-            assert!(report.steps <= budget, "p={p}: {} steps > {budget}", report.steps);
+            assert!(
+                report.steps <= budget,
+                "p={p}: {} steps > {budget}",
+                report.steps
+            );
         }
     }
 

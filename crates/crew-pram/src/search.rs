@@ -143,7 +143,10 @@ impl Processor for Searcher {
 /// overrun would indicate a bug in the program itself).
 pub fn snir_boundary(bits: &[bool], p: usize) -> Result<SearchReport, PramError> {
     assert!(p >= 1, "at least one processor is required");
-    assert!(!bits.is_empty(), "the predicate must have at least one position");
+    assert!(
+        !bits.is_empty(),
+        "the predicate must have at least one position"
+    );
     assert!(
         bits.windows(2).all(|w| w[0] <= w[1]),
         "the predicate must be monotone 0 -> 1"
@@ -196,7 +199,11 @@ pub fn snir_boundary(bits: &[bool], p: usize) -> Result<SearchReport, PramError>
 /// # Errors
 ///
 /// Propagates [`PramError`] from the underlying machine.
-pub fn snir_lower_bound(sorted: &[Word], target: Word, p: usize) -> Result<SearchReport, PramError> {
+pub fn snir_lower_bound(
+    sorted: &[Word],
+    target: Word,
+    p: usize,
+) -> Result<SearchReport, PramError> {
     assert!(
         sorted.windows(2).all(|w| w[0] <= w[1]),
         "input must be sorted non-decreasing"

@@ -19,7 +19,10 @@ use crate::machine::{Machine, MemView, Processor, StepOutcome, Word, Write};
 /// network.
 #[must_use]
 pub fn bitonic_schedule(p: usize) -> Vec<Vec<(usize, usize, bool)>> {
-    assert!(p.is_power_of_two(), "bitonic sort needs a power-of-two size");
+    assert!(
+        p.is_power_of_two(),
+        "bitonic sort needs a power-of-two size"
+    );
     let mut steps = Vec::new();
     let mut k = 2;
     while k <= p {

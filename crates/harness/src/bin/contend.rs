@@ -60,16 +60,24 @@ fn parse_args() -> Result<Args, String> {
                 };
             }
             "--channels" | "-c" => {
-                args.channels = value("--channels")?.parse().map_err(|e| format!("--channels: {e}"))?;
+                args.channels = value("--channels")?
+                    .parse()
+                    .map_err(|e| format!("--channels: {e}"))?;
             }
             "--universe" | "-n" => {
-                args.universe = value("--universe")?.parse().map_err(|e| format!("--universe: {e}"))?;
+                args.universe = value("--universe")?
+                    .parse()
+                    .map_err(|e| format!("--universe: {e}"))?;
             }
             "--active" | "-k" => {
-                args.active = value("--active")?.parse().map_err(|e| format!("--active: {e}"))?;
+                args.active = value("--active")?
+                    .parse()
+                    .map_err(|e| format!("--active: {e}"))?;
             }
             "--seed" | "-s" => {
-                args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
             }
             "--trace" => args.trace = true,
             "--complete" => args.complete = true,
@@ -129,7 +137,10 @@ fn main() {
             println!("rounds by phase: {}", phases.join(" "));
             if args.trace {
                 println!("\nactivity (S silence, M message, X collision):");
-                print!("{}", mac_sim::render::activity_chart(&resolution.report.trace, 60));
+                print!(
+                    "{}",
+                    mac_sim::render::activity_chart(&resolution.report.trace, 60)
+                );
             }
         }
         Err(e) => {

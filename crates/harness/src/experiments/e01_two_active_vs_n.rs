@@ -21,15 +21,16 @@
 
 use contention::TwoActive;
 use contention_analysis::{fit_linear, Summary, Table};
-use mac_sim::{Executor, SimConfig, StopWhen};
+use mac_sim::{Engine, SimConfig, StopWhen};
 
 use super::{lg, seed_base};
-use crate::{run_trials, ExperimentReport, Scale};
+use crate::{ExperimentReport, Scale};
+use mac_sim::trials::run_trials;
 
 /// Rounds until solved (first lone primary-channel transmission) per trial.
 pub(crate) fn measure(c: u32, n: u64, trials: usize, seed: u64) -> Vec<u64> {
     run_trials(trials, seed, |s| {
-        let mut exec = Executor::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
+        let mut exec = Engine::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
         exec.add_node(TwoActive::new(c, n));
         exec.add_node(TwoActive::new(c, n));
         exec
@@ -46,7 +47,7 @@ pub(crate) fn measure_completion(c: u32, n: u64, trials: usize, seed: u64) -> Ve
             .seed(s)
             .stop_when(StopWhen::AllTerminated)
             .max_rounds(1_000_000);
-        let mut exec = Executor::new(cfg);
+        let mut exec = Engine::new(cfg);
         exec.add_node(TwoActive::new(c, n));
         exec.add_node(TwoActive::new(c, n));
         exec
@@ -88,8 +89,14 @@ pub fn run(scale: Scale) -> ExperimentReport {
     for &c in &cs {
         for &ne in &n_exps {
             let n = 1u64 << ne;
-            let solved = Summary::from_u64(&measure(c, n, scale.trials(), seed_base("e1s", u64::from(c), n)));
-            let completed = measure_completion(c, n, scale.trials(), seed_base("e1c", u64::from(c), n));
+            let solved = Summary::from_u64(&measure(
+                c,
+                n,
+                scale.trials(),
+                seed_base("e1s", u64::from(c), n),
+            ));
+            let completed =
+                measure_completion(c, n, scale.trials(), seed_base("e1c", u64::from(c), n));
             let cs_ = Summary::from_u64(&completed);
             let budget = whp_budget(n, c);
             let over = completed.iter().filter(|&&r| (r as f64) > budget).count();
@@ -104,7 +111,10 @@ pub fn run(scale: Scale) -> ExperimentReport {
             ]);
         }
     }
-    report.section("Rounds for |A| = 2 (solve = problem definition; complete = leader declared)", table);
+    report.section(
+        "Rounds for |A| = 2 (solve = problem definition; complete = leader declared)",
+        table,
+    );
 
     // The C-scaling of the w.h.p. term, isolated: the 99.9% quantile of the
     // renaming race (step 1) must scale as lg(1000)/lg C — exactly Theorem
@@ -127,11 +137,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
         let theory = 1000f64.log2() / f64::from(ce);
         xs.push(1.0 / f64::from(ce));
         ys.push(f64::from(q));
-        tail_table.row_owned(vec![
-            c.to_string(),
-            q.to_string(),
-            format!("{theory:.1}"),
-        ]);
+        tail_table.row_owned(vec![c.to_string(), q.to_string(), format!("{theory:.1}")]);
     }
     let fit = fit_linear(&xs, &ys);
     report.section("Renaming-race 99.9% quantile vs 1/lg C", tail_table);

@@ -11,11 +11,12 @@
 
 use contention::TwoActive;
 use contention_analysis::{Summary, Table};
-use mac_sim::{Executor, SimConfig, StopWhen};
+use mac_sim::{Engine, SimConfig, StopWhen};
 
 use super::e01_two_active_vs_n::{measure, measure_completion, whp_budget};
 use super::seed_base;
-use crate::{run_trials_with, ExperimentReport, Scale};
+use crate::{ExperimentReport, Scale};
+use mac_sim::trials::run_trials_with;
 
 /// Mean search (SplitCheck) rounds, from protocol stats.
 fn mean_search_rounds(c: u32, n: u64, trials: usize, seed: u64) -> f64 {
@@ -27,12 +28,18 @@ fn mean_search_rounds(c: u32, n: u64, trials: usize, seed: u64) -> f64 {
                 .seed(s)
                 .stop_when(StopWhen::AllTerminated)
                 .max_rounds(1_000_000);
-            let mut exec = Executor::new(cfg);
+            let mut exec = Engine::new(cfg);
             exec.add_node(TwoActive::new(c, n));
             exec.add_node(TwoActive::new(c, n));
             exec
         },
-        |exec, _| exec.iter_nodes().next().expect("has nodes").stats().search_rounds,
+        |exec, _| {
+            exec.iter_nodes()
+                .next()
+                .expect("has nodes")
+                .stats()
+                .search_rounds
+        },
     );
     rounds.iter().sum::<u64>() as f64 / rounds.len() as f64
 }
@@ -59,10 +66,21 @@ pub fn run(scale: Scale) -> ExperimentReport {
     for &n in &ns {
         for &ce in &c_exps {
             let c = 1u32 << ce;
-            let solved = Summary::from_u64(&measure(c, n, scale.trials(), seed_base("e2s", u64::from(c), n)));
-            let completed = measure_completion(c, n, scale.trials(), seed_base("e2c", u64::from(c), n));
+            let solved = Summary::from_u64(&measure(
+                c,
+                n,
+                scale.trials(),
+                seed_base("e2s", u64::from(c), n),
+            ));
+            let completed =
+                measure_completion(c, n, scale.trials(), seed_base("e2c", u64::from(c), n));
             let comp = Summary::from_u64(&completed);
-            let search = mean_search_rounds(c, n, scale.trials().min(30), seed_base("e2x", u64::from(c), n));
+            let search = mean_search_rounds(
+                c,
+                n,
+                scale.trials().min(30),
+                seed_base("e2x", u64::from(c), n),
+            );
             let budget = whp_budget(n, c);
             let over = completed.iter().filter(|&&r| (r as f64) > budget).count();
             table.row_owned(vec![
@@ -76,7 +94,10 @@ pub fn run(scale: Scale) -> ExperimentReport {
             ]);
         }
     }
-    report.section("Rounds to solve / complete vs channel count, |A| = 2", table);
+    report.section(
+        "Rounds to solve / complete vs channel count, |A| = 2",
+        table,
+    );
     report.note(
         "The w.h.p. budget column reproduces the theorem's shape: it falls as \
          1/lg C and flattens at the lg lg floor. Typical completion stays ~5 \

@@ -10,12 +10,13 @@
 use contention::TwoActive;
 use contention_analysis::stats::ks_distance;
 use contention_analysis::{exceed_fraction, Table};
-use mac_sim::{Executor, SimConfig, StopWhen};
+use mac_sim::{Engine, SimConfig, StopWhen};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use super::seed_base;
-use crate::{run_trials_with, ExperimentReport, Scale};
+use crate::{ExperimentReport, Scale};
+use mac_sim::trials::run_trials_with;
 
 /// Direct Monte-Carlo of the renaming race: rounds until two uniform picks
 /// from `[c]` differ.
@@ -79,16 +80,26 @@ pub fn run(scale: Scale) -> ExperimentReport {
                     .seed(s)
                     .stop_when(StopWhen::AllTerminated)
                     .max_rounds(100_000);
-                let mut exec = Executor::new(cfg);
+                let mut exec = Engine::new(cfg);
                 exec.add_node(TwoActive::new(c, n));
                 exec.add_node(TwoActive::new(c, n));
                 exec
             },
-            |exec, _| exec.iter_nodes().next().expect("has nodes").stats().rename_rounds,
+            |exec, _| {
+                exec.iter_nodes()
+                    .next()
+                    .expect("has nodes")
+                    .stats()
+                    .rename_rounds
+            },
         );
         let mean = rename.iter().sum::<u64>() as f64 / rename.len() as f64;
         let theory = f64::from(c) / f64::from(c - 1);
-        proto.row_owned(vec![c.to_string(), format!("{mean:.3}"), format!("{theory:.3}")]);
+        proto.row_owned(vec![
+            c.to_string(),
+            format!("{mean:.3}"),
+            format!("{theory:.3}"),
+        ]);
     }
     report.section("Protocol cross-check (geometric mean 1/(1-1/C))", proto);
     report.note(
@@ -107,7 +118,9 @@ mod tests {
     fn race_tail_matches_theory() {
         let mut rng = SmallRng::seed_from_u64(1);
         let c = 8u32;
-        let samples: Vec<f64> = (0..40_000).map(|_| f64::from(race_rounds(c, &mut rng))).collect();
+        let samples: Vec<f64> = (0..40_000)
+            .map(|_| f64::from(race_rounds(c, &mut rng)))
+            .collect();
         for t in 1..=2u32 {
             let measured = exceed_fraction(&samples, f64::from(t));
             let theory = f64::from(c).powi(-(t as i32));
@@ -136,7 +149,9 @@ mod tests {
     fn whole_distribution_is_geometric() {
         let mut rng = SmallRng::seed_from_u64(9);
         let c = 16u32;
-        let samples: Vec<u64> = (0..30_000).map(|_| u64::from(race_rounds(c, &mut rng))).collect();
+        let samples: Vec<u64> = (0..30_000)
+            .map(|_| u64::from(race_rounds(c, &mut rng)))
+            .collect();
         let q = 1.0 / f64::from(c);
         let d = contention_analysis::stats::ks_distance(&samples, |k| 1.0 - q.powi(k as i32));
         assert!(d < 0.01, "KS distance {d} too large for the predicted law");

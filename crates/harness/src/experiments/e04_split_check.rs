@@ -9,10 +9,11 @@
 use contention::tree::ChannelTree;
 use contention::TwoActive;
 use contention_analysis::Table;
-use mac_sim::{Executor, SimConfig, StopWhen};
+use mac_sim::{Engine, SimConfig, StopWhen};
 
 use super::seed_base;
-use crate::{run_trials_with, ExperimentReport, Scale};
+use crate::{ExperimentReport, Scale};
+use mac_sim::trials::run_trials_with;
 
 /// Probe rounds `SplitCheck` spends to locate divergence level `target` in
 /// a tree of height `h` — the recursion of Fig. 1, counted exactly.
@@ -43,7 +44,13 @@ pub fn run(scale: Scale) -> ExperimentReport {
     );
     let cs: Vec<u32> = scale.thin(&[4, 16, 64, 256, 1024, 4096, 1 << 14]);
 
-    let mut table = Table::new(&["C", "h = lg C", "min probes", "max probes", "budget ⌈lg h⌉+1"]);
+    let mut table = Table::new(&[
+        "C",
+        "h = lg C",
+        "min probes",
+        "max probes",
+        "budget ⌈lg h⌉+1",
+    ]);
     for &c in &cs {
         let h = c.trailing_zeros();
         let probes: Vec<u32> = (1..=h).map(|t| split_check_probes(h, t)).collect();
@@ -68,7 +75,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
                 .seed(s)
                 .stop_when(StopWhen::AllTerminated)
                 .max_rounds(100_000);
-            let mut exec = Executor::new(cfg);
+            let mut exec = Engine::new(cfg);
             exec.add_node(TwoActive::new(c, 1 << 20));
             exec.add_node(TwoActive::new(c, 1 << 20));
             exec

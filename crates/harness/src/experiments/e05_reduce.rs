@@ -3,10 +3,11 @@
 
 use contention::{Params, Reduce, ReduceOutcome};
 use contention_analysis::{Summary, Table};
-use mac_sim::{Executor, SimConfig, StopWhen};
+use mac_sim::{Engine, SimConfig, StopWhen};
 
 use super::seed_base;
-use crate::{run_trials_with, ExperimentReport, Scale};
+use crate::{ExperimentReport, Scale};
+use mac_sim::trials::run_trials_with;
 
 /// Survivor counts (plus a leader flag) across trials for `(n, active)`.
 pub(crate) fn survivors(n: u64, active: usize, trials: usize, seed: u64) -> Vec<(usize, bool)> {
@@ -18,7 +19,7 @@ pub(crate) fn survivors(n: u64, active: usize, trials: usize, seed: u64) -> Vec<
                 .seed(s)
                 .stop_when(StopWhen::AllTerminated)
                 .max_rounds(100_000);
-            let mut exec = Executor::new(cfg);
+            let mut exec = Engine::new(cfg);
             for _ in 0..active {
                 exec.add_node(Reduce::new(n));
             }

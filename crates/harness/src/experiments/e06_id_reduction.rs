@@ -4,16 +4,23 @@
 
 use contention::{IdReduction, IdReductionOutcome, Params};
 use contention_analysis::{Summary, Table};
-use mac_sim::{Executor, SimConfig, StopWhen, TraceLevel};
+use mac_sim::{Engine, SimConfig, StopWhen, TraceLevel};
 use std::collections::HashSet;
 
 use super::seed_base;
-use crate::{run_trials_with, ExperimentReport, Scale};
+use crate::{ExperimentReport, Scale};
+use mac_sim::trials::run_trials_with;
 
 /// One trial's digest: (rounds, surviving ids).
 type Digest = (u64, Vec<u32>);
 
-pub(crate) fn measure(c: u32, active: usize, params: Params, trials: usize, seed: u64) -> Vec<Digest> {
+pub(crate) fn measure(
+    c: u32,
+    active: usize,
+    params: Params,
+    trials: usize,
+    seed: u64,
+) -> Vec<Digest> {
     run_trials_with(
         trials,
         seed,
@@ -22,7 +29,7 @@ pub(crate) fn measure(c: u32, active: usize, params: Params, trials: usize, seed
                 .seed(s)
                 .stop_when(StopWhen::AllTerminated)
                 .max_rounds(1_000_000);
-            let mut exec = Executor::new(cfg);
+            let mut exec = Engine::new(cfg);
             for _ in 0..active {
                 exec.add_node(IdReduction::new(params, c));
             }
@@ -72,7 +79,8 @@ pub fn run(scale: Scale) -> ExperimentReport {
                 seed_base("e6", u64::from(c), active as u64),
             );
             let rounds = Summary::from_u64(&data.iter().map(|d| d.0).collect::<Vec<_>>());
-            let surv = Summary::from_u64(&data.iter().map(|d| d.1.len() as u64).collect::<Vec<_>>());
+            let surv =
+                Summary::from_u64(&data.iter().map(|d| d.1.len() as u64).collect::<Vec<_>>());
             let within = data.iter().all(|d| d.1.len() as u32 <= c / 2);
             let unique = data.iter().all(|d| {
                 let set: HashSet<u32> = d.1.iter().copied().collect();
@@ -95,9 +103,19 @@ pub fn run(scale: Scale) -> ExperimentReport {
     // A second, smaller sweep with the paper's literal constants.
     let mut paper = Table::new(&["C", "|A|", "rounds mean (paper k=√C/144, clamped ≥3)"]);
     for &c in &[1u32 << 8, 1 << 12] {
-        let data = measure(c, 24, Params::paper(), scale.trials(), seed_base("e6p", u64::from(c), 0));
+        let data = measure(
+            c,
+            24,
+            Params::paper(),
+            scale.trials(),
+            seed_base("e6p", u64::from(c), 0),
+        );
         let rounds = Summary::from_u64(&data.iter().map(|d| d.0).collect::<Vec<_>>());
-        paper.row_owned(vec![c.to_string(), "24".into(), format!("{:.1}", rounds.mean)]);
+        paper.row_owned(vec![
+            c.to_string(),
+            "24".into(),
+            format!("{:.1}", rounds.mean),
+        ]);
     }
     report.section("Paper-literal constants", paper);
 
@@ -105,7 +123,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
     // (in a rename round every active node transmits, so the total
     // transmitter count in that round *is* |A_r|).
     let (c, active) = (64u32, 200usize);
-    let trajectories: Vec<Vec<u64>> = crate::run_trials_with(
+    let trajectories: Vec<Vec<u64>> = run_trials_with(
         scale.trials().min(30),
         super::seed_base("e6traj", u64::from(c), active as u64),
         |s| {
@@ -114,7 +132,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
                 .stop_when(StopWhen::AllTerminated)
                 .trace_level(TraceLevel::Channels)
                 .max_rounds(1_000_000);
-            let mut exec = Executor::new(cfg);
+            let mut exec = Engine::new(cfg);
             for _ in 0..active {
                 exec.add_node(IdReduction::new(Params::practical(), c));
             }
@@ -133,7 +151,10 @@ pub fn run(scale: Scale) -> ExperimentReport {
     let mut traj_table = Table::new(&["rename attempt", "|A| mean", "|A| max", "target C/6"]);
     let attempts = trajectories.iter().map(Vec::len).max().unwrap_or(0);
     for i in 0..attempts.min(8) {
-        let vals: Vec<u64> = trajectories.iter().filter_map(|t| t.get(i).copied()).collect();
+        let vals: Vec<u64> = trajectories
+            .iter()
+            .filter_map(|t| t.get(i).copied())
+            .collect();
         let s = Summary::from_u64(&vals);
         traj_table.row_owned(vec![
             (i + 1).to_string(),
@@ -187,7 +208,10 @@ mod tests {
         };
         let narrow = mean(16);
         let wide = mean(1 << 12);
-        assert!(wide <= narrow, "C=4096 ({wide}) should not exceed C=16 ({narrow})");
+        assert!(
+            wide <= narrow,
+            "C=4096 ({wide}) should not exceed C=16 ({narrow})"
+        );
     }
 
     #[test]

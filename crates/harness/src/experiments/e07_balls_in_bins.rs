@@ -11,14 +11,19 @@ use crate::{ExperimentReport, Scale};
 /// Runs the experiment.
 #[must_use]
 pub fn run(scale: Scale) -> ExperimentReport {
-    let mut report = ExperimentReport::new(
-        "E7",
-        "Balls-in-bins (Lemma 9: P[no lone ball] < 2^(-b/2))",
-    );
+    let mut report =
+        ExperimentReport::new("E7", "Balls-in-bins (Lemma 9: P[no lone ball] < 2^(-b/2))");
     let betas = [3usize, 4, 8, 16];
     let ms: Vec<usize> = scale.thin(&[48, 128, 512, 2048]);
 
-    let mut table = Table::new(&["β", "m (bins)", "b = m/β (balls)", "measured P", "bound 2^(-b/2)", "holds?"]);
+    let mut table = Table::new(&[
+        "β",
+        "m (bins)",
+        "b = m/β (balls)",
+        "measured P",
+        "bound 2^(-b/2)",
+        "holds?",
+    ]);
     let mut violations = 0usize;
     for &beta in &betas {
         for &m in &ms {
@@ -26,7 +31,12 @@ pub fn run(scale: Scale) -> ExperimentReport {
                 continue;
             }
             let b = m / beta;
-            let p = no_lone_ball_probability(b, m, scale.mc_trials(), seed_base("e7", beta as u64, m as u64));
+            let p = no_lone_ball_probability(
+                b,
+                m,
+                scale.mc_trials(),
+                seed_base("e7", beta as u64, m as u64),
+            );
             let bound = lemma9_bound(b);
             let holds = p <= bound || p < 3.0 / scale.mc_trials() as f64;
             if !holds {
@@ -42,7 +52,10 @@ pub fn run(scale: Scale) -> ExperimentReport {
             ]);
         }
     }
-    report.section("Measured no-lone-ball probability vs the Lemma 9 bound", table);
+    report.section(
+        "Measured no-lone-ball probability vs the Lemma 9 bound",
+        table,
+    );
     report.note(format!(
         "The bound held at {} of {} grid points (0 expected failures: Lemma 9 is \
          conservative — measured probabilities sit orders of magnitude below it).",
@@ -54,7 +67,10 @@ pub fn run(scale: Scale) -> ExperimentReport {
 }
 
 fn table_points(betas: &[usize], ms: &[usize]) -> usize {
-    betas.iter().flat_map(|&b| ms.iter().filter(move |&&m| b < m)).count()
+    betas
+        .iter()
+        .flat_map(|&b| ms.iter().filter(move |&&m| b < m))
+        .count()
 }
 
 #[cfg(test)]

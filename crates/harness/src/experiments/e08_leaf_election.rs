@@ -4,10 +4,11 @@
 
 use contention::LeafElection;
 use contention_analysis::{Summary, Table};
-use mac_sim::{Executor, SimConfig, StopWhen};
+use mac_sim::{Engine, SimConfig, StopWhen};
 
 use super::{lg, seed_base};
-use crate::{run_trials_with, sample_distinct, ExperimentReport, Scale};
+use crate::{sample_distinct, ExperimentReport, Scale};
+use mac_sim::trials::run_trials_with;
 
 /// One trial's digest: (rounds to solve, per-phase search rounds of the winner).
 type Digest = (u64, Vec<u64>);
@@ -40,7 +41,7 @@ pub(crate) fn measure(
                 .seed(s)
                 .stop_when(StopWhen::AllTerminated)
                 .max_rounds(1_000_000);
-            let mut exec = Executor::new(cfg);
+            let mut exec = Engine::new(cfg);
             let leaves = u64::from(prev_pow2(c) / 2);
             let ids: Vec<u32> = match occupancy {
                 Occupancy::Random => sample_distinct(leaves, x as usize, s ^ 0xE8)
@@ -83,16 +84,32 @@ pub fn run(scale: Scale) -> ExperimentReport {
     let cs = [64u32, 1024, 1 << 14];
     let xs: Vec<u32> = scale.thin(&[2, 8, 32, 128, 512]);
 
-    let mut table = Table::new(&["C", "h", "x", "rounds mean", "rounds max", "theory lg h·lglg x", "mean/theory"]);
+    let mut table = Table::new(&[
+        "C",
+        "h",
+        "x",
+        "rounds mean",
+        "rounds max",
+        "theory lg h·lglg x",
+        "mean/theory",
+    ]);
     for &c in &cs {
         let h = (prev_pow2(c) / 2).trailing_zeros();
         for &x in &xs {
             if x > prev_pow2(c) / 2 {
                 continue;
             }
-            let data = measure(c, x, scale.trials(), seed_base("e8", u64::from(c), u64::from(x)), false, Occupancy::Random);
+            let data = measure(
+                c,
+                x,
+                scale.trials(),
+                seed_base("e8", u64::from(c), u64::from(x)),
+                false,
+                Occupancy::Random,
+            );
             let rounds = Summary::from_u64(&data.iter().map(|d| d.0).collect::<Vec<_>>());
-            let theory = (lg(f64::from(h)).max(1.0)) * lg(lg(f64::from(x.max(2))).max(2.0)).max(1.0);
+            let theory =
+                (lg(f64::from(h)).max(1.0)) * lg(lg(f64::from(x.max(2))).max(2.0)).max(1.0);
             table.row_owned(vec![
                 c.to_string(),
                 h.to_string(),
@@ -111,9 +128,21 @@ pub fn run(scale: Scale) -> ExperimentReport {
     // per-phase bound describes (random-sparse runs end in 2-4 phases
     // because unpaired cohorts retire — see the note below).
     let (c, x) = (1u32 << 14, 512u32);
-    let data = measure(c, x, scale.trials().min(30), seed_base("e8p", u64::from(c), u64::from(x)), false, Occupancy::Dense);
+    let data = measure(
+        c,
+        x,
+        scale.trials().min(30),
+        seed_base("e8p", u64::from(c), u64::from(x)),
+        false,
+        Occupancy::Dense,
+    );
     let max_phases = data.iter().map(|d| d.1.len()).max().unwrap_or(0);
-    let mut phase_table = Table::new(&["phase i", "cohort size p", "search rounds mean", "Lemma 16: 5·⌈log_(p+1) h⌉"]);
+    let mut phase_table = Table::new(&[
+        "phase i",
+        "cohort size p",
+        "search rounds mean",
+        "Lemma 16: 5·⌈log_(p+1) h⌉",
+    ]);
     let h = (prev_pow2(c) / 2).trailing_zeros();
     for i in 0..max_phases {
         let vals: Vec<u64> = data.iter().filter_map(|d| d.1.get(i).copied()).collect();

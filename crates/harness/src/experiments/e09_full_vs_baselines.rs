@@ -11,14 +11,15 @@
 use contention::baselines::{BinaryDescent, CdTournament, Decay, MultiChannelNoCd};
 use contention::{FullAlgorithm, Params};
 use contention_analysis::{Summary, Table};
-use mac_sim::{CdMode, Executor, SimConfig};
+use mac_sim::{CdMode, Engine, SimConfig};
 
 use super::seed_base;
-use crate::{run_trials, sample_distinct, ExperimentReport, Scale};
+use crate::{sample_distinct, ExperimentReport, Scale};
+use mac_sim::trials::run_trials;
 
 pub(crate) fn full_rounds(c: u32, n: u64, active: usize, trials: usize, seed: u64) -> Vec<u64> {
     run_trials(trials, seed, |s| {
-        let mut exec = Executor::new(SimConfig::new(c).seed(s).max_rounds(10_000_000));
+        let mut exec = Engine::new(SimConfig::new(c).seed(s).max_rounds(10_000_000));
         for _ in 0..active {
             exec.add_node(FullAlgorithm::new(Params::practical(), c, n));
         }
@@ -31,7 +32,7 @@ pub(crate) fn full_rounds(c: u32, n: u64, active: usize, trials: usize, seed: u6
 
 pub(crate) fn descent_rounds(c: u32, n: u64, active: usize, trials: usize, seed: u64) -> Vec<u64> {
     run_trials(trials, seed, |s| {
-        let mut exec = Executor::new(SimConfig::new(c).seed(s).max_rounds(10_000_000));
+        let mut exec = Engine::new(SimConfig::new(c).seed(s).max_rounds(10_000_000));
         for id in sample_distinct(n, active, s ^ 0x9D) {
             exec.add_node(BinaryDescent::new(id, n));
         }
@@ -44,8 +45,11 @@ pub(crate) fn descent_rounds(c: u32, n: u64, active: usize, trials: usize, seed:
 
 pub(crate) fn decay_rounds(c: u32, n: u64, active: usize, trials: usize, seed: u64) -> Vec<u64> {
     run_trials(trials, seed, |s| {
-        let cfg = SimConfig::new(c).seed(s).cd_mode(CdMode::None).max_rounds(10_000_000);
-        let mut exec = Executor::new(cfg);
+        let cfg = SimConfig::new(c)
+            .seed(s)
+            .cd_mode(CdMode::None)
+            .max_rounds(10_000_000);
+        let mut exec = Engine::new(cfg);
         for _ in 0..active {
             exec.add_node(Decay::new(n));
         }
@@ -58,8 +62,11 @@ pub(crate) fn decay_rounds(c: u32, n: u64, active: usize, trials: usize, seed: u
 
 pub(crate) fn nocd_rounds(c: u32, n: u64, active: usize, trials: usize, seed: u64) -> Vec<u64> {
     run_trials(trials, seed, |s| {
-        let cfg = SimConfig::new(c).seed(s).cd_mode(CdMode::None).max_rounds(10_000_000);
-        let mut exec = Executor::new(cfg);
+        let cfg = SimConfig::new(c)
+            .seed(s)
+            .cd_mode(CdMode::None)
+            .max_rounds(10_000_000);
+        let mut exec = Engine::new(cfg);
         for _ in 0..active {
             exec.add_node(MultiChannelNoCd::new(c, n));
         }
@@ -136,10 +143,16 @@ pub fn run(scale: Scale) -> ExperimentReport {
     let (n, c) = (1u64 << 14, 256u32);
     let mut density = Table::new(&["|A|", "this paper", "CD tournament (lg |A|-adaptive)"]);
     for &a in &[2usize, 16, 128, 1024, 8192] {
-        let full = Summary::from_u64(&full_rounds(c, n, a, trials, seed_base("e9da", a as u64, n)));
+        let full = Summary::from_u64(&full_rounds(
+            c,
+            n,
+            a,
+            trials,
+            seed_base("e9da", a as u64, n),
+        ));
         let tour = Summary::from_u64(
             &run_trials(trials, seed_base("e9dt", a as u64, n), |s| {
-                let mut exec = Executor::new(SimConfig::new(c).seed(s).max_rounds(10_000_000));
+                let mut exec = Engine::new(SimConfig::new(c).seed(s).max_rounds(10_000_000));
                 for _ in 0..a {
                     exec.add_node(CdTournament::new());
                 }

@@ -5,11 +5,12 @@
 
 use contention::{FullAlgorithm, Params};
 use contention_analysis::{Summary, Table};
-use mac_sim::{Executor, SimConfig, StopWhen};
+use mac_sim::{Engine, SimConfig, StopWhen};
 
 use super::e01_two_active_vs_n::measure_completion as two_active_rounds;
 use super::seed_base;
-use crate::{run_trials, ExperimentReport, Scale};
+use crate::{ExperimentReport, Scale};
+use mac_sim::trials::run_trials;
 
 fn general_rounds(c: u32, n: u64, trials: usize, seed: u64) -> Vec<u64> {
     // Completion time (all nodes terminated), matching the specialist's
@@ -20,7 +21,7 @@ fn general_rounds(c: u32, n: u64, trials: usize, seed: u64) -> Vec<u64> {
             .seed(s)
             .stop_when(StopWhen::AllTerminated)
             .max_rounds(1_000_000);
-        let mut exec = Executor::new(cfg);
+        let mut exec = Engine::new(cfg);
         for _ in 0..2 {
             exec.add_node(FullAlgorithm::new(Params::practical(), c, n));
         }
@@ -34,19 +35,32 @@ fn general_rounds(c: u32, n: u64, trials: usize, seed: u64) -> Vec<u64> {
 /// Runs the experiment.
 #[must_use]
 pub fn run(scale: Scale) -> ExperimentReport {
-    let mut report = ExperimentReport::new(
-        "E11",
-        "TwoActive vs the general algorithm on |A| = 2",
-    );
+    let mut report = ExperimentReport::new("E11", "TwoActive vs the general algorithm on |A| = 2");
     let n_exps: Vec<u32> = scale.thin(&[8, 12, 16, 20]);
     let cs = [64u32, 1024];
 
-    let mut table = Table::new(&["C", "n", "TwoActive completion mean", "general completion mean", "general/TwoActive"]);
+    let mut table = Table::new(&[
+        "C",
+        "n",
+        "TwoActive completion mean",
+        "general completion mean",
+        "general/TwoActive",
+    ]);
     for &c in &cs {
         for &ne in &n_exps {
             let n = 1u64 << ne;
-            let two = Summary::from_u64(&two_active_rounds(c, n, scale.trials(), seed_base("e11t", u64::from(c), n)));
-            let gen = Summary::from_u64(&general_rounds(c, n, scale.trials(), seed_base("e11g", u64::from(c), n)));
+            let two = Summary::from_u64(&two_active_rounds(
+                c,
+                n,
+                scale.trials(),
+                seed_base("e11t", u64::from(c), n),
+            ));
+            let gen = Summary::from_u64(&general_rounds(
+                c,
+                n,
+                scale.trials(),
+                seed_base("e11g", u64::from(c), n),
+            ));
             table.row_owned(vec![
                 c.to_string(),
                 format!("2^{ne}"),

@@ -8,14 +8,15 @@
 use contention::wakeup::{StaggeredStart, LISTEN_ROUNDS};
 use contention::{FullAlgorithm, Params};
 use contention_analysis::{Summary, Table};
-use mac_sim::{Executor, SimConfig};
+use mac_sim::{Engine, SimConfig};
 
 use super::seed_base;
-use crate::{run_trials, ExperimentReport, Scale};
+use crate::{ExperimentReport, Scale};
+use mac_sim::trials::run_trials;
 
 fn wrapped_rounds(c: u32, n: u64, offsets: &[u64], trials: usize, seed: u64) -> Vec<u64> {
     run_trials(trials, seed, |s| {
-        let mut exec = Executor::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
+        let mut exec = Engine::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
         for &off in offsets {
             exec.add_node_at(
                 StaggeredStart::new(FullAlgorithm::new(Params::practical(), c, n)),
@@ -31,7 +32,7 @@ fn wrapped_rounds(c: u32, n: u64, offsets: &[u64], trials: usize, seed: u64) -> 
 
 fn bare_rounds(c: u32, n: u64, active: usize, trials: usize, seed: u64) -> Vec<u64> {
     run_trials(trials, seed, |s| {
-        let mut exec = Executor::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
+        let mut exec = Engine::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
         for _ in 0..active {
             exec.add_node(FullAlgorithm::new(Params::practical(), c, n));
         }
@@ -54,16 +55,39 @@ pub fn run(scale: Scale) -> ExperimentReport {
 
     let schedules: Vec<(&str, Vec<u64>)> = vec![
         ("simultaneous", vec![0; active]),
-        ("offset-1 alternating", (0..active as u64).map(|i| i % 2).collect()),
-        ("ramp (i mod 11)", (0..active as u64).map(|i| i % 11).collect()),
-        ("two waves (0 / 5)", (0..active as u64).map(|i| if i < 24 { 0 } else { 5 }).collect()),
+        (
+            "offset-1 alternating",
+            (0..active as u64).map(|i| i % 2).collect(),
+        ),
+        (
+            "ramp (i mod 11)",
+            (0..active as u64).map(|i| i % 11).collect(),
+        ),
+        (
+            "two waves (0 / 5)",
+            (0..active as u64)
+                .map(|i| if i < 24 { 0 } else { 5 })
+                .collect(),
+        ),
     ];
 
     let base = Summary::from_u64(&bare_rounds(c, n, active, trials, seed_base("e12b", 0, 0)));
-    let mut table = Table::new(&["schedule", "rounds mean", "rounds max", "unwrapped base mean", "mean/(2·base+K)"]);
+    let mut table = Table::new(&[
+        "schedule",
+        "rounds mean",
+        "rounds max",
+        "unwrapped base mean",
+        "mean/(2·base+K)",
+    ]);
     let k = 2 * LISTEN_ROUNDS + 4;
     for (idx, (name, offsets)) in schedules.iter().enumerate() {
-        let rounds = Summary::from_u64(&wrapped_rounds(c, n, offsets, trials, seed_base("e12", idx as u64, 0)));
+        let rounds = Summary::from_u64(&wrapped_rounds(
+            c,
+            n,
+            offsets,
+            trials,
+            seed_base("e12", idx as u64, 0),
+        ));
         let cap = 2.0 * base.mean + k as f64;
         table.row_owned(vec![
             (*name).to_string(),

@@ -45,8 +45,22 @@ pub fn run(scale: Scale) -> ExperimentReport {
     ]);
     let mut speedups = Vec::new();
     for &x in &xs {
-        let cohort = mean_rounds(c, x, trials, seed_base("e13c", u64::from(x), 0), false, Occupancy::Dense);
-        let binary = mean_rounds(c, x, trials, seed_base("e13b", u64::from(x), 0), true, Occupancy::Dense);
+        let cohort = mean_rounds(
+            c,
+            x,
+            trials,
+            seed_base("e13c", u64::from(x), 0),
+            false,
+            Occupancy::Dense,
+        );
+        let binary = mean_rounds(
+            c,
+            x,
+            trials,
+            seed_base("e13b", u64::from(x), 0),
+            true,
+            Occupancy::Dense,
+        );
         let speedup = binary.mean / cohort.mean;
         speedups.push((x, speedup));
         table.row_owned(vec![
@@ -65,8 +79,22 @@ pub fn run(scale: Scale) -> ExperimentReport {
     // cohorts before they grow, so the two variants tie.
     let mut sparse = Table::new(&["x (random leaves)", "cohort", "binary", "speed-up"]);
     for &x in &[64u32, 512] {
-        let cohort = mean_rounds(c, x, trials, seed_base("e13cs", u64::from(x), 0), false, Occupancy::Random);
-        let binary = mean_rounds(c, x, trials, seed_base("e13bs", u64::from(x), 0), true, Occupancy::Random);
+        let cohort = mean_rounds(
+            c,
+            x,
+            trials,
+            seed_base("e13cs", u64::from(x), 0),
+            false,
+            Occupancy::Random,
+        );
+        let binary = mean_rounds(
+            c,
+            x,
+            trials,
+            seed_base("e13bs", u64::from(x), 0),
+            true,
+            Occupancy::Random,
+        );
         sparse.row_owned(vec![
             x.to_string(),
             format!("{:.1}", cohort.mean),
@@ -76,7 +104,10 @@ pub fn run(scale: Scale) -> ExperimentReport {
     }
     report.section("Sparse (random) occupancy counterpoint", sparse);
 
-    let (first, last) = (speedups.first().expect("nonempty"), speedups.last().expect("nonempty"));
+    let (first, last) = (
+        speedups.first().expect("nonempty"),
+        speedups.last().expect("nonempty"),
+    );
     report.note(format!(
         "Dense occupancy: speed-up grows from {:.2}× at x = {} to {:.2}× at x = {} — \
          the log x vs log log x separation the coalescing-cohorts technique was \
@@ -128,7 +159,10 @@ mod tests {
             large > small,
             "ablation gap must widen with x: {small:.2} -> {large:.2}"
         );
-        assert!(large > 1.3, "dense speed-up should be substantial: {large:.2}");
+        assert!(
+            large > 1.3,
+            "dense speed-up should be substantial: {large:.2}"
+        );
     }
 
     #[test]

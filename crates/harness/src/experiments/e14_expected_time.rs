@@ -8,14 +8,15 @@ use contention::baselines::{CdTournament, Willard};
 use contention::extensions::ExpectedConstant;
 use contention::{FullAlgorithm, Params};
 use contention_analysis::{Summary, Table};
-use mac_sim::{Executor, SimConfig};
+use mac_sim::{Engine, SimConfig};
 
 use super::seed_base;
-use crate::{run_trials, ExperimentReport, Scale};
+use crate::{ExperimentReport, Scale};
+use mac_sim::trials::run_trials;
 
 fn expected_rounds(c: u32, n: u64, active: usize, trials: usize, seed: u64) -> Vec<u64> {
     run_trials(trials, seed, |s| {
-        let mut exec = Executor::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
+        let mut exec = Engine::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
         for _ in 0..active {
             exec.add_node(ExpectedConstant::new(c, n));
         }
@@ -28,7 +29,7 @@ fn expected_rounds(c: u32, n: u64, active: usize, trials: usize, seed: u64) -> V
 
 fn full_rounds(c: u32, n: u64, active: usize, trials: usize, seed: u64) -> Vec<u64> {
     run_trials(trials, seed, |s| {
-        let mut exec = Executor::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
+        let mut exec = Engine::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
         for _ in 0..active {
             exec.add_node(FullAlgorithm::new(Params::practical(), c, n));
         }
@@ -41,7 +42,7 @@ fn full_rounds(c: u32, n: u64, active: usize, trials: usize, seed: u64) -> Vec<u
 
 fn willard_rounds(n: u64, active: usize, trials: usize, seed: u64) -> Vec<u64> {
     run_trials(trials, seed, |s| {
-        let mut exec = Executor::new(SimConfig::new(1).seed(s).max_rounds(1_000_000));
+        let mut exec = Engine::new(SimConfig::new(1).seed(s).max_rounds(1_000_000));
         for _ in 0..active {
             exec.add_node(Willard::new(n));
         }
@@ -54,7 +55,7 @@ fn willard_rounds(n: u64, active: usize, trials: usize, seed: u64) -> Vec<u64> {
 
 fn tournament_rounds(c: u32, active: usize, trials: usize, seed: u64) -> Vec<u64> {
     run_trials(trials, seed, |s| {
-        let mut exec = Executor::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
+        let mut exec = Engine::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
         for _ in 0..active {
             exec.add_node(CdTournament::new());
         }
@@ -90,9 +91,26 @@ pub fn run(scale: Scale) -> ExperimentReport {
     ]);
     for &ce in &scale.thin(&[1u32, 2, 3, 4, 5, 8]) {
         let c = 1u32 << ce;
-        let xc = Summary::from_u64(&expected_rounds(c, n, active, trials, seed_base("e14x", u64::from(c), n)));
-        let full = Summary::from_u64(&full_rounds(c, n, active, trials, seed_base("e14f", u64::from(c), n)));
-        let tour = Summary::from_u64(&tournament_rounds(c, active, trials, seed_base("e14t", u64::from(c), n)));
+        let xc = Summary::from_u64(&expected_rounds(
+            c,
+            n,
+            active,
+            trials,
+            seed_base("e14x", u64::from(c), n),
+        ));
+        let full = Summary::from_u64(&full_rounds(
+            c,
+            n,
+            active,
+            trials,
+            seed_base("e14f", u64::from(c), n),
+        ));
+        let tour = Summary::from_u64(&tournament_rounds(
+            c,
+            active,
+            trials,
+            seed_base("e14t", u64::from(c), n),
+        ));
         table.row_owned(vec![
             c.to_string(),
             format!("{:.1}", xc.mean),
@@ -107,7 +125,13 @@ pub fn run(scale: Scale) -> ExperimentReport {
     let c = 18u32;
     let mut dens = Table::new(&["|A|", "expected-O(1) mean", "p95", "max"]);
     for &a in &[1usize, 16, 256, 4096, 16384] {
-        let xc = Summary::from_u64(&expected_rounds(c, n, a, trials, seed_base("e14d", a as u64, n)));
+        let xc = Summary::from_u64(&expected_rounds(
+            c,
+            n,
+            a,
+            trials,
+            seed_base("e14d", a as u64, n),
+        ));
         dens.row_owned(vec![
             a.to_string(),
             format!("{:.1}", xc.mean),

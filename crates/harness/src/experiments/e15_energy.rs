@@ -9,10 +9,11 @@ use contention::baselines::{BinaryDescent, CdTournament, Decay, MultiChannelNoCd
 use contention::extensions::ExpectedConstant;
 use contention::{FullAlgorithm, Params};
 use contention_analysis::{Summary, Table};
-use mac_sim::{CdMode, Executor, RunReport, SimConfig};
+use mac_sim::{CdMode, Engine, RunReport, SimConfig};
 
 use super::seed_base;
-use crate::{run_trials, sample_distinct, ExperimentReport, Scale};
+use crate::{sample_distinct, ExperimentReport, Scale};
+use mac_sim::trials::run_trials;
 
 /// (rounds, total tx, max tx by one node, total listens) per trial.
 type Energy = (u64, u64, u64, u64);
@@ -34,10 +35,8 @@ fn digest(reports: &[RunReport]) -> Vec<Energy> {
 /// Runs the experiment.
 #[must_use]
 pub fn run(scale: Scale) -> ExperimentReport {
-    let mut report = ExperimentReport::new(
-        "E15",
-        "Transmission energy: who pays for symmetry breaking",
-    );
+    let mut report =
+        ExperimentReport::new("E15", "Transmission energy: who pays for symmetry breaking");
     let (c, n, active) = (64u32, 1u64 << 14, 1024usize);
     let trials = scale.trials().min(40);
 
@@ -45,7 +44,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
         (
             "this paper (pipeline)",
             digest(&run_trials(trials, seed_base("e15f", 0, 0), |s| {
-                let mut exec = Executor::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
+                let mut exec = Engine::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
                 for _ in 0..active {
                     exec.add_node(FullAlgorithm::new(Params::practical(), c, n));
                 }
@@ -55,7 +54,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
         (
             "expected-O(1)",
             digest(&run_trials(trials, seed_base("e15x", 0, 0), |s| {
-                let mut exec = Executor::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
+                let mut exec = Engine::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
                 for _ in 0..active {
                     exec.add_node(ExpectedConstant::new(c, n));
                 }
@@ -65,7 +64,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
         (
             "CD tournament",
             digest(&run_trials(trials, seed_base("e15t", 0, 0), |s| {
-                let mut exec = Executor::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
+                let mut exec = Engine::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
                 for _ in 0..active {
                     exec.add_node(CdTournament::new());
                 }
@@ -75,7 +74,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
         (
             "binary descent",
             digest(&run_trials(trials, seed_base("e15d", 0, 0), |s| {
-                let mut exec = Executor::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
+                let mut exec = Engine::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
                 for id in sample_distinct(n, active, s ^ 0x15) {
                     exec.add_node(BinaryDescent::new(id, n));
                 }
@@ -85,8 +84,11 @@ pub fn run(scale: Scale) -> ExperimentReport {
         (
             "decay (no CD)",
             digest(&run_trials(trials, seed_base("e15y", 0, 0), |s| {
-                let cfg = SimConfig::new(c).seed(s).cd_mode(CdMode::None).max_rounds(1_000_000);
-                let mut exec = Executor::new(cfg);
+                let cfg = SimConfig::new(c)
+                    .seed(s)
+                    .cd_mode(CdMode::None)
+                    .max_rounds(1_000_000);
+                let mut exec = Engine::new(cfg);
                 for _ in 0..active {
                     exec.add_node(Decay::new(n));
                 }
@@ -96,8 +98,11 @@ pub fn run(scale: Scale) -> ExperimentReport {
         (
             "multi no-CD",
             digest(&run_trials(trials, seed_base("e15m", 0, 0), |s| {
-                let cfg = SimConfig::new(c).seed(s).cd_mode(CdMode::None).max_rounds(1_000_000);
-                let mut exec = Executor::new(cfg);
+                let cfg = SimConfig::new(c)
+                    .seed(s)
+                    .cd_mode(CdMode::None)
+                    .max_rounds(1_000_000);
+                let mut exec = Engine::new(cfg);
                 for _ in 0..active {
                     exec.add_node(MultiChannelNoCd::new(c, n));
                 }
@@ -152,7 +157,7 @@ mod tests {
     fn pipeline_is_more_frugal_than_descent() {
         let (c, n, active) = (64u32, 1u64 << 12, 512usize);
         let full_tx: u64 = run_trials(8, 1, |s| {
-            let mut exec = Executor::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
+            let mut exec = Engine::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
             for _ in 0..active {
                 exec.add_node(FullAlgorithm::new(Params::practical(), c, n));
             }
@@ -162,7 +167,7 @@ mod tests {
         .map(|r| r.metrics.transmissions)
         .sum();
         let descent_tx: u64 = run_trials(8, 1, |s| {
-            let mut exec = Executor::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
+            let mut exec = Engine::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
             for id in sample_distinct(n, active, s) {
                 exec.add_node(BinaryDescent::new(id, n));
             }

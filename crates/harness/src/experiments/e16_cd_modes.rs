@@ -7,7 +7,7 @@
 use contention::baselines::{CdTournament, Decay};
 use contention::{FullAlgorithm, Params, TwoActive};
 use contention_analysis::Table;
-use mac_sim::{CdMode, Executor, Protocol, SimConfig, SimError};
+use mac_sim::{CdMode, Engine, Protocol, SimConfig, SimError};
 
 use crate::{ExperimentReport, Scale};
 
@@ -21,13 +21,13 @@ struct Cell {
 fn run_cell<P, F>(mode: CdMode, trials: usize, cap: u64, build: F) -> Cell
 where
     P: Protocol,
-    F: Fn(u64, &mut Executor<P>),
+    F: Fn(u64, &mut Engine<P>),
 {
     let mut solved = 0usize;
     let mut total_rounds = 0u64;
     for seed in 0..trials as u64 {
         let cfg = SimConfig::new(64).seed(seed).cd_mode(mode).max_rounds(cap);
-        let mut exec = Executor::new(cfg);
+        let mut exec = Engine::new(cfg);
         build(seed, &mut exec);
         match exec.run() {
             Ok(report) => {
@@ -156,7 +156,10 @@ mod tests {
         // 64 channels does happen — but never by clean termination. Expect
         // dramatically degraded behavior versus strong CD's ~5 rounds.
         if let Some(mean) = cell.mean_rounds {
-            assert!(mean > 1.0, "receiver-only CD should not look healthy: {mean}");
+            assert!(
+                mean > 1.0,
+                "receiver-only CD should not look healthy: {mean}"
+            );
         }
     }
 

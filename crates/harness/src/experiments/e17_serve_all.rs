@@ -16,10 +16,11 @@ use contention::baselines::{CdTournament, TreeSplit};
 use contention::serialize::SerializeAll;
 use contention::{FullAlgorithm, Params};
 use contention_analysis::{Summary, Table};
-use mac_sim::{Executor, SimConfig, StopWhen};
+use mac_sim::{Engine, SimConfig, StopWhen};
 
 use super::seed_base;
-use crate::{run_trials, ExperimentReport, Scale};
+use crate::{ExperimentReport, Scale};
+use mac_sim::trials::run_trials;
 
 fn pipeline_drain(c: u32, n: u64, k: usize, trials: usize, seed: u64) -> Vec<u64> {
     run_trials(trials, seed, |s| {
@@ -27,7 +28,7 @@ fn pipeline_drain(c: u32, n: u64, k: usize, trials: usize, seed: u64) -> Vec<u64
             .seed(s)
             .stop_when(StopWhen::AllTerminated)
             .max_rounds(10_000_000);
-        let mut exec = Executor::new(cfg);
+        let mut exec = Engine::new(cfg);
         for payload in 0..k as u32 {
             let factory = move || FullAlgorithm::new(Params::practical(), c, n);
             exec.add_node(SerializeAll::new(factory, payload));
@@ -45,7 +46,7 @@ fn tournament_drain(k: usize, trials: usize, seed: u64) -> Vec<u64> {
             .seed(s)
             .stop_when(StopWhen::AllTerminated)
             .max_rounds(10_000_000);
-        let mut exec = Executor::new(cfg);
+        let mut exec = Engine::new(cfg);
         for payload in 0..k as u32 {
             exec.add_node(SerializeAll::new(CdTournament::new, payload));
         }
@@ -65,7 +66,7 @@ fn tree_split_drain(n: u64, k: usize, trials: usize, seed: u64) -> Vec<u64> {
             .seed(s)
             .stop_when(StopWhen::AllTerminated)
             .max_rounds(10_000_000);
-        let mut exec = Executor::new(cfg);
+        let mut exec = Engine::new(cfg);
         for id in crate::sample_distinct(n, k, s ^ 0x17) {
             exec.add_node(TreeSplit::new(id, n));
         }
@@ -111,7 +112,10 @@ pub fn run(scale: Scale) -> ExperimentReport {
             format!("{tree:.1}"),
         ]);
     }
-    report.section(format!("Rounds per packet, n = 2^12, C = {c} (pipeline only)"), table);
+    report.section(
+        format!("Rounds per packet, n = 2^12, C = {c} (pipeline only)"),
+        table,
+    );
     report.note(
         "Tree splitting — the one strategy here that consumes unique ids — is the \
          efficiency reference at every density (O(k + k·log(n/k)) total). Among the \
@@ -140,7 +144,10 @@ mod tests {
     fn tree_split_flat_per_packet_when_dense() {
         let n = 1u64 << 10;
         let dense = tree_split_drain(n, 1024, 1, 0)[0] as f64 / 1024.0;
-        assert!(dense <= 3.0, "dense tree split should be ~2 rounds/packet: {dense}");
+        assert!(
+            dense <= 3.0,
+            "dense tree split should be ~2 rounds/packet: {dense}"
+        );
     }
 
     #[test]

@@ -41,5 +41,7 @@ mod runner;
 mod scale;
 
 pub use report::{ExperimentReport, Section};
-pub use runner::{run_trials, run_trials_with, sample_distinct};
+pub use runner::sample_distinct;
+#[allow(deprecated)]
+pub use runner::{run_trials, run_trials_with};
 pub use scale::Scale;

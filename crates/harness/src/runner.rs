@@ -1,33 +1,38 @@
-//! Multi-seed trial execution, parallelized across OS threads.
+//! Multi-seed trial execution — now a compatibility shim.
+//!
+//! The trial fan-out was promoted into the simulator itself as
+//! [`mac_sim::trials`], so experiments, benches, and tests share one
+//! implementation. The harness re-exports deprecated wrappers here so old
+//! call sites keep compiling; new code calls `mac_sim::trials` directly.
+//! [`sample_distinct`] (identity sampling, not trial execution) still lives
+//! here.
 
+#[allow(deprecated)]
 use mac_sim::{Executor, Protocol, RunReport};
 
 /// Runs `trials` independent executions built by `build` (which receives
 /// the trial's seed) and returns their reports in seed order.
 ///
-/// Trials are spread over `std::thread::available_parallelism()` threads;
-/// results are deterministic regardless of thread count because each trial
-/// is fully determined by its seed.
-///
 /// # Panics
 ///
-/// Panics if any trial fails (a timeout or protocol error is an experiment
-/// bug, not a data point — the panic message carries the seed for replay).
+/// Panics if any trial fails.
+#[deprecated(since = "0.2.0", note = "moved to `mac_sim::trials::run_trials`")]
+#[allow(deprecated)]
 pub fn run_trials<P, F>(trials: usize, base_seed: u64, build: F) -> Vec<RunReport>
 where
     P: Protocol,
     F: Fn(u64) -> Executor<P> + Sync,
 {
-    run_trials_with(trials, base_seed, build, |_, report| report.clone())
+    mac_sim::trials::run_trials(trials, base_seed, build)
 }
 
-/// Like [`run_trials`], but maps each finished execution through `extract`,
-/// which also receives the executor so it can inspect final protocol state
-/// (adopted ids, survivor flags, per-phase stats, …).
+/// Like [`run_trials`], but maps each finished execution through `extract`.
 ///
 /// # Panics
 ///
-/// Panics if any trial fails; the message carries the seed for replay.
+/// Panics if any trial fails.
+#[deprecated(since = "0.2.0", note = "moved to `mac_sim::trials::run_trials_with`")]
+#[allow(deprecated)]
 pub fn run_trials_with<P, F, G, T>(trials: usize, base_seed: u64, build: F, extract: G) -> Vec<T>
 where
     P: Protocol,
@@ -35,30 +40,7 @@ where
     G: Fn(&Executor<P>, &RunReport) -> T + Sync,
     T: Send,
 {
-    let threads = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
-    let threads = threads.min(trials.max(1));
-    let mut results: Vec<Option<T>> = (0..trials).map(|_| None).collect();
-
-    std::thread::scope(|scope| {
-        let chunk_size = trials.div_ceil(threads);
-        for (chunk_idx, chunk) in results.chunks_mut(chunk_size).enumerate() {
-            let build = &build;
-            let extract = &extract;
-            let start = chunk_idx * chunk_size;
-            scope.spawn(move || {
-                for (offset, slot) in chunk.iter_mut().enumerate() {
-                    let seed = base_seed + (start + offset) as u64;
-                    let mut exec = build(seed);
-                    let report = exec
-                        .run()
-                        .unwrap_or_else(|e| panic!("trial with seed {seed} failed: {e}"));
-                    *slot = Some(extract(&exec, &report));
-                }
-            });
-        }
-    });
-
-    results.into_iter().map(|r| r.expect("trial completed")).collect()
+    mac_sim::trials::run_trials_with(trials, base_seed, build, extract)
 }
 
 /// Samples `count` distinct values from `0..universe` (a partial
@@ -94,42 +76,27 @@ pub fn sample_distinct(universe: u64, count: usize, seed: u64) -> Vec<u64> {
 mod tests {
     use super::*;
     use contention::baselines::CdTournament;
-    use mac_sim::SimConfig;
+    use mac_sim::{trials, Engine, SimConfig};
 
     #[test]
-    fn trials_are_deterministic_and_ordered() {
+    fn deprecated_wrappers_match_trials_module() {
         let build = |seed: u64| {
-            let mut exec = Executor::new(SimConfig::new(1).seed(seed).max_rounds(10_000));
+            let mut engine = Engine::new(SimConfig::new(1).seed(seed).max_rounds(10_000));
             for _ in 0..16 {
-                exec.add_node(CdTournament::new());
+                engine.add_node(CdTournament::new());
             }
-            exec
+            engine
         };
-        let a: Vec<u64> = run_trials(8, 100, build)
+        #[allow(deprecated)]
+        let old: Vec<u64> = run_trials(8, 100, build)
             .iter()
             .map(|r| r.rounds_to_solve().unwrap())
             .collect();
-        let b: Vec<u64> = run_trials(8, 100, build)
+        let new: Vec<u64> = trials::run_trials(8, 100, build)
             .iter()
             .map(|r| r.rounds_to_solve().unwrap())
             .collect();
-        assert_eq!(a, b);
-        // Different seeds give different outcomes somewhere in the batch.
-        let c: Vec<u64> = run_trials(8, 999, build)
-            .iter()
-            .map(|r| r.rounds_to_solve().unwrap())
-            .collect();
-        assert_ne!(a, c);
-    }
-
-    #[test]
-    fn single_trial_works() {
-        let build = |seed: u64| {
-            let mut exec = Executor::new(SimConfig::new(1).seed(seed).max_rounds(10_000));
-            exec.add_node(CdTournament::new());
-            exec
-        };
-        assert_eq!(run_trials(1, 0, build).len(), 1);
+        assert_eq!(old, new);
     }
 
     #[test]

@@ -325,7 +325,11 @@ impl<P: crate::Protocol> crate::Protocol for CrashAt<P> {
         self.inner.on_wake(ctx, rng);
     }
 
-    fn act(&mut self, ctx: &crate::RoundContext, rng: &mut rand::rngs::SmallRng) -> crate::Action<P::Msg> {
+    fn act(
+        &mut self,
+        ctx: &crate::RoundContext,
+        rng: &mut rand::rngs::SmallRng,
+    ) -> crate::Action<P::Msg> {
         debug_assert!(!self.crashed(), "crashed node scheduled");
         self.lived += 1;
         self.inner.act(ctx, rng)
@@ -357,10 +361,105 @@ impl<P: crate::Protocol> crate::Protocol for CrashAt<P> {
     }
 }
 
+/// A jamming adversary as a [`FeedbackModel`]: one channel is flooded with
+/// noise for a range of rounds, on top of a base collision-detection mode.
+///
+/// While jamming is active, every participant on the jammed channel hears
+/// what a collision would sound like under the base [`CdMode`] — the
+/// adversary's noise collides with whatever (if anything) was transmitted:
+///
+/// * [`CdMode::Strong`] — everyone hears [`Feedback::Collision`];
+/// * [`CdMode::ReceiverOnly`] — listeners hear a collision, transmitters
+///   stay blind;
+/// * [`CdMode::None`] — listeners hear silence (they cannot distinguish the
+///   jam from background), transmitters stay blind.
+///
+/// A lone transmission on a jammed primary channel does not count as a
+/// solve ([`FeedbackModel::allows_solve`] returns `false` for those rounds):
+/// physically, the jam collided with it.
+#[derive(Debug, Clone)]
+pub struct JammedChannel {
+    base: crate::CdMode,
+    target: crate::ChannelId,
+    from_round: u64,
+    until_round: u64,
+    jamming_now: bool,
+}
+
+impl JammedChannel {
+    /// Jams `target` for rounds `from_round..until_round` (0-based,
+    /// half-open) on top of the `base` collision-detection mode.
+    #[must_use]
+    pub fn new(
+        base: crate::CdMode,
+        target: crate::ChannelId,
+        from_round: u64,
+        until_round: u64,
+    ) -> Self {
+        JammedChannel {
+            base,
+            target,
+            from_round,
+            until_round,
+            jamming_now: false,
+        }
+    }
+
+    /// The jammed channel.
+    #[must_use]
+    pub fn target(&self) -> crate::ChannelId {
+        self.target
+    }
+
+    /// Whether the current round (announced via
+    /// [`FeedbackModel::begin_round`]) is being jammed.
+    #[must_use]
+    pub fn jamming(&self) -> bool {
+        self.jamming_now
+    }
+}
+
+impl crate::FeedbackModel for JammedChannel {
+    fn begin_round(&mut self, round: u64) {
+        self.jamming_now = (self.from_round..self.until_round).contains(&round);
+    }
+
+    fn deliver<M: Clone>(
+        &mut self,
+        action: &crate::Action<M>,
+        state: &crate::ChannelState<'_, M>,
+    ) -> crate::Feedback<M> {
+        use crate::{Action, CdMode, Feedback};
+        let (channel, transmitted) = match action {
+            Action::Transmit { channel, .. } => (*channel, true),
+            Action::Listen { channel } => (*channel, false),
+            Action::Sleep => return Feedback::Slept,
+        };
+        if self.jamming_now && channel == self.target {
+            return match self.base {
+                CdMode::Strong => Feedback::Collision,
+                CdMode::ReceiverOnly if transmitted => Feedback::TransmittedBlind,
+                CdMode::ReceiverOnly => Feedback::Collision,
+                CdMode::None if transmitted => Feedback::TransmittedBlind,
+                CdMode::None => Feedback::Silence,
+            };
+        }
+        self.base.deliver(action, state)
+    }
+
+    fn allows_solve(&self) -> bool {
+        // A jam on the primary channel collides with any lone transmission
+        // there. Jams elsewhere don't affect solve detection.
+        !(self.jamming_now && self.target == crate::ChannelId::PRIMARY)
+    }
+}
+
 #[cfg(test)]
 mod crash_tests {
     use super::*;
-    use crate::{Action, ChannelId, Executor, Feedback, Protocol, RoundContext, SimConfig, Status, StopWhen};
+    use crate::{
+        Action, ChannelId, Engine, Feedback, Protocol, RoundContext, SimConfig, Status, StopWhen,
+    };
     use rand::rngs::SmallRng;
 
     struct Chatter;
@@ -377,30 +476,120 @@ mod crash_tests {
 
     #[test]
     fn crash_silences_the_node() {
-        let cfg = SimConfig::new(2).stop_when(StopWhen::AllTerminated).max_rounds(100);
-        let mut exec = Executor::new(cfg);
-        let id = exec.add_node(CrashAt::new(Chatter, 3));
-        let report = exec.run().expect("terminates once crashed");
+        let cfg = SimConfig::new(2)
+            .stop_when(StopWhen::AllTerminated)
+            .max_rounds(100);
+        let mut engine = Engine::new(cfg);
+        let id = engine.add_node(CrashAt::new(Chatter, 3));
+        let report = engine.run().expect("terminates once crashed");
         assert_eq!(report.rounds_executed, 3);
         assert_eq!(report.metrics.transmissions, 3);
-        assert!(exec.node(id).crashed());
+        assert!(engine.node(id).crashed());
     }
 
     #[test]
     fn dead_on_arrival_never_acts() {
-        let cfg = SimConfig::new(2).stop_when(StopWhen::AllTerminated).max_rounds(100);
-        let mut exec = Executor::new(cfg);
-        exec.add_node(CrashAt::new(Chatter, 0));
-        let report = exec.run().expect("terminates");
+        let cfg = SimConfig::new(2)
+            .stop_when(StopWhen::AllTerminated)
+            .max_rounds(100);
+        let mut engine = Engine::new(cfg);
+        engine.add_node(CrashAt::new(Chatter, 0));
+        let report = engine.run().expect("terminates");
         assert_eq!(report.metrics.transmissions, 0);
     }
 
     #[test]
     fn uncrashed_wrapper_is_transparent() {
         let cfg = SimConfig::new(2).max_rounds(5);
-        let mut exec = Executor::new(cfg);
-        exec.add_node(CrashAt::new(Chatter, 1_000));
+        let mut engine = Engine::new(cfg);
+        engine.add_node(CrashAt::new(Chatter, 1_000));
         // Chatter never terminates and never hits channel 1: timeout.
-        assert!(exec.run().is_err());
+        assert!(engine.run().is_err());
+    }
+}
+
+#[cfg(test)]
+mod jam_tests {
+    use super::*;
+    use crate::{
+        Action, CdMode, ChannelId, Engine, Feedback, Protocol, RoundContext, SimConfig, Status,
+    };
+    use rand::rngs::SmallRng;
+
+    /// Transmits or listens on the primary channel, recording feedback.
+    struct Node {
+        transmits: bool,
+        heard: Vec<Feedback<u8>>,
+    }
+    impl Node {
+        fn beacon() -> Self {
+            Node {
+                transmits: true,
+                heard: Vec::new(),
+            }
+        }
+        fn ear() -> Self {
+            Node {
+                transmits: false,
+                heard: Vec::new(),
+            }
+        }
+    }
+    impl Protocol for Node {
+        type Msg = u8;
+        fn act(&mut self, _: &RoundContext, _: &mut SmallRng) -> Action<u8> {
+            if self.transmits {
+                Action::transmit(ChannelId::PRIMARY, 1)
+            } else {
+                Action::listen(ChannelId::PRIMARY)
+            }
+        }
+        fn observe(&mut self, _: &RoundContext, fb: Feedback<u8>, _: &mut SmallRng) {
+            self.heard.push(fb);
+        }
+        fn status(&self) -> Status {
+            Status::Active
+        }
+    }
+
+    #[test]
+    fn jam_delays_the_solve() {
+        // A lone beacon would solve in round 0; a primary-channel jam over
+        // rounds 0..3 pushes the solve to round 3.
+        let jam = JammedChannel::new(CdMode::Strong, ChannelId::PRIMARY, 0, 3);
+        let mut engine = Engine::with_feedback(SimConfig::new(2).max_rounds(10), jam);
+        engine.add_node(Node::beacon());
+        let report = engine.run().expect("solves after the jam lifts");
+        assert_eq!(report.solved_round, Some(3));
+    }
+
+    #[test]
+    fn jam_sounds_like_a_collision_per_base_mode() {
+        for (mode, expect) in [
+            (CdMode::Strong, Feedback::Collision),
+            (CdMode::ReceiverOnly, Feedback::Collision),
+            (CdMode::None, Feedback::Silence),
+        ] {
+            let jam = JammedChannel::new(mode, ChannelId::PRIMARY, 0, 1);
+            let mut engine = Engine::with_feedback(SimConfig::new(2).max_rounds(2), jam);
+            engine.add_node(Node::beacon());
+            let ear = engine.add_node(Node::ear());
+            let report = engine.run().expect("solves in round 1");
+            assert_eq!(report.solved_round, Some(1), "mode {mode:?}");
+            assert_eq!(engine.node(ear).heard[0], expect, "mode {mode:?}");
+            // Round 1 is un-jammed: the lone message comes through.
+            assert_eq!(engine.node(ear).heard[1], Feedback::Message(1));
+        }
+    }
+
+    #[test]
+    fn jam_on_secondary_channel_leaves_solve_alone() {
+        let jam = JammedChannel::new(CdMode::Strong, ChannelId::new(2), 0, 100);
+        let mut engine = Engine::with_feedback(SimConfig::new(2).max_rounds(10), jam);
+        engine.add_node(Node::beacon());
+        let report = engine.run().expect("primary channel unaffected");
+        assert_eq!(report.solved_round, Some(0));
+        assert!(engine.feedback().jamming());
+        assert_eq!(engine.feedback().target(), ChannelId::new(2));
     }
 }

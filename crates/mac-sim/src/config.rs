@@ -66,6 +66,11 @@ pub struct SimConfig {
     pub stop_when: StopWhen,
     /// How much per-round detail to record.
     pub trace_level: TraceLevel,
+    /// Whether the engine's built-in [`crate::Metrics`] observer records
+    /// transmissions, listens, and phase rounds (on by default). Turning it
+    /// off removes that bookkeeping from the hot loop; the metrics in the
+    /// final [`crate::RunReport`] stay zeroed.
+    pub record_metrics: bool,
 }
 
 impl SimConfig {
@@ -85,6 +90,7 @@ impl SimConfig {
             cd_mode: CdMode::Strong,
             stop_when: StopWhen::Solved,
             trace_level: TraceLevel::Off,
+            record_metrics: true,
         }
     }
 
@@ -122,6 +128,13 @@ impl SimConfig {
         self.trace_level = trace_level;
         self
     }
+
+    /// Enables or disables the built-in metrics observer.
+    #[must_use]
+    pub fn record_metrics(mut self, record_metrics: bool) -> Self {
+        self.record_metrics = record_metrics;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -149,6 +162,13 @@ mod tests {
         let cfg = SimConfig::new(1);
         assert_eq!(cfg.cd_mode, CdMode::Strong);
         assert_eq!(cfg.stop_when, StopWhen::Solved);
+        assert!(cfg.record_metrics);
+    }
+
+    #[test]
+    fn metrics_recording_can_be_disabled() {
+        let cfg = SimConfig::new(1).record_metrics(false);
+        assert!(!cfg.record_metrics);
     }
 
     #[test]

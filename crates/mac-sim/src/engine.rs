@@ -1,0 +1,1058 @@
+//! The round engine: the per-round hot loop of the simulator.
+//!
+//! [`Engine`] runs a population of [`Protocol`] state machines over shared
+//! channels, one synchronous round at a time, on preallocated scratch — the
+//! steady-state loop performs no heap allocation and clones a transmitted
+//! message only when a participant actually receives it.
+//!
+//! The engine is the bottom of a three-layer architecture:
+//!
+//! * **engine** (this module) — wakes nodes, collects actions, resolves
+//!   channels, detects the solve, advances the round;
+//! * **feedback** ([`crate::feedback`]) — a pluggable [`FeedbackModel`]
+//!   decides what each node hears; the paper's collision-detection modes
+//!   ([`CdMode`]) are the default model;
+//! * **observation** ([`crate::sink`]) — [`EventSink`] observers
+//!   ([`Metrics`], [`Trace`], or anything user-supplied via
+//!   [`Engine::run_observed`]) record what happened.
+
+use std::fmt;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::action::Action;
+use crate::channel::{ChannelId, ChannelOutcome, OutcomeKind};
+use crate::config::{CdMode, SimConfig, StopWhen};
+use crate::error::SimError;
+use crate::feedback::{ChannelState, FeedbackModel};
+use crate::metrics::Metrics;
+use crate::protocol::{Protocol, RoundContext, Status};
+use crate::rng::derive_node_seed;
+use crate::sink::EventSink;
+use crate::trace::{Trace, TraceLevel};
+
+/// Index of a node within an [`Engine`], assigned in insertion order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+struct NodeSlot<P> {
+    protocol: P,
+    rng: SmallRng,
+    start_round: u64,
+    woken: bool,
+}
+
+/// The cheap result of a run: solve data only, no metrics or trace clones.
+///
+/// Returned by [`Engine::run_summary`]; callers that need transmission
+/// counts, phase breakdowns, leaders, or traces use [`Engine::run`] and get
+/// a full [`RunReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSummary {
+    /// The first round (0-based) in which exactly one node transmitted on
+    /// the primary channel — or `None` if the run ended without solving.
+    pub solved_round: Option<u64>,
+    /// The node that made that lone primary-channel transmission.
+    pub solver: Option<NodeId>,
+    /// Total rounds executed before stopping.
+    pub rounds_executed: u64,
+}
+
+impl RunSummary {
+    /// Rounds needed to solve the problem: `solved_round + 1` (round numbers
+    /// are 0-based but "solved in r rounds" counts rounds). `None` if the
+    /// run never solved the problem.
+    #[must_use]
+    pub fn rounds_to_solve(&self) -> Option<u64> {
+        self.solved_round.map(|r| r + 1)
+    }
+
+    /// Returns `true` if the run solved contention resolution.
+    #[must_use]
+    pub fn is_solved(&self) -> bool {
+        self.solved_round.is_some()
+    }
+}
+
+/// The result of a completed run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The first round (0-based) in which exactly one node transmitted on
+    /// the primary channel, i.e. the round the problem was solved — or
+    /// `None` if the run ended without solving it.
+    pub solved_round: Option<u64>,
+    /// The node that made that lone primary-channel transmission.
+    pub solver: Option<NodeId>,
+    /// Total rounds executed before stopping.
+    pub rounds_executed: u64,
+    /// Nodes whose final status is [`Status::Leader`].
+    pub leaders: Vec<NodeId>,
+    /// Nodes still [`Status::Active`] when the run stopped.
+    pub active_remaining: Vec<NodeId>,
+    /// Transmission counts and per-phase round accounting (zeroed when
+    /// [`SimConfig::record_metrics`] is off).
+    pub metrics: Metrics,
+    /// The recorded trace, empty unless tracing was enabled.
+    pub trace: Trace,
+}
+
+impl RunReport {
+    /// Rounds needed to solve the problem: `solved_round + 1` (round numbers
+    /// are 0-based but "solved in r rounds" counts rounds). `None` if the
+    /// run never solved the problem.
+    #[must_use]
+    pub fn rounds_to_solve(&self) -> Option<u64> {
+        self.solved_round.map(|r| r + 1)
+    }
+
+    /// Returns `true` if the run solved contention resolution.
+    #[must_use]
+    pub fn is_solved(&self) -> bool {
+        self.solved_round.is_some()
+    }
+
+    /// This report's solve data as a [`RunSummary`].
+    #[must_use]
+    pub fn summary(&self) -> RunSummary {
+        RunSummary {
+            solved_round: self.solved_round,
+            solver: self.solver,
+            rounds_executed: self.rounds_executed,
+        }
+    }
+}
+
+/// Result of one [`Engine::step`]: is the run's stop condition met?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepStatus {
+    /// The stop condition is not yet met; more rounds may follow.
+    Running,
+    /// The stop condition is met; further `step` calls are no-ops.
+    Finished,
+}
+
+/// Mutable per-run bookkeeping, kept inside the engine so execution can
+/// proceed one round at a time ([`Engine::step`]) with full state
+/// inspection between rounds.
+struct RunState {
+    metrics: Metrics,
+    trace: Trace,
+    solved_round: Option<u64>,
+    solver: Option<NodeId>,
+    round: u64,
+    finished: bool,
+}
+
+/// Runs a population of [`Protocol`] state machines over shared channels.
+///
+/// Execution can be driven three ways:
+///
+/// * [`Engine::run`] — loop to the configured stop condition (the common
+///   case); [`Engine::run_summary`] is the same loop returning only the
+///   cheap [`RunSummary`];
+/// * [`Engine::run_observed`] — like `run`, streaming events into a
+///   caller-supplied [`EventSink`];
+/// * [`Engine::step`] / [`Engine::step_observed`] — advance exactly one
+///   round, inspect node state via [`Engine::node`] / [`Engine::report`],
+///   repeat. Used by invariant audits that need to see protocols mid-flight.
+///
+/// The second type parameter is the [`FeedbackModel`]; [`Engine::new`]
+/// installs the [`CdMode`] from the configuration, and
+/// [`Engine::with_feedback`] accepts any custom model.
+///
+/// See the [crate-level documentation](crate) for a complete example.
+pub struct Engine<P: Protocol, F: FeedbackModel = CdMode> {
+    config: SimConfig,
+    feedback: F,
+    nodes: Vec<NodeSlot<P>>,
+    run: RunState,
+    /// Highest `start_round` over all nodes, maintained on insertion.
+    latest_wake: u64,
+    /// Nodes not yet woken; the wake scan is skipped once this hits zero.
+    unwoken: usize,
+    actions: Vec<(usize, Action<P::Msg>)>,
+    // Reusable per-channel scratch, indexed by `ChannelId::index()`.
+    tx_count: Vec<u32>,
+    rx_count: Vec<u32>,
+    /// Index into `actions` of the lone transmitter per channel
+    /// (`usize::MAX` when the channel has zero or multiple transmitters).
+    lone_act: Vec<usize>,
+    dirty: Vec<usize>,
+    /// Reusable buffer for per-round channel outcomes.
+    outcomes: Vec<ChannelOutcome>,
+}
+
+impl<P: Protocol> Engine<P> {
+    /// Creates an engine for the given configuration with no nodes yet,
+    /// using the configuration's [`CdMode`] as the feedback model.
+    #[must_use]
+    pub fn new(config: SimConfig) -> Self {
+        let cd_mode = config.cd_mode;
+        Engine::with_feedback(config, cd_mode)
+    }
+}
+
+impl<P: Protocol, F: FeedbackModel> Engine<P, F> {
+    /// Creates an engine with a custom [`FeedbackModel`] (an adversarial or
+    /// noisy radio layer; see [`crate::adversary::JammedChannel`]).
+    ///
+    /// The model replaces the configuration's `cd_mode` entirely — it alone
+    /// decides what nodes hear.
+    #[must_use]
+    pub fn with_feedback(config: SimConfig, feedback: F) -> Self {
+        let c = config.channels as usize;
+        Engine {
+            config,
+            feedback,
+            nodes: Vec::new(),
+            run: RunState {
+                metrics: Metrics::new(0),
+                trace: Trace::new(),
+                solved_round: None,
+                solver: None,
+                round: 0,
+                finished: false,
+            },
+            latest_wake: 0,
+            unwoken: 0,
+            actions: Vec::new(),
+            tx_count: vec![0; c],
+            rx_count: vec![0; c],
+            lone_act: vec![usize::MAX; c],
+            dirty: Vec::new(),
+            outcomes: Vec::new(),
+        }
+    }
+
+    /// The configuration this engine runs with.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The feedback model, e.g. for post-run adversary inspection.
+    #[must_use]
+    pub fn feedback(&self) -> &F {
+        &self.feedback
+    }
+
+    /// Adds a node that wakes in round 0. Returns its id.
+    pub fn add_node(&mut self, protocol: P) -> NodeId {
+        self.add_node_at(protocol, 0)
+    }
+
+    /// Adds a node that wakes in round `start_round`. Returns its id.
+    ///
+    /// Staggered wake-ups model the harder non-simultaneous variant of the
+    /// problem discussed in §3 of the paper.
+    pub fn add_node_at(&mut self, protocol: P, start_round: u64) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        let seed = derive_node_seed(self.config.master_seed, id.0 as u64);
+        self.nodes.push(NodeSlot {
+            protocol,
+            rng: SmallRng::seed_from_u64(seed),
+            start_round,
+            woken: false,
+        });
+        self.latest_wake = self.latest_wake.max(start_round);
+        self.unwoken += 1;
+        self.run.metrics.transmissions_per_node.push(0);
+        id
+    }
+
+    /// Number of nodes added.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if no nodes were added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Immutable access to a node's protocol, e.g. for post-run assertions.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &P {
+        &self.nodes[id.0].protocol
+    }
+
+    /// Iterates over all node protocols in id order.
+    pub fn iter_nodes(&self) -> impl Iterator<Item = &P> {
+        self.nodes.iter().map(|slot| &slot.protocol)
+    }
+
+    /// Runs rounds until the configured stop condition is met.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::NoNodes`] if no node was added;
+    /// * [`SimError::ChannelOutOfRange`] if a protocol picks an invalid
+    ///   channel;
+    /// * [`SimError::Timeout`] if `max_rounds` elapse without meeting the
+    ///   stop condition.
+    pub fn run(&mut self) -> Result<RunReport, SimError> {
+        self.run_observed(&mut ())
+    }
+
+    /// Like [`Engine::run`], but returns only the cheap [`RunSummary`] —
+    /// no [`Metrics`] or [`Trace`] clones.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::run`].
+    pub fn run_summary(&mut self) -> Result<RunSummary, SimError> {
+        self.run_to_finish(&mut ())?;
+        Ok(self.summary())
+    }
+
+    /// Like [`Engine::run`], but streams events into `sink` as the run
+    /// executes (in addition to the built-in metrics/trace observers).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::run`].
+    pub fn run_observed<S: EventSink>(&mut self, sink: &mut S) -> Result<RunReport, SimError> {
+        self.run_to_finish(sink)?;
+        Ok(self.report())
+    }
+
+    fn run_to_finish<S: EventSink>(&mut self, sink: &mut S) -> Result<(), SimError> {
+        while !self.run.finished {
+            if self.run.round >= self.config.max_rounds {
+                return Err(SimError::Timeout {
+                    max_rounds: self.config.max_rounds,
+                });
+            }
+            self.step_observed(sink)?;
+        }
+        Ok(())
+    }
+
+    /// Executes exactly one round (waking, acting, channel resolution,
+    /// feedback, stop-condition check). Returns whether the stop condition
+    /// has been met; once it has, further calls change nothing and keep
+    /// returning [`StepStatus::Finished`].
+    ///
+    /// `step` ignores `max_rounds` — the cap belongs to [`Engine::run`]'s
+    /// loop; a manual driver decides its own limits.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::NoNodes`] if no node was added;
+    /// * [`SimError::ChannelOutOfRange`] if a protocol picks an invalid
+    ///   channel.
+    pub fn step(&mut self) -> Result<StepStatus, SimError> {
+        self.step_observed(&mut ())
+    }
+
+    /// Like [`Engine::step`], but streams the round's events into `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::step`].
+    pub fn step_observed<S: EventSink>(&mut self, sink: &mut S) -> Result<StepStatus, SimError> {
+        if self.nodes.is_empty() {
+            return Err(SimError::NoNodes);
+        }
+        if self.run.finished {
+            return Ok(StepStatus::Finished);
+        }
+        let round = self.run.round;
+        let record_metrics = self.config.record_metrics;
+        self.feedback.begin_round(round);
+
+        // Wake-ups scheduled for this round; skipped entirely once every
+        // node is awake.
+        if self.unwoken > 0 {
+            for slot in &mut self.nodes {
+                if !slot.woken && slot.start_round == round {
+                    slot.woken = true;
+                    self.unwoken -= 1;
+                    let ctx = RoundContext {
+                        round,
+                        local_round: 0,
+                        channels: self.config.channels,
+                    };
+                    slot.protocol.on_wake(&ctx, &mut slot.rng);
+                }
+            }
+        }
+
+        // Phase accounting: the paper's algorithms keep all active nodes
+        // in lockstep, so the first active node is representative.
+        let phase = self
+            .nodes
+            .iter()
+            .find(|slot| slot.woken && slot.protocol.status() == Status::Active)
+            .map_or("idle", |slot| slot.protocol.phase());
+
+        // Collect actions.
+        self.actions.clear();
+        for (idx, slot) in self.nodes.iter_mut().enumerate() {
+            if !slot.woken || slot.protocol.status() != Status::Active {
+                continue;
+            }
+            let ctx = RoundContext {
+                round,
+                local_round: round - slot.start_round,
+                channels: self.config.channels,
+            };
+            let action = slot.protocol.act(&ctx, &mut slot.rng);
+            if let Some(channel) = action.channel() {
+                if channel.get() > self.config.channels {
+                    return Err(SimError::ChannelOutOfRange {
+                        node: NodeId(idx),
+                        round,
+                        channel,
+                        channels: self.config.channels,
+                    });
+                }
+            }
+            self.actions.push((idx, action));
+        }
+
+        // Resolve channels on the reusable scratch.
+        for &d in &self.dirty {
+            self.tx_count[d] = 0;
+            self.rx_count[d] = 0;
+            self.lone_act[d] = usize::MAX;
+        }
+        self.dirty.clear();
+        for (ai, (idx, action)) in self.actions.iter().enumerate() {
+            match action {
+                Action::Transmit { channel, .. } => {
+                    let ci = channel.index();
+                    if self.tx_count[ci] == 0 && self.rx_count[ci] == 0 {
+                        self.dirty.push(ci);
+                    }
+                    self.tx_count[ci] += 1;
+                    self.lone_act[ci] = if self.tx_count[ci] == 1 {
+                        ai
+                    } else {
+                        usize::MAX
+                    };
+                    if record_metrics {
+                        self.run
+                            .metrics
+                            .on_transmission(round, NodeId(*idx), *channel, phase);
+                    }
+                    sink.on_transmission(round, NodeId(*idx), *channel, phase);
+                }
+                Action::Listen { channel } => {
+                    let ci = channel.index();
+                    if self.tx_count[ci] == 0 && self.rx_count[ci] == 0 {
+                        self.dirty.push(ci);
+                    }
+                    self.rx_count[ci] += 1;
+                    if record_metrics {
+                        self.run.metrics.on_listen(round, NodeId(*idx), *channel);
+                    }
+                    sink.on_listen(round, NodeId(*idx), *channel);
+                }
+                Action::Sleep => {}
+            }
+        }
+
+        // Solve detection: exactly one transmitter on the *physical*
+        // primary channel (the feedback model may veto a round it jammed).
+        let primary = ChannelId::PRIMARY.index();
+        if self.run.solved_round.is_none()
+            && self.tx_count[primary] == 1
+            && self.feedback.allows_solve()
+        {
+            let solver = NodeId(self.actions[self.lone_act[primary]].0);
+            self.run.solved_round = Some(round);
+            self.run.solver = Some(solver);
+            sink.on_solved(round, solver);
+        }
+
+        // Close the round out through the observation layer. Channel
+        // outcomes are built (on the reusable buffer) only if an attached
+        // observer reads them.
+        let tracing = self.config.trace_level == TraceLevel::Channels;
+        self.outcomes.clear();
+        if tracing || sink.wants_outcomes() {
+            self.dirty.sort_unstable();
+            for &ci in &self.dirty {
+                self.outcomes.push(ChannelOutcome {
+                    channel: ChannelId::new(ci as u32 + 1),
+                    kind: OutcomeKind::from_transmitters(self.tx_count[ci] as usize),
+                    transmitters: self.tx_count[ci] as usize,
+                    listeners: self.rx_count[ci] as usize,
+                });
+            }
+        }
+        if record_metrics {
+            self.run.metrics.on_round(round, phase, &self.outcomes);
+        }
+        if tracing {
+            self.run.trace.on_round(round, phase, &self.outcomes);
+        }
+        sink.on_round(round, phase, &self.outcomes);
+
+        // Deliver feedback. The actions buffer is moved out so the borrow
+        // checker can see it is disjoint from the node slots; it is moved
+        // back afterwards, so its capacity is reused across rounds.
+        let actions = std::mem::take(&mut self.actions);
+        {
+            let state = ChannelState {
+                tx_count: &self.tx_count,
+                rx_count: &self.rx_count,
+                actions: &actions,
+                lone_act: &self.lone_act,
+            };
+            for (idx, action) in &actions {
+                let feedback = self.feedback.deliver(action, &state);
+                let slot = &mut self.nodes[*idx];
+                let ctx = RoundContext {
+                    round,
+                    local_round: round - slot.start_round,
+                    channels: self.config.channels,
+                };
+                slot.protocol.observe(&ctx, feedback, &mut slot.rng);
+            }
+        }
+        self.actions = actions;
+
+        self.run.round += 1;
+
+        // Stop conditions.
+        let all_terminated = self.run.round > self.latest_wake
+            && self.unwoken == 0
+            && self
+                .nodes
+                .iter()
+                .all(|slot| slot.protocol.status().is_terminated());
+        let finished = match self.config.stop_when {
+            // The deadlock guard: everyone terminated without solving also
+            // ends a Solved-mode run.
+            StopWhen::Solved => self.run.solved_round.is_some() || all_terminated,
+            StopWhen::AllTerminated => all_terminated,
+        };
+        self.run.finished = finished;
+        if finished {
+            if record_metrics {
+                self.run.metrics.on_finished(self.run.round);
+            }
+            if tracing {
+                self.run.trace.on_finished(self.run.round);
+            }
+            sink.on_finished(self.run.round);
+        }
+        Ok(if finished {
+            StepStatus::Finished
+        } else {
+            StepStatus::Running
+        })
+    }
+
+    /// The current round number: how many rounds have been executed so far.
+    #[must_use]
+    pub fn current_round(&self) -> u64 {
+        self.run.round
+    }
+
+    /// Whether the stop condition has been met.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.run.finished
+    }
+
+    /// A snapshot of the solve data so far — callable at any point, also
+    /// mid-run between [`Engine::step`] calls. Never clones.
+    #[must_use]
+    pub fn summary(&self) -> RunSummary {
+        RunSummary {
+            solved_round: self.run.solved_round,
+            solver: self.run.solver,
+            rounds_executed: self.run.round,
+        }
+    }
+
+    /// A snapshot report of the run so far — callable at any point, also
+    /// mid-run between [`Engine::step`] calls.
+    #[must_use]
+    pub fn report(&self) -> RunReport {
+        let leaders = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| slot.protocol.status() == Status::Leader)
+            .map(|(idx, _)| NodeId(idx))
+            .collect();
+        let active_remaining = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| slot.woken && slot.protocol.status() == Status::Active)
+            .map(|(idx, _)| NodeId(idx))
+            .collect();
+
+        RunReport {
+            solved_round: self.run.solved_round,
+            solver: self.run.solver,
+            rounds_executed: self.run.round,
+            leaders,
+            active_remaining,
+            metrics: self.run.metrics.clone(),
+            trace: self.run.trace.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Feedback;
+    use crate::sink::EventSink;
+
+    /// What a test node does every round.
+    enum Role {
+        /// Transmit a fixed payload on a fixed channel, forever.
+        Tx(ChannelId, u8),
+        /// Listen on a fixed channel, forever.
+        Rx(ChannelId),
+        /// Terminate immediately with the given status.
+        Quit(Status),
+    }
+
+    /// A single configurable test protocol, so engines can host mixtures.
+    struct Rig {
+        role: Role,
+        heard: Vec<Feedback<u8>>,
+    }
+
+    impl Rig {
+        fn tx(channel: ChannelId, payload: u8) -> Self {
+            Rig {
+                role: Role::Tx(channel, payload),
+                heard: Vec::new(),
+            }
+        }
+        fn rx(channel: ChannelId) -> Self {
+            Rig {
+                role: Role::Rx(channel),
+                heard: Vec::new(),
+            }
+        }
+        fn quit(status: Status) -> Self {
+            Rig {
+                role: Role::Quit(status),
+                heard: Vec::new(),
+            }
+        }
+    }
+
+    impl Protocol for Rig {
+        type Msg = u8;
+        fn act(&mut self, _ctx: &RoundContext, _rng: &mut SmallRng) -> Action<u8> {
+            match self.role {
+                Role::Tx(channel, payload) => Action::transmit(channel, payload),
+                Role::Rx(channel) => Action::listen(channel),
+                Role::Quit(_) => Action::Sleep,
+            }
+        }
+        fn observe(&mut self, _ctx: &RoundContext, fb: Feedback<u8>, _rng: &mut SmallRng) {
+            self.heard.push(fb);
+        }
+        fn status(&self) -> Status {
+            match self.role {
+                Role::Quit(status) => status,
+                _ => Status::Active,
+            }
+        }
+    }
+
+    #[test]
+    fn lone_primary_transmitter_solves_in_round_zero() {
+        let mut engine = Engine::new(SimConfig::new(4));
+        let id = engine.add_node(Rig::tx(ChannelId::PRIMARY, 42));
+        let report = engine.run().unwrap();
+        assert_eq!(report.solved_round, Some(0));
+        assert_eq!(report.solver, Some(id));
+        assert_eq!(report.rounds_to_solve(), Some(1));
+        assert!(report.is_solved());
+        assert_eq!(report.rounds_executed, 1);
+    }
+
+    #[test]
+    fn two_primary_transmitters_collide_forever_and_time_out() {
+        let mut engine = Engine::new(SimConfig::new(4).max_rounds(50));
+        engine.add_node(Rig::tx(ChannelId::PRIMARY, 1));
+        engine.add_node(Rig::tx(ChannelId::PRIMARY, 2));
+        let err = engine.run().unwrap_err();
+        assert_eq!(err, SimError::Timeout { max_rounds: 50 });
+    }
+
+    #[test]
+    fn lone_transmitter_on_secondary_channel_does_not_solve() {
+        let mut engine = Engine::new(SimConfig::new(4).max_rounds(10));
+        engine.add_node(Rig::tx(ChannelId::new(2), 1));
+        let err = engine.run().unwrap_err();
+        assert_eq!(err, SimError::Timeout { max_rounds: 10 });
+    }
+
+    #[test]
+    fn listener_hears_message_then_collision() {
+        // Round-by-round content check with a staggered second beacon.
+        let mut engine = Engine::new(
+            SimConfig::new(4)
+                .max_rounds(3)
+                .stop_when(StopWhen::AllTerminated),
+        );
+        engine.add_node(Rig::tx(ChannelId::new(2), 7));
+        engine.add_node_at(Rig::tx(ChannelId::new(2), 8), 1);
+        let ear = engine.add_node(Rig::rx(ChannelId::new(2)));
+        // Nothing terminates, so this will time out; inspect state afterwards.
+        let _ = engine.run();
+        let heard = &engine.node(ear).heard;
+        assert_eq!(heard[0], Feedback::Message(7));
+        assert_eq!(heard[1], Feedback::Collision);
+        assert_eq!(heard[2], Feedback::Collision);
+    }
+
+    #[test]
+    fn transmitter_detects_collision_under_strong_cd() {
+        let mut engine = Engine::new(SimConfig::new(2).max_rounds(1));
+        let a = engine.add_node(Rig::tx(ChannelId::new(2), 1));
+        let b = engine.add_node(Rig::tx(ChannelId::new(2), 2));
+        let _ = engine.run();
+        assert_eq!(engine.node(a).heard[0], Feedback::Collision);
+        assert_eq!(engine.node(b).heard[0], Feedback::Collision);
+    }
+
+    #[test]
+    fn lone_transmitter_hears_own_message_under_strong_cd() {
+        let mut engine = Engine::new(SimConfig::new(2).max_rounds(1));
+        let a = engine.add_node(Rig::tx(ChannelId::new(2), 9));
+        let _ = engine.run();
+        assert_eq!(engine.node(a).heard[0], Feedback::Message(9));
+    }
+
+    #[test]
+    fn receiver_only_cd_blinds_transmitters() {
+        let cfg = SimConfig::new(2)
+            .max_rounds(1)
+            .cd_mode(CdMode::ReceiverOnly);
+        let mut engine = Engine::new(cfg);
+        let a = engine.add_node(Rig::tx(ChannelId::new(2), 1));
+        let b = engine.add_node(Rig::tx(ChannelId::new(2), 2));
+        let ear = engine.add_node(Rig::rx(ChannelId::new(2)));
+        let _ = engine.run();
+        assert_eq!(engine.node(a).heard[0], Feedback::TransmittedBlind);
+        assert_eq!(engine.node(b).heard[0], Feedback::TransmittedBlind);
+        assert_eq!(engine.node(ear).heard[0], Feedback::Collision);
+    }
+
+    #[test]
+    fn no_cd_turns_collisions_into_silence_for_listeners() {
+        let cfg = SimConfig::new(2).max_rounds(1).cd_mode(CdMode::None);
+        let mut engine = Engine::new(cfg);
+        engine.add_node(Rig::tx(ChannelId::new(2), 1));
+        engine.add_node(Rig::tx(ChannelId::new(2), 2));
+        let ear = engine.add_node(Rig::rx(ChannelId::new(2)));
+        let _ = engine.run();
+        assert_eq!(engine.node(ear).heard[0], Feedback::Silence);
+    }
+
+    #[test]
+    fn no_cd_still_delivers_lone_messages() {
+        let cfg = SimConfig::new(2).max_rounds(1).cd_mode(CdMode::None);
+        let mut engine = Engine::new(cfg);
+        engine.add_node(Rig::tx(ChannelId::new(2), 5));
+        let ear = engine.add_node(Rig::rx(ChannelId::new(2)));
+        let _ = engine.run();
+        assert_eq!(engine.node(ear).heard[0], Feedback::Message(5));
+    }
+
+    #[test]
+    fn empty_channel_is_silence() {
+        let mut engine = Engine::new(SimConfig::new(2).max_rounds(1));
+        let ear = engine.add_node(Rig::rx(ChannelId::new(2)));
+        let _ = engine.run();
+        assert_eq!(engine.node(ear).heard[0], Feedback::Silence);
+    }
+
+    #[test]
+    fn out_of_range_channel_is_an_error() {
+        let mut engine = Engine::new(SimConfig::new(2).max_rounds(5));
+        engine.add_node(Rig::tx(ChannelId::new(3), 0));
+        let err = engine.run().unwrap_err();
+        assert!(matches!(err, SimError::ChannelOutOfRange { .. }));
+    }
+
+    #[test]
+    fn no_nodes_is_an_error() {
+        let mut engine: Engine<Rig> = Engine::new(SimConfig::new(2));
+        assert_eq!(engine.run().unwrap_err(), SimError::NoNodes);
+        assert!(engine.is_empty());
+        assert_eq!(engine.len(), 0);
+    }
+
+    #[test]
+    fn all_terminated_without_solving_ends_run() {
+        let mut engine = Engine::new(SimConfig::new(2).max_rounds(100));
+        engine.add_node(Rig::quit(Status::Inactive));
+        let report = engine.run().unwrap();
+        assert!(!report.is_solved());
+        assert!(report.leaders.is_empty());
+        assert!(report.active_remaining.is_empty());
+    }
+
+    #[test]
+    fn leaders_are_reported() {
+        let cfg = SimConfig::new(2)
+            .stop_when(StopWhen::AllTerminated)
+            .max_rounds(10);
+        let mut engine = Engine::new(cfg);
+        let a = engine.add_node(Rig::quit(Status::Leader));
+        engine.add_node(Rig::quit(Status::Inactive));
+        let report = engine.run().unwrap();
+        assert_eq!(report.leaders, vec![a]);
+    }
+
+    #[test]
+    fn transmission_metrics_count_energy() {
+        let mut engine = Engine::new(SimConfig::new(4).max_rounds(3));
+        engine.add_node(Rig::tx(ChannelId::new(2), 1));
+        engine.add_node(Rig::tx(ChannelId::new(3), 2));
+        let err = engine.run().unwrap_err();
+        assert_eq!(err, SimError::Timeout { max_rounds: 3 });
+        // Re-run with a fresh engine to get a report that includes metrics.
+        let mut engine = Engine::new(SimConfig::new(4).max_rounds(3));
+        engine.add_node(Rig::tx(ChannelId::PRIMARY, 1));
+        let report = engine.run().unwrap();
+        assert_eq!(report.metrics.transmissions, 1);
+        assert_eq!(report.metrics.transmissions_per_node, vec![1]);
+    }
+
+    #[test]
+    fn staggered_wakeup_respects_start_round() {
+        let cfg = SimConfig::new(2).max_rounds(5);
+        let mut engine = Engine::new(cfg);
+        engine.add_node_at(Rig::tx(ChannelId::PRIMARY, 1), 3);
+        let report = engine.run().unwrap();
+        // The beacon only exists from round 3, so that is the solve round.
+        assert_eq!(report.solved_round, Some(3));
+    }
+
+    #[test]
+    fn trace_records_channel_outcomes() {
+        let cfg = SimConfig::new(4)
+            .max_rounds(1)
+            .trace_level(TraceLevel::Channels);
+        let mut engine = Engine::new(cfg);
+        engine.add_node(Rig::tx(ChannelId::PRIMARY, 1));
+        engine.add_node(Rig::tx(ChannelId::new(3), 1));
+        engine.add_node(Rig::tx(ChannelId::new(3), 2));
+        let report = engine.run().unwrap();
+        assert_eq!(report.trace.len(), 1);
+        let outcomes = &report.trace.rounds()[0].outcomes;
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(outcomes[0].kind, OutcomeKind::Message);
+        assert_eq!(outcomes[1].kind, OutcomeKind::Collision);
+        assert_eq!(outcomes[1].transmitters, 2);
+    }
+
+    #[test]
+    fn runs_are_deterministic_in_the_seed() {
+        use rand::Rng;
+
+        /// Random-channel beacon used to exercise the per-node RNG.
+        struct RandomBeacon {
+            last: Vec<u32>,
+        }
+        impl Protocol for RandomBeacon {
+            type Msg = u8;
+            fn act(&mut self, ctx: &RoundContext, rng: &mut SmallRng) -> Action<u8> {
+                let ch = rng.gen_range(1..=ctx.channels);
+                self.last.push(ch);
+                Action::transmit(ChannelId::new(ch), 0)
+            }
+            fn observe(&mut self, _ctx: &RoundContext, _fb: Feedback<u8>, _rng: &mut SmallRng) {}
+            fn status(&self) -> Status {
+                Status::Active
+            }
+        }
+
+        let run = |seed: u64| {
+            let mut engine = Engine::new(SimConfig::new(16).seed(seed).max_rounds(20));
+            let a = engine.add_node(RandomBeacon { last: Vec::new() });
+            let b = engine.add_node(RandomBeacon { last: Vec::new() });
+            let _ = engine.run();
+            (engine.node(a).last.clone(), engine.node(b).last.clone())
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+        let (a, b) = run(5);
+        assert_ne!(a, b, "node RNG streams must differ");
+    }
+
+    #[test]
+    fn phase_accounting_uses_first_active_node() {
+        struct Phased {
+            rounds: u64,
+        }
+        impl Protocol for Phased {
+            type Msg = u8;
+            fn act(&mut self, _ctx: &RoundContext, _rng: &mut SmallRng) -> Action<u8> {
+                self.rounds += 1;
+                Action::Sleep
+            }
+            fn observe(&mut self, _ctx: &RoundContext, _fb: Feedback<u8>, _rng: &mut SmallRng) {}
+            fn status(&self) -> Status {
+                if self.rounds >= 4 {
+                    Status::Inactive
+                } else {
+                    Status::Active
+                }
+            }
+            fn phase(&self) -> &'static str {
+                if self.rounds < 2 {
+                    "warmup"
+                } else {
+                    "work"
+                }
+            }
+        }
+        let cfg = SimConfig::new(1)
+            .stop_when(StopWhen::AllTerminated)
+            .max_rounds(10);
+        let mut engine = Engine::new(cfg);
+        engine.add_node(Phased { rounds: 0 });
+        let report = engine.run().unwrap();
+        assert_eq!(report.metrics.phases.rounds_in("warmup"), 2);
+        assert_eq!(report.metrics.phases.rounds_in("work"), 2);
+    }
+
+    #[test]
+    fn run_summary_matches_full_report() {
+        let build = || {
+            let mut engine = Engine::new(SimConfig::new(4).seed(12).max_rounds(100));
+            engine.add_node_at(Rig::tx(ChannelId::PRIMARY, 1), 2);
+            engine
+        };
+        let report = build().run().unwrap();
+        let summary = build().run_summary().unwrap();
+        assert_eq!(summary, report.summary());
+        assert_eq!(summary.solved_round, Some(2));
+        assert_eq!(summary.rounds_to_solve(), Some(3));
+        assert!(summary.is_solved());
+    }
+
+    #[test]
+    fn disabling_metrics_changes_no_outcome() {
+        let run = |record: bool| {
+            let cfg = SimConfig::new(4)
+                .seed(3)
+                .max_rounds(100)
+                .record_metrics(record);
+            let mut engine = Engine::new(cfg);
+            engine.add_node_at(Rig::tx(ChannelId::PRIMARY, 1), 1);
+            engine.add_node(Rig::rx(ChannelId::PRIMARY));
+            engine.run().unwrap()
+        };
+        let with = run(true);
+        let without = run(false);
+        assert_eq!(with.solved_round, without.solved_round);
+        assert_eq!(with.rounds_executed, without.rounds_executed);
+        assert_eq!(with.metrics.transmissions, 1);
+        assert_eq!(without.metrics.transmissions, 0);
+        assert_eq!(without.metrics.phases.total(), 0);
+    }
+
+    #[test]
+    fn external_sink_observes_the_run() {
+        #[derive(Default)]
+        struct Spy {
+            tx: usize,
+            rx: usize,
+            rounds: usize,
+            solved: Option<(u64, NodeId)>,
+            finished: Option<u64>,
+            outcome_rounds: usize,
+        }
+        impl EventSink for Spy {
+            fn on_transmission(
+                &mut self,
+                _round: u64,
+                _node: NodeId,
+                _channel: ChannelId,
+                _phase: &'static str,
+            ) {
+                self.tx += 1;
+            }
+            fn on_listen(&mut self, _round: u64, _node: NodeId, _channel: ChannelId) {
+                self.rx += 1;
+            }
+            fn on_solved(&mut self, round: u64, solver: NodeId) {
+                self.solved = Some((round, solver));
+            }
+            fn on_round(&mut self, _round: u64, _phase: &'static str, outcomes: &[ChannelOutcome]) {
+                self.rounds += 1;
+                if !outcomes.is_empty() {
+                    self.outcome_rounds += 1;
+                }
+            }
+            fn on_finished(&mut self, rounds: u64) {
+                self.finished = Some(rounds);
+            }
+        }
+
+        let mut engine = Engine::new(SimConfig::new(4).max_rounds(100));
+        let beacon = engine.add_node_at(Rig::tx(ChannelId::PRIMARY, 1), 1);
+        engine.add_node(Rig::rx(ChannelId::PRIMARY));
+        let mut spy = Spy::default();
+        let report = engine.run_observed(&mut spy).unwrap();
+        assert_eq!(spy.tx, 1);
+        assert_eq!(spy.rx, 2, "listener listens in rounds 0 and 1");
+        assert_eq!(spy.rounds, report.rounds_executed as usize);
+        assert_eq!(spy.solved, Some((1, beacon)));
+        assert_eq!(spy.finished, Some(2));
+        // Spy keeps the default wants_outcomes() == true, so outcomes were
+        // built even with tracing off.
+        assert_eq!(spy.outcome_rounds, 2);
+    }
+
+    #[test]
+    fn custom_feedback_model_is_consulted() {
+        /// Delivers silence to everyone, always, and vetoes every solve.
+        struct Void;
+        impl FeedbackModel for Void {
+            fn deliver<M: Clone>(
+                &mut self,
+                _action: &Action<M>,
+                _state: &ChannelState<'_, M>,
+            ) -> Feedback<M> {
+                Feedback::Silence
+            }
+            fn allows_solve(&self) -> bool {
+                false
+            }
+        }
+
+        let mut engine = Engine::with_feedback(SimConfig::new(2).max_rounds(3), Void);
+        let a = engine.add_node(Rig::tx(ChannelId::PRIMARY, 9));
+        let err = engine.run().unwrap_err();
+        // The lone transmission was vetoed, so the run times out unsolved...
+        assert_eq!(err, SimError::Timeout { max_rounds: 3 });
+        assert_eq!(engine.summary().solved_round, None);
+        // ...and the transmitter heard silence instead of its own message.
+        assert_eq!(engine.node(a).heard, vec![Feedback::Silence; 3]);
+    }
+
+    #[test]
+    fn feedback_accessor_returns_model() {
+        let engine: Engine<Rig> = Engine::new(SimConfig::new(2).cd_mode(CdMode::None));
+        assert_eq!(*engine.feedback(), CdMode::None);
+    }
+}

@@ -4,7 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use crate::channel::ChannelId;
-use crate::executor::NodeId;
+use crate::engine::NodeId;
 
 /// Errors produced by [`crate::Executor::run`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,7 +70,9 @@ mod tests {
         assert!(s.contains("ch99"));
         assert!(s.contains("round 12"));
         assert!(s.contains("1..=16"));
-        assert!(SimError::Timeout { max_rounds: 7 }.to_string().contains('7'));
+        assert!(SimError::Timeout { max_rounds: 7 }
+            .to_string()
+            .contains('7'));
         assert!(!SimError::NoNodes.to_string().is_empty());
     }
 

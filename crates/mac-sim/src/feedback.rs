@@ -1,0 +1,204 @@
+//! Pluggable feedback models: how resolved channel state turns into what
+//! each node hears.
+//!
+//! The round engine resolves the *physical* channel state — who transmitted
+//! and listened where — and then asks a [`FeedbackModel`] what every
+//! participant observes. The three collision-detection modes of the paper
+//! (§3) are the canonical model: [`CdMode`] implements [`FeedbackModel`]
+//! directly, and [`crate::Engine::new`] installs the one from
+//! [`crate::SimConfig::cd_mode`]. Adversarial or noisy radios plug in the
+//! same way — see [`crate::adversary::JammedChannel`] — via
+//! [`crate::Engine::with_feedback`].
+
+use crate::action::{Action, Feedback};
+use crate::channel::ChannelId;
+use crate::config::CdMode;
+use crate::engine::NodeId;
+
+/// Read-only view of one round's resolved channel state, handed to
+/// [`FeedbackModel::deliver`].
+///
+/// All accessors are O(1); [`ChannelState::truth`] clones the transmitted
+/// message only when the channel actually carried a lone message.
+pub struct ChannelState<'a, M> {
+    pub(crate) tx_count: &'a [u32],
+    pub(crate) rx_count: &'a [u32],
+    pub(crate) actions: &'a [(usize, Action<M>)],
+    pub(crate) lone_act: &'a [usize],
+}
+
+impl<M: Clone> ChannelState<'_, M> {
+    /// Number of channels in the simulation.
+    #[must_use]
+    pub fn channels(&self) -> u32 {
+        self.tx_count.len() as u32
+    }
+
+    /// How many nodes transmitted on `channel` this round.
+    #[must_use]
+    pub fn transmitters(&self, channel: ChannelId) -> u32 {
+        self.tx_count[channel.index()]
+    }
+
+    /// How many nodes listened on `channel` this round.
+    #[must_use]
+    pub fn listeners(&self, channel: ChannelId) -> u32 {
+        self.rx_count[channel.index()]
+    }
+
+    /// The lone transmitter on `channel`, if exactly one node transmitted.
+    #[must_use]
+    pub fn lone_transmitter(&self, channel: ChannelId) -> Option<NodeId> {
+        let ai = self.lone_act[channel.index()];
+        self.actions.get(ai).map(|&(node, _)| NodeId(node))
+    }
+
+    /// The ground-truth observation on `channel` under strong collision
+    /// detection: silence, the lone message, or a collision.
+    #[must_use]
+    pub fn truth(&self, channel: ChannelId) -> Feedback<M> {
+        let ci = channel.index();
+        match self.tx_count[ci] {
+            0 => Feedback::Silence,
+            1 => {
+                let (_, action) = &self.actions[self.lone_act[ci]];
+                match action {
+                    Action::Transmit { msg, .. } => Feedback::Message(msg.clone()),
+                    _ => unreachable!("lone_act always indexes a Transmit action"),
+                }
+            }
+            _ => Feedback::Collision,
+        }
+    }
+}
+
+/// Turns resolved channel state into per-node feedback.
+///
+/// Implementations may keep state across rounds —
+/// [`begin_round`](FeedbackModel::begin_round) announces each round — which
+/// is how adversarial models schedule their interference. The engine dispatches
+/// statically — the model is a type parameter of [`crate::Engine`] — so a
+/// model's branching is resolved at compile time, outside the hot loop.
+///
+/// Feedback models shape what nodes *hear*, not what physically happened:
+/// solve detection (a lone transmission on the primary channel) operates on
+/// physical channel state. A model that disturbs a round can veto its solve
+/// via [`allows_solve`](FeedbackModel::allows_solve).
+pub trait FeedbackModel {
+    /// Called once at the start of every round, before any node acts.
+    fn begin_round(&mut self, round: u64) {
+        let _ = round;
+    }
+
+    /// The feedback the node that took `action` observes this round.
+    fn deliver<M: Clone>(&mut self, action: &Action<M>, state: &ChannelState<'_, M>)
+        -> Feedback<M>;
+
+    /// Whether a physically lone primary-channel transmission in the current
+    /// round counts as solving the problem. Defaults to `true`; adversarial
+    /// models that drown a round in noise return `false` for it.
+    fn allows_solve(&self) -> bool {
+        true
+    }
+}
+
+impl FeedbackModel for CdMode {
+    fn deliver<M: Clone>(
+        &mut self,
+        action: &Action<M>,
+        state: &ChannelState<'_, M>,
+    ) -> Feedback<M> {
+        let (channel, transmitted) = match action {
+            Action::Transmit { channel, .. } => (*channel, true),
+            Action::Listen { channel } => (*channel, false),
+            Action::Sleep => return Feedback::Slept,
+        };
+        match self {
+            // Strong CD: everyone on the channel observes the truth.
+            CdMode::Strong => state.truth(channel),
+            // Receiver-side CD: listeners observe the truth; transmitters
+            // learn nothing.
+            CdMode::ReceiverOnly => {
+                if transmitted {
+                    Feedback::TransmittedBlind
+                } else {
+                    state.truth(channel)
+                }
+            }
+            // No CD: transmitters learn nothing, and listeners cannot
+            // distinguish a collision from background noise / silence.
+            CdMode::None => {
+                if transmitted {
+                    Feedback::TransmittedBlind
+                } else {
+                    match state.truth(channel) {
+                        Feedback::Collision => Feedback::Silence,
+                        truth => truth,
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state<'a>(
+        tx_count: &'a [u32],
+        rx_count: &'a [u32],
+        actions: &'a [(usize, Action<u8>)],
+        lone_act: &'a [usize],
+    ) -> ChannelState<'a, u8> {
+        ChannelState {
+            tx_count,
+            rx_count,
+            actions,
+            lone_act,
+        }
+    }
+
+    #[test]
+    fn truth_reads_lone_message_from_actions() {
+        let actions = vec![(3usize, Action::transmit(ChannelId::new(2), 9u8))];
+        let st = state(&[0, 1], &[0, 0], &actions, &[usize::MAX, 0]);
+        assert_eq!(st.truth(ChannelId::new(1)), Feedback::Silence);
+        assert_eq!(st.truth(ChannelId::new(2)), Feedback::Message(9));
+        assert_eq!(st.lone_transmitter(ChannelId::new(2)), Some(NodeId(3)));
+        assert_eq!(st.lone_transmitter(ChannelId::new(1)), None);
+        assert_eq!(st.transmitters(ChannelId::new(2)), 1);
+        assert_eq!(st.channels(), 2);
+    }
+
+    #[test]
+    fn cd_modes_deliver_per_paper_model() {
+        let actions = vec![
+            (0usize, Action::transmit(ChannelId::new(1), 1u8)),
+            (1usize, Action::transmit(ChannelId::new(1), 2u8)),
+        ];
+        let st = state(&[2], &[1], &actions, &[usize::MAX]);
+        let tx = Action::transmit(ChannelId::new(1), 1u8);
+        let rx: Action<u8> = Action::listen(ChannelId::new(1));
+
+        assert_eq!(CdMode::Strong.deliver(&tx, &st), Feedback::Collision);
+        assert_eq!(CdMode::Strong.deliver(&rx, &st), Feedback::Collision);
+        assert_eq!(
+            CdMode::ReceiverOnly.deliver(&tx, &st),
+            Feedback::TransmittedBlind
+        );
+        assert_eq!(CdMode::ReceiverOnly.deliver(&rx, &st), Feedback::Collision);
+        assert_eq!(CdMode::None.deliver(&tx, &st), Feedback::TransmittedBlind);
+        assert_eq!(CdMode::None.deliver(&rx, &st), Feedback::Silence);
+    }
+
+    #[test]
+    fn sleep_always_slept() {
+        let st = state(&[0], &[0], &[], &[usize::MAX]);
+        for mode in [CdMode::Strong, CdMode::ReceiverOnly, CdMode::None] {
+            let mut mode = mode;
+            assert_eq!(mode.deliver(&Action::<u8>::Sleep, &st), Feedback::Slept);
+            assert!(mode.allows_solve());
+        }
+    }
+}

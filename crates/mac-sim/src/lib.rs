@@ -24,10 +24,28 @@
 //! also provided so experiments can demonstrate *why* the paper's strong-CD
 //! assumption matters.
 //!
+//! ## Architecture
+//!
+//! The simulator is three layers:
+//!
+//! * **engine** — [`Engine`] runs the per-round hot loop on preallocated
+//!   scratch (no steady-state allocation, messages cloned only per actual
+//!   receiver);
+//! * **feedback** — a pluggable [`FeedbackModel`] decides what each node
+//!   hears; [`CdMode`] is the default model, and adversarial radios like
+//!   [`adversary::JammedChannel`] plug in via [`Engine::with_feedback`];
+//! * **observation** — [`EventSink`] observers ([`Metrics`], [`Trace`], or
+//!   anything user-supplied via [`Engine::run_observed`]) record what
+//!   happened; none are required, and [`Engine::run_summary`] skips them
+//!   entirely.
+//!
+//! On top sits the **trial layer**, [`trials`], which fans many seeds out
+//! over OS threads deterministically.
+//!
 //! ## Quick example
 //!
 //! ```
-//! use mac_sim::{Action, ChannelId, Executor, Feedback, Protocol, RoundContext,
+//! use mac_sim::{Action, ChannelId, Engine, Feedback, Protocol, RoundContext,
 //!               SimConfig, Status};
 //! use rand::rngs::SmallRng;
 //!
@@ -66,11 +84,11 @@
 //!
 //! # fn main() -> Result<(), mac_sim::SimError> {
 //! let config = SimConfig::new(4).seed(7).max_rounds(10_000);
-//! let mut exec = Executor::new(config);
+//! let mut engine = Engine::new(config);
 //! for _ in 0..2 {
-//!     exec.add_node(Half { status: Status::Active, sent: false });
+//!     engine.add_node(Half { status: Status::Active, sent: false });
 //! }
-//! let report = exec.run()?;
+//! let report = engine.run()?;
 //! assert!(report.solved_round.is_some());
 //! # Ok(())
 //! # }
@@ -83,20 +101,28 @@ mod action;
 pub mod adversary;
 mod channel;
 mod config;
+mod engine;
 mod error;
 mod executor;
+pub mod feedback;
 mod metrics;
 mod protocol;
 pub mod render;
 mod rng;
+pub mod sink;
 mod trace;
+pub mod trials;
 
 pub use action::{Action, Feedback};
 pub use channel::{ChannelId, ChannelOutcome, OutcomeKind};
 pub use config::{CdMode, SimConfig, StopWhen};
+pub use engine::{Engine, NodeId, RunReport, RunSummary, StepStatus};
 pub use error::SimError;
-pub use executor::{Executor, NodeId, RunReport, StepStatus};
+#[allow(deprecated)]
+pub use executor::Executor;
+pub use feedback::{ChannelState, FeedbackModel};
 pub use metrics::{Metrics, PhaseBreakdown};
 pub use protocol::{Protocol, RoundContext, Status};
 pub use rng::derive_node_seed;
+pub use sink::EventSink;
 pub use trace::{RoundTrace, Trace, TraceLevel};

@@ -107,7 +107,11 @@ impl Metrics {
     /// The maximum number of transmissions made by any single node.
     #[must_use]
     pub fn max_transmissions_per_node(&self) -> u64 {
-        self.transmissions_per_node.iter().copied().max().unwrap_or(0)
+        self.transmissions_per_node
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
     }
 }
 

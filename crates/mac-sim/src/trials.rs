@@ -1,0 +1,271 @@
+//! The trial layer: multi-seed execution fan-out, shared by experiments,
+//! benches, and tests.
+//!
+//! A *trial* is one full engine run at one seed. Experiments need many of
+//! them — round-complexity curves average hundreds of runs per point — so
+//! this module spreads trials over OS threads while keeping results
+//! **deterministic in the base seed regardless of thread count**: trial `i`
+//! always runs at seed `base_seed + i`, and results come back in trial
+//! order.
+//!
+//! * [`run_trials`] — the common case, collecting full [`RunReport`]s;
+//! * [`run_trials_with`] — map each finished engine through an `extract`
+//!   closure (to read final protocol state: adopted ids, survivor flags, …);
+//! * [`run_trials_summaries`] — the cheap path via [`Engine::run_summary`],
+//!   skipping the metrics/trace clones entirely;
+//! * [`run_trials_with_threads`] — explicit thread count, used by the
+//!   thread-count-invariance test.
+
+use crate::engine::{Engine, RunReport, RunSummary};
+use crate::feedback::FeedbackModel;
+use crate::protocol::Protocol;
+
+/// Runs `trials` independent executions built by `build` (which receives
+/// the trial's seed) and returns their reports in seed order.
+///
+/// Trials are spread over `std::thread::available_parallelism()` threads;
+/// results are deterministic regardless of thread count because each trial
+/// is fully determined by its seed.
+///
+/// # Panics
+///
+/// Panics if any trial fails (a timeout or protocol error is an experiment
+/// bug, not a data point — the panic message carries the seed for replay).
+pub fn run_trials<P, F, B>(trials: usize, base_seed: u64, build: B) -> Vec<RunReport>
+where
+    P: Protocol,
+    F: FeedbackModel,
+    B: Fn(u64) -> Engine<P, F> + Sync,
+{
+    run_trials_with(trials, base_seed, build, |_, report| report.clone())
+}
+
+/// Like [`run_trials`], but maps each finished execution through `extract`,
+/// which also receives the engine so it can inspect final protocol state
+/// (adopted ids, survivor flags, per-phase stats, …).
+///
+/// # Panics
+///
+/// Panics if any trial fails; the message carries the seed for replay.
+pub fn run_trials_with<P, F, B, G, T>(trials: usize, base_seed: u64, build: B, extract: G) -> Vec<T>
+where
+    P: Protocol,
+    F: FeedbackModel,
+    B: Fn(u64) -> Engine<P, F> + Sync,
+    G: Fn(&Engine<P, F>, &RunReport) -> T + Sync,
+    T: Send,
+{
+    let threads = default_threads(trials);
+    run_trials_with_threads(trials, base_seed, threads, build, extract)
+}
+
+/// Like [`run_trials`], but each trial uses the allocation-free
+/// [`Engine::run_summary`] path: no metrics or trace clones, just the
+/// [`RunSummary`] solve data. This is the right call for round-complexity
+/// sweeps that only read `solved_round`.
+///
+/// # Panics
+///
+/// Panics if any trial fails; the message carries the seed for replay.
+pub fn run_trials_summaries<P, F, B>(trials: usize, base_seed: u64, build: B) -> Vec<RunSummary>
+where
+    P: Protocol,
+    F: FeedbackModel,
+    B: Fn(u64) -> Engine<P, F> + Sync,
+{
+    let threads = default_threads(trials);
+    let mut results: Vec<Option<RunSummary>> = (0..trials).map(|_| None).collect();
+    fan_out(&mut results, threads, &|index, slot| {
+        let seed = base_seed + index;
+        let mut engine = build(seed);
+        let summary = engine
+            .run_summary()
+            .unwrap_or_else(|e| panic!("trial with seed {seed} failed: {e}"));
+        *slot = Some(summary);
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("trial completed"))
+        .collect()
+}
+
+/// Like [`run_trials_with`] with an explicit worker-thread count.
+///
+/// Exists so tests can assert thread-count invariance; normal callers use
+/// [`run_trials_with`], which picks `available_parallelism()`.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or any trial fails.
+pub fn run_trials_with_threads<P, F, B, G, T>(
+    trials: usize,
+    base_seed: u64,
+    threads: usize,
+    build: B,
+    extract: G,
+) -> Vec<T>
+where
+    P: Protocol,
+    F: FeedbackModel,
+    B: Fn(u64) -> Engine<P, F> + Sync,
+    G: Fn(&Engine<P, F>, &RunReport) -> T + Sync,
+    T: Send,
+{
+    assert!(threads > 0, "at least one worker thread is required");
+    let mut results: Vec<Option<T>> = (0..trials).map(|_| None).collect();
+    fan_out(&mut results, threads, &|index, slot| {
+        let seed = base_seed + index;
+        let mut engine = build(seed);
+        let report = engine
+            .run()
+            .unwrap_or_else(|e| panic!("trial with seed {seed} failed: {e}"));
+        *slot = Some(extract(&engine, &report));
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("trial completed"))
+        .collect()
+}
+
+/// Default worker count: `available_parallelism()`, capped at the trial
+/// count so tiny batches don't spawn idle threads.
+fn default_threads(trials: usize) -> usize {
+    let threads = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+    threads.min(trials.max(1))
+}
+
+/// Splits the trial slots into contiguous chunks and runs
+/// `run_one(trial_index, slot)` for each on a scoped thread. Chunking
+/// (rather than striding) keeps each thread's seeds contiguous, which makes
+/// replaying a failed chunk by seed range trivial.
+fn fan_out<T: Send>(
+    results: &mut [Option<T>],
+    threads: usize,
+    run_one: &(dyn Fn(u64, &mut Option<T>) + Sync),
+) {
+    let trials = results.len();
+    let chunk_size = trials.div_ceil(threads.max(1)).max(1);
+    std::thread::scope(|scope| {
+        for (chunk_idx, chunk) in results.chunks_mut(chunk_size).enumerate() {
+            let start = chunk_idx * chunk_size;
+            scope.spawn(move || {
+                for (offset, slot) in chunk.iter_mut().enumerate() {
+                    run_one((start + offset) as u64, slot);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{Action, Feedback};
+    use crate::channel::ChannelId;
+    use crate::config::SimConfig;
+    use crate::protocol::{RoundContext, Status};
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Transmits on the primary channel with probability 1/2 each round;
+    /// solves in a geometric number of rounds, different per seed.
+    struct Flip;
+    impl Protocol for Flip {
+        type Msg = u8;
+        fn act(&mut self, _ctx: &RoundContext, rng: &mut SmallRng) -> Action<u8> {
+            if rng.gen_bool(0.5) {
+                Action::transmit(ChannelId::PRIMARY, 0)
+            } else {
+                Action::listen(ChannelId::PRIMARY)
+            }
+        }
+        fn observe(&mut self, _ctx: &RoundContext, _fb: Feedback<u8>, _rng: &mut SmallRng) {}
+        fn status(&self) -> Status {
+            Status::Active
+        }
+    }
+
+    fn build(seed: u64) -> Engine<Flip> {
+        let mut engine = Engine::new(SimConfig::new(1).seed(seed).max_rounds(10_000));
+        for _ in 0..4 {
+            engine.add_node(Flip);
+        }
+        engine
+    }
+
+    #[test]
+    fn trials_are_deterministic_and_seed_ordered() {
+        let a: Vec<_> = run_trials(8, 100, build)
+            .iter()
+            .map(|r| r.solved_round)
+            .collect();
+        let b: Vec<_> = run_trials(8, 100, build)
+            .iter()
+            .map(|r| r.solved_round)
+            .collect();
+        assert_eq!(a, b);
+        let c: Vec<_> = run_trials(8, 999, build)
+            .iter()
+            .map(|r| r.solved_round)
+            .collect();
+        assert_ne!(a, c);
+        // Trial i is exactly the run at seed base + i.
+        let solo = build(103).run().unwrap();
+        assert_eq!(a[3], solo.solved_round);
+    }
+
+    #[test]
+    fn results_are_thread_count_invariant() {
+        let extract = |_: &Engine<Flip>, r: &RunReport| r.summary();
+        let one = run_trials_with_threads(13, 7, 1, build, extract);
+        for threads in [2, 3, 8, 32] {
+            let many = run_trials_with_threads(13, 7, threads, build, extract);
+            assert_eq!(one, many, "{threads} threads diverged from 1 thread");
+        }
+    }
+
+    #[test]
+    fn summaries_match_full_reports() {
+        let reports = run_trials(6, 42, build);
+        let summaries = run_trials_summaries(6, 42, build);
+        let from_reports: Vec<_> = reports.iter().map(RunReport::summary).collect();
+        assert_eq!(summaries, from_reports);
+    }
+
+    #[test]
+    fn extract_sees_final_engine_state() {
+        let lens = run_trials_with(3, 5, build, |engine, _| engine.len());
+        assert_eq!(lens, vec![4, 4, 4]);
+    }
+
+    #[test]
+    fn single_trial_works() {
+        assert_eq!(run_trials(1, 0, build).len(), 1);
+    }
+
+    // The seed-carrying message is printed by the worker thread; the scope
+    // re-panics with its own payload, so only the panic itself is asserted.
+    #[test]
+    #[should_panic]
+    fn failing_trial_panics_with_seed() {
+        let build = |seed: u64| {
+            let mut engine = Engine::new(SimConfig::new(1).seed(seed).max_rounds(2));
+            // Two steady transmitters collide forever: guaranteed timeout.
+            struct Always;
+            impl Protocol for Always {
+                type Msg = u8;
+                fn act(&mut self, _c: &RoundContext, _r: &mut SmallRng) -> Action<u8> {
+                    Action::transmit(ChannelId::PRIMARY, 0)
+                }
+                fn observe(&mut self, _c: &RoundContext, _f: Feedback<u8>, _r: &mut SmallRng) {}
+                fn status(&self) -> Status {
+                    Status::Active
+                }
+            }
+            engine.add_node(Always);
+            engine.add_node(Always);
+            engine
+        };
+        let _ = run_trials(2, 0, build);
+    }
+}

@@ -3,7 +3,7 @@
 //! scripted executions with known ground truth.
 
 use mac_sim::{
-    Action, ChannelId, Executor, Feedback, Protocol, RoundContext, SimConfig, Status, StopWhen,
+    Action, ChannelId, Engine, Feedback, Protocol, RoundContext, SimConfig, Status, StopWhen,
 };
 use rand::rngs::SmallRng;
 
@@ -44,8 +44,10 @@ impl Protocol for TwoPhase {
 
 #[test]
 fn per_phase_transmissions_are_attributed() {
-    let cfg = SimConfig::new(4).stop_when(StopWhen::AllTerminated).max_rounds(100);
-    let mut exec = Executor::new(cfg);
+    let cfg = SimConfig::new(4)
+        .stop_when(StopWhen::AllTerminated)
+        .max_rounds(100);
+    let mut exec = Engine::new(cfg);
     exec.add_node(TwoPhase {
         tx_rounds: 3,
         rx_rounds: 2,
@@ -63,8 +65,10 @@ fn per_phase_transmissions_are_attributed() {
 
 #[test]
 fn per_node_counts_sum_to_total() {
-    let cfg = SimConfig::new(4).stop_when(StopWhen::AllTerminated).max_rounds(100);
-    let mut exec = Executor::new(cfg);
+    let cfg = SimConfig::new(4)
+        .stop_when(StopWhen::AllTerminated)
+        .max_rounds(100);
+    let mut exec = Engine::new(cfg);
     for i in 0..5u64 {
         exec.add_node(TwoPhase {
             tx_rounds: i,
@@ -82,8 +86,10 @@ fn per_node_counts_sum_to_total() {
 
 #[test]
 fn late_wakers_do_not_consume_phase_rounds_before_waking() {
-    let cfg = SimConfig::new(4).stop_when(StopWhen::AllTerminated).max_rounds(100);
-    let mut exec = Executor::new(cfg);
+    let cfg = SimConfig::new(4)
+        .stop_when(StopWhen::AllTerminated)
+        .max_rounds(100);
+    let mut exec = Engine::new(cfg);
     exec.add_node_at(
         TwoPhase {
             tx_rounds: 1,
@@ -102,8 +108,10 @@ fn late_wakers_do_not_consume_phase_rounds_before_waking() {
 
 #[test]
 fn mid_run_snapshot_metrics_are_prefixes() {
-    let cfg = SimConfig::new(4).stop_when(StopWhen::AllTerminated).max_rounds(100);
-    let mut exec = Executor::new(cfg);
+    let cfg = SimConfig::new(4)
+        .stop_when(StopWhen::AllTerminated)
+        .max_rounds(100);
+    let mut exec = Engine::new(cfg);
     exec.add_node(TwoPhase {
         tx_rounds: 4,
         rx_rounds: 0,

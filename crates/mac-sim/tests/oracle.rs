@@ -8,7 +8,7 @@
 //! collision-detection mode.
 
 use mac_sim::{
-    Action, CdMode, ChannelId, Executor, Feedback, Protocol, RoundContext, SimConfig, Status,
+    Action, CdMode, ChannelId, Engine, Feedback, Protocol, RoundContext, SimConfig, Status,
     StopWhen,
 };
 use proptest::collection::vec;
@@ -129,7 +129,7 @@ fn run_executor(
         .cd_mode(cd)
         .stop_when(StopWhen::AllTerminated)
         .max_rounds(10_000);
-    let mut exec = Executor::new(cfg);
+    let mut exec = Engine::new(cfg);
     for script in scripts {
         exec.add_node(Scripted {
             script: script.clone(),

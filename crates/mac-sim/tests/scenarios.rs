@@ -4,7 +4,7 @@
 use mac_sim::adversary::{ActivationPattern, WakeSchedule};
 use mac_sim::render::{activity_chart, channel_utilization};
 use mac_sim::{
-    Action, CdMode, ChannelId, Executor, Feedback, Protocol, RoundContext, SimConfig, Status,
+    Action, CdMode, ChannelId, Engine, Feedback, Protocol, RoundContext, SimConfig, Status,
     StopWhen, TraceLevel,
 };
 use rand::rngs::SmallRng;
@@ -29,7 +29,11 @@ impl Script {
 impl Protocol for Script {
     type Msg = u32;
     fn act(&mut self, _ctx: &RoundContext, _rng: &mut SmallRng) -> Action<u32> {
-        let action = self.actions.get(self.cursor).cloned().unwrap_or(Action::Sleep);
+        let action = self
+            .actions
+            .get(self.cursor)
+            .cloned()
+            .unwrap_or(Action::Sleep);
         self.cursor += 1;
         action
     }
@@ -48,8 +52,10 @@ impl Protocol for Script {
 #[test]
 fn scripted_rendezvous_and_miss() {
     // Two nodes meet on channel 2 in round 0, miss each other in round 1.
-    let cfg = SimConfig::new(4).stop_when(StopWhen::AllTerminated).max_rounds(10);
-    let mut exec = Executor::new(cfg);
+    let cfg = SimConfig::new(4)
+        .stop_when(StopWhen::AllTerminated)
+        .max_rounds(10);
+    let mut exec = Engine::new(cfg);
     let a = exec.add_node(Script::new(vec![
         Action::transmit(ChannelId::new(2), 7),
         Action::transmit(ChannelId::new(3), 8),
@@ -67,9 +73,14 @@ fn scripted_rendezvous_and_miss() {
 
 #[test]
 fn message_payloads_are_delivered_verbatim() {
-    let cfg = SimConfig::new(2).stop_when(StopWhen::AllTerminated).max_rounds(10);
-    let mut exec = Executor::new(cfg);
-    exec.add_node(Script::new(vec![Action::transmit(ChannelId::new(2), u32::MAX)]));
+    let cfg = SimConfig::new(2)
+        .stop_when(StopWhen::AllTerminated)
+        .max_rounds(10);
+    let mut exec = Engine::new(cfg);
+    exec.add_node(Script::new(vec![Action::transmit(
+        ChannelId::new(2),
+        u32::MAX,
+    )]));
     let rx = exec.add_node(Script::new(vec![Action::listen(ChannelId::new(2))]));
     exec.run().expect("finishes");
     assert_eq!(exec.node(rx).heard[0], Feedback::Message(u32::MAX));
@@ -77,10 +88,15 @@ fn message_payloads_are_delivered_verbatim() {
 
 #[test]
 fn three_transmitters_still_one_collision() {
-    let cfg = SimConfig::new(2).stop_when(StopWhen::AllTerminated).max_rounds(10);
-    let mut exec = Executor::new(cfg);
+    let cfg = SimConfig::new(2)
+        .stop_when(StopWhen::AllTerminated)
+        .max_rounds(10);
+    let mut exec = Engine::new(cfg);
     for payload in 0..3 {
-        exec.add_node(Script::new(vec![Action::transmit(ChannelId::new(2), payload)]));
+        exec.add_node(Script::new(vec![Action::transmit(
+            ChannelId::new(2),
+            payload,
+        )]));
     }
     let rx = exec.add_node(Script::new(vec![Action::listen(ChannelId::new(2))]));
     let report = exec.run().expect("finishes");
@@ -92,7 +108,7 @@ fn three_transmitters_still_one_collision() {
 fn solve_detection_ignores_listeners_on_primary() {
     // One transmitter + many listeners on channel 1 is still a solve.
     let cfg = SimConfig::new(2).max_rounds(10);
-    let mut exec = Executor::new(cfg);
+    let mut exec = Engine::new(cfg);
     exec.add_node(Script::new(vec![Action::transmit(ChannelId::PRIMARY, 1)]));
     for _ in 0..5 {
         exec.add_node(Script::new(vec![Action::listen(ChannelId::PRIMARY)]));
@@ -104,8 +120,11 @@ fn solve_detection_ignores_listeners_on_primary() {
 #[test]
 fn sleepers_do_not_block_channel_resolution() {
     let cfg = SimConfig::new(2).max_rounds(10);
-    let mut exec = Executor::new(cfg);
-    exec.add_node(Script::new(vec![Action::Sleep, Action::transmit(ChannelId::PRIMARY, 0)]));
+    let mut exec = Engine::new(cfg);
+    exec.add_node(Script::new(vec![
+        Action::Sleep,
+        Action::transmit(ChannelId::PRIMARY, 0),
+    ]));
     let report = exec.run().expect("finishes");
     assert_eq!(report.solved_round, Some(1));
 }
@@ -113,8 +132,10 @@ fn sleepers_do_not_block_channel_resolution() {
 #[test]
 fn wake_schedule_drives_executor() {
     let schedule = WakeSchedule::waves(6, 3, 5);
-    let cfg = SimConfig::new(2).stop_when(StopWhen::AllTerminated).max_rounds(100);
-    let mut exec = Executor::new(cfg);
+    let cfg = SimConfig::new(2)
+        .stop_when(StopWhen::AllTerminated)
+        .max_rounds(100);
+    let mut exec = Engine::new(cfg);
     for off in schedule.iter() {
         exec.add_node_at(Script::new(vec![Action::listen(ChannelId::new(2))]), off);
     }
@@ -138,7 +159,7 @@ fn trace_chart_reflects_execution() {
         .stop_when(StopWhen::AllTerminated)
         .trace_level(TraceLevel::Channels)
         .max_rounds(10);
-    let mut exec = Executor::new(cfg);
+    let mut exec = Engine::new(cfg);
     exec.add_node(Script::new(vec![
         Action::transmit(ChannelId::new(2), 1),
         Action::transmit(ChannelId::new(2), 1),
@@ -160,7 +181,7 @@ fn receiver_only_mode_blinds_exactly_the_transmitters() {
         .cd_mode(CdMode::ReceiverOnly)
         .stop_when(StopWhen::AllTerminated)
         .max_rounds(10);
-    let mut exec = Executor::new(cfg);
+    let mut exec = Engine::new(cfg);
     let tx = exec.add_node(Script::new(vec![Action::transmit(ChannelId::new(2), 1)]));
     let rx = exec.add_node(Script::new(vec![Action::listen(ChannelId::new(2))]));
     exec.run().expect("finishes");
@@ -183,9 +204,11 @@ fn boxed_heterogeneous_population() {
         }
     }
     let cfg = SimConfig::new(2).max_rounds(10);
-    let mut exec: Executor<Box<dyn Protocol<Msg = u32>>> = Executor::new(cfg);
+    let mut exec: Engine<Box<dyn Protocol<Msg = u32>>> = Engine::new(cfg);
     exec.add_node(Box::new(Beacon));
-    exec.add_node(Box::new(Script::new(vec![Action::listen(ChannelId::PRIMARY)])));
+    exec.add_node(Box::new(Script::new(vec![Action::listen(
+        ChannelId::PRIMARY,
+    )])));
     let report = exec.run().expect("finishes");
     assert_eq!(report.solved_round, Some(0));
 }
@@ -193,7 +216,7 @@ fn boxed_heterogeneous_population() {
 #[test]
 fn max_rounds_zero_times_out_immediately() {
     let cfg = SimConfig::new(2).max_rounds(0);
-    let mut exec = Executor::new(cfg);
+    let mut exec = Engine::new(cfg);
     exec.add_node(Script::new(vec![Action::Sleep]));
     assert!(matches!(exec.run(), Err(mac_sim::SimError::Timeout { .. })));
 }
@@ -202,8 +225,11 @@ fn max_rounds_zero_times_out_immediately() {
 fn stepping_matches_run_exactly() {
     // Driving with step() produces identical results to run().
     let build = || {
-        let cfg = SimConfig::new(4).seed(6).stop_when(StopWhen::AllTerminated).max_rounds(100);
-        let mut exec = Executor::new(cfg);
+        let cfg = SimConfig::new(4)
+            .seed(6)
+            .stop_when(StopWhen::AllTerminated)
+            .max_rounds(100);
+        let mut exec = Engine::new(cfg);
         exec.add_node(Script::new(vec![
             Action::transmit(ChannelId::new(2), 1),
             Action::transmit(ChannelId::PRIMARY, 2),
@@ -224,26 +250,35 @@ fn stepping_matches_run_exactly() {
     let step_report = stepped.report();
     assert_eq!(run_report.solved_round, step_report.solved_round);
     assert_eq!(run_report.rounds_executed, step_report.rounds_executed);
-    assert_eq!(run_report.metrics.transmissions, step_report.metrics.transmissions);
+    assert_eq!(
+        run_report.metrics.transmissions,
+        step_report.metrics.transmissions
+    );
     assert_eq!(run_report.leaders, step_report.leaders);
 }
 
 #[test]
 fn step_is_idempotent_after_finish() {
     let cfg = SimConfig::new(2).max_rounds(100);
-    let mut exec = Executor::new(cfg);
+    let mut exec = Engine::new(cfg);
     exec.add_node(Script::new(vec![Action::transmit(ChannelId::PRIMARY, 0)]));
     assert_eq!(exec.step().expect("steps"), mac_sim::StepStatus::Finished);
     let before = exec.current_round();
     assert_eq!(exec.step().expect("steps"), mac_sim::StepStatus::Finished);
-    assert_eq!(exec.current_round(), before, "finished step must not advance");
+    assert_eq!(
+        exec.current_round(),
+        before,
+        "finished step must not advance"
+    );
     assert!(exec.is_finished());
 }
 
 #[test]
 fn mid_run_report_is_a_snapshot() {
-    let cfg = SimConfig::new(2).stop_when(StopWhen::AllTerminated).max_rounds(100);
-    let mut exec = Executor::new(cfg);
+    let cfg = SimConfig::new(2)
+        .stop_when(StopWhen::AllTerminated)
+        .max_rounds(100);
+    let mut exec = Engine::new(cfg);
     exec.add_node(Script::new(vec![
         Action::listen(ChannelId::new(2)),
         Action::transmit(ChannelId::PRIMARY, 0),
@@ -261,8 +296,10 @@ fn mid_run_report_is_a_snapshot() {
 
 #[test]
 fn run_after_partial_stepping_continues() {
-    let cfg = SimConfig::new(2).stop_when(StopWhen::AllTerminated).max_rounds(100);
-    let mut exec = Executor::new(cfg);
+    let cfg = SimConfig::new(2)
+        .stop_when(StopWhen::AllTerminated)
+        .max_rounds(100);
+    let mut exec = Engine::new(cfg);
     exec.add_node(Script::new(vec![
         Action::listen(ChannelId::new(2)),
         Action::listen(ChannelId::new(2)),

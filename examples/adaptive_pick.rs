@@ -15,7 +15,7 @@
 use contention::extensions::SizeEstimate;
 use contention::session::{Algorithm, Session};
 use contention::Params;
-use mac_sim::{Executor, SimConfig, StopWhen};
+use mac_sim::{Engine, SimConfig, StopWhen};
 
 const N: u64 = 1 << 12;
 const C: u32 = 64;
@@ -27,12 +27,17 @@ fn estimate(active: usize, seed: u64) -> (u64, u64) {
         .seed(seed)
         .stop_when(StopWhen::AllTerminated)
         .max_rounds(1000);
-    let mut exec = Executor::new(cfg);
+    let mut exec = Engine::new(cfg);
     for _ in 0..active {
         exec.add_node(SizeEstimate::new(N));
     }
     let report = exec.run().expect("sweep finishes");
-    let estimate = exec.iter_nodes().next().expect("nonempty").estimate().expect("agreed");
+    let estimate = exec
+        .iter_nodes()
+        .next()
+        .expect("nonempty")
+        .estimate()
+        .expect("agreed");
     (estimate, report.rounds_executed)
 }
 

@@ -13,24 +13,21 @@
 use contention::baselines::{BinaryDescent, Decay, MultiChannelNoCd};
 use contention::{FullAlgorithm, Params};
 use contention_analysis::Table;
-use mac_sim::{CdMode, Executor, SimConfig};
+use mac_sim::{CdMode, Engine, SimConfig};
 
 const N: u64 = 1 << 14;
 // Dense activation (|A| = n): the adversarial case the worst-case bounds
 // target, and where the landscape separates most cleanly.
 const ACTIVE: usize = 1 << 14;
-const TRIALS: u64 = 12;
+const TRIALS: usize = 12;
 
-fn mean_rounds(build: impl Fn(u64) -> Executor<Box<dyn mac_sim::Protocol<Msg = u32>>>) -> f64 {
-    let mut total = 0u64;
-    for seed in 0..TRIALS {
-        let mut exec = build(seed);
-        total += exec
-            .run()
-            .expect("run succeeds")
-            .rounds_to_solve()
-            .expect("solved");
-    }
+fn mean_rounds(build: impl Fn(u64) -> Engine<Box<dyn mac_sim::Protocol<Msg = u32>>> + Sync) -> f64 {
+    // The summaries path skips metrics/trace entirely — all this shootout
+    // needs is the solve round — and fans the trials out over threads.
+    let total: u64 = mac_sim::trials::run_trials_summaries(TRIALS, 0, build)
+        .iter()
+        .map(|s| s.rounds_to_solve().expect("solved"))
+        .sum();
     total as f64 / TRIALS as f64
 }
 
@@ -47,14 +44,14 @@ fn main() {
 
     for c in [1u32, 8, 64, 512] {
         let full = mean_rounds(|seed| {
-            let mut exec = Executor::new(SimConfig::new(c).seed(seed).max_rounds(10_000_000));
+            let mut exec = Engine::new(SimConfig::new(c).seed(seed).max_rounds(10_000_000));
             for _ in 0..ACTIVE {
                 exec.add_node(Box::new(FullAlgorithm::new(Params::practical(), c, N)) as _);
             }
             exec
         });
         let descent = mean_rounds(|seed| {
-            let mut exec = Executor::new(SimConfig::new(c).seed(seed).max_rounds(10_000_000));
+            let mut exec = Engine::new(SimConfig::new(c).seed(seed).max_rounds(10_000_000));
             for i in 0..ACTIVE {
                 // Spread ids evenly over the universe.
                 let id = (i as u64) * (N / ACTIVE as u64);
@@ -63,16 +60,22 @@ fn main() {
             exec
         });
         let decay = mean_rounds(|seed| {
-            let cfg = SimConfig::new(c).seed(seed).cd_mode(CdMode::None).max_rounds(10_000_000);
-            let mut exec = Executor::new(cfg);
+            let cfg = SimConfig::new(c)
+                .seed(seed)
+                .cd_mode(CdMode::None)
+                .max_rounds(10_000_000);
+            let mut exec = Engine::new(cfg);
             for _ in 0..ACTIVE {
                 exec.add_node(Box::new(Decay::new(N)) as _);
             }
             exec
         });
         let nocd = mean_rounds(|seed| {
-            let cfg = SimConfig::new(c).seed(seed).cd_mode(CdMode::None).max_rounds(10_000_000);
-            let mut exec = Executor::new(cfg);
+            let cfg = SimConfig::new(c)
+                .seed(seed)
+                .cd_mode(CdMode::None)
+                .max_rounds(10_000_000);
+            let mut exec = Engine::new(cfg);
             for _ in 0..ACTIVE {
                 exec.add_node(Box::new(MultiChannelNoCd::new(c, N)) as _);
             }

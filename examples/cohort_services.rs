@@ -20,7 +20,7 @@
 
 use contention::cohort_compute::{AggregateOp, CohortAggregate};
 use contention::LeafElection;
-use mac_sim::{ChannelId, Executor, SimConfig, StopWhen};
+use mac_sim::{ChannelId, Engine, SimConfig, StopWhen};
 
 fn main() -> Result<(), mac_sim::SimError> {
     let channels: u32 = 64; // 32-leaf channel tree
@@ -31,8 +31,11 @@ fn main() -> Result<(), mac_sim::SimError> {
         .seed(11)
         .stop_when(StopWhen::AllTerminated)
         .max_rounds(10_000);
-    let mut exec = Executor::new(cfg);
-    let node_ids: Vec<_> = ids.iter().map(|&id| exec.add_node(LeafElection::new(channels, id))).collect();
+    let mut exec = Engine::new(cfg);
+    let node_ids: Vec<_> = ids
+        .iter()
+        .map(|&id| exec.add_node(LeafElection::new(channels, id)))
+        .collect();
     let report = exec.run()?;
     let winner = exec.node(report.leaders[0]);
 
@@ -72,12 +75,23 @@ fn main() -> Result<(), mac_sim::SimError> {
             .seed(12)
             .stop_when(StopWhen::AllTerminated)
             .max_rounds(100);
-        let mut exec = Executor::new(cfg);
+        let mut exec = Engine::new(cfg);
         for &(cid, leaf) in &roster {
-            exec.add_node(CohortAggregate::new(ChannelId::new(2), p, cid, value(leaf), op));
+            exec.add_node(CohortAggregate::new(
+                ChannelId::new(2),
+                p,
+                cid,
+                value(leaf),
+                op,
+            ));
         }
         let agg_report = exec.run()?;
-        let result = exec.iter_nodes().next().expect("has members").result().expect("computed");
+        let result = exec
+            .iter_nodes()
+            .next()
+            .expect("has members")
+            .result()
+            .expect("computed");
         println!(
             "{question:<26} = {result:>5}   ({} rounds for p = {p})",
             agg_report.rounds_executed

@@ -10,11 +10,13 @@
 //! and which cohort produced the leader.
 
 use contention::LeafElection;
-use mac_sim::{Executor, SimConfig, StopWhen, TraceLevel};
+use mac_sim::{Engine, SimConfig, StopWhen, TraceLevel};
 
 fn main() -> Result<(), mac_sim::SimError> {
     let channels: u32 = 256; // tree with 128 leaves, height 7
-    let ids: Vec<u32> = vec![3, 4, 17, 18, 40, 41, 90, 91, 100, 101, 120, 121, 6, 7, 55, 56];
+    let ids: Vec<u32> = vec![
+        3, 4, 17, 18, 40, 41, 90, 91, 100, 101, 120, 121, 6, 7, 55, 56,
+    ];
 
     println!(
         "leaf election over a {}-leaf channel tree, {} occupied leaves\n",
@@ -27,8 +29,11 @@ fn main() -> Result<(), mac_sim::SimError> {
         .stop_when(StopWhen::AllTerminated)
         .trace_level(TraceLevel::Channels)
         .max_rounds(10_000);
-    let mut exec = Executor::new(config);
-    let node_ids: Vec<_> = ids.iter().map(|&id| exec.add_node(LeafElection::new(channels, id))).collect();
+    let mut exec = Engine::new(config);
+    let node_ids: Vec<_> = ids
+        .iter()
+        .map(|&id| exec.add_node(LeafElection::new(channels, id)))
+        .collect();
 
     let report = exec.run()?;
     let winner_id = report.leaders[0];
@@ -49,7 +54,12 @@ fn main() -> Result<(), mac_sim::SimError> {
     println!("per-phase SplitSearch rounds (Lemma 16: ~ (1/i)·log h):");
     for (i, rounds) in winner.stats().search_rounds_by_phase.iter().enumerate() {
         let p = 1u32 << i;
-        println!("  phase {:>2} (cohort size {:>3}): {:>3} rounds", i + 1, p, rounds);
+        println!(
+            "  phase {:>2} (cohort size {:>3}): {:>3} rounds",
+            i + 1,
+            p,
+            rounds
+        );
     }
 
     // Reconstruct the final cohort roster from node state.

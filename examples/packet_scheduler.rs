@@ -17,7 +17,7 @@
 use contention::baselines::CdTournament;
 use contention::serialize::SerializeAll;
 use contention::{FullAlgorithm, Params};
-use mac_sim::{Executor, SimConfig, StopWhen};
+use mac_sim::{Engine, SimConfig, StopWhen};
 
 // A dense burst (every provisioned node has a packet): the regime where the
 // paper's n-indexed knock-out schedule shines. With K << N, the adaptive
@@ -31,7 +31,7 @@ fn drain_with_pipeline(c: u32, seed: u64) -> (u64, Vec<(u32, u64)>) {
         .seed(seed)
         .stop_when(StopWhen::AllTerminated)
         .max_rounds(1_000_000);
-    let mut exec = Executor::new(cfg);
+    let mut exec = Engine::new(cfg);
     for payload in 0..K as u32 {
         let factory = move || FullAlgorithm::new(Params::practical(), c, N);
         exec.add_node(SerializeAll::new(factory, payload));
@@ -50,7 +50,7 @@ fn drain_with_tournament(seed: u64) -> u64 {
         .seed(seed)
         .stop_when(StopWhen::AllTerminated)
         .max_rounds(1_000_000);
-    let mut exec = Executor::new(cfg);
+    let mut exec = Engine::new(cfg);
     for payload in 0..K as u32 {
         exec.add_node(SerializeAll::new(CdTournament::new, payload));
     }
@@ -64,14 +64,19 @@ fn main() {
     println!("packet burst: {K} packets, C = {c} channels, n = {N}\n");
     println!("first deliveries (packet id @ round):");
     for chunk in deliveries.chunks(6).take(4) {
-        let line: Vec<String> = chunk.iter().map(|(p, at)| format!("#{p:<4}@{at:<5}")).collect();
+        let line: Vec<String> = chunk
+            .iter()
+            .map(|(p, at)| format!("#{p:<4}@{at:<5}"))
+            .collect();
         println!("  {}", line.join("  "));
     }
     println!("  ... {} more", deliveries.len().saturating_sub(24));
 
     let gaps: Vec<u64> = deliveries.windows(2).map(|w| w[1].1 - w[0].1).collect();
     let mean_gap = gaps.iter().sum::<u64>() as f64 / gaps.len().max(1) as f64;
-    println!("\nall {K} packets drained in {total} rounds ({mean_gap:.1} rounds/packet steady-state)");
+    println!(
+        "\nall {K} packets drained in {total} rounds ({mean_gap:.1} rounds/packet steady-state)"
+    );
 
     let tournament_total = drain_with_tournament(7);
     println!(

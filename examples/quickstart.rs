@@ -9,7 +9,8 @@
 //! (`Reduce → IdReduction → LeafElection`), and prints what happened.
 
 use contention::{FullAlgorithm, Params};
-use mac_sim::{Executor, SimConfig, StopWhen};
+use mac_sim::render::ActivityRecorder;
+use mac_sim::{Engine, SimConfig, StopWhen};
 
 fn main() -> Result<(), mac_sim::SimError> {
     let n: u64 = 1 << 14; // universe size (max possible nodes)
@@ -23,26 +24,32 @@ fn main() -> Result<(), mac_sim::SimError> {
         .seed(seed)
         .stop_when(StopWhen::AllTerminated)
         .max_rounds(100_000);
-    let mut exec = Executor::new(config);
+    let mut exec = Engine::new(config);
     for _ in 0..active {
         exec.add_node(FullAlgorithm::new(Params::practical(), channels, n));
     }
 
-    let report = exec.run()?;
+    // Attach a chart-recording observer without enabling trace storage in
+    // the engine itself — any EventSink can ride along like this.
+    let mut recorder = ActivityRecorder::new();
+    let report = exec.run_observed(&mut recorder)?;
 
     match report.solved_round {
-        Some(round) => println!(
-            "solved in round {round} (rounds to solve: {})",
-            round + 1
-        ),
+        Some(round) => println!("solved in round {round} (rounds to solve: {})", round + 1),
         None => println!("not solved (this should not happen!)"),
     }
     println!("leader: {:?}", report.leaders.first());
-    println!("total transmissions (energy proxy): {}", report.metrics.transmissions);
+    println!(
+        "total transmissions (energy proxy): {}",
+        report.metrics.transmissions
+    );
     println!("\nrounds per phase:");
     for (phase, rounds) in report.metrics.phases.iter() {
         println!("  {phase:<16} {rounds}");
     }
+
+    println!("\nfirst 60 rounds of channel activity:");
+    print!("{}", recorder.chart(60));
 
     // The theory line this run reproduces (Theorem 4).
     let lg_n = (n as f64).log2();

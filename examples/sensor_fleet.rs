@@ -18,7 +18,7 @@
 
 use contention::wakeup::StaggeredStart;
 use contention::{FullAlgorithm, Params};
-use mac_sim::{Executor, SimConfig, StopWhen};
+use mac_sim::{Engine, SimConfig, StopWhen};
 
 fn main() -> Result<(), mac_sim::SimError> {
     let channels: u32 = 16; // an 802.15.4-style band
@@ -46,7 +46,7 @@ fn main() -> Result<(), mac_sim::SimError> {
         .seed(seed)
         .stop_when(StopWhen::Solved)
         .max_rounds(100_000);
-    let mut exec = Executor::new(config);
+    let mut exec = Engine::new(config);
     let mut ids = Vec::new();
     for &wake in &wake_schedule {
         let sensor = StaggeredStart::new(FullAlgorithm::new(Params::practical(), channels, n));

@@ -4,14 +4,14 @@
 
 use contention::baselines::CdTournament;
 use contention::{FullAlgorithm, Params, TwoActive};
-use mac_sim::{Executor, RunReport, SimConfig, StopWhen};
+use mac_sim::{Engine, RunReport, SimConfig, StopWhen};
 
 fn run_full(seed: u64, c: u32, n: u64, active: usize) -> RunReport {
     let cfg = SimConfig::new(c)
         .seed(seed)
         .stop_when(StopWhen::AllTerminated)
         .max_rounds(1_000_000);
-    let mut exec = Executor::new(cfg);
+    let mut exec = Engine::new(cfg);
     for _ in 0..active {
         exec.add_node(FullAlgorithm::new(Params::practical(), c, n));
     }
@@ -27,12 +27,17 @@ fn identical_seeds_identical_everything() {
     assert_eq!(a.leaders, b.leaders);
     assert_eq!(a.rounds_executed, b.rounds_executed);
     assert_eq!(a.metrics.transmissions, b.metrics.transmissions);
-    assert_eq!(a.metrics.transmissions_per_node, b.metrics.transmissions_per_node);
+    assert_eq!(
+        a.metrics.transmissions_per_node,
+        b.metrics.transmissions_per_node
+    );
 }
 
 #[test]
 fn different_seeds_differ_somewhere() {
-    let outcomes: Vec<Option<u64>> = (0..10).map(|s| run_full(s, 64, 1 << 12, 300).solved_round).collect();
+    let outcomes: Vec<Option<u64>> = (0..10)
+        .map(|s| run_full(s, 64, 1 << 12, 300).solved_round)
+        .collect();
     let first = outcomes[0];
     assert!(
         outcomes.iter().any(|&o| o != first),
@@ -45,8 +50,11 @@ fn node_insertion_order_defines_identity() {
     // Swapping insertion order re-seeds nodes, so outcomes may change, but
     // the same order twice must agree — node identity is positional.
     let build = |seed| {
-        let cfg = SimConfig::new(8).seed(seed).stop_when(StopWhen::AllTerminated).max_rounds(100_000);
-        let mut exec = Executor::new(cfg);
+        let cfg = SimConfig::new(8)
+            .seed(seed)
+            .stop_when(StopWhen::AllTerminated)
+            .max_rounds(100_000);
+        let mut exec = Engine::new(cfg);
         exec.add_node(TwoActive::new(8, 256));
         exec.add_node(TwoActive::new(8, 256));
         exec
@@ -58,17 +66,46 @@ fn node_insertion_order_defines_identity() {
 
 #[test]
 fn harness_parallel_runner_is_deterministic() {
-    use contention_harness::run_trials;
+    use mac_sim::trials::run_trials;
     let build = |seed: u64| {
-        let mut exec = Executor::new(SimConfig::new(1).seed(seed).max_rounds(100_000));
+        let mut exec = Engine::new(SimConfig::new(1).seed(seed).max_rounds(100_000));
         for _ in 0..32 {
             exec.add_node(CdTournament::new());
         }
         exec
     };
-    let a: Vec<Option<u64>> = run_trials(16, 5, build).iter().map(|r| r.solved_round).collect();
-    let b: Vec<Option<u64>> = run_trials(16, 5, build).iter().map(|r| r.solved_round).collect();
+    let a: Vec<Option<u64>> = run_trials(16, 5, build)
+        .iter()
+        .map(|r| r.solved_round)
+        .collect();
+    let b: Vec<Option<u64>> = run_trials(16, 5, build)
+        .iter()
+        .map(|r| r.solved_round)
+        .collect();
     assert_eq!(a, b, "thread scheduling leaked into results");
+}
+
+#[test]
+fn trial_results_are_thread_count_invariant() {
+    use mac_sim::trials::run_trials_with_threads;
+    let build = |seed: u64| {
+        let mut engine = Engine::new(SimConfig::new(4).seed(seed).max_rounds(100_000));
+        for _ in 0..24 {
+            engine.add_node(CdTournament::new());
+        }
+        engine
+    };
+    let extract = |_: &Engine<CdTournament>, r: &RunReport| {
+        (r.summary(), r.metrics.transmissions_per_node.clone())
+    };
+    let serial = run_trials_with_threads(17, 900, 1, build, extract);
+    for threads in [2, 4, 7, 16] {
+        let parallel = run_trials_with_threads(17, 900, threads, build, extract);
+        assert_eq!(
+            serial, parallel,
+            "{threads} worker threads changed trial results"
+        );
+    }
 }
 
 #[test]
@@ -80,7 +117,7 @@ fn trace_is_reproducible() {
             .trace_level(TraceLevel::Channels)
             .stop_when(StopWhen::AllTerminated)
             .max_rounds(100_000);
-        let mut exec = Executor::new(cfg);
+        let mut exec = Engine::new(cfg);
         for _ in 0..10 {
             exec.add_node(FullAlgorithm::new(Params::practical(), 16, 1 << 8));
         }

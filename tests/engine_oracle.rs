@@ -1,0 +1,117 @@
+//! Golden-run oracle for the round engine.
+//!
+//! The fixture in `tests/fixtures/engine_oracle.txt` records behavioral
+//! fingerprints — solved round, solver, rounds executed, and per-node
+//! transmission counts — for a grid of seeds × collision-detection modes,
+//! captured from the executor *before* the engine/trials/observation
+//! refactor. The test replays the grid and demands bit-identical results,
+//! so any change to RNG consumption order, feedback semantics, or solve
+//! detection shows up as a diff against pre-refactor behavior.
+//!
+//! Regenerate (only when a behavior change is intentional) with:
+//!
+//! ```text
+//! ENGINE_ORACLE_REGEN=1 cargo test --test engine_oracle
+//! ```
+
+use contention::{FullAlgorithm, Params, TwoActive};
+use mac_sim::{CdMode, Engine, SimConfig, SimError, StopWhen};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+const SEEDS: [u64; 5] = [11, 22, 33, 44, 55];
+const MODES: [(CdMode, &str); 3] = [
+    (CdMode::Strong, "strong"),
+    (CdMode::ReceiverOnly, "receiver-only"),
+    (CdMode::None, "none"),
+];
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/engine_oracle.txt")
+}
+
+/// One grid cell: run to completion (or the round cap, which weaker CD
+/// modes hit by design) and serialize everything observable.
+fn fingerprint<P, F>(label: &str, seed: u64, mode: CdMode, mode_name: &str, build: F) -> String
+where
+    P: mac_sim::Protocol,
+    F: FnOnce(&mut Engine<P>),
+{
+    let cfg = SimConfig::new(16)
+        .seed(seed)
+        .cd_mode(mode)
+        .stop_when(StopWhen::Solved)
+        .max_rounds(2_000);
+    let mut exec = Engine::new(cfg);
+    build(&mut exec);
+    let report = match exec.run() {
+        Ok(report) => report,
+        // Timeouts are expected under weak CD; the partial run is still a
+        // deterministic fingerprint.
+        Err(SimError::Timeout { .. }) => exec.report(),
+        Err(e) => panic!("unexpected simulation error: {e}"),
+    };
+    let mut line = format!(
+        "{label} cd={mode_name} seed={seed} solved_round={:?} solver={:?} rounds={} leaders={} tx=[",
+        report.solved_round,
+        report.solver.map(|id| id.0),
+        report.rounds_executed,
+        report.leaders.len(),
+    );
+    for (i, &tx) in report.metrics.transmissions_per_node.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        let _ = write!(line, "{tx}");
+    }
+    line.push(']');
+    line
+}
+
+fn current_fingerprints() -> String {
+    let (c, n, active) = (16u32, 1u64 << 10, 60usize);
+    let mut out = String::new();
+    for (mode, mode_name) in MODES {
+        for seed in SEEDS {
+            let line = fingerprint("full", seed, mode, mode_name, |exec| {
+                for _ in 0..active {
+                    exec.add_node(FullAlgorithm::new(Params::practical(), c, n));
+                }
+            });
+            out.push_str(&line);
+            out.push('\n');
+        }
+        for seed in SEEDS {
+            let line = fingerprint("two-active", seed, mode, mode_name, |exec| {
+                exec.add_node(TwoActive::new(c, n));
+                exec.add_node(TwoActive::new(c, n));
+            });
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[test]
+fn engine_matches_pre_refactor_oracle() {
+    let path = fixture_path();
+    let current = current_fingerprints();
+    if std::env::var_os("ENGINE_ORACLE_REGEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("mkdir fixtures");
+        std::fs::write(&path, &current).expect("write fixture");
+        return;
+    }
+    let recorded = std::fs::read_to_string(&path)
+        .expect("fixture missing; run with ENGINE_ORACLE_REGEN=1 to record");
+    let recorded_lines: Vec<&str> = recorded.lines().collect();
+    let current_lines: Vec<&str> = current.lines().collect();
+    assert_eq!(
+        recorded_lines.len(),
+        current_lines.len(),
+        "oracle grid size changed"
+    );
+    for (old, new) in recorded_lines.iter().zip(&current_lines) {
+        assert_eq!(old, new, "engine diverged from pre-refactor behavior");
+    }
+}

@@ -4,7 +4,7 @@
 
 use contention::baselines::{BinaryDescent, Decay};
 use contention::{FullAlgorithm, Params, TwoActive};
-use mac_sim::{CdMode, Executor, SimConfig, SimError, StopWhen};
+use mac_sim::{CdMode, Engine, SimConfig, SimError, StopWhen};
 
 /// `TwoActive`'s renaming step has transmitters use their collision
 /// detectors to learn they are alone — under receiver-only CD the
@@ -16,7 +16,7 @@ fn two_active_requires_strong_cd() {
         .seed(1)
         .cd_mode(CdMode::ReceiverOnly)
         .max_rounds(2_000);
-    let mut exec = Executor::new(cfg);
+    let mut exec = Engine::new(cfg);
     exec.add_node(TwoActive::new(16, 1 << 10));
     exec.add_node(TwoActive::new(16, 1 << 10));
     match exec.run() {
@@ -44,7 +44,7 @@ fn full_algorithm_never_self_elects_without_strong_cd() {
         .cd_mode(CdMode::ReceiverOnly)
         .stop_when(StopWhen::Solved)
         .max_rounds(3_000);
-    let mut exec = Executor::new(cfg);
+    let mut exec = Engine::new(cfg);
     for _ in 0..50 {
         exec.add_node(FullAlgorithm::new(Params::practical(), 64, 1 << 10));
     }
@@ -62,8 +62,11 @@ fn full_algorithm_never_self_elects_without_strong_cd() {
 /// fine under `CdMode::None`.
 #[test]
 fn decay_is_cd_free() {
-    let cfg = SimConfig::new(1).seed(3).cd_mode(CdMode::None).max_rounds(100_000);
-    let mut exec = Executor::new(cfg);
+    let cfg = SimConfig::new(1)
+        .seed(3)
+        .cd_mode(CdMode::None)
+        .max_rounds(100_000);
+    let mut exec = Engine::new(cfg);
     for _ in 0..64 {
         exec.add_node(Decay::new(1 << 10));
     }
@@ -77,11 +80,14 @@ fn binary_descent_is_seed_independent() {
     let rounds: Vec<u64> = (0..5)
         .map(|seed| {
             let cfg = SimConfig::new(1).seed(seed).max_rounds(10_000);
-            let mut exec = Executor::new(cfg);
+            let mut exec = Engine::new(cfg);
             for id in [5u64, 99, 731, 1000] {
                 exec.add_node(BinaryDescent::new(id, 1 << 10));
             }
-            exec.run().expect("solves").rounds_to_solve().expect("solved")
+            exec.run()
+                .expect("solves")
+                .rounds_to_solve()
+                .expect("solved")
         })
         .collect();
     assert!(rounds.windows(2).all(|w| w[0] == w[1]), "{rounds:?}");
@@ -97,7 +103,7 @@ fn channels_are_isolated() {
     // Reference: clean two-node run on C=16 restricted to its own behavior.
     let clean = {
         let cfg = SimConfig::new(16).seed(4).max_rounds(10_000);
-        let mut exec = Executor::new(cfg);
+        let mut exec = Engine::new(cfg);
         exec.add_node(TwoActive::new(2, 1 << 8)); // uses only channels 1..2
         exec.add_node(TwoActive::new(2, 1 << 8));
         exec.run().expect("solves").solved_round
@@ -120,7 +126,7 @@ fn channels_are_isolated() {
     }
     let noisy = {
         let cfg = SimConfig::new(16).seed(4).max_rounds(10_000);
-        let mut exec: Executor<Box<dyn Protocol<Msg = u32>>> = Executor::new(cfg);
+        let mut exec: Engine<Box<dyn Protocol<Msg = u32>>> = Engine::new(cfg);
         exec.add_node(Box::new(TwoActive::new(2, 1 << 8)));
         exec.add_node(Box::new(TwoActive::new(2, 1 << 8)));
         for _ in 0..20 {
@@ -138,7 +144,7 @@ fn channels_are_isolated() {
 fn uniform_offset_shifts_solve_round() {
     let run_at = |offset: u64| {
         let cfg = SimConfig::new(32).seed(9).max_rounds(100_000);
-        let mut exec = Executor::new(cfg);
+        let mut exec = Engine::new(cfg);
         for _ in 0..20 {
             exec.add_node_at(FullAlgorithm::new(Params::practical(), 32, 1 << 10), offset);
         }

@@ -5,7 +5,7 @@ use contention::{
     FullAlgorithm, IdReduction, IdReductionOutcome, LeafElection, Params, Reduce, ReduceOutcome,
 };
 use crew_pram::search::{snir_boundary, split_points};
-use mac_sim::{Executor, SimConfig, StopWhen};
+use mac_sim::{Engine, SimConfig, StopWhen};
 use proptest::collection::vec;
 use proptest::prelude::*;
 use std::collections::HashSet;
@@ -100,7 +100,7 @@ proptest! {
             .seed(seed)
             .stop_when(StopWhen::AllTerminated)
             .max_rounds(1_000_000);
-        let mut exec = Executor::new(cfg);
+        let mut exec = Engine::new(cfg);
         let ordered: Vec<u32> = ids.iter().copied().collect();
         for &id in &ordered {
             exec.add_node(LeafElection::new(c, id));
@@ -131,7 +131,7 @@ proptest! {
             .seed(seed)
             .stop_when(StopWhen::AllTerminated)
             .max_rounds(1_000_000);
-        let mut exec = Executor::new(cfg);
+        let mut exec = Engine::new(cfg);
         for _ in 0..active {
             exec.add_node(IdReduction::new(Params::practical(), c));
         }
@@ -162,7 +162,7 @@ proptest! {
             .seed(seed)
             .stop_when(StopWhen::AllTerminated)
             .max_rounds(100_000);
-        let mut exec = Executor::new(cfg);
+        let mut exec = Engine::new(cfg);
         for _ in 0..active {
             exec.add_node(Reduce::new(n));
         }
@@ -195,7 +195,7 @@ proptest! {
             .seed(seed)
             .stop_when(StopWhen::AllTerminated)
             .max_rounds(1_000_000);
-        let mut exec = Executor::new(cfg);
+        let mut exec = Engine::new(cfg);
         for _ in 0..active {
             exec.add_node(FullAlgorithm::new(Params::practical(), c, n));
         }
@@ -222,7 +222,7 @@ proptest! {
             (AggregateOp::Count, values.len() as i64),
         ] {
             let cfg = SimConfig::new(64).stop_when(StopWhen::AllTerminated).max_rounds(1000);
-            let mut exec = Executor::new(cfg);
+            let mut exec = Engine::new(cfg);
             for (i, &v) in values.iter().enumerate() {
                 exec.add_node(CohortAggregate::new(
                     ChannelId::new(2),
@@ -248,7 +248,7 @@ proptest! {
             .seed(seed)
             .stop_when(StopWhen::AllTerminated)
             .max_rounds(10_000_000);
-        let mut exec = Executor::new(cfg);
+        let mut exec = Engine::new(cfg);
         for payload in 0..k as u32 {
             let factory = move || FullAlgorithm::new(Params::practical(), 16, 1 << 10);
             exec.add_node(SerializeAll::new(factory, payload));

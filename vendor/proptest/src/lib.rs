@@ -1,0 +1,515 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! deterministic property-testing harness exposing the `proptest` API subset
+//! its tests use: the [`proptest!`] macro, range / tuple / [`collection::vec`]
+//! / [`prelude::Just`] / [`prelude::any`] / `prop_oneof!` / `prop_map`
+//! strategies, a character-class string strategy, and the `prop_assert*`
+//! macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **no shrinking** — a failing case reports the generated inputs via the
+//!   panic message of the underlying assertion;
+//! * **deterministic seeding** — cases derive from a fixed per-test seed, so
+//!   failures always reproduce.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of a given type.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// A boxed, type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut SmallRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of its value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut SmallRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among boxed strategies (the engine behind
+    /// `prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Creates a union over `arms`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `arms` is empty.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            let idx = rng.gen_range(0..self.arms.len());
+            self.arms[idx].generate(rng)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for core::ops::Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut SmallRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut SmallRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+
+    /// String strategy from a regex-like pattern.
+    ///
+    /// Supports the subset the workspace uses: literal characters and
+    /// character classes `[a-z0-9]`, each optionally followed by a repetition
+    /// `{n}` or `{m,n}`.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut SmallRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    fn generate_from_pattern(pattern: &str, rng: &mut SmallRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            // One atom: a character class or a literal character.
+            let class: Vec<char> = if chars[i] == '[' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed '[' in pattern {pattern:?}"));
+                let mut class = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                        assert!(lo <= hi, "bad class range in {pattern:?}");
+                        class.extend((lo..=hi).filter_map(char::from_u32));
+                        j += 3;
+                    } else {
+                        class.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                class
+            } else {
+                let c = chars[i];
+                i += 1;
+                vec![c]
+            };
+            assert!(!class.is_empty(), "empty character class in {pattern:?}");
+
+            // Optional repetition.
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed '{{' in pattern {pattern:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                let parts: Vec<&str> = body.split(',').collect();
+                let parse = |s: &str| {
+                    s.trim()
+                        .parse::<usize>()
+                        .unwrap_or_else(|_| panic!("bad repetition in {pattern:?}"))
+                };
+                let bounds = match parts.as_slice() {
+                    [n] => (parse(n), parse(n)),
+                    [m, n] => (parse(m), parse(n)),
+                    _ => panic!("bad repetition in {pattern:?}"),
+                };
+                i = close + 1;
+                bounds
+            } else {
+                (1, 1)
+            };
+
+            let count = if min == max {
+                min
+            } else {
+                rng.gen_range(min..=max)
+            };
+            for _ in 0..count {
+                out.push(class[rng.gen_range(0..class.len())]);
+            }
+        }
+        out
+    }
+}
+
+pub mod arbitrary {
+    //! The [`any`] strategy for primitive types.
+
+    use super::strategy::Strategy;
+    use core::marker::PhantomData;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, RngCore};
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates an arbitrary value.
+        fn arbitrary(rng: &mut SmallRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($ty:ty),*) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut SmallRng) -> Self {
+                    rng.next_u64() as $ty
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut SmallRng) -> Self {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    /// Strategy yielding arbitrary values of `T`.
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The whole-domain strategy for `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// A size specification for [`vec`]: an exact size or a range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive upper bound.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            let (min, max) = r.into_inner();
+            assert!(min <= max, "empty size range");
+            SizeRange { min, max: max + 1 }
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy for vectors whose elements come from `element` and whose
+    /// length comes from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test configuration and deterministic RNG derivation.
+
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Configuration for a `proptest!` block.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Derives a deterministic RNG from a test's full path, so every run
+    /// generates the same cases.
+    #[must_use]
+    pub fn deterministic_rng(test_path: &str) -> SmallRng {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_path.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        SmallRng::seed_from_u64(h)
+    }
+}
+
+/// Defines property tests: each function runs its body for many generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::deterministic_rng(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                { $body }
+            }
+        }
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniform choice among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+pub mod prelude {
+    //! The glob-import surface: strategies, config, and macros.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::collection::vec;
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum Coin {
+        Heads,
+        Tails,
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in -5i64..=5, f in 0.0f64..1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vecs_have_requested_sizes(v in vec(0u8..10, 2..6), exact in vec(1u32..4, 3)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert_eq!(exact.len(), 3);
+        }
+
+        #[test]
+        fn strings_match_class_pattern(s in "[a-z0-9]{1,8}") {
+            prop_assert!(!s.is_empty() && s.len() <= 8);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(
+            c in prop_oneof![Just(Coin::Heads), Just(Coin::Tails)],
+            n in (0u8..3).prop_map(|x| x * 2),
+            (a, b) in (1u8..5, any::<u8>()),
+        ) {
+            prop_assert!(c == Coin::Heads || c == Coin::Tails);
+            prop_assert!(n == 0 || n == 2 || n == 4);
+            prop_assert!((1..5).contains(&a));
+            let _ = b;
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        use crate::strategy::Strategy;
+        let s = vec(0u64..1000, 5..10);
+        let mut r1 = crate::test_runner::deterministic_rng("x");
+        let mut r2 = crate::test_runner::deterministic_rng("x");
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+}

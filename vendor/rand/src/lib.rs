@@ -1,0 +1,361 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build environment has no network access and no crates.io mirror, so
+//! the workspace vendors the slice of `rand` it actually uses:
+//!
+//! * [`rngs::SmallRng`] — the same xoshiro256++ generator `rand 0.8` uses on
+//!   64-bit platforms, seeded through the same SplitMix64 expansion, so
+//!   sequences are statistically indistinguishable from the real crate;
+//! * [`SeedableRng::seed_from_u64`] / [`SeedableRng::from_seed`];
+//! * [`Rng::gen_range`] over integer and float ranges (Lemire widening
+//!   multiply with rejection — unbiased);
+//! * [`Rng::gen_bool`].
+//!
+//! Only what the workspace needs is implemented; this is not a general
+//! replacement for `rand`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The core of a random number generator: raw integer output.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+/// A generator that can be instantiated from a seed.
+pub trait SeedableRng: Sized {
+    /// The seed type, conventionally a byte array.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a single `u64`, expanding it with SplitMix64
+    /// exactly as `rand 0.8` does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let x = splitmix64(&mut state);
+            let bytes = x.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// The SplitMix64 generator, used for seed expansion.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// User-facing random value generation, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: distributions::uniform::SampleUniform,
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of [0, 1]");
+        if p >= 1.0 {
+            return true;
+        }
+        // 2^64 * p, computed in f64 then truncated: the same fixed-point
+        // comparison rand's Bernoulli distribution uses.
+        let threshold = (p * (u64::MAX as f64 + 1.0)) as u64;
+        self.next_u64() < threshold
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod distributions {
+    //! Sampling distributions (uniform ranges only).
+
+    pub mod uniform {
+        //! Uniform range sampling for the types the workspace uses.
+
+        use super::super::RngCore;
+        use core::ops::{Range, RangeInclusive};
+
+        /// A type that can be sampled uniformly from a range.
+        pub trait SampleUniform: Sized + PartialOrd {
+            /// Samples uniformly from `[low, high]` (inclusive).
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+        }
+
+        /// A range form accepted by [`crate::Rng::gen_range`].
+        pub trait SampleRange<T> {
+            /// Samples a single value from the range.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl<T: SampleUniformExt + Copy> SampleRange<T> for Range<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                assert!(self.start < self.end, "gen_range: empty range");
+                T::sample_exclusive(rng, self.start, self.end)
+            }
+        }
+
+        impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                let (low, high) = self.into_inner();
+                assert!(low <= high, "gen_range: empty range");
+                T::sample_inclusive(rng, low, high)
+            }
+        }
+
+        /// Extension used internally: sampling from a half-open range.
+        pub trait SampleUniformExt: SampleUniform {
+            /// Samples uniformly from `[low, high)`.
+            fn sample_exclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+        }
+
+        macro_rules! uniform_int_impl {
+            ($ty:ty, $uty:ty, $wide:ty, $next:ident) => {
+                impl SampleUniform for $ty {
+                    fn sample_inclusive<R: RngCore + ?Sized>(
+                        rng: &mut R,
+                        low: Self,
+                        high: Self,
+                    ) -> Self {
+                        let span = (high as $uty).wrapping_sub(low as $uty);
+                        if span == <$uty>::MAX {
+                            // Full domain: every raw draw is uniform.
+                            return rng.$next() as $ty;
+                        }
+                        let span = span.wrapping_add(1);
+                        // Lemire widening-multiply with the zone rejection
+                        // rand 0.8 uses for `sample_single`.
+                        let zone = (span << span.leading_zeros()).wrapping_sub(1);
+                        loop {
+                            let v = rng.$next() as $uty;
+                            let m = (v as $wide).wrapping_mul(span as $wide);
+                            let lo = m as $uty;
+                            if lo <= zone {
+                                let hi = (m >> <$uty>::BITS) as $uty;
+                                return low.wrapping_add(hi as $ty);
+                            }
+                        }
+                    }
+                }
+
+                impl SampleUniformExt for $ty {
+                    fn sample_exclusive<R: RngCore + ?Sized>(
+                        rng: &mut R,
+                        low: Self,
+                        high: Self,
+                    ) -> Self {
+                        Self::sample_inclusive(rng, low, high.wrapping_sub(1))
+                    }
+                }
+            };
+        }
+
+        uniform_int_impl!(u8, u8, u16, next_u32);
+        uniform_int_impl!(u16, u16, u32, next_u32);
+        uniform_int_impl!(u32, u32, u64, next_u32);
+        uniform_int_impl!(u64, u64, u128, next_u64);
+        uniform_int_impl!(usize, usize, u128, next_u64);
+        uniform_int_impl!(i8, u8, u16, next_u32);
+        uniform_int_impl!(i16, u16, u32, next_u32);
+        uniform_int_impl!(i32, u32, u64, next_u32);
+        uniform_int_impl!(i64, u64, u128, next_u64);
+        uniform_int_impl!(isize, usize, u128, next_u64);
+
+        macro_rules! uniform_float_impl {
+            ($ty:ty, $bits:expr) => {
+                impl SampleUniform for $ty {
+                    fn sample_inclusive<R: RngCore + ?Sized>(
+                        rng: &mut R,
+                        low: Self,
+                        high: Self,
+                    ) -> Self {
+                        // Floats: inclusive and exclusive coincide up to
+                        // measure zero.
+                        Self::sample_exclusive(rng, low, high)
+                    }
+                }
+
+                impl SampleUniformExt for $ty {
+                    fn sample_exclusive<R: RngCore + ?Sized>(
+                        rng: &mut R,
+                        low: Self,
+                        high: Self,
+                    ) -> Self {
+                        // 53 (or 24) random mantissa bits in [0, 1).
+                        let unit = (rng.next_u64() >> (64 - $bits)) as $ty / (1u64 << $bits) as $ty;
+                        low + (high - low) * unit
+                    }
+                }
+            };
+        }
+
+        uniform_float_impl!(f64, 53);
+        uniform_float_impl!(f32, 24);
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator: xoshiro256++, the same
+    /// algorithm `rand 0.8`'s `SmallRng` uses on 64-bit platforms.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            if s == [0; 4] {
+                // The all-zero state is a fixed point; nudge it.
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            SmallRng { s }
+        }
+    }
+}
+
+// Re-exports mirroring rand's prelude-ish layout used by the workspace.
+pub use distributions::uniform;
+
+/// Convenience prelude.
+pub mod prelude {
+    pub use super::rngs::SmallRng;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(xs[0], c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3u32..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(1u64..=5);
+            assert!((1..=5).contains(&y));
+            let z = rng.gen_range(-4i64..9);
+            assert!((-4..9).contains(&z));
+            let f = rng.gen_range(-2.5f64..7.5);
+            assert!((-2.5..7.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domains_uniformly() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut counts = [0u32; 6];
+        for _ in 0..60_000 {
+            counts[rng.gen_range(0usize..6)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "biased bucket: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!(
+            (24_000..26_000).contains(&hits),
+            "p=0.25 gave {hits}/100000"
+        );
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+
+    #[test]
+    fn fill_bytes_fills_everything() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn full_domain_range_works() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        // Must not loop forever or panic.
+        let _ = rng.gen_range(u64::MIN..=u64::MAX);
+        let _ = rng.gen_range(i64::MIN..=i64::MAX);
+    }
+}
