@@ -112,6 +112,39 @@ fn fit_least_squares(rows: &[Vec<f64>], ys: &[f64]) -> Fit {
     }
 }
 
+/// Finds where a measured curve crosses `level`, by linear interpolation
+/// between the last point at or above `level` and the first point below it.
+///
+/// Built for breakdown-threshold sweeps: `xs` is an increasing fault
+/// intensity (noise probability, erasure rate), `ys` the success rate at
+/// each intensity, and the returned `x` estimates the intensity at which
+/// success degrades through `level` (e.g. `0.5` for the 50% breakdown
+/// point). Returns `None` when the curve never reaches `level` (already
+/// broken at `xs[0]`) or never drops below it (no breakdown in range).
+///
+/// # Panics
+///
+/// Panics if `xs` and `ys` differ in length.
+#[must_use]
+pub fn threshold_crossing(xs: &[f64], ys: &[f64], level: f64) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len(), "x/y lengths differ");
+    if ys.first().is_none_or(|&y| y < level) {
+        return None;
+    }
+    for i in 1..ys.len() {
+        let (y0, y1) = (ys[i - 1], ys[i]);
+        if y0 >= level && y1 < level {
+            let t = if (y0 - y1).abs() <= f64::EPSILON {
+                0.0
+            } else {
+                (y0 - level) / (y0 - y1)
+            };
+            return Some(xs[i - 1] + t * (xs[i] - xs[i - 1]));
+        }
+    }
+    None
+}
+
 /// Gaussian elimination with partial pivoting.
 fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
     let n = b.len();
@@ -223,5 +256,28 @@ mod tests {
     #[should_panic(expected = "need at least")]
     fn too_few_points_panics() {
         let _ = fit_linear(&[1.0], &[1.0]);
+    }
+
+    #[test]
+    fn threshold_crossing_interpolates() {
+        let xs = [0.0, 0.1, 0.2, 0.3];
+        let ys = [1.0, 0.9, 0.3, 0.0];
+        // Crosses 0.5 between x = 0.1 (0.9) and x = 0.2 (0.3):
+        // t = (0.9 - 0.5) / (0.9 - 0.3) = 2/3.
+        let x = threshold_crossing(&xs, &ys, 0.5).unwrap();
+        assert!((x - (0.1 + 2.0 / 30.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threshold_crossing_handles_edges() {
+        // Never drops below the level: no breakdown in range.
+        assert_eq!(threshold_crossing(&[0.0, 0.1], &[1.0, 0.8], 0.5), None);
+        // Already below at the first point: broken on arrival.
+        assert_eq!(threshold_crossing(&[0.0, 0.1], &[0.2, 0.1], 0.5), None);
+        // Exact hit on a sample point interpolates to that point.
+        let x = threshold_crossing(&[0.0, 0.1, 0.2], &[1.0, 0.5, 0.0], 0.5);
+        assert!(x.is_some_and(|x| (x - 0.1).abs() < 1e-9));
+        // Empty input.
+        assert_eq!(threshold_crossing(&[], &[], 0.5), None);
     }
 }

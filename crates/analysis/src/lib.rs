@@ -24,7 +24,7 @@ pub mod table;
 pub mod tail;
 
 pub use balls::no_lone_ball_probability;
-pub use fit::{fit_linear, fit_two_term, Fit};
+pub use fit::{fit_linear, fit_two_term, threshold_crossing, Fit};
 pub use histogram::Histogram;
 pub use stats::Summary;
 pub use table::Table;

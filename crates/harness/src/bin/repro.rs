@@ -29,7 +29,7 @@ fn main() {
                 return;
             }
             "--help" | "-h" => {
-                println!("usage: repro [--quick] [--tsv] [--list] [e1 e2 ... e17]");
+                println!("usage: repro [--quick] [--tsv] [--list] [e1 e2 ... e18]");
                 return;
             }
             other => ids.push(other.to_string()),
@@ -66,7 +66,7 @@ fn main() {
             match experiments::by_id(id) {
                 Some(runner) => emit(&runner(scale)),
                 None => {
-                    eprintln!("unknown experiment id: {id} (valid: e1..e17)");
+                    eprintln!("unknown experiment id: {id} (valid: e1..e18)");
                     std::process::exit(2);
                 }
             }

@@ -18,6 +18,7 @@ pub mod e14_expected_time;
 pub mod e15_energy;
 pub mod e16_cd_modes;
 pub mod e17_serve_all;
+pub mod e18_fault_thresholds;
 
 use crate::{ExperimentReport, Scale};
 
@@ -74,6 +75,7 @@ pub fn run_all(scale: Scale) -> Vec<ExperimentReport> {
         e15_energy::run(scale),
         e16_cd_modes::run(scale),
         e17_serve_all::run(scale),
+        e18_fault_thresholds::run(scale),
     ]
 }
 
@@ -98,6 +100,7 @@ pub fn list() -> Vec<(&'static str, &'static str)> {
         ("e15", "Transmission energy"),
         ("e16", "Collision-detection model matrix"),
         ("e17", "Serving all contenders (conflict resolution)"),
+        ("e18", "Fault-injection breakdown thresholds"),
     ]
 }
 
@@ -124,6 +127,7 @@ pub fn by_id(id: &str) -> Option<fn(Scale) -> ExperimentReport> {
         "15" => Some(e15_energy::run),
         "16" => Some(e16_cd_modes::run),
         "17" => Some(e17_serve_all::run),
+        "18" => Some(e18_fault_thresholds::run),
         _ => None,
     }
 }
@@ -149,7 +153,7 @@ mod tests {
     #[test]
     fn list_is_complete_and_resolvable() {
         let listed = list();
-        assert_eq!(listed.len(), 17);
+        assert_eq!(listed.len(), 18);
         for (id, title) in listed {
             assert!(by_id(id).is_some(), "{id} listed but unresolvable");
             assert!(!title.is_empty());
@@ -157,12 +161,12 @@ mod tests {
     }
 
     #[test]
-    fn by_id_resolves_all_seventeen() {
-        for i in 1..=17 {
+    fn by_id_resolves_all_eighteen() {
+        for i in 1..=18 {
             assert!(by_id(&format!("e{i}")).is_some(), "e{i} missing");
             assert!(by_id(&format!("E{i:02}")).is_some(), "E{i:02} missing");
         }
-        assert!(by_id("e18").is_none());
+        assert!(by_id("e19").is_none());
         assert!(by_id("banana").is_none());
     }
 }

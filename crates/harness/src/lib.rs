@@ -25,6 +25,7 @@
 //! | [`experiments::e15_energy`] | transmission-energy landscape |
 //! | [`experiments::e16_cd_modes`] | collision-detection model matrix |
 //! | [`experiments::e17_serve_all`] | serving all contenders (conflict resolution) |
+//! | [`experiments::e18_fault_thresholds`] | breakdown thresholds under injected faults |
 //!
 //! Run them all with the `repro` binary:
 //!
@@ -42,6 +43,4 @@ mod scale;
 
 pub use report::{ExperimentReport, Section};
 pub use runner::sample_distinct;
-#[allow(deprecated)]
-pub use runner::{run_trials, run_trials_with};
 pub use scale::Scale;

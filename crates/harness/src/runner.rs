@@ -1,47 +1,9 @@
-//! Multi-seed trial execution — now a compatibility shim.
+//! Deterministic identity sampling for experiment populations.
 //!
-//! The trial fan-out was promoted into the simulator itself as
-//! [`mac_sim::trials`], so experiments, benches, and tests share one
-//! implementation. The harness re-exports deprecated wrappers here so old
-//! call sites keep compiling; new code calls `mac_sim::trials` directly.
-//! [`sample_distinct`] (identity sampling, not trial execution) still lives
-//! here.
-
-#[allow(deprecated)]
-use mac_sim::{Executor, Protocol, RunReport};
-
-/// Runs `trials` independent executions built by `build` (which receives
-/// the trial's seed) and returns their reports in seed order.
-///
-/// # Panics
-///
-/// Panics if any trial fails.
-#[deprecated(since = "0.2.0", note = "moved to `mac_sim::trials::run_trials`")]
-#[allow(deprecated)]
-pub fn run_trials<P, F>(trials: usize, base_seed: u64, build: F) -> Vec<RunReport>
-where
-    P: Protocol,
-    F: Fn(u64) -> Executor<P> + Sync,
-{
-    mac_sim::trials::run_trials(trials, base_seed, build)
-}
-
-/// Like [`run_trials`], but maps each finished execution through `extract`.
-///
-/// # Panics
-///
-/// Panics if any trial fails.
-#[deprecated(since = "0.2.0", note = "moved to `mac_sim::trials::run_trials_with`")]
-#[allow(deprecated)]
-pub fn run_trials_with<P, F, G, T>(trials: usize, base_seed: u64, build: F, extract: G) -> Vec<T>
-where
-    P: Protocol,
-    F: Fn(u64) -> Executor<P> + Sync,
-    G: Fn(&Executor<P>, &RunReport) -> T + Sync,
-    T: Send,
-{
-    mac_sim::trials::run_trials_with(trials, base_seed, build, extract)
-}
+//! Multi-seed trial execution lives in the simulator itself
+//! ([`mac_sim::trials`]), so experiments, benches, and tests share one
+//! implementation; this module keeps only [`sample_distinct`], which picks
+//! *which* node ids participate rather than running anything.
 
 /// Samples `count` distinct values from `0..universe` (a partial
 /// Fisher-Yates), deterministically from `seed`. Used to pick which node
@@ -75,29 +37,6 @@ pub fn sample_distinct(universe: u64, count: usize, seed: u64) -> Vec<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use contention::baselines::CdTournament;
-    use mac_sim::{trials, Engine, SimConfig};
-
-    #[test]
-    fn deprecated_wrappers_match_trials_module() {
-        let build = |seed: u64| {
-            let mut engine = Engine::new(SimConfig::new(1).seed(seed).max_rounds(10_000));
-            for _ in 0..16 {
-                engine.add_node(CdTournament::new());
-            }
-            engine
-        };
-        #[allow(deprecated)]
-        let old: Vec<u64> = run_trials(8, 100, build)
-            .iter()
-            .map(|r| r.rounds_to_solve().unwrap())
-            .collect();
-        let new: Vec<u64> = trials::run_trials(8, 100, build)
-            .iter()
-            .map(|r| r.rounds_to_solve().unwrap())
-            .collect();
-        assert_eq!(old, new);
-    }
 
     #[test]
     fn sample_distinct_is_distinct_and_in_range() {

@@ -447,7 +447,7 @@ impl crate::FeedbackModel for JammedChannel {
         self.base.deliver(action, state)
     }
 
-    fn allows_solve(&self) -> bool {
+    fn allows_solve(&mut self, _solver: crate::NodeId) -> bool {
         // A jam on the primary channel collides with any lone transmission
         // there. Jams elsewhere don't affect solve detection.
         !(self.jamming_now && self.target == crate::ChannelId::PRIMARY)

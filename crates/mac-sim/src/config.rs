@@ -64,6 +64,14 @@ pub struct SimConfig {
     pub cd_mode: CdMode,
     /// Stop condition.
     pub stop_when: StopWhen,
+    /// Watchdog budget for fault-injected runs. Unlike `max_rounds` (which
+    /// only guards [`crate::Engine::run`]'s loop and reports
+    /// [`crate::SimError::Timeout`], an *experiment bug*), the budget is
+    /// enforced by [`crate::Engine::step`] itself and converts
+    /// non-termination under faults into the structured
+    /// [`crate::SimError::BudgetExhausted`] — an *expected outcome* that
+    /// breakdown sweeps catch and count. `None` (the default) disables it.
+    pub round_budget: Option<u64>,
     /// How much per-round detail to record.
     pub trace_level: TraceLevel,
     /// Whether the engine's built-in [`crate::Metrics`] observer records
@@ -89,6 +97,7 @@ impl SimConfig {
             max_rounds: 1_000_000,
             cd_mode: CdMode::Strong,
             stop_when: StopWhen::Solved,
+            round_budget: None,
             trace_level: TraceLevel::Off,
             record_metrics: true,
         }
@@ -122,6 +131,16 @@ impl SimConfig {
         self
     }
 
+    /// Arms the round-budget watchdog: executing round `round_budget` fails
+    /// with [`crate::SimError::BudgetExhausted`]. Fault sweeps set this so a
+    /// wedged protocol terminates with a structured, countable error rather
+    /// than burning `max_rounds` worth of work.
+    #[must_use]
+    pub fn round_budget(mut self, round_budget: u64) -> Self {
+        self.round_budget = Some(round_budget);
+        self
+    }
+
     /// Sets the trace level.
     #[must_use]
     pub fn trace_level(mut self, trace_level: TraceLevel) -> Self {
@@ -148,12 +167,14 @@ mod tests {
             .max_rounds(10)
             .cd_mode(CdMode::None)
             .stop_when(StopWhen::AllTerminated)
+            .round_budget(7)
             .trace_level(TraceLevel::Channels);
         assert_eq!(cfg.channels, 8);
         assert_eq!(cfg.master_seed, 99);
         assert_eq!(cfg.max_rounds, 10);
         assert_eq!(cfg.cd_mode, CdMode::None);
         assert_eq!(cfg.stop_when, StopWhen::AllTerminated);
+        assert_eq!(cfg.round_budget, Some(7));
         assert_eq!(cfg.trace_level, TraceLevel::Channels);
     }
 
@@ -162,6 +183,7 @@ mod tests {
         let cfg = SimConfig::new(1);
         assert_eq!(cfg.cd_mode, CdMode::Strong);
         assert_eq!(cfg.stop_when, StopWhen::Solved);
+        assert_eq!(cfg.round_budget, None);
         assert!(cfg.record_metrics);
     }
 

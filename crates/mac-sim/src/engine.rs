@@ -204,9 +204,12 @@ impl<P: Protocol, F: FeedbackModel> Engine<P, F> {
     /// noisy radio layer; see [`crate::adversary::JammedChannel`]).
     ///
     /// The model replaces the configuration's `cd_mode` entirely — it alone
-    /// decides what nodes hear.
+    /// decides what nodes hear. The model is bound to the configuration
+    /// here ([`FeedbackModel::bind`]), which is where seeded fault models
+    /// ([`crate::fault`]) derive their RNG streams from the master seed.
     #[must_use]
-    pub fn with_feedback(config: SimConfig, feedback: F) -> Self {
+    pub fn with_feedback(config: SimConfig, mut feedback: F) -> Self {
+        feedback.bind(&config);
         let c = config.channels as usize;
         Engine {
             config,
@@ -366,6 +369,17 @@ impl<P: Protocol, F: FeedbackModel> Engine<P, F> {
         if self.run.finished {
             return Ok(StepStatus::Finished);
         }
+        // The round-budget watchdog: enforced here (not only in `run`'s
+        // loop) so fault-injected runs driven manually via `step` also
+        // terminate with a structured error instead of spinning.
+        if let Some(budget) = self.config.round_budget {
+            if self.run.round >= budget {
+                return Err(SimError::BudgetExhausted {
+                    budget,
+                    solved: self.run.solved_round.is_some(),
+                });
+            }
+        }
         let round = self.run.round;
         let record_metrics = self.config.record_metrics;
         self.feedback.begin_round(round);
@@ -417,6 +431,9 @@ impl<P: Protocol, F: FeedbackModel> Engine<P, F> {
                     });
                 }
             }
+            // The fault layer's physical hook: crash-stop models replace a
+            // dead node's action with Sleep (identity for clean models).
+            let action = self.feedback.filter_action(NodeId(idx), action);
             self.actions.push((idx, action));
         }
 
@@ -463,16 +480,19 @@ impl<P: Protocol, F: FeedbackModel> Engine<P, F> {
         }
 
         // Solve detection: exactly one transmitter on the *physical*
-        // primary channel (the feedback model may veto a round it jammed).
+        // primary channel. The candidate solver is always a real physical
+        // transmitter (crashed nodes were silenced by `filter_action`
+        // before resolution, so faults cannot manufacture a spurious
+        // solve), and the feedback model may still veto a round it jammed,
+        // erased, or assassinated.
         let primary = ChannelId::PRIMARY.index();
-        if self.run.solved_round.is_none()
-            && self.tx_count[primary] == 1
-            && self.feedback.allows_solve()
-        {
+        if self.run.solved_round.is_none() && self.tx_count[primary] == 1 {
             let solver = NodeId(self.actions[self.lone_act[primary]].0);
-            self.run.solved_round = Some(round);
-            self.run.solver = Some(solver);
-            sink.on_solved(round, solver);
+            if self.feedback.allows_solve(solver) {
+                self.run.solved_round = Some(round);
+                self.run.solver = Some(solver);
+                sink.on_solved(round, solver);
+            }
         }
 
         // Close the round out through the observation layer. Channel
@@ -1035,7 +1055,7 @@ mod tests {
             ) -> Feedback<M> {
                 Feedback::Silence
             }
-            fn allows_solve(&self) -> bool {
+            fn allows_solve(&mut self, _solver: NodeId) -> bool {
                 false
             }
         }
@@ -1048,6 +1068,66 @@ mod tests {
         assert_eq!(engine.summary().solved_round, None);
         // ...and the transmitter heard silence instead of its own message.
         assert_eq!(engine.node(a).heard, vec![Feedback::Silence; 3]);
+    }
+
+    #[test]
+    fn round_budget_watchdog_fires_with_structured_error() {
+        let mut engine = Engine::new(SimConfig::new(4).max_rounds(1_000_000).round_budget(50));
+        engine.add_node(Rig::tx(ChannelId::PRIMARY, 1));
+        engine.add_node(Rig::tx(ChannelId::PRIMARY, 2));
+        let err = engine.run().unwrap_err();
+        assert_eq!(
+            err,
+            SimError::BudgetExhausted {
+                budget: 50,
+                solved: false,
+            }
+        );
+        assert_eq!(engine.current_round(), 50);
+    }
+
+    #[test]
+    fn round_budget_guards_manual_stepping_too() {
+        let mut engine = Engine::new(SimConfig::new(4).round_budget(3));
+        engine.add_node(Rig::tx(ChannelId::PRIMARY, 1));
+        engine.add_node(Rig::tx(ChannelId::PRIMARY, 2));
+        for _ in 0..3 {
+            assert_eq!(engine.step().unwrap(), StepStatus::Running);
+        }
+        // `step` ignores max_rounds but honors the watchdog.
+        assert!(matches!(
+            engine.step().unwrap_err(),
+            SimError::BudgetExhausted { budget: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn round_budget_reports_solved_when_waiting_for_termination() {
+        let cfg = SimConfig::new(4)
+            .stop_when(StopWhen::AllTerminated)
+            .round_budget(10);
+        let mut engine = Engine::new(cfg);
+        engine.add_node(Rig::tx(ChannelId::PRIMARY, 1));
+        let err = engine.run().unwrap_err();
+        assert_eq!(
+            err,
+            SimError::BudgetExhausted {
+                budget: 10,
+                solved: true,
+            }
+        );
+        assert_eq!(engine.summary().solved_round, Some(0));
+    }
+
+    #[test]
+    fn unarmed_budget_leaves_runs_untouched() {
+        let mut engine = Engine::new(SimConfig::new(4).max_rounds(20));
+        engine.add_node(Rig::tx(ChannelId::PRIMARY, 1));
+        engine.add_node(Rig::tx(ChannelId::PRIMARY, 2));
+        assert_eq!(
+            engine.run().unwrap_err(),
+            SimError::Timeout { max_rounds: 20 }
+        );
     }
 
     #[test]

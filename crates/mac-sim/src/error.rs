@@ -6,7 +6,7 @@ use std::fmt;
 use crate::channel::ChannelId;
 use crate::engine::NodeId;
 
-/// Errors produced by [`crate::Executor::run`].
+/// Errors produced by [`crate::Engine::run`] and [`crate::Engine::step`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum SimError {
@@ -27,7 +27,21 @@ pub enum SimError {
         /// The configured cap that was hit.
         max_rounds: u64,
     },
-    /// The executor was started with no nodes at all.
+    /// The round-budget watchdog fired: the run executed
+    /// [`crate::SimConfig::round_budget`] rounds without meeting the stop
+    /// condition. Unlike [`SimError::Timeout`] (an experiment bug), this is
+    /// the *expected* structured outcome for a protocol wedged by injected
+    /// faults — breakdown-threshold sweeps catch it and count the trial as
+    /// unsolved instead of hanging or panicking.
+    BudgetExhausted {
+        /// The configured budget that was exhausted.
+        budget: u64,
+        /// Whether the run had already solved the problem when the budget
+        /// ran out (possible when waiting for `AllTerminated` after a
+        /// solve).
+        solved: bool,
+    },
+    /// The engine was started with no nodes at all.
     NoNodes,
 }
 
@@ -46,7 +60,16 @@ impl fmt::Display for SimError {
             SimError::Timeout { max_rounds } => {
                 write!(f, "run exceeded the {max_rounds}-round cap")
             }
-            SimError::NoNodes => f.write_str("executor started with no nodes"),
+            SimError::BudgetExhausted { budget, solved } => write!(
+                f,
+                "round-budget watchdog fired after {budget} rounds ({})",
+                if *solved {
+                    "solved, but not all nodes terminated"
+                } else {
+                    "unsolved"
+                }
+            ),
+            SimError::NoNodes => f.write_str("engine started with no nodes"),
         }
     }
 }
@@ -73,6 +96,12 @@ mod tests {
         assert!(SimError::Timeout { max_rounds: 7 }
             .to_string()
             .contains('7'));
+        let watchdog = SimError::BudgetExhausted {
+            budget: 500,
+            solved: false,
+        };
+        assert!(watchdog.to_string().contains("500"));
+        assert!(watchdog.to_string().contains("unsolved"));
         assert!(!SimError::NoNodes.to_string().is_empty());
     }
 

@@ -12,7 +12,7 @@
 
 use crate::action::{Action, Feedback};
 use crate::channel::ChannelId;
-use crate::config::CdMode;
+use crate::config::{CdMode, SimConfig};
 use crate::engine::NodeId;
 
 /// Read-only view of one round's resolved channel state, handed to
@@ -85,21 +85,48 @@ impl<M: Clone> ChannelState<'_, M> {
 /// physical channel state. A model that disturbs a round can veto its solve
 /// via [`allows_solve`](FeedbackModel::allows_solve).
 pub trait FeedbackModel {
+    /// Called once by [`crate::Engine::with_feedback`], before any round
+    /// runs. Models that carry randomness derive their RNG streams from
+    /// [`SimConfig::master_seed`] here (see [`crate::derive_fault_seed`]),
+    /// so runs stay bit-deterministic in the configuration seed.
+    fn bind(&mut self, config: &SimConfig) {
+        let _ = config;
+    }
+
     /// Called once at the start of every round, before any node acts.
     fn begin_round(&mut self, round: u64) {
         let _ = round;
     }
 
+    /// Filters a collected action before channel resolution. The default is
+    /// the identity; fault models that alter *physical* truth override it —
+    /// [`crate::fault::CrashStop`] replaces a crashed node's action with
+    /// [`Action::Sleep`], so the dead node genuinely stops transmitting
+    /// (affecting collision counts and solve detection) instead of merely
+    /// being heard differently.
+    ///
+    /// Called after the engine's channel-range validation, in node order.
+    fn filter_action<M: Clone>(&mut self, node: NodeId, action: Action<M>) -> Action<M> {
+        let _ = node;
+        action
+    }
+
+    /// Whether a physically lone primary-channel transmission by `solver` in
+    /// the current round counts as solving the problem. Defaults to `true`;
+    /// adversarial models that drown the round in noise (or erase / crash
+    /// the transmission mid-flight) return `false` for it.
+    ///
+    /// This is the engine's solve-validity rail: no fault model can
+    /// manufacture a spurious solve (the candidate is always a physical
+    /// lone transmitter), but any model can veto one it disturbed.
+    fn allows_solve(&mut self, solver: NodeId) -> bool {
+        let _ = solver;
+        true
+    }
+
     /// The feedback the node that took `action` observes this round.
     fn deliver<M: Clone>(&mut self, action: &Action<M>, state: &ChannelState<'_, M>)
         -> Feedback<M>;
-
-    /// Whether a physically lone primary-channel transmission in the current
-    /// round counts as solving the problem. Defaults to `true`; adversarial
-    /// models that drown a round in noise return `false` for it.
-    fn allows_solve(&self) -> bool {
-        true
-    }
 }
 
 impl FeedbackModel for CdMode {
@@ -198,7 +225,7 @@ mod tests {
         for mode in [CdMode::Strong, CdMode::ReceiverOnly, CdMode::None] {
             let mut mode = mode;
             assert_eq!(mode.deliver(&Action::<u8>::Sleep, &st), Feedback::Slept);
-            assert!(mode.allows_solve());
+            assert!(mode.allows_solve(NodeId(0)));
         }
     }
 }

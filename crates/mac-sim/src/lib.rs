@@ -42,6 +42,12 @@
 //! On top sits the **trial layer**, [`trials`], which fans many seeds out
 //! over OS threads deterministically.
 //!
+//! The [`fault`] module layers seeded fault injection over any feedback
+//! model — noisy collision detection, lossy channels, crash-stop nodes, and
+//! budgeted reactive jamming — with [`SimConfig::round_budget`] as the
+//! watchdog that turns a fault-wedged run into a structured
+//! [`SimError::BudgetExhausted`] instead of a hang.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -103,7 +109,7 @@ mod channel;
 mod config;
 mod engine;
 mod error;
-mod executor;
+pub mod fault;
 pub mod feedback;
 mod metrics;
 mod protocol;
@@ -118,11 +124,9 @@ pub use channel::{ChannelId, ChannelOutcome, OutcomeKind};
 pub use config::{CdMode, SimConfig, StopWhen};
 pub use engine::{Engine, NodeId, RunReport, RunSummary, StepStatus};
 pub use error::SimError;
-#[allow(deprecated)]
-pub use executor::Executor;
 pub use feedback::{ChannelState, FeedbackModel};
 pub use metrics::{Metrics, PhaseBreakdown};
 pub use protocol::{Protocol, RoundContext, Status};
-pub use rng::derive_node_seed;
+pub use rng::{derive_fault_seed, derive_node_seed};
 pub use sink::EventSink;
 pub use trace::{RoundTrace, Trace, TraceLevel};

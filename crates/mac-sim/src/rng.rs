@@ -23,6 +23,25 @@ pub fn derive_node_seed(master_seed: u64, node_index: u64) -> u64 {
     splitmix64(master_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(node_index + 1)))
 }
 
+/// Derives the seed for fault-model stream `stream` from `master_seed`.
+///
+/// Fault models ([`crate::fault`]) carry their own RNG streams, derived
+/// here when [`crate::FeedbackModel::bind`] hands them the configuration.
+/// The master seed is salted before the SplitMix64 expansion so fault
+/// streams can never collide with the per-node streams of
+/// [`derive_node_seed`], no matter the node count.
+///
+/// ```
+/// use mac_sim::derive_fault_seed;
+///
+/// assert_ne!(derive_fault_seed(42, 0), derive_fault_seed(42, 1));
+/// assert_eq!(derive_fault_seed(42, 0), derive_fault_seed(42, 0));
+/// ```
+#[must_use]
+pub fn derive_fault_seed(master_seed: u64, stream: u64) -> u64 {
+    derive_node_seed(master_seed ^ 0xFA17_FA17_FA17_FA17, stream)
+}
+
 /// The SplitMix64 finalizer.
 fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -54,6 +73,17 @@ mod tests {
         let a: Vec<u64> = (0..100).map(|i| derive_node_seed(1, i)).collect();
         let b: Vec<u64> = (0..100).map(|i| derive_node_seed(2, i)).collect();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn fault_seeds_are_disjoint_from_node_seeds() {
+        let node_seeds: HashSet<u64> = (0..10_000).map(|i| derive_node_seed(123, i)).collect();
+        for stream in 0..64 {
+            assert!(
+                !node_seeds.contains(&derive_fault_seed(123, stream)),
+                "fault stream {stream} collides with a node stream"
+            );
+        }
     }
 
     #[test]

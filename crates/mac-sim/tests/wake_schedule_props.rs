@@ -1,0 +1,111 @@
+//! Property-based tests (proptest) over the `WakeSchedule` generators.
+//!
+//! Every constructor must produce exactly `k` offsets, and each family's
+//! structural promise — wave spacing, ramp modulus, uniform window — must
+//! hold for arbitrary parameters, not just the hand-picked unit-test cases.
+
+use mac_sim::adversary::WakeSchedule;
+use proptest::prelude::*;
+
+proptest! {
+    /// `simultaneous(k)` is `k` zeros: span 0, every offset 0.
+    #[test]
+    fn simultaneous_is_all_zero(k in 0usize..200) {
+        let s = WakeSchedule::simultaneous(k);
+        prop_assert_eq!(s.len(), k);
+        prop_assert_eq!(s.is_empty(), k == 0);
+        prop_assert_eq!(s.span(), 0);
+        prop_assert!(s.iter().all(|o| o == 0));
+    }
+
+    /// `offset_one(k)` alternates 0/1 starting at 0, so its span is 1 as
+    /// soon as two nodes exist.
+    #[test]
+    fn offset_one_alternates(k in 0usize..200) {
+        let s = WakeSchedule::offset_one(k);
+        prop_assert_eq!(s.len(), k);
+        for (i, o) in s.iter().enumerate() {
+            prop_assert_eq!(o, (i as u64) % 2);
+        }
+        prop_assert_eq!(s.span(), u64::from(k >= 2));
+    }
+
+    /// `waves(k, w, gap)` uses only the `w` burst offsets `{0, gap, …}`,
+    /// assigns them round-robin, and never exceeds span `(w-1)·gap`.
+    #[test]
+    fn waves_are_round_robin_bursts(
+        k in 0usize..200,
+        w in 1usize..10,
+        gap in 0u64..50,
+    ) {
+        let s = WakeSchedule::waves(k, w, gap);
+        prop_assert_eq!(s.len(), k);
+        for (i, o) in s.iter().enumerate() {
+            prop_assert_eq!(o, (i % w) as u64 * gap);
+        }
+        prop_assert!(s.span() <= (w as u64 - 1) * gap);
+        if k >= w && gap > 0 {
+            // Every burst is populated once the round-robin wraps.
+            prop_assert_eq!(s.span(), (w as u64 - 1) * gap);
+        }
+    }
+
+    /// `ramp(k, stride, period)` stays inside `0..period` and follows the
+    /// advertised `i·stride mod period` formula.
+    #[test]
+    fn ramp_respects_period(
+        k in 0usize..200,
+        stride in 0u64..100,
+        period in 1u64..100,
+    ) {
+        let s = WakeSchedule::ramp(k, stride, period);
+        prop_assert_eq!(s.len(), k);
+        for (i, o) in s.iter().enumerate() {
+            prop_assert!(o < period);
+            prop_assert_eq!(o, (i as u64 * stride) % period);
+        }
+        prop_assert!(s.span() < period);
+    }
+
+    /// `uniform(k, window, seed)` stays inside `0..window` and is a pure
+    /// function of its seed: same seed, same offsets.
+    #[test]
+    fn uniform_is_bounded_and_seed_deterministic(
+        k in 0usize..200,
+        window in 1u64..1000,
+        seed in any::<u64>(),
+    ) {
+        let s = WakeSchedule::uniform(k, window, seed);
+        prop_assert_eq!(s.len(), k);
+        prop_assert!(s.iter().all(|o| o < window));
+        prop_assert!(s.span() < window);
+        let again = WakeSchedule::uniform(k, window, seed);
+        prop_assert_eq!(s.offsets(), again.offsets());
+    }
+
+    /// `span` is invariant under a uniform shift of what "earliest" means:
+    /// it is always `max - min` over the offsets, for every family.
+    #[test]
+    fn span_is_max_minus_min(
+        k in 1usize..100,
+        w in 1usize..8,
+        gap in 0u64..20,
+        stride in 0u64..40,
+        period in 1u64..40,
+        window in 1u64..200,
+        seed in any::<u64>(),
+    ) {
+        for s in [
+            WakeSchedule::simultaneous(k),
+            WakeSchedule::offset_one(k),
+            WakeSchedule::waves(k, w, gap),
+            WakeSchedule::ramp(k, stride, period),
+            WakeSchedule::uniform(k, window, seed),
+        ] {
+            let max = s.iter().max().unwrap_or(0);
+            let min = s.iter().min().unwrap_or(0);
+            prop_assert_eq!(s.span(), max - min);
+            prop_assert_eq!(s.offsets().len(), s.len());
+        }
+    }
+}
