@@ -17,6 +17,8 @@
 use mac_sim::{Action, ChannelId, Feedback, Protocol, RoundContext, Status};
 use rand::rngs::SmallRng;
 
+use crate::phase::{impl_terminal_phase, PhaseMeter};
+
 /// The deterministic descent protocol. Requires each node to know a unique
 /// id in `[0, n)` — an assumption the paper's own algorithms avoid, but
 /// which its lower bounds permit (they hold even with ids).
@@ -45,6 +47,7 @@ pub struct BinaryDescent {
     transmitted: bool,
     status: Status,
     rounds: u64,
+    meter: PhaseMeter,
 }
 
 impl BinaryDescent {
@@ -64,6 +67,7 @@ impl BinaryDescent {
             transmitted: false,
             status: Status::Active,
             rounds: 0,
+            meter: PhaseMeter::default(),
         }
     }
 
@@ -130,6 +134,8 @@ impl Protocol for BinaryDescent {
         "binary-descent"
     }
 }
+
+impl_terminal_phase!(BinaryDescent, "binary-descent");
 
 #[cfg(test)]
 mod tests {

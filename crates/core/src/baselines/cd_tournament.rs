@@ -15,6 +15,8 @@ use mac_sim::{Action, ChannelId, Feedback, Protocol, RoundContext, Status};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
+use crate::phase::{impl_terminal_phase, PhaseMeter};
+
 /// The id-free single-channel collision-detection knock-out.
 ///
 /// ```
@@ -35,6 +37,7 @@ pub struct CdTournament {
     transmitted: bool,
     status: Status,
     rounds: u64,
+    meter: PhaseMeter,
 }
 
 impl CdTournament {
@@ -82,6 +85,8 @@ impl Protocol for CdTournament {
         "cd-tournament"
     }
 }
+
+impl_terminal_phase!(CdTournament, "cd-tournament");
 
 #[cfg(test)]
 mod tests {

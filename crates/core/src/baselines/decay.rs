@@ -16,6 +16,8 @@ use mac_sim::{Action, ChannelId, Feedback, Protocol, RoundContext, Status};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
+use crate::phase::{impl_terminal_phase, PhaseMeter};
+
 /// The decay-cycle protocol. Nodes never learn the outcome (they have no
 /// collision detector and transmitters are blind), so runs should use
 /// [`mac_sim::StopWhen::Solved`]: the executor detects the solving round
@@ -45,6 +47,7 @@ pub struct Decay {
     /// even without collision detection).
     status: Status,
     transmitted: bool,
+    meter: PhaseMeter,
 }
 
 impl Decay {
@@ -61,6 +64,7 @@ impl Decay {
             round: 0,
             status: Status::Active,
             transmitted: false,
+            meter: PhaseMeter::default(),
         }
     }
 
@@ -103,6 +107,8 @@ impl Protocol for Decay {
         "decay"
     }
 }
+
+impl_terminal_phase!(Decay, "decay");
 
 #[cfg(test)]
 mod tests {

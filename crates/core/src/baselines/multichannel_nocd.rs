@@ -27,6 +27,8 @@ use mac_sim::{Action, ChannelId, Feedback, Protocol, RoundContext, Status};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
+use crate::phase::{impl_terminal_phase, PhaseMeter};
+
 /// The multi-channel no-collision-detection baseline.
 ///
 /// ```
@@ -53,6 +55,7 @@ pub struct MultiChannelNoCd {
     round: u64,
     transmitted: bool,
     status: Status,
+    meter: PhaseMeter,
 }
 
 impl MultiChannelNoCd {
@@ -71,6 +74,7 @@ impl MultiChannelNoCd {
             round: 0,
             transmitted: false,
             status: Status::Active,
+            meter: PhaseMeter::default(),
         }
     }
 
@@ -131,6 +135,8 @@ impl Protocol for MultiChannelNoCd {
         }
     }
 }
+
+impl_terminal_phase!(MultiChannelNoCd, "multichannel-no-cd");
 
 #[cfg(test)]
 mod tests {

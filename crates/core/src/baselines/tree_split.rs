@@ -22,6 +22,8 @@
 use mac_sim::{Action, ChannelId, Feedback, Protocol, RoundContext, Status};
 use rand::rngs::SmallRng;
 
+use crate::phase::{impl_terminal_phase, PhaseMeter};
+
 /// The tree-splitting protocol. Requires unique ids in `[0, n)`.
 ///
 /// ```
@@ -56,6 +58,7 @@ pub struct TreeSplit {
     anyone_served: bool,
     status: Status,
     round: u64,
+    meter: PhaseMeter,
 }
 
 impl TreeSplit {
@@ -76,6 +79,7 @@ impl TreeSplit {
             anyone_served: false,
             status: Status::Active,
             round: 0,
+            meter: PhaseMeter::default(),
         }
     }
 
@@ -163,6 +167,8 @@ impl Protocol for TreeSplit {
         "tree-split"
     }
 }
+
+impl_terminal_phase!(TreeSplit, "tree-split");
 
 #[cfg(test)]
 mod tests {

@@ -24,6 +24,8 @@ use mac_sim::{Action, ChannelId, Feedback, Protocol, RoundContext, Status};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
+use crate::phase::{impl_terminal_phase, PhaseMeter};
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Stage {
     /// Binary search over the exponent interval `[lo, hi]`.
@@ -55,6 +57,7 @@ pub struct Willard {
     transmitted: bool,
     status: Status,
     rounds: u64,
+    meter: PhaseMeter,
 }
 
 impl Willard {
@@ -73,6 +76,7 @@ impl Willard {
             transmitted: false,
             status: Status::Active,
             rounds: 0,
+            meter: PhaseMeter::default(),
         }
     }
 
@@ -174,6 +178,8 @@ impl Protocol for Willard {
         }
     }
 }
+
+impl_terminal_phase!(Willard, "willard");
 
 #[cfg(test)]
 mod tests {

@@ -31,6 +31,8 @@ use mac_sim::{Action, ChannelId, Feedback, Protocol, RoundContext, Status};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
+use crate::phase::{impl_terminal_phase, PhaseMeter};
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Step {
     Test,
@@ -70,6 +72,7 @@ pub struct ExpectedConstant {
     transmitted: bool,
     status: Status,
     rounds: u64,
+    meter: PhaseMeter,
 }
 
 impl ExpectedConstant {
@@ -96,6 +99,7 @@ impl ExpectedConstant {
             transmitted: false,
             status: Status::Active,
             rounds: 0,
+            meter: PhaseMeter::default(),
         }
     }
 
@@ -198,6 +202,8 @@ impl Protocol for ExpectedConstant {
         }
     }
 }
+
+impl_terminal_phase!(ExpectedConstant, "expected-constant");
 
 /// Population-size estimation — a classic capability of collision
 /// detection, and the tool a deployment uses to *choose* between the

@@ -11,19 +11,38 @@
 //!
 //! All three steps are globally synchronized: `Reduce` runs for a fixed
 //! number of rounds, and `IdReduction` ends for every participant in the
-//! same report round, so survivors enter each next step in lockstep.
+//! same report round, so survivors enter each next step in lockstep. That
+//! is precisely the barrier-handoff semantics of
+//! [`Phase::and_then`](crate::phase::Phase::and_then), and this module
+//! *is* that composition: [`FullAlgorithm`] is a thin facade over the
+//! [`PaperStack`] phase stack
+//!
+//! ```text
+//! reduce.and_then(id_reduction).and_then(leaf_election)
+//!       .with_fallback(C < fallback_threshold, cd_tournament)
+//! ```
+//!
+//! running on the engine through [`crate::phase::PhaseProtocol`].
 
 use mac_sim::{Action, Feedback, Protocol, RoundContext, Status};
 use rand::rngs::SmallRng;
 
 use crate::baselines::CdTournament;
-use crate::id_reduction::{IdReduction, IdReductionOutcome};
+use crate::id_reduction::IdReduction;
 use crate::leaf_election::LeafElection;
 use crate::params::Params;
-use crate::reduce::{Reduce, ReduceOutcome};
+use crate::phase::{
+    AndThen, NextPhase, Phase, PhaseProtocol, PhaseStats, PhaseTelemetry, WithFallback,
+};
+use crate::reduce::Reduce;
 
 /// Which step of the pipeline a [`FullAlgorithm`] node finished in, plus the
 /// id it adopted if it reached step 3. Exposed for experiments E9–E11.
+///
+/// This is a *view* computed from the node's per-phase telemetry spine
+/// (see [`PhaseStats`] and [`PhaseTelemetry`]) — the spine is the source
+/// of truth, and [`FullAlgorithm::phase_stats`](PhaseTelemetry::phase_stats)
+/// exposes it directly.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FullStats {
     /// Rounds spent in step 1 (`Reduce`).
@@ -38,14 +57,45 @@ pub struct FullStats {
     pub used_fallback: bool,
 }
 
-#[derive(Debug, Clone)]
-enum Stage {
-    Reduce(Reduce),
-    IdReduction(IdReduction),
-    LeafElection(LeafElection),
-    Fallback(CdTournament),
-    Done(Status),
+/// Builds step 2 ([`IdReduction`]) when step 1 ([`Reduce`]) completes.
+///
+/// A named [`NextPhase`] builder (rather than a closure) so that
+/// [`PaperStack`] is a nameable type that derives `Debug` and `Clone`.
+#[derive(Debug, Clone, Copy)]
+pub struct MakeIdReduction {
+    params: Params,
+    channels: u32,
 }
+
+impl NextPhase<()> for MakeIdReduction {
+    type Phase = IdReduction;
+
+    fn build(&mut self, (): ()) -> IdReduction {
+        IdReduction::new(self.params, self.channels)
+    }
+}
+
+/// Builds step 3 ([`LeafElection`]) from the id adopted in step 2.
+#[derive(Debug, Clone, Copy)]
+pub struct MakeLeafElection {
+    channels: u32,
+}
+
+impl NextPhase<u32> for MakeLeafElection {
+    type Phase = LeafElection;
+
+    fn build(&mut self, id: u32) -> LeafElection {
+        LeafElection::new(self.channels, id)
+    }
+}
+
+/// The paper's Theorem 4 pipeline as a composed phase stack:
+/// `Reduce → IdReduction → LeafElection`, with the single-channel
+/// [`CdTournament`] branch when `C` is below the fallback threshold.
+pub type PaperStack = WithFallback<
+    AndThen<AndThen<Reduce, IdReduction, MakeIdReduction>, LeafElection, MakeLeafElection>,
+    CdTournament,
+>;
 
 /// The paper's general contention-resolution algorithm (Theorem 4).
 ///
@@ -68,10 +118,7 @@ enum Stage {
 /// ```
 #[derive(Debug, Clone)]
 pub struct FullAlgorithm {
-    params: Params,
-    channels: u32,
-    stage: Stage,
-    stats: FullStats,
+    inner: PhaseProtocol<PaperStack>,
 }
 
 impl FullAlgorithm {
@@ -81,123 +128,87 @@ impl FullAlgorithm {
     ///
     /// Panics if `n < 2` or `channels < 1`.
     #[must_use]
+    #[inline]
     pub fn new(params: Params, channels: u32, n: u64) -> Self {
         assert!(channels >= 1, "the model requires C >= 1");
-        let (stage, used_fallback) = if channels < params.fallback_below_channels {
-            (Stage::Fallback(CdTournament::new()), true)
-        } else {
-            (Stage::Reduce(Reduce::with_params(params, n)), false)
-        };
+        let use_fallback = channels < params.fallback_below_channels;
+        let stack = Reduce::with_params(params, n)
+            .and_then(MakeIdReduction { params, channels })
+            .and_then(MakeLeafElection { channels })
+            .with_fallback(use_fallback, CdTournament::new());
         FullAlgorithm {
-            params,
-            channels,
-            stage,
-            stats: FullStats {
-                used_fallback,
-                ..FullStats::default()
-            },
+            inner: PhaseProtocol::new(stack),
         }
     }
 
-    /// Per-step round counters and outcome details.
+    /// Per-step round counters and outcome details, as a [`FullStats`]
+    /// view over the telemetry spine.
     #[must_use]
     pub fn stats(&self) -> FullStats {
-        self.stats
+        let mut stats = FullStats {
+            used_fallback: self.inner.inner().is_fallback(),
+            ..FullStats::default()
+        };
+        for record in self.inner.phase_stats() {
+            match record.name {
+                "reduce" => stats.reduce_rounds = record.rounds,
+                "id-reduction" => {
+                    stats.id_reduction_rounds = record.rounds;
+                    stats.adopted_id = record.adopted_id;
+                }
+                "leaf-election" => stats.election_rounds = record.rounds,
+                _ => {}
+            }
+        }
+        stats
     }
 
     /// The step this node is currently in, as a short label.
     #[must_use]
     pub fn stage_name(&self) -> &'static str {
-        match self.stage {
-            Stage::Reduce(_) => "reduce",
-            Stage::IdReduction(_) => "id-reduction",
-            Stage::LeafElection(_) => "leaf-election",
-            Stage::Fallback(_) => "fallback",
-            Stage::Done(_) => "done",
+        if self.inner.is_settled() {
+            return "done";
         }
+        match self.inner.inner().name() {
+            "cd-tournament" => "fallback",
+            name => name,
+        }
+    }
+
+    /// The underlying composed stack.
+    #[must_use]
+    pub fn stack(&self) -> &PaperStack {
+        self.inner.inner()
     }
 }
 
 impl Protocol for FullAlgorithm {
     type Msg = u32;
 
+    #[inline]
     fn act(&mut self, ctx: &RoundContext, rng: &mut SmallRng) -> Action<u32> {
-        match &mut self.stage {
-            Stage::Reduce(inner) => {
-                self.stats.reduce_rounds += 1;
-                inner.act(ctx, rng)
-            }
-            Stage::IdReduction(inner) => {
-                self.stats.id_reduction_rounds += 1;
-                inner.act(ctx, rng)
-            }
-            Stage::LeafElection(inner) => {
-                self.stats.election_rounds += 1;
-                inner.act(ctx, rng)
-            }
-            Stage::Fallback(inner) => inner.act(ctx, rng),
-            Stage::Done(_) => Action::Sleep,
-        }
+        self.inner.act(ctx, rng)
     }
 
+    #[inline]
     fn observe(&mut self, ctx: &RoundContext, feedback: Feedback<u32>, rng: &mut SmallRng) {
-        match &mut self.stage {
-            Stage::Reduce(inner) => {
-                inner.observe(ctx, feedback, rng);
-                match inner.outcome() {
-                    None => {}
-                    Some(ReduceOutcome::Leader) => self.stage = Stage::Done(Status::Leader),
-                    Some(ReduceOutcome::Knocked) => self.stage = Stage::Done(Status::Inactive),
-                    Some(ReduceOutcome::Survived) => {
-                        self.stage =
-                            Stage::IdReduction(IdReduction::new(self.params, self.channels));
-                    }
-                }
-            }
-            Stage::IdReduction(inner) => {
-                inner.observe(ctx, feedback, rng);
-                match inner.outcome() {
-                    None => {}
-                    Some(IdReductionOutcome::Eliminated) => {
-                        self.stage = Stage::Done(Status::Inactive);
-                    }
-                    Some(IdReductionOutcome::Renamed(id)) => {
-                        self.stats.adopted_id = Some(id);
-                        self.stage = Stage::LeafElection(LeafElection::new(self.channels, id));
-                    }
-                }
-            }
-            Stage::LeafElection(inner) => {
-                inner.observe(ctx, feedback, rng);
-                if inner.status().is_terminated() {
-                    self.stage = Stage::Done(inner.status());
-                }
-            }
-            Stage::Fallback(inner) => {
-                inner.observe(ctx, feedback, rng);
-                if inner.status().is_terminated() {
-                    self.stage = Stage::Done(inner.status());
-                }
-            }
-            Stage::Done(_) => {}
-        }
+        self.inner.observe(ctx, feedback, rng);
     }
 
+    #[inline]
     fn status(&self) -> Status {
-        match &self.stage {
-            Stage::Done(status) => *status,
-            _ => Status::Active,
-        }
+        self.inner.status()
     }
 
+    #[inline]
     fn phase(&self) -> &'static str {
-        match &self.stage {
-            Stage::Reduce(inner) => inner.phase(),
-            Stage::IdReduction(inner) => inner.phase(),
-            Stage::LeafElection(inner) => inner.phase(),
-            Stage::Fallback(inner) => inner.phase(),
-            Stage::Done(_) => "done",
-        }
+        self.inner.phase()
+    }
+}
+
+impl PhaseTelemetry for FullAlgorithm {
+    fn phase_stats(&self) -> Vec<PhaseStats> {
+        self.inner.phase_stats()
     }
 }
 
@@ -333,5 +344,40 @@ mod tests {
         assert_eq!(node.stage_name(), "reduce");
         let node = FullAlgorithm::new(Params::practical(), 2, 1 << 10);
         assert_eq!(node.stage_name(), "fallback");
+    }
+
+    #[test]
+    fn stats_view_matches_the_spine() {
+        let (_, nodes) = run(64, 1 << 12, 300, 13);
+        for node in &nodes {
+            let stats = node.stats();
+            let spine = node.phase_stats();
+            let by_name = |name: &str| {
+                spine
+                    .iter()
+                    .find(|r| r.name == name)
+                    .map_or(0, |r| r.rounds)
+            };
+            assert_eq!(stats.reduce_rounds, by_name("reduce"));
+            assert_eq!(stats.id_reduction_rounds, by_name("id-reduction"));
+            assert_eq!(stats.election_rounds, by_name("leaf-election"));
+            let spine_id = spine.iter().find_map(|r| r.adopted_id);
+            assert_eq!(stats.adopted_id, spine_id);
+            // Spine records appear in pipeline order.
+            let names: Vec<_> = spine.iter().map(|r| r.name).collect();
+            let expected = ["reduce", "id-reduction", "leaf-election"];
+            assert!(
+                expected
+                    .iter()
+                    .filter(|n| names.contains(n))
+                    .eq(names.iter().map(|n| {
+                        expected
+                            .iter()
+                            .find(|e| **e == *n)
+                            .expect("only pipeline phases in spine")
+                    })),
+                "unexpected spine order: {names:?}"
+            );
+        }
     }
 }

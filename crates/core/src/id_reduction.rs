@@ -28,6 +28,7 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 
 use crate::params::Params;
+use crate::phase::{impl_phase_telemetry, Phase, PhaseMeter, PhaseOutcome, PhaseStats};
 
 /// How a node's participation in `IdReduction` ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,6 +103,7 @@ pub struct IdReduction {
     transmitted: bool,
     outcome: Option<IdReductionOutcome>,
     stats: IdReductionStats,
+    meter: PhaseMeter,
 }
 
 impl IdReduction {
@@ -125,6 +127,7 @@ impl IdReduction {
             transmitted: false,
             outcome: None,
             stats: IdReductionStats::default(),
+            meter: PhaseMeter::default(),
         }
     }
 
@@ -229,6 +232,52 @@ impl Protocol for IdReduction {
         }
     }
 }
+
+/// As a [`Phase`], `IdReduction` *completes* with the adopted id (the
+/// typed value the next step consumes — [`crate::LeafElection`] maps it to
+/// a leaf) and *terminates* eliminated nodes. The spine record carries the
+/// id in [`PhaseStats::adopted_id`].
+impl Phase for IdReduction {
+    type Output = u32;
+
+    fn act(&mut self, ctx: &RoundContext, rng: &mut SmallRng) -> Action<u32> {
+        let action = Protocol::act(self, ctx, rng);
+        self.meter.on_act(&action);
+        action
+    }
+
+    fn observe(&mut self, ctx: &RoundContext, feedback: Feedback<u32>, rng: &mut SmallRng) {
+        Protocol::observe(self, ctx, feedback, rng);
+    }
+
+    fn outcome(&self) -> Option<PhaseOutcome<u32>> {
+        match self.outcome {
+            None => None,
+            Some(IdReductionOutcome::Renamed(id)) => Some(PhaseOutcome::Complete(id)),
+            Some(IdReductionOutcome::Eliminated) => {
+                Some(PhaseOutcome::Terminated(Status::Inactive))
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "id-reduction"
+    }
+
+    fn label(&self) -> &'static str {
+        Protocol::phase(self)
+    }
+
+    fn collect_stats(&self, out: &mut Vec<PhaseStats>) {
+        let mut record = self.meter.snapshot("id-reduction");
+        if let Some(IdReductionOutcome::Renamed(id)) = self.outcome {
+            record.adopted_id = Some(id);
+        }
+        out.push(record);
+    }
+}
+
+impl_phase_telemetry!(IdReduction);
 
 #[cfg(test)]
 mod tests {

@@ -34,6 +34,7 @@ use crew_pram::search::split_points;
 use mac_sim::{Action, Feedback, Protocol, RoundContext, Status};
 use rand::rngs::SmallRng;
 
+use crate::phase::{impl_phase_telemetry, Phase, PhaseMeter, PhaseOutcome, PhaseStats};
 use crate::tree::{row_channel, ChannelTree, TreeNode};
 
 /// Per-node counters exposed for experiments E8/E13.
@@ -106,6 +107,7 @@ pub struct LeafElection {
     stage: Stage,
     status: Status,
     stats: LeafElectionStats,
+    meter: PhaseMeter,
     /// Ablation knob (experiment E13): when set, `SplitSearch` pretends the
     /// cohort has a single member, degrading the `(p+1)`-ary search to the
     /// plain binary search a cohort-free design would use.
@@ -136,6 +138,7 @@ impl LeafElection {
             stage: Stage::RootCheck,
             status: Status::Active,
             stats: LeafElectionStats::default(),
+            meter: PhaseMeter::default(),
             force_binary_search: false,
         }
     }
@@ -429,6 +432,44 @@ impl Protocol for LeafElection {
         }
     }
 }
+
+/// As a [`Phase`], `LeafElection` only ever *terminates* — it is the last
+/// step of the paper's pipeline, so there is no completion value to hand
+/// on: the node ends as leader or inactive.
+impl Phase for LeafElection {
+    type Output = ();
+
+    fn act(&mut self, ctx: &RoundContext, rng: &mut SmallRng) -> Action<u32> {
+        let action = Protocol::act(self, ctx, rng);
+        self.meter.on_act(&action);
+        action
+    }
+
+    fn observe(&mut self, ctx: &RoundContext, feedback: Feedback<u32>, rng: &mut SmallRng) {
+        Protocol::observe(self, ctx, feedback, rng);
+    }
+
+    fn outcome(&self) -> Option<PhaseOutcome<()>> {
+        match self.status {
+            Status::Active => None,
+            status => Some(PhaseOutcome::Terminated(status)),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "leaf-election"
+    }
+
+    fn label(&self) -> &'static str {
+        Protocol::phase(self)
+    }
+
+    fn collect_stats(&self, out: &mut Vec<PhaseStats>) {
+        out.push(self.meter.snapshot("leaf-election"));
+    }
+}
+
+impl_phase_telemetry!(LeafElection);
 
 #[cfg(test)]
 mod tests {

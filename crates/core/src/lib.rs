@@ -23,6 +23,11 @@
 //!   (§5.3, Fig. 3), in `O(log h · log log x)` rounds.
 //! * [`FullAlgorithm`] — the composed pipeline of Theorem 4:
 //!   `O(log n / log C + (log log n)(log log log n))` rounds w.h.p.
+//! * [`phase`] — the composition layer the pipeline is built from: the
+//!   [`phase::Phase`] trait with barrier-synchronized
+//!   [`and_then`](phase::Phase::and_then) handoff, small-`C`
+//!   [`with_fallback`](phase::Phase::with_fallback) routing, and a unified
+//!   per-phase [`phase::PhaseStats`] telemetry spine.
 //! * [`baselines`] — the prior-art comparators: single-channel collision
 //!   detection descent (`O(log n)`), single-channel decay without collision
 //!   detection (`O(log² n)`), and a multi-channel no-CD algorithm
@@ -67,6 +72,7 @@ mod full;
 mod id_reduction;
 mod leaf_election;
 mod params;
+pub mod phase;
 mod reduce;
 pub mod serialize;
 pub mod session;
@@ -75,9 +81,10 @@ pub mod tree;
 mod two_active;
 pub mod wakeup;
 
-pub use full::{FullAlgorithm, FullStats};
+pub use full::{FullAlgorithm, FullStats, PaperStack};
 pub use id_reduction::{IdReduction, IdReductionOutcome, IdReductionStats};
 pub use leaf_election::{LeafElection, LeafElectionStats};
 pub use params::Params;
+pub use phase::{Phase, PhaseOutcome, PhaseProtocol, PhaseStats, PhaseTelemetry};
 pub use reduce::{Reduce, ReduceOutcome};
 pub use two_active::{TwoActive, TwoActiveStats};

@@ -18,6 +18,7 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 
 use crate::params::Params;
+use crate::phase::{impl_phase_telemetry, Phase, PhaseMeter, PhaseOutcome, PhaseStats};
 
 /// How a node's participation in `Reduce` ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +68,7 @@ pub struct Reduce {
     transmitted: bool,
     outcome: Option<ReduceOutcome>,
     rounds_run: u64,
+    meter: PhaseMeter,
 }
 
 impl Reduce {
@@ -92,6 +94,7 @@ impl Reduce {
             transmitted: false,
             outcome: None,
             rounds_run: 0,
+            meter: PhaseMeter::default(),
         }
     }
 
@@ -166,6 +169,42 @@ impl Protocol for Reduce {
         "reduce"
     }
 }
+
+/// As a [`Phase`], `Reduce` *completes* for survivors (they proceed to the
+/// next step of a stack) and *terminates* for leaders and knocked-out
+/// nodes — the composable reading of [`ReduceOutcome`].
+impl Phase for Reduce {
+    type Output = ();
+
+    fn act(&mut self, ctx: &RoundContext, rng: &mut SmallRng) -> Action<u32> {
+        let action = Protocol::act(self, ctx, rng);
+        self.meter.on_act(&action);
+        action
+    }
+
+    fn observe(&mut self, ctx: &RoundContext, feedback: Feedback<u32>, rng: &mut SmallRng) {
+        Protocol::observe(self, ctx, feedback, rng);
+    }
+
+    fn outcome(&self) -> Option<PhaseOutcome<()>> {
+        match self.outcome {
+            None => None,
+            Some(ReduceOutcome::Leader) => Some(PhaseOutcome::Terminated(Status::Leader)),
+            Some(ReduceOutcome::Knocked) => Some(PhaseOutcome::Terminated(Status::Inactive)),
+            Some(ReduceOutcome::Survived) => Some(PhaseOutcome::Complete(())),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "reduce"
+    }
+
+    fn collect_stats(&self, out: &mut Vec<PhaseStats>) {
+        out.push(self.meter.snapshot("reduce"));
+    }
+}
+
+impl_phase_telemetry!(Reduce);
 
 #[cfg(test)]
 mod tests {

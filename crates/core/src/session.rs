@@ -8,7 +8,7 @@
 //! under [`CdMode::None`]) and optional staggered wake-ups via the §3
 //! transform.
 
-use mac_sim::{CdMode, Engine, Protocol, RunReport, SimConfig, SimError, StopWhen, TraceLevel};
+use mac_sim::{CdMode, Engine, RunReport, SimConfig, SimError, StopWhen, TraceLevel};
 use std::error::Error;
 use std::fmt;
 
@@ -16,6 +16,7 @@ use crate::baselines::{BinaryDescent, CdTournament, Decay, MultiChannelNoCd, Tre
 use crate::extensions::ExpectedConstant;
 use crate::full::FullAlgorithm;
 use crate::params::Params;
+use crate::phase::{PhaseProtocol, PhaseStats, PhaseTelemetry};
 use crate::two_active::TwoActive;
 use crate::wakeup::StaggeredStart;
 
@@ -121,6 +122,10 @@ pub struct Resolution {
     pub algorithm: &'static str,
     /// The full simulator report (solve round, leaders, metrics, trace).
     pub report: RunReport,
+    /// The solving node's per-phase telemetry spine (see
+    /// [`PhaseTelemetry`]): one [`PhaseStats`] record per phase the node
+    /// passed through, in execution order. Empty when the run timed out.
+    pub solver_phases: Vec<PhaseStats>,
 }
 
 impl Resolution {
@@ -128,6 +133,17 @@ impl Resolution {
     #[must_use]
     pub fn rounds(&self) -> Option<u64> {
         self.report.rounds_to_solve()
+    }
+
+    /// Rounds the solving node spent in the named phase (0 if it never
+    /// entered it).
+    #[must_use]
+    pub fn phase_rounds(&self, name: &str) -> u64 {
+        self.solver_phases
+            .iter()
+            .filter(|r| r.name == name)
+            .map(|r| r.rounds)
+            .sum()
     }
 }
 
@@ -226,25 +242,43 @@ impl Session {
         self
     }
 
-    /// Builds one protocol instance for node index `idx`.
-    fn make_node(&self, idx: usize, active: usize) -> Box<dyn Protocol<Msg = u32>> {
+    /// Builds one protocol instance for node index `idx`. Every algorithm
+    /// is boxed as [`PhaseTelemetry`] so the session can read the solver's
+    /// phase spine back out of the engine after the run. Single-phase
+    /// algorithms go through [`PhaseProtocol`] so their round/transmission
+    /// meters tick; `FullAlgorithm` already runs on its own phase stack.
+    fn make_node(&self, idx: usize, active: usize) -> Box<dyn PhaseTelemetry> {
         match self.algorithm {
             Algorithm::Paper(params) => Box::new(FullAlgorithm::new(params, self.channels, self.n)),
-            Algorithm::TwoActive => Box::new(TwoActive::new(self.channels, self.n)),
-            Algorithm::CdTournament => Box::new(CdTournament::new()),
+            Algorithm::TwoActive => {
+                Box::new(PhaseProtocol::new(TwoActive::new(self.channels, self.n)))
+            }
+            Algorithm::CdTournament => Box::new(PhaseProtocol::new(CdTournament::new())),
             Algorithm::BinaryDescent => {
                 // Spread ids evenly across the universe, deterministically.
                 let id = (idx as u64) * (self.n / active as u64).max(1);
-                Box::new(BinaryDescent::new(id.min(self.n - 1), self.n))
+                Box::new(PhaseProtocol::new(BinaryDescent::new(
+                    id.min(self.n - 1),
+                    self.n,
+                )))
             }
             Algorithm::TreeSplit => {
                 let id = (idx as u64) * (self.n / active as u64).max(1);
-                Box::new(TreeSplit::new(id.min(self.n - 1), self.n))
+                Box::new(PhaseProtocol::new(TreeSplit::new(
+                    id.min(self.n - 1),
+                    self.n,
+                )))
             }
-            Algorithm::Decay => Box::new(Decay::new(self.n)),
-            Algorithm::MultiChannelNoCd => Box::new(MultiChannelNoCd::new(self.channels, self.n)),
-            Algorithm::ExpectedConstant => Box::new(ExpectedConstant::new(self.channels, self.n)),
-            Algorithm::Willard => Box::new(Willard::new(self.n)),
+            Algorithm::Decay => Box::new(PhaseProtocol::new(Decay::new(self.n))),
+            Algorithm::MultiChannelNoCd => Box::new(PhaseProtocol::new(MultiChannelNoCd::new(
+                self.channels,
+                self.n,
+            ))),
+            Algorithm::ExpectedConstant => Box::new(PhaseProtocol::new(ExpectedConstant::new(
+                self.channels,
+                self.n,
+            ))),
+            Algorithm::Willard => Box::new(PhaseProtocol::new(Willard::new(self.n))),
         }
     }
 
@@ -303,26 +337,37 @@ impl Session {
                 TraceLevel::Off
             });
 
-        let report = match &self.wake_offsets {
+        let (report, solver_phases) = match &self.wake_offsets {
             None => {
                 let mut exec = Engine::new(cfg);
                 for idx in 0..active {
                     exec.add_node(self.make_node(idx, active));
                 }
-                exec.run()?
+                let report = exec.run()?;
+                let phases = report
+                    .solver
+                    .map(|id| exec.node(id).phase_stats())
+                    .unwrap_or_default();
+                (report, phases)
             }
             Some(offsets) => {
                 let mut exec = Engine::new(cfg);
                 for (idx, &off) in offsets.iter().enumerate() {
                     exec.add_node_at(StaggeredStart::new(self.make_node(idx, active)), off);
                 }
-                exec.run()?
+                let report = exec.run()?;
+                let phases = report
+                    .solver
+                    .map(|id| exec.node(id).phase_stats())
+                    .unwrap_or_default();
+                (report, phases)
             }
         };
 
         Ok(Resolution {
             algorithm: self.algorithm.name(),
             report,
+            solver_phases,
         })
     }
 }
@@ -433,6 +478,47 @@ mod tests {
             Algorithm::Paper(Params::practical()).cd_mode(),
             CdMode::Strong
         );
+    }
+
+    #[test]
+    fn solver_phase_spine_is_exposed() {
+        let res = Session::new(64, 1 << 12).seed(2).run(200).expect("solves");
+        assert!(!res.solver_phases.is_empty());
+        assert_eq!(res.solver_phases[0].name, "reduce");
+        // The solver acted in every round up to the solving one, so its
+        // spine accounts for the whole run.
+        let spine_total: u64 = res.solver_phases.iter().map(|r| r.rounds).sum();
+        assert_eq!(Some(spine_total), res.rounds());
+        assert_eq!(res.phase_rounds("reduce"), res.solver_phases[0].rounds);
+        assert_eq!(res.phase_rounds("no-such-phase"), 0);
+    }
+
+    #[test]
+    fn baseline_spines_carry_their_own_label() {
+        let res = Session::new(32, 1 << 10)
+            .algorithm(Algorithm::CdTournament)
+            .seed(4)
+            .run(60)
+            .expect("solves");
+        assert_eq!(res.solver_phases.len(), 1);
+        assert_eq!(res.solver_phases[0].name, "cd-tournament");
+        assert!(res.phase_rounds("cd-tournament") > 0);
+    }
+
+    #[test]
+    fn staggered_session_still_exposes_the_spine() {
+        let res = Session::new(32, 1 << 10)
+            .seed(3)
+            .wake_offsets((0..20).map(|i| i % 3).collect())
+            .run(20)
+            .expect("solves");
+        // The wake-up wrapper forwards the inner protocol's spine; listen
+        // and beacon rounds are not phase rounds, so the spine total is
+        // bounded by (not equal to) the engine total.
+        if res.report.solver.is_some() {
+            let spine_total: u64 = res.solver_phases.iter().map(|r| r.rounds).sum();
+            assert!(spine_total <= res.rounds().unwrap());
+        }
     }
 
     #[test]

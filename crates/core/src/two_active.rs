@@ -27,6 +27,7 @@ use mac_sim::{Action, ChannelId, Feedback, Protocol, RoundContext, Status};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
+use crate::phase::{impl_terminal_phase, PhaseMeter};
 use crate::tree::ChannelTree;
 
 /// Per-step round counts, exposed for experiments E1–E4.
@@ -86,6 +87,7 @@ pub struct TwoActive {
     status: Status,
     id: u32,
     stats: TwoActiveStats,
+    meter: PhaseMeter,
 }
 
 impl TwoActive {
@@ -113,6 +115,7 @@ impl TwoActive {
             status: Status::Active,
             id: 0,
             stats: TwoActiveStats::default(),
+            meter: PhaseMeter::default(),
         }
     }
 
@@ -253,6 +256,8 @@ impl Protocol for TwoActive {
         }
     }
 }
+
+impl_terminal_phase!(TwoActive, "two-active");
 
 #[cfg(test)]
 mod tests {

@@ -27,6 +27,8 @@
 use mac_sim::{Action, ChannelId, Feedback, Protocol, RoundContext, Status};
 use rand::rngs::SmallRng;
 
+use crate::phase::{PhaseStats, PhaseTelemetry};
+
 /// How many initial rounds a waking node spends listening before deciding
 /// it is among the first wave.
 pub const LISTEN_ROUNDS: u64 = 3;
@@ -202,6 +204,18 @@ where
             WakeState::Runner { .. } => "wakeup-beacon",
             WakeState::Done(_) => "done",
         }
+    }
+}
+
+impl<P> PhaseTelemetry for StaggeredStart<P>
+where
+    P: PhaseTelemetry,
+{
+    /// The wrapped protocol's spine. Wake-up listen/beacon rounds are not
+    /// part of any phase; compare against [`StaggeredStart::inner_rounds`]
+    /// rather than the engine's total when accounting for them.
+    fn phase_stats(&self) -> Vec<PhaseStats> {
+        self.inner.phase_stats()
     }
 }
 

@@ -17,11 +17,13 @@
 //! rather than hanging the sweep.
 
 use contention::baselines::{CdTournament, Decay};
+use contention::phase::{PhaseStats, PhaseTelemetry};
 use contention::{FullAlgorithm, Params, TwoActive};
 use contention_analysis::{threshold_crossing, Table};
 use mac_sim::fault::{CrashStop, JamBudget, Layered, LossyChannel, NoisyCd};
 use mac_sim::{CdMode, Engine, FeedbackModel, Protocol, SimConfig, SimError};
 
+use super::e09_full_vs_baselines::mean_phase_rounds;
 use super::seed_base;
 use crate::{ExperimentReport, Scale};
 
@@ -104,6 +106,41 @@ where
         }
     }
     Cell { trials, rounds }
+}
+
+/// Success rate and solver phase-telemetry spines for the paper's pipeline
+/// under symmetric CD-noise `p`. The breakdown tables say *whether* the
+/// pipeline still solves; the spines say *where* the surviving runs spend
+/// their rounds as the channel degrades — read through the same
+/// [`PhaseTelemetry`] API the sessions and E9–E11 use.
+fn pipeline_phase_profile(p: f64, trials: usize, base_seed: u64) -> (f64, Vec<Vec<PhaseStats>>) {
+    let mut spines = Vec::new();
+    let mut solved = 0usize;
+    for t in 0..trials as u64 {
+        let cfg = SimConfig::new(C)
+            .seed(base_seed.wrapping_add(t))
+            .round_budget(BUDGET);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut engine =
+                Engine::with_feedback(cfg, Layered::new(NoisyCd::symmetric(p), CdMode::Strong));
+            for _ in 0..ACTIVE {
+                engine.add_node(FullAlgorithm::new(Params::practical(), C, N));
+            }
+            engine
+                .run()
+                .map(|report| report.solver.map(|id| engine.node(id).phase_stats()))
+        }));
+        match outcome {
+            Ok(Ok(Some(spine))) => {
+                solved += 1;
+                spines.push(spine);
+            }
+            Ok(Ok(None)) => {}
+            Ok(Err(SimError::BudgetExhausted { .. } | SimError::Timeout { .. })) | Err(_) => {}
+            Ok(Err(e)) => panic!("unexpected simulation error: {e}"),
+        }
+    }
+    (solved as f64 / trials.max(1) as f64, spines)
 }
 
 /// All four fault sweeps for one algorithm.
@@ -307,6 +344,36 @@ pub fn run(scale: Scale) -> ExperimentReport {
         fault_table(&algos, &jam_levels, |b| format!("B = {b:.0}"), |a| &a.jam),
     );
 
+    // Where the surviving pipeline runs spend their rounds as CD noise
+    // rises: the solver's per-phase telemetry spine, averaged over the
+    // solved trials of each noise level.
+    let mut profile = Table::new(&[
+        "noise p",
+        "solved",
+        "reduce",
+        "id-reduction",
+        "leaf-election",
+        "solver total",
+    ]);
+    for (i, &p) in grids.noise_ps.iter().enumerate() {
+        let (success, spines) =
+            pipeline_phase_profile(p, grids.trials, seed_base("e18prof", 5, i as u64));
+        let total: u64 = spines.iter().flatten().map(|r| r.rounds).sum();
+        profile.row_owned(vec![
+            format!("{p}"),
+            format!("{:.0}%", 100.0 * success),
+            format!("{:.1}", mean_phase_rounds(&spines, "reduce")),
+            format!("{:.1}", mean_phase_rounds(&spines, "id-reduction")),
+            format!("{:.1}", mean_phase_rounds(&spines, "leaf-election")),
+            format!("{:.1}", total as f64 / spines.len().max(1) as f64),
+        ]);
+    }
+    report.section(
+        "Pipeline phase profile under CD noise: mean solver rounds per phase (solved trials only)"
+            .to_string(),
+        profile,
+    );
+
     report.note(
         "Feedback faults (noise, loss) hit the paper's pipeline hardest: its renaming and \
          search phases act on per-round CD feedback, so a single flipped observation can \
@@ -319,6 +386,13 @@ pub fn run(scale: Scale) -> ExperimentReport {
          lower contention, and the engine's validity rail guarantees a crashed node is never \
          the elected transmitter. Reactive jamming shifts the solve round by at least the \
          budget B; protocols that misread the jam-round collisions can lose more than B rounds."
+            .to_string(),
+    );
+    report.note(
+        "The phase-profile table reads the solver's telemetry spine (the same API the \
+         sessions and E9-E11 use): as noise rises, surviving runs lean on lucky early \
+         solves — the mix shifts toward Reduce because runs that reach the \
+         feedback-hungry renaming and search phases are exactly the ones noise kills."
             .to_string(),
     );
     report
@@ -388,10 +462,20 @@ mod tests {
     #[test]
     fn report_renders() {
         let r = run(Scale::Quick);
-        assert_eq!(r.sections.len(), 4);
-        for section in &r.sections {
+        assert_eq!(r.sections.len(), 5);
+        for section in &r.sections[..4] {
             assert_eq!(section.table.len(), 4, "{}", section.caption);
         }
         assert!(!r.notes.is_empty());
+    }
+
+    #[test]
+    fn clean_phase_profile_is_pipeline_shaped() {
+        let (success, spines) = pipeline_phase_profile(0.0, 5, seed_base("e18t", 5, 0));
+        assert!((success - 1.0).abs() < f64::EPSILON, "p = 0 always solves");
+        assert_eq!(spines.len(), 5);
+        for spine in &spines {
+            assert_eq!(spine.first().map(|r| r.name), Some("reduce"));
+        }
     }
 }

@@ -361,21 +361,21 @@ impl<P: crate::Protocol> crate::Protocol for CrashAt<P> {
     }
 }
 
-/// A jamming adversary as a [`FeedbackModel`]: one channel is flooded with
+/// A jamming adversary as a [`FeedbackModel`](crate::FeedbackModel): one channel is flooded with
 /// noise for a range of rounds, on top of a base collision-detection mode.
 ///
 /// While jamming is active, every participant on the jammed channel hears
-/// what a collision would sound like under the base [`CdMode`] — the
+/// what a collision would sound like under the base [`CdMode`](crate::CdMode) — the
 /// adversary's noise collides with whatever (if anything) was transmitted:
 ///
-/// * [`CdMode::Strong`] — everyone hears [`Feedback::Collision`];
-/// * [`CdMode::ReceiverOnly`] — listeners hear a collision, transmitters
+/// * [`CdMode::Strong`](crate::CdMode::Strong) — everyone hears [`Feedback::Collision`](crate::Feedback::Collision);
+/// * [`CdMode::ReceiverOnly`](crate::CdMode::ReceiverOnly) — listeners hear a collision, transmitters
 ///   stay blind;
-/// * [`CdMode::None`] — listeners hear silence (they cannot distinguish the
+/// * [`CdMode::None`](crate::CdMode::None) — listeners hear silence (they cannot distinguish the
 ///   jam from background), transmitters stay blind.
 ///
 /// A lone transmission on a jammed primary channel does not count as a
-/// solve ([`FeedbackModel::allows_solve`] returns `false` for those rounds):
+/// solve ([`FeedbackModel::allows_solve`](crate::FeedbackModel::allows_solve) returns `false` for those rounds):
 /// physically, the jam collided with it.
 #[derive(Debug, Clone)]
 pub struct JammedChannel {
@@ -412,7 +412,7 @@ impl JammedChannel {
     }
 
     /// Whether the current round (announced via
-    /// [`FeedbackModel::begin_round`]) is being jammed.
+    /// [`FeedbackModel::begin_round`](crate::FeedbackModel::begin_round)) is being jammed.
     #[must_use]
     pub fn jamming(&self) -> bool {
         self.jamming_now

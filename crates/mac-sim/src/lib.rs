@@ -42,6 +42,16 @@
 //! On top sits the **trial layer**, [`trials`], which fans many seeds out
 //! over OS threads deterministically.
 //!
+//! The engine is deliberately *protocol-agnostic*: it schedules anything
+//! implementing [`Protocol`] and never interprets what a node is doing
+//! beyond its [`Action`]s and [`Status`]. Structured algorithms — multi-step
+//! pipelines, fallback branches, wake-up wrappers — are composed one level
+//! up, in the `contention` crate's `phase` module, whose `PhaseProtocol`
+//! adapter presents any composed stack to the engine as a plain `Protocol`.
+//! The only engine-visible trace of that structure is the
+//! [`Protocol::phase`] label, which feeds per-phase round accounting in
+//! [`Metrics`].
+//!
 //! The [`fault`] module layers seeded fault injection over any feedback
 //! model — noisy collision detection, lossy channels, crash-stop nodes, and
 //! budgeted reactive jamming — with [`SimConfig::round_budget`] as the

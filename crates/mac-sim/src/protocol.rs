@@ -48,6 +48,14 @@ pub struct RoundContext {
 /// Implementations must be deterministic given the provided RNG: all
 /// randomness must come from the `rng` argument, which the executor seeds
 /// per node from the master seed.
+///
+/// `Protocol` is the *flat* interface the engine schedules — one state
+/// machine, one terminal status. Algorithms with internal structure
+/// (sequenced steps, fallback branches, typed handoffs between steps) are
+/// better written as composable phases and adapted down to this trait; see
+/// the `contention` crate's `phase` module (`Phase`, `PhaseProtocol`), which
+/// also carries a per-phase stats spine that the engine itself never needs
+/// to know about.
 pub trait Protocol {
     /// Message payload type carried by transmissions.
     type Msg: Clone;
@@ -69,6 +77,10 @@ pub trait Protocol {
 
     /// A short label for the algorithm phase the node is currently in, used
     /// for per-phase round accounting in reports. Default: `"main"`.
+    ///
+    /// This label is for *observation* (metrics, traces); it must never
+    /// influence behavior. Composed phase stacks report their currently
+    /// running child's fine-grained label here.
     fn phase(&self) -> &'static str {
         "main"
     }

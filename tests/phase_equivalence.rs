@@ -1,0 +1,307 @@
+//! Equivalence oracle for the phase-composition refactor.
+//!
+//! `contention::FullAlgorithm` used to be a hand-rolled `Stage` enum; it is
+//! now the composed phase stack
+//! `reduce.and_then(id_reduction).and_then(leaf_election).with_fallback(..)`
+//! running through `PhaseProtocol`. This test pins the refactor as a pure
+//! restructuring: it carries a verbatim copy of the pre-refactor monolith
+//! (below, `MonolithFull`) and replays both implementations over a grid of
+//! seeds × collision-detection modes × configurations — including the
+//! small-`C` fallback path — demanding **bit-identical** behavior: the same
+//! solve round, solver, executed rounds, leader set, per-node transmission
+//! counts, and per-node `FullStats` counters.
+//!
+//! Unlike the fixture-based `engine_oracle` (which pins the *engine*
+//! refactor), this oracle needs no recorded file: the monolith itself is the
+//! reference, so the comparison stays live — any future change that skews
+//! the composed pipeline away from the monolith's round-for-round behavior
+//! fails here with the first diverging case.
+
+use contention::baselines::CdTournament;
+use contention::phase::PhaseTelemetry;
+use contention::{
+    FullAlgorithm, FullStats, IdReduction, IdReductionOutcome, LeafElection, Params, Reduce,
+    ReduceOutcome,
+};
+use mac_sim::{
+    Action, CdMode, Engine, Feedback, Protocol, RoundContext, RunReport, SimConfig, SimError,
+    Status,
+};
+use rand::rngs::SmallRng;
+
+// ---------------------------------------------------------------------------
+// The pre-refactor monolith, copied verbatim (modulo the type name) from
+// `crates/core/src/full.rs` as it stood before the phase-composition
+// refactor. Do not "improve" it: its value is being frozen history.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Stage {
+    Reduce(Reduce),
+    IdReduction(IdReduction),
+    LeafElection(LeafElection),
+    Fallback(CdTournament),
+    Done(Status),
+}
+
+#[derive(Debug, Clone)]
+struct MonolithFull {
+    params: Params,
+    channels: u32,
+    stage: Stage,
+    stats: FullStats,
+}
+
+impl MonolithFull {
+    fn new(params: Params, channels: u32, n: u64) -> Self {
+        assert!(channels >= 1, "the model requires C >= 1");
+        let (stage, used_fallback) = if channels < params.fallback_below_channels {
+            (Stage::Fallback(CdTournament::new()), true)
+        } else {
+            (Stage::Reduce(Reduce::with_params(params, n)), false)
+        };
+        MonolithFull {
+            params,
+            channels,
+            stage,
+            stats: FullStats {
+                used_fallback,
+                ..FullStats::default()
+            },
+        }
+    }
+
+    fn stats(&self) -> FullStats {
+        self.stats
+    }
+}
+
+impl Protocol for MonolithFull {
+    type Msg = u32;
+
+    fn act(&mut self, ctx: &RoundContext, rng: &mut SmallRng) -> Action<u32> {
+        match &mut self.stage {
+            Stage::Reduce(inner) => {
+                self.stats.reduce_rounds += 1;
+                inner.act(ctx, rng)
+            }
+            Stage::IdReduction(inner) => {
+                self.stats.id_reduction_rounds += 1;
+                inner.act(ctx, rng)
+            }
+            Stage::LeafElection(inner) => {
+                self.stats.election_rounds += 1;
+                inner.act(ctx, rng)
+            }
+            Stage::Fallback(inner) => inner.act(ctx, rng),
+            Stage::Done(_) => Action::Sleep,
+        }
+    }
+
+    fn observe(&mut self, ctx: &RoundContext, feedback: Feedback<u32>, rng: &mut SmallRng) {
+        match &mut self.stage {
+            Stage::Reduce(inner) => {
+                inner.observe(ctx, feedback, rng);
+                match inner.outcome() {
+                    None => {}
+                    Some(ReduceOutcome::Leader) => self.stage = Stage::Done(Status::Leader),
+                    Some(ReduceOutcome::Knocked) => self.stage = Stage::Done(Status::Inactive),
+                    Some(ReduceOutcome::Survived) => {
+                        self.stage =
+                            Stage::IdReduction(IdReduction::new(self.params, self.channels));
+                    }
+                }
+            }
+            Stage::IdReduction(inner) => {
+                inner.observe(ctx, feedback, rng);
+                match inner.outcome() {
+                    None => {}
+                    Some(IdReductionOutcome::Eliminated) => {
+                        self.stage = Stage::Done(Status::Inactive);
+                    }
+                    Some(IdReductionOutcome::Renamed(id)) => {
+                        self.stats.adopted_id = Some(id);
+                        self.stage = Stage::LeafElection(LeafElection::new(self.channels, id));
+                    }
+                }
+            }
+            Stage::LeafElection(inner) => {
+                inner.observe(ctx, feedback, rng);
+                if inner.status().is_terminated() {
+                    self.stage = Stage::Done(inner.status());
+                }
+            }
+            Stage::Fallback(inner) => {
+                inner.observe(ctx, feedback, rng);
+                if inner.status().is_terminated() {
+                    self.stage = Stage::Done(inner.status());
+                }
+            }
+            Stage::Done(_) => {}
+        }
+    }
+
+    fn status(&self) -> Status {
+        match &self.stage {
+            Stage::Done(status) => *status,
+            _ => Status::Active,
+        }
+    }
+
+    fn phase(&self) -> &'static str {
+        match &self.stage {
+            Stage::Reduce(inner) => inner.phase(),
+            Stage::IdReduction(inner) => inner.phase(),
+            Stage::LeafElection(inner) => inner.phase(),
+            Stage::Fallback(inner) => inner.phase(),
+            Stage::Done(_) => "done",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The grid.
+// ---------------------------------------------------------------------------
+
+const MODES: [CdMode; 3] = [CdMode::Strong, CdMode::ReceiverOnly, CdMode::None];
+
+/// One configuration: channel count, universe size, population. The first
+/// entry exercises the pipeline (`C` above the fallback threshold), the
+/// second the single-channel `CdTournament` fallback (`C` below it).
+const CONFIGS: [(u32, u64, usize, &[u64]); 2] = [
+    (16, 1 << 10, 60, &[11, 22, 33, 44, 55, 66, 77, 88, 99, 110]),
+    (4, 1 << 10, 40, &[7, 14, 21, 28]),
+];
+
+/// Everything observable about one run: the report plus each node's
+/// terminal status and stats counters.
+fn observables<P, S>(
+    c: u32,
+    seed: u64,
+    mode: CdMode,
+    build: impl Fn() -> P,
+    count: usize,
+    stats: impl Fn(&P) -> S,
+) -> (RunReport, Vec<(Status, S)>)
+where
+    P: Protocol,
+{
+    let cfg = SimConfig::new(c).seed(seed).cd_mode(mode).max_rounds(2_000);
+    let mut exec = Engine::new(cfg);
+    for _ in 0..count {
+        exec.add_node(build());
+    }
+    let report = match exec.run() {
+        Ok(report) => report,
+        // Weak CD modes can time out by design; the partial run is still a
+        // deterministic fingerprint.
+        Err(SimError::Timeout { .. }) => exec.report(),
+        Err(e) => panic!("unexpected simulation error: {e}"),
+    };
+    let nodes = exec
+        .iter_nodes()
+        .map(|node| (node.status(), stats(node)))
+        .collect();
+    (report, nodes)
+}
+
+fn assert_reports_identical(label: &str, old: &RunReport, new: &RunReport) {
+    assert_eq!(old.solved_round, new.solved_round, "{label}: solved_round");
+    assert_eq!(old.solver, new.solver, "{label}: solver");
+    assert_eq!(
+        old.rounds_executed, new.rounds_executed,
+        "{label}: rounds_executed"
+    );
+    assert_eq!(old.leaders, new.leaders, "{label}: leader set");
+    assert_eq!(
+        old.metrics.transmissions_per_node, new.metrics.transmissions_per_node,
+        "{label}: per-node transmissions"
+    );
+}
+
+#[test]
+fn composed_pipeline_is_bit_identical_to_the_monolith() {
+    let params = Params::practical();
+    let mut cases = 0;
+    for (c, n, active, seeds) in CONFIGS {
+        for mode in MODES {
+            for &seed in seeds {
+                let label = format!("C={c} n={n} |A|={active} cd={mode:?} seed={seed}");
+                let (old_report, old_nodes) = observables(
+                    c,
+                    seed,
+                    mode,
+                    || MonolithFull::new(params, c, n),
+                    active,
+                    MonolithFull::stats,
+                );
+                let (new_report, new_nodes) = observables(
+                    c,
+                    seed,
+                    mode,
+                    || FullAlgorithm::new(params, c, n),
+                    active,
+                    FullAlgorithm::stats,
+                );
+                assert_reports_identical(&label, &old_report, &new_report);
+                assert_eq!(old_nodes.len(), new_nodes.len(), "{label}: node count");
+                for (i, (old, new)) in old_nodes.iter().zip(&new_nodes).enumerate() {
+                    assert_eq!(old, new, "{label}: node {i} (status, FullStats)");
+                }
+                cases += 1;
+            }
+        }
+    }
+    assert!(cases >= 30, "oracle grid too small: {cases} cases");
+}
+
+/// The composed pipeline's telemetry spine agrees with the monolith's
+/// hand-rolled counters on every node — the stats refactor changed the
+/// *source* (a per-phase spine instead of ad-hoc fields), not the numbers.
+#[test]
+fn spine_reproduces_monolith_counters() {
+    let params = Params::practical();
+    let (c, n, active) = (16u32, 1u64 << 10, 60usize);
+    for seed in [5u64, 15, 25] {
+        let (_, old_nodes) = observables(
+            c,
+            seed,
+            CdMode::Strong,
+            || MonolithFull::new(params, c, n),
+            active,
+            MonolithFull::stats,
+        );
+        let cfg = SimConfig::new(c).seed(seed).max_rounds(2_000);
+        let mut exec = Engine::new(cfg);
+        for _ in 0..active {
+            exec.add_node(FullAlgorithm::new(params, c, n));
+        }
+        exec.run().expect("strong CD solves");
+        for (i, ((_, old_stats), node)) in old_nodes.iter().zip(exec.iter_nodes()).enumerate() {
+            let spine = node.phase_stats();
+            let rounds = |name: &str| {
+                spine
+                    .iter()
+                    .filter(|r| r.name == name)
+                    .map(|r| r.rounds)
+                    .sum::<u64>()
+            };
+            assert_eq!(old_stats.reduce_rounds, rounds("reduce"), "node {i}");
+            assert_eq!(
+                old_stats.id_reduction_rounds,
+                rounds("id-reduction"),
+                "node {i}"
+            );
+            assert_eq!(
+                old_stats.election_rounds,
+                rounds("leaf-election"),
+                "node {i}"
+            );
+            assert_eq!(
+                old_stats.adopted_id,
+                spine.iter().find_map(|r| r.adopted_id),
+                "node {i}"
+            );
+        }
+    }
+}
