@@ -75,6 +75,20 @@ impl Table {
         self.rows.len()
     }
 
+    /// The column headers, in order.
+    #[must_use]
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows, in insertion order. Used by the harness's
+    /// record-emission path to turn report tables into structured cell
+    /// records.
+    #[must_use]
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Returns `true` if the table has no data rows.
     #[must_use]
     pub fn is_empty(&self) -> bool {

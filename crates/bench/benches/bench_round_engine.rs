@@ -5,10 +5,18 @@
 //!
 //! * `run/full_report` — the default path: metrics on, full [`RunReport`];
 //! * `run_summary/no_observers` — metrics off, cheap [`RunSummary`] only;
-//! * `run/trace_channels` — per-round channel outcomes recorded too.
+//! * `run/trace_channels` — per-round channel outcomes recorded too;
+//! * `run/recorder_attached` — a [`mac_sim::obs::RunRecorder`] span-model
+//!   sink riding along, quantifying the structured-telemetry overhead.
+//!
+//! Unlike the other benches this one has a custom `main`: after the runs
+//! it exports the measurements as schema-versioned JSONL
+//! (`BENCH_round_engine.json` at the workspace root — `kind: "bench"`
+//! records, diffable with `obsdiff`).
 
 use contention::{FullAlgorithm, Params};
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, take_results, Criterion};
+use mac_sim::obs::{Json, RunRecorder, SCHEMA_VERSION};
 use mac_sim::{Engine, SimConfig, TraceLevel};
 use std::hint::black_box;
 
@@ -69,8 +77,44 @@ fn bench_round_engine(criterion: &mut Criterion) {
         });
     });
 
+    group.bench_function("run/recorder_attached", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            // Cycle a fixed seed set so every execution path measures the
+            // exact same ensemble of runs.
+            seed = (seed % 16) + 1;
+            let mut eng = engine(SimConfig::new(C).seed(seed).max_rounds(10_000_000));
+            let mut recorder = RunRecorder::new();
+            let report = eng.run_observed(&mut recorder).expect("solves");
+            black_box((report.solved_round, recorder.into_record(seed).rounds))
+        });
+    });
+
     group.finish();
 }
 
 criterion_group!(benches, bench_round_engine);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    // Export the measurements in the run-record JSONL schema so obsdiff
+    // (and CI) can compare bench runs the same way it compares trials.
+    let lines: Vec<String> = take_results()
+        .iter()
+        .map(|r| {
+            Json::obj(vec![
+                ("schema_version".into(), SCHEMA_VERSION.into()),
+                ("kind".into(), "bench".into()),
+                ("name".into(), r.name.as_str().into()),
+                ("mean_ns".into(), r.mean_ns.into()),
+                ("iters".into(), r.iters.into()),
+            ])
+            .render()
+        })
+        .collect();
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_round_engine.json");
+    match std::fs::write(out, format!("{}\n", lines.join("\n"))) {
+        Ok(()) => eprintln!("wrote {out}"),
+        Err(e) => eprintln!("cannot write {out}: {e}"),
+    }
+}

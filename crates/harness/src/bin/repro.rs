@@ -3,25 +3,39 @@
 //! ```text
 //! repro [--quick] [ids...]
 //!
-//!   --quick     reduced trial counts / thinned grids (seconds, not minutes)
-//!   --tsv       emit tab-separated tables (for plotting) instead of markdown
-//!   ids         experiment ids to run, e.g. `e1 e9 e16`; default: all
+//!   --quick            reduced trial counts / thinned grids (seconds, not minutes)
+//!   --tsv              emit tab-separated tables (for plotting) instead of markdown
+//!   --record-dir DIR   also write one schema-versioned JSONL record file per
+//!                      experiment (manifest + cell records) into DIR
+//!   --progress         print trial throughput / ETA to stderr while running
+//!   ids                experiment ids to run, e.g. `e1 e9 e16`; default: all
 //! ```
 
-use contention_harness::{experiments, Scale};
+use contention_harness::{experiments, record, Scale};
 use std::io::Write as _;
+use std::path::PathBuf;
 use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Full;
     let mut tsv = false;
+    let mut record_dir: Option<PathBuf> = None;
     let mut ids: Vec<String> = Vec::new();
-    for arg in &args {
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--quick" | "-q" => scale = Scale::Quick,
             "--full" => scale = Scale::Full,
             "--tsv" => tsv = true,
+            "--progress" => mac_sim::trials::enable_stderr_progress(),
+            "--record-dir" => match iter.next() {
+                Some(dir) => record_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--record-dir needs a directory argument");
+                    std::process::exit(2);
+                }
+            },
             "--list" => {
                 for (id, title) in experiments::list() {
                     println!("{id:<5} {title}");
@@ -29,7 +43,9 @@ fn main() {
                 return;
             }
             "--help" | "-h" => {
-                println!("usage: repro [--quick] [--tsv] [--list] [e1 e2 ... e18]");
+                println!(
+                    "usage: repro [--quick] [--tsv] [--record-dir DIR] [--progress] [--list] [e1 e2 ... e18]"
+                );
                 return;
             }
             other => ids.push(other.to_string()),
@@ -55,6 +71,14 @@ fn main() {
             }
         } else {
             writeln!(out, "{report}").expect("stdout");
+        }
+        if let Some(dir) = &record_dir {
+            let lines = record::experiment_records(report, scale);
+            let path = dir.join(format!("{}.jsonl", report.id.to_lowercase()));
+            if let Err(e) = record::write_jsonl(&path, &lines) {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
         }
     };
     if ids.is_empty() {

@@ -9,24 +9,30 @@ use contention::baselines::{BinaryDescent, CdTournament, Decay, MultiChannelNoCd
 use contention::extensions::ExpectedConstant;
 use contention::{FullAlgorithm, Params};
 use contention_analysis::{Summary, Table};
+use mac_sim::obs::RunRecord;
 use mac_sim::{CdMode, Engine, RunReport, SimConfig};
+use std::collections::BTreeMap;
 
 use super::seed_base;
 use crate::{sample_distinct, ExperimentReport, Scale};
-use mac_sim::trials::run_trials;
+use mac_sim::trials::run_trials_recorded;
 
 /// (rounds, total tx, max tx by one node, total listens) per trial.
 type Energy = (u64, u64, u64, u64);
 
-fn digest(reports: &[RunReport]) -> Vec<Energy> {
-    reports
+/// Energy digests now come from the structured [`RunRecord`] counters (the
+/// span-model recorder), not the legacy `Metrics` fields; the
+/// `recorded_energy_matches_legacy_metrics` test below pins the two
+/// accountings to each other exactly.
+fn digest(pairs: &[(RunReport, RunRecord)]) -> Vec<Energy> {
+    pairs
         .iter()
-        .map(|r| {
+        .map(|(report, record)| {
             (
-                r.rounds_to_solve().expect("solved"),
-                r.metrics.transmissions,
-                r.metrics.max_transmissions_per_node(),
-                r.metrics.listens,
+                report.rounds_to_solve().expect("solved"),
+                record.transmissions,
+                record.max_node_transmissions,
+                record.listens,
             )
         })
         .collect()
@@ -40,20 +46,19 @@ pub fn run(scale: Scale) -> ExperimentReport {
     let (c, n, active) = (64u32, 1u64 << 14, 1024usize);
     let trials = scale.trials().min(40);
 
+    let full_pairs = run_trials_recorded(trials, seed_base("e15f", 0, 0), |s| {
+        let mut exec = Engine::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
+        for _ in 0..active {
+            exec.add_node(FullAlgorithm::new(Params::practical(), c, n));
+        }
+        exec
+    });
+
     let runs: Vec<(&str, Vec<Energy>)> = vec![
-        (
-            "this paper (pipeline)",
-            digest(&run_trials(trials, seed_base("e15f", 0, 0), |s| {
-                let mut exec = Engine::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
-                for _ in 0..active {
-                    exec.add_node(FullAlgorithm::new(Params::practical(), c, n));
-                }
-                exec
-            })),
-        ),
+        ("this paper (pipeline)", digest(&full_pairs)),
         (
             "expected-O(1)",
-            digest(&run_trials(trials, seed_base("e15x", 0, 0), |s| {
+            digest(&run_trials_recorded(trials, seed_base("e15x", 0, 0), |s| {
                 let mut exec = Engine::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
                 for _ in 0..active {
                     exec.add_node(ExpectedConstant::new(c, n));
@@ -63,7 +68,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
         ),
         (
             "CD tournament",
-            digest(&run_trials(trials, seed_base("e15t", 0, 0), |s| {
+            digest(&run_trials_recorded(trials, seed_base("e15t", 0, 0), |s| {
                 let mut exec = Engine::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
                 for _ in 0..active {
                     exec.add_node(CdTournament::new());
@@ -73,7 +78,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
         ),
         (
             "binary descent",
-            digest(&run_trials(trials, seed_base("e15d", 0, 0), |s| {
+            digest(&run_trials_recorded(trials, seed_base("e15d", 0, 0), |s| {
                 let mut exec = Engine::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
                 for id in sample_distinct(n, active, s ^ 0x15) {
                     exec.add_node(BinaryDescent::new(id, n));
@@ -83,7 +88,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
         ),
         (
             "decay (no CD)",
-            digest(&run_trials(trials, seed_base("e15y", 0, 0), |s| {
+            digest(&run_trials_recorded(trials, seed_base("e15y", 0, 0), |s| {
                 let cfg = SimConfig::new(c)
                     .seed(s)
                     .cd_mode(CdMode::None)
@@ -97,7 +102,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
         ),
         (
             "multi no-CD",
-            digest(&run_trials(trials, seed_base("e15m", 0, 0), |s| {
+            digest(&run_trials_recorded(trials, seed_base("e15m", 0, 0), |s| {
                 let cfg = SimConfig::new(c)
                     .seed(s)
                     .cd_mode(CdMode::None)
@@ -137,6 +142,50 @@ pub fn run(scale: Scale) -> ExperimentReport {
         format!("Energy at C = {c}, n = 2^14, |A| = {active} (until solve)"),
         table,
     );
+
+    // Where the pipeline's energy actually goes: the recorder attributes
+    // every transmission and acting round to the acting node's own phase,
+    // so this breakdown stays exact even when phases overlap.
+    let mut by_phase: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    for (_, record) in &full_pairs {
+        for (label, tx) in &record.phase_transmissions {
+            by_phase.entry(label.clone()).or_insert((0, 0)).0 += tx;
+        }
+        for (label, rounds) in &record.phase_node_rounds {
+            by_phase.entry(label.clone()).or_insert((0, 0)).1 += rounds;
+        }
+    }
+    let mut phase_table =
+        Table::new(&["phase", "mean tx", "mean node-rounds", "tx per node-round"]);
+    for (label, (tx, rounds)) in &by_phase {
+        phase_table.row_owned(vec![
+            label.clone(),
+            format!("{:.1}", *tx as f64 / trials as f64),
+            format!("{:.1}", *rounds as f64 / trials as f64),
+            format!("{:.4}", *tx as f64 / (*rounds).max(1) as f64),
+        ]);
+    }
+    report.section(
+        "Pipeline energy by phase (per-node attribution)",
+        phase_table,
+    );
+
+    let primary_tx: u64 = full_pairs
+        .iter()
+        .flat_map(|(_, record)| record.channels.first())
+        .map(|t| t.transmissions)
+        .sum();
+    let all_tx: u64 = full_pairs
+        .iter()
+        .map(|(_, record)| record.transmissions)
+        .sum();
+    report.note(format!(
+        "Channel concentration: {:.1}% of the pipeline's transmissions land on the \
+         primary channel (the rest spread over the other {} channels during the \
+         multi-channel knock-out steps).",
+        100.0 * primary_tx as f64 / all_tx.max(1) as f64,
+        c - 1
+    ));
     report.note(
         "The knock-out pipeline's early steps transmit with probability 1/n̂, so the \
          average node sends well under one frame before the problem is solved; the \
@@ -152,6 +201,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mac_sim::trials::run_trials;
 
     #[test]
     fn pipeline_is_more_frugal_than_descent() {
@@ -185,7 +235,36 @@ mod tests {
     #[test]
     fn report_renders() {
         let r = run(Scale::Quick);
-        assert_eq!(r.sections.len(), 1);
+        assert_eq!(r.sections.len(), 2);
         assert_eq!(r.sections[0].table.len(), 6);
+        assert!(!r.sections[1].table.is_empty());
+    }
+
+    #[test]
+    fn recorded_energy_matches_legacy_metrics() {
+        // One-commit overlap while the energy experiment migrates from the
+        // engine's Metrics counters to the RunRecord ones: both accountings
+        // run side by side here and must agree exactly, field for field.
+        let (c, n, active) = (64u32, 1u64 << 12, 256usize);
+        let pairs = run_trials_recorded(6, 9, |s| {
+            let mut exec = Engine::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
+            for _ in 0..active {
+                exec.add_node(FullAlgorithm::new(Params::practical(), c, n));
+            }
+            exec
+        });
+        for (report, record) in &pairs {
+            assert_eq!(record.transmissions, report.metrics.transmissions);
+            assert_eq!(record.listens, report.metrics.listens);
+            assert_eq!(
+                record.max_node_transmissions,
+                report.metrics.max_transmissions_per_node()
+            );
+            assert_eq!(record.rounds, report.rounds_executed);
+            let phase_tx: u64 = record.phase_transmissions.iter().map(|(_, v)| v).sum();
+            assert_eq!(phase_tx, report.metrics.transmissions);
+            let channel_tx: u64 = record.channels.iter().map(|t| t.transmissions).sum();
+            assert_eq!(channel_tx, report.metrics.transmissions);
+        }
     }
 }

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod record;
 mod report;
 mod runner;
 mod scale;

@@ -1,0 +1,404 @@
+//! Structured JSONL record emission for experiment runs.
+//!
+//! The markdown tables in `EXPERIMENTS.md` are for humans; this module
+//! writes the same results as machine-diffable JSONL so `obsdiff` (and CI)
+//! can answer "did E9's Reduce phase get slower than last PR?" without a
+//! human re-reading tables.
+//!
+//! One record file holds, in order:
+//!
+//! 1. a `kind: "manifest"` line — provenance (experiment, scale, git rev,
+//!    crate versions); for trial batches, [`mac_sim::obs::RunManifest`]
+//!    carries the full `SimConfig`;
+//! 2. `kind: "trial"` lines — one [`mac_sim::obs::RunRecord`] per run,
+//!    when the producer records at trial granularity;
+//! 3. `kind: "cell"` lines — one per table row of the experiment report,
+//!    carrying every column as a typed value.
+//!
+//! Benches write `kind: "bench"` lines in the same schema (see
+//! `BENCH_round_engine.json`). Every line is validated by
+//! [`validate_line`], which the `schema_check` test runs over everything
+//! the suite emits.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::report::ExperimentReport;
+use crate::Scale;
+use mac_sim::obs::Json;
+
+pub use mac_sim::obs::SCHEMA_VERSION;
+
+/// The git revision of the working tree, when running inside a checkout
+/// with `git` on the PATH. Best-effort: failures degrade to `None`.
+#[must_use]
+pub fn git_rev() -> Option<String> {
+    let output = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()?;
+    if !output.status.success() {
+        return None;
+    }
+    let rev = String::from_utf8(output.stdout).ok()?;
+    let rev = rev.trim();
+    if rev.is_empty() {
+        None
+    } else {
+        Some(rev.to_string())
+    }
+}
+
+/// Parses a table cell into the most specific JSON value: `u64`, then
+/// `f64`, then string. Percentages and dimension labels (`"2^10"`) stay
+/// strings.
+#[must_use]
+pub fn cell_value(cell: &str) -> Json {
+    if let Ok(v) = cell.parse::<u64>() {
+        return Json::UInt(v);
+    }
+    if let Ok(v) = cell.parse::<f64>() {
+        if v.is_finite() {
+            return Json::Float(v);
+        }
+    }
+    Json::Str(cell.to_string())
+}
+
+/// The manifest line for an experiment-level record file (no single
+/// `SimConfig` exists at this granularity — trial-batch producers use
+/// [`mac_sim::obs::RunManifest`] instead).
+#[must_use]
+pub fn experiment_manifest(report: &ExperimentReport, scale: Scale) -> Json {
+    Json::obj(vec![
+        ("schema_version".into(), SCHEMA_VERSION.into()),
+        ("kind".into(), "manifest".into()),
+        ("algorithm".into(), report.id.into()),
+        ("title".into(), report.title.into()),
+        ("scale".into(), format!("{scale:?}").into()),
+        ("git_rev".into(), git_rev().into()),
+        (
+            "crates".into(),
+            Json::Obj(vec![
+                (
+                    "contention-harness".into(),
+                    env!("CARGO_PKG_VERSION").into(),
+                ),
+                ("mac-sim".into(), mac_sim_version().into()),
+            ]),
+        ),
+    ])
+}
+
+fn mac_sim_version() -> &'static str {
+    // The workspace pins one version for every member crate.
+    env!("CARGO_PKG_VERSION")
+}
+
+/// Turns a finished experiment report into JSONL lines: one manifest, then
+/// one `cell` record per table row. Row identity is `(experiment, section
+/// caption, row index)`; the first column doubles as a human-readable key.
+#[must_use]
+pub fn experiment_records(report: &ExperimentReport, scale: Scale) -> Vec<String> {
+    let mut lines = vec![experiment_manifest(report, scale).render()];
+    for section in &report.sections {
+        let headers = section.table.headers();
+        for (row_idx, row) in section.table.rows().iter().enumerate() {
+            let values = Json::Obj(
+                headers
+                    .iter()
+                    .zip(row)
+                    .map(|(header, cell)| (header.clone(), cell_value(cell)))
+                    .collect(),
+            );
+            let record = Json::obj(vec![
+                ("schema_version".into(), SCHEMA_VERSION.into()),
+                ("kind".into(), "cell".into()),
+                ("experiment".into(), report.id.into()),
+                ("section".into(), section.caption.as_str().into()),
+                ("row".into(), row_idx.into()),
+                (
+                    "key".into(),
+                    row.first().map(String::as_str).unwrap_or("").into(),
+                ),
+                ("values".into(), values),
+            ]);
+            lines.push(record.render());
+        }
+    }
+    lines
+}
+
+/// A `kind: "bench"` record line.
+#[must_use]
+pub fn bench_record(name: &str, mean_ns: f64, iters: u64) -> Json {
+    Json::obj(vec![
+        ("schema_version".into(), SCHEMA_VERSION.into()),
+        ("kind".into(), "bench".into()),
+        ("name".into(), name.into()),
+        ("mean_ns".into(), mean_ns.into()),
+        ("iters".into(), iters.into()),
+    ])
+}
+
+/// Writes JSONL lines to `path`, creating parent directories.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_jsonl(path: &Path, lines: &[String]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let mut body = String::new();
+    for line in lines {
+        let _ = writeln!(body, "{line}");
+    }
+    fs::write(path, body)
+}
+
+/// Loads a JSONL record file, parsing every non-empty line.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line on parse failure.
+pub fn load_jsonl(path: &Path) -> Result<Vec<Json>, String> {
+    let body =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    body.lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(idx, line)| {
+            Json::parse(line).map_err(|e| format!("{}:{}: {e}", path.display(), idx + 1))
+        })
+        .collect()
+}
+
+/// Validates one JSONL line against the record schema: every record needs
+/// `schema_version` and a known `kind`, and each kind has required typed
+/// fields. This is the repo's schema validator — no external tool.
+///
+/// # Errors
+///
+/// Returns a message naming the first violated constraint.
+pub fn validate_line(line: &str) -> Result<(), String> {
+    let value = Json::parse(line)?;
+    validate_record(&value)
+}
+
+/// [`validate_line`] for an already-parsed record.
+///
+/// # Errors
+///
+/// Returns a message naming the first violated constraint.
+pub fn validate_record(value: &Json) -> Result<(), String> {
+    let version = value
+        .get("schema_version")
+        .and_then(Json::as_u64)
+        .ok_or("missing or mistyped 'schema_version'")?;
+    if version != SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {version} != supported {SCHEMA_VERSION}"
+        ));
+    }
+    let kind = value
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("missing or mistyped 'kind'")?;
+    let need_str = |key: &str| {
+        value
+            .get(key)
+            .and_then(Json::as_str)
+            .map(|_| ())
+            .ok_or(format!("{kind} record: missing or mistyped '{key}'"))
+    };
+    let need_u64 = |key: &str| {
+        value
+            .get(key)
+            .and_then(Json::as_u64)
+            .map(|_| ())
+            .ok_or(format!("{kind} record: missing or mistyped '{key}'"))
+    };
+    let need_num = |key: &str| {
+        value
+            .get(key)
+            .and_then(Json::as_f64)
+            .map(|_| ())
+            .ok_or(format!("{kind} record: missing or mistyped '{key}'"))
+    };
+    match kind {
+        "manifest" => {
+            need_str("algorithm")?;
+        }
+        "trial" => {
+            for key in [
+                "seed",
+                "rounds",
+                "transmissions",
+                "listens",
+                "max_node_transmissions",
+                "wall_ns",
+            ] {
+                need_u64(key)?;
+            }
+            let spans = value
+                .get("spans")
+                .and_then(Json::as_arr)
+                .ok_or("trial record: missing or mistyped 'spans'")?;
+            for span in spans {
+                span.get("label")
+                    .and_then(Json::as_str)
+                    .ok_or("trial span: missing 'label'")?;
+                for key in [
+                    "start_round",
+                    "end_round",
+                    "rounds",
+                    "transmissions",
+                    "listens",
+                    "wall_ns",
+                ] {
+                    span.get(key)
+                        .and_then(Json::as_u64)
+                        .ok_or(format!("trial span: missing or mistyped '{key}'"))?;
+                }
+            }
+            let channels = value
+                .get("channels")
+                .and_then(Json::as_arr)
+                .ok_or("trial record: missing or mistyped 'channels'")?;
+            for tally in channels {
+                for key in ["channel", "silences", "messages", "collisions"] {
+                    tally
+                        .get(key)
+                        .and_then(Json::as_u64)
+                        .ok_or(format!("trial channel tally: missing or mistyped '{key}'"))?;
+                }
+            }
+        }
+        "cell" => {
+            need_str("experiment")?;
+            need_str("section")?;
+            need_u64("row")?;
+            value
+                .get("values")
+                .and_then(Json::as_obj)
+                .ok_or("cell record: missing or mistyped 'values'")?;
+        }
+        "bench" => {
+            need_str("name")?;
+            need_num("mean_ns")?;
+            need_u64("iters")?;
+        }
+        other => return Err(format!("unknown record kind '{other}'")),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contention_analysis::Table;
+
+    fn sample_report() -> ExperimentReport {
+        let mut report = ExperimentReport::new("E0", "sample");
+        let mut table = Table::new(&["n", "rounds", "ratio"]);
+        table.row(&["2^10", "123", "1.5"]);
+        table.row(&["2^12", "145", "1.6"]);
+        report.section("rounds vs n", table);
+        report
+    }
+
+    #[test]
+    fn experiment_records_emit_manifest_then_cells() {
+        let lines = experiment_records(&sample_report(), Scale::Quick);
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            validate_line(line).unwrap();
+        }
+        let manifest = Json::parse(&lines[0]).unwrap();
+        assert_eq!(
+            manifest.get("kind").and_then(Json::as_str),
+            Some("manifest")
+        );
+        assert_eq!(manifest.get("algorithm").and_then(Json::as_str), Some("E0"));
+        let cell = Json::parse(&lines[1]).unwrap();
+        assert_eq!(cell.get("kind").and_then(Json::as_str), Some("cell"));
+        assert_eq!(cell.get("key").and_then(Json::as_str), Some("2^10"));
+        let values = cell.get("values").unwrap();
+        assert_eq!(values.get("rounds").and_then(Json::as_u64), Some(123));
+        assert_eq!(values.get("ratio").and_then(Json::as_f64), Some(1.5));
+        assert_eq!(values.get("n").and_then(Json::as_str), Some("2^10"));
+    }
+
+    #[test]
+    fn validate_rejects_bad_records() {
+        assert!(validate_line("{}").is_err());
+        assert!(validate_line(r#"{"schema_version":99,"kind":"cell"}"#).is_err());
+        assert!(validate_line(r#"{"schema_version":1,"kind":"wat"}"#).is_err());
+        assert!(validate_line(r#"{"schema_version":1,"kind":"bench","name":"x"}"#).is_err());
+        assert!(validate_line(
+            r#"{"schema_version":1,"kind":"bench","name":"x","mean_ns":1.5,"iters":10}"#
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn trial_records_validate() {
+        use mac_sim::trials::run_trials_recorded;
+        use mac_sim::{Action, ChannelId, Engine, SimConfig};
+        use rand::rngs::SmallRng;
+
+        struct Beacon;
+        impl mac_sim::Protocol for Beacon {
+            type Msg = u8;
+            fn act(&mut self, _: &mac_sim::RoundContext, _: &mut SmallRng) -> Action<u8> {
+                Action::transmit(ChannelId::PRIMARY, 0)
+            }
+            fn observe(
+                &mut self,
+                _: &mac_sim::RoundContext,
+                _: mac_sim::Feedback<u8>,
+                _: &mut SmallRng,
+            ) {
+            }
+            fn status(&self) -> mac_sim::Status {
+                mac_sim::Status::Active
+            }
+        }
+
+        let pairs = run_trials_recorded(3, 7, |seed| {
+            let mut engine = Engine::new(SimConfig::new(2).seed(seed));
+            engine.add_node(Beacon);
+            engine
+        });
+        for (_, record) in &pairs {
+            validate_line(&record.to_jsonl_line()).unwrap();
+        }
+    }
+
+    #[test]
+    fn jsonl_roundtrips_through_disk() {
+        let dir = std::env::temp_dir().join("contention-record-test");
+        let path = dir.join("e0.jsonl");
+        let lines = experiment_records(&sample_report(), Scale::Quick);
+        write_jsonl(&path, &lines).unwrap();
+        let back = load_jsonl(&path).unwrap();
+        assert_eq!(back.len(), lines.len());
+        for record in &back {
+            validate_record(record).unwrap();
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cell_value_types() {
+        assert_eq!(cell_value("42"), Json::UInt(42));
+        assert_eq!(cell_value("1.25"), Json::Float(1.25));
+        assert_eq!(cell_value("2^10"), Json::Str("2^10".into()));
+        assert_eq!(cell_value(""), Json::Str(String::new()));
+    }
+}

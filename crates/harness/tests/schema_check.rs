@@ -1,0 +1,85 @@
+//! Schema conformance for every JSONL surface the workspace emits.
+//!
+//! Three producers write run-record JSONL: `repro --record-dir` (manifest +
+//! cell records per experiment), `obsdiff record` (manifest + trial
+//! records, the committed golden fixture), and the `bench_round_engine`
+//! custom main (bench records, the committed `BENCH_round_engine.json`).
+//! This test validates each against `record::validate_record`, so a schema
+//! drift in any producer — or in the committed artifacts — fails CI before
+//! `obsdiff` ever sees a malformed line.
+
+use contention_harness::record::{self, load_jsonl, validate_record};
+use contention_harness::{experiments, Scale};
+use mac_sim::obs::Json;
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn kind(record: &Json) -> &str {
+    match record.get("kind").and_then(Json::as_str) {
+        Some(k) => k,
+        None => panic!("record without kind: {record:?}"),
+    }
+}
+
+fn assert_all_valid(records: &[Json], source: &str) {
+    for (i, rec) in records.iter().enumerate() {
+        if let Err(e) = validate_record(rec) {
+            panic!("{source} line {}: {e}\n  {rec:?}", i + 1);
+        }
+    }
+}
+
+#[test]
+fn golden_fixture_conforms_to_schema() {
+    let path = workspace_root().join("tests/fixtures/golden_run_record.jsonl");
+    let records = load_jsonl(&path).expect("golden fixture loads");
+    assert_all_valid(&records, "golden_run_record.jsonl");
+    assert_eq!(
+        kind(&records[0]),
+        "manifest",
+        "first record is the manifest"
+    );
+    let trials = records.iter().filter(|r| kind(r) == "trial").count();
+    assert_eq!(trials, 5, "the golden fixture holds five trials");
+}
+
+#[test]
+fn committed_bench_export_conforms_to_schema() {
+    let path = workspace_root().join("BENCH_round_engine.json");
+    let records = load_jsonl(&path).expect("bench export loads");
+    assert!(!records.is_empty(), "bench export is non-empty");
+    assert_all_valid(&records, "BENCH_round_engine.json");
+    assert!(
+        records.iter().all(|r| kind(r) == "bench"),
+        "bench export holds only bench records"
+    );
+}
+
+#[test]
+fn every_quick_experiment_emits_valid_records() {
+    // The exact lines `repro --quick --record-dir` writes, validated for
+    // every registered experiment without touching the filesystem.
+    for (id, _) in experiments::list() {
+        let run = experiments::by_id(id).expect("listed experiment resolves");
+        let report = run(Scale::Quick);
+        let lines = record::experiment_records(&report, Scale::Quick);
+        assert!(
+            lines.len() > 1,
+            "{id}: expected a manifest and at least one cell record"
+        );
+        for (i, line) in lines.iter().enumerate() {
+            if let Err(e) = record::validate_line(line) {
+                panic!("{id} line {}: {e}\n  {line}", i + 1);
+            }
+        }
+        let first = Json::parse(&lines[0]).expect("manifest parses");
+        assert_eq!(
+            kind(&first),
+            "manifest",
+            "{id}: first record is the manifest"
+        );
+    }
+}

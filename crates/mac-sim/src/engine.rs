@@ -402,12 +402,16 @@ impl<P: Protocol, F: FeedbackModel> Engine<P, F> {
         }
 
         // Phase accounting: the paper's algorithms keep all active nodes
-        // in lockstep, so the first active node is representative.
+        // in lockstep, so the first active node is representative. Sinks
+        // that opt into per-node labels (`wants_node_phases`) get each
+        // acting node's own label instead — exact under staggered
+        // wake-ups, where the representative label misattributes rounds.
         let phase = self
             .nodes
             .iter()
             .find(|slot| slot.woken && slot.protocol.status() == Status::Active)
             .map_or("idle", |slot| slot.protocol.phase());
+        let node_phases = sink.wants_node_phases();
 
         // Collect actions.
         self.actions.clear();
@@ -462,7 +466,15 @@ impl<P: Protocol, F: FeedbackModel> Engine<P, F> {
                             .metrics
                             .on_transmission(round, NodeId(*idx), *channel, phase);
                     }
-                    sink.on_transmission(round, NodeId(*idx), *channel, phase);
+                    // Per-node labels are read *after* `act`, so the label
+                    // names the phase that actually produced the action
+                    // (matching `PhaseMeter`'s attribution).
+                    let label = if node_phases {
+                        self.nodes[*idx].protocol.phase()
+                    } else {
+                        phase
+                    };
+                    sink.on_transmission(round, NodeId(*idx), *channel, label);
                 }
                 Action::Listen { channel } => {
                     let ci = channel.index();
@@ -471,9 +483,16 @@ impl<P: Protocol, F: FeedbackModel> Engine<P, F> {
                     }
                     self.rx_count[ci] += 1;
                     if record_metrics {
-                        self.run.metrics.on_listen(round, NodeId(*idx), *channel);
+                        self.run
+                            .metrics
+                            .on_listen(round, NodeId(*idx), *channel, phase);
                     }
-                    sink.on_listen(round, NodeId(*idx), *channel);
+                    let label = if node_phases {
+                        self.nodes[*idx].protocol.phase()
+                    } else {
+                        phase
+                    };
+                    sink.on_listen(round, NodeId(*idx), *channel, label);
                 }
                 Action::Sleep => {}
             }
@@ -1011,7 +1030,13 @@ mod tests {
             ) {
                 self.tx += 1;
             }
-            fn on_listen(&mut self, _round: u64, _node: NodeId, _channel: ChannelId) {
+            fn on_listen(
+                &mut self,
+                _round: u64,
+                _node: NodeId,
+                _channel: ChannelId,
+                _phase: &'static str,
+            ) {
                 self.rx += 1;
             }
             fn on_solved(&mut self, round: u64, solver: NodeId) {

@@ -122,6 +122,7 @@ mod error;
 pub mod fault;
 pub mod feedback;
 mod metrics;
+pub mod obs;
 mod protocol;
 pub mod render;
 mod rng;

@@ -9,6 +9,14 @@ use std::fmt;
 /// Because the paper's algorithms are globally synchronized (every active
 /// node is in the same step of the same phase in the same round), this
 /// single-representative accounting is exact for them.
+///
+/// It is **not** exact under staggered wake-ups (the §3 transform) or
+/// heterogeneous populations: a low-indexed late waker in its listen
+/// window relabels rounds the actual runners spent mid-protocol. When
+/// nodes can be in different phases at once, use
+/// [`crate::obs::RunRecorder`], whose phase spans and
+/// [`crate::obs::RunRecord::phase_node_rounds`] attribute every action to
+/// the acting node's own phase.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PhaseBreakdown {
     rounds: BTreeMap<&'static str, u64>,

@@ -37,8 +37,12 @@ pub trait EventSink {
     }
 
     /// One node listened on `channel` this round.
-    fn on_listen(&mut self, round: u64, node: NodeId, channel: ChannelId) {
-        let _ = (round, node, channel);
+    ///
+    /// `phase` is the round's representative label by default; when the
+    /// sink opts into [`wants_node_phases`](EventSink::wants_node_phases)
+    /// it is the listening node's own label.
+    fn on_listen(&mut self, round: u64, node: NodeId, channel: ChannelId, phase: &'static str) {
+        let _ = (round, node, channel, phase);
     }
 
     /// The problem was solved this round by `solver`'s lone transmission on
@@ -67,6 +71,20 @@ pub trait EventSink {
     fn wants_outcomes(&self) -> bool {
         true
     }
+
+    /// Whether this sink needs *per-node* phase labels on
+    /// [`on_transmission`](EventSink::on_transmission) /
+    /// [`on_listen`](EventSink::on_listen). By default the engine passes
+    /// every event the round's single representative label (the phase of
+    /// the lowest-indexed active node) — exact for the paper's lockstep
+    /// algorithms, and free. Sinks that account per-phase activity under
+    /// staggered wake-ups or heterogeneous populations (notably
+    /// [`crate::obs::RunRecorder`]) return `true`, and the engine then
+    /// labels each event with the acting node's own phase, read right
+    /// after its `act` call.
+    fn wants_node_phases(&self) -> bool {
+        false
+    }
 }
 
 /// The null sink: observes nothing.
@@ -87,8 +105,8 @@ impl<S: EventSink + ?Sized> EventSink for &mut S {
     ) {
         (**self).on_transmission(round, node, channel, phase);
     }
-    fn on_listen(&mut self, round: u64, node: NodeId, channel: ChannelId) {
-        (**self).on_listen(round, node, channel);
+    fn on_listen(&mut self, round: u64, node: NodeId, channel: ChannelId, phase: &'static str) {
+        (**self).on_listen(round, node, channel, phase);
     }
     fn on_solved(&mut self, round: u64, solver: NodeId) {
         (**self).on_solved(round, solver);
@@ -101,6 +119,9 @@ impl<S: EventSink + ?Sized> EventSink for &mut S {
     }
     fn wants_outcomes(&self) -> bool {
         (**self).wants_outcomes()
+    }
+    fn wants_node_phases(&self) -> bool {
+        (**self).wants_node_phases()
     }
 }
 
@@ -116,9 +137,9 @@ impl<A: EventSink, B: EventSink> EventSink for (A, B) {
         self.0.on_transmission(round, node, channel, phase);
         self.1.on_transmission(round, node, channel, phase);
     }
-    fn on_listen(&mut self, round: u64, node: NodeId, channel: ChannelId) {
-        self.0.on_listen(round, node, channel);
-        self.1.on_listen(round, node, channel);
+    fn on_listen(&mut self, round: u64, node: NodeId, channel: ChannelId, phase: &'static str) {
+        self.0.on_listen(round, node, channel, phase);
+        self.1.on_listen(round, node, channel, phase);
     }
     fn on_solved(&mut self, round: u64, solver: NodeId) {
         self.0.on_solved(round, solver);
@@ -135,6 +156,9 @@ impl<A: EventSink, B: EventSink> EventSink for (A, B) {
     fn wants_outcomes(&self) -> bool {
         self.0.wants_outcomes() || self.1.wants_outcomes()
     }
+    fn wants_node_phases(&self) -> bool {
+        self.0.wants_node_phases() || self.1.wants_node_phases()
+    }
 }
 
 /// [`Metrics`] observes transmissions, listens, and per-phase rounds. It
@@ -149,7 +173,7 @@ impl EventSink for Metrics {
     ) {
         self.record_transmission(node.0, phase);
     }
-    fn on_listen(&mut self, _round: u64, _node: NodeId, _channel: ChannelId) {
+    fn on_listen(&mut self, _round: u64, _node: NodeId, _channel: ChannelId, _phase: &'static str) {
         self.record_listen();
     }
     fn on_round(&mut self, _round: u64, phase: &'static str, _outcomes: &[ChannelOutcome]) {
@@ -193,7 +217,7 @@ mod tests {
         fn on_transmission(&mut self, _r: u64, _n: NodeId, _c: ChannelId, _p: &'static str) {
             self.tx += 1;
         }
-        fn on_listen(&mut self, _r: u64, _n: NodeId, _c: ChannelId) {
+        fn on_listen(&mut self, _r: u64, _n: NodeId, _c: ChannelId, _p: &'static str) {
             self.rx += 1;
         }
         fn on_solved(&mut self, round: u64, solver: NodeId) {
@@ -223,7 +247,7 @@ mod tests {
     fn pair_sink_fans_out() {
         let mut pair = (Counter::default(), Counter::default());
         pair.on_transmission(0, NodeId(1), ChannelId::PRIMARY, "main");
-        pair.on_listen(0, NodeId(2), ChannelId::PRIMARY);
+        pair.on_listen(0, NodeId(2), ChannelId::PRIMARY, "main");
         pair.on_round(0, "main", &[]);
         pair.on_finished(1);
         assert_eq!((pair.0.tx, pair.1.tx), (1, 1));
@@ -244,7 +268,7 @@ mod tests {
         let mut via_sink = Metrics::new(2);
         via_sink.on_transmission(0, NodeId(0), ChannelId::PRIMARY, "a");
         via_sink.on_transmission(1, NodeId(1), ChannelId::PRIMARY, "b");
-        via_sink.on_listen(1, NodeId(0), ChannelId::PRIMARY);
+        via_sink.on_listen(1, NodeId(0), ChannelId::PRIMARY, "a");
         via_sink.on_round(0, "a", &[]);
         via_sink.on_round(1, "b", &[]);
 

@@ -14,11 +14,101 @@
 //! * [`run_trials_summaries`] — the cheap path via [`Engine::run_summary`],
 //!   skipping the metrics/trace clones entirely;
 //! * [`run_trials_with_threads`] — explicit thread count, used by the
-//!   thread-count-invariance test.
+//!   thread-count-invariance test;
+//! * [`run_trials_recorded`] — attach a [`RunRecorder`] per trial and get
+//!   `(report, record)` pairs for structured JSONL export.
+//!
+//! Long sweeps can opt into stderr progress reporting (trials completed,
+//! trials/sec, ETA) with [`enable_stderr_progress`]; it is off by default
+//! so benches and tests are unaffected.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 use crate::engine::{Engine, RunReport, RunSummary};
 use crate::feedback::FeedbackModel;
+use crate::obs::{RunRecord, RunRecorder};
 use crate::protocol::Protocol;
+
+/// Whether the trial layer reports progress to stderr. Off by default so
+/// benches and tests are unaffected; long sweeps opt in via
+/// [`enable_stderr_progress`].
+static PROGRESS_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns on throughput/ETA progress reporting on stderr for every
+/// subsequent trial batch (`<completed>/<total> trials  <rate>/s  ETA
+/// <secs>s`, throttled to a few updates per second). The experiment
+/// runner's `--progress` flag calls this.
+pub fn enable_stderr_progress() {
+    PROGRESS_ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns stderr progress reporting back off.
+pub fn disable_stderr_progress() {
+    PROGRESS_ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Progress bookkeeping for one trial batch. All overhead sits behind a
+/// single relaxed load when reporting is disabled.
+struct ProgressMeter {
+    enabled: bool,
+    total: u64,
+    done: AtomicU64,
+    started: Instant,
+    last_print: Mutex<Instant>,
+}
+
+impl ProgressMeter {
+    fn begin(total: usize) -> Self {
+        let enabled = PROGRESS_ENABLED.load(Ordering::Relaxed) && total > 1;
+        let now = Instant::now();
+        ProgressMeter {
+            enabled,
+            total: total as u64,
+            done: AtomicU64::new(0),
+            started: now,
+            last_print: Mutex::new(now),
+        }
+    }
+
+    fn tick(&self) {
+        if !self.enabled {
+            return;
+        }
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        let finished = done == self.total;
+        // Throttle: only the thread that wins the lock prints, at most
+        // every 200ms (always on the final trial).
+        let Ok(mut last) = self.last_print.try_lock() else {
+            return;
+        };
+        if !finished && last.elapsed().as_millis() < 200 {
+            return;
+        }
+        *last = Instant::now();
+        let elapsed = self.started.elapsed().as_secs_f64();
+        #[allow(clippy::cast_precision_loss)]
+        let rate = if elapsed > 0.0 {
+            done as f64 / elapsed
+        } else {
+            0.0
+        };
+        #[allow(clippy::cast_precision_loss)]
+        let eta = if rate > 0.0 {
+            (self.total - done) as f64 / rate
+        } else {
+            0.0
+        };
+        eprint!(
+            "\r  {done}/{} trials  {rate:.1}/s  ETA {eta:.0}s   ",
+            self.total
+        );
+        if finished {
+            eprintln!();
+        }
+    }
+}
 
 /// Runs `trials` independent executions built by `build` (which receives
 /// the trial's seed) and returns their reports in seed order.
@@ -127,6 +217,41 @@ where
         .collect()
 }
 
+/// Like [`run_trials`], but attaches a [`RunRecorder`] to every trial and
+/// returns `(report, record)` pairs — the structured-record path used by
+/// record-emitting experiments and the `obsdiff record` probe. Each
+/// trial's [`RunRecord`] carries its own seed.
+///
+/// # Panics
+///
+/// Panics if any trial fails; the message carries the seed for replay.
+pub fn run_trials_recorded<P, F, B>(
+    trials: usize,
+    base_seed: u64,
+    build: B,
+) -> Vec<(RunReport, RunRecord)>
+where
+    P: Protocol,
+    F: FeedbackModel,
+    B: Fn(u64) -> Engine<P, F> + Sync,
+{
+    let threads = default_threads(trials);
+    let mut results: Vec<Option<(RunReport, RunRecord)>> = (0..trials).map(|_| None).collect();
+    fan_out(&mut results, threads, &|index, slot| {
+        let seed = base_seed + index;
+        let mut engine = build(seed);
+        let mut recorder = RunRecorder::new();
+        let report = engine
+            .run_observed(&mut recorder)
+            .unwrap_or_else(|e| panic!("trial with seed {seed} failed: {e}"));
+        *slot = Some((report, recorder.into_record(seed)));
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("trial completed"))
+        .collect()
+}
+
 /// Default worker count: `available_parallelism()`, capped at the trial
 /// count so tiny batches don't spawn idle threads.
 fn default_threads(trials: usize) -> usize {
@@ -145,12 +270,15 @@ fn fan_out<T: Send>(
 ) {
     let trials = results.len();
     let chunk_size = trials.div_ceil(threads.max(1)).max(1);
+    let progress = ProgressMeter::begin(trials);
     std::thread::scope(|scope| {
         for (chunk_idx, chunk) in results.chunks_mut(chunk_size).enumerate() {
             let start = chunk_idx * chunk_size;
+            let progress = &progress;
             scope.spawn(move || {
                 for (offset, slot) in chunk.iter_mut().enumerate() {
                     run_one((start + offset) as u64, slot);
+                    progress.tick();
                 }
             });
         }
@@ -236,6 +364,20 @@ mod tests {
     fn extract_sees_final_engine_state() {
         let lens = run_trials_with(3, 5, build, |engine, _| engine.len());
         assert_eq!(lens, vec![4, 4, 4]);
+    }
+
+    #[test]
+    fn recorded_trials_match_reports() {
+        let pairs = run_trials_recorded(4, 42, build);
+        let reports = run_trials(4, 42, build);
+        for ((report, record), plain) in pairs.iter().zip(&reports) {
+            assert_eq!(report.solved_round, plain.solved_round);
+            assert_eq!(record.transmissions, report.metrics.transmissions);
+            assert_eq!(record.listens, report.metrics.listens);
+            assert_eq!(record.rounds, report.rounds_executed);
+            assert_eq!(record.solved_round, report.solved_round);
+        }
+        assert_eq!(pairs[2].1.seed, 44);
     }
 
     #[test]

@@ -1,0 +1,81 @@
+//! Structured run records: span-model telemetry for one faulted run.
+//!
+//! ```text
+//! cargo run --release -p contention-bench --example run_record
+//! ```
+//!
+//! The markdown reports aggregate thousands of trials; this example goes
+//! the other way and dissects a *single* run. It attaches a
+//! [`mac_sim::obs::RunRecorder`] to the paper's full algorithm running
+//! over noisy collision detection (5% silence ↔ collision flips), then
+//! prints:
+//!
+//! 1. the run manifest (algorithm, topology, fault layers, seed) — the
+//!    `kind: "manifest"` JSONL record CI stores next to every run,
+//! 2. the span tree — each phase of the pipeline as a span with exact
+//!    per-phase round, transmission, listen, and wall-clock accounting,
+//! 3. the per-channel outcome tallies, and
+//! 4. the `kind: "trial"` JSONL line itself, as `obsdiff` consumes it.
+
+use contention::wakeup::StaggeredStart;
+use contention::{FullAlgorithm, Params};
+use mac_sim::fault::{Layered, NoisyCd};
+use mac_sim::obs::{RunManifest, RunRecorder};
+use mac_sim::{CdMode, Engine, SimConfig, StopWhen};
+
+const N: u64 = 1 << 12;
+const CHANNELS: u32 = 32;
+const ACTIVE: usize = 200;
+const SEED: u64 = 2016;
+
+fn main() {
+    // Run until *every* node terminates (not just the first solo
+    // transmission), so the record covers the pipeline's whole journey
+    // through its phases rather than stopping at the first solve.
+    let config = SimConfig::new(CHANNELS)
+        .seed(SEED)
+        .stop_when(StopWhen::AllTerminated)
+        .max_rounds(1_000_000);
+    let noise = Layered::new(NoisyCd::symmetric(0.05), CdMode::Strong);
+
+    let manifest = RunManifest::new("staggered full-algorithm", &config)
+        .n(N)
+        .active(ACTIVE as u64)
+        .fault_layer("NoisyCd::symmetric(0.05) over strong CD")
+        .fault_layer("staggered wake-ups, two waves 8 rounds apart")
+        .crate_version("contention", env!("CARGO_PKG_VERSION"));
+    println!("manifest:\n  {}\n", manifest.to_jsonl_line());
+
+    let mut engine = Engine::with_feedback(config, noise);
+    for i in 0..ACTIVE {
+        // Wake the fleet in two waves: under staggered starts the
+        // pipeline's phases genuinely overlap, which is exactly what the
+        // span model exists to show.
+        let inner = FullAlgorithm::new(Params::practical(), CHANNELS, N);
+        engine.add_node_at(StaggeredStart::new(inner), if i % 2 == 0 { 0 } else { 8 });
+    }
+
+    let mut recorder = RunRecorder::new();
+    let report = engine.run_observed(&mut recorder).expect("run completes");
+    let record = recorder.into_record(SEED);
+
+    match report.rounds_to_solve() {
+        Some(rounds) => println!(
+            "solved in {rounds} rounds ({} transmissions, {} listens)\n",
+            report.metrics.transmissions, report.metrics.listens
+        ),
+        None => println!("no solve within the round budget\n"),
+    }
+
+    println!("span tree:\n{}", record.render_tree());
+
+    println!("per-channel outcomes:");
+    for ch in &record.channels {
+        println!(
+            "  channel {:>2}: {:>6} silences  {:>6} messages  {:>6} collisions",
+            ch.channel, ch.silences, ch.messages, ch.collisions
+        );
+    }
+
+    println!("\ntrial record (JSONL):\n{}", record.to_jsonl_line());
+}

@@ -1,0 +1,180 @@
+//! Observer-effect freedom: attaching a `RunRecorder` must not change a
+//! single bit of any run.
+//!
+//! The span-model recorder rides the engine's event stream and asks for
+//! per-node phase labels (`wants_node_phases`), which makes the engine do
+//! extra label reads on the observation path. This test replays the two
+//! behavioral oracles' full grids — the 30-case `engine_oracle` grid and
+//! the 42-case `phase_equivalence` grid — once bare and once with a
+//! recorder attached, demanding identical reports, metrics, node statuses,
+//! and stats. Protocols draw randomness only inside `act`/`observe`, so a
+//! single extra RNG draw anywhere would shift every subsequent decision of
+//! that node and diverge the trajectory; bit-identical runs certify the
+//! recorder consumed zero draws.
+
+use contention::{FullAlgorithm, FullStats, Params, TwoActive};
+use mac_sim::obs::{RunRecord, RunRecorder};
+use mac_sim::{CdMode, Engine, Protocol, RunReport, SimConfig, SimError, Status, StopWhen};
+
+const MODES: [CdMode; 3] = [CdMode::Strong, CdMode::ReceiverOnly, CdMode::None];
+
+fn finish<P: Protocol>(result: Result<RunReport, SimError>, exec: &Engine<P>) -> RunReport {
+    match result {
+        Ok(report) => report,
+        // Weak CD modes can time out by design; the partial run is still a
+        // deterministic fingerprint.
+        Err(SimError::Timeout { .. }) => exec.report(),
+        Err(e) => panic!("unexpected simulation error: {e}"),
+    }
+}
+
+/// Runs the same configuration twice — bare, then with a recorder — and
+/// returns everything observable from both runs.
+#[allow(clippy::type_complexity)]
+fn bare_and_recorded<P: Protocol>(
+    c: u32,
+    seed: u64,
+    mode: CdMode,
+    build: impl Fn() -> P,
+    count: usize,
+) -> (
+    (RunReport, Vec<Status>),
+    (RunReport, Vec<Status>),
+    RunRecord,
+) {
+    let cfg = || {
+        SimConfig::new(c)
+            .seed(seed)
+            .cd_mode(mode)
+            .stop_when(StopWhen::Solved)
+            .max_rounds(2_000)
+    };
+    let mut bare = Engine::new(cfg());
+    for _ in 0..count {
+        bare.add_node(build());
+    }
+    let bare_report = finish(bare.run(), &bare);
+    let bare_statuses: Vec<Status> = bare.iter_nodes().map(Protocol::status).collect();
+
+    let mut observed = Engine::new(cfg());
+    for _ in 0..count {
+        observed.add_node(build());
+    }
+    let mut recorder = RunRecorder::new();
+    let observed_report = finish(observed.run_observed(&mut recorder), &observed);
+    let observed_statuses: Vec<Status> = observed.iter_nodes().map(Protocol::status).collect();
+
+    (
+        (bare_report, bare_statuses),
+        (observed_report, observed_statuses),
+        recorder.into_record(seed),
+    )
+}
+
+fn assert_identical(label: &str, bare: &(RunReport, Vec<Status>), obs: &(RunReport, Vec<Status>)) {
+    assert_eq!(
+        bare.0.solved_round, obs.0.solved_round,
+        "{label}: solved_round"
+    );
+    assert_eq!(bare.0.solver, obs.0.solver, "{label}: solver");
+    assert_eq!(
+        bare.0.rounds_executed, obs.0.rounds_executed,
+        "{label}: rounds_executed"
+    );
+    assert_eq!(bare.0.leaders, obs.0.leaders, "{label}: leader set");
+    assert_eq!(bare.0.metrics, obs.0.metrics, "{label}: full metrics");
+    assert_eq!(bare.1, obs.1, "{label}: node statuses");
+}
+
+/// The recorder's own totals must also be consistent with the run it
+/// observed — a recorder that is inert but wrong would pass the identity
+/// checks alone.
+fn assert_record_consistent(label: &str, report: &RunReport, record: &RunRecord) {
+    assert_eq!(
+        record.rounds, report.rounds_executed,
+        "{label}: record rounds"
+    );
+    assert_eq!(
+        record.transmissions, report.metrics.transmissions,
+        "{label}: record tx"
+    );
+    assert_eq!(record.listens, report.metrics.listens, "{label}: record rx");
+    assert_eq!(
+        record.solved_round, report.solved_round,
+        "{label}: record solve"
+    );
+}
+
+#[test]
+fn engine_oracle_grid_is_observer_free() {
+    let (c, n, active) = (16u32, 1u64 << 10, 60usize);
+    let params = Params::practical();
+    let mut cases = 0;
+    for mode in MODES {
+        for seed in [11u64, 22, 33, 44, 55] {
+            let label = format!("full cd={mode:?} seed={seed}");
+            let (bare, obs, record) =
+                bare_and_recorded(c, seed, mode, || FullAlgorithm::new(params, c, n), active);
+            assert_identical(&label, &bare, &obs);
+            assert_record_consistent(&label, &obs.0, &record);
+            cases += 1;
+
+            let label = format!("two-active cd={mode:?} seed={seed}");
+            let (bare, obs, record) = bare_and_recorded(c, seed, mode, || TwoActive::new(c, n), 2);
+            assert_identical(&label, &bare, &obs);
+            assert_record_consistent(&label, &obs.0, &record);
+            cases += 1;
+        }
+    }
+    assert_eq!(cases, 30, "the engine-oracle grid is 30 cases");
+}
+
+#[test]
+fn phase_equivalence_grid_is_observer_free() {
+    let params = Params::practical();
+    // The same grid as tests/phase_equivalence.rs: the pipeline path and
+    // the small-C fallback path.
+    let configs: [(u32, u64, usize, &[u64]); 2] = [
+        (16, 1 << 10, 60, &[11, 22, 33, 44, 55, 66, 77, 88, 99, 110]),
+        (4, 1 << 10, 40, &[7, 14, 21, 28]),
+    ];
+    let mut cases = 0;
+    for (c, n, active, seeds) in configs {
+        for mode in MODES {
+            for &seed in seeds {
+                let label = format!("C={c} n={n} |A|={active} cd={mode:?} seed={seed}");
+                let (bare, obs, record) =
+                    bare_and_recorded(c, seed, mode, || FullAlgorithm::new(params, c, n), active);
+                assert_identical(&label, &bare, &obs);
+                assert_record_consistent(&label, &obs.0, &record);
+                cases += 1;
+            }
+        }
+    }
+    assert_eq!(cases, 42, "the phase-equivalence grid is 42 cases");
+}
+
+#[test]
+fn stats_survive_observation_unchanged() {
+    // FullStats (the per-node counters the experiments read) are part of
+    // the observable surface too.
+    let (c, n, active) = (16u32, 1u64 << 10, 60usize);
+    let params = Params::practical();
+    for seed in [5u64, 15, 25] {
+        let run = |observe: bool| -> Vec<FullStats> {
+            let cfg = SimConfig::new(c).seed(seed).max_rounds(2_000);
+            let mut exec = Engine::new(cfg);
+            for _ in 0..active {
+                exec.add_node(FullAlgorithm::new(params, c, n));
+            }
+            if observe {
+                let mut recorder = RunRecorder::new();
+                exec.run_observed(&mut recorder).expect("solves");
+            } else {
+                exec.run().expect("solves");
+            }
+            exec.iter_nodes().map(FullAlgorithm::stats).collect()
+        };
+        assert_eq!(run(false), run(true), "seed {seed}: FullStats diverged");
+    }
+}

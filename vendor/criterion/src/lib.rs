@@ -15,7 +15,32 @@
 #![warn(missing_docs)]
 
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One completed benchmark measurement, as recorded by the driver.
+///
+/// Real criterion persists these under `target/criterion/`; this stand-in
+/// collects them in-process so a bench's `main` can export machine-readable
+/// results (see `benches/bench_round_engine.rs`, which writes
+/// `BENCH_round_engine.json`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Full benchmark name (`group/function`).
+    pub name: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Number of measured iterations.
+    pub iters: u64,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Drains every measurement recorded since the last call, in run order.
+#[must_use]
+pub fn take_results() -> Vec<BenchResult> {
+    std::mem::take(&mut RESULTS.lock().expect("results lock poisoned"))
+}
 
 /// Prevents the optimizer from deleting a computation whose result is unused.
 #[inline]
@@ -214,6 +239,14 @@ fn run_one<F: FnMut(&mut Bencher)>(
         return;
     }
     let ns = bencher.total.as_secs_f64() * 1e9 / bencher.iters as f64;
+    RESULTS
+        .lock()
+        .expect("results lock poisoned")
+        .push(BenchResult {
+            name: full_name.clone(),
+            mean_ns: ns,
+            iters: bencher.iters,
+        });
     let rate = settings.throughput.map(|t| match t {
         Throughput::Elements(n) => format!("  {:>12.0} elem/s", n as f64 / (ns / 1e9)),
         Throughput::Bytes(n) => format!("  {:>12.0} B/s", n as f64 / (ns / 1e9)),
@@ -282,6 +315,22 @@ mod tests {
         });
         group.finish();
         assert_eq!(seen, 4);
+    }
+
+    #[test]
+    fn results_are_collected_and_drained() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("collect");
+        quick(&mut group.settings);
+        group.bench_function("one", |b| b.iter(|| black_box(2 + 2)));
+        group.finish();
+        let results = take_results();
+        let ours: Vec<_> = results.iter().filter(|r| r.name == "collect/one").collect();
+        assert_eq!(ours.len(), 1, "exactly one measurement for collect/one");
+        assert!(ours[0].mean_ns > 0.0);
+        assert!(ours[0].iters > 0);
+        // Drained: a second take sees nothing of ours.
+        assert!(take_results().iter().all(|r| r.name != "collect/one"));
     }
 
     #[test]
