@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! contend [--algo NAME] [--channels C] [--universe N] [--active K]
-//!         [--seed S] [--trace] [--complete]
+//!         [--seed S] [--trials T] [--trace] [--complete]
 //!
 //!   --algo      paper | two-active | tournament | descent | tree-split |
 //!               willard | decay | multichannel-nocd | expected   (default: paper)
@@ -10,12 +10,17 @@
 //!   --universe  universe size n                 (default: 4096)
 //!   --active    activated nodes |A|             (default: 100)
 //!   --seed      master seed                     (default: 0)
+//!   --trials    run T seeded sessions (seed, seed+1, …) through the
+//!               campaign scheduler and print streamed summary statistics
+//!               instead of one run's story            (default: 1)
 //!   --trace     print the channel-activity chart of the run
 //!   --complete  run until every node terminates (default: stop at solve)
 //! ```
 
 use contention::session::{Algorithm, Session};
 use contention::Params;
+use contention_harness::Samples;
+use mac_sim::campaign::{Campaign, Cell, SeedStream};
 
 struct Args {
     algo: Algorithm,
@@ -23,6 +28,7 @@ struct Args {
     universe: u64,
     active: usize,
     seed: u64,
+    trials: usize,
     trace: bool,
     complete: bool,
 }
@@ -34,6 +40,7 @@ fn parse_args() -> Result<Args, String> {
         universe: 4096,
         active: 100,
         seed: 0,
+        trials: 1,
         trace: false,
         complete: false,
     };
@@ -79,12 +86,20 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?;
             }
+            "--trials" | "-t" => {
+                args.trials = value("--trials")?
+                    .parse()
+                    .map_err(|e| format!("--trials: {e}"))?;
+                if args.trials == 0 {
+                    return Err("--trials must be at least 1".to_string());
+                }
+            }
             "--trace" => args.trace = true,
             "--complete" => args.complete = true,
             "--help" | "-h" => {
                 println!(
                     "usage: contend [--algo NAME] [--channels C] [--universe N] \
-                     [--active K] [--seed S] [--trace] [--complete]"
+                     [--active K] [--seed S] [--trials T] [--trace] [--complete]"
                 );
                 std::process::exit(0);
             }
@@ -92,6 +107,64 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+/// Streamed multi-trial mode: `--trials T` schedules one campaign cell of
+/// `T` seeded sessions (seed, seed+1, …) and folds every run into online
+/// summaries — constant memory however many trials are requested, and the
+/// same scheduler (and determinism contract) the experiment sweeps use.
+fn run_trials(args: &Args) {
+    type Agg = (Samples, Samples, Samples, u64);
+    let cell = Cell::new(
+        args.trials,
+        SeedStream::Offset(args.seed),
+        Agg::default,
+        |seed, acc: &mut Agg| {
+            let session = Session::new(args.channels, args.universe)
+                .algorithm(args.algo)
+                .seed(seed)
+                .run_to_completion(args.complete);
+            let resolution = session.run(args.active).unwrap_or_else(|e| {
+                eprintln!("error: trial with seed {seed} failed: {e}");
+                std::process::exit(1);
+            });
+            if let Some(r) = resolution.report.rounds_to_solve() {
+                acc.0.push(r);
+                acc.3 += 1;
+            }
+            acc.1.push(resolution.report.metrics.transmissions);
+            acc.2.push(resolution.report.metrics.listens);
+        },
+    );
+    let mut campaign = Campaign::new();
+    campaign.push(cell);
+    let (rounds, tx, rx, solved) = campaign
+        .run_collect()
+        .pop()
+        .expect("one cell yields one aggregate");
+
+    println!(
+        "{} trials: C={} n={} |A|={} seeds {}..{}",
+        args.trials,
+        args.channels,
+        args.universe,
+        args.active,
+        args.seed,
+        args.seed.wrapping_add(args.trials as u64)
+    );
+    println!("solved: {solved}/{}", args.trials);
+    if solved > 0 {
+        let r = rounds.0.finish();
+        println!(
+            "rounds to solve: mean {:.1}, p95 {:.1}, max {:.0}",
+            r.mean, r.p95, r.max
+        );
+    }
+    println!(
+        "energy per trial: mean {:.1} transmissions, mean {:.1} listens",
+        tx.0.finish().mean,
+        rx.0.finish().mean
+    );
 }
 
 fn main() {
@@ -102,6 +175,11 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    if args.trials > 1 {
+        run_trials(&args);
+        return;
+    }
 
     let session = Session::new(args.channels, args.universe)
         .algorithm(args.algo)

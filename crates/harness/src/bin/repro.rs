@@ -5,34 +5,73 @@
 //!
 //!   --quick            reduced trial counts / thinned grids (seconds, not minutes)
 //!   --tsv              emit tab-separated tables (for plotting) instead of markdown
-//!   --record-dir DIR   also write one schema-versioned JSONL record file per
-//!                      experiment (manifest + cell records) into DIR
-//!   --progress         print trial throughput / ETA to stderr while running
+//!   --record-dir DIR   write one schema-versioned JSONL record file per experiment
+//!                      (manifest + cell records) into DIR, checkpointing completed
+//!                      rows incrementally as `<id>.jsonl.part`
+//!   --resume DIR       like --record-dir DIR, but rows already recorded in DIR
+//!                      (from a finished file or a killed run's checkpoint) are
+//!                      replayed instead of re-run; output is bit-identical to an
+//!                      uninterrupted run
+//!   --progress         one throttled stderr line: campaign-wide trials/sec + ETA
+//!   --workers N        pin the campaign worker-pool size (default: all cores)
+//!   --deadline SECS    cooperative deadline; on expiry the sweep checkpoints and
+//!                      exits with code 3 (resume later with --resume)
 //!   ids                experiment ids to run, e.g. `e1 e9 e16`; default: all
 //! ```
+//!
+//! All experiments run on the campaign scheduler (`mac_sim::campaign`):
+//! one worker pool spans every cell of every sweep, results stream into
+//! `O(1)`-memory aggregates, and completed table rows are checkpointed to
+//! the record dir the moment they finish. See docs/CAMPAIGNS.md.
 
-use contention_harness::{experiments, record, Scale};
+use contention_harness::{experiments, RecordStore, RunCtx, Scale, SweepCancelled};
+use mac_sim::campaign::CancelToken;
 use std::io::Write as _;
 use std::path::PathBuf;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Full;
     let mut tsv = false;
+    let mut progress = false;
     let mut record_dir: Option<PathBuf> = None;
+    let mut resume = false;
+    let mut workers: Option<usize> = None;
+    let mut deadline: Option<f64> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut iter = args.iter();
+    let dir_arg = |iter: &mut std::slice::Iter<String>, flag: &str| -> PathBuf {
+        match iter.next() {
+            Some(dir) => PathBuf::from(dir),
+            None => {
+                eprintln!("{flag} needs a directory argument");
+                std::process::exit(2);
+            }
+        }
+    };
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--quick" | "-q" => scale = Scale::Quick,
             "--full" => scale = Scale::Full,
             "--tsv" => tsv = true,
-            "--progress" => mac_sim::trials::enable_stderr_progress(),
-            "--record-dir" => match iter.next() {
-                Some(dir) => record_dir = Some(PathBuf::from(dir)),
-                None => {
-                    eprintln!("--record-dir needs a directory argument");
+            "--progress" => progress = true,
+            "--record-dir" => record_dir = Some(dir_arg(&mut iter, "--record-dir")),
+            "--resume" => {
+                record_dir = Some(dir_arg(&mut iter, "--resume"));
+                resume = true;
+            }
+            "--workers" => match iter.next().and_then(|w| w.parse().ok()) {
+                Some(w) if w > 0 => workers = Some(w),
+                _ => {
+                    eprintln!("--workers needs a positive integer argument");
+                    std::process::exit(2);
+                }
+            },
+            "--deadline" => match iter.next().and_then(|s| s.parse().ok()) {
+                Some(secs) if secs > 0.0 => deadline = Some(secs),
+                _ => {
+                    eprintln!("--deadline needs a positive number of seconds");
                     std::process::exit(2);
                 }
             },
@@ -44,13 +83,51 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--quick] [--tsv] [--record-dir DIR] [--progress] [--list] [e1 e2 ... e18]"
+                    "usage: repro [--quick] [--tsv] [--record-dir DIR | --resume DIR] \
+                     [--progress] [--workers N] [--deadline SECS] [--list] [e1 e2 ... e18]"
                 );
                 return;
             }
             other => ids.push(other.to_string()),
         }
     }
+
+    let mut ctx = RunCtx::new(scale);
+    if let Some(w) = workers {
+        ctx = ctx.workers(w);
+    }
+    if progress {
+        ctx = ctx.progress();
+    }
+    let token = CancelToken::new();
+    if let Some(secs) = deadline {
+        token.set_deadline(Duration::from_secs_f64(secs));
+    }
+    ctx = ctx.cancel_token(token);
+    if let Some(dir) = &record_dir {
+        let store = if resume {
+            RecordStore::resume(dir)
+        } else {
+            RecordStore::create(dir)
+        };
+        match store {
+            Ok(store) => ctx = ctx.record_store(store),
+            Err(e) => {
+                eprintln!("cannot open record dir {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // A deadline expiry unwinds out of the sweep with a `SweepCancelled`
+    // payload; it is expected control flow, so silence the default hook's
+    // backtrace chatter for exactly that payload.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if info.payload().downcast_ref::<SweepCancelled>().is_none() {
+            default_hook(info);
+        }
+    }));
 
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
@@ -62,39 +139,49 @@ fn main() {
     writeln!(out, "_Scale: {scale:?}_\n").expect("stdout");
 
     let started = Instant::now();
-    let mut emit = |report: &contention_harness::ExperimentReport| {
-        if tsv {
-            for section in &report.sections {
-                writeln!(out, "# {} / {}", report.id, section.caption).expect("stdout");
-                writeln!(out, "{}", section.table.to_tsv()).expect("stdout");
-                writeln!(out).expect("stdout");
-            }
-        } else {
-            writeln!(out, "{report}").expect("stdout");
-        }
-        if let Some(dir) = &record_dir {
-            let lines = record::experiment_records(report, scale);
-            let path = dir.join(format!("{}.jsonl", report.id.to_lowercase()));
-            if let Err(e) = record::write_jsonl(&path, &lines) {
-                eprintln!("cannot write {}: {e}", path.display());
-                std::process::exit(1);
-            }
-        }
-    };
     if ids.is_empty() {
-        for report in experiments::run_all(scale) {
-            emit(&report);
-        }
-    } else {
-        for id in &ids {
-            match experiments::by_id(id) {
-                Some(runner) => emit(&runner(scale)),
-                None => {
-                    eprintln!("unknown experiment id: {id} (valid: e1..e18)");
-                    std::process::exit(2);
-                }
-            }
+        ids = experiments::list()
+            .iter()
+            .map(|(id, _)| (*id).into())
+            .collect();
+    }
+    for id in &ids {
+        if experiments::by_id(id).is_none() {
+            eprintln!("unknown experiment id: {id} (valid: e1..e18)");
+            std::process::exit(2);
         }
     }
+    for id in &ids {
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            experiments::run_one(id, &ctx)
+        }));
+        match run {
+            Ok(Some(report)) => {
+                if tsv {
+                    for section in &report.sections {
+                        writeln!(out, "# {} / {}", report.id, section.caption).expect("stdout");
+                        writeln!(out, "{}", section.table.to_tsv()).expect("stdout");
+                        writeln!(out).expect("stdout");
+                    }
+                } else {
+                    writeln!(out, "{report}").expect("stdout");
+                }
+            }
+            Ok(None) => unreachable!("ids were validated above"),
+            Err(payload) if payload.downcast_ref::<SweepCancelled>().is_some() => {
+                ctx.finish_progress();
+                let dir = record_dir
+                    .as_ref()
+                    .map_or_else(|| "<record dir>".into(), |d| d.display().to_string());
+                eprintln!(
+                    "\ndeadline reached during {id}: completed rows are checkpointed in {dir}; \
+                     rerun with `--resume {dir}` to finish bit-identically"
+                );
+                std::process::exit(3);
+            }
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+    ctx.finish_progress();
     writeln!(out, "\n_Total wall time: {:.1?}_", started.elapsed()).expect("stdout");
 }

@@ -20,41 +20,55 @@
 //! the theorem's mechanics bound).
 
 use contention::TwoActive;
-use contention_analysis::{fit_linear, Summary, Table};
+use contention_analysis::fit_linear;
+use mac_sim::campaign::{Collect, SeedStream};
 use mac_sim::{Engine, SimConfig, StopWhen};
 
 use super::{lg, seed_base};
-use crate::{ExperimentReport, Scale};
-use mac_sim::trials::run_trials;
+use crate::{cell_f64, ExperimentReport, RunCtx, Samples};
 
-/// Rounds until solved (first lone primary-channel transmission) per trial.
-pub(crate) fn measure(c: u32, n: u64, trials: usize, seed: u64) -> Vec<u64> {
-    run_trials(trials, seed, |s| {
-        let mut exec = Engine::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
-        exec.add_node(TwoActive::new(c, n));
-        exec.add_node(TwoActive::new(c, n));
-        exec
-    })
-    .iter()
-    .map(|r| r.rounds_to_solve().expect("TwoActive always solves"))
-    .collect()
+/// Rounds until solved (first lone primary-channel transmission) for one
+/// seed.
+pub(crate) fn solve_rounds(c: u32, n: u64, seed: u64) -> u64 {
+    let mut exec = Engine::new(SimConfig::new(c).seed(seed).max_rounds(1_000_000));
+    exec.add_node(TwoActive::new(c, n));
+    exec.add_node(TwoActive::new(c, n));
+    let report = exec
+        .run()
+        .unwrap_or_else(|e| panic!("trial with seed {seed} failed: {e}"));
+    report.rounds_to_solve().expect("TwoActive always solves")
 }
 
-/// Rounds until the algorithm *completes* (winner declared, loser retired).
+/// Rounds until the algorithm *completes* (winner declared, loser retired)
+/// for one seed.
+pub(crate) fn completion_rounds(c: u32, n: u64, seed: u64) -> u64 {
+    let cfg = SimConfig::new(c)
+        .seed(seed)
+        .stop_when(StopWhen::AllTerminated)
+        .max_rounds(1_000_000);
+    let mut exec = Engine::new(cfg);
+    exec.add_node(TwoActive::new(c, n));
+    exec.add_node(TwoActive::new(c, n));
+    exec.run()
+        .unwrap_or_else(|e| panic!("trial with seed {seed} failed: {e}"))
+        .rounds_executed
+}
+
+/// Rounds until solved, over `trials` consecutive seeds from `seed`.
+/// Test/cross-experiment helper; the report path streams instead.
+#[cfg(test)]
+pub(crate) fn measure(c: u32, n: u64, trials: usize, seed: u64) -> Vec<u64> {
+    (0..trials as u64)
+        .map(|i| solve_rounds(c, n, seed.wrapping_add(i)))
+        .collect()
+}
+
+/// Completion rounds over `trials` consecutive seeds from `seed`.
+#[cfg(test)]
 pub(crate) fn measure_completion(c: u32, n: u64, trials: usize, seed: u64) -> Vec<u64> {
-    run_trials(trials, seed, |s| {
-        let cfg = SimConfig::new(c)
-            .seed(s)
-            .stop_when(StopWhen::AllTerminated)
-            .max_rounds(1_000_000);
-        let mut exec = Engine::new(cfg);
-        exec.add_node(TwoActive::new(c, n));
-        exec.add_node(TwoActive::new(c, n));
-        exec
-    })
-    .iter()
-    .map(|r| r.rounds_executed)
-    .collect()
+    (0..trials as u64)
+        .map(|i| completion_rounds(c, n, seed.wrapping_add(i)))
+        .collect()
 }
 
 /// The concrete w.h.p. round budget implied by Theorem 1's mechanics:
@@ -69,7 +83,8 @@ pub fn whp_budget(n: u64, c: u32) -> f64 {
 
 /// Runs the experiment.
 #[must_use]
-pub fn run(scale: Scale) -> ExperimentReport {
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
+    let scale = ctx.scale;
     let mut report = ExperimentReport::new(
         "E1",
         "TwoActive vs n (Theorem 1: O(log n/log C + log log n) w.h.p.)",
@@ -77,68 +92,103 @@ pub fn run(scale: Scale) -> ExperimentReport {
     let n_exps: Vec<u32> = scale.thin(&[8, 12, 16, 20]);
     let cs = [4u32, 64, 1024];
 
-    let mut table = Table::new(&[
-        "C",
-        "n",
-        "solved mean",
-        "completed mean",
-        "completed max",
-        "whp budget",
-        "trials > budget",
-    ]);
+    // One campaign cell per (C, n) row; both the solve and the completion
+    // measurement stream into the row's aggregate, with their historical
+    // seed bases recovered from the trial index.
+    let mut sweep = ctx.sweep::<(Samples, Samples, u64)>(
+        "Rounds for |A| = 2 (solve = problem definition; complete = leader declared)",
+        &[
+            "C",
+            "n",
+            "solved mean",
+            "completed mean",
+            "completed max",
+            "whp budget",
+            "trials > budget",
+        ],
+    );
     for &c in &cs {
         for &ne in &n_exps {
             let n = 1u64 << ne;
-            let solved = Summary::from_u64(&measure(
-                c,
-                n,
-                scale.trials(),
-                seed_base("e1s", u64::from(c), n),
-            ));
-            let completed =
-                measure_completion(c, n, scale.trials(), seed_base("e1c", u64::from(c), n));
-            let cs_ = Summary::from_u64(&completed);
             let budget = whp_budget(n, c);
-            let over = completed.iter().filter(|&&r| (r as f64) > budget).count();
-            table.row_owned(vec![
-                c.to_string(),
-                format!("2^{ne}"),
-                format!("{:.2}", solved.mean),
-                format!("{:.2}", cs_.mean),
-                format!("{:.0}", cs_.max),
-                format!("{budget:.1}"),
-                over.to_string(),
-            ]);
+            let solve_base = seed_base("e1s", u64::from(c), n);
+            let complete_base = seed_base("e1c", u64::from(c), n);
+            sweep.row(
+                scale.trials(),
+                SeedStream::Offset(0),
+                <(Samples, Samples, u64)>::default,
+                move |i, acc| {
+                    acc.0.push(solve_rounds(c, n, solve_base.wrapping_add(i)));
+                    let completed = completion_rounds(c, n, complete_base.wrapping_add(i));
+                    acc.1.push(completed);
+                    #[allow(clippy::cast_precision_loss)]
+                    if completed as f64 > budget {
+                        acc.2 += 1;
+                    }
+                },
+                move |(solved, completed, over)| {
+                    let s = solved.0.finish();
+                    let cm = completed.0.finish();
+                    vec![
+                        c.to_string(),
+                        format!("2^{ne}"),
+                        format!("{:.2}", s.mean),
+                        format!("{:.2}", cm.mean),
+                        format!("{:.0}", cm.max),
+                        format!("{budget:.1}"),
+                        over.to_string(),
+                    ]
+                },
+            );
         }
     }
     report.section(
         "Rounds for |A| = 2 (solve = problem definition; complete = leader declared)",
-        table,
+        sweep.run(),
     );
 
     // The C-scaling of the w.h.p. term, isolated: the 99.9% quantile of the
     // renaming race (step 1) must scale as lg(1000)/lg C — exactly Theorem
     // 1's first term with the confidence target 1/1000 in place of 1/n.
     // Measured by direct Monte-Carlo of the race for tight tail resolution.
-    use super::e03_rename_geometric::race_rounds;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
-    let mut xs = Vec::new();
-    let mut ys = Vec::new();
-    let mut tail_table = Table::new(&["C", "rename q99.9", "theory lg(1000)/lg C"]);
-    for ce in [1u32, 2, 4, 6, 8, 10, 12] {
+    let ces = [1u32, 2, 4, 6, 8, 10, 12];
+    let mc_trials = scale.mc_trials().max(20_000);
+    let mut tail_sweep = ctx.sweep::<Collect<u64>>(
+        "Renaming-race 99.9% quantile vs 1/lg C",
+        &["C", "rename q99.9", "theory lg(1000)/lg C"],
+    );
+    for &ce in &ces {
         let c = 1u32 << ce;
-        let mut rng = SmallRng::seed_from_u64(seed_base("e1q", u64::from(c), 0));
-        let mut samples: Vec<u32> = (0..scale.mc_trials().max(20_000))
-            .map(|_| race_rounds(c, &mut rng))
-            .collect();
-        samples.sort_unstable();
-        let q = samples[samples.len() * 999 / 1000];
-        let theory = 1000f64.log2() / f64::from(ce);
-        xs.push(1.0 / f64::from(ce));
-        ys.push(f64::from(q));
-        tail_table.row_owned(vec![c.to_string(), q.to_string(), format!("{theory:.1}")]);
+        tail_sweep.row(
+            1,
+            SeedStream::Offset(seed_base("e1q", u64::from(c), 0)),
+            Collect::default,
+            move |seed, acc| {
+                use super::e03_rename_geometric::race_rounds;
+                use rand::rngs::SmallRng;
+                use rand::SeedableRng;
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let mut samples: Vec<u32> =
+                    (0..mc_trials).map(|_| race_rounds(c, &mut rng)).collect();
+                samples.sort_unstable();
+                acc.0.push(u64::from(samples[samples.len() * 999 / 1000]));
+            },
+            move |acc| {
+                let q = acc.0[0];
+                let theory = 1000f64.log2() / f64::from(ce);
+                vec![c.to_string(), q.to_string(), format!("{theory:.1}")]
+            },
+        );
     }
+    let tail_table = tail_sweep.run();
+    // The fit is derived from the *rendered* quantile column so a resumed
+    // run (which replays rows as strings) reports the identical note.
+    let xs: Vec<f64> = ces.iter().map(|&ce| 1.0 / f64::from(ce)).collect();
+    let ys: Vec<f64> = tail_table
+        .rows()
+        .iter()
+        .map(|row| cell_f64(&row[1]))
+        .collect();
     let fit = fit_linear(&xs, &ys);
     report.section("Renaming-race 99.9% quantile vs 1/lg C", tail_table);
     report.note(format!(
@@ -160,6 +210,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Scale;
 
     #[test]
     fn completion_never_exceeds_whp_budget() {
@@ -203,7 +254,7 @@ mod tests {
 
     #[test]
     fn report_renders_with_all_sections() {
-        let r = run(Scale::Quick);
+        let r = run(&RunCtx::new(Scale::Quick));
         assert_eq!(r.sections.len(), 2);
         assert!(!r.sections[0].table.is_empty());
         assert!(r.to_markdown().contains("E1"));

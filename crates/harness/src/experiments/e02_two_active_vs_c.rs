@@ -10,43 +10,41 @@
 //!   term is a high-probability statement.
 
 use contention::TwoActive;
-use contention_analysis::{Summary, Table};
+use mac_sim::campaign::SeedStream;
 use mac_sim::{Engine, SimConfig, StopWhen};
 
-use super::e01_two_active_vs_n::{measure, measure_completion, whp_budget};
+use super::e01_two_active_vs_n::{completion_rounds, solve_rounds, whp_budget};
 use super::seed_base;
-use crate::{ExperimentReport, Scale};
-use mac_sim::trials::run_trials_with;
+use crate::{ExperimentReport, RunCtx, Samples};
 
-/// Mean search (SplitCheck) rounds, from protocol stats.
-fn mean_search_rounds(c: u32, n: u64, trials: usize, seed: u64) -> f64 {
-    let rounds: Vec<u64> = run_trials_with(
-        trials,
-        seed,
-        |s| {
-            let cfg = SimConfig::new(c)
-                .seed(s)
-                .stop_when(StopWhen::AllTerminated)
-                .max_rounds(1_000_000);
-            let mut exec = Engine::new(cfg);
-            exec.add_node(TwoActive::new(c, n));
-            exec.add_node(TwoActive::new(c, n));
-            exec
-        },
-        |exec, _| {
-            exec.iter_nodes()
-                .next()
-                .expect("has nodes")
-                .stats()
-                .search_rounds
-        },
-    );
+/// Search (SplitCheck) rounds of one run, from protocol stats.
+fn search_rounds_one(c: u32, n: u64, seed: u64) -> u64 {
+    let cfg = SimConfig::new(c)
+        .seed(seed)
+        .stop_when(StopWhen::AllTerminated)
+        .max_rounds(1_000_000);
+    let mut exec = Engine::new(cfg);
+    exec.add_node(TwoActive::new(c, n));
+    exec.add_node(TwoActive::new(c, n));
+    exec.run()
+        .unwrap_or_else(|e| panic!("trial with seed {seed} failed: {e}"));
+    let stats = exec.iter_nodes().next().expect("has nodes").stats();
+    stats.search_rounds
+}
+
+/// Mean search rounds over `trials` consecutive seeds. Test helper.
+#[cfg(test)]
+pub(crate) fn mean_search_rounds(c: u32, n: u64, trials: usize, seed: u64) -> f64 {
+    let rounds: Vec<u64> = (0..trials as u64)
+        .map(|i| search_rounds_one(c, n, seed.wrapping_add(i)))
+        .collect();
     rounds.iter().sum::<u64>() as f64 / rounds.len() as f64
 }
 
 /// Runs the experiment.
 #[must_use]
-pub fn run(scale: Scale) -> ExperimentReport {
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
+    let scale = ctx.scale;
     let mut report = ExperimentReport::new(
         "E2",
         "TwoActive vs C: the w.h.p. budget falls as 1/lg C to a lg lg floor",
@@ -54,50 +52,61 @@ pub fn run(scale: Scale) -> ExperimentReport {
     let c_exps: Vec<u32> = scale.thin(&[1, 2, 3, 4, 6, 8, 10, 12, 14]);
     let ns = [1u64 << 12, 1u64 << 20];
 
-    let mut table = Table::new(&[
-        "n",
-        "C",
-        "solved mean",
-        "completed mean",
-        "search mean (lg lg C part)",
-        "whp budget",
-        "trials > budget",
-    ]);
+    let caption = "Rounds to solve / complete vs channel count, |A| = 2";
+    let mut sweep = ctx.sweep::<(Samples, Samples, u64, Samples)>(
+        caption,
+        &[
+            "n",
+            "C",
+            "solved mean",
+            "completed mean",
+            "search mean (lg lg C part)",
+            "whp budget",
+            "trials > budget",
+        ],
+    );
     for &n in &ns {
         for &ce in &c_exps {
             let c = 1u32 << ce;
-            let solved = Summary::from_u64(&measure(
-                c,
-                n,
-                scale.trials(),
-                seed_base("e2s", u64::from(c), n),
-            ));
-            let completed =
-                measure_completion(c, n, scale.trials(), seed_base("e2c", u64::from(c), n));
-            let comp = Summary::from_u64(&completed);
-            let search = mean_search_rounds(
-                c,
-                n,
-                scale.trials().min(30),
-                seed_base("e2x", u64::from(c), n),
-            );
             let budget = whp_budget(n, c);
-            let over = completed.iter().filter(|&&r| (r as f64) > budget).count();
-            table.row_owned(vec![
-                format!("2^{}", (n as f64).log2() as u32),
-                c.to_string(),
-                format!("{:.2}", solved.mean),
-                format!("{:.2}", comp.mean),
-                format!("{search:.2}"),
-                format!("{budget:.1}"),
-                over.to_string(),
-            ]);
+            let solve_base = seed_base("e2s", u64::from(c), n);
+            let complete_base = seed_base("e2c", u64::from(c), n);
+            let search_base = seed_base("e2x", u64::from(c), n);
+            let search_trials = scale.trials().min(30) as u64;
+            sweep.row(
+                scale.trials(),
+                SeedStream::Offset(0),
+                <(Samples, Samples, u64, Samples)>::default,
+                move |i, acc| {
+                    acc.0.push(solve_rounds(c, n, solve_base.wrapping_add(i)));
+                    let completed = completion_rounds(c, n, complete_base.wrapping_add(i));
+                    acc.1.push(completed);
+                    #[allow(clippy::cast_precision_loss)]
+                    if completed as f64 > budget {
+                        acc.2 += 1;
+                    }
+                    if i < search_trials {
+                        acc.3
+                            .push(search_rounds_one(c, n, search_base.wrapping_add(i)));
+                    }
+                },
+                move |(solved, completed, over, search)| {
+                    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                    let n_exp = (n as f64).log2() as u32;
+                    vec![
+                        format!("2^{n_exp}"),
+                        c.to_string(),
+                        format!("{:.2}", solved.0.finish().mean),
+                        format!("{:.2}", completed.0.finish().mean),
+                        format!("{:.2}", search.0.finish().mean),
+                        format!("{budget:.1}"),
+                        over.to_string(),
+                    ]
+                },
+            );
         }
     }
-    report.section(
-        "Rounds to solve / complete vs channel count, |A| = 2",
-        table,
-    );
+    report.section(caption, sweep.run());
     report.note(
         "The w.h.p. budget column reproduces the theorem's shape: it falls as \
          1/lg C and flattens at the lg lg floor. Typical completion stays ~5 \
@@ -112,6 +121,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Scale;
 
     #[test]
     fn budget_shape_falls_then_flattens() {
@@ -128,6 +138,7 @@ mod tests {
 
     #[test]
     fn completion_stays_within_budget_across_c() {
+        use super::super::e01_two_active_vs_n::measure_completion;
         let n = 1u64 << 16;
         for ce in [1u32, 4, 8, 12] {
             let c = 1u32 << ce;
@@ -150,7 +161,7 @@ mod tests {
 
     #[test]
     fn report_renders() {
-        let r = run(Scale::Quick);
+        let r = run(&RunCtx::new(Scale::Quick));
         assert_eq!(r.sections.len(), 1);
         assert!(!r.notes.is_empty());
     }

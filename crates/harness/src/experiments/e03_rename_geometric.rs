@@ -8,15 +8,15 @@
 //! tails).
 
 use contention::TwoActive;
+use contention_analysis::exceed_fraction;
 use contention_analysis::stats::ks_distance;
-use contention_analysis::{exceed_fraction, Table};
+use mac_sim::campaign::{Collect, SeedStream};
 use mac_sim::{Engine, SimConfig, StopWhen};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use super::seed_base;
-use crate::{ExperimentReport, Scale};
-use mac_sim::trials::run_trials_with;
+use crate::{ExperimentReport, RunCtx, Samples};
 
 /// Direct Monte-Carlo of the renaming race: rounds until two uniform picks
 /// from `[c]` differ.
@@ -28,80 +28,134 @@ pub(crate) fn race_rounds(c: u32, rng: &mut SmallRng) -> u32 {
     rounds
 }
 
+/// The race-round sample vector for one `(C, seed)`: each row that needs
+/// the distribution regenerates it from the same seed, which is cheap and
+/// keeps every row an independent, resumable campaign cell.
+fn race_samples(c: u32, seed: u64, count: usize) -> Vec<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| f64::from(race_rounds(c, &mut rng)))
+        .collect()
+}
+
 /// Runs the experiment.
 #[must_use]
-pub fn run(scale: Scale) -> ExperimentReport {
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
+    let scale = ctx.scale;
     let mut report = ExperimentReport::new(
         "E3",
         "Renaming race tail (Lemma 2: P[still colliding after t rounds] = C^-t)",
     );
     let cs = [4u32, 16, 64];
     let n = 1u64 << 16;
+    let mc_trials = scale.mc_trials();
 
-    // Monte-Carlo tail table, plus a whole-distribution KS check per C.
-    let mut table = Table::new(&["C", "t", "measured P[rounds > t]", "theory C^-t"]);
-    let mut ks_table = Table::new(&["C", "KS distance to Geometric(1 - 1/C)", "sample size"]);
+    // Monte-Carlo tail table: one cell per (C, t) row.
+    let caption_mc = "Monte-Carlo of the channel-picking race";
+    let mut mc_sweep = ctx.sweep::<Collect<f64>>(
+        caption_mc,
+        &["C", "t", "measured P[rounds > t]", "theory C^-t"],
+    );
     for &c in &cs {
-        let mut rng = SmallRng::seed_from_u64(seed_base("e3mc", u64::from(c), 0));
-        let samples: Vec<f64> = (0..scale.mc_trials())
-            .map(|_| f64::from(race_rounds(c, &mut rng)))
-            .collect();
         for t in 1..=3u32 {
-            let measured = exceed_fraction(&samples, f64::from(t));
-            let theory = f64::from(c).powi(-(t as i32));
-            table.row_owned(vec![
-                c.to_string(),
-                t.to_string(),
-                format!("{measured:.5}"),
-                format!("{theory:.5}"),
-            ]);
+            mc_sweep.row(
+                1,
+                SeedStream::Offset(seed_base("e3mc", u64::from(c), 0)),
+                Collect::default,
+                move |seed, acc| {
+                    let samples = race_samples(c, seed, mc_trials);
+                    acc.0.push(exceed_fraction(&samples, f64::from(t)));
+                },
+                move |acc| {
+                    #[allow(clippy::cast_possible_wrap)]
+                    let theory = f64::from(c).powi(-(t as i32));
+                    vec![
+                        c.to_string(),
+                        t.to_string(),
+                        format!("{:.5}", acc.0[0]),
+                        format!("{theory:.5}"),
+                    ]
+                },
+            );
         }
-        // Exact discrete KS against the predicted law.
-        let ints: Vec<u64> = samples.iter().map(|&x| x as u64).collect();
-        let q = 1.0 / f64::from(c); // per-round collision probability
-        let d = ks_distance(&ints, |k| 1.0 - q.powi(k as i32));
-        ks_table.row_owned(vec![
-            c.to_string(),
-            format!("{d:.5}"),
-            ints.len().to_string(),
-        ]);
     }
-    report.section("Monte-Carlo of the channel-picking race", table);
-    report.section("Whole-distribution fit (Kolmogorov–Smirnov)", ks_table);
+    report.section(caption_mc, mc_sweep.run());
+
+    // Exact discrete KS against the predicted law, per C.
+    let caption_ks = "Whole-distribution fit (Kolmogorov–Smirnov)";
+    let mut ks_sweep = ctx.sweep::<Collect<f64>>(
+        caption_ks,
+        &["C", "KS distance to Geometric(1 - 1/C)", "sample size"],
+    );
+    for &c in &cs {
+        ks_sweep.row(
+            1,
+            SeedStream::Offset(seed_base("e3mc", u64::from(c), 0)),
+            Collect::default,
+            move |seed, acc| {
+                let ints: Vec<u64> = race_samples(c, seed, mc_trials)
+                    .iter()
+                    .map(|&x| {
+                        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                        let i = x as u64;
+                        i
+                    })
+                    .collect();
+                let q = 1.0 / f64::from(c); // per-round collision probability
+                #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+                acc.0.push(ks_distance(&ints, |k| 1.0 - q.powi(k as i32)));
+            },
+            move |acc| {
+                vec![
+                    c.to_string(),
+                    format!("{:.5}", acc.0[0]),
+                    mc_trials.to_string(),
+                ]
+            },
+        );
+    }
+    report.section(caption_ks, ks_sweep.run());
 
     // Protocol cross-check: rename_rounds measured in real executions.
-    let mut proto = Table::new(&["C", "protocol mean rename rounds", "theory C/(C-1)"]);
+    let caption_proto = "Protocol cross-check (geometric mean 1/(1-1/C))";
+    let mut proto_sweep = ctx.sweep::<Samples>(
+        caption_proto,
+        &["C", "protocol mean rename rounds", "theory C/(C-1)"],
+    );
     for &c in &cs {
-        let rename: Vec<u64> = run_trials_with(
+        proto_sweep.row(
             scale.trials(),
-            seed_base("e3p", u64::from(c), 1),
-            |s| {
+            SeedStream::Offset(seed_base("e3p", u64::from(c), 1)),
+            Samples::default,
+            move |seed, acc| {
                 let cfg = SimConfig::new(c)
-                    .seed(s)
+                    .seed(seed)
                     .stop_when(StopWhen::AllTerminated)
                     .max_rounds(100_000);
                 let mut exec = Engine::new(cfg);
                 exec.add_node(TwoActive::new(c, n));
                 exec.add_node(TwoActive::new(c, n));
-                exec
+                exec.run()
+                    .unwrap_or_else(|e| panic!("trial with seed {seed} failed: {e}"));
+                acc.push(
+                    exec.iter_nodes()
+                        .next()
+                        .expect("has nodes")
+                        .stats()
+                        .rename_rounds,
+                );
             },
-            |exec, _| {
-                exec.iter_nodes()
-                    .next()
-                    .expect("has nodes")
-                    .stats()
-                    .rename_rounds
+            move |acc| {
+                let theory = f64::from(c) / f64::from(c - 1);
+                vec![
+                    c.to_string(),
+                    format!("{:.3}", acc.0.finish().mean),
+                    format!("{theory:.3}"),
+                ]
             },
         );
-        let mean = rename.iter().sum::<u64>() as f64 / rename.len() as f64;
-        let theory = f64::from(c) / f64::from(c - 1);
-        proto.row_owned(vec![
-            c.to_string(),
-            format!("{mean:.3}"),
-            format!("{theory:.3}"),
-        ]);
     }
-    report.section("Protocol cross-check (geometric mean 1/(1-1/C))", proto);
+    report.section(caption_proto, proto_sweep.run());
     report.note(
         "Measured tails match C^-t to Monte-Carlo precision; the protocol's \
          rename step is exactly the analyzed geometric race."
@@ -113,6 +167,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Scale;
 
     #[test]
     fn race_tail_matches_theory() {
@@ -141,7 +196,7 @@ mod tests {
 
     #[test]
     fn report_renders() {
-        let r = run(Scale::Quick);
+        let r = run(&RunCtx::new(Scale::Quick));
         assert_eq!(r.sections.len(), 3);
     }
 

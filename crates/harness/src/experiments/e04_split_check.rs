@@ -12,7 +12,7 @@ use contention_analysis::Table;
 use mac_sim::{Engine, SimConfig, StopWhen};
 
 use super::seed_base;
-use crate::{ExperimentReport, Scale};
+use crate::{ExperimentReport, RunCtx};
 use mac_sim::trials::run_trials_with;
 
 /// Probe rounds `SplitCheck` spends to locate divergence level `target` in
@@ -36,8 +36,12 @@ pub fn split_check_probes(h: u32, target: u32) -> u32 {
 }
 
 /// Runs the experiment.
+///
+/// The probe table is pure math (no trials); the protocol cross-check runs
+/// on the trial layer, which is itself a single-cell campaign.
 #[must_use]
-pub fn run(scale: Scale) -> ExperimentReport {
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
+    let scale = ctx.scale;
     let mut report = ExperimentReport::new(
         "E4",
         "SplitCheck probe count (Lemma 3: deterministic O(log log C))",
@@ -136,7 +140,7 @@ mod tests {
 
     #[test]
     fn report_renders_and_cross_check_passes() {
-        let r = run(Scale::Quick);
+        let r = run(&crate::RunCtx::new(crate::Scale::Quick));
         assert_eq!(r.sections.len(), 1);
         assert!(!r.notes.is_empty());
     }

@@ -4,16 +4,41 @@
 
 use contention::{IdReduction, IdReductionOutcome, Params};
 use contention_analysis::{Summary, Table};
+use mac_sim::campaign::SeedStream;
 use mac_sim::{Engine, SimConfig, StopWhen, TraceLevel};
 use std::collections::HashSet;
 
 use super::seed_base;
-use crate::{ExperimentReport, Scale};
+use crate::{ExperimentReport, RunCtx, Samples};
 use mac_sim::trials::run_trials_with;
 
 /// One trial's digest: (rounds, surviving ids).
 type Digest = (u64, Vec<u32>);
 
+/// One `IdReduction` execution at one seed.
+fn measure_one(c: u32, active: usize, params: Params, seed: u64) -> Digest {
+    let cfg = SimConfig::new(c)
+        .seed(seed)
+        .stop_when(StopWhen::AllTerminated)
+        .max_rounds(1_000_000);
+    let mut exec = Engine::new(cfg);
+    for _ in 0..active {
+        exec.add_node(IdReduction::new(params, c));
+    }
+    let report = exec
+        .run()
+        .unwrap_or_else(|e| panic!("trial with seed {seed} failed: {e}"));
+    let ids: Vec<u32> = exec
+        .iter_nodes()
+        .filter_map(|p| match p.outcome().expect("terminated") {
+            IdReductionOutcome::Renamed(id) => Some(id),
+            IdReductionOutcome::Eliminated => None,
+        })
+        .collect();
+    (report.rounds_executed, ids)
+}
+
+#[cfg(test)]
 pub(crate) fn measure(
     c: u32,
     active: usize,
@@ -21,36 +46,33 @@ pub(crate) fn measure(
     trials: usize,
     seed: u64,
 ) -> Vec<Digest> {
-    run_trials_with(
-        trials,
-        seed,
-        |s| {
-            let cfg = SimConfig::new(c)
-                .seed(s)
-                .stop_when(StopWhen::AllTerminated)
-                .max_rounds(1_000_000);
-            let mut exec = Engine::new(cfg);
-            for _ in 0..active {
-                exec.add_node(IdReduction::new(params, c));
-            }
-            exec
-        },
-        |exec, report| {
-            let ids: Vec<u32> = exec
-                .iter_nodes()
-                .filter_map(|p| match p.outcome().expect("terminated") {
-                    IdReductionOutcome::Renamed(id) => Some(id),
-                    IdReductionOutcome::Eliminated => None,
-                })
-                .collect();
-            (report.rounds_executed, ids)
-        },
-    )
+    (0..trials as u64)
+        .map(|i| measure_one(c, active, params, seed.wrapping_add(i)))
+        .collect()
+}
+
+/// Streaming per-row state for the invariant table.
+#[derive(Default)]
+struct IdRow {
+    rounds: Samples,
+    survivors: Samples,
+    not_within: u64,
+    not_unique: u64,
+}
+
+impl mac_sim::campaign::Aggregate for IdRow {
+    fn merge(&mut self, other: Self) {
+        self.rounds.merge(other.rounds);
+        self.survivors.merge(other.survivors);
+        self.not_within += other.not_within;
+        self.not_unique += other.not_unique;
+    }
 }
 
 /// Runs the experiment.
 #[must_use]
-pub fn run(scale: Scale) -> ExperimentReport {
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
+    let scale = ctx.scale;
     let mut report = ExperimentReport::new(
         "E6",
         "IdReduction (Theorem 6: unique ids from [C/2] in O(log n/log C) rounds)",
@@ -59,69 +81,87 @@ pub fn run(scale: Scale) -> ExperimentReport {
     // |A| = Θ(log n): 24 models n = 2^24; 200 stresses the reduction path.
     let actives = [24usize, 200];
 
-    let mut table = Table::new(&[
-        "C",
-        "|A|",
-        "rounds mean",
-        "rounds p95",
-        "survivors mean",
-        "survivors ≤ C/2?",
-        "ids always unique?",
-    ]);
+    let caption = "Rounds and survivors (practical constants)";
+    let mut sweep = ctx.sweep::<IdRow>(
+        caption,
+        &[
+            "C",
+            "|A|",
+            "rounds mean",
+            "rounds p95",
+            "survivors mean",
+            "survivors ≤ C/2?",
+            "ids always unique?",
+        ],
+    );
     for &ce in &c_exps {
         let c = 1u32 << ce;
         for &active in &actives {
-            let data = measure(
-                c,
-                active,
-                Params::practical(),
+            sweep.row(
                 scale.trials(),
-                seed_base("e6", u64::from(c), active as u64),
+                SeedStream::Offset(seed_base("e6", u64::from(c), active as u64)),
+                IdRow::default,
+                move |seed, acc| {
+                    let (rounds, ids) = measure_one(c, active, Params::practical(), seed);
+                    acc.rounds.push(rounds);
+                    acc.survivors.push(ids.len() as u64);
+                    if ids.len() as u32 > c / 2 {
+                        acc.not_within += 1;
+                    }
+                    let set: HashSet<u32> = ids.iter().copied().collect();
+                    if set.len() != ids.len() || ids.iter().any(|&id| id < 1 || id > c / 2) {
+                        acc.not_unique += 1;
+                    }
+                },
+                move |acc| {
+                    let within = acc.not_within == 0;
+                    let unique = acc.not_unique == 0;
+                    assert!(within && unique, "C={c} |A|={active}: invariant violated");
+                    let rounds = acc.rounds.0.finish();
+                    vec![
+                        c.to_string(),
+                        active.to_string(),
+                        format!("{:.1}", rounds.mean),
+                        format!("{:.0}", rounds.p95),
+                        format!("{:.1}", acc.survivors.0.finish().mean),
+                        "yes".to_string(),
+                        "yes".to_string(),
+                    ]
+                },
             );
-            let rounds = Summary::from_u64(&data.iter().map(|d| d.0).collect::<Vec<_>>());
-            let surv =
-                Summary::from_u64(&data.iter().map(|d| d.1.len() as u64).collect::<Vec<_>>());
-            let within = data.iter().all(|d| d.1.len() as u32 <= c / 2);
-            let unique = data.iter().all(|d| {
-                let set: HashSet<u32> = d.1.iter().copied().collect();
-                set.len() == d.1.len() && d.1.iter().all(|&id| id >= 1 && id <= c / 2)
-            });
-            table.row_owned(vec![
-                c.to_string(),
-                active.to_string(),
-                format!("{:.1}", rounds.mean),
-                format!("{:.0}", rounds.p95),
-                format!("{:.1}", surv.mean),
-                if within { "yes" } else { "NO" }.to_string(),
-                if unique { "yes" } else { "NO" }.to_string(),
-            ]);
-            assert!(within && unique, "C={c} |A|={active}: invariant violated");
         }
     }
-    report.section("Rounds and survivors (practical constants)", table);
+    report.section(caption, sweep.run());
 
     // A second, smaller sweep with the paper's literal constants.
-    let mut paper = Table::new(&["C", "|A|", "rounds mean (paper k=√C/144, clamped ≥3)"]);
+    let caption_paper = "Paper-literal constants";
+    let mut paper_sweep = ctx.sweep::<Samples>(
+        caption_paper,
+        &["C", "|A|", "rounds mean (paper k=√C/144, clamped ≥3)"],
+    );
     for &c in &[1u32 << 8, 1 << 12] {
-        let data = measure(
-            c,
-            24,
-            Params::paper(),
+        paper_sweep.row(
             scale.trials(),
-            seed_base("e6p", u64::from(c), 0),
+            SeedStream::Offset(seed_base("e6p", u64::from(c), 0)),
+            Samples::default,
+            move |seed, acc| {
+                acc.push(measure_one(c, 24, Params::paper(), seed).0);
+            },
+            move |acc| {
+                vec![
+                    c.to_string(),
+                    "24".into(),
+                    format!("{:.1}", acc.0.finish().mean),
+                ]
+            },
         );
-        let rounds = Summary::from_u64(&data.iter().map(|d| d.0).collect::<Vec<_>>());
-        paper.row_owned(vec![
-            c.to_string(),
-            "24".into(),
-            format!("{:.1}", rounds.mean),
-        ]);
     }
-    report.section("Paper-literal constants", paper);
+    report.section(caption_paper, paper_sweep.run());
 
     // Lemma 7's dynamics: the active-set trajectory, read off the traces
     // (in a rename round every active node transmits, so the total
-    // transmitter count in that round *is* |A_r|).
+    // transmitter count in that round *is* |A_r|). One bounded batch on the
+    // trial layer — itself a single-cell campaign — feeding several rows.
     let (c, active) = (64u32, 200usize);
     let trajectories: Vec<Vec<u64>> = run_trials_with(
         scale.trials().min(30),
@@ -185,6 +225,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Scale;
 
     #[test]
     fn invariants_hold_at_every_point() {
@@ -216,7 +257,7 @@ mod tests {
 
     #[test]
     fn report_renders() {
-        let r = run(Scale::Quick);
+        let r = run(&RunCtx::new(Scale::Quick));
         assert_eq!(r.sections.len(), 3);
     }
 }

@@ -3,59 +3,70 @@
 //! renaming success probability.
 
 use contention_analysis::balls::{lemma9_bound, no_lone_ball_probability};
-use contention_analysis::Table;
+use mac_sim::campaign::{Collect, SeedStream};
 
 use super::seed_base;
-use crate::{ExperimentReport, Scale};
+use crate::{ExperimentReport, RunCtx};
 
 /// Runs the experiment.
 #[must_use]
-pub fn run(scale: Scale) -> ExperimentReport {
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
+    let scale = ctx.scale;
     let mut report =
         ExperimentReport::new("E7", "Balls-in-bins (Lemma 9: P[no lone ball] < 2^(-b/2))");
     let betas = [3usize, 4, 8, 16];
     let ms: Vec<usize> = scale.thin(&[48, 128, 512, 2048]);
+    let mc_trials = scale.mc_trials();
 
-    let mut table = Table::new(&[
-        "β",
-        "m (bins)",
-        "b = m/β (balls)",
-        "measured P",
-        "bound 2^(-b/2)",
-        "holds?",
-    ]);
-    let mut violations = 0usize;
+    let caption = "Measured no-lone-ball probability vs the Lemma 9 bound";
+    let mut sweep = ctx.sweep::<Collect<f64>>(
+        caption,
+        &[
+            "β",
+            "m (bins)",
+            "b = m/β (balls)",
+            "measured P",
+            "bound 2^(-b/2)",
+            "holds?",
+        ],
+    );
     for &beta in &betas {
         for &m in &ms {
             if beta >= m {
                 continue;
             }
             let b = m / beta;
-            let p = no_lone_ball_probability(
-                b,
-                m,
-                scale.mc_trials(),
-                seed_base("e7", beta as u64, m as u64),
+            sweep.row(
+                1,
+                SeedStream::Offset(seed_base("e7", beta as u64, m as u64)),
+                Collect::default,
+                move |seed, acc| {
+                    acc.0.push(no_lone_ball_probability(b, m, mc_trials, seed));
+                },
+                move |acc| {
+                    let p = acc.0[0];
+                    let bound = lemma9_bound(b);
+                    #[allow(clippy::cast_precision_loss)]
+                    let holds = p <= bound || p < 3.0 / mc_trials as f64;
+                    vec![
+                        beta.to_string(),
+                        m.to_string(),
+                        b.to_string(),
+                        format!("{p:.6}"),
+                        format!("{bound:.6}"),
+                        if holds { "yes" } else { "NO" }.to_string(),
+                    ]
+                },
             );
-            let bound = lemma9_bound(b);
-            let holds = p <= bound || p < 3.0 / scale.mc_trials() as f64;
-            if !holds {
-                violations += 1;
-            }
-            table.row_owned(vec![
-                beta.to_string(),
-                m.to_string(),
-                b.to_string(),
-                format!("{p:.6}"),
-                format!("{bound:.6}"),
-                if holds { "yes" } else { "NO" }.to_string(),
-            ]);
         }
     }
-    report.section(
-        "Measured no-lone-ball probability vs the Lemma 9 bound",
-        table,
-    );
+    let table = sweep.run();
+    let violations = table
+        .rows()
+        .iter()
+        .filter(|row| row.last().is_some_and(|cell| cell == "NO"))
+        .count();
+    report.section(caption, table);
     report.note(format!(
         "The bound held at {} of {} grid points (0 expected failures: Lemma 9 is \
          conservative — measured probabilities sit orders of magnitude below it).",
@@ -76,6 +87,7 @@ fn table_points(betas: &[usize], ms: &[usize]) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Scale;
 
     #[test]
     fn bound_holds_on_a_spot_grid() {
@@ -88,7 +100,7 @@ mod tests {
 
     #[test]
     fn report_renders() {
-        let r = run(Scale::Quick);
+        let r = run(&RunCtx::new(Scale::Quick));
         assert_eq!(r.sections.len(), 1);
         assert!(!r.sections[0].table.is_empty());
     }

@@ -3,11 +3,12 @@
 //! per-phase `SplitSearch` cost shrinks like `(1/i)·log h` as cohorts grow.
 
 use contention::LeafElection;
-use contention_analysis::{Summary, Table};
+use contention_analysis::Table;
+use mac_sim::campaign::SeedStream;
 use mac_sim::{Engine, SimConfig, StopWhen};
 
 use super::{lg, seed_base};
-use crate::{sample_distinct, ExperimentReport, Scale};
+use crate::{sample_distinct, ExperimentReport, RunCtx, Samples};
 use mac_sim::trials::run_trials_with;
 
 /// One trial's digest: (rounds to solve, per-phase search rounds of the winner).
@@ -25,6 +26,56 @@ pub(crate) enum Occupancy {
     Dense,
 }
 
+/// Builds the `LeafElection` engine for one `(c, x, seed)` configuration.
+fn build_engine(
+    c: u32,
+    x: u32,
+    seed: u64,
+    binary: bool,
+    occupancy: Occupancy,
+) -> Engine<LeafElection> {
+    let cfg = SimConfig::new(c)
+        .seed(seed)
+        .stop_when(StopWhen::AllTerminated)
+        .max_rounds(1_000_000);
+    let mut exec = Engine::new(cfg);
+    let leaves = u64::from(prev_pow2(c) / 2);
+    let ids: Vec<u32> = match occupancy {
+        Occupancy::Random => sample_distinct(leaves, x as usize, seed ^ 0xE8)
+            .into_iter()
+            .map(|id| id as u32 + 1)
+            .collect(),
+        Occupancy::Dense => (1..=x).collect(),
+    };
+    for id in ids {
+        exec.add_node(if binary {
+            LeafElection::with_binary_search(c, id)
+        } else {
+            LeafElection::new(c, id)
+        });
+    }
+    exec
+}
+
+/// Reads the digest off a finished execution.
+fn digest(exec: &Engine<LeafElection>, report: &mac_sim::RunReport) -> Digest {
+    let winner = report.leaders.first().expect("leader elected");
+    let stats = exec.node(*winner).stats();
+    (
+        report.rounds_to_solve().expect("solved"),
+        stats.search_rounds_by_phase.clone(),
+    )
+}
+
+/// One `LeafElection` execution at one seed.
+pub(crate) fn measure_one(c: u32, x: u32, seed: u64, binary: bool, occupancy: Occupancy) -> Digest {
+    let mut exec = build_engine(c, x, seed, binary, occupancy);
+    let report = exec
+        .run()
+        .unwrap_or_else(|e| panic!("trial with seed {seed} failed: {e}"));
+    digest(&exec, &report)
+}
+
 pub(crate) fn measure(
     c: u32,
     x: u32,
@@ -36,37 +87,8 @@ pub(crate) fn measure(
     run_trials_with(
         trials,
         seed,
-        move |s| {
-            let cfg = SimConfig::new(c)
-                .seed(s)
-                .stop_when(StopWhen::AllTerminated)
-                .max_rounds(1_000_000);
-            let mut exec = Engine::new(cfg);
-            let leaves = u64::from(prev_pow2(c) / 2);
-            let ids: Vec<u32> = match occupancy {
-                Occupancy::Random => sample_distinct(leaves, x as usize, s ^ 0xE8)
-                    .into_iter()
-                    .map(|id| id as u32 + 1)
-                    .collect(),
-                Occupancy::Dense => (1..=x).collect(),
-            };
-            for id in ids {
-                exec.add_node(if binary {
-                    LeafElection::with_binary_search(c, id)
-                } else {
-                    LeafElection::new(c, id)
-                });
-            }
-            exec
-        },
-        |exec, report| {
-            let winner = report.leaders.first().expect("leader elected");
-            let stats = exec.node(*winner).stats();
-            (
-                report.rounds_to_solve().expect("solved"),
-                stats.search_rounds_by_phase.clone(),
-            )
-        },
+        move |s| build_engine(c, x, s, binary, occupancy),
+        digest,
     )
 }
 
@@ -76,7 +98,8 @@ fn prev_pow2(x: u32) -> u32 {
 
 /// Runs the experiment.
 #[must_use]
-pub fn run(scale: Scale) -> ExperimentReport {
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
+    let scale = ctx.scale;
     let mut report = ExperimentReport::new(
         "E8",
         "LeafElection (Theorem 17: O(log h · log log x) rounds)",
@@ -84,49 +107,57 @@ pub fn run(scale: Scale) -> ExperimentReport {
     let cs = [64u32, 1024, 1 << 14];
     let xs: Vec<u32> = scale.thin(&[2, 8, 32, 128, 512]);
 
-    let mut table = Table::new(&[
-        "C",
-        "h",
-        "x",
-        "rounds mean",
-        "rounds max",
-        "theory lg h·lglg x",
-        "mean/theory",
-    ]);
+    let caption = "Rounds to elect a leader";
+    let mut sweep = ctx.sweep::<Samples>(
+        caption,
+        &[
+            "C",
+            "h",
+            "x",
+            "rounds mean",
+            "rounds max",
+            "theory lg h·lglg x",
+            "mean/theory",
+        ],
+    );
     for &c in &cs {
         let h = (prev_pow2(c) / 2).trailing_zeros();
         for &x in &xs {
             if x > prev_pow2(c) / 2 {
                 continue;
             }
-            let data = measure(
-                c,
-                x,
+            sweep.row(
                 scale.trials(),
-                seed_base("e8", u64::from(c), u64::from(x)),
-                false,
-                Occupancy::Random,
+                SeedStream::Offset(seed_base("e8", u64::from(c), u64::from(x))),
+                Samples::default,
+                move |seed, acc| {
+                    acc.push(measure_one(c, x, seed, false, Occupancy::Random).0);
+                },
+                move |acc| {
+                    let rounds = acc.0.finish();
+                    let theory =
+                        (lg(f64::from(h)).max(1.0)) * lg(lg(f64::from(x.max(2))).max(2.0)).max(1.0);
+                    vec![
+                        c.to_string(),
+                        h.to_string(),
+                        x.to_string(),
+                        format!("{:.1}", rounds.mean),
+                        format!("{:.0}", rounds.max),
+                        format!("{theory:.1}"),
+                        format!("{:.1}", rounds.mean / theory),
+                    ]
+                },
             );
-            let rounds = Summary::from_u64(&data.iter().map(|d| d.0).collect::<Vec<_>>());
-            let theory =
-                (lg(f64::from(h)).max(1.0)) * lg(lg(f64::from(x.max(2))).max(2.0)).max(1.0);
-            table.row_owned(vec![
-                c.to_string(),
-                h.to_string(),
-                x.to_string(),
-                format!("{:.1}", rounds.mean),
-                format!("{:.0}", rounds.max),
-                format!("{theory:.1}"),
-                format!("{:.1}", rounds.mean / theory),
-            ]);
         }
     }
-    report.section("Rounds to elect a leader", table);
+    report.section(caption, sweep.run());
 
     // Per-phase search cost at one configuration (Lemma 16's 1/i shape).
     // Dense occupancy so that every phase pairs every cohort: the regime the
     // per-phase bound describes (random-sparse runs end in 2-4 phases
-    // because unpaired cohorts retire — see the note below).
+    // because unpaired cohorts retire — see the note below). Several rows
+    // derive from one bounded trace batch, so this section stays on the
+    // trial layer (itself a single-cell campaign).
     let (c, x) = (1u32 << 14, 512u32);
     let data = measure(
         c,
@@ -151,6 +182,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
         }
         let mean = vals.iter().sum::<u64>() as f64 / vals.len() as f64;
         let p = 1u64 << i;
+        #[allow(clippy::cast_precision_loss)]
         let lemma = 5.0 * (f64::from(h).ln() / ((p + 1) as f64).ln()).ceil().max(1.0);
         phase_table.row_owned(vec![
             (i + 1).to_string(),
@@ -181,6 +213,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Scale;
 
     #[test]
     fn rounds_fit_theorem_17() {
@@ -217,7 +250,7 @@ mod tests {
 
     #[test]
     fn report_renders() {
-        let r = run(Scale::Quick);
+        let r = run(&RunCtx::new(Scale::Quick));
         assert_eq!(r.sections.len(), 2);
     }
 }

@@ -11,13 +11,27 @@
 use contention::baselines::{BinaryDescent, CdTournament, Decay, MultiChannelNoCd};
 use contention::phase::{PhaseStats, PhaseTelemetry};
 use contention::{FullAlgorithm, Params};
-use contention_analysis::{Summary, Table};
+use mac_sim::campaign::{Aggregate, SeedStream};
 use mac_sim::{CdMode, Engine, SimConfig};
 
 use super::seed_base;
-use crate::{sample_distinct, ExperimentReport, Scale};
+use crate::{cell_u64, sample_distinct, ExperimentReport, RunCtx, Samples};
+#[cfg(test)]
 use mac_sim::trials::{run_trials, run_trials_with};
 
+/// Rounds-to-solve for one full-algorithm run.
+fn full_one(c: u32, n: u64, active: usize, seed: u64) -> u64 {
+    let mut exec = Engine::new(SimConfig::new(c).seed(seed).max_rounds(10_000_000));
+    for _ in 0..active {
+        exec.add_node(FullAlgorithm::new(Params::practical(), c, n));
+    }
+    exec.run()
+        .unwrap_or_else(|e| panic!("trial with seed {seed} failed: {e}"))
+        .rounds_to_solve()
+        .expect("solved")
+}
+
+#[cfg(test)]
 pub(crate) fn full_rounds(c: u32, n: u64, active: usize, trials: usize, seed: u64) -> Vec<u64> {
     run_trials(trials, seed, |s| {
         let mut exec = Engine::new(SimConfig::new(c).seed(s).max_rounds(10_000_000));
@@ -31,8 +45,47 @@ pub(crate) fn full_rounds(c: u32, n: u64, active: usize, trials: usize, seed: u6
     .collect()
 }
 
+/// The solver's telemetry spine for one full-algorithm run (same engine as
+/// [`full_one`] at the same seed).
+fn full_spine_one(c: u32, n: u64, active: usize, seed: u64) -> Vec<PhaseStats> {
+    let mut exec = Engine::new(SimConfig::new(c).seed(seed).max_rounds(10_000_000));
+    for _ in 0..active {
+        exec.add_node(FullAlgorithm::new(Params::practical(), c, n));
+    }
+    let report = exec
+        .run()
+        .unwrap_or_else(|e| panic!("trial with seed {seed} failed: {e}"));
+    report
+        .solver
+        .map(|id| exec.node(id).phase_stats())
+        .unwrap_or_default()
+}
+
+/// One full-algorithm run's rounds-to-solve plus its solver spine, off a
+/// single execution (E10 reads both per trial).
+pub(crate) fn full_one_with_spine(
+    c: u32,
+    n: u64,
+    active: usize,
+    seed: u64,
+) -> (u64, Vec<PhaseStats>) {
+    let mut exec = Engine::new(SimConfig::new(c).seed(seed).max_rounds(10_000_000));
+    for _ in 0..active {
+        exec.add_node(FullAlgorithm::new(Params::practical(), c, n));
+    }
+    let report = exec
+        .run()
+        .unwrap_or_else(|e| panic!("trial with seed {seed} failed: {e}"));
+    let spine = report
+        .solver
+        .map(|id| exec.node(id).phase_stats())
+        .unwrap_or_default();
+    (report.rounds_to_solve().expect("solved"), spine)
+}
+
 /// The solver's per-phase telemetry spine for each trial of the full
 /// algorithm (same engines as [`full_rounds`] at the same seed).
+#[cfg(test)]
 pub(crate) fn full_solver_spines(
     c: u32,
     n: u64,
@@ -67,59 +120,136 @@ pub(crate) fn mean_phase_rounds(spines: &[Vec<PhaseStats>], name: &str) -> f64 {
         .filter(|r| r.name == name)
         .map(|r| r.rounds)
         .sum();
-    total as f64 / spines.len().max(1) as f64
+    #[allow(clippy::cast_precision_loss)]
+    let mean = total as f64 / spines.len().max(1) as f64;
+    mean
 }
 
+/// Rounds-to-solve for one binary-descent run.
+fn descent_one(c: u32, n: u64, active: usize, seed: u64) -> u64 {
+    let mut exec = Engine::new(SimConfig::new(c).seed(seed).max_rounds(10_000_000));
+    for id in sample_distinct(n, active, seed ^ 0x9D) {
+        exec.add_node(BinaryDescent::new(id, n));
+    }
+    exec.run()
+        .unwrap_or_else(|e| panic!("trial with seed {seed} failed: {e}"))
+        .rounds_to_solve()
+        .expect("solved")
+}
+
+#[cfg(test)]
 pub(crate) fn descent_rounds(c: u32, n: u64, active: usize, trials: usize, seed: u64) -> Vec<u64> {
-    run_trials(trials, seed, |s| {
-        let mut exec = Engine::new(SimConfig::new(c).seed(s).max_rounds(10_000_000));
-        for id in sample_distinct(n, active, s ^ 0x9D) {
-            exec.add_node(BinaryDescent::new(id, n));
-        }
-        exec
-    })
-    .iter()
-    .map(|r| r.rounds_to_solve().expect("solved"))
-    .collect()
+    (0..trials as u64)
+        .map(|i| descent_one(c, n, active, seed.wrapping_add(i)))
+        .collect()
 }
 
+/// Rounds-to-solve for one decay (no CD) run.
+fn decay_one(c: u32, n: u64, active: usize, seed: u64) -> u64 {
+    let cfg = SimConfig::new(c)
+        .seed(seed)
+        .cd_mode(CdMode::None)
+        .max_rounds(10_000_000);
+    let mut exec = Engine::new(cfg);
+    for _ in 0..active {
+        exec.add_node(Decay::new(n));
+    }
+    exec.run()
+        .unwrap_or_else(|e| panic!("trial with seed {seed} failed: {e}"))
+        .rounds_to_solve()
+        .expect("solved")
+}
+
+#[cfg(test)]
 pub(crate) fn decay_rounds(c: u32, n: u64, active: usize, trials: usize, seed: u64) -> Vec<u64> {
-    run_trials(trials, seed, |s| {
-        let cfg = SimConfig::new(c)
-            .seed(s)
-            .cd_mode(CdMode::None)
-            .max_rounds(10_000_000);
-        let mut exec = Engine::new(cfg);
-        for _ in 0..active {
-            exec.add_node(Decay::new(n));
-        }
-        exec
-    })
-    .iter()
-    .map(|r| r.rounds_to_solve().expect("solved"))
-    .collect()
+    (0..trials as u64)
+        .map(|i| decay_one(c, n, active, seed.wrapping_add(i)))
+        .collect()
 }
 
+/// Rounds-to-solve for one multi-channel no-CD run.
+fn nocd_one(c: u32, n: u64, active: usize, seed: u64) -> u64 {
+    let cfg = SimConfig::new(c)
+        .seed(seed)
+        .cd_mode(CdMode::None)
+        .max_rounds(10_000_000);
+    let mut exec = Engine::new(cfg);
+    for _ in 0..active {
+        exec.add_node(MultiChannelNoCd::new(c, n));
+    }
+    exec.run()
+        .unwrap_or_else(|e| panic!("trial with seed {seed} failed: {e}"))
+        .rounds_to_solve()
+        .expect("solved")
+}
+
+#[cfg(test)]
 pub(crate) fn nocd_rounds(c: u32, n: u64, active: usize, trials: usize, seed: u64) -> Vec<u64> {
-    run_trials(trials, seed, |s| {
-        let cfg = SimConfig::new(c)
-            .seed(s)
-            .cd_mode(CdMode::None)
-            .max_rounds(10_000_000);
-        let mut exec = Engine::new(cfg);
-        for _ in 0..active {
-            exec.add_node(MultiChannelNoCd::new(c, n));
+    (0..trials as u64)
+        .map(|i| nocd_one(c, n, active, seed.wrapping_add(i)))
+        .collect()
+}
+
+/// Rounds-to-solve for one adaptive CD-tournament run.
+fn tournament_one(c: u32, active: usize, seed: u64) -> u64 {
+    let mut exec = Engine::new(SimConfig::new(c).seed(seed).max_rounds(10_000_000));
+    for _ in 0..active {
+        exec.add_node(CdTournament::new());
+    }
+    exec.run()
+        .unwrap_or_else(|e| panic!("trial with seed {seed} failed: {e}"))
+        .rounds_to_solve()
+        .expect("solved")
+}
+
+/// Streaming per-row state for the solver phase-breakdown table.
+#[derive(Default)]
+struct PhaseMix {
+    reduce: u64,
+    id_reduction: u64,
+    leaf_election: u64,
+    fallback: u64,
+    total: u64,
+    trials: u64,
+}
+
+impl PhaseMix {
+    fn add_spine(&mut self, spine: &[PhaseStats]) {
+        for p in spine {
+            match p.name {
+                "reduce" => self.reduce += p.rounds,
+                "id-reduction" => self.id_reduction += p.rounds,
+                "leaf-election" => self.leaf_election += p.rounds,
+                "cd-tournament" => self.fallback += p.rounds,
+                _ => {}
+            }
+            self.total += p.rounds;
         }
-        exec
-    })
-    .iter()
-    .map(|r| r.rounds_to_solve().expect("solved"))
-    .collect()
+        self.trials += 1;
+    }
+
+    #[allow(clippy::cast_precision_loss)]
+    fn mean(&self, phase_total: u64) -> f64 {
+        phase_total as f64 / self.trials.max(1) as f64
+    }
+}
+
+impl Aggregate for PhaseMix {
+    fn merge(&mut self, other: Self) {
+        self.reduce += other.reduce;
+        self.id_reduction += other.id_reduction;
+        self.leaf_election += other.leaf_election;
+        self.fallback += other.fallback;
+        self.total += other.total;
+        self.trials += other.trials;
+    }
 }
 
 /// Runs the experiment.
 #[must_use]
-pub fn run(scale: Scale) -> ExperimentReport {
+#[allow(clippy::too_many_lines)]
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
+    let scale = ctx.scale;
     let mut report = ExperimentReport::new(
         "E9",
         "Full algorithm vs baselines across (n, C) — who wins where",
@@ -128,131 +258,160 @@ pub fn run(scale: Scale) -> ExperimentReport {
     let cs: Vec<u32> = scale.thin(&[1, 4, 32, 256, 2048]);
     let trials = scale.trials().min(40);
 
-    let mut table = Table::new(&[
-        "n",
-        "C",
-        "this paper (CD, multi)",
-        "binary descent (CD, 1ch)",
-        "decay (no CD, 1ch)",
-        "multi no-CD",
-        "winner",
-    ]);
-    let mut crossovers = Vec::new();
+    let caption = "Mean rounds to solve, |A| = min(n, 4096)";
+    let mut sweep = ctx.sweep::<(Samples, Samples, Samples, Samples)>(
+        caption,
+        &[
+            "n",
+            "C",
+            "this paper (CD, multi)",
+            "binary descent (CD, 1ch)",
+            "decay (no CD, 1ch)",
+            "multi no-CD",
+            "winner",
+        ],
+    );
     for &n in &ns {
         // Dense-ish activation: the adversarial case the worst-case bounds
         // target (capped so the biggest grid point stays laptop-scale).
-        let active = (n as usize).min(4096);
-        let mut wins: Vec<u32> = Vec::new();
+        let active = usize::try_from(n).unwrap_or(usize::MAX).min(4096);
         for &c in &cs {
             let sb = |tag: &str| seed_base(tag, u64::from(c), n);
-            let full = Summary::from_u64(&full_rounds(c, n, active, trials, sb("e9f")));
-            let descent = Summary::from_u64(&descent_rounds(c, n, active, trials, sb("e9d")));
-            let decay = Summary::from_u64(&decay_rounds(c, n, active, trials, sb("e9y")));
-            let nocd = Summary::from_u64(&nocd_rounds(c, n, active, trials, sb("e9m")));
-            let entries = [
-                ("this paper", full.mean),
-                ("descent", descent.mean),
-                ("decay", decay.mean),
-                ("multi-nocd", nocd.mean),
-            ];
-            let winner = entries
-                .iter()
-                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"))
-                .expect("nonempty")
-                .0;
-            if winner == "this paper" {
-                wins.push(c);
-            }
-            table.row_owned(vec![
-                format!("2^{}", (n as f64).log2() as u32),
-                c.to_string(),
-                format!("{:.1}", full.mean),
-                format!("{:.1}", descent.mean),
-                format!("{:.1}", decay.mean),
-                format!("{:.1}", nocd.mean),
-                winner.to_string(),
-            ]);
+            let (fb, db, yb, mb) = (sb("e9f"), sb("e9d"), sb("e9y"), sb("e9m"));
+            sweep.row(
+                trials,
+                SeedStream::Offset(0),
+                <(Samples, Samples, Samples, Samples)>::default,
+                move |i, acc| {
+                    acc.0.push(full_one(c, n, active, fb.wrapping_add(i)));
+                    acc.1.push(descent_one(c, n, active, db.wrapping_add(i)));
+                    acc.2.push(decay_one(c, n, active, yb.wrapping_add(i)));
+                    acc.3.push(nocd_one(c, n, active, mb.wrapping_add(i)));
+                },
+                move |(full, descent, decay, nocd)| {
+                    let entries = [
+                        ("this paper", full.0.finish().mean),
+                        ("descent", descent.0.finish().mean),
+                        ("decay", decay.0.finish().mean),
+                        ("multi-nocd", nocd.0.finish().mean),
+                    ];
+                    let winner = entries
+                        .iter()
+                        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"))
+                        .expect("nonempty")
+                        .0;
+                    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                    let ne = (n as f64).log2() as u32;
+                    vec![
+                        format!("2^{ne}"),
+                        c.to_string(),
+                        format!("{:.1}", entries[0].1),
+                        format!("{:.1}", entries[1].1),
+                        format!("{:.1}", entries[2].1),
+                        format!("{:.1}", entries[3].1),
+                        winner.to_string(),
+                    ]
+                },
+            );
         }
-        crossovers.push((n, wins));
     }
-    report.section("Mean rounds to solve, |A| = min(n, 4096)", table);
+    let grid = sweep.run();
+    // Reconstruct the per-n win lists from the rendered grid (works the
+    // same on a resumed run, where rows come from the checkpoint).
+    let mut crossovers: Vec<(u64, Vec<u32>)> = ns.iter().map(|&n| (n, Vec::new())).collect();
+    for (i, row) in grid.rows().iter().enumerate() {
+        if row.last().is_some_and(|w| w == "this paper") {
+            #[allow(clippy::cast_possible_truncation)]
+            let c = cell_u64(&row[1]) as u32;
+            crossovers[i / cs.len()].1.push(c);
+        }
+    }
+    report.section(caption, grid);
 
     // |A|-sensitivity: the pipeline's cost is indexed by n, the adaptive
     // tournament's by |A| — so the pipeline is nearly flat across four
     // decades of activation density while the tournament scales as lg |A|.
     let (n, c) = (1u64 << 14, 256u32);
-    let mut density = Table::new(&["|A|", "this paper", "CD tournament (lg |A|-adaptive)"]);
+    let caption_density = format!("Density sensitivity at n = 2^14, C = {c}");
+    let mut density = ctx.sweep::<(Samples, Samples)>(
+        &caption_density,
+        &["|A|", "this paper", "CD tournament (lg |A|-adaptive)"],
+    );
     for &a in &[2usize, 16, 128, 1024, 8192] {
-        let full = Summary::from_u64(&full_rounds(
-            c,
-            n,
-            a,
+        let fb = seed_base("e9da", a as u64, n);
+        let tb = seed_base("e9dt", a as u64, n);
+        density.row(
             trials,
-            seed_base("e9da", a as u64, n),
-        ));
-        let tour = Summary::from_u64(
-            &run_trials(trials, seed_base("e9dt", a as u64, n), |s| {
-                let mut exec = Engine::new(SimConfig::new(c).seed(s).max_rounds(10_000_000));
-                for _ in 0..a {
-                    exec.add_node(CdTournament::new());
-                }
-                exec
-            })
-            .iter()
-            .map(|r| r.rounds_to_solve().expect("solved"))
-            .collect::<Vec<_>>(),
+            SeedStream::Offset(0),
+            <(Samples, Samples)>::default,
+            move |i, acc| {
+                acc.0.push(full_one(c, n, a, fb.wrapping_add(i)));
+                acc.1.push(tournament_one(c, a, tb.wrapping_add(i)));
+            },
+            move |(full, tour)| {
+                vec![
+                    a.to_string(),
+                    format!("{:.1}", full.0.finish().mean),
+                    format!("{:.1}", tour.0.finish().mean),
+                ]
+            },
         );
-        density.row_owned(vec![
-            a.to_string(),
-            format!("{:.1}", full.mean),
-            format!("{:.1}", tour.mean),
-        ]);
     }
-    report.section(format!("Density sensitivity at n = 2^14, C = {c}"), density);
+    report.section(caption_density, density.run());
 
     // Where the winner's rounds actually go: the solver's per-phase
     // telemetry spine, averaged over trials. Below the fallback threshold
     // the whole run sits in the single-channel tournament; above it the
     // pipeline's phases split the budget.
     let n = 1u64 << 14;
-    let mut mix = Table::new(&[
-        "C",
-        "reduce",
-        "id-reduction",
-        "leaf-election",
-        "fallback (cd-tournament)",
-        "mean total",
-    ]);
-    for &c in &cs {
-        let spines = full_solver_spines(
-            c,
-            n,
-            (n as usize).min(4096),
-            trials,
-            seed_base("e9p", u64::from(c), n),
-        );
-        let total: u64 = spines.iter().flatten().map(|r| r.rounds).sum();
-        mix.row_owned(vec![
-            c.to_string(),
-            format!("{:.1}", mean_phase_rounds(&spines, "reduce")),
-            format!("{:.1}", mean_phase_rounds(&spines, "id-reduction")),
-            format!("{:.1}", mean_phase_rounds(&spines, "leaf-election")),
-            format!("{:.1}", mean_phase_rounds(&spines, "cd-tournament")),
-            format!("{:.1}", total as f64 / spines.len().max(1) as f64),
-        ]);
-    }
-    report.section(
-        format!(
-            "Solver phase breakdown at n = 2^{}",
-            (n as f64).log2() as u32
-        ),
-        mix,
+    let caption_mix = format!("Solver phase breakdown at n = 2^{}", {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let ne = (n as f64).log2() as u32;
+        ne
+    });
+    let mut mix = ctx.sweep::<PhaseMix>(
+        &caption_mix,
+        &[
+            "C",
+            "reduce",
+            "id-reduction",
+            "leaf-election",
+            "fallback (cd-tournament)",
+            "mean total",
+        ],
     );
+    for &c in &cs {
+        let active = usize::try_from(n).unwrap_or(usize::MAX).min(4096);
+        mix.row(
+            trials,
+            SeedStream::Offset(seed_base("e9p", u64::from(c), n)),
+            PhaseMix::default,
+            move |seed, acc| {
+                acc.add_spine(&full_spine_one(c, n, active, seed));
+            },
+            move |acc| {
+                vec![
+                    c.to_string(),
+                    format!("{:.1}", acc.mean(acc.reduce)),
+                    format!("{:.1}", acc.mean(acc.id_reduction)),
+                    format!("{:.1}", acc.mean(acc.leaf_election)),
+                    format!("{:.1}", acc.mean(acc.fallback)),
+                    format!("{:.1}", acc.mean(acc.total)),
+                ]
+            },
+        );
+    }
+    report.section(caption_mix, mix.run());
     report.note(
-        "Density sensitivity: the tournament's mean grows as lg |A| (it adapts to          the actual contenders) while the pipeline is governed by n — flat-ish in          |A| and ahead once |A| is within a few powers of two of n. For very sparse          activations the adaptive baseline is the better engineering choice, a          trade-off outside the paper's worst-case lens."
+        "Density sensitivity: the tournament's mean grows as lg |A| (it adapts to \
+         the actual contenders) while the pipeline is governed by n — flat-ish in \
+         |A| and ahead once |A| is within a few powers of two of n. For very sparse \
+         activations the adaptive baseline is the better engineering choice, a \
+         trade-off outside the paper's worst-case lens."
             .to_string(),
     );
     for (n, wins) in crossovers {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         let ne = (n as f64).log2() as u32;
         if wins.is_empty() {
             report.note(format!(
@@ -273,6 +432,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Scale;
 
     fn mean(v: &[u64]) -> f64 {
         v.iter().sum::<u64>() as f64 / v.len() as f64
@@ -320,7 +480,7 @@ mod tests {
 
     #[test]
     fn report_renders() {
-        let r = run(Scale::Quick);
+        let r = run(&RunCtx::new(Scale::Quick));
         assert_eq!(r.sections.len(), 3);
         assert!(!r.notes.is_empty());
     }

@@ -4,15 +4,16 @@
 //! `measured / (lg n/lg C + lg lg n)` must stay bounded over the whole
 //! `(n, C)` grid — no drift as either parameter grows.
 
-use contention_analysis::Table;
+use mac_sim::campaign::SeedStream;
 
-use super::e09_full_vs_baselines::{full_rounds, full_solver_spines};
+use super::e09_full_vs_baselines::full_one_with_spine;
 use super::{seed_base, theory_two_active};
-use crate::{ExperimentReport, Scale};
+use crate::{cell_f64, ExperimentReport, RunCtx, Samples};
 
 /// Runs the experiment.
 #[must_use]
-pub fn run(scale: Scale) -> ExperimentReport {
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
+    let scale = ctx.scale;
     let mut report = ExperimentReport::new(
         "E10",
         "Measured rounds / lower-bound curve stays a bounded constant",
@@ -22,52 +23,70 @@ pub fn run(scale: Scale) -> ExperimentReport {
     let active = 256usize;
     let trials = scale.trials().min(30);
 
-    let mut table = Table::new(&[
-        "n",
-        "C",
-        "mean rounds",
-        "lower-bound curve",
-        "ratio",
-        "% solved in reduce",
-    ]);
-    let mut ratios = Vec::new();
+    let caption = format!("Ratio sweep, |A| = {active}");
+    let mut sweep = ctx.sweep::<(Samples, u64)>(
+        &caption,
+        &[
+            "n",
+            "C",
+            "mean rounds",
+            "lower-bound curve",
+            "ratio",
+            "% solved in reduce",
+        ],
+    );
     for &n in &ns {
         for &c in &cs {
-            let seed = seed_base("e10", u64::from(c), n);
-            let rounds = full_rounds(c, n, active, trials, seed);
-            let mean = rounds.iter().sum::<u64>() as f64 / rounds.len() as f64;
-            let bound = theory_two_active(n, c);
-            let ratio = mean / bound;
-            ratios.push(ratio);
-            // Same seed → the same trials: the solver's phase spine says
-            // which step the solving transmission came from. A spine still
-            // in its first record means the run never left Reduce.
-            let spines = full_solver_spines(c, n, active, trials, seed);
-            let in_reduce = spines
-                .iter()
-                .filter(|s| s.last().map(|r| r.name) == Some("reduce"))
-                .count();
-            table.row_owned(vec![
-                format!("2^{}", (n as f64).log2() as u32),
-                c.to_string(),
-                format!("{mean:.1}"),
-                format!("{bound:.1}"),
-                format!("{ratio:.2}"),
-                format!(
-                    "{:.0}%",
-                    100.0 * in_reduce as f64 / spines.len().max(1) as f64
-                ),
-            ]);
+            sweep.row(
+                trials,
+                SeedStream::Offset(seed_base("e10", u64::from(c), n)),
+                <(Samples, u64)>::default,
+                move |seed, acc| {
+                    // One execution per seed: the rounds and the solver's
+                    // phase spine come off the same run. A spine still in
+                    // its first record means the run never left Reduce.
+                    let (rounds, spine) = full_one_with_spine(c, n, active, seed);
+                    acc.0.push(rounds);
+                    if spine.last().map(|r| r.name) == Some("reduce") {
+                        acc.1 += 1;
+                    }
+                },
+                move |(rounds, in_reduce)| {
+                    let mean = rounds.0.finish().mean;
+                    let bound = theory_two_active(n, c);
+                    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                    let ne = (n as f64).log2() as u32;
+                    #[allow(clippy::cast_precision_loss)]
+                    let pct = 100.0 * in_reduce as f64 / trials.max(1) as f64;
+                    vec![
+                        format!("2^{ne}"),
+                        c.to_string(),
+                        format!("{mean:.1}"),
+                        format!("{bound:.1}"),
+                        format!("{:.2}", mean / bound),
+                        format!("{pct:.0}%"),
+                    ]
+                },
+            );
         }
     }
-    report.section(format!("Ratio sweep, |A| = {active}"), table);
+    let table = sweep.run();
+    let ratios: Vec<f64> = table.rows().iter().map(|row| cell_f64(&row[4])).collect();
+    report.section(caption, table);
 
     report.note(
-        "A least-squares decomposition of these means into Theorem 4's two terms is          deliberately NOT reported: at a fixed activation density the pipeline          frequently solves inside Reduce (whose cost depends on where the 1/n̂          schedule meets |A|) — the last column, read straight off the solver's          phase-telemetry spine, quantifies exactly how often — so typical-case          means do not split along worst-case term boundaries. The bounded ratio          above is the meaningful optimality check; per-term behavior is isolated          by E1-E3 (log n/log C) and E5/E8 (the log log terms) instead."
+        "A least-squares decomposition of these means into Theorem 4's two terms is \
+         deliberately NOT reported: at a fixed activation density the pipeline \
+         frequently solves inside Reduce (whose cost depends on where the 1/n̂ \
+         schedule meets |A|) — the last column, read straight off the solver's \
+         phase-telemetry spine, quantifies exactly how often — so typical-case \
+         means do not split along worst-case term boundaries. The bounded ratio \
+         above is the meaningful optimality check; per-term behavior is isolated \
+         by E1-E3 (log n/log C) and E5/E8 (the log log terms) instead."
             .to_string(),
     );
-    let max = ratios.iter().cloned().fold(f64::MIN, f64::max);
-    let min = ratios.iter().cloned().fold(f64::MAX, f64::min);
+    let max = ratios.iter().copied().fold(f64::MIN, f64::max);
+    let min = ratios.iter().copied().fold(f64::MAX, f64::min);
     report.note(format!(
         "Ratios span [{min:.2}, {max:.2}] across the grid — a bounded constant band \
          (the paper's upper bound is a log log log n factor above the lower bound, \
@@ -79,7 +98,9 @@ pub fn run(scale: Scale) -> ExperimentReport {
 
 #[cfg(test)]
 mod tests {
+    use super::super::e09_full_vs_baselines::full_rounds;
     use super::*;
+    use crate::Scale;
 
     #[test]
     fn ratio_band_is_bounded() {
@@ -95,7 +116,7 @@ mod tests {
 
     #[test]
     fn report_renders() {
-        let r = run(Scale::Quick);
+        let r = run(&RunCtx::new(Scale::Quick));
         assert_eq!(r.sections.len(), 1);
     }
 }

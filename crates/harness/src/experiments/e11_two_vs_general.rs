@@ -5,13 +5,12 @@
 
 use contention::phase::PhaseTelemetry;
 use contention::{FullAlgorithm, Params};
-use contention_analysis::{Summary, Table};
+use mac_sim::campaign::SeedStream;
 use mac_sim::{Engine, SimConfig, StopWhen};
 
-use super::e01_two_active_vs_n::measure_completion as two_active_rounds;
+use super::e01_two_active_vs_n::completion_rounds as two_active_one;
 use super::seed_base;
-use crate::{ExperimentReport, Scale};
-use mac_sim::trials::{run_trials, run_trials_with};
+use crate::{ExperimentReport, RunCtx, Samples};
 
 fn general_engine(c: u32, n: u64, s: u64) -> Engine<FullAlgorithm> {
     let cfg = SimConfig::new(c)
@@ -25,82 +24,99 @@ fn general_engine(c: u32, n: u64, s: u64) -> Engine<FullAlgorithm> {
     exec
 }
 
+/// One general-pipeline run: completion rounds (all nodes terminated,
+/// matching the specialist's metric and immune to lucky early lone
+/// transmissions) plus the eventual leader's rounds inside `Reduce`, read
+/// off its phase-telemetry spine — the "fixed scaffolding" share the
+/// specialist never pays.
+fn general_one(c: u32, n: u64, seed: u64) -> (u64, u64) {
+    let mut exec = general_engine(c, n, seed);
+    let report = exec
+        .run()
+        .unwrap_or_else(|e| panic!("trial with seed {seed} failed: {e}"));
+    let reduce = report
+        .solver
+        .map(|id| {
+            exec.node(id)
+                .phase_stats()
+                .iter()
+                .filter(|r| r.name == "reduce")
+                .map(|r| r.rounds)
+                .sum::<u64>()
+        })
+        .unwrap_or_default();
+    (report.rounds_executed, reduce)
+}
+
+#[cfg(test)]
 fn general_rounds(c: u32, n: u64, trials: usize, seed: u64) -> Vec<u64> {
-    // Completion time (all nodes terminated), matching the specialist's
-    // metric: the time the algorithm itself needs, immune to lucky early
-    // lone transmissions.
-    run_trials(trials, seed, |s| general_engine(c, n, s))
-        .iter()
-        .map(|r| r.rounds_executed)
+    (0..trials as u64)
+        .map(|i| general_one(c, n, seed.wrapping_add(i)).0)
         .collect()
 }
 
-/// Mean rounds the eventual leader spent inside `Reduce`, read off its
-/// phase-telemetry spine — the "fixed scaffolding" share of the general
-/// algorithm's cost that the specialist never pays (same engines as
-/// [`general_rounds`] at the same seed).
+#[cfg(test)]
 fn general_reduce_rounds(c: u32, n: u64, trials: usize, seed: u64) -> f64 {
-    let per_trial = run_trials_with(
-        trials,
-        seed,
-        |s| general_engine(c, n, s),
-        |exec, report| {
-            report
-                .solver
-                .map(|id| {
-                    exec.node(id)
-                        .phase_stats()
-                        .iter()
-                        .filter(|r| r.name == "reduce")
-                        .map(|r| r.rounds)
-                        .sum::<u64>()
-                })
-                .unwrap_or_default()
-        },
-    );
-    per_trial.iter().sum::<u64>() as f64 / per_trial.len().max(1) as f64
+    let total: u64 = (0..trials as u64)
+        .map(|i| general_one(c, n, seed.wrapping_add(i)).1)
+        .sum();
+    total as f64 / trials.max(1) as f64
 }
 
 /// Runs the experiment.
 #[must_use]
-pub fn run(scale: Scale) -> ExperimentReport {
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
+    let scale = ctx.scale;
     let mut report = ExperimentReport::new("E11", "TwoActive vs the general algorithm on |A| = 2");
     let n_exps: Vec<u32> = scale.thin(&[8, 12, 16, 20]);
     let cs = [64u32, 1024];
+    let trials = scale.trials();
 
-    let mut table = Table::new(&[
-        "C",
-        "n",
-        "TwoActive completion mean",
-        "general completion mean",
-        "general/TwoActive",
-        "leader rounds in Reduce",
-    ]);
+    let caption = "Mean rounds with exactly two active nodes";
+    let mut sweep = ctx.sweep::<(Samples, Samples, u64)>(
+        caption,
+        &[
+            "C",
+            "n",
+            "TwoActive completion mean",
+            "general completion mean",
+            "general/TwoActive",
+            "leader rounds in Reduce",
+        ],
+    );
     for &c in &cs {
         for &ne in &n_exps {
             let n = 1u64 << ne;
-            let seed = seed_base("e11g", u64::from(c), n);
-            let two = Summary::from_u64(&two_active_rounds(
-                c,
-                n,
-                scale.trials(),
-                seed_base("e11t", u64::from(c), n),
-            ));
-            let gen = Summary::from_u64(&general_rounds(c, n, scale.trials(), seed));
-            // Same seed → the same trials: the leader's phase-telemetry
-            // spine splits the general mean into scaffolding vs search.
-            let reduce = general_reduce_rounds(c, n, scale.trials(), seed);
-            table.row_owned(vec![
-                c.to_string(),
-                format!("2^{ne}"),
-                format!("{:.1}", two.mean),
-                format!("{:.1}", gen.mean),
-                format!("{:.2}", gen.mean / two.mean),
-                format!("{reduce:.1}"),
-            ]);
+            let two_base = seed_base("e11t", u64::from(c), n);
+            let gen_base = seed_base("e11g", u64::from(c), n);
+            sweep.row(
+                trials,
+                SeedStream::Offset(0),
+                <(Samples, Samples, u64)>::default,
+                move |i, acc| {
+                    acc.0.push(two_active_one(c, n, two_base.wrapping_add(i)));
+                    let (completion, reduce) = general_one(c, n, gen_base.wrapping_add(i));
+                    acc.1.push(completion);
+                    acc.2 += reduce;
+                },
+                move |(two, gen, reduce_total)| {
+                    let two_mean = two.0.finish().mean;
+                    let gen_mean = gen.0.finish().mean;
+                    #[allow(clippy::cast_precision_loss)]
+                    let reduce = reduce_total as f64 / trials.max(1) as f64;
+                    vec![
+                        c.to_string(),
+                        format!("2^{ne}"),
+                        format!("{two_mean:.1}"),
+                        format!("{gen_mean:.1}"),
+                        format!("{:.2}", gen_mean / two_mean),
+                        format!("{reduce:.1}"),
+                    ]
+                },
+            );
         }
     }
-    report.section("Mean rounds with exactly two active nodes", table);
+    report.section(caption, sweep.run());
     report.note(
         "The specialist wins at every point, by a factor that grows slowly with n — \
          consistent with the general algorithm's extra lg lg lg n factor plus its \
@@ -115,7 +131,9 @@ pub fn run(scale: Scale) -> ExperimentReport {
 
 #[cfg(test)]
 mod tests {
+    use super::super::e01_two_active_vs_n::measure_completion as two_active_rounds;
     use super::*;
+    use crate::Scale;
 
     #[test]
     fn specialist_beats_generalist() {
@@ -153,7 +171,7 @@ mod tests {
 
     #[test]
     fn report_renders() {
-        let r = run(Scale::Quick);
+        let r = run(&RunCtx::new(Scale::Quick));
         assert_eq!(r.sections.len(), 1);
     }
 }

@@ -7,27 +7,34 @@
 
 use contention::wakeup::{StaggeredStart, LISTEN_ROUNDS};
 use contention::{FullAlgorithm, Params};
-use contention_analysis::{Summary, Table};
+use contention_analysis::Summary;
+use mac_sim::campaign::SeedStream;
 use mac_sim::{Engine, SimConfig};
 
 use super::seed_base;
-use crate::{ExperimentReport, Scale};
+use crate::{ExperimentReport, RunCtx, Samples};
 use mac_sim::trials::run_trials;
 
+/// One wrapped run under a wake-up schedule.
+fn wrapped_one(c: u32, n: u64, offsets: &[u64], seed: u64) -> u64 {
+    let mut exec = Engine::new(SimConfig::new(c).seed(seed).max_rounds(1_000_000));
+    for &off in offsets {
+        exec.add_node_at(
+            StaggeredStart::new(FullAlgorithm::new(Params::practical(), c, n)),
+            off,
+        );
+    }
+    exec.run()
+        .unwrap_or_else(|e| panic!("trial with seed {seed} failed: {e}"))
+        .rounds_to_solve()
+        .expect("solved")
+}
+
+#[cfg(test)]
 fn wrapped_rounds(c: u32, n: u64, offsets: &[u64], trials: usize, seed: u64) -> Vec<u64> {
-    run_trials(trials, seed, |s| {
-        let mut exec = Engine::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
-        for &off in offsets {
-            exec.add_node_at(
-                StaggeredStart::new(FullAlgorithm::new(Params::practical(), c, n)),
-                off,
-            );
-        }
-        exec
-    })
-    .iter()
-    .map(|r| r.rounds_to_solve().expect("solved"))
-    .collect()
+    (0..trials as u64)
+        .map(|i| wrapped_one(c, n, offsets, seed.wrapping_add(i)))
+        .collect()
 }
 
 fn bare_rounds(c: u32, n: u64, active: usize, trials: usize, seed: u64) -> Vec<u64> {
@@ -45,7 +52,8 @@ fn bare_rounds(c: u32, n: u64, active: usize, trials: usize, seed: u64) -> Vec<u
 
 /// Runs the experiment.
 #[must_use]
-pub fn run(scale: Scale) -> ExperimentReport {
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
+    let scale = ctx.scale;
     let mut report = ExperimentReport::new(
         "E12",
         "Non-simultaneous wake-up transform (§3): ×2 rounds, any adversary",
@@ -71,33 +79,45 @@ pub fn run(scale: Scale) -> ExperimentReport {
         ),
     ];
 
+    // The unwrapped baseline is a deterministic batch (same seeds on every
+    // run and on resume); the per-schedule rows stream through the sweep.
     let base = Summary::from_u64(&bare_rounds(c, n, active, trials, seed_base("e12b", 0, 0)));
-    let mut table = Table::new(&[
-        "schedule",
-        "rounds mean",
-        "rounds max",
-        "unwrapped base mean",
-        "mean/(2·base+K)",
-    ]);
     let k = 2 * LISTEN_ROUNDS + 4;
-    for (idx, (name, offsets)) in schedules.iter().enumerate() {
-        let rounds = Summary::from_u64(&wrapped_rounds(
-            c,
-            n,
-            offsets,
+    let caption = "Wrapped full algorithm under adversarial wake-ups";
+    let mut sweep = ctx.sweep::<Samples>(
+        caption,
+        &[
+            "schedule",
+            "rounds mean",
+            "rounds max",
+            "unwrapped base mean",
+            "mean/(2·base+K)",
+        ],
+    );
+    for (idx, (name, offsets)) in schedules.into_iter().enumerate() {
+        let base_mean = base.mean;
+        sweep.row(
             trials,
-            seed_base("e12", idx as u64, 0),
-        ));
-        let cap = 2.0 * base.mean + k as f64;
-        table.row_owned(vec![
-            (*name).to_string(),
-            format!("{:.1}", rounds.mean),
-            format!("{:.0}", rounds.max),
-            format!("{:.1}", base.mean),
-            format!("{:.2}", rounds.mean / cap),
-        ]);
+            SeedStream::Offset(seed_base("e12", idx as u64, 0)),
+            Samples::default,
+            move |seed, acc| {
+                acc.push(wrapped_one(c, n, &offsets, seed));
+            },
+            move |acc| {
+                let rounds = acc.0.finish();
+                #[allow(clippy::cast_precision_loss)]
+                let cap = 2.0 * base_mean + k as f64;
+                vec![
+                    name.to_string(),
+                    format!("{:.1}", rounds.mean),
+                    format!("{:.0}", rounds.max),
+                    format!("{base_mean:.1}"),
+                    format!("{:.2}", rounds.mean / cap),
+                ]
+            },
+        );
     }
-    report.section("Wrapped full algorithm under adversarial wake-ups", table);
+    report.section(caption, sweep.run());
     report.note(format!(
         "Every schedule solves, and mean rounds stay within 2× the simultaneous \
          baseline plus the constant K = 2·{LISTEN_ROUNDS}+4 — the transform's claimed cost \
@@ -111,6 +131,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Scale;
 
     #[test]
     fn adversarial_offsets_all_solve_within_double() {
@@ -129,7 +150,7 @@ mod tests {
 
     #[test]
     fn report_renders() {
-        let r = run(Scale::Quick);
+        let r = run(&RunCtx::new(Scale::Quick));
         assert_eq!(r.sections.len(), 1);
     }
 }

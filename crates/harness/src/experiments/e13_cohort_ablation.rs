@@ -11,12 +11,17 @@
 //! and neither search strategy dominates (that regime is reported too, as
 //! a second table, because it is an honest finding about the technique).
 
-use contention_analysis::{Summary, Table};
+#[cfg(test)]
+use contention_analysis::Summary;
+use mac_sim::campaign::SeedStream;
 
-use super::e08_leaf_election::{measure, Occupancy};
+#[cfg(test)]
+use super::e08_leaf_election::measure;
+use super::e08_leaf_election::{measure_one, Occupancy};
 use super::seed_base;
-use crate::{ExperimentReport, Scale};
+use crate::{cell_f64, ExperimentReport, RunCtx, Samples};
 
+#[cfg(test)]
 fn mean_rounds(c: u32, x: u32, trials: usize, seed: u64, binary: bool, occ: Occupancy) -> Summary {
     Summary::from_u64(
         &measure(c, x, trials, seed, binary, occ)
@@ -26,9 +31,22 @@ fn mean_rounds(c: u32, x: u32, trials: usize, seed: u64, binary: bool, occ: Occu
     )
 }
 
+/// Renders one ablation row off its paired aggregates.
+fn ablation_cells(x: u32, cohort: &Samples, binary: &Samples) -> Vec<String> {
+    let cohort = cohort.0.finish().mean;
+    let binary = binary.0.finish().mean;
+    vec![
+        x.to_string(),
+        format!("{cohort:.1}"),
+        format!("{binary:.1}"),
+        format!("{:.2}×", binary / cohort),
+    ]
+}
+
 /// Runs the experiment.
 #[must_use]
-pub fn run(scale: Scale) -> ExperimentReport {
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
+    let scale = ctx.scale;
     let mut report = ExperimentReport::new(
         "E13",
         "Coalescing-cohorts ablation: (p+1)-ary vs binary SplitSearch",
@@ -37,72 +55,65 @@ pub fn run(scale: Scale) -> ExperimentReport {
     let xs: Vec<u32> = scale.thin(&[4, 16, 64, 512, 4096]);
     let trials = scale.trials().min(40);
 
-    let mut table = Table::new(&[
-        "x (dense leaves)",
-        "cohort search mean rounds",
-        "binary search mean rounds",
-        "speed-up",
-    ]);
-    let mut speedups = Vec::new();
-    for &x in &xs {
-        let cohort = mean_rounds(
-            c,
-            x,
-            trials,
-            seed_base("e13c", u64::from(x), 0),
-            false,
-            Occupancy::Dense,
-        );
-        let binary = mean_rounds(
-            c,
-            x,
-            trials,
-            seed_base("e13b", u64::from(x), 0),
-            true,
-            Occupancy::Dense,
-        );
-        let speedup = binary.mean / cohort.mean;
-        speedups.push((x, speedup));
-        table.row_owned(vec![
-            x.to_string(),
-            format!("{:.1}", cohort.mean),
-            format!("{:.1}", binary.mean),
-            format!("{speedup:.2}×"),
-        ]);
-    }
-    report.section(
-        format!("Dense occupancy at C = 2^14 ({trials} trials/point)"),
-        table,
+    let caption = format!("Dense occupancy at C = 2^14 ({trials} trials/point)");
+    let mut sweep = ctx.sweep::<(Samples, Samples)>(
+        &caption,
+        &[
+            "x (dense leaves)",
+            "cohort search mean rounds",
+            "binary search mean rounds",
+            "speed-up",
+        ],
     );
+    for &x in &xs {
+        let cb = seed_base("e13c", u64::from(x), 0);
+        let bb = seed_base("e13b", u64::from(x), 0);
+        sweep.row(
+            trials,
+            SeedStream::Offset(0),
+            <(Samples, Samples)>::default,
+            move |i, acc| {
+                acc.0
+                    .push(measure_one(c, x, cb.wrapping_add(i), false, Occupancy::Dense).0);
+                acc.1
+                    .push(measure_one(c, x, bb.wrapping_add(i), true, Occupancy::Dense).0);
+            },
+            move |(cohort, binary)| ablation_cells(x, &cohort, &binary),
+        );
+    }
+    let dense_table = sweep.run();
+    let speedups: Vec<(u32, f64)> = dense_table
+        .rows()
+        .iter()
+        .zip(&xs)
+        .map(|(row, &x)| (x, cell_f64(row[3].trim_end_matches('×'))))
+        .collect();
+    report.section(caption, dense_table);
 
     // Sparse counterpoint: with random leaves the pairing rule retires most
     // cohorts before they grow, so the two variants tie.
-    let mut sparse = Table::new(&["x (random leaves)", "cohort", "binary", "speed-up"]);
+    let caption_sparse = "Sparse (random) occupancy counterpoint";
+    let mut sparse = ctx.sweep::<(Samples, Samples)>(
+        caption_sparse,
+        &["x (random leaves)", "cohort", "binary", "speed-up"],
+    );
     for &x in &[64u32, 512] {
-        let cohort = mean_rounds(
-            c,
-            x,
+        let cb = seed_base("e13cs", u64::from(x), 0);
+        let bb = seed_base("e13bs", u64::from(x), 0);
+        sparse.row(
             trials,
-            seed_base("e13cs", u64::from(x), 0),
-            false,
-            Occupancy::Random,
+            SeedStream::Offset(0),
+            <(Samples, Samples)>::default,
+            move |i, acc| {
+                acc.0
+                    .push(measure_one(c, x, cb.wrapping_add(i), false, Occupancy::Random).0);
+                acc.1
+                    .push(measure_one(c, x, bb.wrapping_add(i), true, Occupancy::Random).0);
+            },
+            move |(cohort, binary)| ablation_cells(x, &cohort, &binary),
         );
-        let binary = mean_rounds(
-            c,
-            x,
-            trials,
-            seed_base("e13bs", u64::from(x), 0),
-            true,
-            Occupancy::Random,
-        );
-        sparse.row_owned(vec![
-            x.to_string(),
-            format!("{:.1}", cohort.mean),
-            format!("{:.1}", binary.mean),
-            format!("{:.2}×", binary.mean / cohort.mean),
-        ]);
     }
-    report.section("Sparse (random) occupancy counterpoint", sparse);
+    report.section(caption_sparse, sparse.run());
 
     let (first, last) = (
         speedups.first().expect("nonempty"),
@@ -127,6 +138,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Scale;
 
     #[test]
     fn cohort_search_beats_binary_when_dense() {
@@ -167,7 +179,7 @@ mod tests {
 
     #[test]
     fn report_renders() {
-        let r = run(Scale::Quick);
+        let r = run(&RunCtx::new(Scale::Quick));
         assert_eq!(r.sections.len(), 2);
         assert!(!r.notes.is_empty());
     }

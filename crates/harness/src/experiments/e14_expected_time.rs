@@ -7,37 +7,43 @@
 use contention::baselines::{CdTournament, Willard};
 use contention::extensions::ExpectedConstant;
 use contention::{FullAlgorithm, Params};
-use contention_analysis::{Summary, Table};
+use contention_analysis::Summary;
+use mac_sim::campaign::SeedStream;
 use mac_sim::{Engine, SimConfig};
 
 use super::seed_base;
-use crate::{ExperimentReport, Scale};
+use crate::{ExperimentReport, RunCtx, Samples};
 use mac_sim::trials::run_trials;
 
-fn expected_rounds(c: u32, n: u64, active: usize, trials: usize, seed: u64) -> Vec<u64> {
-    run_trials(trials, seed, |s| {
-        let mut exec = Engine::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
-        for _ in 0..active {
-            exec.add_node(ExpectedConstant::new(c, n));
-        }
-        exec
-    })
-    .iter()
-    .map(|r| r.rounds_to_solve().expect("solved"))
-    .collect()
+/// One expected-time run's rounds-to-solve.
+fn expected_one(c: u32, n: u64, active: usize, seed: u64) -> u64 {
+    let mut exec = Engine::new(SimConfig::new(c).seed(seed).max_rounds(1_000_000));
+    for _ in 0..active {
+        exec.add_node(ExpectedConstant::new(c, n));
+    }
+    exec.run()
+        .unwrap_or_else(|e| panic!("trial with seed {seed} failed: {e}"))
+        .rounds_to_solve()
+        .expect("solved")
 }
 
-fn full_rounds(c: u32, n: u64, active: usize, trials: usize, seed: u64) -> Vec<u64> {
-    run_trials(trials, seed, |s| {
-        let mut exec = Engine::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
-        for _ in 0..active {
-            exec.add_node(FullAlgorithm::new(Params::practical(), c, n));
-        }
-        exec
-    })
-    .iter()
-    .map(|r| r.rounds_to_solve().expect("solved"))
-    .collect()
+#[cfg(test)]
+fn expected_rounds(c: u32, n: u64, active: usize, trials: usize, seed: u64) -> Vec<u64> {
+    (0..trials as u64)
+        .map(|i| expected_one(c, n, active, seed.wrapping_add(i)))
+        .collect()
+}
+
+/// One pipeline run's rounds-to-solve.
+fn full_one(c: u32, n: u64, active: usize, seed: u64) -> u64 {
+    let mut exec = Engine::new(SimConfig::new(c).seed(seed).max_rounds(1_000_000));
+    for _ in 0..active {
+        exec.add_node(FullAlgorithm::new(Params::practical(), c, n));
+    }
+    exec.run()
+        .unwrap_or_else(|e| panic!("trial with seed {seed} failed: {e}"))
+        .rounds_to_solve()
+        .expect("solved")
 }
 
 fn willard_rounds(n: u64, active: usize, trials: usize, seed: u64) -> Vec<u64> {
@@ -53,22 +59,22 @@ fn willard_rounds(n: u64, active: usize, trials: usize, seed: u64) -> Vec<u64> {
     .collect()
 }
 
-fn tournament_rounds(c: u32, active: usize, trials: usize, seed: u64) -> Vec<u64> {
-    run_trials(trials, seed, |s| {
-        let mut exec = Engine::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
-        for _ in 0..active {
-            exec.add_node(CdTournament::new());
-        }
-        exec
-    })
-    .iter()
-    .map(|r| r.rounds_to_solve().expect("solved"))
-    .collect()
+/// One adaptive CD-tournament run's rounds-to-solve.
+fn tournament_one(c: u32, active: usize, seed: u64) -> u64 {
+    let mut exec = Engine::new(SimConfig::new(c).seed(seed).max_rounds(1_000_000));
+    for _ in 0..active {
+        exec.add_node(CdTournament::new());
+    }
+    exec.run()
+        .unwrap_or_else(|e| panic!("trial with seed {seed} failed: {e}"))
+        .rounds_to_solve()
+        .expect("solved")
 }
 
 /// Runs the experiment.
 #[must_use]
-pub fn run(scale: Scale) -> ExperimentReport {
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
+    let scale = ctx.scale;
     let mut report = ExperimentReport::new(
         "E14",
         "Expected-O(1) with ~lg n channels (§6 discussion, implemented)",
@@ -79,67 +85,72 @@ pub fn run(scale: Scale) -> ExperimentReport {
 
     // Mean vs C: the expected-time algorithm flattens once C >= lg n. The
     // single-channel expected-time classic (Willard, the paper's ref [5])
-    // anchors the comparison: multi-channel expected-time must at least
-    // match its O(lg lg n).
+    // anchors the comparison — a deterministic batch shared by every row.
     let willard = Summary::from_u64(&willard_rounds(n, active, trials, seed_base("e14w", 0, n)));
-    let mut table = Table::new(&[
-        "C",
-        "expected-O(1) mean",
-        "pipeline (Thm 4) mean",
-        "CD tournament mean",
-        "Willard (1ch, ref [5]) mean",
-    ]);
+    let caption = format!("Mean rounds, n = 2^16, |A| = {active}");
+    let mut sweep = ctx.sweep::<(Samples, Samples, Samples)>(
+        &caption,
+        &[
+            "C",
+            "expected-O(1) mean",
+            "pipeline (Thm 4) mean",
+            "CD tournament mean",
+            "Willard (1ch, ref [5]) mean",
+        ],
+    );
     for &ce in &scale.thin(&[1u32, 2, 3, 4, 5, 8]) {
         let c = 1u32 << ce;
-        let xc = Summary::from_u64(&expected_rounds(
-            c,
-            n,
-            active,
+        let xb = seed_base("e14x", u64::from(c), n);
+        let fb = seed_base("e14f", u64::from(c), n);
+        let tb = seed_base("e14t", u64::from(c), n);
+        let willard_mean = willard.mean;
+        sweep.row(
             trials,
-            seed_base("e14x", u64::from(c), n),
-        ));
-        let full = Summary::from_u64(&full_rounds(
-            c,
-            n,
-            active,
-            trials,
-            seed_base("e14f", u64::from(c), n),
-        ));
-        let tour = Summary::from_u64(&tournament_rounds(
-            c,
-            active,
-            trials,
-            seed_base("e14t", u64::from(c), n),
-        ));
-        table.row_owned(vec![
-            c.to_string(),
-            format!("{:.1}", xc.mean),
-            format!("{:.1}", full.mean),
-            format!("{:.1}", tour.mean),
-            format!("{:.1}", willard.mean),
-        ]);
+            SeedStream::Offset(0),
+            <(Samples, Samples, Samples)>::default,
+            move |i, acc| {
+                acc.0.push(expected_one(c, n, active, xb.wrapping_add(i)));
+                acc.1.push(full_one(c, n, active, fb.wrapping_add(i)));
+                acc.2.push(tournament_one(c, active, tb.wrapping_add(i)));
+            },
+            move |(xc, full, tour)| {
+                vec![
+                    c.to_string(),
+                    format!("{:.1}", xc.0.finish().mean),
+                    format!("{:.1}", full.0.finish().mean),
+                    format!("{:.1}", tour.0.finish().mean),
+                    format!("{willard_mean:.1}"),
+                ]
+            },
+        );
     }
-    report.section(format!("Mean rounds, n = 2^16, |A| = {active}"), table);
+    report.section(caption, sweep.run());
 
     // Density independence at C = lg n + 2.
     let c = 18u32;
-    let mut dens = Table::new(&["|A|", "expected-O(1) mean", "p95", "max"]);
+    let caption_dens = format!("Density independence at C = {c}");
+    let mut dens =
+        ctx.sweep::<Samples>(&caption_dens, &["|A|", "expected-O(1) mean", "p95", "max"]);
     for &a in &[1usize, 16, 256, 4096, 16384] {
-        let xc = Summary::from_u64(&expected_rounds(
-            c,
-            n,
-            a,
+        dens.row(
             trials,
-            seed_base("e14d", a as u64, n),
-        ));
-        dens.row_owned(vec![
-            a.to_string(),
-            format!("{:.1}", xc.mean),
-            format!("{:.1}", xc.p95),
-            format!("{:.0}", xc.max),
-        ]);
+            SeedStream::Offset(seed_base("e14d", a as u64, n)),
+            Samples::default,
+            move |seed, acc| {
+                acc.push(expected_one(c, n, a, seed));
+            },
+            move |acc| {
+                let xc = acc.0.finish();
+                vec![
+                    a.to_string(),
+                    format!("{:.1}", xc.mean),
+                    format!("{:.1}", xc.p95),
+                    format!("{:.0}", xc.max),
+                ]
+            },
+        );
     }
-    report.section(format!("Density independence at C = {c}"), dens);
+    report.section(caption_dens, dens.run());
     report.note(
         "Means flatten to a small constant once C approaches lg n, independently of \
          |A| — the §6 observation that expected-time solutions leave 'only a small \
@@ -162,6 +173,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Scale;
 
     #[test]
     fn expected_time_flattens_with_channels() {
@@ -193,7 +205,7 @@ mod tests {
 
     #[test]
     fn report_renders() {
-        let r = run(Scale::Quick);
+        let r = run(&RunCtx::new(Scale::Quick));
         assert_eq!(r.sections.len(), 2);
     }
 }

@@ -8,44 +8,197 @@
 use contention::baselines::{BinaryDescent, CdTournament, Decay, MultiChannelNoCd};
 use contention::extensions::ExpectedConstant;
 use contention::{FullAlgorithm, Params};
-use contention_analysis::{Summary, Table};
-use mac_sim::obs::RunRecord;
-use mac_sim::{CdMode, Engine, RunReport, SimConfig};
+use mac_sim::campaign::{Aggregate, SeedStream};
+use mac_sim::obs::{RunRecord, RunRecorder};
+use mac_sim::{CdMode, Engine, FeedbackModel, Protocol, SimConfig};
 use std::collections::BTreeMap;
 
 use super::seed_base;
-use crate::{sample_distinct, ExperimentReport, Scale};
+use crate::{sample_distinct, ExperimentReport, RunCtx, Samples};
 use mac_sim::trials::run_trials_recorded;
 
-/// (rounds, total tx, max tx by one node, total listens) per trial.
-type Energy = (u64, u64, u64, u64);
+/// One recorded run: rounds-to-solve plus the span-model energy counters.
+fn recorded_one<P: Protocol, F: FeedbackModel>(
+    mut exec: Engine<P, F>,
+    seed: u64,
+) -> (u64, RunRecord) {
+    let mut recorder = RunRecorder::new();
+    let report = exec
+        .run_observed(&mut recorder)
+        .unwrap_or_else(|e| panic!("trial with seed {seed} failed: {e}"));
+    (
+        report.rounds_to_solve().expect("solved"),
+        recorder.into_record(seed),
+    )
+}
 
-/// Energy digests now come from the structured [`RunRecord`] counters (the
-/// span-model recorder), not the legacy `Metrics` fields; the
-/// `recorded_energy_matches_legacy_metrics` test below pins the two
-/// accountings to each other exactly.
-fn digest(pairs: &[(RunReport, RunRecord)]) -> Vec<Energy> {
-    pairs
-        .iter()
-        .map(|(report, record)| {
-            (
-                report.rounds_to_solve().expect("solved"),
-                record.transmissions,
-                record.max_node_transmissions,
-                record.listens,
-            )
-        })
-        .collect()
+/// Streaming energy digest for one algorithm row, fed from the structured
+/// [`RunRecord`] counters (the span-model recorder), not the legacy
+/// `Metrics` fields; the `recorded_energy_matches_legacy_metrics` test
+/// below pins the two accountings to each other exactly.
+#[derive(Default)]
+struct EnergyAgg {
+    rounds: Samples,
+    total_tx: Samples,
+    peak_tx: Samples,
+    rx: Samples,
+}
+
+impl EnergyAgg {
+    fn push(&mut self, rounds: u64, record: &RunRecord) {
+        self.rounds.push(rounds);
+        self.total_tx.push(record.transmissions);
+        self.peak_tx.push(record.max_node_transmissions);
+        self.rx.push(record.listens);
+    }
+}
+
+impl Aggregate for EnergyAgg {
+    fn merge(&mut self, other: Self) {
+        self.rounds.merge(other.rounds);
+        self.total_tx.merge(other.total_tx);
+        self.peak_tx.merge(other.peak_tx);
+        self.rx.merge(other.rx);
+    }
 }
 
 /// Runs the experiment.
 #[must_use]
-pub fn run(scale: Scale) -> ExperimentReport {
+#[allow(clippy::too_many_lines)]
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
+    let scale = ctx.scale;
     let mut report =
         ExperimentReport::new("E15", "Transmission energy: who pays for symmetry breaking");
     let (c, n, active) = (64u32, 1u64 << 14, 1024usize);
     let trials = scale.trials().min(40);
 
+    let caption = format!("Energy at C = {c}, n = 2^14, |A| = {active} (until solve)");
+    let mut sweep = ctx.sweep::<EnergyAgg>(
+        &caption,
+        &[
+            "algorithm",
+            "rounds mean",
+            "total tx mean",
+            "tx per active node",
+            "max tx by one node",
+            "total rx mean",
+        ],
+    );
+    let energy_row =
+        |sweep: &mut crate::Sweep<EnergyAgg>,
+         name: &'static str,
+         tag: &'static str,
+         run_one: Box<dyn Fn(u64) -> (u64, RunRecord) + Send + Sync>| {
+            sweep.row(
+                trials,
+                SeedStream::Offset(seed_base(tag, 0, 0)),
+                EnergyAgg::default,
+                move |seed, acc| {
+                    let (rounds, record) = run_one(seed);
+                    acc.push(rounds, &record);
+                },
+                move |acc| {
+                    #[allow(clippy::cast_precision_loss)]
+                    let per_node = acc.total_tx.0.finish().mean / active as f64;
+                    vec![
+                        name.to_string(),
+                        format!("{:.1}", acc.rounds.0.finish().mean),
+                        format!("{:.0}", acc.total_tx.0.finish().mean),
+                        format!("{per_node:.2}"),
+                        format!("{:.1}", acc.peak_tx.0.finish().mean),
+                        format!("{:.0}", acc.rx.0.finish().mean),
+                    ]
+                },
+            );
+        };
+    energy_row(
+        &mut sweep,
+        "this paper (pipeline)",
+        "e15f",
+        Box::new(move |s| {
+            let mut exec = Engine::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
+            for _ in 0..active {
+                exec.add_node(FullAlgorithm::new(Params::practical(), c, n));
+            }
+            recorded_one(exec, s)
+        }),
+    );
+    energy_row(
+        &mut sweep,
+        "expected-O(1)",
+        "e15x",
+        Box::new(move |s| {
+            let mut exec = Engine::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
+            for _ in 0..active {
+                exec.add_node(ExpectedConstant::new(c, n));
+            }
+            recorded_one(exec, s)
+        }),
+    );
+    energy_row(
+        &mut sweep,
+        "CD tournament",
+        "e15t",
+        Box::new(move |s| {
+            let mut exec = Engine::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
+            for _ in 0..active {
+                exec.add_node(CdTournament::new());
+            }
+            recorded_one(exec, s)
+        }),
+    );
+    energy_row(
+        &mut sweep,
+        "binary descent",
+        "e15d",
+        Box::new(move |s| {
+            let mut exec = Engine::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
+            for id in sample_distinct(n, active, s ^ 0x15) {
+                exec.add_node(BinaryDescent::new(id, n));
+            }
+            recorded_one(exec, s)
+        }),
+    );
+    energy_row(
+        &mut sweep,
+        "decay (no CD)",
+        "e15y",
+        Box::new(move |s| {
+            let cfg = SimConfig::new(c)
+                .seed(s)
+                .cd_mode(CdMode::None)
+                .max_rounds(1_000_000);
+            let mut exec = Engine::new(cfg);
+            for _ in 0..active {
+                exec.add_node(Decay::new(n));
+            }
+            recorded_one(exec, s)
+        }),
+    );
+    energy_row(
+        &mut sweep,
+        "multi no-CD",
+        "e15m",
+        Box::new(move |s| {
+            let cfg = SimConfig::new(c)
+                .seed(s)
+                .cd_mode(CdMode::None)
+                .max_rounds(1_000_000);
+            let mut exec = Engine::new(cfg);
+            for _ in 0..active {
+                exec.add_node(MultiChannelNoCd::new(c, n));
+            }
+            recorded_one(exec, s)
+        }),
+    );
+    report.section(caption, sweep.run());
+
+    // Where the pipeline's energy actually goes: the recorder attributes
+    // every transmission and acting round to the acting node's own phase,
+    // so this breakdown stays exact even when phases overlap. This table
+    // derives many rows from one record batch, so it runs on the trial
+    // layer (itself a single-cell campaign) at the pipeline row's seeds —
+    // deterministic on every run, including resumed ones.
     let full_pairs = run_trials_recorded(trials, seed_base("e15f", 0, 0), |s| {
         let mut exec = Engine::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
         for _ in 0..active {
@@ -53,99 +206,6 @@ pub fn run(scale: Scale) -> ExperimentReport {
         }
         exec
     });
-
-    let runs: Vec<(&str, Vec<Energy>)> = vec![
-        ("this paper (pipeline)", digest(&full_pairs)),
-        (
-            "expected-O(1)",
-            digest(&run_trials_recorded(trials, seed_base("e15x", 0, 0), |s| {
-                let mut exec = Engine::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
-                for _ in 0..active {
-                    exec.add_node(ExpectedConstant::new(c, n));
-                }
-                exec
-            })),
-        ),
-        (
-            "CD tournament",
-            digest(&run_trials_recorded(trials, seed_base("e15t", 0, 0), |s| {
-                let mut exec = Engine::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
-                for _ in 0..active {
-                    exec.add_node(CdTournament::new());
-                }
-                exec
-            })),
-        ),
-        (
-            "binary descent",
-            digest(&run_trials_recorded(trials, seed_base("e15d", 0, 0), |s| {
-                let mut exec = Engine::new(SimConfig::new(c).seed(s).max_rounds(1_000_000));
-                for id in sample_distinct(n, active, s ^ 0x15) {
-                    exec.add_node(BinaryDescent::new(id, n));
-                }
-                exec
-            })),
-        ),
-        (
-            "decay (no CD)",
-            digest(&run_trials_recorded(trials, seed_base("e15y", 0, 0), |s| {
-                let cfg = SimConfig::new(c)
-                    .seed(s)
-                    .cd_mode(CdMode::None)
-                    .max_rounds(1_000_000);
-                let mut exec = Engine::new(cfg);
-                for _ in 0..active {
-                    exec.add_node(Decay::new(n));
-                }
-                exec
-            })),
-        ),
-        (
-            "multi no-CD",
-            digest(&run_trials_recorded(trials, seed_base("e15m", 0, 0), |s| {
-                let cfg = SimConfig::new(c)
-                    .seed(s)
-                    .cd_mode(CdMode::None)
-                    .max_rounds(1_000_000);
-                let mut exec = Engine::new(cfg);
-                for _ in 0..active {
-                    exec.add_node(MultiChannelNoCd::new(c, n));
-                }
-                exec
-            })),
-        ),
-    ];
-
-    let mut table = Table::new(&[
-        "algorithm",
-        "rounds mean",
-        "total tx mean",
-        "tx per active node",
-        "max tx by one node",
-        "total rx mean",
-    ]);
-    for (name, energies) in &runs {
-        let rounds = Summary::from_u64(&energies.iter().map(|e| e.0).collect::<Vec<_>>());
-        let total = Summary::from_u64(&energies.iter().map(|e| e.1).collect::<Vec<_>>());
-        let peak = Summary::from_u64(&energies.iter().map(|e| e.2).collect::<Vec<_>>());
-        let rx = Summary::from_u64(&energies.iter().map(|e| e.3).collect::<Vec<_>>());
-        table.row_owned(vec![
-            (*name).to_string(),
-            format!("{:.1}", rounds.mean),
-            format!("{:.0}", total.mean),
-            format!("{:.2}", total.mean / active as f64),
-            format!("{:.1}", peak.mean),
-            format!("{:.0}", rx.mean),
-        ]);
-    }
-    report.section(
-        format!("Energy at C = {c}, n = 2^14, |A| = {active} (until solve)"),
-        table,
-    );
-
-    // Where the pipeline's energy actually goes: the recorder attributes
-    // every transmission and acting round to the acting node's own phase,
-    // so this breakdown stays exact even when phases overlap.
     let mut by_phase: BTreeMap<String, (u64, u64)> = BTreeMap::new();
     for (_, record) in &full_pairs {
         for (label, tx) in &record.phase_transmissions {
@@ -155,9 +215,14 @@ pub fn run(scale: Scale) -> ExperimentReport {
             by_phase.entry(label.clone()).or_insert((0, 0)).1 += rounds;
         }
     }
-    let mut phase_table =
-        Table::new(&["phase", "mean tx", "mean node-rounds", "tx per node-round"]);
+    let mut phase_table = contention_analysis::Table::new(&[
+        "phase",
+        "mean tx",
+        "mean node-rounds",
+        "tx per node-round",
+    ]);
     for (label, (tx, rounds)) in &by_phase {
+        #[allow(clippy::cast_precision_loss)]
         phase_table.row_owned(vec![
             label.clone(),
             format!("{:.1}", *tx as f64 / trials as f64),
@@ -179,6 +244,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
         .iter()
         .map(|(_, record)| record.transmissions)
         .sum();
+    #[allow(clippy::cast_precision_loss)]
     report.note(format!(
         "Channel concentration: {:.1}% of the pipeline's transmissions land on the \
          primary channel (the rest spread over the other {} channels during the \
@@ -201,6 +267,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Scale;
     use mac_sim::trials::run_trials;
 
     #[test]
@@ -234,7 +301,7 @@ mod tests {
 
     #[test]
     fn report_renders() {
-        let r = run(Scale::Quick);
+        let r = run(&RunCtx::new(Scale::Quick));
         assert_eq!(r.sections.len(), 2);
         assert_eq!(r.sections[0].table.len(), 6);
         assert!(!r.sections[1].table.is_empty());

@@ -6,10 +6,10 @@
 
 use contention::baselines::{CdTournament, Decay};
 use contention::{FullAlgorithm, Params, TwoActive};
-use contention_analysis::Table;
+use mac_sim::campaign::SeedStream;
 use mac_sim::{CdMode, Engine, Protocol, SimConfig, SimError};
 
-use crate::{ExperimentReport, Scale};
+use crate::{ExperimentReport, RunCtx};
 
 /// Result of running one (algorithm, mode) cell across trials.
 struct Cell {
@@ -18,6 +18,24 @@ struct Cell {
     mean_rounds: Option<f64>,
 }
 
+/// One (mode, seed) execution: `Some(rounds)` when it solved, `None` on a
+/// timeout (a stall, under the weaker feedback models).
+fn solve_one<P, F>(mode: CdMode, seed: u64, cap: u64, build: F) -> Option<u64>
+where
+    P: Protocol,
+    F: Fn(u64, &mut Engine<P>),
+{
+    let cfg = SimConfig::new(64).seed(seed).cd_mode(mode).max_rounds(cap);
+    let mut exec = Engine::new(cfg);
+    build(seed, &mut exec);
+    match exec.run() {
+        Ok(report) => report.rounds_to_solve(),
+        Err(SimError::Timeout { .. }) => None,
+        Err(e) => panic!("unexpected simulation error: {e}"),
+    }
+}
+
+#[cfg(test)]
 fn run_cell<P, F>(mode: CdMode, trials: usize, cap: u64, build: F) -> Cell
 where
     P: Protocol,
@@ -26,18 +44,9 @@ where
     let mut solved = 0usize;
     let mut total_rounds = 0u64;
     for seed in 0..trials as u64 {
-        let cfg = SimConfig::new(64).seed(seed).cd_mode(mode).max_rounds(cap);
-        let mut exec = Engine::new(cfg);
-        build(seed, &mut exec);
-        match exec.run() {
-            Ok(report) => {
-                if let Some(r) = report.rounds_to_solve() {
-                    solved += 1;
-                    total_rounds += r;
-                }
-            }
-            Err(SimError::Timeout { .. }) => {}
-            Err(e) => panic!("unexpected simulation error: {e}"),
+        if let Some(r) = solve_one(mode, seed, cap, &build) {
+            solved += 1;
+            total_rounds += r;
         }
     }
     Cell {
@@ -55,70 +64,111 @@ fn render(cell: &Cell) -> String {
     }
 }
 
+/// Per-row streamed matrix: (solved count, round total) for each CD mode.
+type ModeAgg = ((u64, u64), (u64, u64), (u64, u64));
+
+const MODES: [CdMode; 3] = [CdMode::Strong, CdMode::ReceiverOnly, CdMode::None];
+
 /// Runs the experiment.
 #[must_use]
-pub fn run(scale: Scale) -> ExperimentReport {
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
+    let scale = ctx.scale;
     let mut report = ExperimentReport::new(
         "E16",
         "Collision-detection model matrix: who needs what feedback",
     );
     let trials = scale.trials().min(25);
     let (n, active, cap) = (1u64 << 12, 200usize, 3_000u64);
-    let modes = [
-        ("strong CD", CdMode::Strong),
-        ("receiver-only CD", CdMode::ReceiverOnly),
-        ("no CD", CdMode::None),
-    ];
 
-    let mut table = Table::new(&["algorithm", "strong CD", "receiver-only CD", "no CD"]);
-    // Full pipeline.
-    let mut row = vec!["this paper (pipeline)".to_string()];
-    for (_, mode) in &modes {
-        let cell = run_cell(*mode, trials, cap, |_, exec| {
-            for _ in 0..active {
-                exec.add_node(FullAlgorithm::new(Params::practical(), 64, n));
-            }
-        });
-        row.push(render(&cell));
-    }
-    table.row_owned(row);
-    // TwoActive.
-    let mut row = vec!["TwoActive (|A| = 2)".to_string()];
-    for (_, mode) in &modes {
-        let cell = run_cell(*mode, trials, cap, |_, exec| {
-            exec.add_node(TwoActive::new(64, n));
-            exec.add_node(TwoActive::new(64, n));
-        });
-        row.push(render(&cell));
-    }
-    table.row_owned(row);
-    // CD tournament.
-    let mut row = vec!["CD tournament".to_string()];
-    for (_, mode) in &modes {
-        let cell = run_cell(*mode, trials, cap, |_, exec| {
-            for _ in 0..active {
-                exec.add_node(CdTournament::new());
-            }
-        });
-        row.push(render(&cell));
-    }
-    table.row_owned(row);
-    // Decay — the one that genuinely needs nothing.
-    let mut row = vec!["decay (designed for no CD)".to_string()];
-    for (_, mode) in &modes {
-        let cell = run_cell(*mode, trials, cap, |_, exec| {
-            for _ in 0..active {
-                exec.add_node(Decay::new(n));
-            }
-        });
-        row.push(render(&cell));
-    }
-    table.row_owned(row);
-
-    report.section(
-        format!("Solve behavior by feedback model (C = 64, |A| = {active}, cap {cap} rounds)"),
-        table,
+    let caption =
+        format!("Solve behavior by feedback model (C = 64, |A| = {active}, cap {cap} rounds)");
+    let mut sweep = ctx.sweep::<ModeAgg>(
+        &caption,
+        &["algorithm", "strong CD", "receiver-only CD", "no CD"],
     );
+    // One row per algorithm; trial i runs at seed i under all three modes
+    // (the historical seeding: 0..trials per cell).
+    sweep.row(
+        trials,
+        SeedStream::Offset(0),
+        ModeAgg::default,
+        move |seed, acc| {
+            let build = |_: u64, exec: &mut Engine<FullAlgorithm>| {
+                for _ in 0..active {
+                    exec.add_node(FullAlgorithm::new(Params::practical(), 64, n));
+                }
+            };
+            let slots = [&mut acc.0, &mut acc.1, &mut acc.2];
+            for (mode, slot) in MODES.iter().zip(slots) {
+                if let Some(r) = solve_one(*mode, seed, cap, build) {
+                    slot.0 += 1;
+                    slot.1 += r;
+                }
+            }
+        },
+        move |acc| render_row("this paper (pipeline)", &acc, trials),
+    );
+    sweep.row(
+        trials,
+        SeedStream::Offset(0),
+        ModeAgg::default,
+        move |seed, acc| {
+            let build = |_: u64, exec: &mut Engine<TwoActive>| {
+                exec.add_node(TwoActive::new(64, n));
+                exec.add_node(TwoActive::new(64, n));
+            };
+            let slots = [&mut acc.0, &mut acc.1, &mut acc.2];
+            for (mode, slot) in MODES.iter().zip(slots) {
+                if let Some(r) = solve_one(*mode, seed, cap, build) {
+                    slot.0 += 1;
+                    slot.1 += r;
+                }
+            }
+        },
+        move |acc| render_row("TwoActive (|A| = 2)", &acc, trials),
+    );
+    sweep.row(
+        trials,
+        SeedStream::Offset(0),
+        ModeAgg::default,
+        move |seed, acc| {
+            let build = |_: u64, exec: &mut Engine<CdTournament>| {
+                for _ in 0..active {
+                    exec.add_node(CdTournament::new());
+                }
+            };
+            let slots = [&mut acc.0, &mut acc.1, &mut acc.2];
+            for (mode, slot) in MODES.iter().zip(slots) {
+                if let Some(r) = solve_one(*mode, seed, cap, build) {
+                    slot.0 += 1;
+                    slot.1 += r;
+                }
+            }
+        },
+        move |acc| render_row("CD tournament", &acc, trials),
+    );
+    // Decay — the one that genuinely needs nothing.
+    sweep.row(
+        trials,
+        SeedStream::Offset(0),
+        ModeAgg::default,
+        move |seed, acc| {
+            let build = |_: u64, exec: &mut Engine<Decay>| {
+                for _ in 0..active {
+                    exec.add_node(Decay::new(n));
+                }
+            };
+            let slots = [&mut acc.0, &mut acc.1, &mut acc.2];
+            for (mode, slot) in MODES.iter().zip(slots) {
+                if let Some(r) = solve_one(*mode, seed, cap, build) {
+                    slot.0 += 1;
+                    slot.1 += r;
+                }
+            }
+        },
+        move |acc| render_row("decay (designed for no CD)", &acc, trials),
+    );
+    report.section(caption, sweep.run());
     report.note(
         "The paper's algorithms rely on transmitter-side collision detection \
          ('broadcasts without collision', Fig. 2; renaming via own-transmission \
@@ -131,9 +181,25 @@ pub fn run(scale: Scale) -> ExperimentReport {
     report
 }
 
+/// Renders one matrix row from its streamed per-mode counters.
+fn render_row(name: &str, acc: &ModeAgg, trials: usize) -> Vec<String> {
+    let mut cells = vec![name.to_string()];
+    for (solved, total_rounds) in [acc.0, acc.1, acc.2] {
+        #[allow(clippy::cast_possible_truncation)]
+        let cell = Cell {
+            solved: solved as usize,
+            trials,
+            mean_rounds: (solved > 0).then(|| total_rounds as f64 / solved as f64),
+        };
+        cells.push(render(&cell));
+    }
+    cells
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Scale;
 
     #[test]
     fn strong_cd_column_always_solves() {
@@ -177,7 +243,7 @@ mod tests {
 
     #[test]
     fn report_renders() {
-        let r = run(Scale::Quick);
+        let r = run(&RunCtx::new(Scale::Quick));
         assert_eq!(r.sections.len(), 1);
         assert_eq!(r.sections[0].table.len(), 4);
     }

@@ -15,71 +15,86 @@
 use contention::baselines::{CdTournament, TreeSplit};
 use contention::serialize::SerializeAll;
 use contention::{FullAlgorithm, Params};
-use contention_analysis::{Summary, Table};
+use mac_sim::campaign::SeedStream;
 use mac_sim::{Engine, SimConfig, StopWhen};
 
 use super::seed_base;
-use crate::{ExperimentReport, Scale};
-use mac_sim::trials::run_trials;
+use crate::{ExperimentReport, RunCtx, Samples};
 
+/// One pipeline-serializer drain of a `k`-packet burst.
+fn pipeline_drain_one(c: u32, n: u64, k: usize, seed: u64) -> u64 {
+    let cfg = SimConfig::new(c)
+        .seed(seed)
+        .stop_when(StopWhen::AllTerminated)
+        .max_rounds(10_000_000);
+    let mut exec = Engine::new(cfg);
+    for payload in 0..k as u32 {
+        let factory = move || FullAlgorithm::new(Params::practical(), c, n);
+        exec.add_node(SerializeAll::new(factory, payload));
+    }
+    exec.run()
+        .unwrap_or_else(|e| panic!("trial with seed {seed} failed: {e}"))
+        .rounds_executed
+}
+
+#[cfg(test)]
 fn pipeline_drain(c: u32, n: u64, k: usize, trials: usize, seed: u64) -> Vec<u64> {
-    run_trials(trials, seed, |s| {
-        let cfg = SimConfig::new(c)
-            .seed(s)
-            .stop_when(StopWhen::AllTerminated)
-            .max_rounds(10_000_000);
-        let mut exec = Engine::new(cfg);
-        for payload in 0..k as u32 {
-            let factory = move || FullAlgorithm::new(Params::practical(), c, n);
-            exec.add_node(SerializeAll::new(factory, payload));
-        }
-        exec
-    })
-    .iter()
-    .map(|r| r.rounds_executed)
-    .collect()
+    (0..trials as u64)
+        .map(|i| pipeline_drain_one(c, n, k, seed.wrapping_add(i)))
+        .collect()
 }
 
+/// One tournament-serializer drain.
+fn tournament_drain_one(k: usize, seed: u64) -> u64 {
+    let cfg = SimConfig::new(1)
+        .seed(seed)
+        .stop_when(StopWhen::AllTerminated)
+        .max_rounds(10_000_000);
+    let mut exec = Engine::new(cfg);
+    for payload in 0..k as u32 {
+        exec.add_node(SerializeAll::new(CdTournament::new, payload));
+    }
+    exec.run()
+        .unwrap_or_else(|e| panic!("trial with seed {seed} failed: {e}"))
+        .rounds_executed
+}
+
+#[cfg(test)]
 fn tournament_drain(k: usize, trials: usize, seed: u64) -> Vec<u64> {
-    run_trials(trials, seed, |s| {
-        let cfg = SimConfig::new(1)
-            .seed(s)
-            .stop_when(StopWhen::AllTerminated)
-            .max_rounds(10_000_000);
-        let mut exec = Engine::new(cfg);
-        for payload in 0..k as u32 {
-            exec.add_node(SerializeAll::new(CdTournament::new, payload));
-        }
-        exec
-    })
-    .iter()
-    .map(|r| r.rounds_executed)
-    .collect()
+    (0..trials as u64)
+        .map(|i| tournament_drain_one(k, seed.wrapping_add(i)))
+        .collect()
 }
 
+/// One deterministic tree-split drain. Random id placement: evenly spaced
+/// ids would be the DFS's best case (every singleton subtree resolves in
+/// one probe); random placement is the fair workload for the
+/// O(k·log(n/k)) claim.
+fn tree_split_drain_one(n: u64, k: usize, seed: u64) -> u64 {
+    let cfg = SimConfig::new(1)
+        .seed(seed)
+        .stop_when(StopWhen::AllTerminated)
+        .max_rounds(10_000_000);
+    let mut exec = Engine::new(cfg);
+    for id in crate::sample_distinct(n, k, seed ^ 0x17) {
+        exec.add_node(TreeSplit::new(id, n));
+    }
+    exec.run()
+        .unwrap_or_else(|e| panic!("trial with seed {seed} failed: {e}"))
+        .rounds_executed
+}
+
+#[cfg(test)]
 fn tree_split_drain(n: u64, k: usize, trials: usize, seed: u64) -> Vec<u64> {
-    // Random id placement: evenly spaced ids would be the DFS's best case
-    // (every singleton subtree resolves in one probe); random placement is
-    // the fair workload for the O(k·log(n/k)) claim.
-    run_trials(trials, seed, |s| {
-        let cfg = SimConfig::new(1)
-            .seed(s)
-            .stop_when(StopWhen::AllTerminated)
-            .max_rounds(10_000_000);
-        let mut exec = Engine::new(cfg);
-        for id in crate::sample_distinct(n, k, s ^ 0x17) {
-            exec.add_node(TreeSplit::new(id, n));
-        }
-        exec
-    })
-    .iter()
-    .map(|r| r.rounds_executed)
-    .collect()
+    (0..trials as u64)
+        .map(|i| tree_split_drain_one(n, k, seed.wrapping_add(i)))
+        .collect()
 }
 
 /// Runs the experiment.
 #[must_use]
-pub fn run(scale: Scale) -> ExperimentReport {
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
+    let scale = ctx.scale;
     let mut report = ExperimentReport::new(
         "E17",
         "Serving all contenders: per-packet cost of three strategies",
@@ -88,34 +103,50 @@ pub fn run(scale: Scale) -> ExperimentReport {
     let c = 64u32;
     let trials = scale.trials().min(15);
 
-    let mut table = Table::new(&[
-        "k (packets)",
-        "k/n",
-        "pipeline serializer (r/pkt)",
-        "tournament serializer (r/pkt)",
-        "tree split (r/pkt)",
-    ]);
+    let caption = format!("Rounds per packet, n = 2^12, C = {c} (pipeline only)");
+    let mut sweep = ctx.sweep::<(Samples, Samples, Samples)>(
+        &caption,
+        &[
+            "k (packets)",
+            "k/n",
+            "pipeline serializer (r/pkt)",
+            "tournament serializer (r/pkt)",
+            "tree split (r/pkt)",
+        ],
+    );
     for &k in &scale.thin(&[16usize, 64, 256, 1024]) {
         // Big bursts cost O(k) epochs each; scale trials down so every grid
         // point costs roughly the same wall time.
         let kt = trials.max(3) * 64 / k.max(64);
         let kt = kt.clamp(3, trials);
-        let per = |rounds: &[u64]| Summary::from_u64(rounds).mean / k as f64;
-        let pipeline = per(&pipeline_drain(c, n, k, kt, seed_base("e17p", k as u64, n)));
-        let tournament = per(&tournament_drain(k, kt, seed_base("e17t", k as u64, n)));
-        let tree = per(&tree_split_drain(n, k, kt, seed_base("e17s", k as u64, n)));
-        table.row_owned(vec![
-            k.to_string(),
-            format!("{:.3}", k as f64 / n as f64),
-            format!("{pipeline:.1}"),
-            format!("{tournament:.1}"),
-            format!("{tree:.1}"),
-        ]);
+        let pb = seed_base("e17p", k as u64, n);
+        let tb = seed_base("e17t", k as u64, n);
+        let sb = seed_base("e17s", k as u64, n);
+        sweep.row(
+            kt,
+            SeedStream::Offset(0),
+            <(Samples, Samples, Samples)>::default,
+            move |i, acc| {
+                acc.0.push(pipeline_drain_one(c, n, k, pb.wrapping_add(i)));
+                acc.1.push(tournament_drain_one(k, tb.wrapping_add(i)));
+                acc.2.push(tree_split_drain_one(n, k, sb.wrapping_add(i)));
+            },
+            move |(pipeline, tournament, tree)| {
+                #[allow(clippy::cast_precision_loss)]
+                let per = |s: &Samples| s.0.finish().mean / k as f64;
+                #[allow(clippy::cast_precision_loss)]
+                let density = k as f64 / n as f64;
+                vec![
+                    k.to_string(),
+                    format!("{density:.3}"),
+                    format!("{:.1}", per(&pipeline)),
+                    format!("{:.1}", per(&tournament)),
+                    format!("{:.1}", per(&tree)),
+                ]
+            },
+        );
     }
-    report.section(
-        format!("Rounds per packet, n = 2^12, C = {c} (pipeline only)"),
-        table,
-    );
+    report.section(caption, sweep.run());
     report.note(
         "Tree splitting — the one strategy here that consumes unique ids — is the \
          efficiency reference at every density (O(k + k·log(n/k)) total). Among the \
@@ -130,6 +161,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Scale;
 
     #[test]
     fn all_three_strategies_drain() {
@@ -152,7 +184,7 @@ mod tests {
 
     #[test]
     fn report_renders() {
-        let r = run(Scale::Quick);
+        let r = run(&RunCtx::new(Scale::Quick));
         assert_eq!(r.sections.len(), 1);
         assert!(!r.notes.is_empty());
     }

@@ -19,13 +19,14 @@
 use contention::baselines::{CdTournament, Decay};
 use contention::phase::{PhaseStats, PhaseTelemetry};
 use contention::{FullAlgorithm, Params, TwoActive};
-use contention_analysis::{threshold_crossing, Table};
+use contention_analysis::threshold_crossing;
+use mac_sim::campaign::{Aggregate, SeedStream};
 use mac_sim::fault::{CrashStop, JamBudget, Layered, LossyChannel, NoisyCd};
 use mac_sim::{CdMode, Engine, FeedbackModel, Protocol, SimConfig, SimError};
 
 use super::e09_full_vs_baselines::mean_phase_rounds;
 use super::seed_base;
-use crate::{ExperimentReport, Scale};
+use crate::{ExperimentReport, RunCtx};
 
 /// Channels, contender universe, and active-set size for every sweep.
 const C: u32 = 64;
@@ -65,14 +66,52 @@ impl Cell {
     }
 }
 
-/// Runs `trials` seeded engines with a fresh fault model and population
-/// each, counting budget exhaustion and timeouts as unsolved.
+/// One streamed table row: the solved-trial rounds of every fault level of
+/// one algorithm. Shards merge by element-wise concatenation in seed order,
+/// so the per-level vectors are identical whatever the worker count.
+struct FaultCells {
+    rounds: Vec<Vec<u64>>,
+}
+
+impl Aggregate for FaultCells {
+    fn merge(&mut self, other: Self) {
+        for (mine, theirs) in self.rounds.iter_mut().zip(other.rounds) {
+            mine.extend(theirs);
+        }
+    }
+}
+
+/// One seeded engine under one fault model, with budget exhaustion and
+/// timeouts counted as unsolved.
 ///
 /// The paper's protocols carry `debug_assert!`s encoding clean-channel
 /// invariants ("colliding cohorts cannot sit at the root", …); injected
 /// faults legitimately violate those, so in debug builds a tripped
 /// assertion is caught and counted as a wedged (unsolved) trial — the same
 /// verdict the round budget delivers in release builds.
+fn run_one<P, FM>(seed: u64, feedback: FM, nodes: Vec<P>) -> Option<u64>
+where
+    P: Protocol,
+    FM: FeedbackModel,
+{
+    let cfg = SimConfig::new(C).seed(seed).round_budget(BUDGET);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut engine = Engine::with_feedback(cfg, feedback);
+        for node in nodes {
+            engine.add_node(node);
+        }
+        engine.run_summary()
+    }));
+    match outcome {
+        Ok(Ok(summary)) => summary.rounds_to_solve(),
+        Ok(Err(SimError::BudgetExhausted { .. } | SimError::Timeout { .. })) | Err(_) => None,
+        Ok(Err(e)) => panic!("unexpected simulation error: {e}"),
+    }
+}
+
+/// Sequential cell used by the unit tests: `trials` seeded engines with a
+/// fresh fault model and population each.
+#[cfg(test)]
 fn run_cell<P, FM>(
     trials: usize,
     base_seed: u64,
@@ -83,73 +122,44 @@ where
     P: Protocol,
     FM: FeedbackModel,
 {
-    let mut rounds = Vec::new();
-    for t in 0..trials as u64 {
-        let cfg = SimConfig::new(C)
-            .seed(base_seed.wrapping_add(t))
-            .round_budget(BUDGET);
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let mut engine = Engine::with_feedback(cfg, make_feedback());
-            for node in make_nodes() {
-                engine.add_node(node);
-            }
-            engine.run_summary()
-        }));
-        match outcome {
-            Ok(Ok(summary)) => {
-                if let Some(r) = summary.rounds_to_solve() {
-                    rounds.push(r);
-                }
-            }
-            Ok(Err(SimError::BudgetExhausted { .. } | SimError::Timeout { .. })) | Err(_) => {}
-            Ok(Err(e)) => panic!("unexpected simulation error: {e}"),
-        }
-    }
+    let rounds = (0..trials as u64)
+        .filter_map(|t| run_one(base_seed.wrapping_add(t), make_feedback(), make_nodes()))
+        .collect();
     Cell { trials, rounds }
 }
 
-/// Success rate and solver phase-telemetry spines for the paper's pipeline
-/// under symmetric CD-noise `p`. The breakdown tables say *whether* the
-/// pipeline still solves; the spines say *where* the surviving runs spend
-/// their rounds as the channel degrades — read through the same
-/// [`PhaseTelemetry`] API the sessions and E9–E11 use.
-fn pipeline_phase_profile(p: f64, trials: usize, base_seed: u64) -> (f64, Vec<Vec<PhaseStats>>) {
-    let mut spines = Vec::new();
-    let mut solved = 0usize;
-    for t in 0..trials as u64 {
-        let cfg = SimConfig::new(C)
-            .seed(base_seed.wrapping_add(t))
-            .round_budget(BUDGET);
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let mut engine =
-                Engine::with_feedback(cfg, Layered::new(NoisyCd::symmetric(p), CdMode::Strong));
-            for _ in 0..ACTIVE {
-                engine.add_node(FullAlgorithm::new(Params::practical(), C, N));
-            }
-            engine
-                .run()
-                .map(|report| report.solver.map(|id| engine.node(id).phase_stats()))
-        }));
-        match outcome {
-            Ok(Ok(Some(spine))) => {
-                solved += 1;
-                spines.push(spine);
-            }
-            Ok(Ok(None)) => {}
-            Ok(Err(SimError::BudgetExhausted { .. } | SimError::Timeout { .. })) | Err(_) => {}
-            Ok(Err(e)) => panic!("unexpected simulation error: {e}"),
+/// One pipeline run under symmetric CD-noise `p`: `Some(spine)` when it
+/// solved with an elected solver, read through the same
+/// [`contention::phase::PhaseTelemetry`] API the sessions and E9–E11 use.
+fn pipeline_profile_one(p: f64, seed: u64) -> Option<Vec<PhaseStats>> {
+    let cfg = SimConfig::new(C).seed(seed).round_budget(BUDGET);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut engine =
+            Engine::with_feedback(cfg, Layered::new(NoisyCd::symmetric(p), CdMode::Strong));
+        for _ in 0..ACTIVE {
+            engine.add_node(FullAlgorithm::new(Params::practical(), C, N));
         }
+        engine
+            .run()
+            .map(|report| report.solver.map(|id| engine.node(id).phase_stats()))
+    }));
+    match outcome {
+        Ok(Ok(spine)) => spine,
+        Ok(Err(SimError::BudgetExhausted { .. } | SimError::Timeout { .. })) | Err(_) => None,
+        Ok(Err(e)) => panic!("unexpected simulation error: {e}"),
     }
-    (solved as f64 / trials.max(1) as f64, spines)
 }
 
-/// All four fault sweeps for one algorithm.
-struct AlgoRows {
-    name: &'static str,
-    noise: Vec<Cell>,
-    loss: Vec<Cell>,
-    crash: Vec<Cell>,
-    jam: Vec<Cell>,
+/// Success rate and solver spines under CD-noise `p` (sequential form,
+/// used by the tests).
+#[cfg(test)]
+fn pipeline_phase_profile(p: f64, trials: usize, base_seed: u64) -> (f64, Vec<Vec<PhaseStats>>) {
+    let spines: Vec<Vec<PhaseStats>> = (0..trials as u64)
+        .filter_map(|t| pipeline_profile_one(p, base_seed.wrapping_add(t)))
+        .collect();
+    #[allow(clippy::cast_precision_loss)]
+    let success = spines.len() as f64 / trials.max(1) as f64;
+    (success, spines)
 }
 
 /// Fault levels shared by every algorithm in one run of the experiment.
@@ -162,217 +172,287 @@ struct Grids {
 }
 
 impl Grids {
-    fn for_scale(scale: Scale) -> Self {
+    fn for_scale(scale: crate::Scale) -> Self {
         Grids {
             noise_ps: scale.thin(&[0.0, 0.1, 0.25, 0.5, 0.75, 1.0]),
             loss_ps: scale.thin(&[0.0, 0.1, 0.25, 0.5, 0.75, 0.95]),
             crash_fracs: scale.thin(&[0.0, 0.25, 0.5, 0.9]),
             jam_budgets: scale.thin(&[0, 4, 16, 64]),
             trials: match scale {
-                Scale::Quick => 8,
-                Scale::Full => 40,
+                crate::Scale::Quick => 8,
+                crate::Scale::Full => 40,
             },
         }
     }
 }
 
-fn sweep_algorithm<P: Protocol>(
-    name: &'static str,
-    tag: &str,
-    grids: &Grids,
-    make_nodes: impl Fn() -> Vec<P>,
-) -> AlgoRows {
-    let node_count = make_nodes().len();
-    let noise = grids
-        .noise_ps
-        .iter()
-        .enumerate()
-        .map(|(i, &p)| {
-            run_cell(
-                grids.trials,
-                seed_base(tag, 1, i as u64),
-                || Layered::new(NoisyCd::symmetric(p), CdMode::Strong),
-                &make_nodes,
-            )
-        })
-        .collect();
-    let loss = grids
-        .loss_ps
-        .iter()
-        .enumerate()
-        .map(|(i, &p)| {
-            run_cell(
-                grids.trials,
-                seed_base(tag, 2, i as u64),
-                || Layered::new(LossyChannel::new(p), CdMode::Strong),
-                &make_nodes,
-            )
-        })
-        .collect();
-    let crash = grids
-        .crash_fracs
-        .iter()
-        .enumerate()
-        .map(|(i, &frac)| {
-            #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
-            let f = (frac * node_count as f64).round() as usize;
-            run_cell(
-                grids.trials,
-                seed_base(tag, 3, i as u64),
-                || {
-                    Layered::new(
-                        CrashStop::random(f, node_count, CRASH_WINDOW),
-                        CdMode::Strong,
-                    )
-                },
-                &make_nodes,
-            )
-        })
-        .collect();
-    let jam = grids
-        .jam_budgets
-        .iter()
-        .enumerate()
-        .map(|(i, &b)| {
-            run_cell(
-                grids.trials,
-                seed_base(tag, 4, i as u64),
-                || JamBudget::new(CdMode::Strong, b),
-                &make_nodes,
-            )
-        })
-        .collect();
-    AlgoRows {
-        name,
-        noise,
-        loss,
-        crash,
-        jam,
-    }
+/// Node factories, one per algorithm row — plain `fn`s so the same factory
+/// can be reused across all four fault sweeps.
+fn pipeline_nodes() -> Vec<FullAlgorithm> {
+    (0..ACTIVE)
+        .map(|_| FullAlgorithm::new(Params::practical(), C, N))
+        .collect()
 }
 
-/// Builds one fault-kind table: a row per algorithm, a column per fault
-/// level, plus the interpolated 50%-success breakdown threshold.
-fn fault_table(
-    algos: &[AlgoRows],
-    levels: &[f64],
-    level_label: impl Fn(f64) -> String,
-    pick: impl Fn(&AlgoRows) -> &Vec<Cell>,
-) -> Table {
+fn two_active_nodes() -> Vec<TwoActive> {
+    vec![TwoActive::new(C, N), TwoActive::new(C, N)]
+}
+
+fn tournament_nodes() -> Vec<CdTournament> {
+    (0..ACTIVE).map(|_| CdTournament::new()).collect()
+}
+
+fn decay_nodes() -> Vec<Decay> {
+    (0..ACTIVE).map(|_| Decay::new(N)).collect()
+}
+
+/// Headers for one fault-kind table: algorithm, a column per fault level,
+/// plus the interpolated 50%-success breakdown threshold.
+fn fault_headers(levels: &[f64], level_label: impl Fn(f64) -> String) -> Vec<String> {
     let mut headers: Vec<String> = vec!["algorithm".to_string()];
     headers.extend(levels.iter().map(|&l| level_label(l)));
     headers.push("50% breakdown".to_string());
-    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    let mut table = Table::new(&header_refs);
+    headers
+}
 
-    for algo in algos {
-        let cells = pick(algo);
-        let mut row = vec![algo.name.to_string()];
-        row.extend(cells.iter().map(Cell::render));
-        let success: Vec<f64> = cells.iter().map(Cell::success).collect();
-        row.push(match threshold_crossing(levels, &success, 0.5) {
-            Some(x) => format!("~{x:.3}"),
-            None if success.first().copied().unwrap_or(0.0) < 0.5 => "below at 0".to_string(),
-            None => "none in range".to_string(),
-        });
-        table.row_owned(row);
+/// Streams one algorithm's row of a fault-kind sweep: trial `i` of level
+/// `j` runs at `seed_base(tag, kind, j) + i` — the historical seeding,
+/// expressed through the campaign's index stream.
+#[allow(clippy::too_many_arguments)]
+fn fault_row<P, FM>(
+    sweep: &mut crate::Sweep<FaultCells>,
+    name: &'static str,
+    tag: &'static str,
+    kind: u64,
+    trials: usize,
+    levels: &[f64],
+    feedback: impl Fn(usize, usize) -> FM + Send + Sync + 'static,
+    make_nodes: fn() -> Vec<P>,
+) where
+    P: Protocol + 'static,
+    FM: FeedbackModel + 'static,
+{
+    let n_levels = levels.len();
+    let levels = levels.to_vec();
+    let node_count = make_nodes().len();
+    sweep.row(
+        trials,
+        SeedStream::Offset(0),
+        move || FaultCells {
+            rounds: vec![Vec::new(); n_levels],
+        },
+        move |i, acc| {
+            for (j, cell) in acc.rounds.iter_mut().enumerate() {
+                let seed = seed_base(tag, kind, j as u64).wrapping_add(i);
+                if let Some(r) = run_one(seed, feedback(j, node_count), make_nodes()) {
+                    cell.push(r);
+                }
+            }
+        },
+        move |acc| {
+            let mut row = vec![name.to_string()];
+            let mut success = Vec::with_capacity(acc.rounds.len());
+            for rounds in &acc.rounds {
+                let cell = Cell {
+                    trials,
+                    rounds: rounds.clone(),
+                };
+                success.push(cell.success());
+                row.push(cell.render());
+            }
+            row.push(match threshold_crossing(&levels, &success, 0.5) {
+                Some(x) => format!("~{x:.3}"),
+                None if success.first().copied().unwrap_or(0.0) < 0.5 => "below at 0".to_string(),
+                None => "none in range".to_string(),
+            });
+            row
+        },
+    );
+}
+
+/// Adds all four algorithm rows of one fault-kind sweep.
+fn fault_section<FM>(
+    sweep: &mut crate::Sweep<FaultCells>,
+    kind: u64,
+    trials: usize,
+    levels: &[f64],
+    feedback: impl Fn(usize, usize) -> FM + Clone + Send + Sync + 'static,
+) where
+    FM: FeedbackModel + 'static,
+{
+    fault_row(
+        sweep,
+        "this paper (pipeline)",
+        "e18full",
+        kind,
+        trials,
+        levels,
+        feedback.clone(),
+        pipeline_nodes,
+    );
+    fault_row(
+        sweep,
+        "TwoActive (|A| = 2)",
+        "e18two",
+        kind,
+        trials,
+        levels,
+        feedback.clone(),
+        two_active_nodes,
+    );
+    fault_row(
+        sweep,
+        "CD tournament",
+        "e18cdt",
+        kind,
+        trials,
+        levels,
+        feedback.clone(),
+        tournament_nodes,
+    );
+    fault_row(
+        sweep,
+        "decay (no-CD baseline)",
+        "e18dec",
+        kind,
+        trials,
+        levels,
+        feedback,
+        decay_nodes,
+    );
+}
+
+/// Per-row streamed aggregate for the phase-profile table: solved count
+/// plus the solver spines of the solved trials.
+#[derive(Default)]
+struct PhaseProf {
+    solved: u64,
+    spines: Vec<Vec<PhaseStats>>,
+}
+
+impl Aggregate for PhaseProf {
+    fn merge(&mut self, other: Self) {
+        self.solved += other.solved;
+        self.spines.extend(other.spines);
     }
-    table
 }
 
 /// Runs the experiment.
 #[must_use]
-pub fn run(scale: Scale) -> ExperimentReport {
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
     let mut report = ExperimentReport::new(
         "E18",
         "Fault-injection breakdown thresholds: how much channel abuse each algorithm survives",
     );
-    let grids = Grids::for_scale(scale);
+    let grids = Grids::for_scale(ctx.scale);
+    let trials = grids.trials;
 
-    let algos = vec![
-        sweep_algorithm("this paper (pipeline)", "e18full", &grids, || {
-            (0..ACTIVE)
-                .map(|_| FullAlgorithm::new(Params::practical(), C, N))
-                .collect()
-        }),
-        sweep_algorithm("TwoActive (|A| = 2)", "e18two", &grids, || {
-            vec![TwoActive::new(C, N), TwoActive::new(C, N)]
-        }),
-        sweep_algorithm("CD tournament", "e18cdt", &grids, || {
-            (0..ACTIVE).map(|_| CdTournament::new()).collect()
-        }),
-        sweep_algorithm("decay (no-CD baseline)", "e18dec", &grids, || {
-            (0..ACTIVE).map(|_| Decay::new(N)).collect()
-        }),
-    ];
+    let caption_noise = format!(
+        "Noisy collision detection: success (median rounds) by symmetric flip probability \
+         (C = {C}, |A| = {ACTIVE}, budget {BUDGET} rounds, {trials} trials)"
+    );
+    let headers = fault_headers(&grids.noise_ps, |p| format!("p = {p}"));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut sweep = ctx.sweep::<FaultCells>(&caption_noise, &header_refs);
+    let ps = grids.noise_ps.clone();
+    fault_section(&mut sweep, 1, trials, &grids.noise_ps, move |j, _| {
+        Layered::new(NoisyCd::symmetric(ps[j]), CdMode::Strong)
+    });
+    report.section(caption_noise, sweep.run());
 
-    report.section(
-        format!(
-            "Noisy collision detection: success (median rounds) by symmetric flip probability \
-             (C = {C}, |A| = {ACTIVE}, budget {BUDGET} rounds, {} trials)",
-            grids.trials
-        ),
-        fault_table(
-            &algos,
-            &grids.noise_ps,
-            |p| format!("p = {p}"),
-            |a| &a.noise,
-        ),
+    let caption_loss =
+        "Lossy channel: success (median rounds) by per-channel erasure probability".to_string();
+    let headers = fault_headers(&grids.loss_ps, |p| format!("p = {p}"));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut sweep = ctx.sweep::<FaultCells>(&caption_loss, &header_refs);
+    let ps = grids.loss_ps.clone();
+    fault_section(&mut sweep, 2, trials, &grids.loss_ps, move |j, _| {
+        Layered::new(LossyChannel::new(ps[j]), CdMode::Strong)
+    });
+    report.section(caption_loss, sweep.run());
+
+    let caption_crash = format!(
+        "Crash-stop: success (median rounds) by fraction of nodes crashed in the first \
+         {CRASH_WINDOW} rounds"
     );
-    report.section(
-        "Lossy channel: success (median rounds) by per-channel erasure probability".to_string(),
-        fault_table(&algos, &grids.loss_ps, |p| format!("p = {p}"), |a| &a.loss),
+    let headers = fault_headers(&grids.crash_fracs, |f| format!("{:.0}% crash", 100.0 * f));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut sweep = ctx.sweep::<FaultCells>(&caption_crash, &header_refs);
+    let fracs = grids.crash_fracs.clone();
+    fault_section(
+        &mut sweep,
+        3,
+        trials,
+        &grids.crash_fracs,
+        move |j, nodes| {
+            #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+            #[allow(clippy::cast_precision_loss)]
+            let f = (fracs[j] * nodes as f64).round() as usize;
+            Layered::new(CrashStop::random(f, nodes, CRASH_WINDOW), CdMode::Strong)
+        },
     );
-    report.section(
-        format!(
-            "Crash-stop: success (median rounds) by fraction of nodes crashed in the first \
-             {CRASH_WINDOW} rounds"
-        ),
-        fault_table(
-            &algos,
-            &grids.crash_fracs,
-            |f| format!("{:.0}% crash", 100.0 * f),
-            |a| &a.crash,
-        ),
-    );
+    report.section(caption_crash, sweep.run());
+
+    let caption_jam = "Reactive jamming: success (median rounds) by jam budget B — each unit \
+                       vetoes one would-be-solving round"
+        .to_string();
     #[allow(clippy::cast_precision_loss)]
     let jam_levels: Vec<f64> = grids.jam_budgets.iter().map(|&b| b as f64).collect();
-    report.section(
-        "Reactive jamming: success (median rounds) by jam budget B — each unit vetoes one \
-         would-be-solving round"
-            .to_string(),
-        fault_table(&algos, &jam_levels, |b| format!("B = {b:.0}"), |a| &a.jam),
-    );
+    let headers = fault_headers(&jam_levels, |b| format!("B = {b:.0}"));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut sweep = ctx.sweep::<FaultCells>(&caption_jam, &header_refs);
+    let budgets = grids.jam_budgets.clone();
+    fault_section(&mut sweep, 4, trials, &jam_levels, move |j, _| {
+        JamBudget::new(CdMode::Strong, budgets[j])
+    });
+    report.section(caption_jam, sweep.run());
 
     // Where the surviving pipeline runs spend their rounds as CD noise
     // rises: the solver's per-phase telemetry spine, averaged over the
     // solved trials of each noise level.
-    let mut profile = Table::new(&[
-        "noise p",
-        "solved",
-        "reduce",
-        "id-reduction",
-        "leaf-election",
-        "solver total",
-    ]);
-    for (i, &p) in grids.noise_ps.iter().enumerate() {
-        let (success, spines) =
-            pipeline_phase_profile(p, grids.trials, seed_base("e18prof", 5, i as u64));
-        let total: u64 = spines.iter().flatten().map(|r| r.rounds).sum();
-        profile.row_owned(vec![
-            format!("{p}"),
-            format!("{:.0}%", 100.0 * success),
-            format!("{:.1}", mean_phase_rounds(&spines, "reduce")),
-            format!("{:.1}", mean_phase_rounds(&spines, "id-reduction")),
-            format!("{:.1}", mean_phase_rounds(&spines, "leaf-election")),
-            format!("{:.1}", total as f64 / spines.len().max(1) as f64),
-        ]);
-    }
-    report.section(
-        "Pipeline phase profile under CD noise: mean solver rounds per phase (solved trials only)"
-            .to_string(),
-        profile,
+    let caption_prof = "Pipeline phase profile under CD noise: mean solver rounds per phase \
+                        (solved trials only)"
+        .to_string();
+    let mut profile = ctx.sweep::<PhaseProf>(
+        &caption_prof,
+        &[
+            "noise p",
+            "solved",
+            "reduce",
+            "id-reduction",
+            "leaf-election",
+            "solver total",
+        ],
     );
+    for (i, &p) in grids.noise_ps.iter().enumerate() {
+        profile.row(
+            trials,
+            SeedStream::Offset(seed_base("e18prof", 5, i as u64)),
+            PhaseProf::default,
+            move |seed, acc| {
+                if let Some(spine) = pipeline_profile_one(p, seed) {
+                    acc.solved += 1;
+                    acc.spines.push(spine);
+                }
+            },
+            move |acc| {
+                let total: u64 = acc.spines.iter().flatten().map(|r| r.rounds).sum();
+                #[allow(clippy::cast_precision_loss)]
+                let success = acc.solved as f64 / trials.max(1) as f64;
+                #[allow(clippy::cast_precision_loss)]
+                let mean_total = total as f64 / acc.spines.len().max(1) as f64;
+                vec![
+                    format!("{p}"),
+                    format!("{:.0}%", 100.0 * success),
+                    format!("{:.1}", mean_phase_rounds(&acc.spines, "reduce")),
+                    format!("{:.1}", mean_phase_rounds(&acc.spines, "id-reduction")),
+                    format!("{:.1}", mean_phase_rounds(&acc.spines, "leaf-election")),
+                    format!("{mean_total:.1}"),
+                ]
+            },
+        );
+    }
+    report.section(caption_prof, profile.run());
 
     report.note(
         "Feedback faults (noise, loss) hit the paper's pipeline hardest: its renaming and \
@@ -401,6 +481,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Scale;
 
     #[test]
     fn fault_free_column_solves() {
@@ -410,11 +491,7 @@ mod tests {
             6,
             seed_base("e18t", 0, 0),
             || Layered::new(NoisyCd::symmetric(0.0), CdMode::Strong),
-            &|| {
-                (0..ACTIVE)
-                    .map(|_| FullAlgorithm::new(Params::practical(), C, N))
-                    .collect::<Vec<_>>()
-            },
+            &pipeline_nodes,
         );
         assert_eq!(cell.rounds.len(), cell.trials);
     }
@@ -425,7 +502,7 @@ mod tests {
             4,
             seed_base("e18t", 1, 0),
             || Layered::new(LossyChannel::new(1.0), CdMode::Strong),
-            &|| vec![TwoActive::new(C, N), TwoActive::new(C, N)],
+            &two_active_nodes,
         );
         assert_eq!(cell.rounds.len(), 0);
         assert_eq!(cell.render(), "dead");
@@ -461,7 +538,7 @@ mod tests {
 
     #[test]
     fn report_renders() {
-        let r = run(Scale::Quick);
+        let r = run(&RunCtx::new(Scale::Quick));
         assert_eq!(r.sections.len(), 5);
         for section in &r.sections[..4] {
             assert_eq!(section.table.len(), 4, "{}", section.caption);

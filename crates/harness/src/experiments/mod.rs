@@ -20,7 +20,7 @@ pub mod e16_cd_modes;
 pub mod e17_serve_all;
 pub mod e18_fault_thresholds;
 
-use crate::{ExperimentReport, Scale};
+use crate::{ExperimentReport, RunCtx};
 
 /// Base-2 logarithm, as the paper's `lg`.
 #[must_use]
@@ -54,29 +54,47 @@ pub fn seed_base(tag: &str, a: u64, b: u64) -> u64 {
     h
 }
 
-/// Runs every experiment at the given scale, in order.
+/// Runs every experiment in the given context, in order.
+///
+/// # Panics
+///
+/// Panics with [`crate::SweepCancelled`] if the context's cancellation
+/// token fires mid-run, and on record-store I/O errors.
 #[must_use]
-pub fn run_all(scale: Scale) -> Vec<ExperimentReport> {
-    vec![
-        e01_two_active_vs_n::run(scale),
-        e02_two_active_vs_c::run(scale),
-        e03_rename_geometric::run(scale),
-        e04_split_check::run(scale),
-        e05_reduce::run(scale),
-        e06_id_reduction::run(scale),
-        e07_balls_in_bins::run(scale),
-        e08_leaf_election::run(scale),
-        e09_full_vs_baselines::run(scale),
-        e10_lower_bound_ratio::run(scale),
-        e11_two_vs_general::run(scale),
-        e12_wakeup::run(scale),
-        e13_cohort_ablation::run(scale),
-        e14_expected_time::run(scale),
-        e15_energy::run(scale),
-        e16_cd_modes::run(scale),
-        e17_serve_all::run(scale),
-        e18_fault_thresholds::run(scale),
-    ]
+pub fn run_all(ctx: &RunCtx) -> Vec<ExperimentReport> {
+    list()
+        .iter()
+        .map(|(id, _)| run_one(id, ctx).expect("registry ids resolve"))
+        .collect()
+}
+
+/// Runs one experiment by id, wrapped in the context's record-store
+/// begin/finish protocol: resumable rows are loaded before the run and the
+/// final record file is written after. This is the entry point `repro`
+/// uses; calling an experiment's `run` directly skips checkpointing.
+///
+/// # Panics
+///
+/// Panics with [`crate::SweepCancelled`] if the context's cancellation
+/// token fires mid-run, and on record-store I/O errors.
+#[must_use]
+pub fn run_one(id: &str, ctx: &RunCtx) -> Option<ExperimentReport> {
+    let runner = by_id(id)?;
+    let canonical = canonical_id(id)?;
+    ctx.begin_experiment(canonical);
+    let report = runner(ctx);
+    ctx.finish_experiment(&report);
+    Some(report)
+}
+
+/// Normalizes any accepted id spelling (`"E07"`, `"e7"`) to the registry
+/// form (`"e7"`), which doubles as the record-file stem.
+#[must_use]
+pub fn canonical_id(id: &str) -> Option<&'static str> {
+    let norm = id.trim().to_lowercase();
+    let norm = norm.strip_prefix('e').unwrap_or(&norm);
+    let number: usize = norm.trim_start_matches('0').parse().ok()?;
+    list().get(number.checked_sub(1)?).map(|(id, _)| *id)
 }
 
 /// All experiment ids with their one-line titles, in order.
@@ -106,7 +124,7 @@ pub fn list() -> Vec<(&'static str, &'static str)> {
 
 /// Looks up a single experiment runner by id (`"e1"`, `"E07"`, …).
 #[must_use]
-pub fn by_id(id: &str) -> Option<fn(Scale) -> ExperimentReport> {
+pub fn by_id(id: &str) -> Option<fn(&RunCtx) -> ExperimentReport> {
     let norm = id.trim().to_lowercase();
     let norm = norm.strip_prefix('e').unwrap_or(&norm);
     match norm.trim_start_matches('0') {
@@ -158,6 +176,15 @@ mod tests {
             assert!(by_id(id).is_some(), "{id} listed but unresolvable");
             assert!(!title.is_empty());
         }
+    }
+
+    #[test]
+    fn canonical_ids_normalize_to_registry_form() {
+        assert_eq!(canonical_id("E07"), Some("e7"));
+        assert_eq!(canonical_id("e7"), Some("e7"));
+        assert_eq!(canonical_id(" e18 "), Some("e18"));
+        assert_eq!(canonical_id("e19"), None);
+        assert_eq!(canonical_id("banana"), None);
     }
 
     #[test]

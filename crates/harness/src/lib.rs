@@ -42,6 +42,9 @@ mod report;
 mod runner;
 mod scale;
 
+pub use record::RecordStore;
 pub use report::{ExperimentReport, Section};
-pub use runner::sample_distinct;
+pub use runner::{
+    cell_f64, cell_u64, sample_distinct, ProgressHub, RunCtx, Samples, Sweep, SweepCancelled,
+};
 pub use scale::Scale;

@@ -106,29 +106,46 @@ pub fn experiment_records(report: &ExperimentReport, scale: Scale) -> Vec<String
     for section in &report.sections {
         let headers = section.table.headers();
         for (row_idx, row) in section.table.rows().iter().enumerate() {
-            let values = Json::Obj(
-                headers
-                    .iter()
-                    .zip(row)
-                    .map(|(header, cell)| (header.clone(), cell_value(cell)))
-                    .collect(),
-            );
-            let record = Json::obj(vec![
-                ("schema_version".into(), SCHEMA_VERSION.into()),
-                ("kind".into(), "cell".into()),
-                ("experiment".into(), report.id.into()),
-                ("section".into(), section.caption.as_str().into()),
-                ("row".into(), row_idx.into()),
-                (
-                    "key".into(),
-                    row.first().map(String::as_str).unwrap_or("").into(),
-                ),
-                ("values".into(), values),
-            ]);
+            let record = row_record(report.id, &section.caption, headers, row_idx, row);
             lines.push(record.render());
         }
     }
     lines
+}
+
+/// The `kind: "cell"` record for one table row: typed `values` for
+/// `obsdiff`, plus the raw `cells` strings for bit-identical resume
+/// (formatted floats do not round-trip through parse/reformat, so the
+/// resume layer replays the exact strings).
+#[must_use]
+pub fn row_record(
+    experiment: &str,
+    section: &str,
+    headers: &[String],
+    row_idx: usize,
+    row: &[String],
+) -> Json {
+    let values = Json::Obj(
+        headers
+            .iter()
+            .zip(row)
+            .map(|(header, cell)| (header.clone(), cell_value(cell)))
+            .collect(),
+    );
+    let cells = Json::Arr(row.iter().map(|c| Json::Str(c.clone())).collect());
+    Json::obj(vec![
+        ("schema_version".into(), SCHEMA_VERSION.into()),
+        ("kind".into(), "cell".into()),
+        ("experiment".into(), experiment.into()),
+        ("section".into(), section.into()),
+        ("row".into(), row_idx.into()),
+        (
+            "key".into(),
+            row.first().map(String::as_str).unwrap_or("").into(),
+        ),
+        ("values".into(), values),
+        ("cells".into(), cells),
+    ])
 }
 
 /// A `kind: "bench"` record line.
@@ -287,6 +304,17 @@ pub fn validate_record(value: &Json) -> Result<(), String> {
                 .get("values")
                 .and_then(Json::as_obj)
                 .ok_or("cell record: missing or mistyped 'values'")?;
+            // Raw row strings are optional (added for resume); when present
+            // every element must be a string.
+            if let Some(cells) = value.get("cells") {
+                let cells = cells
+                    .as_arr()
+                    .ok_or("cell record: mistyped 'cells' (want array)")?;
+                for cell in cells {
+                    cell.as_str()
+                        .ok_or("cell record: non-string entry in 'cells'")?;
+                }
+            }
         }
         "bench" => {
             need_str("name")?;
@@ -296,6 +324,238 @@ pub fn validate_record(value: &Json) -> Result<(), String> {
         other => return Err(format!("unknown record kind '{other}'")),
     }
     Ok(())
+}
+
+/// Checkpointing record sink with resume: the persistence half of the
+/// campaign layer.
+///
+/// For each experiment the store keeps an *incremental* `<id>.jsonl.part`
+/// file — a minimal manifest line followed by one `cell` record per
+/// completed table row, flushed as rows stream out of the campaign pool —
+/// and replaces it with the complete `<id>.jsonl` (manifest + every cell)
+/// when the experiment finishes. A run killed mid-sweep therefore leaves
+/// behind exactly the rows that completed.
+///
+/// Opened with [`RecordStore::resume`], the store loads previously
+/// completed rows (preferring the final `.jsonl`, falling back to a
+/// `.part`, tolerating a truncated trailing line) and serves them through
+/// [`RecordStore::stored_row`] so the scheduler only re-runs the
+/// remainder. Rows are replayed as the *raw formatted strings* recorded in
+/// the `cells` field — formatted floats do not round-trip through
+/// parse/reformat, and replaying exact strings is what makes a resumed
+/// run's output bit-identical to an uninterrupted one. Records from a
+/// different [`Scale`] are ignored wholesale: quick rows must never leak
+/// into a full sweep.
+#[derive(Debug)]
+pub struct RecordStore {
+    dir: std::path::PathBuf,
+    resume: bool,
+    current: Option<OpenExperiment>,
+}
+
+#[derive(Debug)]
+struct OpenExperiment {
+    id: String,
+    part_path: std::path::PathBuf,
+    part: fs::File,
+    loaded: std::collections::HashMap<(String, usize), Vec<String>>,
+}
+
+impl RecordStore {
+    /// Opens a fresh store in `dir` (created if missing); any prior
+    /// records are ignored and will be overwritten experiment by
+    /// experiment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn create(dir: impl Into<std::path::PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(RecordStore {
+            dir,
+            resume: false,
+            current: None,
+        })
+    }
+
+    /// Opens `dir` for resumption: completed rows found in existing
+    /// `.jsonl` / `.jsonl.part` files (at a matching scale) are replayed
+    /// instead of re-run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn resume(dir: impl Into<std::path::PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(RecordStore {
+            dir,
+            resume: true,
+            current: None,
+        })
+    }
+
+    /// The directory records are written to.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Starts (or resumes) the experiment with registry id `id` (`"e9"`):
+    /// loads any previously completed rows, then opens a fresh `.part`
+    /// file seeded with a minimal manifest and the replayed rows, so the
+    /// checkpoint stays complete even if this run is also killed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn begin_experiment(&mut self, id: &str, scale: Scale) -> io::Result<()> {
+        use io::Write as _;
+        let id = id.to_lowercase();
+        let part_path = self.dir.join(format!("{id}.jsonl.part"));
+        let mut loaded = std::collections::HashMap::new();
+        if self.resume {
+            let final_path = self.dir.join(format!("{id}.jsonl"));
+            for source in [&final_path, &part_path] {
+                if source.exists() {
+                    loaded = load_completed_rows(source, scale);
+                    break;
+                }
+            }
+        }
+        let mut part = fs::File::create(&part_path)?;
+        let manifest = Json::obj(vec![
+            ("schema_version".into(), SCHEMA_VERSION.into()),
+            ("kind".into(), "manifest".into()),
+            ("algorithm".into(), id.to_uppercase().into()),
+            ("scale".into(), format!("{scale:?}").into()),
+            ("partial".into(), Json::Bool(true)),
+        ]);
+        writeln!(part, "{}", manifest.render())?;
+        let mut replay: Vec<(&(String, usize), &Vec<String>)> = loaded.iter().collect();
+        replay.sort();
+        for ((section, row), cells) in replay {
+            let record = row_record(&id.to_uppercase(), section, &[], *row, cells);
+            writeln!(part, "{}", record.render())?;
+        }
+        part.flush()?;
+        self.current = Some(OpenExperiment {
+            id,
+            part_path,
+            part,
+            loaded,
+        });
+        Ok(())
+    }
+
+    /// A previously completed row for the open experiment, if the store
+    /// was opened for resume and has one.
+    #[must_use]
+    pub fn stored_row(&self, section: &str, row: usize) -> Option<Vec<String>> {
+        self.current
+            .as_ref()?
+            .loaded
+            .get(&(section.to_string(), row))
+            .cloned()
+    }
+
+    /// Appends one completed row to the open experiment's `.part` file
+    /// and flushes, so the checkpoint survives a kill at any moment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; errors if no experiment is open.
+    pub fn record_row(
+        &mut self,
+        section: &str,
+        headers: &[String],
+        row: usize,
+        cells: &[String],
+    ) -> io::Result<()> {
+        use io::Write as _;
+        let open = self
+            .current
+            .as_mut()
+            .ok_or_else(|| io::Error::other("record_row outside begin/finish_experiment"))?;
+        let record = row_record(&open.id.to_uppercase(), section, headers, row, cells);
+        writeln!(open.part, "{}", record.render())?;
+        open.part.flush()
+    }
+
+    /// Completes the open experiment: writes the full `<id>.jsonl`
+    /// (manifest + every cell record, identical whether or not the run
+    /// was resumed) and removes the `.part` checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn finish_experiment(&mut self, report: &ExperimentReport, scale: Scale) -> io::Result<()> {
+        let Some(open) = self.current.take() else {
+            return Err(io::Error::other(
+                "finish_experiment without begin_experiment",
+            ));
+        };
+        let lines = experiment_records(report, scale);
+        let path = self.dir.join(format!("{}.jsonl", open.id));
+        write_jsonl(&path, &lines)?;
+        drop(open.part);
+        match fs::remove_file(&open.part_path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Loads the completed rows of one record file, keyed by `(section, row)`.
+///
+/// Tolerant by design — a file truncated mid-line by a kill must still
+/// yield every complete row: unparsable lines are skipped, and only `cell`
+/// records carrying a `cells` string array count. If the file's manifest
+/// declares a different scale, the whole file is ignored.
+fn load_completed_rows(
+    path: &Path,
+    scale: Scale,
+) -> std::collections::HashMap<(String, usize), Vec<String>> {
+    let mut rows = std::collections::HashMap::new();
+    let Ok(body) = fs::read_to_string(path) else {
+        return rows;
+    };
+    let want_scale = format!("{scale:?}");
+    for line in body.lines() {
+        let Ok(value) = Json::parse(line) else {
+            continue;
+        };
+        match value.get("kind").and_then(Json::as_str) {
+            Some("manifest") if value.get("scale").and_then(Json::as_str) != Some(&want_scale) => {
+                rows.clear();
+                return rows;
+            }
+            Some("cell") => {
+                let Some(section) = value.get("section").and_then(Json::as_str) else {
+                    continue;
+                };
+                let Some(row) = value.get("row").and_then(Json::as_u64) else {
+                    continue;
+                };
+                let Some(cells) = value.get("cells").and_then(Json::as_arr) else {
+                    continue;
+                };
+                let Some(strings) = cells
+                    .iter()
+                    .map(|c| c.as_str().map(String::from))
+                    .collect::<Option<Vec<String>>>()
+                else {
+                    continue;
+                };
+                #[allow(clippy::cast_possible_truncation)]
+                rows.insert((section.to_string(), row as usize), strings);
+            }
+            _ => {}
+        }
+    }
+    rows
 }
 
 #[cfg(test)]
@@ -391,6 +651,104 @@ mod tests {
         for record in &back {
             validate_record(record).unwrap();
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_checkpoints_rows_and_resumes_them() {
+        let dir = std::env::temp_dir().join("contention-store-test-resume");
+        let _ = std::fs::remove_dir_all(&dir);
+        let headers: Vec<String> = vec!["n".into(), "rounds".into()];
+
+        // First run: two rows complete, then the process "dies" (no finish).
+        let mut store = RecordStore::create(&dir).unwrap();
+        store.begin_experiment("e99", Scale::Quick).unwrap();
+        store
+            .record_row("rounds vs n", &headers, 0, &["2^10".into(), "123".into()])
+            .unwrap();
+        store
+            .record_row("rounds vs n", &headers, 1, &["2^12".into(), "145".into()])
+            .unwrap();
+        drop(store);
+        assert!(dir.join("e99.jsonl.part").exists());
+        assert!(!dir.join("e99.jsonl").exists());
+
+        // Resume: both rows come back; a third completes; finalize.
+        let mut store = RecordStore::resume(&dir).unwrap();
+        store.begin_experiment("e99", Scale::Quick).unwrap();
+        assert_eq!(
+            store.stored_row("rounds vs n", 0),
+            Some(vec!["2^10".into(), "123".into()])
+        );
+        assert_eq!(
+            store.stored_row("rounds vs n", 1),
+            Some(vec!["2^12".into(), "145".into()])
+        );
+        assert_eq!(store.stored_row("rounds vs n", 2), None);
+        store
+            .record_row("rounds vs n", &headers, 2, &["2^14".into(), "170".into()])
+            .unwrap();
+
+        let mut report = ExperimentReport::new("E99", "resume smoke");
+        let mut table = Table::new(&["n", "rounds"]);
+        table.row(&["2^10", "123"]);
+        table.row(&["2^12", "145"]);
+        table.row(&["2^14", "170"]);
+        report.section("rounds vs n", table);
+        store.finish_experiment(&report, Scale::Quick).unwrap();
+
+        assert!(dir.join("e99.jsonl").exists());
+        assert!(!dir.join("e99.jsonl.part").exists());
+        for record in load_jsonl(&dir.join("e99.jsonl")).unwrap() {
+            validate_record(&record).unwrap();
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_ignores_records_at_a_different_scale() {
+        let dir = std::env::temp_dir().join("contention-store-test-scale");
+        let _ = std::fs::remove_dir_all(&dir);
+        let headers: Vec<String> = vec!["x".into()];
+        let mut store = RecordStore::create(&dir).unwrap();
+        store.begin_experiment("e98", Scale::Quick).unwrap();
+        store.record_row("s", &headers, 0, &["1".into()]).unwrap();
+        drop(store);
+
+        let mut store = RecordStore::resume(&dir).unwrap();
+        store.begin_experiment("e98", Scale::Full).unwrap();
+        assert_eq!(
+            store.stored_row("s", 0),
+            None,
+            "quick rows leaked into full"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_tolerates_a_truncated_trailing_line() {
+        let dir = std::env::temp_dir().join("contention-store-test-trunc");
+        let _ = std::fs::remove_dir_all(&dir);
+        let headers: Vec<String> = vec!["x".into()];
+        let mut store = RecordStore::create(&dir).unwrap();
+        store.begin_experiment("e97", Scale::Quick).unwrap();
+        store.record_row("s", &headers, 0, &["1".into()]).unwrap();
+        store.record_row("s", &headers, 1, &["2".into()]).unwrap();
+        drop(store);
+
+        // Chop the file mid-way through the final record, as a kill would.
+        let part = dir.join("e97.jsonl.part");
+        let body = std::fs::read_to_string(&part).unwrap();
+        std::fs::write(&part, &body[..body.len() - 10]).unwrap();
+
+        let mut store = RecordStore::resume(&dir).unwrap();
+        store.begin_experiment("e97", Scale::Quick).unwrap();
+        assert_eq!(store.stored_row("s", 0), Some(vec!["1".into()]));
+        assert_eq!(
+            store.stored_row("s", 1),
+            None,
+            "truncated row must not load"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,9 +1,35 @@
-//! Deterministic identity sampling for experiment populations.
+//! The campaign-backed experiment runner.
 //!
-//! Multi-seed trial execution lives in the simulator itself
-//! ([`mac_sim::trials`]), so experiments, benches, and tests share one
-//! implementation; this module keeps only [`sample_distinct`], which picks
-//! *which* node ids participate rather than running anything.
+//! Everything an experiment needs to execute lives in a [`RunCtx`]: the
+//! [`Scale`], the worker count, a cancellation token, an optional progress
+//! hub, and an optional [`RecordStore`] for checkpoint/resume. Experiments
+//! describe their measurements as [`Sweep`]s — one cell per table row, each
+//! cell a `(trials, seed stream, aggregate, trial closure, render closure)`
+//! tuple — and the sweep schedules every cell on one
+//! [`mac_sim::campaign::Campaign`] worker pool. Results stream into
+//! aggregates (no `Vec<RunReport>` accumulation), finished rows are
+//! checkpointed to disk as they complete, and rows already present in a
+//! resumed record store are replayed without running a single trial.
+//!
+//! Determinism contract: the campaign layer merges shard aggregates in a
+//! fixed order, so a sweep's rendered rows are bit-identical for every
+//! worker count; the record store replays the exact row strings, so a
+//! killed-and-resumed run is bit-identical to an uninterrupted one. For
+//! that to hold end to end, experiments must derive their prose notes from
+//! the rendered row strings (via [`cell_f64`]/[`cell_u64`]), not from
+//! transient sample vectors.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use contention_analysis::Table;
+use mac_sim::campaign::{
+    Aggregate, Campaign, CancelToken, Cell, ProgressSink, SeedStream, DEFAULT_SHARD_SIZE,
+};
+
+use crate::record::RecordStore;
+use crate::Scale;
 
 /// Samples `count` distinct values from `0..universe` (a partial
 /// Fisher-Yates), deterministically from `seed`. Used to pick which node
@@ -34,6 +60,407 @@ pub fn sample_distinct(universe: u64, count: usize, seed: u64) -> Vec<u64> {
     out
 }
 
+/// An [`contention_analysis::OnlineSummary`] wrapped as a campaign
+/// [`Aggregate`]: the standard streamed replacement for collecting a
+/// sample vector and batch-summarising it. Memory per cell is `O(1)` in
+/// the trial count, and the merge is exactly associative, so shard splits
+/// never change the result.
+#[derive(Debug, Clone, Default)]
+pub struct Samples(pub contention_analysis::OnlineSummary);
+
+impl Samples {
+    /// Folds one sample in.
+    pub fn push(&mut self, sample: u64) {
+        self.0.push(sample);
+    }
+}
+
+impl Aggregate for Samples {
+    fn merge(&mut self, other: Self) {
+        self.0.merge(other.0);
+    }
+}
+
+/// Parses a rendered table cell back to `f64`, tolerating a trailing `%`.
+///
+/// Notes must be derived from rendered cells (not transient samples) so
+/// that resumed rows — which exist only as strings — produce bit-identical
+/// reports; this is the standard parser for doing so.
+///
+/// # Panics
+///
+/// Panics if the cell is not numeric.
+#[must_use]
+pub fn cell_f64(cell: &str) -> f64 {
+    let trimmed = cell.trim().trim_end_matches('%');
+    trimmed
+        .parse::<f64>()
+        .unwrap_or_else(|_| panic!("table cell {cell:?} is not numeric"))
+}
+
+/// [`cell_f64`] for integer cells.
+///
+/// # Panics
+///
+/// Panics if the cell is not an unsigned integer.
+#[must_use]
+pub fn cell_u64(cell: &str) -> u64 {
+    cell.trim()
+        .parse::<u64>()
+        .unwrap_or_else(|_| panic!("table cell {cell:?} is not an unsigned integer"))
+}
+
+/// Panic payload thrown by [`Sweep::run`] when its campaign is cancelled
+/// (deadline or explicit token) before every row completed. The rows that
+/// did complete are already checkpointed in the record store; `repro`
+/// catches this payload, reports how to resume, and exits cleanly.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepCancelled;
+
+/// Everything an experiment run needs: scale, scheduling knobs, and the
+/// optional observability/persistence attachments.
+pub struct RunCtx {
+    /// The sizing of the run (trial counts, grid thinning).
+    pub scale: Scale,
+    workers: Option<usize>,
+    cancel: CancelToken,
+    hub: Option<Arc<ProgressHub>>,
+    store: Option<Mutex<RecordStore>>,
+}
+
+impl RunCtx {
+    /// A plain context: default worker count, no cancellation, no
+    /// progress, no records. What tests use.
+    #[must_use]
+    pub fn new(scale: Scale) -> Self {
+        RunCtx {
+            scale,
+            workers: None,
+            cancel: CancelToken::new(),
+            hub: None,
+            store: None,
+        }
+    }
+
+    /// Pins the campaign worker count.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Attaches a cancellation token (flag or deadline).
+    #[must_use]
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// Attaches a throttled stderr progress line with a whole-sweep ETA.
+    #[must_use]
+    pub fn progress(mut self) -> Self {
+        self.hub = Some(Arc::new(ProgressHub::new()));
+        self
+    }
+
+    /// Attaches a record store for checkpointing and resume.
+    #[must_use]
+    pub fn record_store(mut self, store: RecordStore) -> Self {
+        self.store = Some(Mutex::new(store));
+        self
+    }
+
+    /// Starts a sweep: one table with the given `headers`, one campaign
+    /// cell per [`Sweep::row`], identified for resume by the `section`
+    /// caption.
+    #[must_use]
+    pub fn sweep<'ctx, 'a, A: Aggregate>(
+        &'ctx self,
+        section: impl Into<String>,
+        headers: &[&str],
+    ) -> Sweep<'ctx, 'a, A> {
+        Sweep {
+            ctx: self,
+            section: section.into(),
+            headers: headers.iter().map(|&h| h.to_string()).collect(),
+            campaign: Campaign::new().shard_size(default_shard_size(self.scale)),
+            rows: Vec::new(),
+            renders: Vec::new(),
+        }
+    }
+
+    /// Marks the start of experiment `id` (registry form, `"e9"`): loads
+    /// resumable rows and opens the incremental checkpoint. Called by the
+    /// experiment registry, not by experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics on record-store I/O errors.
+    pub fn begin_experiment(&self, id: &str) {
+        if let Some(hub) = &self.hub {
+            hub.set_label(id);
+        }
+        if let Some(store) = &self.store {
+            store
+                .lock()
+                .expect("record store lock")
+                .begin_experiment(id, self.scale)
+                .unwrap_or_else(|e| panic!("cannot checkpoint {id}: {e}"));
+        }
+    }
+
+    /// Marks the end of an experiment: writes the final record file and
+    /// removes the checkpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics on record-store I/O errors.
+    pub fn finish_experiment(&self, report: &crate::ExperimentReport) {
+        if let Some(store) = &self.store {
+            store
+                .lock()
+                .expect("record store lock")
+                .finish_experiment(report, self.scale)
+                .unwrap_or_else(|e| panic!("cannot finalize records for {}: {e}", report.id));
+        }
+    }
+
+    /// Prints the final progress summary, if a hub is attached.
+    pub fn finish_progress(&self) {
+        if let Some(hub) = &self.hub {
+            hub.finish();
+        }
+    }
+
+    /// Whether cancellation has been requested.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.is_cancelled()
+    }
+
+    fn stored_row(&self, section: &str, row: usize) -> Option<Vec<String>> {
+        self.store
+            .as_ref()?
+            .lock()
+            .expect("record store lock")
+            .stored_row(section, row)
+    }
+
+    fn record_row(&self, section: &str, headers: &[String], row: usize, cells: &[String]) {
+        if let Some(store) = &self.store {
+            store
+                .lock()
+                .expect("record store lock")
+                .record_row(section, headers, row, cells)
+                .unwrap_or_else(|e| panic!("cannot checkpoint row {row} of {section:?}: {e}"));
+        }
+    }
+}
+
+/// Shard granularity by scale: quick sweeps have tiny cells, so shards of
+/// the default size would serialize them; full sweeps amortize better.
+fn default_shard_size(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 4,
+        Scale::Full => DEFAULT_SHARD_SIZE,
+    }
+}
+
+type RenderFn<'a, A> = Box<dyn FnOnce(A) -> Vec<String> + Send + 'a>;
+
+/// One table's worth of measurements, scheduled as a single campaign.
+///
+/// Each [`Sweep::row`] is one campaign cell; rows already present in a
+/// resumed record store are replayed without scheduling anything. The
+/// sweep renders into a [`Table`] whose rows arrive in declaration order.
+pub struct Sweep<'ctx, 'a, A: Aggregate> {
+    ctx: &'ctx RunCtx,
+    section: String,
+    headers: Vec<String>,
+    campaign: Campaign<'a, A>,
+    rows: Vec<Option<Vec<String>>>,
+    renders: Vec<(usize, Option<RenderFn<'a, A>>)>,
+}
+
+impl<'ctx, 'a, A: Aggregate> Sweep<'ctx, 'a, A> {
+    /// Overrides the trials-per-shard granularity for this sweep. The
+    /// decomposition is a pure function of `(trials, shard_size)`, so this
+    /// changes load-balancing — never results (for associative aggregates)
+    /// or merge order.
+    #[must_use]
+    pub fn shard_size(mut self, shard_size: usize) -> Self {
+        self.campaign = self.campaign.shard_size(shard_size);
+        self
+    }
+
+    /// Declares the next table row: `trials` trials over `seeds`, folded
+    /// into the aggregate built by `make` via `run`, rendered to table
+    /// cells by `render` once the row's last shard merges.
+    pub fn row(
+        &mut self,
+        trials: usize,
+        seeds: SeedStream,
+        make: impl Fn() -> A + Send + Sync + 'a,
+        run: impl Fn(u64, &mut A) + Send + Sync + 'a,
+        render: impl FnOnce(A) -> Vec<String> + Send + 'a,
+    ) {
+        let row_idx = self.rows.len();
+        if let Some(stored) = self.ctx.stored_row(&self.section, row_idx) {
+            self.rows.push(Some(stored));
+            return;
+        }
+        self.rows.push(None);
+        let cell = self.campaign.push(Cell::new(trials, seeds, make, run));
+        debug_assert_eq!(cell, self.renders.len());
+        self.renders.push((row_idx, Some(Box::new(render))));
+    }
+
+    /// A row computed without trials (pure math / theory columns): always
+    /// recomputed inline, deterministic and effectively free, so it needs
+    /// no checkpoint.
+    pub fn fixed_row(&mut self, cells: Vec<String>) {
+        self.rows.push(Some(cells));
+    }
+
+    /// Runs the campaign and returns the completed table.
+    ///
+    /// # Panics
+    ///
+    /// Panics with [`SweepCancelled`] if the context's cancellation token
+    /// fired before every row completed (completed rows are already
+    /// checkpointed); propagates trial panics.
+    #[must_use = "the sweep's table is its output"]
+    pub fn run(self) -> Table {
+        let Sweep {
+            ctx,
+            section,
+            headers,
+            campaign,
+            rows,
+            renders,
+        } = self;
+        if let Some(hub) = &ctx.hub {
+            hub.begin_campaign(campaign.total_trials());
+        }
+        let mut campaign = campaign.cancel_token(ctx.cancel.clone());
+        if let Some(workers) = ctx.workers {
+            campaign = campaign.workers(workers);
+        }
+        if let Some(hub) = &ctx.hub {
+            campaign = campaign.progress(hub.clone());
+        }
+        let mut rows = rows;
+        let mut renders = renders;
+        let outcome = campaign.run(|cell, acc| {
+            let (row_idx, render) = &mut renders[cell];
+            let row_idx = *row_idx;
+            let render = render.take().expect("each cell delivers once");
+            let cells = render(acc);
+            ctx.record_row(&section, &headers, row_idx, &cells);
+            rows[row_idx] = Some(cells);
+        });
+        if let Some(hub) = &ctx.hub {
+            hub.end_campaign();
+        }
+        if outcome.cancelled && rows.iter().any(Option::is_none) {
+            std::panic::panic_any(SweepCancelled);
+        }
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut table = Table::new(&header_refs);
+        for row in rows {
+            let cells = row.expect("uncancelled sweep delivered every row");
+            let cell_refs: Vec<&str> = cells.iter().map(String::as_str).collect();
+            table.row(&cell_refs);
+        }
+        table
+    }
+}
+
+/// The unified progress channel: one throttled stderr line covering every
+/// campaign the context runs, with a cumulative trial rate and an ETA for
+/// the trials known so far — interleaved cells can no longer garble the
+/// output, because the campaign reports through a single sink.
+pub struct ProgressHub {
+    started: Instant,
+    label: Mutex<String>,
+    /// Trials completed by campaigns that already finished.
+    base_done: AtomicU64,
+    /// Trials in all campaigns seen so far (finished + current).
+    total_known: AtomicU64,
+    /// Trials completed in the current campaign.
+    current_done: AtomicU64,
+    last_print: Mutex<Instant>,
+}
+
+impl ProgressHub {
+    fn new() -> Self {
+        let now = Instant::now();
+        ProgressHub {
+            started: now,
+            label: Mutex::new(String::new()),
+            base_done: AtomicU64::new(0),
+            total_known: AtomicU64::new(0),
+            current_done: AtomicU64::new(0),
+            last_print: Mutex::new(now - std::time::Duration::from_secs(1)),
+        }
+    }
+
+    fn set_label(&self, label: &str) {
+        *self.label.lock().expect("label lock") = label.to_string();
+    }
+
+    fn begin_campaign(&self, total: u64) {
+        self.total_known.fetch_add(total, Ordering::Relaxed);
+        self.current_done.store(0, Ordering::Relaxed);
+    }
+
+    fn end_campaign(&self) {
+        let done = self.current_done.swap(0, Ordering::Relaxed);
+        self.base_done.fetch_add(done, Ordering::Relaxed);
+    }
+
+    fn finish(&self) {
+        let done = self.base_done.load(Ordering::Relaxed);
+        let elapsed = self.started.elapsed().as_secs_f64();
+        #[allow(clippy::cast_precision_loss)]
+        let rate = done as f64 / elapsed.max(1e-9);
+        eprintln!("\r  done: {done} trials in {elapsed:.1}s ({rate:.0}/s)        ");
+    }
+
+    fn print_line(&self) {
+        let done =
+            self.base_done.load(Ordering::Relaxed) + self.current_done.load(Ordering::Relaxed);
+        let total = self.total_known.load(Ordering::Relaxed);
+        let label = self.label.lock().expect("label lock").clone();
+        let elapsed = self.started.elapsed().as_secs_f64();
+        #[allow(clippy::cast_precision_loss)]
+        let rate = done as f64 / elapsed.max(1e-9);
+        #[allow(clippy::cast_precision_loss)]
+        let eta = if rate > 0.0 && total > done {
+            (total - done) as f64 / rate
+        } else {
+            0.0
+        };
+        eprint!("\r  {label}: {done}/{total} trials  {rate:.0}/s  ETA {eta:.0}s   ");
+    }
+}
+
+impl ProgressSink for ProgressHub {
+    fn on_trial(&self, done: u64, _total: u64) {
+        self.current_done.store(done, Ordering::Relaxed);
+        // Throttle: at most ~5 updates a second, whoever wins the lock.
+        let Ok(mut last) = self.last_print.try_lock() else {
+            return;
+        };
+        if last.elapsed().as_millis() < 200 {
+            return;
+        }
+        *last = Instant::now();
+        drop(last);
+        self.print_line();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -60,5 +487,85 @@ mod tests {
     #[should_panic(expected = "cannot sample")]
     fn oversampling_panics() {
         let _ = sample_distinct(5, 6, 0);
+    }
+
+    #[test]
+    fn sweep_renders_rows_in_declaration_order() {
+        let ctx = RunCtx::new(Scale::Quick);
+        let mut sweep = ctx.sweep::<Samples>("smoke", &["k", "mean"]);
+        for k in 1u64..=3 {
+            sweep.row(
+                10,
+                SeedStream::Offset(100 * k),
+                Samples::default,
+                move |seed, acc| acc.push(seed % (k + 1)),
+                move |acc| vec![k.to_string(), format!("{:.2}", acc.0.finish().mean)],
+            );
+        }
+        let table = sweep.run();
+        assert_eq!(table.rows().len(), 3);
+        assert_eq!(table.rows()[0][0], "1");
+        assert_eq!(table.rows()[2][0], "3");
+    }
+
+    #[test]
+    fn sweep_is_worker_count_invariant() {
+        let render_table = |workers: usize| {
+            let ctx = RunCtx::new(Scale::Quick).workers(workers);
+            let mut sweep = ctx.sweep::<Samples>("smoke", &["k", "mean", "p95"]);
+            for k in 1u64..=4 {
+                sweep.row(
+                    33,
+                    SeedStream::Derived(k),
+                    Samples::default,
+                    move |seed, acc| acc.push(seed.wrapping_mul(k) % 1000),
+                    move |acc| {
+                        let s = acc.0.finish();
+                        vec![
+                            k.to_string(),
+                            format!("{:.3}", s.mean),
+                            format!("{:.3}", s.p95),
+                        ]
+                    },
+                );
+            }
+            format!("{}", sweep.run())
+        };
+        let one = render_table(1);
+        for workers in [2, 3, 8] {
+            assert_eq!(one, render_table(workers), "{workers} workers diverged");
+        }
+    }
+
+    #[test]
+    fn fixed_rows_interleave_with_measured_rows() {
+        let ctx = RunCtx::new(Scale::Quick);
+        let mut sweep = ctx.sweep::<Samples>("mix", &["k", "v"]);
+        sweep.fixed_row(vec!["theory".into(), "1.00".into()]);
+        sweep.row(
+            5,
+            SeedStream::Offset(0),
+            Samples::default,
+            |seed, acc| acc.push(seed),
+            |acc| vec!["measured".into(), format!("{}", acc.0.count())],
+        );
+        sweep.fixed_row(vec!["theory2".into(), "2.00".into()]);
+        let table = sweep.run();
+        assert_eq!(table.rows()[0][0], "theory");
+        assert_eq!(table.rows()[1][1], "5");
+        assert_eq!(table.rows()[2][0], "theory2");
+    }
+
+    #[test]
+    fn cell_parsers_round_trip() {
+        assert!((cell_f64("1.25") - 1.25).abs() < 1e-12);
+        assert!((cell_f64("37%") - 37.0).abs() < 1e-12);
+        assert_eq!(cell_u64(" 42 "), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not numeric")]
+    fn cell_f64_rejects_labels() {
+        let _ = cell_f64("2^10");
     }
 }

@@ -1,0 +1,121 @@
+//! End-to-end resume bit-identity: an experiment cancelled mid-sweep and
+//! then resumed from its checkpoint must produce exactly the output an
+//! uninterrupted run produces — the same rendered markdown and the same
+//! record-file bytes. This is the contract `repro --resume` advertises.
+//!
+//! The record files carry no timestamps (manifest fields are schema
+//! version, kind, algorithm, title, scale, git rev, crate versions — all
+//! stable within one checkout), so comparing raw bytes is valid.
+
+use contention_harness::{experiments, RecordStore, RunCtx, Scale, SweepCancelled};
+use mac_sim::campaign::CancelToken;
+use std::fs;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// E7 at quick scale: many cheap rows, so a mid-flight cancel lands
+/// between row checkpoints rather than before the first one.
+const ID: &str = "e7";
+
+fn run_full(dir: &Path) -> String {
+    let ctx = RunCtx::new(Scale::Quick)
+        .workers(3)
+        .record_store(RecordStore::create(dir).expect("create record dir"));
+    let report = experiments::run_one(ID, &ctx).expect("registered id");
+    format!("{report}")
+}
+
+/// Runs `ID` into `dir`, cancelling as soon as at least two rows have been
+/// checkpointed. Returns `true` if the cancel actually interrupted the
+/// sweep (on a fast machine the run may finish first — still a valid,
+/// if weaker, resume scenario).
+fn run_interrupted(dir: &Path) -> bool {
+    let token = CancelToken::new();
+    let part = dir.join(format!("{ID}.jsonl.part"));
+    let watcher = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            let started = Instant::now();
+            while started.elapsed() < Duration::from_secs(60) && !token.is_cancelled() {
+                // Manifest line + >= 2 row lines in the checkpoint.
+                let lines = fs::read_to_string(&part)
+                    .map(|body| body.lines().count())
+                    .unwrap_or(0);
+                if lines >= 3 {
+                    token.cancel();
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        })
+    };
+    let ctx = RunCtx::new(Scale::Quick)
+        .workers(2)
+        .cancel_token(token.clone())
+        .record_store(RecordStore::create(dir).expect("create record dir"));
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        experiments::run_one(ID, &ctx)
+    }));
+    token.cancel();
+    watcher.join().expect("watcher thread");
+    match outcome {
+        Ok(_) => false,
+        Err(payload) if payload.downcast_ref::<SweepCancelled>().is_some() => true,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+fn run_resumed(dir: &Path) -> String {
+    let ctx = RunCtx::new(Scale::Quick)
+        .workers(5)
+        .record_store(RecordStore::resume(dir).expect("resume record dir"));
+    let report = experiments::run_one(ID, &ctx).expect("registered id");
+    format!("{report}")
+}
+
+#[test]
+fn kill_and_resume_is_bit_identical() {
+    let base = std::env::temp_dir().join("contention-resume-bit-identity");
+    let _ = fs::remove_dir_all(&base);
+    let uninterrupted = base.join("uninterrupted");
+    let interrupted = base.join("interrupted");
+
+    let reference = run_full(&uninterrupted);
+    let final_a = uninterrupted.join(format!("{ID}.jsonl"));
+    assert!(final_a.exists(), "uninterrupted run finalizes its record");
+
+    let cancelled = run_interrupted(&interrupted);
+    let final_b = interrupted.join(format!("{ID}.jsonl"));
+    if cancelled {
+        // A genuine mid-sweep kill: only the checkpoint survives, holding
+        // a proper prefix of the rows.
+        assert!(
+            interrupted.join(format!("{ID}.jsonl.part")).exists(),
+            "cancelled run leaves its checkpoint behind"
+        );
+        assert!(
+            !final_b.exists(),
+            "cancelled run must not have finalized its record"
+        );
+    }
+
+    // Resume with a different worker count; output must not depend on how
+    // far the interrupted run got or on scheduling.
+    let resumed = run_resumed(&interrupted);
+    assert_eq!(
+        resumed, reference,
+        "resumed markdown must match an uninterrupted run"
+    );
+    assert!(
+        !interrupted.join(format!("{ID}.jsonl.part")).exists(),
+        "finalizing removes the checkpoint"
+    );
+    let bytes_a = fs::read(&final_a).expect("reference record");
+    let bytes_b = fs::read(&final_b).expect("resumed record");
+    assert_eq!(
+        bytes_a, bytes_b,
+        "resumed record file must be byte-identical to the reference"
+    );
+
+    let _ = fs::remove_dir_all(&base);
+}

@@ -9,7 +9,7 @@
 //! `obsdiff` ever sees a malformed line.
 
 use contention_harness::record::{self, load_jsonl, validate_record};
-use contention_harness::{experiments, Scale};
+use contention_harness::{experiments, RunCtx, Scale};
 use mac_sim::obs::Json;
 use std::path::{Path, PathBuf};
 
@@ -62,9 +62,10 @@ fn committed_bench_export_conforms_to_schema() {
 fn every_quick_experiment_emits_valid_records() {
     // The exact lines `repro --quick --record-dir` writes, validated for
     // every registered experiment without touching the filesystem.
+    let ctx = RunCtx::new(Scale::Quick);
     for (id, _) in experiments::list() {
         let run = experiments::by_id(id).expect("listed experiment resolves");
-        let report = run(Scale::Quick);
+        let report = run(&ctx);
         let lines = record::experiment_records(&report, Scale::Quick);
         assert!(
             lines.len() > 1,

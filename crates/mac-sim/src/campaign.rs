@@ -1,0 +1,734 @@
+//! The campaign layer: one work-stealing worker pool for a whole sweep.
+//!
+//! The [`trials`](crate::trials) layer fans one cell's trials over threads;
+//! a *campaign* schedules **all cells of a sweep at once**. Worker threads
+//! are spawned once per campaign and steal seed-sharded trial chunks from a
+//! single global queue, so a cell with slow trials cannot strand idle cores
+//! while the next cell waits — the pool stays saturated across the whole
+//! sweep instead of draining and refilling at every grid point.
+//!
+//! Results stream: every trial folds into a per-shard [`Aggregate`]
+//! (`O(1)`-ish memory), shard aggregates merge **in shard-index order**,
+//! and completed cells are delivered **in cell order** through a callback.
+//! Because the shard decomposition is a pure function of `(trials,
+//! shard_size)` and the merge order is fixed, the output is bit-identical
+//! for every worker count — even for aggregates whose merge is not exactly
+//! associative. The deterministic-merge contract is what lets the harness
+//! checkpoint cells to disk and resume a killed sweep bit-identically.
+//!
+//! Cooperative cancellation rides on a [`CancelToken`] (flag or deadline),
+//! checked between trials: a cancelled campaign stops claiming work,
+//! delivers the in-order prefix of completed cells, and reports how far it
+//! got. Progress streams through a [`ProgressSink`], giving one ETA for the
+//! whole sweep instead of a garbled line per cell.
+//!
+//! ```
+//! use mac_sim::campaign::{Campaign, Cell, Collect, SeedStream};
+//!
+//! let mut campaign = Campaign::new();
+//! for k in 1u64..=3 {
+//!     campaign.push(Cell::new(
+//!         4,
+//!         SeedStream::Offset(100 * k),
+//!         Collect::default,
+//!         move |seed, acc: &mut Collect<u64>| acc.0.push(seed * k),
+//!     ));
+//! }
+//! let mut rows = Vec::new();
+//! let outcome = campaign.run(|cell, acc| rows.push((cell, acc.0)));
+//! assert_eq!(outcome.cells_delivered, 3);
+//! assert_eq!(rows[0], (0, vec![100, 101, 102, 103]));
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::rng::derive_stream_seed;
+
+/// A streaming accumulator for trial results.
+///
+/// Shard aggregates are merged in shard-index order, so implementations
+/// need not be exactly associative for campaign output to be deterministic
+/// — but associative, commutative merges (exact integer moments, counters,
+/// canonical histograms) additionally make the result independent of the
+/// shard decomposition itself, which is what the resume layer relies on.
+pub trait Aggregate: Send {
+    /// Folds `other` — the aggregate of the *next* shard in seed order —
+    /// into `self`.
+    fn merge(&mut self, other: Self);
+}
+
+/// The simplest aggregate: collect every extracted value in seed order.
+///
+/// `merge` appends, and shards merge in seed order, so the final vector is
+/// ordered exactly as the sequential loop would produce it. This is the
+/// bridge that lets the [`trials`](crate::trials) layer (and tests that
+/// want full sample vectors) run on the campaign pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Collect<T>(pub Vec<T>);
+
+impl<T> Default for Collect<T> {
+    fn default() -> Self {
+        Collect(Vec::new())
+    }
+}
+
+impl<T: Send> Aggregate for Collect<T> {
+    fn merge(&mut self, other: Self) {
+        self.0.extend(other.0);
+    }
+}
+
+/// Unit aggregate for cells run purely for their side effects on shared
+/// state (rare; prefer a real aggregate).
+impl Aggregate for () {
+    fn merge(&mut self, (): Self) {}
+}
+
+/// A plain counter: merge adds.
+impl Aggregate for u64 {
+    fn merge(&mut self, other: Self) {
+        *self += other;
+    }
+}
+
+/// A running sum. Floating-point addition is not associative, but the
+/// campaign merges shards in a fixed order, so the result is still
+/// bit-identical for every worker count.
+impl Aggregate for f64 {
+    fn merge(&mut self, other: Self) {
+        *self += other;
+    }
+}
+
+/// Element-wise merge; `other` may be longer (its tail is appended), which
+/// lets cells grow a per-phase vector lazily.
+impl<A: Aggregate> Aggregate for Vec<A> {
+    fn merge(&mut self, other: Self) {
+        let mut other = other.into_iter();
+        for slot in self.iter_mut() {
+            let Some(elem) = other.next() else { return };
+            slot.merge(elem);
+        }
+        self.extend(other);
+    }
+}
+
+macro_rules! tuple_aggregate {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Aggregate),+> Aggregate for ($($name,)+) {
+            fn merge(&mut self, other: Self) {
+                $(self.$idx.merge(other.$idx);)+
+            }
+        }
+    };
+}
+tuple_aggregate!(A0: 0);
+tuple_aggregate!(A0: 0, A1: 1);
+tuple_aggregate!(A0: 0, A1: 1, A2: 2);
+tuple_aggregate!(A0: 0, A1: 1, A2: 2, A3: 3);
+
+/// How a cell maps trial indices to engine seeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeedStream {
+    /// Trial `i` runs at seed `base + i` (wrapping). The historical trial
+    /// layer convention — existing experiment tables were recorded under
+    /// it, so migrated sweeps keep their numbers.
+    Offset(u64),
+    /// Trial `i` runs at [`derive_stream_seed`]`(master, i)`: audited
+    /// SplitMix64 expansion, decorrelated even across near-identical
+    /// masters. The right choice for new sweeps and shard seeding.
+    Derived(u64),
+}
+
+impl SeedStream {
+    /// The engine seed for trial `trial`.
+    #[must_use]
+    pub fn seed(&self, trial: u64) -> u64 {
+        match *self {
+            SeedStream::Offset(base) => base.wrapping_add(trial),
+            SeedStream::Derived(master) => derive_stream_seed(master, trial),
+        }
+    }
+}
+
+/// The boxed trial closure of a [`Cell`]: runs the trial at one engine
+/// seed and folds the result into the shard aggregate.
+type TrialFn<'a, A> = Box<dyn Fn(u64, &mut A) + Send + Sync + 'a>;
+
+/// One grid point of a sweep: a trial count, a seed stream, and the two
+/// closures the pool needs — `make` builds an empty aggregate, `run`
+/// executes the trial at one seed and folds the result in.
+pub struct Cell<'a, A> {
+    trials: usize,
+    seeds: SeedStream,
+    make: Box<dyn Fn() -> A + Send + Sync + 'a>,
+    run: TrialFn<'a, A>,
+}
+
+impl<'a, A> Cell<'a, A> {
+    /// Builds a cell. The closures may borrow from the caller: the pool
+    /// runs on scoped threads, so nothing needs `'static`.
+    pub fn new(
+        trials: usize,
+        seeds: SeedStream,
+        make: impl Fn() -> A + Send + Sync + 'a,
+        run: impl Fn(u64, &mut A) + Send + Sync + 'a,
+    ) -> Self {
+        Cell {
+            trials,
+            seeds,
+            make: Box::new(make),
+            run: Box::new(run),
+        }
+    }
+
+    /// The cell's trial count.
+    #[must_use]
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+}
+
+/// A cooperative cancellation handle: flips on [`CancelToken::cancel`] or
+/// when a deadline passes. Checked between trials; an in-flight trial is
+/// never interrupted.
+#[derive(Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+#[derive(Default)]
+struct CancelInner {
+    flag: AtomicBool,
+    deadline: Mutex<Option<Instant>>,
+}
+
+impl CancelToken {
+    /// A token that never fires until [`CancelToken::cancel`] is called.
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation.
+    pub fn cancel(&self) {
+        self.inner.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Arms a deadline `timeout` from now; the token reports cancelled
+    /// once the deadline passes.
+    pub fn set_deadline(&self, timeout: Duration) {
+        let mut deadline = self.inner.deadline.lock().expect("deadline lock");
+        *deadline = Some(Instant::now() + timeout);
+    }
+
+    /// Whether cancellation has been requested or the deadline passed.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.flag.load(Ordering::Relaxed) {
+            return true;
+        }
+        let deadline = self.inner.deadline.lock().expect("deadline lock");
+        match *deadline {
+            Some(at) if Instant::now() >= at => {
+                drop(deadline);
+                self.inner.flag.store(true, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Receives campaign progress events. Implementations throttle and render;
+/// the pool just reports every completed trial and cell.
+pub trait ProgressSink: Send + Sync {
+    /// `done` of `total` trials have completed (across all cells).
+    fn on_trial(&self, done: u64, total: u64);
+    /// `done` of `total` cells have been delivered.
+    fn on_cell(&self, done: usize, total: usize) {
+        let _ = (done, total);
+    }
+}
+
+/// What a finished (or cancelled) campaign reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignOutcome {
+    /// Cells in the campaign.
+    pub cells_total: usize,
+    /// Cells delivered to the callback — always the in-order prefix
+    /// `0..cells_delivered`.
+    pub cells_delivered: usize,
+    /// Trials that ran to completion.
+    pub trials_run: u64,
+    /// Whether the campaign stopped on a [`CancelToken`].
+    pub cancelled: bool,
+}
+
+/// A sweep scheduled as one unit: cells × trials, one worker pool.
+pub struct Campaign<'a, A> {
+    cells: Vec<Cell<'a, A>>,
+    shard_size: usize,
+    workers: Option<usize>,
+    cancel: Option<CancelToken>,
+    progress: Option<Arc<dyn ProgressSink>>,
+}
+
+/// Default trials per shard: small enough to load-balance sweeps whose
+/// cells have wildly different per-trial cost, big enough that shard
+/// bookkeeping stays noise.
+pub const DEFAULT_SHARD_SIZE: usize = 8;
+
+impl<A: Aggregate> Default for Campaign<'_, A> {
+    fn default() -> Self {
+        Campaign::new()
+    }
+}
+
+impl<'a, A: Aggregate> Campaign<'a, A> {
+    /// An empty campaign with default shard size and worker count.
+    #[must_use]
+    pub fn new() -> Self {
+        Campaign {
+            cells: Vec::new(),
+            shard_size: DEFAULT_SHARD_SIZE,
+            workers: None,
+            cancel: None,
+            progress: None,
+        }
+    }
+
+    /// Sets the trials-per-shard granularity. The shard decomposition (and
+    /// therefore the exact merge bracketing) is a pure function of
+    /// `(trials, shard_size)` — never of the worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_size` is zero.
+    #[must_use]
+    pub fn shard_size(mut self, shard_size: usize) -> Self {
+        assert!(shard_size > 0, "shard size must be positive");
+        self.shard_size = shard_size;
+        self
+    }
+
+    /// Pins the worker count (default: `available_parallelism()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "at least one worker is required");
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Attaches a cancellation token.
+    #[must_use]
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Attaches a progress sink.
+    #[must_use]
+    pub fn progress(mut self, sink: Arc<dyn ProgressSink>) -> Self {
+        self.progress = Some(sink);
+        self
+    }
+
+    /// Appends a cell; returns its index (= delivery order).
+    pub fn push(&mut self, cell: Cell<'a, A>) -> usize {
+        self.cells.push(cell);
+        self.cells.len() - 1
+    }
+
+    /// Number of cells queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether no cells are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Total trials across all cells.
+    #[must_use]
+    pub fn total_trials(&self) -> u64 {
+        self.cells.iter().map(|c| c.trials as u64).sum()
+    }
+
+    /// Runs the campaign: spawns the pool once, streams every finished
+    /// cell's aggregate to `on_cell(cell_index, aggregate)` **in cell
+    /// order**, and returns the outcome.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from cell closures (a failed trial is an
+    /// experiment bug, not a data point).
+    pub fn run<F>(self, on_cell: F) -> CampaignOutcome
+    where
+        F: FnMut(usize, A) + Send,
+    {
+        let Campaign {
+            cells,
+            shard_size,
+            workers,
+            cancel,
+            progress,
+        } = self;
+
+        // The fixed shard decomposition: every cell's trial range cut into
+        // `shard_size` chunks, queued cell-major.
+        struct Shard {
+            cell: usize,
+            index: usize,
+            start: u64,
+            len: u64,
+        }
+        let mut shards = Vec::new();
+        let mut shard_counts = vec![0usize; cells.len()];
+        for (cell_idx, cell) in cells.iter().enumerate() {
+            let count = cell.trials.div_ceil(shard_size);
+            shard_counts[cell_idx] = count;
+            for index in 0..count {
+                let start = (index * shard_size) as u64;
+                let len = (cell.trials - index * shard_size).min(shard_size) as u64;
+                shards.push(Shard {
+                    cell: cell_idx,
+                    index,
+                    start,
+                    len,
+                });
+            }
+        }
+        let total_trials: u64 = cells.iter().map(|c| c.trials as u64).sum();
+
+        // Per-cell ordered-merge state.
+        struct Merging<A> {
+            next_shard: usize,
+            pending: BTreeMap<usize, A>,
+            acc: Option<A>,
+        }
+        let merging: Vec<Mutex<Merging<A>>> = cells
+            .iter()
+            .map(|_| {
+                Mutex::new(Merging {
+                    next_shard: 0,
+                    pending: BTreeMap::new(),
+                    acc: None,
+                })
+            })
+            .collect();
+
+        // In-cell-order delivery state.
+        struct Delivery<A, F> {
+            next_cell: usize,
+            ready: BTreeMap<usize, A>,
+            on_cell: F,
+            delivered: usize,
+        }
+        let delivery = Mutex::new(Delivery {
+            next_cell: 0,
+            ready: BTreeMap::new(),
+            on_cell,
+            delivered: 0,
+        });
+
+        let next_shard = AtomicUsize::new(0);
+        let trials_done = AtomicU64::new(0);
+        let cells_total = cells.len();
+
+        let deliver = |cell_idx: usize, acc: A| {
+            let mut delivery = delivery.lock().expect("delivery lock");
+            delivery.ready.insert(cell_idx, acc);
+            loop {
+                let cell = delivery.next_cell;
+                let Some(acc) = delivery.ready.remove(&cell) else {
+                    break;
+                };
+                (delivery.on_cell)(cell, acc);
+                delivery.next_cell += 1;
+                delivery.delivered += 1;
+                if let Some(sink) = &progress {
+                    sink.on_cell(delivery.delivered, cells_total);
+                }
+            }
+        };
+
+        let submit = |cell_idx: usize, shard_index: usize, agg: A| {
+            let mut state = merging[cell_idx].lock().expect("merge lock");
+            state.pending.insert(shard_index, agg);
+            while let Some(agg) = {
+                let key = state.next_shard;
+                state.pending.remove(&key)
+            } {
+                match state.acc.as_mut() {
+                    Some(acc) => acc.merge(agg),
+                    None => state.acc = Some(agg),
+                }
+                state.next_shard += 1;
+            }
+            if state.next_shard == shard_counts[cell_idx] {
+                let acc = state.acc.take().expect("completed cell has an aggregate");
+                drop(state);
+                deliver(cell_idx, acc);
+            }
+        };
+
+        // Zero-trial cells complete immediately with an empty aggregate;
+        // no shard will ever submit to them.
+        for (cell_idx, cell) in cells.iter().enumerate() {
+            if shard_counts[cell_idx] == 0 {
+                deliver(cell_idx, (cell.make)());
+            }
+        }
+
+        let worker_count = workers
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
+            })
+            .min(shards.len().max(1));
+
+        let cancelled = || cancel.as_ref().is_some_and(CancelToken::is_cancelled);
+
+        std::thread::scope(|scope| {
+            for _ in 0..worker_count {
+                scope.spawn(|| loop {
+                    if cancelled() {
+                        break;
+                    }
+                    let claim = next_shard.fetch_add(1, Ordering::Relaxed);
+                    let Some(shard) = shards.get(claim) else {
+                        break;
+                    };
+                    let cell = &cells[shard.cell];
+                    let mut agg = (cell.make)();
+                    let mut abandoned = false;
+                    for trial in shard.start..shard.start + shard.len {
+                        if trial != shard.start && cancelled() {
+                            abandoned = true;
+                            break;
+                        }
+                        (cell.run)(cell.seeds.seed(trial), &mut agg);
+                        let done = trials_done.fetch_add(1, Ordering::Relaxed) + 1;
+                        if let Some(sink) = &progress {
+                            sink.on_trial(done, total_trials);
+                        }
+                    }
+                    if abandoned {
+                        break;
+                    }
+                    submit(shard.cell, shard.index, agg);
+                });
+            }
+        });
+
+        let delivery = delivery.into_inner().expect("delivery lock");
+        CampaignOutcome {
+            cells_total,
+            cells_delivered: delivery.delivered,
+            trials_run: trials_done.into_inner(),
+            cancelled: cancelled(),
+        }
+    }
+
+    /// Runs the campaign and collects every cell's aggregate in cell
+    /// order. Convenience for callers without streaming needs (tests,
+    /// benches, the trial layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the campaign was cancelled before every cell completed.
+    #[must_use]
+    pub fn run_collect(self) -> Vec<A> {
+        let total = self.len();
+        let mut out: Vec<Option<A>> = (0..total).map(|_| None).collect();
+        let outcome = self.run(|cell, acc| out[cell] = Some(acc));
+        assert!(
+            outcome.cells_delivered == total,
+            "campaign cancelled after {} of {total} cells",
+            outcome.cells_delivered
+        );
+        out.into_iter().map(|c| c.expect("delivered")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic "workload": collatz-ish step count, varies by seed.
+    fn work(seed: u64) -> u64 {
+        let mut x = seed | 1;
+        let mut steps = 0u64;
+        while x != 1 && steps < 200 {
+            x = if x.is_multiple_of(2) {
+                x / 2
+            } else {
+                3 * x + 1
+            };
+            steps += 1;
+        }
+        steps
+    }
+
+    fn sum_campaign(cells: usize, trials: usize) -> Campaign<'static, Collect<u64>> {
+        let mut campaign = Campaign::new();
+        for c in 0..cells {
+            campaign.push(Cell::new(
+                trials,
+                SeedStream::Offset(1000 * c as u64),
+                Collect::default,
+                |seed, acc: &mut Collect<u64>| acc.0.push(work(seed)),
+            ));
+        }
+        campaign
+    }
+
+    #[test]
+    fn cells_deliver_in_order_with_seed_ordered_contents() {
+        let mut order = Vec::new();
+        let outcome = sum_campaign(5, 20).run(|cell, acc| {
+            assert_eq!(acc.0.len(), 20);
+            let expect: Vec<u64> = (0..20).map(|i| work(1000 * cell as u64 + i)).collect();
+            assert_eq!(acc.0, expect, "cell {cell} is not in seed order");
+            order.push(cell);
+        });
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+        assert_eq!(outcome.cells_delivered, 5);
+        assert_eq!(outcome.trials_run, 100);
+        assert!(!outcome.cancelled);
+    }
+
+    #[test]
+    fn output_is_worker_count_invariant() {
+        let collect = |workers: usize| -> Vec<Vec<u64>> {
+            sum_campaign(3, 17)
+                .workers(workers)
+                .shard_size(4)
+                .run_collect()
+                .into_iter()
+                .map(|c| c.0)
+                .collect()
+        };
+        let one = collect(1);
+        for workers in [2, 3, 8, 32] {
+            assert_eq!(one, collect(workers), "{workers} workers diverged");
+        }
+    }
+
+    #[test]
+    fn shard_size_does_not_change_collected_output() {
+        let collect = |shard: usize| {
+            sum_campaign(2, 23)
+                .shard_size(shard)
+                .run_collect()
+                .into_iter()
+                .map(|c| c.0)
+                .collect::<Vec<_>>()
+        };
+        let baseline = collect(1);
+        for shard in [2, 5, 23, 100] {
+            assert_eq!(baseline, collect(shard));
+        }
+    }
+
+    #[test]
+    fn cancellation_delivers_a_prefix() {
+        let token = CancelToken::new();
+        token.cancel();
+        let mut delivered = Vec::new();
+        let outcome = sum_campaign(4, 50)
+            .cancel_token(token)
+            .run(|cell, _| delivered.push(cell));
+        assert!(outcome.cancelled);
+        assert!(outcome.cells_delivered <= 4);
+        let expect: Vec<usize> = (0..outcome.cells_delivered).collect();
+        assert_eq!(delivered, expect, "delivery is not an in-order prefix");
+    }
+
+    #[test]
+    fn deadline_cancels() {
+        let token = CancelToken::new();
+        token.set_deadline(Duration::from_secs(0));
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn zero_trial_cells_complete_empty() {
+        let mut campaign: Campaign<Collect<u64>> = Campaign::new();
+        campaign.push(Cell::new(
+            0,
+            SeedStream::Offset(0),
+            Collect::default,
+            |_, _| panic!("no trials to run"),
+        ));
+        let cells = campaign.run_collect();
+        assert_eq!(cells.len(), 1);
+        assert!(cells[0].0.is_empty());
+    }
+
+    #[test]
+    fn derived_seed_stream_uses_the_audited_helper() {
+        let s = SeedStream::Derived(42);
+        assert_eq!(s.seed(0), derive_stream_seed(42, 0));
+        assert_eq!(s.seed(9), derive_stream_seed(42, 9));
+        let o = SeedStream::Offset(u64::MAX);
+        assert_eq!(o.seed(1), 0, "offset streams wrap");
+    }
+
+    #[test]
+    fn scalar_and_tuple_aggregates_merge() {
+        let mut campaign: Campaign<(u64, f64, Vec<u64>)> = Campaign::new().shard_size(3);
+        campaign.push(Cell::new(
+            10,
+            SeedStream::Offset(0),
+            <(u64, f64, Vec<u64>)>::default,
+            |seed, acc| {
+                acc.0 += seed;
+                acc.1 += 0.5;
+                if acc.2.is_empty() {
+                    acc.2.push(0);
+                }
+                acc.2[0] += 1;
+            },
+        ));
+        let (count, half, v) = campaign.run_collect().remove(0);
+        assert_eq!(count, 45);
+        assert!((half - 5.0).abs() < 1e-12);
+        assert_eq!(v, vec![10]);
+    }
+
+    #[test]
+    fn progress_reports_every_trial_and_cell() {
+        struct CountSink {
+            trials: AtomicU64,
+            cells: AtomicUsize,
+        }
+        impl ProgressSink for CountSink {
+            fn on_trial(&self, _done: u64, total: u64) {
+                assert_eq!(total, 12);
+                self.trials.fetch_add(1, Ordering::Relaxed);
+            }
+            fn on_cell(&self, _done: usize, total: usize) {
+                assert_eq!(total, 3);
+                self.cells.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let sink = Arc::new(CountSink {
+            trials: AtomicU64::new(0),
+            cells: AtomicUsize::new(0),
+        });
+        let _ = sum_campaign(3, 4).progress(sink.clone()).run(|_, _| {});
+        assert_eq!(sink.trials.load(Ordering::Relaxed), 12);
+        assert_eq!(sink.cells.load(Ordering::Relaxed), 3);
+    }
+}

@@ -39,8 +39,12 @@
 //!   happened; none are required, and [`Engine::run_summary`] skips them
 //!   entirely.
 //!
-//! On top sits the **trial layer**, [`trials`], which fans many seeds out
-//! over OS threads deterministically.
+//! On top sit two scheduling layers: [`trials`], the per-cell fan-out that
+//! runs many seeds of one configuration, and [`campaign`], which schedules
+//! *whole sweeps* — every cell of a parameter grid — on one work-stealing
+//! worker pool with streaming, deterministically merged aggregation.
+//! `trials` is itself a single-cell campaign, so both layers share one
+//! scheduler.
 //!
 //! The engine is deliberately *protocol-agnostic*: it schedules anything
 //! implementing [`Protocol`] and never interprets what a node is doing
@@ -115,6 +119,7 @@
 
 mod action;
 pub mod adversary;
+pub mod campaign;
 mod channel;
 mod config;
 mod engine;
@@ -138,6 +143,6 @@ pub use error::SimError;
 pub use feedback::{ChannelState, FeedbackModel};
 pub use metrics::{Metrics, PhaseBreakdown};
 pub use protocol::{Protocol, RoundContext, Status};
-pub use rng::{derive_fault_seed, derive_node_seed};
+pub use rng::{derive_fault_seed, derive_node_seed, derive_stream_seed};
 pub use sink::EventSink;
 pub use trace::{RoundTrace, Trace, TraceLevel};

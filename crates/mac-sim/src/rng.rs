@@ -1,14 +1,41 @@
-//! Deterministic per-node seed derivation.
+//! Deterministic seed-stream derivation.
 //!
-//! Every node gets its own [`rand::rngs::SmallRng`] seeded from the master
-//! seed and the node index through a SplitMix64 finalizer, so (a) runs are
-//! exactly reproducible from `(master_seed, node count)` and (b) adjacent
-//! node indices produce statistically independent streams.
+//! Everything in the workspace that needs many decorrelated RNG streams
+//! from one master seed — per-node RNGs, fault-model streams, campaign
+//! shard seeds — goes through one audited helper,
+//! [`derive_stream_seed`]: the SplitMix64 generator, indexed directly by
+//! stream number. Centralizing the mixing means (a) runs are exactly
+//! reproducible from `(master_seed, stream)`, (b) adjacent stream indices
+//! produce statistically independent seeds, and (c) there is exactly one
+//! place where the constants can be wrong.
+
+/// Derives the seed for stream `stream` from `master_seed`: the
+/// `stream`-th output of the SplitMix64 generator whose state starts at
+/// `master_seed + Γ` (Γ is the SplitMix64 golden-gamma increment).
+///
+/// This is *the* seed-expansion primitive of the workspace; the per-node
+/// and fault-stream derivations, and the campaign layer's
+/// [`crate::campaign::SeedStream::Derived`], are all defined in terms of
+/// it. Reference vectors are pinned in this module's tests.
+///
+/// ```
+/// use mac_sim::derive_stream_seed;
+///
+/// let a = derive_stream_seed(42, 0);
+/// let b = derive_stream_seed(42, 1);
+/// assert_ne!(a, b);
+/// assert_eq!(a, derive_stream_seed(42, 0));
+/// ```
+#[must_use]
+pub fn derive_stream_seed(master_seed: u64, stream: u64) -> u64 {
+    splitmix64(
+        master_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1))),
+    )
+}
 
 /// Derives the seed for node `node_index` from `master_seed`.
 ///
-/// Uses the SplitMix64 output function, the standard way to expand one seed
-/// into many well-distributed ones.
+/// Node RNG streams are streams `0, 1, 2, …` of [`derive_stream_seed`].
 ///
 /// ```
 /// use mac_sim::derive_node_seed;
@@ -20,7 +47,7 @@
 /// ```
 #[must_use]
 pub fn derive_node_seed(master_seed: u64, node_index: u64) -> u64 {
-    splitmix64(master_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(node_index + 1)))
+    derive_stream_seed(master_seed, node_index)
 }
 
 /// Derives the seed for fault-model stream `stream` from `master_seed`.
@@ -39,7 +66,7 @@ pub fn derive_node_seed(master_seed: u64, node_index: u64) -> u64 {
 /// ```
 #[must_use]
 pub fn derive_fault_seed(master_seed: u64, stream: u64) -> u64 {
-    derive_node_seed(master_seed ^ 0xFA17_FA17_FA17_FA17, stream)
+    derive_stream_seed(master_seed ^ 0xFA17_FA17_FA17_FA17, stream)
 }
 
 /// The SplitMix64 finalizer.
@@ -82,6 +109,60 @@ mod tests {
             assert!(
                 !node_seeds.contains(&derive_fault_seed(123, stream)),
                 "fault stream {stream} collides with a node stream"
+            );
+        }
+    }
+
+    /// Reference vectors for [`derive_stream_seed`], computed with an
+    /// independent big-integer implementation of the published SplitMix64
+    /// finalizer. The `(0, u64::MAX)` entry wraps the state back to 0 and
+    /// therefore reproduces `0xE220_A839_7B1D_CDAF` — the first output of
+    /// the canonical SplitMix64 sequence for seed 0 from the reference
+    /// implementation — anchoring the constants to the literature.
+    #[test]
+    fn stream_seed_reference_vectors() {
+        const VECTORS: [(u64, u64, u64); 20] = [
+            (0x0, 0x0, 0x6e78_9e6a_a1b9_65f4),
+            (0x0, 0x1, 0x06c4_5d18_8009_454f),
+            (0x0, 0x2, 0xf88b_b8a8_724c_81ec),
+            (0x0, 0x7, 0x3ee5_7890_41c9_8ac3),
+            (0x0, 0xffff_ffff_ffff_ffff, 0xe220_a839_7b1d_cdaf),
+            (0x2a, 0x0, 0x28ef_e333_b266_f103),
+            (0x2a, 0x1, 0x4752_6757_130f_9f52),
+            (0x2a, 0x2, 0x581c_e1ff_0e4a_e394),
+            (0x2a, 0x7, 0x5705_b877_0b3d_7dd5),
+            (0x2a, 0xffff_ffff_ffff_ffff, 0xbdd7_3226_2feb_6e95),
+            (0xdead_beef, 0x0, 0xde58_6a31_41a1_0922),
+            (0xdead_beef, 0x1, 0x021f_bc2f_8e1c_fc1d),
+            (0xdead_beef, 0x2, 0x7466_ce73_7be1_6790),
+            (0xdead_beef, 0x7, 0x0a90_4150_39bd_5985),
+            (0xdead_beef, 0xffff_ffff_ffff_ffff, 0x4adf_b90f_68c9_eb9b),
+            (0xffff_ffff_ffff_ffff, 0x0, 0xe99f_f867_dbf6_82c9),
+            (0xffff_ffff_ffff_ffff, 0x1, 0x382f_f84c_b272_81e9),
+            (0xffff_ffff_ffff_ffff, 0x2, 0x6d1d_b36c_cba9_82d2),
+            (0xffff_ffff_ffff_ffff, 0x7, 0xc4fe_a708_156e_0c84),
+            (
+                0xffff_ffff_ffff_ffff,
+                0xffff_ffff_ffff_ffff,
+                0xe4d9_7177_1b65_2c20,
+            ),
+        ];
+        for (master, stream, expected) in VECTORS {
+            assert_eq!(
+                derive_stream_seed(master, stream),
+                expected,
+                "derive_stream_seed({master:#x}, {stream:#x})"
+            );
+        }
+    }
+
+    #[test]
+    fn node_and_fault_seeds_are_defined_in_terms_of_streams() {
+        for i in 0..64 {
+            assert_eq!(derive_node_seed(99, i), derive_stream_seed(99, i));
+            assert_eq!(
+                derive_fault_seed(99, i),
+                derive_stream_seed(99 ^ 0xFA17_FA17_FA17_FA17, i)
             );
         }
     }

@@ -8,6 +8,14 @@
 //! always runs at seed `base_seed + i`, and results come back in trial
 //! order.
 //!
+//! Since the campaign refactor this layer is a thin adapter: each call
+//! schedules a single-cell [`campaign`](crate::campaign) whose aggregate
+//! collects results in seed order, so the trial layer and the sweep layer
+//! share one scheduler (and one determinism contract). Multi-cell sweeps
+//! should build a [`crate::campaign::Campaign`] directly — that is what
+//! keeps the pool saturated across grid points and enables streaming
+//! aggregation, progress, and resume.
+//!
 //! * [`run_trials`] — the common case, collecting full [`RunReport`]s;
 //! * [`run_trials_with`] — map each finished engine through an `extract`
 //!   closure (to read final protocol state: adopted ids, survivor flags, …);
@@ -17,98 +25,12 @@
 //!   thread-count-invariance test;
 //! * [`run_trials_recorded`] — attach a [`RunRecorder`] per trial and get
 //!   `(report, record)` pairs for structured JSONL export.
-//!
-//! Long sweeps can opt into stderr progress reporting (trials completed,
-//! trials/sec, ETA) with [`enable_stderr_progress`]; it is off by default
-//! so benches and tests are unaffected.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
-
+use crate::campaign::{Campaign, Cell, Collect, SeedStream};
 use crate::engine::{Engine, RunReport, RunSummary};
 use crate::feedback::FeedbackModel;
 use crate::obs::{RunRecord, RunRecorder};
 use crate::protocol::Protocol;
-
-/// Whether the trial layer reports progress to stderr. Off by default so
-/// benches and tests are unaffected; long sweeps opt in via
-/// [`enable_stderr_progress`].
-static PROGRESS_ENABLED: AtomicBool = AtomicBool::new(false);
-
-/// Turns on throughput/ETA progress reporting on stderr for every
-/// subsequent trial batch (`<completed>/<total> trials  <rate>/s  ETA
-/// <secs>s`, throttled to a few updates per second). The experiment
-/// runner's `--progress` flag calls this.
-pub fn enable_stderr_progress() {
-    PROGRESS_ENABLED.store(true, Ordering::Relaxed);
-}
-
-/// Turns stderr progress reporting back off.
-pub fn disable_stderr_progress() {
-    PROGRESS_ENABLED.store(false, Ordering::Relaxed);
-}
-
-/// Progress bookkeeping for one trial batch. All overhead sits behind a
-/// single relaxed load when reporting is disabled.
-struct ProgressMeter {
-    enabled: bool,
-    total: u64,
-    done: AtomicU64,
-    started: Instant,
-    last_print: Mutex<Instant>,
-}
-
-impl ProgressMeter {
-    fn begin(total: usize) -> Self {
-        let enabled = PROGRESS_ENABLED.load(Ordering::Relaxed) && total > 1;
-        let now = Instant::now();
-        ProgressMeter {
-            enabled,
-            total: total as u64,
-            done: AtomicU64::new(0),
-            started: now,
-            last_print: Mutex::new(now),
-        }
-    }
-
-    fn tick(&self) {
-        if !self.enabled {
-            return;
-        }
-        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
-        let finished = done == self.total;
-        // Throttle: only the thread that wins the lock prints, at most
-        // every 200ms (always on the final trial).
-        let Ok(mut last) = self.last_print.try_lock() else {
-            return;
-        };
-        if !finished && last.elapsed().as_millis() < 200 {
-            return;
-        }
-        *last = Instant::now();
-        let elapsed = self.started.elapsed().as_secs_f64();
-        #[allow(clippy::cast_precision_loss)]
-        let rate = if elapsed > 0.0 {
-            done as f64 / elapsed
-        } else {
-            0.0
-        };
-        #[allow(clippy::cast_precision_loss)]
-        let eta = if rate > 0.0 {
-            (self.total - done) as f64 / rate
-        } else {
-            0.0
-        };
-        eprint!(
-            "\r  {done}/{} trials  {rate:.1}/s  ETA {eta:.0}s   ",
-            self.total
-        );
-        if finished {
-            eprintln!();
-        }
-    }
-}
 
 /// Runs `trials` independent executions built by `build` (which receives
 /// the trial's seed) and returns their reports in seed order.
@@ -163,20 +85,12 @@ where
     F: FeedbackModel,
     B: Fn(u64) -> Engine<P, F> + Sync,
 {
-    let threads = default_threads(trials);
-    let mut results: Vec<Option<RunSummary>> = (0..trials).map(|_| None).collect();
-    fan_out(&mut results, threads, &|index, slot| {
-        let seed = base_seed + index;
+    single_cell(trials, base_seed, default_threads(trials), &|seed| {
         let mut engine = build(seed);
-        let summary = engine
+        engine
             .run_summary()
-            .unwrap_or_else(|e| panic!("trial with seed {seed} failed: {e}"));
-        *slot = Some(summary);
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("trial completed"))
-        .collect()
+            .unwrap_or_else(|e| panic!("trial with seed {seed} failed: {e}"))
+    })
 }
 
 /// Like [`run_trials_with`] with an explicit worker-thread count.
@@ -201,20 +115,13 @@ where
     G: Fn(&Engine<P, F>, &RunReport) -> T + Sync,
     T: Send,
 {
-    assert!(threads > 0, "at least one worker thread is required");
-    let mut results: Vec<Option<T>> = (0..trials).map(|_| None).collect();
-    fan_out(&mut results, threads, &|index, slot| {
-        let seed = base_seed + index;
+    single_cell(trials, base_seed, threads, &|seed| {
         let mut engine = build(seed);
         let report = engine
             .run()
             .unwrap_or_else(|e| panic!("trial with seed {seed} failed: {e}"));
-        *slot = Some(extract(&engine, &report));
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("trial completed"))
-        .collect()
+        extract(&engine, &report)
+    })
 }
 
 /// Like [`run_trials`], but attaches a [`RunRecorder`] to every trial and
@@ -235,21 +142,14 @@ where
     F: FeedbackModel,
     B: Fn(u64) -> Engine<P, F> + Sync,
 {
-    let threads = default_threads(trials);
-    let mut results: Vec<Option<(RunReport, RunRecord)>> = (0..trials).map(|_| None).collect();
-    fan_out(&mut results, threads, &|index, slot| {
-        let seed = base_seed + index;
+    single_cell(trials, base_seed, default_threads(trials), &|seed| {
         let mut engine = build(seed);
         let mut recorder = RunRecorder::new();
         let report = engine
             .run_observed(&mut recorder)
             .unwrap_or_else(|e| panic!("trial with seed {seed} failed: {e}"));
-        *slot = Some((report, recorder.into_record(seed)));
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("trial completed"))
-        .collect()
+        (report, recorder.into_record(seed))
+    })
 }
 
 /// Default worker count: `available_parallelism()`, capped at the trial
@@ -259,30 +159,32 @@ fn default_threads(trials: usize) -> usize {
     threads.min(trials.max(1))
 }
 
-/// Splits the trial slots into contiguous chunks and runs
-/// `run_one(trial_index, slot)` for each on a scoped thread. Chunking
-/// (rather than striding) keeps each thread's seeds contiguous, which makes
-/// replaying a failed chunk by seed range trivial.
-fn fan_out<T: Send>(
-    results: &mut [Option<T>],
+/// Schedules one cell on the campaign pool and returns its results in seed
+/// order. The shard size is the historical contiguous chunking
+/// (`trials.div_ceil(threads)`), so each worker's seeds stay contiguous
+/// and replaying a failed chunk by seed range is trivial.
+fn single_cell<T: Send>(
+    trials: usize,
+    base_seed: u64,
     threads: usize,
-    run_one: &(dyn Fn(u64, &mut Option<T>) + Sync),
-) {
-    let trials = results.len();
-    let chunk_size = trials.div_ceil(threads.max(1)).max(1);
-    let progress = ProgressMeter::begin(trials);
-    std::thread::scope(|scope| {
-        for (chunk_idx, chunk) in results.chunks_mut(chunk_size).enumerate() {
-            let start = chunk_idx * chunk_size;
-            let progress = &progress;
-            scope.spawn(move || {
-                for (offset, slot) in chunk.iter_mut().enumerate() {
-                    run_one((start + offset) as u64, slot);
-                    progress.tick();
-                }
-            });
-        }
-    });
+    run_one: &(dyn Fn(u64) -> T + Sync),
+) -> Vec<T> {
+    assert!(threads > 0, "at least one worker thread is required");
+    let mut campaign = Campaign::new()
+        .workers(threads)
+        .shard_size(trials.div_ceil(threads).max(1));
+    campaign.push(Cell::new(
+        trials,
+        SeedStream::Offset(base_seed),
+        Collect::default,
+        move |seed, acc: &mut Collect<T>| acc.0.push(run_one(seed)),
+    ));
+    campaign
+        .run_collect()
+        .into_iter()
+        .next()
+        .map(|c| c.0)
+        .unwrap_or_default()
 }
 
 #[cfg(test)]

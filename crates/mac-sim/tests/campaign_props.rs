@@ -1,0 +1,119 @@
+//! Property-based tests for the campaign scheduler's aggregation contract.
+//!
+//! Two layers of invariance are claimed by `mac_sim::campaign`:
+//!
+//! 1. `Aggregate::merge` over the monoid-like impls (counters, `Collect`,
+//!    element-wise vectors, tuples of those) is associative, so *any*
+//!    contiguous shard decomposition merged in *any* grouping reproduces
+//!    the sequential fold.
+//! 2. The `Campaign` pool itself delivers bit-identical output for every
+//!    worker count and shard size, because shards are merged in seed order.
+
+use mac_sim::campaign::{Aggregate, Campaign, Cell, Collect, SeedStream};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// The aggregate under test: a counter, an order-preserving collector, and
+/// an element-wise histogram vector — one of each merge flavor.
+type Agg = (u64, Collect<u64>, Vec<u64>);
+
+fn make_agg() -> Agg {
+    (0, Collect::default(), vec![0; 4])
+}
+
+fn fold_sample(acc: &mut Agg, x: u64) {
+    acc.0 += x;
+    acc.1 .0.push(x);
+    acc.2[(x % 4) as usize] += 1;
+}
+
+/// Folds one contiguous shard sequentially.
+fn shard_agg(samples: &[u64]) -> Agg {
+    let mut acc = make_agg();
+    for &x in samples {
+        fold_sample(&mut acc, x);
+    }
+    acc
+}
+
+/// Splits `samples` at the (normalized, deduped) cut points.
+fn shards<'a>(samples: &'a [u64], cuts: &[usize]) -> Vec<&'a [u64]> {
+    let mut cuts: Vec<usize> = cuts.iter().map(|c| c % (samples.len() + 1)).collect();
+    cuts.sort_unstable();
+    cuts.dedup();
+    let mut out = Vec::new();
+    let mut prev = 0;
+    for c in cuts {
+        out.push(&samples[prev..c]);
+        prev = c;
+    }
+    out.push(&samples[prev..]);
+    out
+}
+
+proptest! {
+    /// Any shard decomposition, merged left-to-right or right-to-left,
+    /// equals the sequential fold — `merge` is associative for the
+    /// counter / collector / element-wise impls.
+    #[test]
+    fn aggregate_merge_is_shard_invariant(
+        samples in vec(0u64..1_000_000, 0..120),
+        cuts in vec(0usize..120, 0..8),
+        fold_right in any::<bool>(),
+    ) {
+        let expect = shard_agg(&samples);
+        let parts: Vec<Agg> = shards(&samples, &cuts).iter().map(|s| shard_agg(s)).collect();
+        let merged = if fold_right {
+            let mut acc = make_agg();
+            for part in parts.into_iter().rev() {
+                let mut next = part;
+                next.merge(std::mem::replace(&mut acc, make_agg()));
+                acc = next;
+            }
+            acc
+        } else {
+            let mut acc = make_agg();
+            for part in parts {
+                acc.merge(part);
+            }
+            acc
+        };
+        prop_assert_eq!(merged, expect);
+    }
+}
+
+proptest! {
+    // Each case spins up a real worker pool, so keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Campaign output is bit-identical for every worker count and shard
+    /// size: shards merge in seed order, never in completion order.
+    #[test]
+    fn campaign_output_is_schedule_invariant(
+        cells in vec((0usize..24, 0u64..1_000), 1..4),
+        workers in 1usize..5,
+        shard_size in 1usize..9,
+    ) {
+        // Sequential reference, one fold per cell in push order.
+        let expect: Vec<Agg> = cells
+            .iter()
+            .map(|&(trials, base)| {
+                let stream = SeedStream::Derived(base);
+                let samples: Vec<u64> =
+                    (0..trials as u64).map(|i| stream.seed(i) % 997).collect();
+                shard_agg(&samples)
+            })
+            .collect();
+
+        let mut campaign = Campaign::new().workers(workers).shard_size(shard_size);
+        for &(trials, base) in &cells {
+            campaign.push(Cell::new(
+                trials,
+                SeedStream::Derived(base),
+                make_agg,
+                |seed, acc| fold_sample(acc, seed % 997),
+            ));
+        }
+        prop_assert_eq!(campaign.run_collect(), expect);
+    }
+}

@@ -5,7 +5,7 @@ use contention::{
     FullAlgorithm, IdReduction, IdReductionOutcome, LeafElection, Params, Reduce, ReduceOutcome,
     TwoActive,
 };
-use contention_harness::{sample_distinct, Scale};
+use contention_harness::{sample_distinct, RunCtx, Scale};
 use mac_sim::trials::run_trials_with;
 use mac_sim::{Engine, Protocol as _, SimConfig, Status, StopWhen};
 use std::collections::HashSet;
@@ -176,7 +176,7 @@ fn quick_experiments_produce_reports() {
     use contention_harness::experiments;
     for id in ["e3", "e4", "e7"] {
         let runner = experiments::by_id(id).expect("known id");
-        let report = runner(Scale::Quick);
+        let report = runner(&RunCtx::new(Scale::Quick));
         assert!(!report.sections.is_empty(), "{id}: no sections");
         assert!(
             report.sections.iter().all(|s| !s.table.is_empty()),
@@ -214,7 +214,7 @@ fn leader_report_matches_node_status() {
 #[test]
 fn all_experiments_render_at_quick_scale() {
     use contention_harness::experiments;
-    let reports = experiments::run_all(Scale::Quick);
+    let reports = experiments::run_all(&RunCtx::new(Scale::Quick));
     assert_eq!(reports.len(), 18);
     for report in &reports {
         assert!(!report.sections.is_empty(), "{}: no sections", report.id);
