@@ -7,14 +7,21 @@
 //! * `run_summary/no_observers` — metrics off, cheap [`RunSummary`] only;
 //! * `run/trace_channels` — per-round channel outcomes recorded too;
 //! * `run/recorder_attached` — a [`mac_sim::obs::RunRecorder`] span-model
-//!   sink riding along, quantifying the structured-telemetry overhead.
+//!   sink riding along, quantifying the structured-telemetry overhead;
+//! * `run/supervised_wrapper` — the same fleet wrapped in
+//!   [`contention::Supervised`] restart-with-backoff supervision on a
+//!   clean channel, pricing the wrapper on the fault-free path (where it
+//!   never fires — see docs/ROBUSTNESS.md).
 //!
 //! Unlike the other benches this one has a custom `main`: after the runs
 //! it exports the measurements as schema-versioned JSONL
 //! (`BENCH_round_engine.json` at the workspace root — `kind: "bench"`
 //! records, diffable with `obsdiff`).
 
-use contention::{FullAlgorithm, Params};
+use contention::{
+    supervised_paper_node, FullAlgorithm, Params, PhaseProtocol, RestartPolicy,
+    SupervisedPaperStack,
+};
 use criterion::{criterion_group, take_results, Criterion};
 use mac_sim::obs::{Json, RunRecorder, SCHEMA_VERSION};
 use mac_sim::{Engine, SimConfig, TraceLevel};
@@ -28,6 +35,19 @@ fn engine(config: SimConfig) -> Engine<FullAlgorithm> {
     let mut engine = Engine::new(config);
     for _ in 0..ACTIVE {
         engine.add_node(FullAlgorithm::new(Params::practical(), C, N));
+    }
+    engine
+}
+
+fn supervised_engine(config: SimConfig) -> Engine<PhaseProtocol<SupervisedPaperStack>> {
+    let mut engine = Engine::new(config);
+    for _ in 0..ACTIVE {
+        engine.add_node(supervised_paper_node(
+            Params::practical(),
+            C,
+            N,
+            RestartPolicy::new(2_500_000, 4),
+        ));
     }
     engine
 }
@@ -87,6 +107,17 @@ fn bench_round_engine(criterion: &mut Criterion) {
             let mut recorder = RunRecorder::new();
             let report = eng.run_observed(&mut recorder).expect("solves");
             black_box((report.solved_round, recorder.into_record(seed).rounds))
+        });
+    });
+
+    group.bench_function("run/supervised_wrapper", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            // Cycle a fixed seed set so every execution path measures the
+            // exact same ensemble of runs.
+            seed = (seed % 16) + 1;
+            let mut eng = supervised_engine(SimConfig::new(C).seed(seed).max_rounds(10_000_000));
+            black_box(eng.run().expect("solves").solved_round)
         });
     });
 

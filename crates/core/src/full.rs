@@ -35,6 +35,7 @@ use crate::phase::{
     AndThen, NextPhase, Phase, PhaseProtocol, PhaseStats, PhaseTelemetry, WithFallback,
 };
 use crate::reduce::Reduce;
+use crate::supervise::{BuildPhase, RestartPolicy, Supervised};
 
 /// Which step of the pipeline a [`FullAlgorithm`] node finished in, plus the
 /// id it adopted if it reached step 3. Exposed for experiments E9–E11.
@@ -97,6 +98,66 @@ pub type PaperStack = WithFallback<
     CdTournament,
 >;
 
+/// Builds fresh [`PaperStack`] instances — the [`BuildPhase`] factory a
+/// [`Supervised`] wrapper uses to restart the Theorem 4 pipeline from a
+/// clean state after a wedge. Named (rather than a closure) so that
+/// [`SupervisedPaperStack`] is a nameable type.
+#[derive(Debug, Clone, Copy)]
+pub struct MakePaperStack {
+    /// Pipeline constants.
+    pub params: Params,
+    /// Channel count `C`.
+    pub channels: u32,
+    /// Universe size `n`.
+    pub n: u64,
+}
+
+impl BuildPhase for MakePaperStack {
+    type Phase = PaperStack;
+
+    fn build(&mut self) -> PaperStack {
+        let use_fallback = self.channels < self.params.fallback_below_channels;
+        Reduce::with_params(self.params, self.n)
+            .and_then(MakeIdReduction {
+                params: self.params,
+                channels: self.channels,
+            })
+            .and_then(MakeLeafElection {
+                channels: self.channels,
+            })
+            .with_fallback(use_fallback, CdTournament::new())
+    }
+}
+
+/// The paper pipeline under restart-with-backoff supervision (see
+/// [`crate::supervise`]): a wedge under faults restarts the whole
+/// `Reduce → IdReduction → LeafElection` stack from clean state on a
+/// fresh derived RNG stream.
+pub type SupervisedPaperStack = Supervised<PaperStack, MakePaperStack>;
+
+/// A supervised paper-pipeline node: [`SupervisedPaperStack`] adapted to
+/// run on the engine, telemetry included. Experiment E19 and
+/// [`crate::session::Algorithm::SupervisedPaper`] both build nodes here.
+///
+/// # Panics
+///
+/// Panics if `channels < 1`.
+#[must_use]
+pub fn supervised_paper_node(
+    params: Params,
+    channels: u32,
+    n: u64,
+    policy: RestartPolicy,
+) -> PhaseProtocol<SupervisedPaperStack> {
+    assert!(channels >= 1, "the model requires C >= 1");
+    let make = MakePaperStack {
+        params,
+        channels,
+        n,
+    };
+    PhaseProtocol::new(Supervised::new(make, policy))
+}
+
 /// The paper's general contention-resolution algorithm (Theorem 4).
 ///
 /// Every activated node runs one instance; `n` is the (known) maximum
@@ -131,11 +192,12 @@ impl FullAlgorithm {
     #[inline]
     pub fn new(params: Params, channels: u32, n: u64) -> Self {
         assert!(channels >= 1, "the model requires C >= 1");
-        let use_fallback = channels < params.fallback_below_channels;
-        let stack = Reduce::with_params(params, n)
-            .and_then(MakeIdReduction { params, channels })
-            .and_then(MakeLeafElection { channels })
-            .with_fallback(use_fallback, CdTournament::new());
+        let stack = MakePaperStack {
+            params,
+            channels,
+            n,
+        }
+        .build();
         FullAlgorithm {
             inner: PhaseProtocol::new(stack),
         }
@@ -336,6 +398,30 @@ mod tests {
         }
         let report = exec.run().expect("run succeeds");
         assert!(report.is_solved());
+    }
+
+    #[test]
+    fn supervised_node_solves_fault_free_without_restarting() {
+        use crate::supervise::{RestartPolicy, RESTART_MARKER};
+        let cfg = SimConfig::new(64)
+            .seed(11)
+            .stop_when(StopWhen::AllTerminated)
+            .max_rounds(1_000_000);
+        let mut exec = Engine::new(cfg);
+        for _ in 0..200 {
+            exec.add_node(supervised_paper_node(
+                Params::practical(),
+                64,
+                1 << 12,
+                RestartPolicy::new(2_000, 3),
+            ));
+        }
+        let report = exec.run().expect("supervised run succeeds");
+        assert!(report.is_solved());
+        for node in exec.iter_nodes() {
+            assert_eq!(node.inner().restarts(), 0, "fault-free: no restarts");
+            assert!(node.phase_stats().iter().all(|r| r.name != RESTART_MARKER));
+        }
     }
 
     #[test]

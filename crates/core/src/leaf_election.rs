@@ -79,7 +79,11 @@ enum Stage {
 ///
 /// Every node running this protocol in an execution must hold a *distinct*
 /// id (as guaranteed by [`crate::IdReduction`]); duplicate ids violate
-/// Property 11 and the run's behavior is unspecified (debug builds assert).
+/// Property 11 and the run's behavior is unspecified. Feedback that is
+/// impossible on a clean channel — a fault-injected collision at the root,
+/// a swallowed announcement — does *not* panic: the node parks and reports
+/// it through [`Phase::invariant_violation`], so a
+/// [`crate::Supervised`] wrapper can restart the stack.
 ///
 /// ```
 /// use contention::LeafElection;
@@ -106,6 +110,12 @@ pub struct LeafElection {
     c_node: TreeNode,
     stage: Stage,
     status: Status,
+    /// First fault-corrupted observation, if any: an adversarial channel
+    /// (jam, noise, loss) can deliver feedback that is impossible on a
+    /// clean channel. Instead of panicking, the node parks and reports the
+    /// violation through [`Phase::invariant_violation`] so a supervisor
+    /// can restart the stack.
+    violation: Option<&'static str>,
     stats: LeafElectionStats,
     meter: PhaseMeter,
     /// Ablation knob (experiment E13): when set, `SplitSearch` pretends the
@@ -137,6 +147,7 @@ impl LeafElection {
             c_node: leaf,
             stage: Stage::RootCheck,
             status: Status::Active,
+            violation: None,
             stats: LeafElectionStats::default(),
             meter: PhaseMeter::default(),
             force_binary_search: false,
@@ -194,9 +205,29 @@ impl LeafElection {
         }
     }
 
+    /// The first invariant violation this node observed, if the channel
+    /// ever delivered feedback that is impossible on a clean channel.
+    #[must_use]
+    pub fn violation(&self) -> Option<&'static str> {
+        self.violation
+    }
+
     /// Whether this node is its cohort's master (`cID = 1`).
     fn is_master(&self) -> bool {
         self.c_id == 1
+    }
+
+    /// Parks the node on a fault-corrupted observation. The protocol's
+    /// state machine has no sound transition for feedback that violates
+    /// its invariants, so the node goes idle (it still answers rounds with
+    /// `Sleep`) and surfaces the violation for a supervisor to act on; an
+    /// unsupervised run simply stays wedged until its round budget expires
+    /// — the same verdict either way, with or without debug assertions.
+    fn record_violation(&mut self, msg: &'static str) {
+        if self.violation.is_none() {
+            self.violation = Some(msg);
+        }
+        self.stage = Stage::Done;
     }
 
     /// The probe level `ℓ_j` of the current search iteration: interior
@@ -330,17 +361,21 @@ impl Protocol for LeafElection {
         match self.stage {
             Stage::RootCheck => {
                 if feedback.is_collision() {
+                    let l_max = self.c_node.level();
+                    if l_max == 0 {
+                        // A jammed channel can turn the lone root broadcast
+                        // into a collision; impossible on a clean channel.
+                        self.record_violation("colliding cohorts cannot sit at the root");
+                        return;
+                    }
                     // More than one cohort: search for the divergence level.
                     self.stats.phases += 1;
                     self.stats.search_rounds_by_phase.push(0);
-                    let l_max = self.c_node.level();
-                    debug_assert!(l_max >= 1, "colliding cohorts cannot sit at the root");
                     self.enter_search(0, l_max);
+                } else if feedback.message().is_none() {
+                    // Noise or loss swallowed every master's broadcast.
+                    self.record_violation("root check heard silence; a master failed to broadcast");
                 } else {
-                    debug_assert!(
-                        feedback.message().is_some(),
-                        "root check heard silence; a master failed to broadcast"
-                    );
                     // Lone broadcast: one cohort remains and its master won.
                     self.status = if self.is_master() {
                         Status::Leader
@@ -383,12 +418,14 @@ impl Protocol for LeafElection {
                         match feedback.message() {
                             Some(&i) => i,
                             None => {
-                                debug_assert!(
-                                    false,
-                                    "announcement round delivered {feedback:?}; \
-                                     exactly one member should have announced"
+                                // Faults erased the announcement; exactly one
+                                // member should have announced on a clean
+                                // channel.
+                                self.record_violation(
+                                    "announcement round delivered no subrange; \
+                                     exactly one member should have announced",
                                 );
-                                0
+                                return;
                             }
                         }
                     };
@@ -405,11 +442,12 @@ impl Protocol for LeafElection {
                     self.c_size *= 2;
                     self.c_node = self.leaf.ancestor_at_level(level - 1);
                     self.stage = Stage::RootCheck;
-                } else {
-                    debug_assert!(
-                        feedback.message().is_some(),
-                        "pairing round heard silence; own master failed to broadcast"
+                } else if feedback.message().is_none() {
+                    // Even this node's own master went unheard.
+                    self.record_violation(
+                        "pairing round heard silence; own master failed to broadcast",
                     );
+                } else {
                     // Lone master: no partner at this level — cohort retires.
                     self.status = Status::Inactive;
                     self.stage = Stage::Done;
@@ -424,6 +462,9 @@ impl Protocol for LeafElection {
     }
 
     fn phase(&self) -> &'static str {
+        if self.violation.is_some() {
+            return "le-wedged";
+        }
         match self.stage {
             Stage::RootCheck => "le-root-check",
             Stage::Search(_) => "le-split-search",
@@ -466,6 +507,10 @@ impl Phase for LeafElection {
 
     fn collect_stats(&self, out: &mut Vec<PhaseStats>) {
         out.push(self.meter.snapshot("leaf-election"));
+    }
+
+    fn invariant_violation(&self) -> Option<&'static str> {
+        self.violation
     }
 }
 
@@ -635,6 +680,57 @@ mod tests {
     #[should_panic(expected = "C >= 2")]
     fn rejects_single_channel() {
         let _ = LeafElection::new(1, 1);
+    }
+
+    #[test]
+    fn jammed_root_collision_parks_with_a_reported_violation() {
+        use rand::SeedableRng;
+        // C = 2 gives a single-leaf tree: the cohort node *is* the root, so
+        // a collision during the root check is impossible on a clean channel
+        // — only a jammer can produce it. The node must not panic: it parks,
+        // stays non-terminated, and reports the violation for a supervisor.
+        let mut node = LeafElection::new(2, 1);
+        let ctx = RoundContext {
+            round: 0,
+            local_round: 0,
+            channels: 2,
+        };
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+        let _ = Protocol::act(&mut node, &ctx, &mut rng);
+        Protocol::observe(&mut node, &ctx, Feedback::Collision, &mut rng);
+        assert_eq!(
+            Phase::invariant_violation(&node),
+            Some("colliding cohorts cannot sit at the root")
+        );
+        assert_eq!(node.status(), Status::Active, "wedged, not terminated");
+        assert!(Phase::outcome(&node).is_none());
+        assert_eq!(Protocol::phase(&node), "le-wedged");
+        // Once parked the node sleeps; further rounds change nothing.
+        assert!(matches!(
+            Protocol::act(&mut node, &ctx, &mut rng),
+            Action::Sleep
+        ));
+    }
+
+    #[test]
+    fn lossy_root_silence_parks_with_a_reported_violation() {
+        use rand::SeedableRng;
+        // Every master's broadcast swallowed by loss: the root check hears
+        // silence, which a clean channel can never deliver.
+        let mut node = LeafElection::new(16, 3);
+        let ctx = RoundContext {
+            round: 0,
+            local_round: 0,
+            channels: 16,
+        };
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let _ = Protocol::act(&mut node, &ctx, &mut rng);
+        Protocol::observe(&mut node, &ctx, Feedback::Silence, &mut rng);
+        assert_eq!(
+            node.violation(),
+            Some("root check heard silence; a master failed to broadcast")
+        );
+        assert!(Phase::outcome(&node).is_none());
     }
 
     #[test]

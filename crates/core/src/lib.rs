@@ -32,6 +32,10 @@
 //!   detection descent (`O(log n)`), single-channel decay without collision
 //!   detection (`O(log² n)`), and a multi-channel no-CD algorithm
 //!   (`O(log² n / C + log n)`).
+//! * [`supervise`] — restart-with-backoff recovery: wrap any phase stack
+//!   in [`supervise::Supervised`] and a wedge under faults (round slice
+//!   exhausted, invariant violated) restarts it from clean state on a
+//!   fresh derived RNG stream, per a bounded [`supervise::RestartPolicy`].
 //! * [`wakeup`] — the §3 transform that lifts any of the above to
 //!   non-simultaneous wake-up at a ×2 round cost.
 //! * [`session`] — a one-stop facade (`Session::new(c, n).run(k)`) over all
@@ -76,15 +80,20 @@ pub mod phase;
 mod reduce;
 pub mod serialize;
 pub mod session;
+pub mod supervise;
 pub mod theory;
 pub mod tree;
 mod two_active;
 pub mod wakeup;
 
-pub use full::{FullAlgorithm, FullStats, PaperStack};
+pub use full::{
+    supervised_paper_node, FullAlgorithm, FullStats, MakePaperStack, PaperStack,
+    SupervisedPaperStack,
+};
 pub use id_reduction::{IdReduction, IdReductionOutcome, IdReductionStats};
 pub use leaf_election::{LeafElection, LeafElectionStats};
 pub use params::Params;
 pub use phase::{Phase, PhaseOutcome, PhaseProtocol, PhaseStats, PhaseTelemetry};
 pub use reduce::{Reduce, ReduceOutcome};
+pub use supervise::{RestartPolicy, Supervised};
 pub use two_active::{TwoActive, TwoActiveStats};

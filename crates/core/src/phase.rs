@@ -173,6 +173,20 @@ pub trait Phase {
     /// finished children before the current child's.
     fn collect_stats(&self, out: &mut Vec<PhaseStats>);
 
+    /// A phase-reported *invariant violation*: the phase has observed a
+    /// state its correctness argument rules out (possible under the fault
+    /// layers of [`mac_sim::fault`], which can forge collisions and erase
+    /// frames) and cannot make further progress. `None` means healthy.
+    ///
+    /// The default is `None` — phases are not obliged to self-diagnose.
+    /// Combinators forward the currently running child's report, so a
+    /// violation anywhere in a stack surfaces at the top, where
+    /// [`crate::supervise::Supervised`] treats it as a wedge and restarts
+    /// the stack instead of burning the rest of its round slice.
+    fn invariant_violation(&self) -> Option<&'static str> {
+        None
+    }
+
     /// Barrier-synchronized sequencing: when `self` completes, `next`
     /// builds the successor phase from the completion value, and the
     /// successor starts at the next round boundary — the paper's lockstep
@@ -389,6 +403,13 @@ where
             Seq::Second(second) => second.collect_stats(out),
         }
     }
+
+    fn invariant_violation(&self) -> Option<&'static str> {
+        match &self.seq {
+            Seq::First(first) => first.invariant_violation(),
+            Seq::Second(second) => second.invariant_violation(),
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -482,6 +503,13 @@ where
         match &self.arm {
             Arm::Primary(primary) => primary.collect_stats(out),
             Arm::Fallback(fallback) => fallback.collect_stats(out),
+        }
+    }
+
+    fn invariant_violation(&self) -> Option<&'static str> {
+        match &self.arm {
+            Arm::Primary(primary) => primary.invariant_violation(),
+            Arm::Fallback(fallback) => fallback.invariant_violation(),
         }
     }
 }
@@ -604,6 +632,10 @@ where
         out.extend_from_slice(&self.archived);
         self.current.collect_stats(out);
     }
+
+    fn invariant_violation(&self) -> Option<&'static str> {
+        self.current.invariant_violation()
+    }
 }
 
 /// Round-budget watchdog over a phase (see [`Phase::bounded`]).
@@ -678,6 +710,10 @@ impl<P: Phase> Phase for Bounded<P> {
 
     fn collect_stats(&self, out: &mut Vec<PhaseStats>) {
         self.inner.collect_stats(out);
+    }
+
+    fn invariant_violation(&self) -> Option<&'static str> {
+        self.inner.invariant_violation()
     }
 }
 

@@ -14,9 +14,10 @@ use std::fmt;
 
 use crate::baselines::{BinaryDescent, CdTournament, Decay, MultiChannelNoCd, TreeSplit, Willard};
 use crate::extensions::ExpectedConstant;
-use crate::full::FullAlgorithm;
+use crate::full::{supervised_paper_node, FullAlgorithm};
 use crate::params::Params;
 use crate::phase::{PhaseProtocol, PhaseStats, PhaseTelemetry};
+use crate::supervise::{RestartPolicy, RESTART_MARKER};
 use crate::two_active::TwoActive;
 use crate::wakeup::StaggeredStart;
 
@@ -25,6 +26,10 @@ use crate::wakeup::StaggeredStart;
 pub enum Algorithm {
     /// The paper's general pipeline (Theorem 4) with the given constants.
     Paper(Params),
+    /// The paper pipeline under restart-with-backoff supervision (see
+    /// [`crate::supervise`]): wedges under faults restart the stack
+    /// instead of burning the whole round budget.
+    SupervisedPaper(Params, RestartPolicy),
     /// The paper's two-node specialist (§4); requires exactly two actives.
     TwoActive,
     /// Single-channel coin-flip knock-out, `O(log n)` w.h.p., no ids.
@@ -50,6 +55,7 @@ impl Algorithm {
     pub fn name(self) -> &'static str {
         match self {
             Algorithm::Paper(_) => "paper-pipeline",
+            Algorithm::SupervisedPaper(..) => "supervised-paper",
             Algorithm::TwoActive => "two-active",
             Algorithm::CdTournament => "cd-tournament",
             Algorithm::BinaryDescent => "binary-descent",
@@ -144,6 +150,24 @@ impl Resolution {
             .filter(|r| r.name == name)
             .map(|r| r.rounds)
             .sum()
+    }
+
+    /// Supervised restarts the solving node performed, counted from the
+    /// [`RESTART_MARKER`] records in its spine. Always 0 for unsupervised
+    /// algorithms.
+    #[must_use]
+    pub fn restarts(&self) -> u64 {
+        self.solver_phases
+            .iter()
+            .filter(|r| r.name == RESTART_MARKER)
+            .count() as u64
+    }
+
+    /// Rounds the solving node burned in abandoned supervised attempts
+    /// (the sum of the restart markers' round counts).
+    #[must_use]
+    pub fn restart_rounds(&self) -> u64 {
+        self.phase_rounds(RESTART_MARKER)
     }
 }
 
@@ -250,6 +274,9 @@ impl Session {
     fn make_node(&self, idx: usize, active: usize) -> Box<dyn PhaseTelemetry> {
         match self.algorithm {
             Algorithm::Paper(params) => Box::new(FullAlgorithm::new(params, self.channels, self.n)),
+            Algorithm::SupervisedPaper(params, policy) => {
+                Box::new(supervised_paper_node(params, self.channels, self.n, policy))
+            }
             Algorithm::TwoActive => {
                 Box::new(PhaseProtocol::new(TwoActive::new(self.channels, self.n)))
             }
@@ -380,6 +407,7 @@ mod tests {
     fn every_algorithm_resolves_through_the_facade() {
         let algos = [
             Algorithm::Paper(Params::practical()),
+            Algorithm::SupervisedPaper(Params::practical(), RestartPolicy::new(5_000, 3)),
             Algorithm::CdTournament,
             Algorithm::BinaryDescent,
             Algorithm::TreeSplit,
@@ -519,6 +547,23 @@ mod tests {
             let spine_total: u64 = res.solver_phases.iter().map(|r| r.rounds).sum();
             assert!(spine_total <= res.rounds().unwrap());
         }
+    }
+
+    #[test]
+    fn supervised_session_reports_zero_restarts_fault_free() {
+        let res = Session::new(64, 1 << 12)
+            .algorithm(Algorithm::SupervisedPaper(
+                Params::practical(),
+                RestartPolicy::new(5_000, 3),
+            ))
+            .seed(2)
+            .run(200)
+            .expect("solves");
+        assert!(res.rounds().is_some());
+        assert_eq!(res.algorithm, "supervised-paper");
+        assert_eq!(res.restarts(), 0);
+        assert_eq!(res.restart_rounds(), 0);
+        assert!(!res.solver_phases.is_empty());
     }
 
     #[test]

@@ -4,8 +4,11 @@
 //! contend [--algo NAME] [--channels C] [--universe N] [--active K]
 //!         [--seed S] [--trials T] [--trace] [--complete]
 //!
-//!   --algo      paper | two-active | tournament | descent | tree-split |
-//!               willard | decay | multichannel-nocd | expected   (default: paper)
+//!   --algo      paper | supervised | two-active | tournament | descent |
+//!               tree-split | willard | decay | multichannel-nocd |
+//!               expected                         (default: paper)
+//!               (`supervised` wraps the paper stack in restart-with-backoff
+//!               recovery: 4 attempts, 250-round slices — see docs/ROBUSTNESS.md)
 //!   --channels  number of channels C            (default: 64)
 //!   --universe  universe size n                 (default: 4096)
 //!   --active    activated nodes |A|             (default: 100)
@@ -54,6 +57,10 @@ fn parse_args() -> Result<Args, String> {
             "--algo" => {
                 args.algo = match value("--algo")?.as_str() {
                     "paper" => Algorithm::Paper(Params::practical()),
+                    "supervised" => Algorithm::SupervisedPaper(
+                        Params::practical(),
+                        contention::RestartPolicy::new(250, 4),
+                    ),
                     "paper-literal" => Algorithm::Paper(Params::paper()),
                     "two-active" => Algorithm::TwoActive,
                     "tournament" => Algorithm::CdTournament,
@@ -204,6 +211,14 @@ fn main() {
                 "energy: {} transmissions, {} listens",
                 resolution.report.metrics.transmissions, resolution.report.metrics.listens
             );
+            if resolution.restarts() > 0 {
+                println!(
+                    "supervision: solver restarted {} time(s), {} rounds spent in \
+                     abandoned attempts",
+                    resolution.restarts(),
+                    resolution.restart_rounds()
+                );
+            }
             let mut phases: Vec<String> = resolution
                 .report
                 .metrics

@@ -16,8 +16,20 @@
 //!   --workers N        pin the campaign worker-pool size (default: all cores)
 //!   --deadline SECS    cooperative deadline; on expiry the sweep checkpoints and
 //!                      exits with code 3 (resume later with --resume)
+//!   --self-heal N      isolate panicking trials (N attempts each) instead of
+//!                      crashing the sweep; deterministically-failing seeds are
+//!                      quarantined into `<record-dir>/quarantine.jsonl`
+//!   --chaos-panic-seed S
+//!                      fault-inject the runner itself: the trial drawing seed S
+//!                      panics on every attempt (implies --self-heal 2); used by
+//!                      the CI chaos job to prove the sweep survives and
+//!                      quarantines exactly that seed
 //!   ids                experiment ids to run, e.g. `e1 e9 e16`; default: all
 //! ```
+//!
+//! Exit codes: 0 success, 1 record-dir open failure, 2 usage, 3 deadline
+//! expiry (checkpointed; resume later), 4 completed but degraded (checkpoint
+//! I/O failed mid-run; tables were computed but records are incomplete).
 //!
 //! All experiments run on the campaign scheduler (`mac_sim::campaign`):
 //! one worker pool spans every cell of every sweep, results stream into
@@ -39,6 +51,8 @@ fn main() {
     let mut resume = false;
     let mut workers: Option<usize> = None;
     let mut deadline: Option<f64> = None;
+    let mut self_heal: Option<u32> = None;
+    let mut chaos_panic_seed: Option<u64> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut iter = args.iter();
     let dir_arg = |iter: &mut std::slice::Iter<String>, flag: &str| -> PathBuf {
@@ -75,6 +89,20 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--self-heal" => match iter.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n > 0 => self_heal = Some(n),
+                _ => {
+                    eprintln!("--self-heal needs a positive attempt count");
+                    std::process::exit(2);
+                }
+            },
+            "--chaos-panic-seed" => match iter.next().and_then(|s| s.parse().ok()) {
+                Some(seed) => chaos_panic_seed = Some(seed),
+                None => {
+                    eprintln!("--chaos-panic-seed needs a u64 seed argument");
+                    std::process::exit(2);
+                }
+            },
             "--list" => {
                 for (id, title) in experiments::list() {
                     println!("{id:<5} {title}");
@@ -84,7 +112,8 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--quick] [--tsv] [--record-dir DIR | --resume DIR] \
-                     [--progress] [--workers N] [--deadline SECS] [--list] [e1 e2 ... e18]"
+                     [--progress] [--workers N] [--deadline SECS] [--self-heal N] \
+                     [--chaos-panic-seed S] [--list] [e1 e2 ... e19]"
                 );
                 return;
             }
@@ -104,6 +133,16 @@ fn main() {
         token.set_deadline(Duration::from_secs_f64(secs));
     }
     ctx = ctx.cancel_token(token);
+    if chaos_panic_seed.is_some() && self_heal.is_none() {
+        // Chaos injection is only useful if the runner is allowed to heal.
+        self_heal = Some(2);
+    }
+    if let Some(attempts) = self_heal {
+        ctx = ctx.self_heal(attempts);
+    }
+    if let Some(seed) = chaos_panic_seed {
+        ctx = ctx.chaos_panic_seed(seed);
+    }
     if let Some(dir) = &record_dir {
         let store = if resume {
             RecordStore::resume(dir)
@@ -147,7 +186,7 @@ fn main() {
     }
     for id in &ids {
         if experiments::by_id(id).is_none() {
-            eprintln!("unknown experiment id: {id} (valid: e1..e18)");
+            eprintln!("unknown experiment id: {id} (valid: e1..e19)");
             std::process::exit(2);
         }
     }
@@ -184,4 +223,11 @@ fn main() {
     }
     ctx.finish_progress();
     writeln!(out, "\n_Total wall time: {:.1?}_", started.elapsed()).expect("stdout");
+    if ctx.is_degraded() {
+        // Every table above was still computed and printed, but checkpoint
+        // I/O failed somewhere along the way: the record files are not a
+        // faithful transcript. Distinct from exit 3 (deadline, resumable).
+        eprintln!("warning: run completed degraded; record files are incomplete");
+        std::process::exit(4);
+    }
 }

@@ -22,7 +22,7 @@ use contention::{FullAlgorithm, Params, TwoActive};
 use contention_analysis::threshold_crossing;
 use mac_sim::campaign::{Aggregate, SeedStream};
 use mac_sim::fault::{CrashStop, JamBudget, Layered, LossyChannel, NoisyCd};
-use mac_sim::{CdMode, Engine, FeedbackModel, Protocol, SimConfig, SimError};
+use mac_sim::{guarded_verdict, CdMode, Engine, FeedbackModel, Protocol, SimConfig, TrialVerdict};
 
 use super::e09_full_vs_baselines::mean_phase_rounds;
 use super::seed_base;
@@ -88,24 +88,26 @@ impl Aggregate for FaultCells {
 /// invariants ("colliding cohorts cannot sit at the root", …); injected
 /// faults legitimately violate those, so in debug builds a tripped
 /// assertion is caught and counted as a wedged (unsolved) trial — the same
-/// verdict the round budget delivers in release builds.
+/// verdict the round budget delivers in release builds. All of that
+/// classification lives in [`mac_sim::guarded_verdict`], the one accounting
+/// path shared with the campaign layer's quarantine reports and E19.
 fn run_one<P, FM>(seed: u64, feedback: FM, nodes: Vec<P>) -> Option<u64>
 where
     P: Protocol,
     FM: FeedbackModel,
 {
     let cfg = SimConfig::new(C).seed(seed).round_budget(BUDGET);
-    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+    let verdict = guarded_verdict(|| {
         let mut engine = Engine::with_feedback(cfg, feedback);
         for node in nodes {
             engine.add_node(node);
         }
-        engine.run_summary()
-    }));
-    match outcome {
-        Ok(Ok(summary)) => summary.rounds_to_solve(),
-        Ok(Err(SimError::BudgetExhausted { .. } | SimError::Timeout { .. })) | Err(_) => None,
-        Ok(Err(e)) => panic!("unexpected simulation error: {e}"),
+        engine.run_summary().map(|s| s.rounds_to_solve())
+    });
+    match verdict {
+        TrialVerdict::Solved(rounds) => Some(rounds),
+        TrialVerdict::Wedged(_) => None,
+        TrialVerdict::Failed(e) => panic!("unexpected simulation error: {e}"),
     }
 }
 
@@ -133,7 +135,7 @@ where
 /// [`contention::phase::PhaseTelemetry`] API the sessions and E9–E11 use.
 fn pipeline_profile_one(p: f64, seed: u64) -> Option<Vec<PhaseStats>> {
     let cfg = SimConfig::new(C).seed(seed).round_budget(BUDGET);
-    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+    let verdict = guarded_verdict(|| {
         let mut engine =
             Engine::with_feedback(cfg, Layered::new(NoisyCd::symmetric(p), CdMode::Strong));
         for _ in 0..ACTIVE {
@@ -142,11 +144,11 @@ fn pipeline_profile_one(p: f64, seed: u64) -> Option<Vec<PhaseStats>> {
         engine
             .run()
             .map(|report| report.solver.map(|id| engine.node(id).phase_stats()))
-    }));
-    match outcome {
-        Ok(Ok(spine)) => spine,
-        Ok(Err(SimError::BudgetExhausted { .. } | SimError::Timeout { .. })) | Err(_) => None,
-        Ok(Err(e)) => panic!("unexpected simulation error: {e}"),
+    });
+    match verdict {
+        TrialVerdict::Solved(spine) => Some(spine),
+        TrialVerdict::Wedged(_) => None,
+        TrialVerdict::Failed(e) => panic!("unexpected simulation error: {e}"),
     }
 }
 
@@ -482,6 +484,71 @@ pub fn run(ctx: &RunCtx) -> ExperimentReport {
 mod tests {
     use super::*;
     use crate::Scale;
+    use mac_sim::SimError;
+
+    /// The ad-hoc `catch_unwind` + error match this experiment carried
+    /// before `mac_sim::guarded_verdict` existed — kept verbatim here so
+    /// the parity test below can assert the shared helper counts wedged
+    /// trials exactly the way the legacy inline accounting did.
+    fn legacy_run_one<P, FM>(seed: u64, feedback: FM, nodes: Vec<P>) -> Option<u64>
+    where
+        P: Protocol,
+        FM: FeedbackModel,
+    {
+        let cfg = SimConfig::new(C).seed(seed).round_budget(BUDGET);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut engine = Engine::with_feedback(cfg, feedback);
+            for node in nodes {
+                engine.add_node(node);
+            }
+            engine.run_summary()
+        }));
+        match outcome {
+            Ok(Ok(summary)) => summary.rounds_to_solve(),
+            Ok(Err(SimError::BudgetExhausted { .. } | SimError::Timeout { .. })) | Err(_) => None,
+            Ok(Err(e)) => panic!("unexpected simulation error: {e}"),
+        }
+    }
+
+    #[test]
+    fn verdict_helper_matches_legacy_inline_accounting() {
+        // Sweep mixed fault regimes — some solving, some wedging — and
+        // assert the unified verdict path reproduces the legacy per-seed
+        // solved/unsolved decisions exactly.
+        for (kind, p) in [(0usize, 0.0), (0, 0.4), (1, 0.6), (1, 0.95)] {
+            for t in 0..4u64 {
+                let seed = seed_base("e18parity", kind as u64, t);
+                let (new, old) = if kind == 0 {
+                    (
+                        run_one(
+                            seed,
+                            Layered::new(NoisyCd::symmetric(p), CdMode::Strong),
+                            pipeline_nodes(),
+                        ),
+                        legacy_run_one(
+                            seed,
+                            Layered::new(NoisyCd::symmetric(p), CdMode::Strong),
+                            pipeline_nodes(),
+                        ),
+                    )
+                } else {
+                    (
+                        run_one(
+                            seed,
+                            Layered::new(LossyChannel::new(p), CdMode::Strong),
+                            pipeline_nodes(),
+                        ),
+                        legacy_run_one(
+                            seed,
+                            Layered::new(LossyChannel::new(p), CdMode::Strong),
+                            pipeline_nodes(),
+                        ),
+                    )
+                };
+                assert_eq!(new, old, "kind {kind} p {p} trial {t} diverged");
+            }
+        }
+    }
 
     #[test]
     fn fault_free_column_solves() {

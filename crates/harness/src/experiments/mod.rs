@@ -19,6 +19,7 @@ pub mod e15_energy;
 pub mod e16_cd_modes;
 pub mod e17_serve_all;
 pub mod e18_fault_thresholds;
+pub mod e19_supervised_recovery;
 
 use crate::{ExperimentReport, RunCtx};
 
@@ -119,6 +120,7 @@ pub fn list() -> Vec<(&'static str, &'static str)> {
         ("e16", "Collision-detection model matrix"),
         ("e17", "Serving all contenders (conflict resolution)"),
         ("e18", "Fault-injection breakdown thresholds"),
+        ("e19", "Supervised recovery beyond the breakdown thresholds"),
     ]
 }
 
@@ -146,6 +148,7 @@ pub fn by_id(id: &str) -> Option<fn(&RunCtx) -> ExperimentReport> {
         "16" => Some(e16_cd_modes::run),
         "17" => Some(e17_serve_all::run),
         "18" => Some(e18_fault_thresholds::run),
+        "19" => Some(e19_supervised_recovery::run),
         _ => None,
     }
 }
@@ -171,7 +174,7 @@ mod tests {
     #[test]
     fn list_is_complete_and_resolvable() {
         let listed = list();
-        assert_eq!(listed.len(), 18);
+        assert_eq!(listed.len(), 19);
         for (id, title) in listed {
             assert!(by_id(id).is_some(), "{id} listed but unresolvable");
             assert!(!title.is_empty());
@@ -183,17 +186,18 @@ mod tests {
         assert_eq!(canonical_id("E07"), Some("e7"));
         assert_eq!(canonical_id("e7"), Some("e7"));
         assert_eq!(canonical_id(" e18 "), Some("e18"));
-        assert_eq!(canonical_id("e19"), None);
+        assert_eq!(canonical_id("e19"), Some("e19"));
+        assert_eq!(canonical_id("e20"), None);
         assert_eq!(canonical_id("banana"), None);
     }
 
     #[test]
-    fn by_id_resolves_all_eighteen() {
-        for i in 1..=18 {
+    fn by_id_resolves_all_nineteen() {
+        for i in 1..=19 {
             assert!(by_id(&format!("e{i}")).is_some(), "e{i} missing");
             assert!(by_id(&format!("E{i:02}")).is_some(), "E{i:02} missing");
         }
-        assert!(by_id("e19").is_none());
+        assert!(by_id("e20").is_none());
         assert!(by_id("banana").is_none());
     }
 }

@@ -148,6 +148,90 @@ pub fn row_record(
     ])
 }
 
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the checksum
+/// sealing `.part` checkpoint rows. Hand-rolled bitwise form: checkpoint
+/// rows are written once per completed table row, so throughput is
+/// irrelevant and the repo stays dependency-free.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFF_u32;
+    for &byte in bytes {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Renders `record` with a trailing `crc` field sealing it: the checksum
+/// covers the record rendered *without* the field, so a verifier strips the
+/// last field, re-renders ([`Json`] preserves key order), and compares.
+/// Non-object records render unsealed.
+#[must_use]
+pub fn seal_line(record: &Json) -> String {
+    let body = record.render();
+    match record {
+        Json::Obj(pairs) => {
+            let mut sealed = pairs.clone();
+            sealed.push(("crc".into(), Json::UInt(u64::from(crc32(body.as_bytes())))));
+            Json::Obj(sealed).render()
+        }
+        _ => body,
+    }
+}
+
+/// Parses one checkpoint line and verifies its seal, returning the record
+/// with the `crc` field stripped — i.e. exactly the [`Json`] that was
+/// sealed. Lines without a trailing `crc` field (final `.jsonl` records
+/// are deliberately unsealed, and pre-seal checkpoints lack it) pass
+/// through unverified.
+///
+/// # Errors
+///
+/// Returns a message naming the defect: unparsable JSON, a mistyped `crc`,
+/// or a checksum mismatch (bit rot / torn write).
+pub fn verify_sealed_line(line: &str) -> Result<Json, String> {
+    let value = Json::parse(line)?;
+    let Json::Obj(pairs) = &value else {
+        return Ok(value);
+    };
+    match pairs.last() {
+        Some((key, crc_field)) if key == "crc" => {
+            let stored = crc_field
+                .as_u64()
+                .and_then(|v| u32::try_from(v).ok())
+                .ok_or("mistyped 'crc' field")?;
+            let stripped = Json::Obj(pairs[..pairs.len() - 1].to_vec());
+            let computed = crc32(stripped.render().as_bytes());
+            if computed != stored {
+                return Err(format!(
+                    "crc mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                ));
+            }
+            Ok(stripped)
+        }
+        _ => Ok(value),
+    }
+}
+
+/// A `kind: "quarantine"` record line: one trial (or checkpoint row) the
+/// self-healing machinery set aside so the sweep could complete. `detail`
+/// carries kind-specific fields (seed/trial/attempts for a quarantined
+/// campaign trial, file/line for a corrupted checkpoint row).
+#[must_use]
+pub fn quarantine_record(experiment: &str, reason: &str, detail: Vec<(String, Json)>) -> Json {
+    let mut fields = vec![
+        ("schema_version".into(), SCHEMA_VERSION.into()),
+        ("kind".into(), "quarantine".into()),
+        ("experiment".into(), experiment.into()),
+        ("reason".into(), reason.into()),
+    ];
+    fields.extend(detail);
+    Json::obj(fields)
+}
+
 /// A `kind: "bench"` record line.
 #[must_use]
 pub fn bench_record(name: &str, mean_ns: f64, iters: u64) -> Json {
@@ -160,7 +244,10 @@ pub fn bench_record(name: &str, mean_ns: f64, iters: u64) -> Json {
     ])
 }
 
-/// Writes JSONL lines to `path`, creating parent directories.
+/// Writes JSONL lines to `path`, creating parent directories. The write is
+/// atomic — body goes to a `.tmp` sibling first, then renames over `path` —
+/// so a kill mid-write leaves either the old complete file or the new one,
+/// never a torn hybrid.
 ///
 /// # Errors
 ///
@@ -175,7 +262,20 @@ pub fn write_jsonl(path: &Path, lines: &[String]) -> io::Result<()> {
     for line in lines {
         let _ = writeln!(body, "{line}");
     }
-    fs::write(path, body)
+    let tmp = tmp_sibling(path);
+    fs::write(&tmp, body)?;
+    fs::rename(&tmp, path)
+}
+
+/// The `.tmp` staging sibling of `path` (same directory, so the final
+/// rename never crosses a filesystem boundary).
+fn tmp_sibling(path: &Path) -> std::path::PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
 }
 
 /// Loads a JSONL record file, parsing every non-empty line.
@@ -321,6 +421,10 @@ pub fn validate_record(value: &Json) -> Result<(), String> {
             need_num("mean_ns")?;
             need_u64("iters")?;
         }
+        "quarantine" => {
+            need_str("experiment")?;
+            need_str("reason")?;
+        }
         other => return Err(format!("unknown record kind '{other}'")),
     }
     Ok(())
@@ -351,6 +455,21 @@ pub struct RecordStore {
     dir: std::path::PathBuf,
     resume: bool,
     current: Option<OpenExperiment>,
+    quarantined: Vec<QuarantinedRow>,
+}
+
+/// One checkpoint line set aside during resume because it was damaged —
+/// unparsable JSON, a failed [`crc32`] seal, or a malformed record. The
+/// surrounding intact rows still load (and replay byte-exactly); the
+/// damaged row is simply re-run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedRow {
+    /// The checkpoint file the line came from.
+    pub file: std::path::PathBuf,
+    /// 1-indexed line number within that file.
+    pub line: usize,
+    /// What was wrong with it.
+    pub reason: String,
 }
 
 #[derive(Debug)]
@@ -376,6 +495,7 @@ impl RecordStore {
             dir,
             resume: false,
             current: None,
+            quarantined: Vec::new(),
         })
     }
 
@@ -393,6 +513,7 @@ impl RecordStore {
             dir,
             resume: true,
             current: None,
+            quarantined: Vec::new(),
         })
     }
 
@@ -400,6 +521,14 @@ impl RecordStore {
     #[must_use]
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Checkpoint lines quarantined while resuming, across every
+    /// experiment this store has begun. Empty unless a checkpoint file was
+    /// damaged (bit rot, torn write, manual edit).
+    #[must_use]
+    pub fn quarantined(&self) -> &[QuarantinedRow] {
+        &self.quarantined
     }
 
     /// Starts (or resumes) the experiment with registry id `id` (`"e9"`):
@@ -419,12 +548,18 @@ impl RecordStore {
             let final_path = self.dir.join(format!("{id}.jsonl"));
             for source in [&final_path, &part_path] {
                 if source.exists() {
-                    loaded = load_completed_rows(source, scale);
+                    let (rows, damaged) = load_completed_rows(source, scale);
+                    loaded = rows;
+                    self.quarantined.extend(damaged);
                     break;
                 }
             }
         }
-        let mut part = fs::File::create(&part_path)?;
+        // Stage the fresh checkpoint in a `.tmp` sibling and rename it into
+        // place: a kill mid-replay must not have half-truncated the very
+        // checkpoint being resumed from.
+        let tmp_path = tmp_sibling(&part_path);
+        let mut staged = fs::File::create(&tmp_path)?;
         let manifest = Json::obj(vec![
             ("schema_version".into(), SCHEMA_VERSION.into()),
             ("kind".into(), "manifest".into()),
@@ -432,14 +567,17 @@ impl RecordStore {
             ("scale".into(), format!("{scale:?}").into()),
             ("partial".into(), Json::Bool(true)),
         ]);
-        writeln!(part, "{}", manifest.render())?;
+        writeln!(staged, "{}", seal_line(&manifest))?;
         let mut replay: Vec<(&(String, usize), &Vec<String>)> = loaded.iter().collect();
         replay.sort();
         for ((section, row), cells) in replay {
             let record = row_record(&id.to_uppercase(), section, &[], *row, cells);
-            writeln!(part, "{}", record.render())?;
+            writeln!(staged, "{}", seal_line(&record))?;
         }
-        part.flush()?;
+        staged.flush()?;
+        drop(staged);
+        fs::rename(&tmp_path, &part_path)?;
+        let part = fs::OpenOptions::new().append(true).open(&part_path)?;
         self.current = Some(OpenExperiment {
             id,
             part_path,
@@ -461,7 +599,9 @@ impl RecordStore {
     }
 
     /// Appends one completed row to the open experiment's `.part` file
-    /// and flushes, so the checkpoint survives a kill at any moment.
+    /// and flushes, so the checkpoint survives a kill at any moment. The
+    /// line is sealed with a [`crc32`] checksum ([`seal_line`]) so a resume
+    /// can tell bit rot from a benign mid-line truncation.
     ///
     /// # Errors
     ///
@@ -479,7 +619,7 @@ impl RecordStore {
             .as_mut()
             .ok_or_else(|| io::Error::other("record_row outside begin/finish_experiment"))?;
         let record = row_record(&open.id.to_uppercase(), section, headers, row, cells);
-        writeln!(open.part, "{}", record.render())?;
+        writeln!(open.part, "{}", seal_line(&record))?;
         open.part.flush()
     }
 
@@ -508,38 +648,69 @@ impl RecordStore {
     }
 }
 
-/// Loads the completed rows of one record file, keyed by `(section, row)`.
+/// Loads the completed rows of one record file, keyed by `(section, row)`,
+/// plus a quarantine report of the damaged lines.
 ///
-/// Tolerant by design — a file truncated mid-line by a kill must still
-/// yield every complete row: unparsable lines are skipped, and only `cell`
-/// records carrying a `cells` string array count. If the file's manifest
-/// declares a different scale, the whole file is ignored.
+/// Tolerant by design — a file truncated mid-line by a kill, or with a row
+/// corrupted by bit rot, must still yield every *intact* row: each damaged
+/// line (unparsable, failed [`crc32`] seal, or malformed record) is
+/// quarantined and reported while its neighbours load normally. Only
+/// `cell` records carrying a `cells` string array count as rows. If the
+/// file's manifest declares a different scale, the whole file is ignored
+/// (deliberate, not damage — no quarantine).
+#[allow(clippy::type_complexity)]
 fn load_completed_rows(
     path: &Path,
     scale: Scale,
-) -> std::collections::HashMap<(String, usize), Vec<String>> {
+) -> (
+    std::collections::HashMap<(String, usize), Vec<String>>,
+    Vec<QuarantinedRow>,
+) {
     let mut rows = std::collections::HashMap::new();
-    let Ok(body) = fs::read_to_string(path) else {
-        return rows;
+    let mut damaged = Vec::new();
+    let Ok(raw) = fs::read(path) else {
+        return (rows, damaged);
     };
+    // Lossy decoding keeps a single flipped byte from discarding the whole
+    // checkpoint: the mangled line fails its seal and is quarantined alone,
+    // while every byte-intact neighbour still loads.
+    let body = String::from_utf8_lossy(&raw);
     let want_scale = format!("{scale:?}");
-    for line in body.lines() {
-        let Ok(value) = Json::parse(line) else {
+    let mut quarantine = |line_no: usize, reason: String| {
+        damaged.push(QuarantinedRow {
+            file: path.to_path_buf(),
+            line: line_no,
+            reason,
+        });
+    };
+    for (idx, line) in body.lines().enumerate() {
+        if line.trim().is_empty() {
             continue;
+        }
+        let value = match verify_sealed_line(line) {
+            Ok(value) => value,
+            Err(reason) => {
+                quarantine(idx + 1, reason);
+                continue;
+            }
         };
         match value.get("kind").and_then(Json::as_str) {
             Some("manifest") if value.get("scale").and_then(Json::as_str) != Some(&want_scale) => {
                 rows.clear();
-                return rows;
+                damaged.clear();
+                return (rows, damaged);
             }
             Some("cell") => {
                 let Some(section) = value.get("section").and_then(Json::as_str) else {
+                    quarantine(idx + 1, "cell record: missing 'section'".into());
                     continue;
                 };
                 let Some(row) = value.get("row").and_then(Json::as_u64) else {
+                    quarantine(idx + 1, "cell record: missing 'row'".into());
                     continue;
                 };
                 let Some(cells) = value.get("cells").and_then(Json::as_arr) else {
+                    quarantine(idx + 1, "cell record: missing 'cells'".into());
                     continue;
                 };
                 let Some(strings) = cells
@@ -547,15 +718,17 @@ fn load_completed_rows(
                     .map(|c| c.as_str().map(String::from))
                     .collect::<Option<Vec<String>>>()
                 else {
+                    quarantine(idx + 1, "cell record: non-string entry in 'cells'".into());
                     continue;
                 };
                 #[allow(clippy::cast_possible_truncation)]
                 rows.insert((section.to_string(), row as usize), strings);
             }
-            _ => {}
+            Some(_) => {}
+            None => quarantine(idx + 1, "record without a 'kind'".into()),
         }
     }
-    rows
+    (rows, damaged)
 }
 
 #[cfg(test)]
@@ -750,6 +923,73 @@ mod tests {
             "truncated row must not load"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        // The canonical CRC-32 check: crc32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn sealed_lines_roundtrip_and_detect_corruption() {
+        let record = row_record("E0", "s", &["n".into()], 3, &["2^10".into()]);
+        let sealed = seal_line(&record);
+        // The seal verifies and strips back to the original record.
+        let back = verify_sealed_line(&sealed).unwrap();
+        assert_eq!(back.render(), record.render());
+        // Unsealed lines (final .jsonl records) pass through untouched.
+        let plain = record.render();
+        assert_eq!(verify_sealed_line(&plain).unwrap().render(), plain);
+        // Any single-character corruption of the sealed payload is caught.
+        let corrupted = sealed.replace("2^10", "2^11");
+        let err = verify_sealed_line(&corrupted).unwrap_err();
+        assert!(err.contains("crc mismatch"), "{err}");
+    }
+
+    #[test]
+    fn resume_quarantines_a_corrupted_row_and_keeps_the_rest() {
+        let dir = std::env::temp_dir().join("contention-store-test-corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let headers: Vec<String> = vec!["x".into()];
+        let mut store = RecordStore::create(&dir).unwrap();
+        store.begin_experiment("e96", Scale::Quick).unwrap();
+        store.record_row("s", &headers, 0, &["10".into()]).unwrap();
+        store.record_row("s", &headers, 1, &["20".into()]).unwrap();
+        store.record_row("s", &headers, 2, &["30".into()]).unwrap();
+        drop(store);
+
+        // Flip one digit inside row 1's sealed payload: still valid JSON,
+        // but the seal no longer matches.
+        let part = dir.join("e96.jsonl.part");
+        let body = std::fs::read_to_string(&part).unwrap();
+        let tampered = body.replace("\"20\"", "\"21\"");
+        assert_ne!(body, tampered, "tamper target not found");
+        std::fs::write(&part, tampered).unwrap();
+
+        let mut store = RecordStore::resume(&dir).unwrap();
+        store.begin_experiment("e96", Scale::Quick).unwrap();
+        assert_eq!(store.stored_row("s", 0), Some(vec!["10".into()]));
+        assert_eq!(store.stored_row("s", 1), None, "tampered row must not load");
+        assert_eq!(store.stored_row("s", 2), Some(vec!["30".into()]));
+        assert_eq!(store.quarantined().len(), 1);
+        let q = &store.quarantined()[0];
+        assert_eq!(q.file, part);
+        assert_eq!(q.line, 3, "manifest is line 1, row 1 is line 3");
+        assert!(q.reason.contains("crc mismatch"), "{}", q.reason);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantine_records_validate() {
+        let record = quarantine_record(
+            "E7",
+            "panicked after 2 attempts",
+            vec![("seed".into(), Json::UInt(1005))],
+        );
+        validate_record(&record).unwrap();
+        assert!(validate_line(r#"{"schema_version":1,"kind":"quarantine"}"#).is_err());
     }
 
     #[test]

@@ -22,6 +22,22 @@
 //! got. Progress streams through a [`ProgressSink`], giving one ETA for the
 //! whole sweep instead of a garbled line per cell.
 //!
+//! ## Self-healing
+//!
+//! By default a panicking trial propagates and kills the sweep (a failed
+//! trial is an experiment bug, not a data point). Long campaigns can opt
+//! into *self-healing* with [`Campaign::self_heal`]: each trial then runs
+//! under `catch_unwind` into a fresh aggregate that is merged in only on
+//! success, panicking trials are retried up to a bounded attempt count,
+//! and trials that fail every attempt are **quarantined** — the sweep
+//! completes without them and reports each [`Quarantined`] trial in the
+//! [`CampaignOutcome`]. A [`Campaign::stuck_after`] watchdog additionally
+//! arms a per-shard deadline on the cancellation machinery: a shard that
+//! exceeds it is recorded in [`CampaignOutcome::stuck_shards`] and the
+//! campaign winds down cooperatively (an in-flight trial that never
+//! returns still blocks exit — kill the process; the harness
+//! checkpoint/resume layer recovers the sweep).
+//!
 //! ```
 //! use mac_sim::campaign::{Campaign, Cell, Collect, SeedStream};
 //!
@@ -41,11 +57,27 @@
 //! ```
 
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::rng::derive_stream_seed;
+
+/// Extracts a human-readable message from a panic payload (the `Box<dyn
+/// Any>` that [`std::panic::catch_unwind`] returns). The shared helper
+/// behind campaign quarantine reports and the harness's wedged-trial
+/// accounting, so every layer renders panics the same way.
+#[must_use]
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// A streaming accumulator for trial results.
 ///
@@ -254,6 +286,22 @@ pub trait ProgressSink: Send + Sync {
     }
 }
 
+/// One trial that failed every self-healing attempt and was excluded from
+/// its cell's aggregate (see [`Campaign::self_heal`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quarantined {
+    /// Index of the cell the trial belonged to.
+    pub cell: usize,
+    /// Trial index within the cell.
+    pub trial: u64,
+    /// The engine seed the trial ran at.
+    pub seed: u64,
+    /// Attempts made before giving up.
+    pub attempts: u32,
+    /// The last attempt's panic message.
+    pub error: String,
+}
+
 /// What a finished (or cancelled) campaign reports.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CampaignOutcome {
@@ -262,10 +310,26 @@ pub struct CampaignOutcome {
     /// Cells delivered to the callback — always the in-order prefix
     /// `0..cells_delivered`.
     pub cells_delivered: usize,
-    /// Trials that ran to completion.
+    /// Trials that ran to completion and contributed to an aggregate
+    /// (quarantined trials are not counted).
     pub trials_run: u64,
     /// Whether the campaign stopped on a [`CancelToken`].
     pub cancelled: bool,
+    /// Trials excluded by self-healing, sorted by `(cell, trial)`. Always
+    /// empty unless [`Campaign::self_heal`] was enabled.
+    pub quarantined: Vec<Quarantined>,
+    /// Shard indices the [`Campaign::stuck_after`] watchdog flagged,
+    /// sorted ascending. Always empty without a watchdog.
+    pub stuck_shards: Vec<usize>,
+}
+
+impl CampaignOutcome {
+    /// Whether the campaign finished without cancellation, quarantined
+    /// trials, or stuck shards.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        !self.cancelled && self.quarantined.is_empty() && self.stuck_shards.is_empty()
+    }
 }
 
 /// A sweep scheduled as one unit: cells × trials, one worker pool.
@@ -275,6 +339,8 @@ pub struct Campaign<'a, A> {
     workers: Option<usize>,
     cancel: Option<CancelToken>,
     progress: Option<Arc<dyn ProgressSink>>,
+    heal_attempts: Option<u32>,
+    stuck_after: Option<Duration>,
 }
 
 /// Default trials per shard: small enough to load-balance sweeps whose
@@ -298,6 +364,8 @@ impl<'a, A: Aggregate> Campaign<'a, A> {
             workers: None,
             cancel: None,
             progress: None,
+            heal_attempts: None,
+            stuck_after: None,
         }
     }
 
@@ -341,6 +409,39 @@ impl<'a, A: Aggregate> Campaign<'a, A> {
         self
     }
 
+    /// Enables self-healing: every trial runs under `catch_unwind` into a
+    /// fresh aggregate merged in only on success; a panicking trial is
+    /// retried up to `attempts` times in total, then *quarantined* —
+    /// excluded from its cell's aggregate and reported in
+    /// [`CampaignOutcome::quarantined`] — instead of killing the sweep.
+    ///
+    /// The fresh-aggregate-then-merge fold is exactly equivalent to the
+    /// direct fold for associative aggregates (all the integer-moment,
+    /// counter, and collect aggregates the harness uses), so enabling
+    /// self-healing does not change panic-free results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attempts` is zero.
+    #[must_use]
+    pub fn self_heal(mut self, attempts: u32) -> Self {
+        assert!(attempts >= 1, "self-healing needs at least one attempt");
+        self.heal_attempts = Some(attempts);
+        self
+    }
+
+    /// Arms a stuck-shard watchdog: a shard still in flight after `limit`
+    /// is recorded in [`CampaignOutcome::stuck_shards`] and the campaign
+    /// is cancelled (through the attached [`CancelToken`], or an internal
+    /// one if none was attached) so healthy workers stop claiming work.
+    /// Cooperative only: a trial that never returns still blocks campaign
+    /// exit — kill the process and resume from checkpoints.
+    #[must_use]
+    pub fn stuck_after(mut self, limit: Duration) -> Self {
+        self.stuck_after = Some(limit);
+        self
+    }
+
     /// Appends a cell; returns its index (= delivery order).
     pub fn push(&mut self, cell: Cell<'a, A>) -> usize {
         self.cells.push(cell);
@@ -372,7 +473,8 @@ impl<'a, A: Aggregate> Campaign<'a, A> {
     /// # Panics
     ///
     /// Propagates panics from cell closures (a failed trial is an
-    /// experiment bug, not a data point).
+    /// experiment bug, not a data point) — unless [`Campaign::self_heal`]
+    /// is enabled, in which case failing trials are quarantined instead.
     pub fn run<F>(self, on_cell: F) -> CampaignOutcome
     where
         F: FnMut(usize, A) + Send,
@@ -383,7 +485,16 @@ impl<'a, A: Aggregate> Campaign<'a, A> {
             workers,
             cancel,
             progress,
+            heal_attempts,
+            stuck_after,
         } = self;
+
+        // The watchdog needs a token to fire; make an internal one if the
+        // caller did not attach their own.
+        let cancel = match (cancel, stuck_after) {
+            (None, Some(_)) => Some(CancelToken::new()),
+            (cancel, _) => cancel,
+        };
 
         // The fixed shard decomposition: every cell's trial range cut into
         // `shard_size` chunks, queued cell-major.
@@ -445,6 +556,8 @@ impl<'a, A: Aggregate> Campaign<'a, A> {
         let next_shard = AtomicUsize::new(0);
         let trials_done = AtomicU64::new(0);
         let cells_total = cells.len();
+        let quarantined: Mutex<Vec<Quarantined>> = Mutex::new(Vec::new());
+        let stuck_shards: Mutex<Vec<usize>> = Mutex::new(Vec::new());
 
         let deliver = |cell_idx: usize, acc: A| {
             let mut delivery = delivery.lock().expect("delivery lock");
@@ -499,44 +612,135 @@ impl<'a, A: Aggregate> Campaign<'a, A> {
 
         let cancelled = || cancel.as_ref().is_some_and(CancelToken::is_cancelled);
 
+        // Stuck-shard watchdog state: one claim slot per worker, plus a
+        // live-worker count the watchdog thread uses to know when to exit
+        // (it must not outlive the workers, or the scope join would hang).
+        let claim_slots: Vec<Mutex<Option<(usize, Instant)>>> =
+            (0..worker_count).map(|_| Mutex::new(None)).collect();
+        let workers_alive = AtomicUsize::new(worker_count);
+
         std::thread::scope(|scope| {
-            for _ in 0..worker_count {
-                scope.spawn(|| loop {
-                    if cancelled() {
-                        break;
-                    }
-                    let claim = next_shard.fetch_add(1, Ordering::Relaxed);
-                    let Some(shard) = shards.get(claim) else {
-                        break;
-                    };
-                    let cell = &cells[shard.cell];
-                    let mut agg = (cell.make)();
-                    let mut abandoned = false;
-                    for trial in shard.start..shard.start + shard.len {
-                        if trial != shard.start && cancelled() {
-                            abandoned = true;
+            for claim_slot in &claim_slots {
+                let quarantined = &quarantined;
+                let workers_alive = &workers_alive;
+                let cells = &cells;
+                let shards = &shards;
+                let next_shard = &next_shard;
+                let trials_done = &trials_done;
+                let progress = &progress;
+                let submit = &submit;
+                let cancelled = &cancelled;
+                scope.spawn(move || {
+                    loop {
+                        if cancelled() {
                             break;
                         }
-                        (cell.run)(cell.seeds.seed(trial), &mut agg);
-                        let done = trials_done.fetch_add(1, Ordering::Relaxed) + 1;
-                        if let Some(sink) = &progress {
-                            sink.on_trial(done, total_trials);
+                        let claim = next_shard.fetch_add(1, Ordering::Relaxed);
+                        let Some(shard) = shards.get(claim) else {
+                            break;
+                        };
+                        *claim_slot.lock().expect("claim slot") = Some((claim, Instant::now()));
+                        let cell = &cells[shard.cell];
+                        let mut agg = (cell.make)();
+                        let mut abandoned = false;
+                        for trial in shard.start..shard.start + shard.len {
+                            if trial != shard.start && cancelled() {
+                                abandoned = true;
+                                break;
+                            }
+                            let seed = cell.seeds.seed(trial);
+                            match heal_attempts {
+                                None => (cell.run)(seed, &mut agg),
+                                Some(max_attempts) => {
+                                    // Healed trials fold into a fresh
+                                    // aggregate merged in on success, so a
+                                    // mid-mutation panic cannot tear the
+                                    // shard aggregate.
+                                    let mut attempt = 0;
+                                    loop {
+                                        attempt += 1;
+                                        let one = catch_unwind(AssertUnwindSafe(|| {
+                                            let mut one = (cell.make)();
+                                            (cell.run)(seed, &mut one);
+                                            one
+                                        }));
+                                        match one {
+                                            Ok(one) => {
+                                                agg.merge(one);
+                                                break;
+                                            }
+                                            Err(payload) if attempt >= max_attempts => {
+                                                quarantined.lock().expect("quarantine lock").push(
+                                                    Quarantined {
+                                                        cell: shard.cell,
+                                                        trial,
+                                                        seed,
+                                                        attempts: attempt,
+                                                        error: panic_message(payload.as_ref()),
+                                                    },
+                                                );
+                                                break;
+                                            }
+                                            Err(_) => {}
+                                        }
+                                    }
+                                }
+                            }
+                            let done = trials_done.fetch_add(1, Ordering::Relaxed) + 1;
+                            if let Some(sink) = progress {
+                                sink.on_trial(done, total_trials);
+                            }
                         }
+                        *claim_slot.lock().expect("claim slot") = None;
+                        if abandoned {
+                            break;
+                        }
+                        submit(shard.cell, shard.index, agg);
                     }
-                    if abandoned {
-                        break;
+                    *claim_slot.lock().expect("claim slot") = None;
+                    workers_alive.fetch_sub(1, Ordering::Release);
+                });
+            }
+
+            if let Some(limit) = stuck_after {
+                let token = cancel.as_ref().expect("watchdog token").clone();
+                let claim_slots = &claim_slots;
+                let workers_alive = &workers_alive;
+                let stuck_shards = &stuck_shards;
+                scope.spawn(move || {
+                    while workers_alive.load(Ordering::Acquire) > 0 {
+                        let now = Instant::now();
+                        for slot in claim_slots {
+                            let slot = slot.lock().expect("claim slot");
+                            if let Some((shard_idx, since)) = *slot {
+                                if now.duration_since(since) >= limit {
+                                    let mut stuck = stuck_shards.lock().expect("stuck-shard lock");
+                                    if !stuck.contains(&shard_idx) {
+                                        stuck.push(shard_idx);
+                                    }
+                                    token.cancel();
+                                }
+                            }
+                        }
+                        std::thread::sleep(limit.min(Duration::from_millis(20)));
                     }
-                    submit(shard.cell, shard.index, agg);
                 });
             }
         });
 
         let delivery = delivery.into_inner().expect("delivery lock");
+        let mut quarantined = quarantined.into_inner().expect("quarantine lock");
+        quarantined.sort_by_key(|q| (q.cell, q.trial));
+        let mut stuck_shards = stuck_shards.into_inner().expect("stuck-shard lock");
+        stuck_shards.sort_unstable();
+        let trials_attempted = trials_done.into_inner();
         CampaignOutcome {
             cells_total,
             cells_delivered: delivery.delivered,
-            trials_run: trials_done.into_inner(),
+            trials_run: trials_attempted - quarantined.len() as u64,
             cancelled: cancelled(),
+            quarantined,
+            stuck_shards,
         }
     }
 
@@ -674,6 +878,139 @@ mod tests {
         let cells = campaign.run_collect();
         assert_eq!(cells.len(), 1);
         assert!(cells[0].0.is_empty());
+    }
+
+    #[test]
+    fn empty_campaign_returns_clean_outcome() {
+        // A campaign with no cells at all must complete cleanly, not
+        // panic: zero cells, zero trials, nothing delivered, not
+        // cancelled.
+        let campaign: Campaign<Collect<u64>> = Campaign::new();
+        assert!(campaign.is_empty());
+        let mut delivered = 0usize;
+        let outcome = campaign.run(|_, _| delivered += 1);
+        assert_eq!(delivered, 0);
+        assert_eq!(
+            outcome,
+            CampaignOutcome {
+                cells_total: 0,
+                cells_delivered: 0,
+                trials_run: 0,
+                cancelled: false,
+                quarantined: Vec::new(),
+                stuck_shards: Vec::new(),
+            }
+        );
+        assert!(outcome.is_clean());
+        // run_collect on an empty campaign is an empty vector.
+        let campaign: Campaign<Collect<u64>> = Campaign::new();
+        assert!(campaign.run_collect().is_empty());
+    }
+
+    #[test]
+    fn self_heal_quarantines_deterministic_panics() {
+        let poison = 1005u64;
+        let mut campaign: Campaign<Collect<u64>> = Campaign::new().self_heal(2).shard_size(3);
+        for c in 0..2u64 {
+            campaign.push(Cell::new(
+                10,
+                SeedStream::Offset(1000 * (c + 1)),
+                Collect::default,
+                move |seed, acc: &mut Collect<u64>| {
+                    assert!(seed != poison, "poisoned seed {seed}");
+                    acc.0.push(work(seed));
+                },
+            ));
+        }
+        let mut rows = Vec::new();
+        let outcome = campaign.run(|cell, acc| rows.push((cell, acc.0)));
+        assert_eq!(outcome.cells_delivered, 2, "sweep completes");
+        assert!(!outcome.cancelled);
+        assert_eq!(outcome.trials_run, 19, "one trial quarantined");
+        assert_eq!(outcome.quarantined.len(), 1);
+        let q = &outcome.quarantined[0];
+        assert_eq!((q.cell, q.trial, q.seed, q.attempts), (0, 5, poison, 2));
+        assert!(q.error.contains("poisoned seed 1005"), "{}", q.error);
+        // The poisoned cell's aggregate holds the other nine trials, in
+        // seed order; the healthy cell is untouched.
+        let expect0: Vec<u64> = (1000..1010).filter(|&s| s != poison).map(work).collect();
+        let expect1: Vec<u64> = (2000..2010).map(work).collect();
+        assert_eq!(rows, vec![(0, expect0), (1, expect1)]);
+    }
+
+    #[test]
+    fn self_heal_retries_transient_panics() {
+        let failures = AtomicU64::new(2);
+        let mut campaign: Campaign<Collect<u64>> = Campaign::new().self_heal(3);
+        campaign.push(Cell::new(
+            4,
+            SeedStream::Offset(0),
+            Collect::default,
+            |seed, acc: &mut Collect<u64>| {
+                if seed == 2 && failures.load(Ordering::Relaxed) > 0 {
+                    failures.fetch_sub(1, Ordering::Relaxed);
+                    panic!("transient");
+                }
+                acc.0.push(seed);
+            },
+        ));
+        let mut rows = Vec::new();
+        let outcome = campaign.run(|_, acc| rows.push(acc.0));
+        assert!(outcome.quarantined.is_empty(), "retry healed the trial");
+        assert_eq!(outcome.trials_run, 4);
+        assert_eq!(rows, vec![vec![0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn self_heal_is_bit_identical_on_panic_free_sweeps() {
+        let plain: Vec<Vec<u64>> = sum_campaign(3, 17)
+            .shard_size(4)
+            .run_collect()
+            .into_iter()
+            .map(|c| c.0)
+            .collect();
+        let healed: Vec<Vec<u64>> = sum_campaign(3, 17)
+            .shard_size(4)
+            .self_heal(2)
+            .run_collect()
+            .into_iter()
+            .map(|c| c.0)
+            .collect();
+        assert_eq!(plain, healed);
+    }
+
+    #[test]
+    fn watchdog_flags_a_stuck_shard_and_cancels() {
+        let mut campaign: Campaign<Collect<u64>> = Campaign::new()
+            .shard_size(1)
+            .workers(2)
+            .stuck_after(Duration::from_millis(40));
+        campaign.push(Cell::new(
+            6,
+            SeedStream::Offset(0),
+            Collect::default,
+            |seed, acc: &mut Collect<u64>| {
+                if seed == 0 {
+                    // Slow (but finite) trial: the watchdog fires while it
+                    // runs, the campaign winds down cooperatively.
+                    std::thread::sleep(Duration::from_millis(200));
+                }
+                acc.0.push(seed);
+            },
+        ));
+        let outcome = campaign.run(|_, _| {});
+        assert!(outcome.cancelled, "watchdog cancelled the campaign");
+        assert_eq!(outcome.stuck_shards, vec![0], "shard 0 was flagged");
+    }
+
+    #[test]
+    fn panic_message_extracts_common_payloads() {
+        let caught = catch_unwind(|| panic!("plain literal")).expect_err("panics");
+        assert_eq!(panic_message(caught.as_ref()), "plain literal");
+        let caught = catch_unwind(|| panic!("formatted {}", 7)).expect_err("panics");
+        assert_eq!(panic_message(caught.as_ref()), "formatted 7");
+        let caught = catch_unwind(|| std::panic::panic_any(42i32)).expect_err("panics");
+        assert_eq!(panic_message(caught.as_ref()), "non-string panic payload");
     }
 
     #[test]

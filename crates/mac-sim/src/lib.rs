@@ -136,6 +136,7 @@ mod trace;
 pub mod trials;
 
 pub use action::{Action, Feedback};
+pub use campaign::{panic_message, CampaignOutcome, Quarantined};
 pub use channel::{ChannelId, ChannelOutcome, OutcomeKind};
 pub use config::{CdMode, SimConfig, StopWhen};
 pub use engine::{Engine, NodeId, RunReport, RunSummary, StepStatus};
@@ -146,3 +147,4 @@ pub use protocol::{Protocol, RoundContext, Status};
 pub use rng::{derive_fault_seed, derive_node_seed, derive_stream_seed};
 pub use sink::EventSink;
 pub use trace::{RoundTrace, Trace, TraceLevel};
+pub use trials::{guarded_verdict, TrialVerdict, WedgeCause};
