@@ -13,6 +13,21 @@
 //!   clean channel, pricing the wrapper on the fault-free path (where it
 //!   never fires — see docs/ROBUSTNESS.md).
 //!
+//! A second group prices the sparse regime the active-set scheduler
+//! exists for (same workload, namespace n = 2²⁰, |A| = 500):
+//!
+//! * `run/sparse_population` — the intended path: a
+//!   [`mac_sim::SparsePopulation`] materializes only the 500 active
+//!   slots;
+//! * `ab/active_set` — the same ensemble with all 2²⁰ slots materialized
+//!   (499 500 never-waking fillers), isolating what the agenda-driven
+//!   scheduler saves once slots exist;
+//! * `ab/dense_reference` — the identical materialized population on
+//!   [`mac_sim::dense::DenseEngine`], the all-slots-scanned reference
+//!   scheduler. `ab/active_set ÷ ab/dense_reference` is the scheduler
+//!   A/B at equal memory; `run/sparse_population ÷ ab/dense_reference`
+//!   is the end-to-end win of the sparse path.
+//!
 //! Unlike the other benches this one has a custom `main`: after the runs
 //! it exports the measurements as schema-versioned JSONL
 //! (`BENCH_round_engine.json` at the workspace root — `kind: "bench"`
@@ -23,13 +38,21 @@ use contention::{
     SupervisedPaperStack,
 };
 use criterion::{criterion_group, take_results, Criterion};
+use mac_sim::dense::DenseEngine;
 use mac_sim::obs::{Json, RunRecorder, SCHEMA_VERSION};
-use mac_sim::{Engine, SimConfig, TraceLevel};
+use mac_sim::{
+    Action, ChannelId, Engine, Feedback, Protocol, RoundContext, SimConfig, SparsePopulation,
+    Status, TraceLevel,
+};
+use rand::rngs::SmallRng;
 use std::hint::black_box;
 
 const C: u32 = 64;
 const N: u64 = 1 << 12;
 const ACTIVE: usize = 500;
+
+/// The sparse-regime namespace: 2²⁰ identities, |A| = 500 of them awake.
+const N_SPARSE: u64 = 1 << 20;
 
 fn engine(config: SimConfig) -> Engine<FullAlgorithm> {
     let mut engine = Engine::new(config);
@@ -124,7 +147,126 @@ fn bench_round_engine(criterion: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_round_engine);
+/// One slot of the fully materialized sparse-regime population: boxed so
+/// the 2²⁰ − |A| fillers cost a tag word each, not a full algorithm.
+enum WideSlot {
+    /// A real contender (slots `0..ACTIVE`, so its per-node RNG stream —
+    /// derived from the slot index — matches the sparse run's exactly and
+    /// all three benches execute the same ensemble of rounds).
+    Active(Box<FullAlgorithm>),
+    /// A materialized identity that never wakes (`start_round = u64::MAX`).
+    Filler,
+}
+
+impl Protocol for WideSlot {
+    type Msg = u32;
+
+    fn on_wake(&mut self, ctx: &RoundContext, rng: &mut SmallRng) {
+        if let WideSlot::Active(node) = self {
+            node.on_wake(ctx, rng);
+        }
+    }
+
+    fn act(&mut self, ctx: &RoundContext, rng: &mut SmallRng) -> Action<u32> {
+        match self {
+            WideSlot::Active(node) => node.act(ctx, rng),
+            // Never reached: fillers never wake, so they are never live.
+            WideSlot::Filler => Action::listen(ChannelId::PRIMARY),
+        }
+    }
+
+    fn observe(&mut self, ctx: &RoundContext, feedback: Feedback<u32>, rng: &mut SmallRng) {
+        if let WideSlot::Active(node) = self {
+            node.observe(ctx, feedback, rng);
+        }
+    }
+
+    fn status(&self) -> Status {
+        match self {
+            WideSlot::Active(node) => node.status(),
+            WideSlot::Filler => Status::Active,
+        }
+    }
+
+    fn phase(&self) -> &'static str {
+        match self {
+            WideSlot::Active(node) => node.phase(),
+            WideSlot::Filler => "asleep",
+        }
+    }
+}
+
+fn sparse_config(seed: u64) -> SimConfig {
+    SimConfig::new(C)
+        .seed(seed)
+        .max_rounds(10_000_000)
+        .record_metrics(false)
+}
+
+/// Materializes the full namespace: `ACTIVE` real contenders first, then
+/// never-waking fillers for every other identity.
+fn add_wide_slots(mut add: impl FnMut(WideSlot, u64)) {
+    for _ in 0..ACTIVE {
+        add(
+            WideSlot::Active(Box::new(FullAlgorithm::new(
+                Params::practical(),
+                C,
+                N_SPARSE,
+            ))),
+            0,
+        );
+    }
+    for _ in ACTIVE as u64..N_SPARSE {
+        add(WideSlot::Filler, u64::MAX);
+    }
+}
+
+fn bench_sparse_regime(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("round_engine(C=64,n=2^20,|A|=500)");
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    group.bench_function("run/sparse_population", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            // Cycle a fixed seed set so every execution path measures the
+            // exact same ensemble of runs.
+            seed = (seed % 16) + 1;
+            let pop = SparsePopulation::uniform(N_SPARSE, ACTIVE, 1, seed);
+            let mut eng = pop.engine(sparse_config(seed), |_| {
+                FullAlgorithm::new(Params::practical(), C, N_SPARSE)
+            });
+            black_box(eng.run_summary().expect("solves").solved_round)
+        });
+    });
+
+    group.bench_function("ab/active_set", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed = (seed % 16) + 1;
+            let mut eng = Engine::new(sparse_config(seed));
+            add_wide_slots(|slot, wake| {
+                let _ = eng.add_node_at(slot, wake);
+            });
+            black_box(eng.run_summary().expect("solves").solved_round)
+        });
+    });
+
+    group.bench_function("ab/dense_reference", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed = (seed % 16) + 1;
+            let mut eng = DenseEngine::new(sparse_config(seed));
+            add_wide_slots(|slot, wake| {
+                let _ = eng.add_node_at(slot, wake);
+            });
+            black_box(eng.run_summary().expect("solves").solved_round)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_round_engine, bench_sparse_regime);
 
 fn main() {
     benches();

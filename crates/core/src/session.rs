@@ -8,7 +8,9 @@
 //! under [`CdMode::None`]) and optional staggered wake-ups via the §3
 //! transform.
 
-use mac_sim::{CdMode, Engine, RunReport, SimConfig, SimError, StopWhen, TraceLevel};
+use mac_sim::{
+    CdMode, Engine, RunReport, SimConfig, SimError, SparsePopulation, StopWhen, TraceLevel,
+};
 use std::error::Error;
 use std::fmt;
 
@@ -272,6 +274,16 @@ impl Session {
     /// algorithms go through [`PhaseProtocol`] so their round/transmission
     /// meters tick; `FullAlgorithm` already runs on its own phase stack.
     fn make_node(&self, idx: usize, active: usize) -> Box<dyn PhaseTelemetry> {
+        // Spread ids evenly across the universe, deterministically — the
+        // implicit-population path has no real identities to hand out.
+        let id = (idx as u64) * (self.n / active as u64).max(1);
+        self.make_node_for_id(id)
+    }
+
+    /// Like [`Session::make_node`], but for a node with an explicit
+    /// namespace identity (the [`SparsePopulation`] path, where activated
+    /// members carry real ids). Only the id-keyed algorithms read it.
+    fn make_node_for_id(&self, id: u64) -> Box<dyn PhaseTelemetry> {
         match self.algorithm {
             Algorithm::Paper(params) => Box::new(FullAlgorithm::new(params, self.channels, self.n)),
             Algorithm::SupervisedPaper(params, policy) => {
@@ -281,21 +293,14 @@ impl Session {
                 Box::new(PhaseProtocol::new(TwoActive::new(self.channels, self.n)))
             }
             Algorithm::CdTournament => Box::new(PhaseProtocol::new(CdTournament::new())),
-            Algorithm::BinaryDescent => {
-                // Spread ids evenly across the universe, deterministically.
-                let id = (idx as u64) * (self.n / active as u64).max(1);
-                Box::new(PhaseProtocol::new(BinaryDescent::new(
-                    id.min(self.n - 1),
-                    self.n,
-                )))
-            }
-            Algorithm::TreeSplit => {
-                let id = (idx as u64) * (self.n / active as u64).max(1);
-                Box::new(PhaseProtocol::new(TreeSplit::new(
-                    id.min(self.n - 1),
-                    self.n,
-                )))
-            }
+            Algorithm::BinaryDescent => Box::new(PhaseProtocol::new(BinaryDescent::new(
+                id.min(self.n - 1),
+                self.n,
+            ))),
+            Algorithm::TreeSplit => Box::new(PhaseProtocol::new(TreeSplit::new(
+                id.min(self.n - 1),
+                self.n,
+            ))),
             Algorithm::Decay => Box::new(PhaseProtocol::new(Decay::new(self.n))),
             Algorithm::MultiChannelNoCd => Box::new(PhaseProtocol::new(MultiChannelNoCd::new(
                 self.channels,
@@ -397,6 +402,107 @@ impl Session {
             solver_phases,
         })
     }
+
+    /// Runs the session over an explicit [`SparsePopulation`]: the
+    /// activated members' namespace identities seed the id-keyed
+    /// algorithms (binary descent, tree split) and the population's wake
+    /// schedule staggers start rounds — while the engine materializes
+    /// exactly `|A|` slots, so the session scales to namespaces of `2^20`
+    /// and beyond at constant memory in `n`.
+    ///
+    /// The population must be drawn over this session's universe
+    /// (`pop.namespace() == n`), and it replaces
+    /// [`Session::wake_offsets`] — the schedule lives in the population.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::InvalidConfig`] under the same rules as
+    /// [`Session::run`], plus a namespace mismatch or a population
+    /// combined with explicit wake offsets;
+    /// [`SessionError::Sim`] when the simulation itself fails.
+    pub fn run_population(&self, pop: &SparsePopulation) -> Result<Resolution, SessionError> {
+        if pop.is_empty() {
+            return Err(SessionError::InvalidConfig("no nodes activated".into()));
+        }
+        if pop.namespace() != self.n {
+            return Err(SessionError::InvalidConfig(format!(
+                "population namespace {} does not match session universe {}",
+                pop.namespace(),
+                self.n
+            )));
+        }
+        if self.wake_offsets.is_some() {
+            return Err(SessionError::InvalidConfig(
+                "wake_offsets and run_population are mutually exclusive: \
+                 the population carries its own wake schedule"
+                    .into(),
+            ));
+        }
+        if self.channels < self.algorithm.min_channels() {
+            return Err(SessionError::InvalidConfig(format!(
+                "{} needs at least {} channels, got {}",
+                self.algorithm.name(),
+                self.algorithm.min_channels(),
+                self.channels
+            )));
+        }
+        if self.algorithm == Algorithm::TwoActive && pop.len() != 2 {
+            return Err(SessionError::InvalidConfig(format!(
+                "two-active solves the |A| = 2 restricted case, got {}",
+                pop.len()
+            )));
+        }
+
+        let cfg = SimConfig::new(self.channels)
+            .seed(self.seed)
+            .cd_mode(self.algorithm.cd_mode())
+            .max_rounds(self.max_rounds)
+            .stop_when(if self.run_to_completion {
+                StopWhen::AllTerminated
+            } else {
+                StopWhen::Solved
+            })
+            .trace_level(if self.trace {
+                TraceLevel::Channels
+            } else {
+                TraceLevel::Off
+            });
+
+        let (report, solver_phases) = if pop.latest_wake() == 0 {
+            let mut exec = Engine::new(cfg);
+            for member in pop.members() {
+                exec.add_node(self.make_node_for_id(member.virtual_id));
+            }
+            let report = exec.run()?;
+            let phases = report
+                .solver
+                .map(|id| exec.node(id).phase_stats())
+                .unwrap_or_default();
+            (report, phases)
+        } else {
+            // A staggered schedule: apply the §3 transform, exactly like
+            // the wake-offsets path.
+            let mut exec = Engine::new(cfg);
+            for member in pop.members() {
+                exec.add_node_at(
+                    StaggeredStart::new(self.make_node_for_id(member.virtual_id)),
+                    member.wake_round,
+                );
+            }
+            let report = exec.run()?;
+            let phases = report
+                .solver
+                .map(|id| exec.node(id).phase_stats())
+                .unwrap_or_default();
+            (report, phases)
+        };
+
+        Ok(Resolution {
+            algorithm: self.algorithm.name(),
+            report,
+            solver_phases,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -425,6 +531,55 @@ mod tests {
             assert!(res.rounds().is_some(), "{}", algo.name());
             assert_eq!(res.algorithm, algo.name());
         }
+    }
+
+    #[test]
+    fn sparse_population_resolves_over_huge_namespace() {
+        // A namespace of 2^20 identities with 60 active: the engine holds
+        // 60 slots, and the id-keyed algorithms get real namespace ids.
+        let pop = SparsePopulation::uniform(1 << 20, 60, 1, 9);
+        for algo in [
+            Algorithm::Paper(Params::practical()),
+            Algorithm::BinaryDescent,
+            Algorithm::TreeSplit,
+        ] {
+            let res = Session::new(32, 1 << 20)
+                .algorithm(algo)
+                .seed(5)
+                .run_population(&pop)
+                .unwrap_or_else(|e| panic!("{}: {e}", algo.name()));
+            assert!(res.rounds().is_some(), "{}", algo.name());
+        }
+
+        // A staggered population goes through the §3 transform.
+        let staggered = SparsePopulation::uniform(1 << 20, 20, 16, 9);
+        assert!(staggered.latest_wake() > 0);
+        let res = Session::new(32, 1 << 20)
+            .seed(6)
+            .run_population(&staggered)
+            .expect("staggered population resolves");
+        assert!(res.rounds().is_some());
+    }
+
+    #[test]
+    fn sparse_population_misuse_is_rejected() {
+        let pop = SparsePopulation::uniform(1 << 12, 10, 1, 1);
+        // Namespace mismatch.
+        assert!(matches!(
+            Session::new(8, 1 << 10).run_population(&pop),
+            Err(SessionError::InvalidConfig(_))
+        ));
+        // Population plus explicit wake offsets.
+        assert!(matches!(
+            Session::new(8, 1 << 12)
+                .wake_offsets(vec![0; 10])
+                .run_population(&pop),
+            Err(SessionError::InvalidConfig(_))
+        ));
+        // Empty population.
+        assert!(Session::new(8, 1 << 12)
+            .run_population(&SparsePopulation::new(1 << 12))
+            .is_err());
     }
 
     #[test]

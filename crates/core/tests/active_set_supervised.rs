@@ -1,0 +1,137 @@
+//! Active-set ↔ dense-reference equivalence for the *supervised* paper
+//! stack: the full algorithm wrapped in [`contention::Supervised`]
+//! restart-with-backoff, run under fault layers that actually trigger
+//! restarts (jamming, crash-stop).
+//!
+//! This is the top-of-stack leg of the equivalence suite
+//! (`crates/mac-sim/tests/active_set_equivalence.rs` covers the engine in
+//! isolation): [`PhaseProtocol`]'s settled-status cache, the supervision
+//! wrapper's restart counters, and the engine's retirement transitions all
+//! interact here, and the scheduler swap must not change a single bit of
+//! the outcome.
+
+use contention::{supervised_paper_node, Params, RestartPolicy};
+use mac_sim::dense::DenseEngine;
+use mac_sim::fault::{CrashStop, JamBudget, Layered};
+use mac_sim::{CdMode, FeedbackModel, Metrics, NodeId, Protocol, RunReport, SimConfig, Status};
+use proptest::prelude::*;
+
+type Fingerprint = (
+    Option<u64>,
+    Option<NodeId>,
+    u64,
+    Vec<NodeId>,
+    Vec<NodeId>,
+    Metrics,
+    Vec<Status>,
+);
+
+fn config(seed: u64, channels: u32) -> SimConfig {
+    SimConfig::new(channels).seed(seed).max_rounds(5_000_000)
+}
+
+const N_NAMESPACE: u64 = 1 << 16;
+
+/// Builds the same supervised fleet on either engine and fingerprints the
+/// run: full report plus every node's final status (read back through the
+/// engine, which exercises retired-slot state access).
+fn run_fleet(seed: u64, channels: u32, active: usize, dense: bool, fault: Fault) -> Fingerprint {
+    fn drive<F: FeedbackModel>(
+        seed: u64,
+        channels: u32,
+        active: usize,
+        dense: bool,
+        feedback: F,
+    ) -> Fingerprint {
+        let policy = RestartPolicy::new(2_500_000, 4);
+        let node =
+            |_: usize| supervised_paper_node(Params::practical(), channels, N_NAMESPACE, policy);
+        let (report, statuses): (RunReport, Vec<Status>) = if dense {
+            let mut eng = DenseEngine::with_feedback(config(seed, channels), feedback);
+            for i in 0..active {
+                eng.add_node(node(i));
+            }
+            let report = eng.run().expect("supervised fleet solves");
+            let statuses = (0..active).map(|i| eng.node(NodeId(i)).status()).collect();
+            (report, statuses)
+        } else {
+            let mut eng = mac_sim::Engine::with_feedback(config(seed, channels), feedback);
+            for i in 0..active {
+                eng.add_node(node(i));
+            }
+            let report = eng.run().expect("supervised fleet solves");
+            let statuses = (0..active).map(|i| eng.node(NodeId(i)).status()).collect();
+            (report, statuses)
+        };
+        (
+            report.solved_round,
+            report.solver,
+            report.rounds_executed,
+            report.leaders,
+            report.active_remaining,
+            report.metrics,
+            statuses,
+        )
+    }
+
+    match fault {
+        Fault::Jam(budget) => drive(
+            seed,
+            channels,
+            active,
+            dense,
+            JamBudget::new(CdMode::Strong, budget),
+        ),
+        Fault::Crash(f, window) => drive(
+            seed,
+            channels,
+            active,
+            dense,
+            Layered::new(
+                CrashStop::random(f.min(active), active, window),
+                CdMode::Strong,
+            ),
+        ),
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Fault {
+    Jam(u64),
+    Crash(usize, u64),
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Supervised fleets under reactive jamming: the jam vetoes would-be
+    /// solves, forcing extra rounds (and potentially restarts), and both
+    /// schedulers must agree bit for bit.
+    #[test]
+    fn supervised_jammed_fleet_matches_dense(
+        seed in 1u64..1_000_000,
+        budget in 1u64..3,
+        active in 2usize..6,
+    ) {
+        let fault = Fault::Jam(budget);
+        prop_assert_eq!(
+            run_fleet(seed, 8, active, false, fault),
+            run_fleet(seed, 8, active, true, fault)
+        );
+    }
+
+    /// Supervised fleets losing nodes to crash-stop: retirement through the
+    /// fault path must commute with supervision on both schedulers.
+    #[test]
+    fn supervised_crashed_fleet_matches_dense(
+        seed in 1u64..1_000_000,
+        f in 1usize..2,
+        active in 3usize..6,
+    ) {
+        let fault = Fault::Crash(f, 64);
+        prop_assert_eq!(
+            run_fleet(seed, 8, active, false, fault),
+            run_fleet(seed, 8, active, true, fault)
+        );
+    }
+}

@@ -20,6 +20,7 @@ pub mod e16_cd_modes;
 pub mod e17_serve_all;
 pub mod e18_fault_thresholds;
 pub mod e19_supervised_recovery;
+pub mod e20_sparse_scale;
 
 use crate::{ExperimentReport, RunCtx};
 
@@ -121,6 +122,10 @@ pub fn list() -> Vec<(&'static str, &'static str)> {
         ("e17", "Serving all contenders (conflict resolution)"),
         ("e18", "Fault-injection breakdown thresholds"),
         ("e19", "Supervised recovery beyond the breakdown thresholds"),
+        (
+            "e20",
+            "Sparse-scale curve: namespace 2^12..2^22 at fixed |A|",
+        ),
     ]
 }
 
@@ -149,6 +154,7 @@ pub fn by_id(id: &str) -> Option<fn(&RunCtx) -> ExperimentReport> {
         "17" => Some(e17_serve_all::run),
         "18" => Some(e18_fault_thresholds::run),
         "19" => Some(e19_supervised_recovery::run),
+        "20" => Some(e20_sparse_scale::run),
         _ => None,
     }
 }
@@ -174,7 +180,7 @@ mod tests {
     #[test]
     fn list_is_complete_and_resolvable() {
         let listed = list();
-        assert_eq!(listed.len(), 19);
+        assert_eq!(listed.len(), 20);
         for (id, title) in listed {
             assert!(by_id(id).is_some(), "{id} listed but unresolvable");
             assert!(!title.is_empty());
@@ -187,17 +193,18 @@ mod tests {
         assert_eq!(canonical_id("e7"), Some("e7"));
         assert_eq!(canonical_id(" e18 "), Some("e18"));
         assert_eq!(canonical_id("e19"), Some("e19"));
-        assert_eq!(canonical_id("e20"), None);
+        assert_eq!(canonical_id("e20"), Some("e20"));
+        assert_eq!(canonical_id("e21"), None);
         assert_eq!(canonical_id("banana"), None);
     }
 
     #[test]
-    fn by_id_resolves_all_nineteen() {
-        for i in 1..=19 {
+    fn by_id_resolves_all_twenty() {
+        for i in 1..=20 {
             assert!(by_id(&format!("e{i}")).is_some(), "e{i} missing");
             assert!(by_id(&format!("E{i:02}")).is_some(), "E{i:02} missing");
         }
-        assert!(by_id("e20").is_none());
+        assert!(by_id("e21").is_none());
         assert!(by_id("banana").is_none());
     }
 }

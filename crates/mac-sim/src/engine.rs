@@ -15,7 +15,32 @@
 //! * **observation** ([`crate::sink`]) — [`EventSink`] observers
 //!   ([`Metrics`], [`Trace`], or anything user-supplied via
 //!   [`Engine::run_observed`]) record what happened.
+//!
+//! # Active-set scheduling
+//!
+//! The paper's regime is a huge namespace `n` of *possible* nodes of which
+//! only a small unknown subset `A` is ever active. The engine therefore
+//! never iterates "all nodes" per round: each node slot carries a
+//! [`SlotState`] and the round loop touches only the **live set** — a
+//! NodeId-ordered vector of the currently schedulable node indices — fed
+//! by a *wake agenda* (slots indexed by scheduled wake round, drained as
+//! the clock passes them) and drained by *retirement* (terminated or
+//! crashed slots are compacted out at the end of the round). Per-round
+//! cost is `O(|live| + dirty channels)` regardless of how many slots were
+//! ever added; see `docs/MODEL.md` for the complexity table and
+//! [`crate::dense`] for the O(n) reference scheduler the equivalence
+//! suite pins this against.
+//!
+//! **Ordering contract.** The live set is kept sorted by [`NodeId`] at all
+//! times, so acting, delivery, and event-sink order are exactly the
+//! insertion order of the dense scan they replaced — this is load-bearing
+//! for bit-determinism, because seeded fault layers
+//! ([`crate::fault::NoisyCd`]) consume their RNG stream in delivery
+//! order. Reports ([`RunReport::leaders`], [`RunReport::active_remaining`])
+//! are produced by a NodeId-ordered slot scan, independent of live-set
+//! internals.
 
+use std::collections::BTreeMap;
 use std::fmt;
 
 use rand::rngs::SmallRng;
@@ -42,11 +67,64 @@ impl fmt::Display for NodeId {
     }
 }
 
+/// Scheduler lifecycle of one node slot.
+///
+/// The state machine replaces the old `woken` boolean (plus the implicit
+/// "status says terminated" and "fault layer says crashed" side channels)
+/// with one explicit enum, so illegal combinations — a crashed node that
+/// still transmits, a terminated node that re-enters the round loop — are
+/// unrepresentable. All transitions go through the engine's single
+/// retirement/wake path:
+///
+/// ```text
+/// Pending ──wake agenda──▶ Live ──status terminated──▶ Terminated
+///    │                      │
+///    └──────fault layer─────┴──────────────────────▶ Crashed
+/// ```
+///
+/// `Terminated` and `Crashed` are absorbing: retired slots keep their
+/// final protocol state readable via [`Engine::node`] but are never
+/// scheduled again (which is also the documented [`Protocol::status`]
+/// contract — termination is permanent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SlotState {
+    /// Scheduled on the wake agenda; `on_wake` has not run yet.
+    Pending,
+    /// In the live set: acts, is delivered feedback, and observes.
+    Live,
+    /// Retired by its own protocol reporting a terminated
+    /// [`Status`](crate::Status).
+    Terminated,
+    /// Retired by a fault layer ([`crate::fault::CrashStop`]); the
+    /// protocol was never informed and its status stays whatever it was.
+    Crashed,
+}
+
+impl SlotState {
+    /// Whether the slot is retired (terminated or crashed) — i.e. it will
+    /// never be scheduled again.
+    #[must_use]
+    pub fn is_retired(self) -> bool {
+        matches!(self, SlotState::Terminated | SlotState::Crashed)
+    }
+}
+
+impl fmt::Display for SlotState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SlotState::Pending => "pending",
+            SlotState::Live => "live",
+            SlotState::Terminated => "terminated",
+            SlotState::Crashed => "crashed",
+        })
+    }
+}
+
 struct NodeSlot<P> {
     protocol: P,
     rng: SmallRng,
     start_round: u64,
-    woken: bool,
+    state: SlotState,
 }
 
 /// The cheap result of a run: solve data only, no metrics or trace clones.
@@ -175,8 +253,25 @@ pub struct Engine<P: Protocol, F: FeedbackModel = CdMode> {
     run: RunState,
     /// Highest `start_round` over all nodes, maintained on insertion.
     latest_wake: u64,
-    /// Nodes not yet woken; the wake scan is skipped once this hits zero.
+    /// Slots still [`SlotState::Pending`], including never-wakeable ones
+    /// (a slot added with a `start_round` already in the past never fires).
     unwoken: usize,
+    /// The wake agenda: pending slot indices keyed by scheduled wake
+    /// round, drained with one `O(log W)` lookup per round instead of an
+    /// `O(n)` scan.
+    agenda: BTreeMap<u64, Vec<usize>>,
+    /// The live set: indices of [`SlotState::Live`] slots, always sorted
+    /// in NodeId order (see the module docs' ordering contract). The
+    /// per-round loops iterate this instead of `nodes`.
+    live: Vec<usize>,
+    /// Slots in [`SlotState::Crashed`]; blocks the all-terminated stop
+    /// condition exactly like the still-`Active` status of a crashed node
+    /// used to.
+    crashed_count: usize,
+    /// Whether any live slot retired this round (live set needs compaction).
+    retired_this_round: bool,
+    /// Reusable buffer for [`FeedbackModel::drain_crashed`].
+    crash_buf: Vec<NodeId>,
     actions: Vec<(usize, Action<P::Msg>)>,
     // Reusable per-channel scratch, indexed by `ChannelId::index()`.
     tx_count: Vec<u32>,
@@ -225,6 +320,11 @@ impl<P: Protocol, F: FeedbackModel> Engine<P, F> {
             },
             latest_wake: 0,
             unwoken: 0,
+            agenda: BTreeMap::new(),
+            live: Vec::new(),
+            crashed_count: 0,
+            retired_this_round: false,
+            crash_buf: Vec::new(),
             actions: Vec::new(),
             tx_count: vec![0; c],
             rx_count: vec![0; c],
@@ -262,12 +362,31 @@ impl<P: Protocol, F: FeedbackModel> Engine<P, F> {
             protocol,
             rng: SmallRng::seed_from_u64(seed),
             start_round,
-            woken: false,
+            state: SlotState::Pending,
         });
         self.latest_wake = self.latest_wake.max(start_round);
         self.unwoken += 1;
+        // Nodes are added in NodeId order, so each agenda bucket stays
+        // NodeId-sorted by construction — which keeps wake-time merges
+        // into the live set cheap and order-stable.
+        self.agenda.entry(start_round).or_default().push(id.0);
         self.run.metrics.transmissions_per_node.push(0);
         id
+    }
+
+    /// The scheduler state of a node's slot — e.g. for debugging a run
+    /// mid-flight between [`Engine::step`] calls, or for fault post-mortems
+    /// (a [`SlotState::Crashed`] node's protocol was never told it died).
+    #[must_use]
+    pub fn slot_state(&self, id: NodeId) -> SlotState {
+        self.nodes[id.0].state
+    }
+
+    /// Number of currently live (schedulable) nodes. Per-round work is
+    /// proportional to this, not to [`Engine::len`].
+    #[must_use]
+    pub fn live_len(&self) -> usize {
+        self.live.len()
     }
 
     /// Number of nodes added.
@@ -291,6 +410,50 @@ impl<P: Protocol, F: FeedbackModel> Engine<P, F> {
     /// Iterates over all node protocols in id order.
     pub fn iter_nodes(&self) -> impl Iterator<Item = &P> {
         self.nodes.iter().map(|slot| &slot.protocol)
+    }
+
+    /// The single retirement transition: every path that removes a node
+    /// from scheduling — the park path (protocol terminated) and the fault
+    /// path (crash-stop) — funnels through here, so the `SlotState`
+    /// machine and the scheduler counters can never disagree.
+    ///
+    /// Retiring an already-retired slot is a no-op (fault layers may
+    /// announce the same victim more than once); out-of-range ids from a
+    /// misconfigured fault schedule are ignored.
+    fn retire(&mut self, idx: usize, to: SlotState) {
+        debug_assert!(to.is_retired());
+        let Some(slot) = self.nodes.get_mut(idx) else {
+            return;
+        };
+        match slot.state {
+            SlotState::Pending => {
+                // Died before it ever woke: drop it from the wake path.
+                // Its agenda entry stays behind and is skipped (cheaply)
+                // when the bucket drains.
+                slot.state = to;
+                self.unwoken -= 1;
+                if to == SlotState::Crashed {
+                    self.crashed_count += 1;
+                }
+            }
+            SlotState::Live => {
+                slot.state = to;
+                self.retired_this_round = true;
+                if to == SlotState::Crashed {
+                    self.crashed_count += 1;
+                }
+            }
+            SlotState::Terminated | SlotState::Crashed => {}
+        }
+    }
+
+    /// Compacts retired slots out of the live set, preserving NodeId
+    /// order (`retain` is stable). Called at most once per round, only
+    /// when [`Engine::retire`] actually retired a live slot.
+    fn compact_live(&mut self) {
+        let nodes = &self.nodes;
+        self.live.retain(|&idx| nodes[idx].state == SlotState::Live);
+        self.retired_this_round = false;
     }
 
     /// Runs rounds until the configured stop condition is met.
@@ -384,12 +547,33 @@ impl<P: Protocol, F: FeedbackModel> Engine<P, F> {
         let record_metrics = self.config.record_metrics;
         self.feedback.begin_round(round);
 
-        // Wake-ups scheduled for this round; skipped entirely once every
-        // node is awake.
+        // Fault-layer retirements: crash-stop models report who died so the
+        // engine can retire the slots through the same transition the park
+        // path uses. Drained before wake-ups, so a node crashed at (or
+        // before) its wake round never enters the live set, and a live
+        // victim stops being scheduled from this round on — exactly when
+        // its actions used to start being filtered to `Sleep`.
+        let mut crash_buf = std::mem::take(&mut self.crash_buf);
+        self.feedback.drain_crashed(&mut crash_buf);
+        for id in crash_buf.drain(..) {
+            self.retire(id.0, SlotState::Crashed);
+        }
+        self.crash_buf = crash_buf;
+        if self.retired_this_round {
+            self.compact_live();
+        }
+
+        // Wake-ups scheduled for this round: one agenda lookup, touching
+        // only the slots that actually wake now.
         if self.unwoken > 0 {
-            for slot in &mut self.nodes {
-                if !slot.woken && slot.start_round == round {
-                    slot.woken = true;
+            if let Some(batch) = self.agenda.remove(&round) {
+                let mut appended = 0usize;
+                for idx in batch {
+                    let slot = &mut self.nodes[idx];
+                    if slot.state != SlotState::Pending {
+                        continue; // crashed before it ever woke
+                    }
+                    slot.state = SlotState::Live;
                     self.unwoken -= 1;
                     let ctx = RoundContext {
                         round,
@@ -397,28 +581,45 @@ impl<P: Protocol, F: FeedbackModel> Engine<P, F> {
                         channels: self.config.channels,
                     };
                     slot.protocol.on_wake(&ctx, &mut slot.rng);
+                    if slot.protocol.status().is_terminated() {
+                        // Terminated inside on_wake: park without ever
+                        // entering the live set.
+                        slot.state = SlotState::Terminated;
+                        continue;
+                    }
+                    self.live.push(idx);
+                    appended += 1;
+                }
+                // Restore the NodeId ordering contract. Agenda buckets are
+                // NodeId-sorted, so appending is already correct unless a
+                // later wake round brings in smaller ids than the tail.
+                if appended > 0 {
+                    let split = self.live.len() - appended;
+                    if split > 0 && self.live[split - 1] > self.live[split] {
+                        self.live.sort_unstable();
+                    }
                 }
             }
         }
 
         // Phase accounting: the paper's algorithms keep all active nodes
-        // in lockstep, so the first active node is representative. Sinks
-        // that opt into per-node labels (`wants_node_phases`) get each
-        // acting node's own label instead — exact under staggered
-        // wake-ups, where the representative label misattributes rounds.
+        // in lockstep, so the first live node (lowest NodeId, by the
+        // ordering contract) is representative. Sinks that opt into
+        // per-node labels (`wants_node_phases`) get each acting node's own
+        // label instead — exact under staggered wake-ups, where the
+        // representative label misattributes rounds.
         let phase = self
-            .nodes
-            .iter()
-            .find(|slot| slot.woken && slot.protocol.status() == Status::Active)
-            .map_or("idle", |slot| slot.protocol.phase());
+            .live
+            .first()
+            .map_or("idle", |&idx| self.nodes[idx].protocol.phase());
         let node_phases = sink.wants_node_phases();
 
-        // Collect actions.
+        // Collect actions from the live set only — every live slot is
+        // schedulable by invariant, so no per-node status filtering.
         self.actions.clear();
-        for (idx, slot) in self.nodes.iter_mut().enumerate() {
-            if !slot.woken || slot.protocol.status() != Status::Active {
-                continue;
-            }
+        for li in 0..self.live.len() {
+            let idx = self.live[li];
+            let slot = &mut self.nodes[idx];
             let ctx = RoundContext {
                 round,
                 local_round: round - slot.start_round,
@@ -435,8 +636,8 @@ impl<P: Protocol, F: FeedbackModel> Engine<P, F> {
                     });
                 }
             }
-            // The fault layer's physical hook: crash-stop models replace a
-            // dead node's action with Sleep (identity for clean models).
+            // The fault layer's physical hook: jamming/erasure models may
+            // still rewrite actions (identity for clean models).
             let action = self.feedback.filter_action(NodeId(idx), action);
             self.actions.push((idx, action));
         }
@@ -500,10 +701,9 @@ impl<P: Protocol, F: FeedbackModel> Engine<P, F> {
 
         // Solve detection: exactly one transmitter on the *physical*
         // primary channel. The candidate solver is always a real physical
-        // transmitter (crashed nodes were silenced by `filter_action`
-        // before resolution, so faults cannot manufacture a spurious
-        // solve), and the feedback model may still veto a round it jammed,
-        // erased, or assassinated.
+        // transmitter (crashed nodes were retired before acting, so faults
+        // cannot manufacture a spurious solve), and the feedback model may
+        // still veto a round it jammed, erased, or assassinated.
         let primary = ChannelId::PRIMARY.index();
         if self.run.solved_round.is_none() && self.tx_count[primary] == 1 {
             let solver = NodeId(self.actions[self.lone_act[primary]].0);
@@ -562,15 +762,29 @@ impl<P: Protocol, F: FeedbackModel> Engine<P, F> {
         }
         self.actions = actions;
 
+        // Park: retire live slots whose protocol terminated this round, so
+        // they drop out of the per-round loops for good. This is the same
+        // shared transition the fault path uses (`retire`), keeping the
+        // `SlotState` machine single-sourced.
+        for li in 0..self.live.len() {
+            let idx = self.live[li];
+            if self.nodes[idx].protocol.status().is_terminated() {
+                self.retire(idx, SlotState::Terminated);
+            }
+        }
+        if self.retired_this_round {
+            self.compact_live();
+        }
+
         self.run.round += 1;
 
-        // Stop conditions.
+        // Stop conditions — O(1) from the scheduler's counters: no slot is
+        // pending, none is live, and none is crashed (a crashed node never
+        // reports a terminated status, exactly as before the refactor).
         let all_terminated = self.run.round > self.latest_wake
             && self.unwoken == 0
-            && self
-                .nodes
-                .iter()
-                .all(|slot| slot.protocol.status().is_terminated());
+            && self.live.is_empty()
+            && self.crashed_count == 0;
         let finished = match self.config.stop_when {
             // The deadlock guard: everyone terminated without solving also
             // ends a Solved-mode run.
@@ -628,11 +842,18 @@ impl<P: Protocol, F: FeedbackModel> Engine<P, F> {
             .filter(|(_, slot)| slot.protocol.status() == Status::Leader)
             .map(|(idx, _)| NodeId(idx))
             .collect();
+        // NodeId-ordered slot scan (not live-set iteration): report order
+        // is part of the record schema and must not depend on scheduler
+        // internals. Crashed slots count as still-active — the node never
+        // terminated, the radio just lost it.
         let active_remaining = self
             .nodes
             .iter()
             .enumerate()
-            .filter(|(_, slot)| slot.woken && slot.protocol.status() == Status::Active)
+            .filter(|(_, slot)| {
+                matches!(slot.state, SlotState::Live | SlotState::Crashed)
+                    && slot.protocol.status() == Status::Active
+            })
             .map(|(idx, _)| NodeId(idx))
             .collect();
 

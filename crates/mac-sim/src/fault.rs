@@ -125,6 +125,13 @@ pub trait FaultLayer {
         let _ = solver;
         true
     }
+
+    /// Reports nodes this layer has permanently crashed since the last
+    /// call (see [`FeedbackModel::drain_crashed`]); the engine retires the
+    /// announced slots out of its live set. Defaults to a no-op.
+    fn drain_crashed(&mut self, out: &mut Vec<NodeId>) {
+        let _ = out;
+    }
 }
 
 /// Stacks a [`FaultLayer`] over an inner [`FeedbackModel`], itself a
@@ -175,6 +182,11 @@ impl<L: FaultLayer, F: FeedbackModel> FeedbackModel for Layered<L, F> {
 
     fn allows_solve(&mut self, solver: NodeId) -> bool {
         self.inner.allows_solve(solver) && self.layer.allows_solve(solver)
+    }
+
+    fn drain_crashed(&mut self, out: &mut Vec<NodeId>) {
+        self.inner.drain_crashed(out);
+        self.layer.drain_crashed(out);
     }
 
     fn deliver<M: Clone>(
@@ -331,13 +343,17 @@ impl FaultLayer for LossyChannel {
 
 /// Crash-stop faults: the adversary permanently silences up to `f` nodes.
 ///
-/// Crashes alter *physical* truth: from its crash round on, a node's
-/// actions are replaced with [`Action::Sleep`] before channel resolution,
-/// so it stops contributing to collisions, cannot be the elected lone
-/// transmitter (the solve-validity rail holds by construction), and hears
-/// nothing. The protocol object itself is not informed — crashed nodes
-/// stay `Active`, which is exactly why fault sweeps arm
-/// [`SimConfig::round_budget`].
+/// Crashes alter *physical* truth: victims are announced to the engine via
+/// [`FaultLayer::drain_crashed`], which retires their slots from the live
+/// set — from its crash round on a node acts no more, so it stops
+/// contributing to collisions, cannot be the elected lone transmitter (the
+/// solve-validity rail holds by construction), and hears nothing. The
+/// protocol object itself is not informed — a crashed node's slot is
+/// [`SlotState::Crashed`](crate::SlotState::Crashed) with its status
+/// frozen at `Active`, which is exactly why fault sweeps arm
+/// [`SimConfig::round_budget`]. (An assassin kill lands mid-round: the
+/// frame is cut via [`FaultLayer::transform`] in the kill round, and the
+/// slot retires at the start of the next round.)
 ///
 /// Three adversary strategies, combinable:
 ///
@@ -354,6 +370,9 @@ pub struct CrashStop {
     kills_remaining: u64,
     crashed: std::collections::HashSet<usize>,
     fresh_kill: Option<NodeId>,
+    /// Victims crashed since the last [`FaultLayer::drain_crashed`] call,
+    /// in crash order.
+    newly: Vec<NodeId>,
 }
 
 impl CrashStop {
@@ -439,13 +458,20 @@ impl FaultLayer for CrashStop {
     fn begin_round(&mut self, round: u64) {
         self.fresh_kill = None;
         for &(node, r) in &self.schedule {
-            if r <= round {
-                self.crashed.insert(node.0);
+            if r <= round && self.crashed.insert(node.0) {
+                self.newly.push(node);
             }
         }
     }
 
+    fn drain_crashed(&mut self, out: &mut Vec<NodeId>) {
+        out.append(&mut self.newly);
+    }
+
     fn filter_action<M: Clone>(&mut self, node: NodeId, action: Action<M>) -> Action<M> {
+        // Retirement already keeps crashed nodes out of the round loop;
+        // this filter is defense in depth for actions reaching a stack in
+        // unusual orders (e.g. a layer *above* that fabricates actions).
         if self.crashed.contains(&node.0) {
             Action::Sleep
         } else {
@@ -483,6 +509,10 @@ impl FaultLayer for CrashStop {
             self.kills_remaining -= 1;
             self.crashed.insert(solver.0);
             self.fresh_kill = Some(solver);
+            // The kill takes physical effect *this* round (the frame is
+            // cut in `transform`), so the slot retires at the next
+            // `drain_crashed` — the start of the following round.
+            self.newly.push(solver);
             return false;
         }
         true

@@ -111,6 +111,22 @@ pub trait FeedbackModel {
         action
     }
 
+    /// Reports nodes this model has permanently removed from the run
+    /// (crash-stop victims) since the last call, by appending their ids to
+    /// `out`. The engine calls this right after
+    /// [`begin_round`](FeedbackModel::begin_round) and *retires* the
+    /// announced slots — they stop acting and observing from that round
+    /// on, and block the all-terminated stop condition exactly like a
+    /// crashed-but-still-`Active` status used to.
+    ///
+    /// The default is a no-op (clean models crash nobody, and the engine
+    /// pays nothing for the empty drain). Implementations must announce
+    /// each victim at most once, in the round its crash takes physical
+    /// effect; announcing an already-retired or unknown id is harmless.
+    fn drain_crashed(&mut self, out: &mut Vec<NodeId>) {
+        let _ = out;
+    }
+
     /// Whether a physically lone primary-channel transmission by `solver` in
     /// the current round counts as solving the problem. Defaults to `true`;
     /// adversarial models that drown the round in noise (or erase / crash

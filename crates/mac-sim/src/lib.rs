@@ -122,12 +122,14 @@ pub mod adversary;
 pub mod campaign;
 mod channel;
 mod config;
+pub mod dense;
 mod engine;
 mod error;
 pub mod fault;
 pub mod feedback;
 mod metrics;
 pub mod obs;
+pub mod population;
 mod protocol;
 pub mod render;
 mod rng;
@@ -139,10 +141,11 @@ pub use action::{Action, Feedback};
 pub use campaign::{panic_message, CampaignOutcome, Quarantined};
 pub use channel::{ChannelId, ChannelOutcome, OutcomeKind};
 pub use config::{CdMode, SimConfig, StopWhen};
-pub use engine::{Engine, NodeId, RunReport, RunSummary, StepStatus};
+pub use engine::{Engine, NodeId, RunReport, RunSummary, SlotState, StepStatus};
 pub use error::SimError;
 pub use feedback::{ChannelState, FeedbackModel};
 pub use metrics::{Metrics, PhaseBreakdown};
+pub use population::{Member, SparsePopulation};
 pub use protocol::{Protocol, RoundContext, Status};
 pub use rng::{derive_fault_seed, derive_node_seed, derive_stream_seed};
 pub use sink::EventSink;

@@ -1,0 +1,263 @@
+//! Sparse populations: activation schedules over a huge namespace.
+//!
+//! The paper's regime separates the *namespace* size `n` (how many node
+//! identities exist — `2^20` and up) from the *active set* `A ⊆ V` (who
+//! actually wakes — typically a few hundred, unknown to the protocol).
+//! The active-set engine already pays per-round cost proportional to
+//! `|live|` only; [`SparsePopulation`] completes the path by never even
+//! *materializing* slots for the `n − |A|` nodes that stay asleep: a
+//! population is an explicit activation schedule — `(virtual id, wake
+//! round)` pairs over the namespace — and building an engine from it
+//! allocates exactly `|A|` slots.
+//!
+//! ```
+//! use mac_sim::population::SparsePopulation;
+//! use mac_sim::SimConfig;
+//! # use mac_sim::{Action, ChannelId, Feedback, Protocol, RoundContext, Status};
+//! # use rand::rngs::SmallRng;
+//! # struct Node { _id: u64 }
+//! # impl Protocol for Node {
+//! #     type Msg = u8;
+//! #     fn act(&mut self, _: &RoundContext, _: &mut SmallRng) -> Action<u8> {
+//! #         Action::transmit(ChannelId::PRIMARY, 1)
+//! #     }
+//! #     fn observe(&mut self, _: &RoundContext, _: Feedback<u8>, _: &mut SmallRng) {}
+//! #     fn status(&self) -> Status { Status::Active }
+//! # }
+//!
+//! // One active node in a namespace of a million: the engine holds one slot.
+//! let pop = SparsePopulation::uniform(1 << 20, 1, 1, 42);
+//! let mut engine = pop.engine(SimConfig::new(4), |virtual_id| Node { _id: virtual_id });
+//! assert_eq!(engine.len(), 1);
+//! assert!(engine.run().expect("a lone node solves").is_solved());
+//! ```
+//!
+//! Engine [`NodeId`]s remain dense slot indices (`0..|A|`, in activation
+//! order); the member's namespace identity is handed to the protocol
+//! factory, which is where algorithms that use ids (renaming, size
+//! estimation) pick it up.
+
+use std::collections::HashSet;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::SimConfig;
+use crate::engine::{Engine, NodeId};
+use crate::feedback::FeedbackModel;
+use crate::obs::RunManifest;
+use crate::protocol::Protocol;
+
+/// One activated member of a sparse population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Member {
+    /// The node's identity in the namespace `0..n`.
+    pub virtual_id: u64,
+    /// The round this node wakes.
+    pub wake_round: u64,
+}
+
+/// An activation schedule over a namespace of `n` possible nodes: which
+/// (few) identities wake, and when. See the module docs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparsePopulation {
+    namespace: u64,
+    members: Vec<Member>,
+}
+
+impl SparsePopulation {
+    /// An empty population over a namespace of `n` identities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `namespace == 0`.
+    #[must_use]
+    pub fn new(namespace: u64) -> Self {
+        assert!(namespace >= 1, "namespace must be non-empty");
+        SparsePopulation {
+            namespace,
+            members: Vec::new(),
+        }
+    }
+
+    /// Activates `virtual_id` at round 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `virtual_id` is outside the namespace.
+    #[must_use]
+    pub fn activate(self, virtual_id: u64) -> Self {
+        self.activate_at(virtual_id, 0)
+    }
+
+    /// Activates `virtual_id` at `wake_round`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `virtual_id` is outside the namespace.
+    #[must_use]
+    pub fn activate_at(mut self, virtual_id: u64, wake_round: u64) -> Self {
+        assert!(
+            virtual_id < self.namespace,
+            "virtual id {virtual_id} outside namespace 0..{}",
+            self.namespace
+        );
+        self.members.push(Member {
+            virtual_id,
+            wake_round,
+        });
+        self
+    }
+
+    /// `active` distinct identities drawn uniformly from the namespace,
+    /// each waking at a seeded uniform round in `0..window` (`window == 1`
+    /// is simultaneous wake-up). Pure in `(namespace, active, window,
+    /// seed)`: the same arguments always produce the same population.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `namespace == 0`, `active as u64 > namespace`, or
+    /// `window == 0`.
+    #[must_use]
+    pub fn uniform(namespace: u64, active: usize, window: u64, seed: u64) -> Self {
+        assert!(
+            (active as u64) <= namespace,
+            "cannot activate {active} of {namespace} identities"
+        );
+        assert!(window >= 1, "wake window must be positive");
+        let mut pop = SparsePopulation::new(namespace);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Distinct ids by rejection: |A| ≪ n in the sparse regime, so
+        // collisions are rare and this terminates fast.
+        let mut chosen = HashSet::with_capacity(active);
+        while chosen.len() < active {
+            chosen.insert(rng.gen_range(0..namespace));
+        }
+        let mut ids: Vec<u64> = chosen.into_iter().collect();
+        ids.sort_unstable();
+        for virtual_id in ids {
+            let wake_round = if window == 1 {
+                0
+            } else {
+                rng.gen_range(0..window)
+            };
+            pop = pop.activate_at(virtual_id, wake_round);
+        }
+        pop
+    }
+
+    /// The namespace size `n`.
+    #[must_use]
+    pub fn namespace(&self) -> u64 {
+        self.namespace
+    }
+
+    /// Number of activated identities `|A|`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns `true` if nothing is activated.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The activated members, in activation (= engine [`NodeId`]) order.
+    #[must_use]
+    pub fn members(&self) -> &[Member] {
+        &self.members
+    }
+
+    /// The last wake round in the schedule (0 for an empty population).
+    #[must_use]
+    pub fn latest_wake(&self) -> u64 {
+        self.members.iter().map(|m| m.wake_round).max().unwrap_or(0)
+    }
+
+    /// Builds an engine holding exactly `|A|` slots, one per member, each
+    /// scheduled at its member's wake round. The factory receives the
+    /// member's namespace identity. Returns the engine; slot `NodeId(i)`
+    /// corresponds to `self.members()[i]`.
+    #[must_use]
+    pub fn engine<P: Protocol>(&self, config: SimConfig, make: impl FnMut(u64) -> P) -> Engine<P> {
+        let cd_mode = config.cd_mode;
+        self.engine_with(config, cd_mode, make)
+    }
+
+    /// Like [`SparsePopulation::engine`] with a custom [`FeedbackModel`]
+    /// (fault layers compose with sparse populations like with any other
+    /// engine).
+    #[must_use]
+    pub fn engine_with<P: Protocol, F: FeedbackModel>(
+        &self,
+        config: SimConfig,
+        feedback: F,
+        mut make: impl FnMut(u64) -> P,
+    ) -> Engine<P, F> {
+        let mut engine = Engine::with_feedback(config, feedback);
+        for member in &self.members {
+            let id = engine.add_node_at(make(member.virtual_id), member.wake_round);
+            debug_assert!(id.0 < self.members.len());
+        }
+        engine
+    }
+
+    /// Stamps this population's shape (`n`, `|A|`) onto a run manifest, so
+    /// campaign exports record the sparse regime they measured.
+    #[must_use]
+    pub fn stamp(&self, manifest: RunManifest) -> RunManifest {
+        manifest.n(self.namespace).active(self.members.len() as u64)
+    }
+
+    /// The engine slot id of `virtual_id`, if activated.
+    #[must_use]
+    pub fn slot_of(&self, virtual_id: u64) -> Option<NodeId> {
+        self.members
+            .iter()
+            .position(|m| m.virtual_id == virtual_id)
+            .map(NodeId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_deterministic_distinct_and_sorted() {
+        let a = SparsePopulation::uniform(1 << 20, 100, 64, 7);
+        let b = SparsePopulation::uniform(1 << 20, 100, 64, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        let ids: Vec<u64> = a.members().iter().map(|m| m.virtual_id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(ids, sorted, "ids must be distinct and sorted");
+        assert!(a.members().iter().all(|m| m.wake_round < 64));
+        assert!(a.latest_wake() < 64);
+    }
+
+    #[test]
+    fn window_one_is_simultaneous() {
+        let pop = SparsePopulation::uniform(1 << 16, 50, 1, 3);
+        assert!(pop.members().iter().all(|m| m.wake_round == 0));
+        assert_eq!(pop.latest_wake(), 0);
+    }
+
+    #[test]
+    fn slot_of_maps_back_to_activation_order() {
+        let pop = SparsePopulation::new(1000).activate_at(900, 5).activate(17);
+        assert_eq!(pop.slot_of(900), Some(NodeId(0)));
+        assert_eq!(pop.slot_of(17), Some(NodeId(1)));
+        assert_eq!(pop.slot_of(3), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside namespace")]
+    fn activation_outside_namespace_panics() {
+        let _ = SparsePopulation::new(10).activate(10);
+    }
+}

@@ -27,10 +27,12 @@
 //!   `(report, record)` pairs for structured JSONL export.
 
 use crate::campaign::{panic_message, Campaign, Cell, Collect, SeedStream};
+use crate::config::SimConfig;
 use crate::engine::{Engine, RunReport, RunSummary};
 use crate::error::SimError;
 use crate::feedback::FeedbackModel;
 use crate::obs::{RunRecord, RunRecorder};
+use crate::population::SparsePopulation;
 use crate::protocol::Protocol;
 
 /// Why a guarded trial ([`guarded_verdict`]) produced no solve.
@@ -191,6 +193,35 @@ where
             .run()
             .unwrap_or_else(|e| panic!("trial with seed {seed} failed: {e}"));
         extract(&engine, &report)
+    })
+}
+
+/// Sparse-population fan-out: like [`run_trials_summaries`], but each
+/// trial's engine is instantiated from a [`SparsePopulation`] — exactly
+/// `|A|` slots over a namespace of `pop.namespace()` identities, scheduled
+/// at the population's wake rounds. `config` receives the trial seed (so
+/// the master seed varies per trial); `make` receives each member's
+/// namespace identity.
+///
+/// This is the scaling-study path: per-trial cost is a function of `|A|`,
+/// not `n`, so round-complexity curves can sweep `n` to `2^22` and beyond
+/// without the engine ever materializing the sleeping namespace.
+///
+/// # Panics
+///
+/// Panics if any trial fails; the message carries the seed for replay.
+pub fn run_sparse_trials_summaries<P: Protocol>(
+    trials: usize,
+    base_seed: u64,
+    pop: &SparsePopulation,
+    config: impl Fn(u64) -> SimConfig + Sync,
+    make: impl Fn(u64) -> P + Sync,
+) -> Vec<RunSummary> {
+    single_cell(trials, base_seed, default_threads(trials), &|seed| {
+        let mut engine = pop.engine(config(seed), &make);
+        engine
+            .run_summary()
+            .unwrap_or_else(|e| panic!("trial with seed {seed} failed: {e}"))
     })
 }
 

@@ -1,0 +1,281 @@
+//! Property suite pinning the active-set scheduler to the dense O(n)
+//! reference implementation.
+//!
+//! [`mac_sim::Engine`] schedules via a wake agenda + live set
+//! (O(|live|)/round); [`mac_sim::dense::DenseEngine`] executes the same
+//! semantics with full slot scans (O(n)/round). Over random wake
+//! schedules × collision-detection modes × fault layers, both must
+//! produce **bit-identical** results: the same [`RunReport`] (solve data,
+//! leaders, active survivors, full metrics) and the same structured
+//! [`RunRecord`] (span accounting, per-channel tallies) — not merely the
+//! same solve round. Any divergence means the agenda/live-set/retirement
+//! bookkeeping changed observable semantics, which is exactly what this
+//! suite exists to catch.
+
+use mac_sim::dense::DenseEngine;
+use mac_sim::fault::{CrashStop, JamBudget, Layered, LossyChannel, NoisyCd};
+use mac_sim::obs::{RunRecord, RunRecorder};
+use mac_sim::{
+    Action, CdMode, ChannelId, Engine, Feedback, FeedbackModel, Metrics, NodeId, Protocol,
+    RoundContext, RunReport, SimConfig, Status,
+};
+use proptest::collection::vec as prop_vec;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Seeded random backoff: transmits on a random channel with decaying
+/// probability, terminates once it hears its own lone primary-channel
+/// transmission echo back. Exercises per-node RNG every round (so any
+/// stream drift diverges immediately) and spreads load over channels (so
+/// channel-outcome tallies are non-trivial).
+struct Backoff {
+    channels: u32,
+    transmitted_primary: bool,
+    done: bool,
+}
+
+impl Backoff {
+    fn new(channels: u32) -> Self {
+        Backoff {
+            channels,
+            transmitted_primary: false,
+            done: false,
+        }
+    }
+}
+
+impl Protocol for Backoff {
+    type Msg = u64;
+
+    fn act(&mut self, ctx: &RoundContext, rng: &mut SmallRng) -> Action<u64> {
+        let p = 2.0_f64.powi(-(1 + (ctx.local_round % 8) as i32));
+        if rng.gen_bool(p.max(0.05)) {
+            let channel = ChannelId::new(rng.gen_range(1..=self.channels));
+            self.transmitted_primary = channel == ChannelId::PRIMARY;
+            Action::transmit(channel, ctx.round)
+        } else {
+            self.transmitted_primary = false;
+            Action::listen(ChannelId::PRIMARY)
+        }
+    }
+
+    fn observe(&mut self, _: &RoundContext, fb: Feedback<u64>, _: &mut SmallRng) {
+        if self.transmitted_primary && matches!(fb, Feedback::Message(_)) {
+            self.done = true;
+        }
+    }
+
+    fn status(&self) -> Status {
+        if self.done {
+            Status::Leader
+        } else {
+            Status::Active
+        }
+    }
+
+    fn phase(&self) -> &'static str {
+        if self.done {
+            "done"
+        } else {
+            "backoff"
+        }
+    }
+}
+
+/// Everything a run can legally differ in, in one comparable value.
+type Fingerprint = (
+    Result<RunReportKey, String>,
+    RunRecord, // wall_ns normalized to 0
+);
+
+type RunReportKey = (
+    Option<u64>,
+    Option<NodeId>,
+    u64,
+    Vec<NodeId>,
+    Vec<NodeId>,
+    Metrics,
+);
+
+fn report_key(report: &RunReport) -> RunReportKey {
+    (
+        report.solved_round,
+        report.solver,
+        report.rounds_executed,
+        report.leaders.clone(),
+        report.active_remaining.clone(),
+        report.metrics.clone(),
+    )
+}
+
+/// The workload both engines execute: node count, per-node wake offsets,
+/// CD mode, and which fault stack rides along.
+#[derive(Debug, Clone)]
+struct Workload {
+    seed: u64,
+    channels: u32,
+    wake_offsets: Vec<u64>,
+    cd_mode: CdMode,
+    faults: FaultChoice,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum FaultChoice {
+    Clean,
+    CrashRandom { f: usize, window: u64 },
+    Assassin { kills: u64 },
+    JamBudget { budget: u64 },
+    Stacked,
+}
+
+fn config(w: &Workload) -> SimConfig {
+    SimConfig::new(w.channels)
+        .seed(w.seed)
+        .cd_mode(w.cd_mode)
+        .max_rounds(200_000)
+        .round_budget(5_000)
+}
+
+/// Runs the workload on either engine via the two closures, so active-set
+/// and dense runs are built by the exact same code path.
+fn run_workload(w: &Workload, dense: bool) -> Fingerprint {
+    fn drive<F: FeedbackModel>(w: &Workload, feedback: F, dense: bool) -> Fingerprint {
+        let mut recorder = RunRecorder::new();
+        let outcome = if dense {
+            let mut eng = DenseEngine::with_feedback(config(w), feedback);
+            for &offset in &w.wake_offsets {
+                eng.add_node_at(Backoff::new(w.channels), offset);
+            }
+            eng.run_observed(&mut recorder)
+        } else {
+            let mut eng = Engine::with_feedback(config(w), feedback);
+            for &offset in &w.wake_offsets {
+                eng.add_node_at(Backoff::new(w.channels), offset);
+            }
+            eng.run_observed(&mut recorder)
+        };
+        let key = outcome
+            .as_ref()
+            .map(report_key)
+            .map_err(|e| format!("{e:?}"));
+        let mut record = recorder.into_record(w.seed);
+        // Wall-clock fields are the one legitimately nondeterministic part
+        // of a record; everything else must match bit for bit.
+        record.wall_ns = 0;
+        for span in &mut record.spans {
+            span.wall_ns = 0;
+        }
+        (key, record)
+    }
+
+    let n = w.wake_offsets.len();
+    match w.faults {
+        FaultChoice::Clean => drive(w, w.cd_mode, dense),
+        FaultChoice::CrashRandom { f, window } => drive(
+            w,
+            Layered::new(CrashStop::random(f.min(n), n, window), w.cd_mode),
+            dense,
+        ),
+        FaultChoice::Assassin { kills } => drive(
+            w,
+            Layered::new(CrashStop::assassin(kills), w.cd_mode),
+            dense,
+        ),
+        FaultChoice::JamBudget { budget } => drive(w, JamBudget::new(w.cd_mode, budget), dense),
+        FaultChoice::Stacked => drive(
+            w,
+            Layered::new(
+                NoisyCd::symmetric(0.05),
+                Layered::new(
+                    LossyChannel::new(0.05),
+                    Layered::new(
+                        CrashStop::random(1.min(n), n, 16),
+                        JamBudget::new(w.cd_mode, 1),
+                    ),
+                ),
+            ),
+            dense,
+        ),
+    }
+}
+
+fn cd_mode_strategy() -> impl Strategy<Value = CdMode> {
+    prop_oneof![
+        Just(CdMode::Strong),
+        Just(CdMode::ReceiverOnly),
+        Just(CdMode::None),
+    ]
+}
+
+fn fault_strategy() -> impl Strategy<Value = FaultChoice> {
+    prop_oneof![
+        Just(FaultChoice::Clean),
+        (1usize..3, 1u64..32).prop_map(|(f, window)| FaultChoice::CrashRandom { f, window }),
+        (1u64..3).prop_map(|kills| FaultChoice::Assassin { kills }),
+        (1u64..4).prop_map(|budget| FaultChoice::JamBudget { budget }),
+        Just(FaultChoice::Stacked),
+    ]
+}
+
+fn workload_strategy() -> impl Strategy<Value = Workload> {
+    (
+        any::<u64>(),
+        2u32..9,
+        prop_vec(0u64..48, 1..10),
+        cd_mode_strategy(),
+        fault_strategy(),
+    )
+        .prop_map(|(seed, channels, wake_offsets, cd_mode, faults)| Workload {
+            seed,
+            channels,
+            wake_offsets,
+            cd_mode,
+            faults,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The headline property: for any workload, the active-set engine and
+    /// the dense reference produce bit-identical reports and records.
+    #[test]
+    fn active_set_matches_dense_reference(w in workload_strategy()) {
+        let active = run_workload(&w, false);
+        let dense = run_workload(&w, true);
+        prop_assert_eq!(active, dense);
+    }
+}
+
+/// Deterministic spot-checks of corners the random strategy can miss:
+/// everyone waking late, a crash scheduled before its victim's wake round,
+/// and an all-crashed population wedging against the round budget.
+#[test]
+fn corner_cases_match_dense_reference() {
+    let base = Workload {
+        seed: 11,
+        channels: 4,
+        wake_offsets: vec![7, 7, 7],
+        cd_mode: CdMode::Strong,
+        faults: FaultChoice::Clean,
+    };
+    assert_eq!(run_workload(&base, false), run_workload(&base, true));
+
+    // Crash a node before it ever wakes: schedule round 0, wake round 9.
+    let mut pre_wake_crash = base.clone();
+    pre_wake_crash.wake_offsets = vec![0, 9];
+    pre_wake_crash.faults = FaultChoice::CrashRandom { f: 1, window: 1 };
+    assert_eq!(
+        run_workload(&pre_wake_crash, false),
+        run_workload(&pre_wake_crash, true)
+    );
+
+    // Crash everyone: both engines must wedge identically on the budget.
+    let mut all_dead = base.clone();
+    all_dead.faults = FaultChoice::CrashRandom { f: 3, window: 2 };
+    assert_eq!(
+        run_workload(&all_dead, false),
+        run_workload(&all_dead, true)
+    );
+}
