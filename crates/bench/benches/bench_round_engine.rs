@@ -8,6 +8,10 @@
 //! * `run/trace_channels` — per-round channel outcomes recorded too;
 //! * `run/recorder_attached` — a [`mac_sim::obs::RunRecorder`] span-model
 //!   sink riding along, quantifying the structured-telemetry overhead;
+//! * `run/metrics_hub` — a [`mac_sim::TelemetrySink`] tallying the
+//!   live-metrics counters and flushing into a [`mac_sim::MetricsHub`]
+//!   shard per run, pricing the hub's whole hot path against
+//!   `run/full_report`;
 //! * `run/supervised_wrapper` — the same fleet wrapped in
 //!   [`contention::Supervised`] restart-with-backoff supervision on a
 //!   clean channel, pricing the wrapper on the fault-free path (where it
@@ -41,8 +45,8 @@ use criterion::{criterion_group, take_results, Criterion};
 use mac_sim::dense::DenseEngine;
 use mac_sim::obs::{Json, RunRecorder, SCHEMA_VERSION};
 use mac_sim::{
-    Action, ChannelId, Engine, Feedback, Protocol, RoundContext, SimConfig, SparsePopulation,
-    Status, TraceLevel,
+    Action, ChannelId, Engine, Feedback, MetricsHub, Protocol, RoundContext, SimConfig,
+    SparsePopulation, Status, TelemetrySink, TraceLevel,
 };
 use rand::rngs::SmallRng;
 use std::hint::black_box;
@@ -130,6 +134,21 @@ fn bench_round_engine(criterion: &mut Criterion) {
             let mut recorder = RunRecorder::new();
             let report = eng.run_observed(&mut recorder).expect("solves");
             black_box((report.solved_round, recorder.into_record(seed).rounds))
+        });
+    });
+
+    group.bench_function("run/metrics_hub", |b| {
+        let hub = MetricsHub::new(1);
+        let mut seed = 0;
+        b.iter(|| {
+            // Cycle a fixed seed set so every execution path measures the
+            // exact same ensemble of runs.
+            seed = (seed % 16) + 1;
+            let mut eng = engine(SimConfig::new(C).seed(seed).max_rounds(10_000_000));
+            let mut sink = TelemetrySink::new();
+            let report = eng.run_observed(&mut sink).expect("solves");
+            sink.flush_to(&hub, 0);
+            black_box(report.solved_round)
         });
     });
 

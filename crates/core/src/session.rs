@@ -9,7 +9,8 @@
 //! transform.
 
 use mac_sim::{
-    CdMode, Engine, RunReport, SimConfig, SimError, SparsePopulation, StopWhen, TraceLevel,
+    CdMode, Engine, Registry, RunReport, SimConfig, SimError, SparsePopulation, StopWhen,
+    TraceLevel,
 };
 use std::error::Error;
 use std::fmt;
@@ -170,6 +171,26 @@ impl Resolution {
     #[must_use]
     pub fn restart_rounds(&self) -> u64 {
         self.phase_rounds(RESTART_MARKER)
+    }
+
+    /// Tallies this resolution into a telemetry [`Registry`] (the
+    /// `session_*` / `supervised_*` metric families; see
+    /// `docs/OBSERVABILITY.md`). Purely observational — reads the
+    /// already-finished report and spine, so calling it can never perturb
+    /// a run.
+    pub fn record_telemetry(&self, reg: &mut Registry) {
+        reg.count("session_runs_total", 1);
+        reg.count("session_rounds_total", self.report.rounds_executed);
+        reg.count(
+            "session_transmissions_total",
+            self.report.metrics.transmissions,
+        );
+        if let Some(rounds) = self.rounds() {
+            reg.count("session_solved_total", 1);
+            reg.observe("session_solve_rounds", rounds);
+        }
+        reg.count("supervised_restarts_total", self.restarts());
+        reg.count("supervised_restart_rounds_total", self.restart_rounds());
     }
 }
 
@@ -719,6 +740,26 @@ mod tests {
         assert_eq!(res.restarts(), 0);
         assert_eq!(res.restart_rounds(), 0);
         assert!(!res.solver_phases.is_empty());
+    }
+
+    #[test]
+    fn resolution_tallies_into_a_registry() {
+        let res = Session::new(64, 1 << 12).seed(2).run(200).expect("solves");
+        let mut reg = Registry::new();
+        res.record_telemetry(&mut reg);
+        assert_eq!(reg.counter("session_runs_total"), 1);
+        assert_eq!(reg.counter("session_solved_total"), 1);
+        assert_eq!(
+            reg.counter("session_rounds_total"),
+            res.report.rounds_executed
+        );
+        assert_eq!(reg.counter("supervised_restarts_total"), 0);
+        let solve = reg
+            .histograms()
+            .get("session_solve_rounds")
+            .expect("histogram");
+        assert_eq!(solve.count(), 1);
+        assert_eq!(solve.sum(), res.rounds().unwrap());
     }
 
     #[test]

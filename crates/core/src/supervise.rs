@@ -214,6 +214,10 @@ pub struct Supervised<P, B> {
     /// Spine records of abandoned attempts, each followed by a
     /// [`RESTART_MARKER`] record.
     archived: Vec<PhaseStats>,
+    /// Wedges caused by slice exhaustion (the attempt ran out of rounds).
+    wedges_slice: u32,
+    /// Wedges caused by a phase-reported invariant violation.
+    wedges_violation: u32,
     /// Set when the last attempt wedged: the composition is over.
     gave_up: bool,
 }
@@ -237,6 +241,8 @@ where
             master: None,
             attempt_rng: None,
             archived: Vec::new(),
+            wedges_slice: 0,
+            wedges_violation: 0,
             gave_up: false,
         }
     }
@@ -267,6 +273,23 @@ where
     #[must_use]
     pub fn restart_rounds(&self) -> u64 {
         self.restart_rounds
+    }
+
+    /// Wedges whose cause was slice exhaustion — the attempt consumed its
+    /// whole round slice without reaching an outcome. Together with
+    /// [`Supervised::wedges_violation`] this partitions every wedge by
+    /// cause for the telemetry layer.
+    #[must_use]
+    pub fn wedges_slice(&self) -> u32 {
+        self.wedges_slice
+    }
+
+    /// Wedges whose cause was a phase-reported
+    /// [`Phase::invariant_violation`] (e.g. a forged collision detected
+    /// under adversarial jamming).
+    #[must_use]
+    pub fn wedges_violation(&self) -> u32 {
+        self.wedges_violation
     }
 
     /// Whether every attempt wedged and the supervisor gave up.
@@ -346,6 +369,15 @@ where
             .expect("observe follows act, which seeds the attempt stream");
         self.current.observe(ctx, feedback, attempt_rng);
         if self.wedged() {
+            // Classify the wedge before the restart clears attempt state:
+            // slice exhaustion takes precedence (it is the supervisor's
+            // own trigger; a violation surfacing in the same round would
+            // have fired earlier on its own).
+            if self.acted >= self.policy.slice_for(self.attempt) {
+                self.wedges_slice += 1;
+            } else {
+                self.wedges_violation += 1;
+            }
             self.restart();
         }
     }
@@ -548,6 +580,12 @@ mod tests {
         assert_eq!(node.inner().attempts(), 3);
         assert_eq!(node.inner().restarts(), 2);
         assert_eq!(node.inner().restart_rounds(), 12);
+        assert_eq!(
+            node.inner().wedges_slice(),
+            2,
+            "both wedges were slice exhaustion"
+        );
+        assert_eq!(node.inner().wedges_violation(), 0);
         let spine = node.phase_stats();
         let markers: Vec<_> = spine.iter().filter(|r| r.name == RESTART_MARKER).collect();
         assert_eq!(markers.len(), 2);
@@ -598,6 +636,12 @@ mod tests {
             node.inner().restart_rounds(),
             1,
             "restarted after one round"
+        );
+        assert_eq!(node.inner().wedges_slice(), 0);
+        assert_eq!(
+            node.inner().wedges_violation(),
+            1,
+            "the wedge was a violation"
         );
     }
 

@@ -18,12 +18,16 @@
 //!               instead of one run's story            (default: 1)
 //!   --trace     print the channel-activity chart of the run
 //!   --complete  run until every node terminates (default: stop at solve)
+//!   --metrics   append the session-layer telemetry (runs, rounds, energy,
+//!               solve-round histogram, supervised restarts) as Prometheus
+//!               text exposition after the human-readable output
 //! ```
 
 use contention::session::{Algorithm, Session};
 use contention::Params;
 use contention_harness::Samples;
 use mac_sim::campaign::{Campaign, Cell, SeedStream};
+use mac_sim::MetricsHub;
 
 struct Args {
     algo: Algorithm,
@@ -34,6 +38,7 @@ struct Args {
     trials: usize,
     trace: bool,
     complete: bool,
+    metrics: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -46,6 +51,7 @@ fn parse_args() -> Result<Args, String> {
         trials: 1,
         trace: false,
         complete: false,
+        metrics: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -103,10 +109,12 @@ fn parse_args() -> Result<Args, String> {
             }
             "--trace" => args.trace = true,
             "--complete" => args.complete = true,
+            "--metrics" => args.metrics = true,
             "--help" | "-h" => {
                 println!(
                     "usage: contend [--algo NAME] [--channels C] [--universe N] \
-                     [--active K] [--seed S] [--trials T] [--trace] [--complete]"
+                     [--active K] [--seed S] [--trials T] [--trace] [--complete] \
+                     [--metrics]"
                 );
                 std::process::exit(0);
             }
@@ -122,6 +130,7 @@ fn parse_args() -> Result<Args, String> {
 /// same scheduler (and determinism contract) the experiment sweeps use.
 fn run_trials(args: &Args) {
     type Agg = (Samples, Samples, Samples, u64);
+    let hub = args.metrics.then(|| MetricsHub::new(1));
     let cell = Cell::new(
         args.trials,
         SeedStream::Offset(args.seed),
@@ -135,6 +144,9 @@ fn run_trials(args: &Args) {
                 eprintln!("error: trial with seed {seed} failed: {e}");
                 std::process::exit(1);
             });
+            if let Some(hub) = &hub {
+                hub.with_shard(0, |reg| resolution.record_telemetry(reg));
+            }
             if let Some(r) = resolution.report.rounds_to_solve() {
                 acc.0.push(r);
                 acc.3 += 1;
@@ -172,6 +184,9 @@ fn run_trials(args: &Args) {
         tx.0.finish().mean,
         rx.0.finish().mean
     );
+    if let Some(hub) = &hub {
+        print!("\n{}", hub.snapshot().render_prometheus());
+    }
 }
 
 fn main() {
@@ -234,6 +249,11 @@ fn main() {
                     "{}",
                     mac_sim::render::activity_chart(&resolution.report.trace, 60)
                 );
+            }
+            if args.metrics {
+                let hub = MetricsHub::new(1);
+                hub.with_shard(0, |reg| resolution.record_telemetry(reg));
+                print!("\n{}", hub.snapshot().render_prometheus());
             }
         }
         Err(e) => {

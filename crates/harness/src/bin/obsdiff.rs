@@ -15,6 +15,14 @@
 //!     deltas, and table-cell deltas are flagged beyond their thresholds
 //!     (default 0 — deterministic fields must match exactly); wall-clock
 //!     deltas are informational unless --wall-pct is given
+//!
+//! obsdiff trend <a.jsonl> <b.jsonl> [--mean-pct P]
+//!     compare two telemetry streams (`metrics.jsonl` snapshot files
+//!     and/or `BENCH_*.json` exports): the last snapshot of each stream is
+//!     diffed metric by metric — deterministic counters and histogram
+//!     shapes must match exactly, wall-clock and scheduling-dependent
+//!     metrics are informational — and bench mean_ns moves are
+//!     informational unless --mean-pct gates them
 //! ```
 //!
 //! Exit codes: 0 clean, 1 flagged regressions / invalid records, 2 usage.
@@ -25,7 +33,7 @@ use contention::{FullAlgorithm, Params};
 use contention_harness::record::{self, validate_record};
 use mac_sim::obs::{Json, RunManifest, RunRecord};
 use mac_sim::trials::run_trials_recorded;
-use mac_sim::{Engine, SimConfig};
+use mac_sim::{Engine, MetricsSnapshot, SimConfig};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -35,12 +43,14 @@ fn main() -> ExitCode {
         Some("record") => cmd_record(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
+        Some("trend") => cmd_trend(&args[1..]),
         Some("--help" | "-h") | None => {
             eprintln!(
                 "usage: obsdiff record <out.jsonl> [--trials N] [--seed S] [--channels C] \
                  [--log2n K] [--active A]\n       obsdiff check <file.jsonl>...\n       \
                  obsdiff diff <a.jsonl> <b.jsonl> [--round-pct P] [--energy-pct P] \
-                 [--cell-pct P] [--wall-pct P]"
+                 [--cell-pct P] [--wall-pct P]\n       \
+                 obsdiff trend <a.jsonl> <b.jsonl> [--mean-pct P]"
             );
             ExitCode::from(2)
         }
@@ -381,6 +391,145 @@ fn diff_benches(a: &[Json], b: &[Json], args: &DiffArgs, report: &mut DiffReport
     for bb in b {
         if !a.iter().any(|x| name(x) == name(bb)) {
             report.missing(&format!("bench {}", name(bb)), "B");
+        }
+    }
+}
+
+// --- trend -----------------------------------------------------------------
+
+/// Telemetry contents of one trend input: the snapshot stream (in file
+/// order) plus any bench records riding in the same file.
+#[derive(Default)]
+struct TrendFile {
+    snapshots: Vec<MetricsSnapshot>,
+    benches: Vec<Json>,
+}
+
+fn load_trend(path: &Path) -> Result<TrendFile, String> {
+    let mut out = TrendFile::default();
+    for value in record::load_jsonl(path)? {
+        validate_record(&value).map_err(|e| format!("{}: {e}", path.display()))?;
+        match value.get("kind").and_then(Json::as_str) {
+            Some("snapshot") => out.snapshots.push(MetricsSnapshot::from_json(&value)?),
+            Some("bench") => out.benches.push(value),
+            _ => {} // trend reads telemetry; run records belong to `diff`
+        }
+    }
+    Ok(out)
+}
+
+/// Metrics that legitimately move run to run: wall-clock tallies, and
+/// scheduling artifacts of worker timing (drop counts, queue depth).
+fn is_machine_dependent(name: &str) -> bool {
+    name.contains("_ns") || name == "campaign_progress_dropped_total"
+}
+
+fn trend_snapshots(a: &MetricsSnapshot, b: &MetricsSnapshot, report: &mut DiffReport) {
+    fn union<'a>(xa: Vec<&'a String>, xb: Vec<&'a String>) -> Vec<&'a String> {
+        let mut names: Vec<&String> = xa.into_iter().chain(xb).collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+    let (ca, cb) = (a.registry.counters(), b.registry.counters());
+    for name in union(ca.keys().collect(), cb.keys().collect()) {
+        match (ca.get(name), cb.get(name)) {
+            (Some(&x), Some(&y)) if x == y => report.ok += 1,
+            (Some(&x), Some(&y)) if is_machine_dependent(name) => {
+                println!("info counter {name}: {x} -> {y}");
+                report.ok += 1;
+            }
+            (Some(&x), Some(&y)) => {
+                println!("FLAG counter {name}: {x} -> {y} (deterministic counter drifted)");
+                report.flagged += 1;
+            }
+            (a_side, _) => report.missing(
+                &format!("counter {name}"),
+                if a_side.is_some() { "A" } else { "B" },
+            ),
+        }
+    }
+    // Gauges describe the run's shape (worker count, queue depth): they
+    // vary with the machine, so they inform but never flag.
+    let (ga, gb) = (a.registry.gauges(), b.registry.gauges());
+    for name in union(ga.keys().collect(), gb.keys().collect()) {
+        let (x, y) = (ga.get(name), gb.get(name));
+        if x != y {
+            let show = |v: Option<&u64>| v.map_or("absent".to_string(), u64::to_string);
+            println!("info gauge {name}: {} -> {}", show(x), show(y));
+        }
+        report.ok += 1;
+    }
+    let (ha, hb) = (a.registry.histograms(), b.registry.histograms());
+    for name in union(ha.keys().collect(), hb.keys().collect()) {
+        match (ha.get(name), hb.get(name)) {
+            (Some(x), Some(y)) => {
+                // Observation counts are deterministic even for wall-clock
+                // histograms; the observed values only are machine-bound.
+                if x.count() != y.count() {
+                    println!(
+                        "FLAG histogram {name}: count {} -> {}",
+                        x.count(),
+                        y.count()
+                    );
+                    report.flagged += 1;
+                } else if !is_machine_dependent(name) && x.sum() != y.sum() {
+                    println!("FLAG histogram {name}: sum {} -> {}", x.sum(), y.sum());
+                    report.flagged += 1;
+                } else {
+                    report.ok += 1;
+                }
+            }
+            (x, _) => report.missing(
+                &format!("histogram {name}"),
+                if x.is_some() { "A" } else { "B" },
+            ),
+        }
+    }
+}
+
+fn cmd_trend(args: &[String]) -> ExitCode {
+    let run = || -> Result<usize, String> {
+        let pos = positionals(args);
+        let [path_a, path_b] = pos.as_slice() else {
+            return Err("trend needs exactly two telemetry files".into());
+        };
+        let mean_pct: Option<f64> = parse_flag(args, "--mean-pct")?;
+        let a = load_trend(Path::new(path_a.as_str()))?;
+        let b = load_trend(Path::new(path_b.as_str()))?;
+        println!(
+            "obsdiff trend: A={path_a} ({} snapshots, {} benches) vs B={path_b} ({}, {})",
+            a.snapshots.len(),
+            a.benches.len(),
+            b.snapshots.len(),
+            b.benches.len()
+        );
+        let mut report = DiffReport { flagged: 0, ok: 0 };
+        match (a.snapshots.last(), b.snapshots.last()) {
+            (Some(sa), Some(sb)) => trend_snapshots(sa, sb, &mut report),
+            (Some(_), None) => report.missing("snapshot stream", "A"),
+            (None, Some(_)) => report.missing("snapshot stream", "B"),
+            (None, None) => {}
+        }
+        let bench_args = DiffArgs {
+            round_pct: 0.0,
+            energy_pct: 0.0,
+            cell_pct: 0.0,
+            wall_pct: mean_pct,
+        };
+        diff_benches(&a.benches, &b.benches, &bench_args, &mut report);
+        println!(
+            "summary: {} flagged, {} within thresholds",
+            report.flagged, report.ok
+        );
+        Ok(report.flagged)
+    };
+    match run() {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("obsdiff trend: {e}");
+            ExitCode::from(2)
         }
     }
 }

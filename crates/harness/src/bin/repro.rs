@@ -24,6 +24,12 @@
 //!                      panics on every attempt (implies --self-heal 2); used by
 //!                      the CI chaos job to prove the sweep survives and
 //!                      quarantines exactly that seed
+//!   --metrics-out PATH attach a live metrics hub and write its final snapshot
+//!                      to PATH as Prometheus text exposition; with --record-dir
+//!                      or --resume, every finished sweep also appends one
+//!                      `kind: "snapshot"` JSONL record to DIR/metrics.jsonl
+//!                      (a resumed run continues the snapshot stream where the
+//!                      killed run left off)
 //!   ids                experiment ids to run, e.g. `e1 e9 e16`; default: all
 //! ```
 //!
@@ -38,8 +44,10 @@
 
 use contention_harness::{experiments, RecordStore, RunCtx, Scale, SweepCancelled};
 use mac_sim::campaign::CancelToken;
+use mac_sim::MetricsHub;
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn main() {
@@ -53,13 +61,14 @@ fn main() {
     let mut deadline: Option<f64> = None;
     let mut self_heal: Option<u32> = None;
     let mut chaos_panic_seed: Option<u64> = None;
+    let mut metrics_out: Option<PathBuf> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut iter = args.iter();
     let dir_arg = |iter: &mut std::slice::Iter<String>, flag: &str| -> PathBuf {
         match iter.next() {
             Some(dir) => PathBuf::from(dir),
             None => {
-                eprintln!("{flag} needs a directory argument");
+                eprintln!("{flag} needs a path argument");
                 std::process::exit(2);
             }
         }
@@ -96,6 +105,7 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--metrics-out" => metrics_out = Some(dir_arg(&mut iter, "--metrics-out")),
             "--chaos-panic-seed" => match iter.next().and_then(|s| s.parse().ok()) {
                 Some(seed) => chaos_panic_seed = Some(seed),
                 None => {
@@ -113,7 +123,7 @@ fn main() {
                 println!(
                     "usage: repro [--quick] [--tsv] [--record-dir DIR | --resume DIR] \
                      [--progress] [--workers N] [--deadline SECS] [--self-heal N] \
-                     [--chaos-panic-seed S] [--list] [e1 e2 ... e19]"
+                     [--chaos-panic-seed S] [--metrics-out PATH] [--list] [e1 e2 ... e19]"
                 );
                 return;
             }
@@ -143,6 +153,16 @@ fn main() {
     if let Some(seed) = chaos_panic_seed {
         ctx = ctx.chaos_panic_seed(seed);
     }
+    let metrics_hub = metrics_out.as_ref().map(|_| {
+        // One hub shard per campaign worker: the hot loop tallies into its
+        // own shard, and shards merge only at snapshot time.
+        let shards =
+            workers.unwrap_or_else(|| std::thread::available_parallelism().map_or(1, usize::from));
+        Arc::new(MetricsHub::new(shards))
+    });
+    if let Some(hub) = &metrics_hub {
+        ctx = ctx.metrics_hub(hub.clone());
+    }
     if let Some(dir) = &record_dir {
         let store = if resume {
             RecordStore::resume(dir)
@@ -150,13 +170,29 @@ fn main() {
             RecordStore::create(dir)
         };
         match store {
-            Ok(store) => ctx = ctx.record_store(store),
+            Ok(store) => {
+                if resume {
+                    // Continue the snapshot stream where the killed run
+                    // left off, so seq stays contiguous across resumes.
+                    if let Some(hub) = &metrics_hub {
+                        hub.set_seq(store.snapshot_count());
+                    }
+                }
+                ctx = ctx.record_store(store);
+            }
             Err(e) => {
                 eprintln!("cannot open record dir {}: {e}", dir.display());
                 std::process::exit(1);
             }
         }
     }
+    let write_metrics = |hub: &Arc<MetricsHub>| {
+        if let Some(path) = &metrics_out {
+            if let Err(e) = std::fs::write(path, hub.snapshot().render_prometheus()) {
+                eprintln!("warning: cannot write metrics to {}: {e}", path.display());
+            }
+        }
+    };
 
     // A deadline expiry unwinds out of the sweep with a `SweepCancelled`
     // payload; it is expected control flow, so silence the default hook's
@@ -209,6 +245,9 @@ fn main() {
             Ok(None) => unreachable!("ids were validated above"),
             Err(payload) if payload.downcast_ref::<SweepCancelled>().is_some() => {
                 ctx.finish_progress();
+                if let Some(hub) = &metrics_hub {
+                    write_metrics(hub);
+                }
                 let dir = record_dir
                     .as_ref()
                     .map_or_else(|| "<record dir>".into(), |d| d.display().to_string());
@@ -222,6 +261,9 @@ fn main() {
         }
     }
     ctx.finish_progress();
+    if let Some(hub) = &metrics_hub {
+        write_metrics(hub);
+    }
     writeln!(out, "\n_Total wall time: {:.1?}_", started.elapsed()).expect("stdout");
     if ctx.is_degraded() {
         // Every table above was still computed and printed, but checkpoint

@@ -425,6 +425,18 @@ pub fn validate_record(value: &Json) -> Result<(), String> {
             need_str("experiment")?;
             need_str("reason")?;
         }
+        "snapshot" => {
+            need_u64("seq")?;
+            for key in ["counters", "gauges", "histograms"] {
+                value
+                    .get(key)
+                    .and_then(Json::as_obj)
+                    .ok_or(format!("snapshot record: missing or mistyped '{key}'"))?;
+            }
+            // Round-trip through the typed parser: bucket arrays, shifts,
+            // and scalar types all check out or name the defect.
+            mac_sim::MetricsSnapshot::from_json(value).map(|_| ())?;
+        }
         other => return Err(format!("unknown record kind '{other}'")),
     }
     Ok(())
@@ -491,6 +503,13 @@ impl RecordStore {
     pub fn create(dir: impl Into<std::path::PathBuf>) -> io::Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
+        // A fresh store starts a fresh metric history; only resumed
+        // stores append to an existing side stream.
+        match fs::remove_file(dir.join("metrics.jsonl")) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
         Ok(RecordStore {
             dir,
             resume: false,
@@ -621,6 +640,49 @@ impl RecordStore {
         let record = row_record(&open.id.to_uppercase(), section, headers, row, cells);
         writeln!(open.part, "{}", seal_line(&record))?;
         open.part.flush()
+    }
+
+    /// Appends one metrics snapshot to the store's `metrics.jsonl` side
+    /// stream and flushes — and, when an experiment is open, a sealed
+    /// copy to its `.part` checkpoint, so a killed sweep keeps its metric
+    /// history alongside its rows. Snapshot lines never enter the final
+    /// `<id>.jsonl` outputs: those stay byte-identical whether or not
+    /// telemetry was attached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn record_snapshot(&mut self, snapshot: &mac_sim::MetricsSnapshot) -> io::Result<()> {
+        use io::Write as _;
+        let path = self.metrics_path();
+        let mut file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        writeln!(file, "{}", snapshot.to_jsonl_line())?;
+        file.flush()?;
+        if let Some(open) = self.current.as_mut() {
+            writeln!(open.part, "{}", seal_line(&snapshot.to_json()))?;
+            open.part.flush()?;
+        }
+        Ok(())
+    }
+
+    /// The metrics side stream path (`<dir>/metrics.jsonl`).
+    #[must_use]
+    pub fn metrics_path(&self) -> std::path::PathBuf {
+        self.dir.join("metrics.jsonl")
+    }
+
+    /// Snapshot lines already in the metrics side stream — the sequence
+    /// number a resumed sweep's hub should continue from
+    /// ([`mac_sim::MetricsHub::set_seq`]), so a resumed metric history
+    /// extends the original instead of restarting at zero.
+    #[must_use]
+    pub fn snapshot_count(&self) -> u64 {
+        fs::read_to_string(self.metrics_path())
+            .map(|body| body.lines().filter(|l| !l.trim().is_empty()).count() as u64)
+            .unwrap_or(0)
     }
 
     /// Completes the open experiment: writes the full `<id>.jsonl`
@@ -771,12 +833,37 @@ mod tests {
     fn validate_rejects_bad_records() {
         assert!(validate_line("{}").is_err());
         assert!(validate_line(r#"{"schema_version":99,"kind":"cell"}"#).is_err());
-        assert!(validate_line(r#"{"schema_version":1,"kind":"wat"}"#).is_err());
-        assert!(validate_line(r#"{"schema_version":1,"kind":"bench","name":"x"}"#).is_err());
+        // v1 records are rejected wholesale: v2 only added the snapshot
+        // kind, so v1 files are regenerated, not migrated.
         assert!(validate_line(
             r#"{"schema_version":1,"kind":"bench","name":"x","mean_ns":1.5,"iters":10}"#
         )
+        .is_err());
+        assert!(validate_line(r#"{"schema_version":2,"kind":"wat"}"#).is_err());
+        assert!(validate_line(r#"{"schema_version":2,"kind":"bench","name":"x"}"#).is_err());
+        assert!(validate_line(
+            r#"{"schema_version":2,"kind":"bench","name":"x","mean_ns":1.5,"iters":10}"#
+        )
         .is_ok());
+    }
+
+    #[test]
+    fn snapshot_records_validate() {
+        use mac_sim::MetricsHub;
+        let hub = MetricsHub::new(2);
+        hub.with_shard(0, |reg| {
+            reg.count("engine_rounds_total", 41);
+            reg.observe("engine_round_acts", 7);
+        });
+        let snap = hub.snapshot();
+        validate_line(&snap.to_jsonl_line()).unwrap();
+        // A snapshot missing its seq is rejected.
+        assert!(validate_line(r#"{"schema_version":2,"kind":"snapshot"}"#).is_err());
+        // Mistyped histograms are rejected by the typed round-trip.
+        assert!(validate_line(
+            r#"{"schema_version":2,"kind":"snapshot","seq":0,"counters":{},"gauges":{},"histograms":{"h":{"buckets":"nope"}}}"#
+        )
+        .is_err());
     }
 
     #[test]
@@ -926,6 +1013,51 @@ mod tests {
     }
 
     #[test]
+    fn snapshots_stream_to_the_side_file_and_survive_in_the_checkpoint() {
+        use mac_sim::MetricsHub;
+        let dir = std::env::temp_dir().join("contention-store-test-metrics");
+        let _ = std::fs::remove_dir_all(&dir);
+        let hub = MetricsHub::new(2);
+        hub.with_shard(0, |reg| reg.count("campaign_trials_done_total", 5));
+
+        let mut store = RecordStore::create(&dir).unwrap();
+        store.begin_experiment("e95", Scale::Quick).unwrap();
+        store.record_snapshot(&hub.snapshot()).unwrap();
+        hub.with_shard(1, |reg| reg.count("campaign_trials_done_total", 3));
+        store.record_snapshot(&hub.snapshot()).unwrap();
+        assert_eq!(store.snapshot_count(), 2);
+
+        // Side stream: two plain, valid snapshot lines with advancing seq.
+        let lines = load_jsonl(&store.metrics_path()).unwrap();
+        assert_eq!(lines.len(), 2);
+        for record in &lines {
+            validate_record(record).unwrap();
+        }
+        assert_eq!(lines[0].get("seq").and_then(Json::as_u64), Some(0));
+        assert_eq!(lines[1].get("seq").and_then(Json::as_u64), Some(1));
+
+        // Checkpoint: the sealed copies ride in the .part and verify.
+        let part_body = std::fs::read_to_string(dir.join("e95.jsonl.part")).unwrap();
+        let snapshot_lines: Vec<_> = part_body
+            .lines()
+            .filter(|l| l.contains("\"kind\":\"snapshot\""))
+            .collect();
+        assert_eq!(snapshot_lines.len(), 2);
+        for line in snapshot_lines {
+            verify_sealed_line(line).unwrap();
+        }
+
+        // A resumed store keeps the history; a fresh one truncates it.
+        drop(store);
+        let store = RecordStore::resume(&dir).unwrap();
+        assert_eq!(store.snapshot_count(), 2);
+        drop(store);
+        let store = RecordStore::create(&dir).unwrap();
+        assert_eq!(store.snapshot_count(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn crc32_matches_the_ieee_check_value() {
         // The canonical CRC-32 check: crc32("123456789") = 0xCBF43926.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
@@ -989,7 +1121,7 @@ mod tests {
             vec![("seed".into(), Json::UInt(1005))],
         );
         validate_record(&record).unwrap();
-        assert!(validate_line(r#"{"schema_version":1,"kind":"quarantine"}"#).is_err());
+        assert!(validate_line(r#"{"schema_version":2,"kind":"quarantine"}"#).is_err());
     }
 
     #[test]

@@ -29,6 +29,7 @@ use mac_sim::campaign::{
     DEFAULT_SHARD_SIZE,
 };
 use mac_sim::obs::Json;
+use mac_sim::MetricsHub;
 
 use crate::record::{quarantine_record, RecordStore};
 use crate::Scale;
@@ -127,6 +128,7 @@ pub struct RunCtx {
     workers: Option<usize>,
     cancel: CancelToken,
     hub: Option<Arc<ProgressHub>>,
+    metrics: Option<Arc<MetricsHub>>,
     store: Option<Mutex<RecordStore>>,
     /// Self-healing: retry panicking trials up to this many attempts, then
     /// quarantine the seed so the sweep completes ([`Campaign::self_heal`]).
@@ -152,6 +154,7 @@ impl RunCtx {
             workers: None,
             cancel: CancelToken::new(),
             hub: None,
+            metrics: None,
             store: None,
             heal_attempts: None,
             chaos_panic_seed: None,
@@ -178,6 +181,18 @@ impl RunCtx {
     #[must_use]
     pub fn progress(mut self) -> Self {
         self.hub = Some(Arc::new(ProgressHub::new()));
+        self
+    }
+
+    /// Attaches a live metrics hub: every sweep's campaign streams its
+    /// scheduler counters into the hub's per-worker shards, and when a
+    /// record store is also attached, each finished sweep appends one
+    /// `kind: "snapshot"` record to `metrics.jsonl` in the record
+    /// directory. The hub observes — it never feeds back into scheduling
+    /// or trial RNG, so an attached run is bit-identical to a bare one.
+    #[must_use]
+    pub fn metrics_hub(mut self, hub: Arc<MetricsHub>) -> Self {
+        self.metrics = Some(hub);
         self
     }
 
@@ -339,6 +354,30 @@ impl RunCtx {
             if let Err(e) = result {
                 self.degrade(&format!("cannot checkpoint row {row} of {section:?}"), &e);
             }
+        }
+    }
+
+    /// Appends one metrics snapshot to the record store's side stream
+    /// (`metrics.jsonl`), when both a hub and a store are attached. Called
+    /// at the end of every sweep, so the stream records the hub's
+    /// evolution sweep by sweep and a resumed run can replay its metric
+    /// history.
+    fn checkpoint_metrics(&self) {
+        let (Some(hub), Some(store)) = (&self.metrics, &self.store) else {
+            return;
+        };
+        if self.is_degraded() {
+            return;
+        }
+        let snapshot = hub.snapshot();
+        let result = io_with_retry(|| {
+            store
+                .lock()
+                .expect("record store lock")
+                .record_snapshot(&snapshot)
+        });
+        if let Err(e) = result {
+            self.degrade("cannot checkpoint metrics snapshot", &e);
         }
     }
 
@@ -515,6 +554,9 @@ impl<'ctx, 'a, A: Aggregate> Sweep<'ctx, 'a, A> {
         if let Some(hub) = &ctx.hub {
             campaign = campaign.progress(hub.clone());
         }
+        if let Some(hub) = &ctx.metrics {
+            campaign = campaign.telemetry(hub.clone());
+        }
         let mut rows = rows;
         let mut renders = renders;
         let outcome = campaign.run(|cell, acc| {
@@ -534,6 +576,7 @@ impl<'ctx, 'a, A: Aggregate> Sweep<'ctx, 'a, A> {
             .map(|q| (renders[q.cell].0, q))
             .collect();
         ctx.report_quarantined(&section, &quarantined);
+        ctx.checkpoint_metrics();
         for shard in &outcome.stuck_shards {
             eprintln!(
                 "warning: shard {shard} of {section:?} exceeded its deadline; campaign cancelled"
@@ -553,10 +596,39 @@ impl<'ctx, 'a, A: Aggregate> Sweep<'ctx, 'a, A> {
     }
 }
 
+/// A campaign-scoped running total folded into a run-wide base when the
+/// campaign ends. Progress events carry per-campaign running totals (so a
+/// dropped event costs granularity, never accuracy), which makes the
+/// live update a `fetch_max`, not an increment.
+#[derive(Default)]
+struct FoldedTotal {
+    base: AtomicU64,
+    current: AtomicU64,
+}
+
+impl FoldedTotal {
+    fn observe(&self, running_total: u64) {
+        self.current.fetch_max(running_total, Ordering::Relaxed);
+    }
+
+    fn fold(&self) {
+        let n = self.current.swap(0, Ordering::Relaxed);
+        self.base.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn total(&self) -> u64 {
+        self.base.load(Ordering::Relaxed) + self.current.load(Ordering::Relaxed)
+    }
+}
+
 /// The unified progress channel: one throttled stderr line covering every
 /// campaign the context runs, with a cumulative trial rate and an ETA for
 /// the trials known so far — interleaved cells can no longer garble the
 /// output, because the campaign reports through a single sink.
+///
+/// When the run self-heals, the line grows a `heal: rX qY wZ` segment:
+/// `r` trials retried, `q` seeds quarantined, `w` stuck-shard watchdog
+/// firings, cumulative across every campaign the context has run.
 pub struct ProgressHub {
     started: Instant,
     label: Mutex<String>,
@@ -566,6 +638,9 @@ pub struct ProgressHub {
     total_known: AtomicU64,
     /// Trials completed in the current campaign.
     current_done: AtomicU64,
+    retries: FoldedTotal,
+    quarantined: FoldedTotal,
+    stuck: FoldedTotal,
     last_print: Mutex<Instant>,
 }
 
@@ -578,6 +653,9 @@ impl ProgressHub {
             base_done: AtomicU64::new(0),
             total_known: AtomicU64::new(0),
             current_done: AtomicU64::new(0),
+            retries: FoldedTotal::default(),
+            quarantined: FoldedTotal::default(),
+            stuck: FoldedTotal::default(),
             last_print: Mutex::new(now - std::time::Duration::from_secs(1)),
         }
     }
@@ -594,6 +672,23 @@ impl ProgressHub {
     fn end_campaign(&self) {
         let done = self.current_done.swap(0, Ordering::Relaxed);
         self.base_done.fetch_add(done, Ordering::Relaxed);
+        self.retries.fold();
+        self.quarantined.fold();
+        self.stuck.fold();
+    }
+
+    /// The `heal: rX qY wZ` segment, empty while the run is healthy.
+    fn heal_segment(&self) -> String {
+        let (r, q, w) = (
+            self.retries.total(),
+            self.quarantined.total(),
+            self.stuck.total(),
+        );
+        if r + q + w == 0 {
+            String::new()
+        } else {
+            format!("  heal: r{r} q{q} w{w}")
+        }
     }
 
     fn finish(&self) {
@@ -601,7 +696,8 @@ impl ProgressHub {
         let elapsed = self.started.elapsed().as_secs_f64();
         #[allow(clippy::cast_precision_loss)]
         let rate = done as f64 / elapsed.max(1e-9);
-        eprintln!("\r  done: {done} trials in {elapsed:.1}s ({rate:.0}/s)        ");
+        let heal = self.heal_segment();
+        eprintln!("\r  done: {done} trials in {elapsed:.1}s ({rate:.0}/s){heal}        ");
     }
 
     fn print_line(&self) {
@@ -618,7 +714,8 @@ impl ProgressHub {
         } else {
             0.0
         };
-        eprint!("\r  {label}: {done}/{total} trials  {rate:.0}/s  ETA {eta:.0}s   ");
+        let heal = self.heal_segment();
+        eprint!("\r  {label}: {done}/{total} trials  {rate:.0}/s  ETA {eta:.0}s{heal}   ");
     }
 }
 
@@ -635,6 +732,18 @@ impl ProgressSink for ProgressHub {
         *last = Instant::now();
         drop(last);
         self.print_line();
+    }
+
+    fn on_retry(&self, retries: u64) {
+        self.retries.observe(retries);
+    }
+
+    fn on_quarantine(&self, quarantined: u64) {
+        self.quarantined.observe(quarantined);
+    }
+
+    fn on_stuck(&self, stuck: u64) {
+        self.stuck.observe(stuck);
     }
 }
 
@@ -814,6 +923,94 @@ mod tests {
         let table = sweep.run();
         assert_eq!(table.rows()[0][0], "5", "compute must survive degradation");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_hub_observes_sweeps_without_changing_them() {
+        let render = |hub: Option<Arc<MetricsHub>>| {
+            let mut ctx = RunCtx::new(Scale::Quick).workers(3);
+            if let Some(hub) = hub {
+                ctx = ctx.metrics_hub(hub);
+            }
+            let mut sweep = ctx.sweep::<Samples>("observed", &["k", "mean"]);
+            for k in 1u64..=3 {
+                sweep.row(
+                    20,
+                    SeedStream::Derived(k),
+                    Samples::default,
+                    move |seed, acc| acc.push(seed.wrapping_mul(k) % 503),
+                    move |acc| vec![k.to_string(), format!("{:.4}", acc.0.finish().mean)],
+                );
+            }
+            format!("{}", sweep.run())
+        };
+        let bare = render(None);
+        let hub = Arc::new(MetricsHub::new(3));
+        let observed = render(Some(hub.clone()));
+        assert_eq!(bare, observed, "attaching the hub changed the table");
+        let snapshot = hub.snapshot();
+        assert_eq!(snapshot.registry.counter("campaign_trials_done_total"), 60);
+        assert_eq!(
+            snapshot.registry.counter("campaign_cells_delivered_total"),
+            3
+        );
+    }
+
+    #[test]
+    fn sweep_checkpoints_a_metrics_snapshot_per_run() {
+        let dir = std::env::temp_dir().join("contention-runner-test-metrics");
+        let _ = std::fs::remove_dir_all(&dir);
+        let hub = Arc::new(MetricsHub::new(2));
+        let store = RecordStore::create(&dir).unwrap();
+        let metrics_path = store.metrics_path();
+        let ctx = RunCtx::new(Scale::Quick)
+            .workers(2)
+            .metrics_hub(hub.clone())
+            .record_store(store);
+        ctx.begin_experiment("e1");
+        for pass in 0..2u64 {
+            let mut sweep = ctx.sweep::<Samples>(format!("pass{pass}"), &["n"]);
+            sweep.row(
+                8,
+                SeedStream::Offset(100 * pass),
+                Samples::default,
+                |seed, acc| acc.push(seed),
+                |acc| vec![acc.0.count().to_string()],
+            );
+            let _ = sweep.run();
+        }
+        let text = std::fs::read_to_string(&metrics_path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "one snapshot per finished sweep");
+        for (i, line) in lines.iter().enumerate() {
+            let snap = mac_sim::MetricsSnapshot::from_json(&Json::parse(line).unwrap()).unwrap();
+            assert_eq!(snap.seq, i as u64, "snapshots are numbered in order");
+        }
+        let last = mac_sim::MetricsSnapshot::from_json(&Json::parse(lines[1]).unwrap()).unwrap();
+        assert_eq!(last.registry.counter("campaign_trials_done_total"), 16);
+        assert!(!ctx.is_degraded());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn folded_totals_accumulate_across_campaigns() {
+        let t = FoldedTotal::default();
+        t.observe(3);
+        t.observe(2); // a late event with a smaller running total is a no-op
+        assert_eq!(t.total(), 3);
+        t.fold();
+        t.observe(4);
+        assert_eq!(t.total(), 7);
+    }
+
+    #[test]
+    fn progress_hub_renders_heal_state_only_when_unhealthy() {
+        let hub = ProgressHub::new();
+        assert_eq!(hub.heal_segment(), "");
+        hub.on_retry(2);
+        hub.on_quarantine(1);
+        hub.on_stuck(1);
+        assert_eq!(hub.heal_segment(), "  heal: r2 q1 w1");
     }
 
     #[test]

@@ -47,6 +47,33 @@ fn golden_fixture_conforms_to_schema() {
 }
 
 #[test]
+fn golden_snapshot_fixture_conforms_to_schema() {
+    // The committed metrics stream (written by `repro --quick e18
+    // --record-dir` with telemetry attached; see CI's observability job).
+    let path = workspace_root().join("tests/fixtures/golden_snapshot.jsonl");
+    let records = load_jsonl(&path).expect("snapshot fixture loads");
+    assert!(!records.is_empty(), "snapshot fixture is non-empty");
+    assert_all_valid(&records, "golden_snapshot.jsonl");
+    for (i, rec) in records.iter().enumerate() {
+        assert_eq!(kind(rec), "snapshot");
+        assert_eq!(
+            rec.get("seq").and_then(Json::as_u64),
+            Some(i as u64),
+            "snapshot seq numbers the stream contiguously"
+        );
+        let snap = mac_sim::MetricsSnapshot::from_json(rec).expect("typed parse");
+        assert_eq!(snap.to_json().render(), rec.render(), "lossless round-trip");
+    }
+}
+
+#[test]
+fn schema_version_is_two() {
+    // v2 added the snapshot kind; bump this (and the migration note in
+    // docs/OBSERVABILITY.md) together with any future schema change.
+    assert_eq!(record::SCHEMA_VERSION, 2);
+}
+
+#[test]
 fn committed_bench_export_conforms_to_schema() {
     let path = workspace_root().join("BENCH_round_engine.json");
     let records = load_jsonl(&path).expect("bench export loads");

@@ -59,9 +59,11 @@
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::sync_channel;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use crate::obs::telemetry::{MetricsHub, Registry};
 use crate::rng::derive_stream_seed;
 
 /// Extracts a human-readable message from a panic payload (the `Box<dyn
@@ -277,6 +279,13 @@ impl CancelToken {
 
 /// Receives campaign progress events. Implementations throttle and render;
 /// the pool just reports every completed trial and cell.
+///
+/// Events are forwarded through a **bounded** queue on a dedicated
+/// thread: a slow implementation can never stall the worker pool. When
+/// the queue is full, events are dropped (and counted in
+/// [`CampaignOutcome::progress_dropped`]); every event therefore carries
+/// a running total rather than a delta, so the latest delivered event is
+/// always an accurate picture regardless of drops.
 pub trait ProgressSink: Send + Sync {
     /// `done` of `total` trials have completed (across all cells).
     fn on_trial(&self, done: u64, total: u64);
@@ -284,7 +293,36 @@ pub trait ProgressSink: Send + Sync {
     fn on_cell(&self, done: usize, total: usize) {
         let _ = (done, total);
     }
+    /// Self-healing re-attempted a panicked trial; `retries` is the
+    /// cumulative retry count for the campaign.
+    fn on_retry(&self, retries: u64) {
+        let _ = retries;
+    }
+    /// A trial failed every self-healing attempt; `quarantined` is the
+    /// cumulative quarantine count for the campaign.
+    fn on_quarantine(&self, quarantined: u64) {
+        let _ = quarantined;
+    }
+    /// The stuck-shard watchdog flagged a shard; `stuck` is the
+    /// cumulative count of flagged shards.
+    fn on_stuck(&self, stuck: u64) {
+        let _ = stuck;
+    }
 }
+
+/// One event in the bounded progress queue (see [`ProgressSink`]).
+enum ProgressEvent {
+    Trial(u64, u64),
+    Cell(usize, usize),
+    Retry(u64),
+    Quarantine(u64),
+    Stuck(u64),
+}
+
+/// Capacity of the bounded progress queue. Deep enough that a consumer
+/// keeping up with a normal sweep never drops an event; shallow enough
+/// that a wedged consumer costs bounded memory and zero worker stalls.
+const PROGRESS_QUEUE_CAP: usize = 1024;
 
 /// One trial that failed every self-healing attempt and was excluded from
 /// its cell's aggregate (see [`Campaign::self_heal`]).
@@ -321,6 +359,11 @@ pub struct CampaignOutcome {
     /// Shard indices the [`Campaign::stuck_after`] watchdog flagged,
     /// sorted ascending. Always empty without a watchdog.
     pub stuck_shards: Vec<usize>,
+    /// Progress events dropped because the bounded [`ProgressSink`] queue
+    /// was full (the consumer could not keep up). Dropped events never
+    /// stall the pool, and every delivered event carries running totals,
+    /// so drops cost display granularity only — never accuracy.
+    pub progress_dropped: u64,
 }
 
 impl CampaignOutcome {
@@ -339,6 +382,7 @@ pub struct Campaign<'a, A> {
     workers: Option<usize>,
     cancel: Option<CancelToken>,
     progress: Option<Arc<dyn ProgressSink>>,
+    telemetry: Option<Arc<MetricsHub>>,
     heal_attempts: Option<u32>,
     stuck_after: Option<Duration>,
 }
@@ -364,6 +408,7 @@ impl<'a, A: Aggregate> Campaign<'a, A> {
             workers: None,
             cancel: None,
             progress: None,
+            telemetry: None,
             heal_attempts: None,
             stuck_after: None,
         }
@@ -406,6 +451,19 @@ impl<'a, A: Aggregate> Campaign<'a, A> {
     #[must_use]
     pub fn progress(mut self, sink: Arc<dyn ProgressSink>) -> Self {
         self.progress = Some(sink);
+        self
+    }
+
+    /// Attaches a metrics hub. Each worker tallies into a private
+    /// [`Registry`] and absorbs it into the hub's shard for its worker
+    /// index when it exits, so the hot trial loop never takes a shared
+    /// lock; scheduler-level gauges (worker count, queue depth, dropped
+    /// progress events) land in shard 0 after the pool drains. Purely
+    /// observational: trial seeds, shard decomposition, and aggregates
+    /// are bit-identical with or without a hub attached.
+    #[must_use]
+    pub fn telemetry(mut self, hub: Arc<MetricsHub>) -> Self {
+        self.telemetry = Some(hub);
         self
     }
 
@@ -485,6 +543,7 @@ impl<'a, A: Aggregate> Campaign<'a, A> {
             workers,
             cancel,
             progress,
+            telemetry,
             heal_attempts,
             stuck_after,
         } = self;
@@ -559,6 +618,43 @@ impl<'a, A: Aggregate> Campaign<'a, A> {
         let quarantined: Mutex<Vec<Quarantined>> = Mutex::new(Vec::new());
         let stuck_shards: Mutex<Vec<usize>> = Mutex::new(Vec::new());
 
+        // Progress decoupling: workers enqueue events into a bounded
+        // channel drained by one forwarder thread, so a slow or wedged
+        // sink can never stall the pool. `try_send` failures are counted,
+        // not retried — every event carries running totals, so the next
+        // delivered event heals the gap. The forwarder is a plain
+        // (unscoped) thread: the `Arc<dyn ProgressSink>` moves into it,
+        // and it exits when the sender side drops after the pool joins.
+        let progress_dropped = AtomicU64::new(0);
+        let retries_total = AtomicU64::new(0);
+        let quarantined_total = AtomicU64::new(0);
+        let stuck_total = AtomicU64::new(0);
+        let (progress_tx, forwarder) = match progress {
+            Some(sink) => {
+                let (tx, rx) = sync_channel::<ProgressEvent>(PROGRESS_QUEUE_CAP);
+                let handle = std::thread::spawn(move || {
+                    while let Ok(event) = rx.recv() {
+                        match event {
+                            ProgressEvent::Trial(done, total) => sink.on_trial(done, total),
+                            ProgressEvent::Cell(done, total) => sink.on_cell(done, total),
+                            ProgressEvent::Retry(n) => sink.on_retry(n),
+                            ProgressEvent::Quarantine(n) => sink.on_quarantine(n),
+                            ProgressEvent::Stuck(n) => sink.on_stuck(n),
+                        }
+                    }
+                });
+                (Some(tx), Some(handle))
+            }
+            None => (None, None),
+        };
+        let emit = |event: ProgressEvent| {
+            if let Some(tx) = &progress_tx {
+                if tx.try_send(event).is_err() {
+                    progress_dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        };
+
         let deliver = |cell_idx: usize, acc: A| {
             let mut delivery = delivery.lock().expect("delivery lock");
             delivery.ready.insert(cell_idx, acc);
@@ -570,9 +666,7 @@ impl<'a, A: Aggregate> Campaign<'a, A> {
                 (delivery.on_cell)(cell, acc);
                 delivery.next_cell += 1;
                 delivery.delivered += 1;
-                if let Some(sink) = &progress {
-                    sink.on_cell(delivery.delivered, cells_total);
-                }
+                emit(ProgressEvent::Cell(delivery.delivered, cells_total));
             }
         };
 
@@ -620,17 +714,24 @@ impl<'a, A: Aggregate> Campaign<'a, A> {
         let workers_alive = AtomicUsize::new(worker_count);
 
         std::thread::scope(|scope| {
-            for claim_slot in &claim_slots {
+            for (worker_idx, claim_slot) in claim_slots.iter().enumerate() {
                 let quarantined = &quarantined;
                 let workers_alive = &workers_alive;
                 let cells = &cells;
                 let shards = &shards;
                 let next_shard = &next_shard;
                 let trials_done = &trials_done;
-                let progress = &progress;
+                let retries_total = &retries_total;
+                let quarantined_total = &quarantined_total;
+                let telemetry = &telemetry;
+                let emit = &emit;
                 let submit = &submit;
                 let cancelled = &cancelled;
                 scope.spawn(move || {
+                    // Worker-private tallies; absorbed into the hub only
+                    // once, at worker exit, so the trial loop stays
+                    // lock-free with respect to other workers.
+                    let mut local = Registry::new();
                     loop {
                         if cancelled() {
                             break;
@@ -640,6 +741,7 @@ impl<'a, A: Aggregate> Campaign<'a, A> {
                             break;
                         };
                         *claim_slot.lock().expect("claim slot") = Some((claim, Instant::now()));
+                        let shard_started = Instant::now();
                         let cell = &cells[shard.cell];
                         let mut agg = (cell.make)();
                         let mut abandoned = false;
@@ -679,25 +781,43 @@ impl<'a, A: Aggregate> Campaign<'a, A> {
                                                         error: panic_message(payload.as_ref()),
                                                     },
                                                 );
+                                                let n = quarantined_total
+                                                    .fetch_add(1, Ordering::Relaxed)
+                                                    + 1;
+                                                emit(ProgressEvent::Quarantine(n));
+                                                local.count("campaign_trials_quarantined_total", 1);
                                                 break;
                                             }
-                                            Err(_) => {}
+                                            Err(_) => {
+                                                let n = retries_total
+                                                    .fetch_add(1, Ordering::Relaxed)
+                                                    + 1;
+                                                emit(ProgressEvent::Retry(n));
+                                                local.count("campaign_trials_retried_total", 1);
+                                            }
                                         }
                                     }
                                 }
                             }
                             let done = trials_done.fetch_add(1, Ordering::Relaxed) + 1;
-                            if let Some(sink) = progress {
-                                sink.on_trial(done, total_trials);
-                            }
+                            local.count("campaign_trials_done_total", 1);
+                            emit(ProgressEvent::Trial(done, total_trials));
                         }
                         *claim_slot.lock().expect("claim slot") = None;
+                        let shard_ns =
+                            u64::try_from(shard_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        local.count("campaign_shards_claimed_total", 1);
+                        local.count("campaign_worker_busy_ns_total", shard_ns);
+                        local.observe("campaign_shard_wall_ns", shard_ns);
                         if abandoned {
                             break;
                         }
                         submit(shard.cell, shard.index, agg);
                     }
                     *claim_slot.lock().expect("claim slot") = None;
+                    if let Some(hub) = telemetry {
+                        hub.absorb(worker_idx, &local);
+                    }
                     workers_alive.fetch_sub(1, Ordering::Release);
                 });
             }
@@ -707,6 +827,8 @@ impl<'a, A: Aggregate> Campaign<'a, A> {
                 let claim_slots = &claim_slots;
                 let workers_alive = &workers_alive;
                 let stuck_shards = &stuck_shards;
+                let stuck_total = &stuck_total;
+                let emit = &emit;
                 scope.spawn(move || {
                     while workers_alive.load(Ordering::Acquire) > 0 {
                         let now = Instant::now();
@@ -717,6 +839,8 @@ impl<'a, A: Aggregate> Campaign<'a, A> {
                                     let mut stuck = stuck_shards.lock().expect("stuck-shard lock");
                                     if !stuck.contains(&shard_idx) {
                                         stuck.push(shard_idx);
+                                        let n = stuck_total.fetch_add(1, Ordering::Relaxed) + 1;
+                                        emit(ProgressEvent::Stuck(n));
                                     }
                                     token.cancel();
                                 }
@@ -728,19 +852,64 @@ impl<'a, A: Aggregate> Campaign<'a, A> {
             }
         });
 
+        // Close the progress queue and drain it: dropping the sender ends
+        // the forwarder's `recv` loop after the in-flight backlog is
+        // delivered. If overflow dropped any live events, send one final
+        // *blocking* trial event first — the pool is already done, so
+        // waiting on the consumer here costs nothing — so the sink always
+        // converges on the true totals.
+        if progress_dropped.load(Ordering::Relaxed) > 0 {
+            if let Some(tx) = &progress_tx {
+                let _ = tx.send(ProgressEvent::Trial(
+                    trials_done.load(Ordering::Relaxed),
+                    total_trials,
+                ));
+            }
+        }
+        drop(progress_tx);
+        if let Some(handle) = forwarder {
+            let _ = handle.join();
+        }
+
         let delivery = delivery.into_inner().expect("delivery lock");
         let mut quarantined = quarantined.into_inner().expect("quarantine lock");
         quarantined.sort_by_key(|q| (q.cell, q.trial));
         let mut stuck_shards = stuck_shards.into_inner().expect("stuck-shard lock");
         stuck_shards.sort_unstable();
         let trials_attempted = trials_done.into_inner();
+        let was_cancelled = cancelled();
+
+        // Scheduler-level tallies that only exist once per campaign land
+        // in shard 0 after the pool drains (the workers' own shards hold
+        // the per-worker trial/shard counters).
+        if let Some(hub) = &telemetry {
+            let mut tail = Registry::new();
+            tail.gauge_max("campaign_workers", worker_count as u64);
+            tail.gauge_max("campaign_cells_total", cells_total as u64);
+            tail.gauge_max("campaign_shards_total", shards.len() as u64);
+            tail.gauge_max(
+                "campaign_queue_depth",
+                shards.len().saturating_sub(next_shard.into_inner()) as u64,
+            );
+            tail.count("campaign_cells_delivered_total", delivery.delivered as u64);
+            tail.count(
+                "campaign_progress_dropped_total",
+                progress_dropped.load(Ordering::Relaxed),
+            );
+            if was_cancelled {
+                tail.count("campaign_cancelled_total", 1);
+            }
+            hub.absorb(0, &tail);
+        }
+
         CampaignOutcome {
             cells_total,
             cells_delivered: delivery.delivered,
             trials_run: trials_attempted - quarantined.len() as u64,
-            cancelled: cancelled(),
+            cancelled: was_cancelled,
             quarantined,
             stuck_shards,
+            progress_dropped: progress_dropped.into_inner(),
         }
     }
 
@@ -899,6 +1068,7 @@ mod tests {
                 cancelled: false,
                 quarantined: Vec::new(),
                 stuck_shards: Vec::new(),
+                progress_dropped: 0,
             }
         );
         assert!(outcome.is_clean());
@@ -1064,8 +1234,145 @@ mod tests {
             trials: AtomicU64::new(0),
             cells: AtomicUsize::new(0),
         });
-        let _ = sum_campaign(3, 4).progress(sink.clone()).run(|_, _| {});
+        let outcome = sum_campaign(3, 4).progress(sink.clone()).run(|_, _| {});
         assert_eq!(sink.trials.load(Ordering::Relaxed), 12);
         assert_eq!(sink.cells.load(Ordering::Relaxed), 3);
+        assert_eq!(outcome.progress_dropped, 0, "fast consumer drops nothing");
+    }
+
+    #[test]
+    fn slow_progress_consumer_drops_events_without_stalling_the_pool() {
+        // A sink that takes ~1ms per event against thousands of
+        // near-instant trials: the bounded queue must overflow (drops
+        // counted, workers never blocked) and the campaign must finish
+        // far sooner than a synchronous delivery of every event would
+        // allow. Running totals mean the final delivered trial event
+        // still reflects true progress.
+        struct SlowSink {
+            events: AtomicU64,
+            last_done: AtomicU64,
+        }
+        impl ProgressSink for SlowSink {
+            fn on_trial(&self, done: u64, _total: u64) {
+                std::thread::sleep(Duration::from_millis(1));
+                self.events.fetch_add(1, Ordering::Relaxed);
+                self.last_done.fetch_max(done, Ordering::Relaxed);
+            }
+        }
+        let sink = Arc::new(SlowSink {
+            events: AtomicU64::new(0),
+            last_done: AtomicU64::new(0),
+        });
+        let trials = 4000usize;
+        let mut campaign: Campaign<u64> = Campaign::new().shard_size(16).workers(4);
+        campaign.push(Cell::new(
+            trials,
+            SeedStream::Offset(0),
+            || 0u64,
+            |seed, acc| {
+                *acc += seed;
+            },
+        ));
+        let outcome = campaign.progress(sink.clone()).run(|_, _| {});
+        assert_eq!(outcome.trials_run, trials as u64, "no trial was lost");
+        assert!(
+            outcome.progress_dropped > 0,
+            "a 1ms/event consumer against {trials} instant trials must overflow the queue"
+        );
+        let delivered = sink.events.load(Ordering::Relaxed);
+        assert!(
+            delivered as usize + outcome.progress_dropped as usize >= trials,
+            "delivered {delivered} + dropped {} < emitted {trials}",
+            outcome.progress_dropped
+        );
+        assert_eq!(
+            sink.last_done.load(Ordering::Relaxed),
+            trials as u64,
+            "the final trial event survives the post-pool drain"
+        );
+    }
+
+    #[test]
+    fn progress_reports_retries_quarantines_and_running_totals() {
+        struct HealSink {
+            retries: AtomicU64,
+            quarantines: AtomicU64,
+        }
+        impl ProgressSink for HealSink {
+            fn on_trial(&self, _done: u64, _total: u64) {}
+            fn on_retry(&self, retries: u64) {
+                self.retries.fetch_max(retries, Ordering::Relaxed);
+            }
+            fn on_quarantine(&self, quarantined: u64) {
+                self.quarantines.fetch_max(quarantined, Ordering::Relaxed);
+            }
+        }
+        let sink = Arc::new(HealSink {
+            retries: AtomicU64::new(0),
+            quarantines: AtomicU64::new(0),
+        });
+        let mut campaign: Campaign<Collect<u64>> = Campaign::new().self_heal(2);
+        campaign.push(Cell::new(
+            6,
+            SeedStream::Offset(0),
+            Collect::default,
+            |seed, acc: &mut Collect<u64>| {
+                assert!(seed != 3, "poisoned seed {seed}");
+                acc.0.push(seed);
+            },
+        ));
+        let outcome = campaign.progress(sink.clone()).run(|_, _| {});
+        assert_eq!(outcome.quarantined.len(), 1);
+        // Seed 3 fails both attempts: attempt 1 is a retry, attempt 2
+        // quarantines. Events carry cumulative totals.
+        assert_eq!(sink.retries.load(Ordering::Relaxed), 1);
+        assert_eq!(sink.quarantines.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn telemetry_hub_tallies_scheduler_counters() {
+        let hub = Arc::new(MetricsHub::new(4));
+        let outcome = sum_campaign(3, 17)
+            .shard_size(4)
+            .workers(4)
+            .telemetry(hub.clone())
+            .run(|_, _| {});
+        assert_eq!(outcome.trials_run, 51);
+        let snap = hub.snapshot();
+        let reg = &snap.registry;
+        assert_eq!(reg.counter("campaign_trials_done_total"), 51);
+        assert_eq!(reg.counter("campaign_cells_delivered_total"), 3);
+        // 3 cells × ceil(17/4) = 15 shards, all claimed exactly once.
+        assert_eq!(reg.counter("campaign_shards_claimed_total"), 15);
+        assert_eq!(reg.counter("campaign_progress_dropped_total"), 0);
+        assert_eq!(reg.gauges().get("campaign_workers"), Some(&4));
+        assert_eq!(reg.gauges().get("campaign_cells_total"), Some(&3));
+        assert_eq!(reg.gauges().get("campaign_shards_total"), Some(&15));
+        assert_eq!(reg.gauges().get("campaign_queue_depth"), Some(&0));
+        let wall = reg
+            .histograms()
+            .get("campaign_shard_wall_ns")
+            .expect("histogram");
+        assert_eq!(wall.count(), 15, "one latency sample per shard");
+        assert!(reg.counter("campaign_worker_busy_ns_total") >= wall.sum());
+    }
+
+    #[test]
+    fn telemetry_attachment_does_not_change_aggregates() {
+        let bare: Vec<Vec<u64>> = sum_campaign(3, 17)
+            .shard_size(4)
+            .run_collect()
+            .into_iter()
+            .map(|c| c.0)
+            .collect();
+        let hub = Arc::new(MetricsHub::new(2));
+        let mut observed = Vec::new();
+        let outcome = sum_campaign(3, 17)
+            .shard_size(4)
+            .telemetry(hub)
+            .run(|cell, acc| observed.push((cell, acc.0)));
+        let observed: Vec<Vec<u64>> = observed.into_iter().map(|(_, v)| v).collect();
+        assert_eq!(bare, observed, "hub attachment perturbed results");
+        assert!(outcome.is_clean());
     }
 }

@@ -419,11 +419,13 @@ impl<P: Protocol, F: FeedbackModel> Engine<P, F> {
     ///
     /// Retiring an already-retired slot is a no-op (fault layers may
     /// announce the same victim more than once); out-of-range ids from a
-    /// misconfigured fault schedule are ignored.
-    fn retire(&mut self, idx: usize, to: SlotState) {
+    /// misconfigured fault schedule are ignored. Returns whether a slot
+    /// actually transitioned, so callers holding the event sink can
+    /// report exactly one retirement per node.
+    fn retire(&mut self, idx: usize, to: SlotState) -> bool {
         debug_assert!(to.is_retired());
         let Some(slot) = self.nodes.get_mut(idx) else {
-            return;
+            return false;
         };
         match slot.state {
             SlotState::Pending => {
@@ -435,6 +437,7 @@ impl<P: Protocol, F: FeedbackModel> Engine<P, F> {
                 if to == SlotState::Crashed {
                     self.crashed_count += 1;
                 }
+                true
             }
             SlotState::Live => {
                 slot.state = to;
@@ -442,8 +445,9 @@ impl<P: Protocol, F: FeedbackModel> Engine<P, F> {
                 if to == SlotState::Crashed {
                     self.crashed_count += 1;
                 }
+                true
             }
-            SlotState::Terminated | SlotState::Crashed => {}
+            SlotState::Terminated | SlotState::Crashed => false,
         }
     }
 
@@ -556,7 +560,9 @@ impl<P: Protocol, F: FeedbackModel> Engine<P, F> {
         let mut crash_buf = std::mem::take(&mut self.crash_buf);
         self.feedback.drain_crashed(&mut crash_buf);
         for id in crash_buf.drain(..) {
-            self.retire(id.0, SlotState::Crashed);
+            if self.retire(id.0, SlotState::Crashed) {
+                sink.on_retired(round, id, SlotState::Crashed);
+            }
         }
         self.crash_buf = crash_buf;
         if self.retired_this_round {
@@ -585,6 +591,7 @@ impl<P: Protocol, F: FeedbackModel> Engine<P, F> {
                         // Terminated inside on_wake: park without ever
                         // entering the live set.
                         slot.state = SlotState::Terminated;
+                        sink.on_retired(round, NodeId(idx), SlotState::Terminated);
                         continue;
                     }
                     self.live.push(idx);
@@ -768,8 +775,10 @@ impl<P: Protocol, F: FeedbackModel> Engine<P, F> {
         // `SlotState` machine single-sourced.
         for li in 0..self.live.len() {
             let idx = self.live[li];
-            if self.nodes[idx].protocol.status().is_terminated() {
-                self.retire(idx, SlotState::Terminated);
+            if self.nodes[idx].protocol.status().is_terminated()
+                && self.retire(idx, SlotState::Terminated)
+            {
+                sink.on_retired(round, NodeId(idx), SlotState::Terminated);
             }
         }
         if self.retired_this_round {

@@ -214,6 +214,7 @@ pub struct NoisyCd {
     p_false: f64,
     p_miss: f64,
     rng: SmallRng,
+    flips: u64,
 }
 
 impl NoisyCd {
@@ -236,6 +237,7 @@ impl NoisyCd {
             p_false,
             p_miss,
             rng: SmallRng::seed_from_u64(0),
+            flips: 0,
         }
     }
 
@@ -243,6 +245,14 @@ impl NoisyCd {
     #[must_use]
     pub fn symmetric(p: f64) -> Self {
         NoisyCd::new(p, p)
+    }
+
+    /// Feedback flips actually injected so far (both directions). Plain
+    /// counting — no extra RNG draws — so reading it never perturbs the
+    /// fault stream.
+    #[must_use]
+    pub fn flips(&self) -> u64 {
+        self.flips
     }
 }
 
@@ -259,9 +269,11 @@ impl FaultLayer for NoisyCd {
     ) -> Feedback<M> {
         match heard {
             Feedback::Collision if self.p_miss > 0.0 && self.rng.gen_bool(self.p_miss) => {
+                self.flips += 1;
                 Feedback::Silence
             }
             Feedback::Silence if self.p_false > 0.0 && self.rng.gen_bool(self.p_false) => {
+                self.flips += 1;
                 Feedback::Collision
             }
             other => other,
@@ -281,6 +293,7 @@ pub struct LossyChannel {
     p_erase: f64,
     erased: Vec<bool>,
     rng: SmallRng,
+    erasures: u64,
 }
 
 impl LossyChannel {
@@ -302,6 +315,7 @@ impl LossyChannel {
             p_erase,
             erased: Vec::new(),
             rng: SmallRng::seed_from_u64(0),
+            erasures: 0,
         }
     }
 
@@ -309,6 +323,14 @@ impl LossyChannel {
     #[must_use]
     pub fn erased(&self, channel: ChannelId) -> bool {
         self.erased.get(channel.index()).copied().unwrap_or(false)
+    }
+
+    /// Message deliveries actually suppressed so far (one per listener
+    /// per erased frame). Plain counting — no extra RNG draws — so
+    /// reading it never perturbs the fault stream.
+    #[must_use]
+    pub fn erasures(&self) -> u64 {
+        self.erasures
     }
 }
 
@@ -331,7 +353,10 @@ impl FaultLayer for LossyChannel {
         _state: &ChannelState<'_, M>,
     ) -> Feedback<M> {
         match (action.channel(), heard) {
-            (Some(channel), Feedback::Message(_)) if self.erased(channel) => Feedback::Silence,
+            (Some(channel), Feedback::Message(_)) if self.erased(channel) => {
+                self.erasures += 1;
+                Feedback::Silence
+            }
             (_, heard) => heard,
         }
     }

@@ -32,8 +32,10 @@
 //! `observer_effect` test suite.
 
 mod json;
+pub mod telemetry;
 
 pub use json::Json;
+pub use telemetry::{MetricsHub, MetricsSnapshot, PowHistogram, Registry, TelemetrySink};
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -46,7 +48,13 @@ use crate::sink::EventSink;
 
 /// Version stamped into every record this layer writes. Bump when a field
 /// changes meaning; `obsdiff` refuses to compare across versions.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// History: v1 introduced `manifest`/`trial` (and the harness-side
+/// `cell`/`bench`/`quarantine`) records; v2 adds the `kind: "snapshot"`
+/// metrics record ([`telemetry::MetricsSnapshot`]) with no field changes
+/// to the existing kinds — v1 files re-validate after regeneration only
+/// because the stamped version must match.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// One phase span of a recorded run: a maximal stretch of consecutive
 /// rounds in which the phase produced at least one action.
@@ -901,7 +909,7 @@ mod tests {
         let line = record.to_jsonl_line();
         let parsed = RunRecord::from_json(&Json::parse(&line).unwrap()).unwrap();
         assert_eq!(parsed, record);
-        assert!(line.contains("\"schema_version\":1"));
+        assert!(line.contains(&format!("\"schema_version\":{SCHEMA_VERSION}")));
         assert!(line.contains("\"kind\":\"trial\""));
     }
 

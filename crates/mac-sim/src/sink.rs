@@ -12,7 +12,7 @@
 //! about. `()` is the null sink.
 
 use crate::channel::{ChannelId, ChannelOutcome};
-use crate::engine::NodeId;
+use crate::engine::{NodeId, SlotState};
 use crate::metrics::Metrics;
 use crate::trace::{RoundTrace, Trace};
 
@@ -57,6 +57,15 @@ pub trait EventSink {
     /// [`wants_outcomes`](EventSink::wants_outcomes); otherwise it is empty.
     fn on_round(&mut self, round: u64, phase: &'static str, outcomes: &[ChannelOutcome]) {
         let _ = (round, phase, outcomes);
+    }
+
+    /// Node `node` left the live population this round: `state` is
+    /// [`SlotState::Terminated`] (clean protocol exit, including
+    /// termination inside `on_wake`) or [`SlotState::Crashed`] (a fault
+    /// layer killed it). Fires once per node, in the order retirements
+    /// are processed within the round.
+    fn on_retired(&mut self, round: u64, node: NodeId, state: SlotState) {
+        let _ = (round, node, state);
     }
 
     /// The stop condition was met after `rounds_executed` rounds.
@@ -114,6 +123,9 @@ impl<S: EventSink + ?Sized> EventSink for &mut S {
     fn on_round(&mut self, round: u64, phase: &'static str, outcomes: &[ChannelOutcome]) {
         (**self).on_round(round, phase, outcomes);
     }
+    fn on_retired(&mut self, round: u64, node: NodeId, state: SlotState) {
+        (**self).on_retired(round, node, state);
+    }
     fn on_finished(&mut self, rounds_executed: u64) {
         (**self).on_finished(rounds_executed);
     }
@@ -148,6 +160,10 @@ impl<A: EventSink, B: EventSink> EventSink for (A, B) {
     fn on_round(&mut self, round: u64, phase: &'static str, outcomes: &[ChannelOutcome]) {
         self.0.on_round(round, phase, outcomes);
         self.1.on_round(round, phase, outcomes);
+    }
+    fn on_retired(&mut self, round: u64, node: NodeId, state: SlotState) {
+        self.0.on_retired(round, node, state);
+        self.1.on_retired(round, node, state);
     }
     fn on_finished(&mut self, rounds_executed: u64) {
         self.0.on_finished(rounds_executed);

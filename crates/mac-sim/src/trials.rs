@@ -31,6 +31,7 @@ use crate::config::SimConfig;
 use crate::engine::{Engine, RunReport, RunSummary};
 use crate::error::SimError;
 use crate::feedback::FeedbackModel;
+use crate::obs::telemetry::{MetricsHub, TelemetrySink};
 use crate::obs::{RunRecord, RunRecorder};
 use crate::population::SparsePopulation;
 use crate::protocol::Protocol;
@@ -253,6 +254,39 @@ where
     })
 }
 
+/// Like [`run_trials`], but every trial runs with a [`TelemetrySink`]
+/// attached and flushes its engine-layer tallies into `hub` — one flush
+/// per finished trial, into the shard indexed by the trial number, so the
+/// engine hot loop never touches the shared hub. Reports are bit-identical
+/// to [`run_trials`] at the same seeds: the sink draws no randomness and
+/// never feeds back into scheduling.
+///
+/// # Panics
+///
+/// Panics if any trial fails; the message carries the seed for replay.
+pub fn run_trials_observed<P, F, B>(
+    trials: usize,
+    base_seed: u64,
+    hub: &MetricsHub,
+    build: B,
+) -> Vec<RunReport>
+where
+    P: Protocol,
+    F: FeedbackModel,
+    B: Fn(u64) -> Engine<P, F> + Sync,
+{
+    single_cell(trials, base_seed, default_threads(trials), &|seed| {
+        let mut engine = build(seed);
+        let mut sink = TelemetrySink::new();
+        let report = engine
+            .run_observed(&mut sink)
+            .unwrap_or_else(|e| panic!("trial with seed {seed} failed: {e}"));
+        let trial = seed.wrapping_sub(base_seed) as usize;
+        sink.flush_to(hub, trial);
+        report
+    })
+}
+
 /// Default worker count: `available_parallelism()`, capped at the trial
 /// count so tiny batches don't spawn idle threads.
 fn default_threads(trials: usize) -> usize {
@@ -381,6 +415,28 @@ mod tests {
             assert_eq!(record.solved_round, report.solved_round);
         }
         assert_eq!(pairs[2].1.seed, 44);
+    }
+
+    #[test]
+    fn observed_trials_match_bare_and_tally_into_the_hub() {
+        let bare: Vec<_> = run_trials(6, 42, build)
+            .iter()
+            .map(RunReport::summary)
+            .collect();
+        let hub = MetricsHub::new(3);
+        let observed: Vec<_> = run_trials_observed(6, 42, &hub, build)
+            .iter()
+            .map(RunReport::summary)
+            .collect();
+        assert_eq!(bare, observed, "telemetry perturbed the runs");
+        let snap = hub.snapshot();
+        assert_eq!(snap.registry.counter("engine_runs_total"), 6);
+        assert_eq!(snap.registry.counter("engine_solved_total"), 6);
+        let rounds: u64 = run_trials(6, 42, build)
+            .iter()
+            .map(|r| r.rounds_executed)
+            .sum();
+        assert_eq!(snap.registry.counter("engine_rounds_total"), rounds);
     }
 
     #[test]

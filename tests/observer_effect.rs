@@ -1,4 +1,5 @@
-//! Observer-effect freedom: attaching a `RunRecorder` must not change a
+//! Observer-effect freedom: attaching an observer — a `RunRecorder` span
+//! sink or a `TelemetrySink` feeding a `MetricsHub` — must not change a
 //! single bit of any run.
 //!
 //! The span-model recorder rides the engine's event stream and asks for
@@ -7,14 +8,19 @@
 //! behavioral oracles' full grids — the 30-case `engine_oracle` grid and
 //! the 42-case `phase_equivalence` grid — once bare and once with a
 //! recorder attached, demanding identical reports, metrics, node statuses,
-//! and stats. Protocols draw randomness only inside `act`/`observe`, so a
-//! single extra RNG draw anywhere would shift every subsequent decision of
-//! that node and diverge the trajectory; bit-identical runs certify the
-//! recorder consumed zero draws.
+//! and stats; then replays the same grids with the telemetry sink, which
+//! tallies counters only (no span tree), under the same demand. Protocols
+//! draw randomness only inside `act`/`observe`, so a single extra RNG
+//! draw anywhere would shift every subsequent decision of that node and
+//! diverge the trajectory; bit-identical runs certify the observers
+//! consumed zero draws.
 
 use contention::{FullAlgorithm, FullStats, Params, TwoActive};
 use mac_sim::obs::{RunRecord, RunRecorder};
-use mac_sim::{CdMode, Engine, Protocol, RunReport, SimConfig, SimError, Status, StopWhen};
+use mac_sim::{
+    CdMode, Engine, Protocol, Registry, RunReport, SimConfig, SimError, Status, StopWhen,
+    TelemetrySink,
+};
 
 const MODES: [CdMode; 3] = [CdMode::Strong, CdMode::ReceiverOnly, CdMode::None];
 
@@ -105,6 +111,75 @@ fn assert_record_consistent(label: &str, report: &RunReport, record: &RunRecord)
     );
 }
 
+/// Runs the same configuration twice — bare, then with a [`TelemetrySink`]
+/// tallying the metrics-hub counters — and returns both observations plus
+/// the flushed registry.
+#[allow(clippy::type_complexity)]
+fn bare_and_metered<P: Protocol>(
+    c: u32,
+    seed: u64,
+    mode: CdMode,
+    build: impl Fn() -> P,
+    count: usize,
+) -> ((RunReport, Vec<Status>), (RunReport, Vec<Status>), Registry) {
+    let cfg = || {
+        SimConfig::new(c)
+            .seed(seed)
+            .cd_mode(mode)
+            .stop_when(StopWhen::Solved)
+            .max_rounds(2_000)
+    };
+    let mut bare = Engine::new(cfg());
+    for _ in 0..count {
+        bare.add_node(build());
+    }
+    let bare_report = finish(bare.run(), &bare);
+    let bare_statuses: Vec<Status> = bare.iter_nodes().map(Protocol::status).collect();
+
+    let mut observed = Engine::new(cfg());
+    for _ in 0..count {
+        observed.add_node(build());
+    }
+    let mut sink = TelemetrySink::new();
+    let observed_report = finish(observed.run_observed(&mut sink), &observed);
+    let observed_statuses: Vec<Status> = observed.iter_nodes().map(Protocol::status).collect();
+    let mut registry = Registry::new();
+    sink.flush_into(&mut registry);
+
+    (
+        (bare_report, bare_statuses),
+        (observed_report, observed_statuses),
+        registry,
+    )
+}
+
+/// The telemetry counters must agree with the run they observed, for the
+/// same reason `assert_record_consistent` exists: an inert-but-wrong
+/// observer would pass the identity checks alone.
+fn assert_registry_consistent(label: &str, report: &RunReport, registry: &Registry) {
+    assert_eq!(registry.counter("engine_runs_total"), 1, "{label}: runs");
+    assert_eq!(
+        registry.counter("engine_rounds_total"),
+        report.rounds_executed,
+        "{label}: registry rounds"
+    );
+    assert_eq!(
+        registry.counter("engine_transmissions_total"),
+        report.metrics.transmissions,
+        "{label}: registry tx"
+    );
+    assert_eq!(
+        registry.counter("engine_listens_total"),
+        report.metrics.listens,
+        "{label}: registry rx"
+    );
+    assert_eq!(
+        registry.counter("engine_solved_total"),
+        u64::from(report.solved_round.is_some()),
+        "{label}: registry solve"
+    );
+}
+
 #[test]
 fn engine_oracle_grid_is_observer_free() {
     let (c, n, active) = (16u32, 1u64 << 10, 60usize);
@@ -147,6 +222,55 @@ fn phase_equivalence_grid_is_observer_free() {
                     bare_and_recorded(c, seed, mode, || FullAlgorithm::new(params, c, n), active);
                 assert_identical(&label, &bare, &obs);
                 assert_record_consistent(&label, &obs.0, &record);
+                cases += 1;
+            }
+        }
+    }
+    assert_eq!(cases, 42, "the phase-equivalence grid is 42 cases");
+}
+
+#[test]
+fn engine_oracle_grid_is_telemetry_free() {
+    let (c, n, active) = (16u32, 1u64 << 10, 60usize);
+    let params = Params::practical();
+    let mut cases = 0;
+    for mode in MODES {
+        for seed in [11u64, 22, 33, 44, 55] {
+            let label = format!("metered full cd={mode:?} seed={seed}");
+            let (bare, obs, registry) =
+                bare_and_metered(c, seed, mode, || FullAlgorithm::new(params, c, n), active);
+            assert_identical(&label, &bare, &obs);
+            assert_registry_consistent(&label, &obs.0, &registry);
+            cases += 1;
+
+            let label = format!("metered two-active cd={mode:?} seed={seed}");
+            let (bare, obs, registry) = bare_and_metered(c, seed, mode, || TwoActive::new(c, n), 2);
+            assert_identical(&label, &bare, &obs);
+            assert_registry_consistent(&label, &obs.0, &registry);
+            cases += 1;
+        }
+    }
+    assert_eq!(cases, 30, "the engine-oracle grid is 30 cases");
+}
+
+#[test]
+fn phase_equivalence_grid_is_telemetry_free() {
+    let params = Params::practical();
+    // The same grid as tests/phase_equivalence.rs: the pipeline path and
+    // the small-C fallback path.
+    let configs: [(u32, u64, usize, &[u64]); 2] = [
+        (16, 1 << 10, 60, &[11, 22, 33, 44, 55, 66, 77, 88, 99, 110]),
+        (4, 1 << 10, 40, &[7, 14, 21, 28]),
+    ];
+    let mut cases = 0;
+    for (c, n, active, seeds) in configs {
+        for mode in MODES {
+            for &seed in seeds {
+                let label = format!("metered C={c} n={n} |A|={active} cd={mode:?} seed={seed}");
+                let (bare, obs, registry) =
+                    bare_and_metered(c, seed, mode, || FullAlgorithm::new(params, c, n), active);
+                assert_identical(&label, &bare, &obs);
+                assert_registry_consistent(&label, &obs.0, &registry);
                 cases += 1;
             }
         }
