@@ -5,6 +5,9 @@
 //!
 //! * `run/full_report` — the default path: metrics on, full [`RunReport`];
 //! * `run_summary/no_observers` — metrics off, cheap [`RunSummary`] only;
+//! * `run/traffic_stream` — the dynamic-arrivals driver
+//!   ([`mac_sim::run_traffic`]): a Poisson packet stream injected
+//!   incrementally, continuous delivery, latency histogram recorded;
 //! * `run/trace_channels` — per-round channel outcomes recorded too;
 //! * `run/recorder_attached` — a [`mac_sim::obs::RunRecorder`] span-model
 //!   sink riding along, quantifying the structured-telemetry overhead;
@@ -45,8 +48,9 @@ use criterion::{criterion_group, take_results, Criterion};
 use mac_sim::dense::DenseEngine;
 use mac_sim::obs::{Json, RunRecorder, SCHEMA_VERSION};
 use mac_sim::{
-    Action, ChannelId, Engine, Feedback, MetricsHub, Protocol, RoundContext, SimConfig,
-    SparsePopulation, Status, TelemetrySink, TraceLevel,
+    run_traffic, Action, ArrivalProcess, BackoffMac, CdMode, ChannelId, Engine, Feedback,
+    MetricsHub, Protocol, RoundContext, SimConfig, SparsePopulation, Status, TelemetrySink,
+    TraceLevel, TrafficSpec,
 };
 use rand::rngs::SmallRng;
 use std::hint::black_box;
@@ -106,6 +110,29 @@ fn bench_round_engine(criterion: &mut Criterion) {
                 .record_metrics(false);
             let mut eng = engine(cfg);
             black_box(eng.run_summary().expect("solves").solved_round)
+        });
+    });
+
+    group.bench_function("run/traffic_stream", |b| {
+        // The dynamic-arrivals driver: a Poisson packet stream over the
+        // same engine, continuous delivery, horizon-bounded. Prices the
+        // incremental agenda injection + per-delivery retirement path
+        // against the one-shot runs above.
+        let spec = TrafficSpec::new(ArrivalProcess::Poisson { rate: 0.5 }, 2_000).horizon(2_000);
+        let mut seed = 0;
+        b.iter(|| {
+            // Cycle a fixed seed set so every execution path measures the
+            // exact same ensemble of runs.
+            seed = (seed % 16) + 1;
+            let cfg = SimConfig::new(C)
+                .seed(seed)
+                .max_rounds(10_000_000)
+                .record_metrics(false);
+            let report = run_traffic(cfg, CdMode::Strong, &spec, |pkt| {
+                BackoffMac::new(2, 256, pkt)
+            })
+            .expect("traffic run");
+            black_box((report.delivered, report.latency.quantile(0.99)))
         });
     });
 

@@ -7,8 +7,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench_snir_boundary(criterion: &mut Criterion) {
-    let mut group = criterion.benchmark_group("pram/snir_boundary(m=4096)");
     let bits: Vec<bool> = (1..=4096).map(|j| j >= 2000).collect();
+    let mut group = criterion.benchmark_group("pram/snir_boundary(m=4096)");
     for p in [1usize, 4, 16, 64] {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("p={p}")),
@@ -25,11 +25,15 @@ fn bench_snir_lower_bound(criterion: &mut Criterion) {
     let mut group = criterion.benchmark_group("pram/snir_lower_bound");
     for m in [256usize, 4096, 65536] {
         let sorted: Vec<i64> = (0..m as i64).map(|x| x * 3).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(format!("m={m}")), &m, |b, _| {
-            b.iter(|| {
-                black_box(snir_lower_bound(&sorted, 3 * (m as i64) / 2, 8).expect("searches"))
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("m={m}")),
+            &m,
+            move |b, _| {
+                b.iter(|| {
+                    black_box(snir_lower_bound(&sorted, 3 * (m as i64) / 2, 8).expect("searches"))
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -96,7 +96,7 @@ fn sparkline(h: &PowHistogram, width: usize) -> String {
     const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
     let buckets = h.buckets();
     let (Some(&lo), Some(&hi)) = (buckets.keys().min(), buckets.keys().max()) else {
-        return String::new();
+        return "—".to_string();
     };
     let span = (hi - lo + 1) as usize;
     let per_cell = span.div_ceil(width).max(1);
@@ -161,12 +161,22 @@ fn render(snap: &MetricsSnapshot, stream_len: usize, rate: Option<f64>, source: 
         .map_or(0.0, PowHistogram::mean);
     #[allow(clippy::cast_precision_loss)]
     let eta = queue as f64 * mean_shard_ns / workers as f64 / 1e9;
+    // A fresh or idle stream has no queue or no completed shard yet: there
+    // is no estimate, and "ETA 0s" (or worse, inf/NaN) would lie about it.
+    let eta = if queue == 0 || mean_shard_ns <= 0.0 || !eta.is_finite() {
+        "—".to_string()
+    } else {
+        format!("{eta:.0}s")
+    };
     match rate {
-        Some(rate) => {
-            let _ = writeln!(out, "           rate {rate:.0} trials/s  ETA {eta:.0}s");
+        Some(rate) if rate.is_finite() => {
+            let _ = writeln!(out, "           rate {rate:.0} trials/s  ETA {eta}");
+        }
+        Some(_) => {
+            let _ = writeln!(out, "           rate —  ETA {eta}");
         }
         None => {
-            let _ = writeln!(out, "           ETA {eta:.0}s (queue × mean shard wall)");
+            let _ = writeln!(out, "           ETA {eta} (queue × mean shard wall)");
         }
     }
     let _ = writeln!(
@@ -211,7 +221,9 @@ fn render(snap: &MetricsSnapshot, stream_len: usize, rate: Option<f64>, source: 
     if !reg.histograms().is_empty() {
         let _ = writeln!(out, "histograms");
         for (name, h) in reg.histograms() {
-            let mean = if name.contains("_ns") {
+            let mean = if h.count() == 0 {
+                "—".to_string()
+            } else if name.contains("_ns") {
                 fmt_ns(h.mean())
             } else {
                 format!("{:.1}", h.mean())

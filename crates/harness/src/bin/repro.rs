@@ -123,7 +123,7 @@ fn main() {
                 println!(
                     "usage: repro [--quick] [--tsv] [--record-dir DIR | --resume DIR] \
                      [--progress] [--workers N] [--deadline SECS] [--self-heal N] \
-                     [--chaos-panic-seed S] [--metrics-out PATH] [--list] [e1 e2 ... e19]"
+                     [--chaos-panic-seed S] [--metrics-out PATH] [--list] [e1 e2 ... e21]"
                 );
                 return;
             }
@@ -222,7 +222,7 @@ fn main() {
     }
     for id in &ids {
         if experiments::by_id(id).is_none() {
-            eprintln!("unknown experiment id: {id} (valid: e1..e19)");
+            eprintln!("unknown experiment id: {id} (valid: e1..e21)");
             std::process::exit(2);
         }
     }

@@ -21,6 +21,7 @@ pub mod e17_serve_all;
 pub mod e18_fault_thresholds;
 pub mod e19_supervised_recovery;
 pub mod e20_sparse_scale;
+pub mod e21_traffic_load;
 
 use crate::{ExperimentReport, RunCtx};
 
@@ -126,6 +127,10 @@ pub fn list() -> Vec<(&'static str, &'static str)> {
             "e20",
             "Sparse-scale curve: namespace 2^12..2^22 at fixed |A|",
         ),
+        (
+            "e21",
+            "Dynamic-arrivals traffic: throughput and latency vs offered load",
+        ),
     ]
 }
 
@@ -155,6 +160,7 @@ pub fn by_id(id: &str) -> Option<fn(&RunCtx) -> ExperimentReport> {
         "18" => Some(e18_fault_thresholds::run),
         "19" => Some(e19_supervised_recovery::run),
         "20" => Some(e20_sparse_scale::run),
+        "21" => Some(e21_traffic_load::run),
         _ => None,
     }
 }
@@ -180,7 +186,7 @@ mod tests {
     #[test]
     fn list_is_complete_and_resolvable() {
         let listed = list();
-        assert_eq!(listed.len(), 20);
+        assert_eq!(listed.len(), 21);
         for (id, title) in listed {
             assert!(by_id(id).is_some(), "{id} listed but unresolvable");
             assert!(!title.is_empty());
@@ -194,17 +200,18 @@ mod tests {
         assert_eq!(canonical_id(" e18 "), Some("e18"));
         assert_eq!(canonical_id("e19"), Some("e19"));
         assert_eq!(canonical_id("e20"), Some("e20"));
-        assert_eq!(canonical_id("e21"), None);
+        assert_eq!(canonical_id("e21"), Some("e21"));
+        assert_eq!(canonical_id("e22"), None);
         assert_eq!(canonical_id("banana"), None);
     }
 
     #[test]
-    fn by_id_resolves_all_twenty() {
-        for i in 1..=20 {
+    fn by_id_resolves_all_twenty_one() {
+        for i in 1..=21 {
             assert!(by_id(&format!("e{i}")).is_some(), "e{i} missing");
             assert!(by_id(&format!("E{i:02}")).is_some(), "E{i:02} missing");
         }
-        assert!(by_id("e21").is_none());
+        assert!(by_id("e22").is_none());
         assert!(by_id("banana").is_none());
     }
 }

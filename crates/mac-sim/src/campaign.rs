@@ -63,7 +63,7 @@ use std::sync::mpsc::sync_channel;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use crate::obs::telemetry::{MetricsHub, Registry};
+use crate::obs::telemetry::{MetricsHub, PowHistogram, Registry};
 use crate::rng::derive_stream_seed;
 
 /// Extracts a human-readable message from a panic payload (the `Box<dyn
@@ -134,6 +134,16 @@ impl Aggregate for u64 {
 impl Aggregate for f64 {
     fn merge(&mut self, other: Self) {
         *self += other;
+    }
+}
+
+/// Power-of-two histograms merge exactly (integer bucket counts, min/max,
+/// sum), so traffic latency distributions aggregated across shards are
+/// independent of the shard decomposition — the property the E21 tables'
+/// worker-count invariance rests on.
+impl Aggregate for PowHistogram {
+    fn merge(&mut self, other: Self) {
+        PowHistogram::merge(self, &other);
     }
 }
 

@@ -79,6 +79,16 @@ pub struct SimConfig {
     /// off removes that bookkeeping from the hot loop; the metrics in the
     /// final [`crate::RunReport`] stay zeroed.
     pub record_metrics: bool,
+    /// Continuous-delivery ("traffic") mode, off by default. In one-shot
+    /// mode a lone primary-channel transmission is detected once and
+    /// latches `solved_round`. With this flag set, *every* such round is a
+    /// packet delivery: the engine counts it ([`crate::Engine::deliveries`]),
+    /// reports it through [`crate::EventSink::on_solved`], and retires the
+    /// solver so a fresh arrival can contend for the channel. The first
+    /// delivery still latches `solved_round`/`solver` exactly as before.
+    /// Used by [`crate::traffic`]; fault models veto deliveries through
+    /// [`crate::FeedbackModel::allows_solve`] just like one-shot solves.
+    pub continuous_delivery: bool,
 }
 
 impl SimConfig {
@@ -100,6 +110,7 @@ impl SimConfig {
             round_budget: None,
             trace_level: TraceLevel::Off,
             record_metrics: true,
+            continuous_delivery: false,
         }
     }
 
@@ -154,6 +165,15 @@ impl SimConfig {
         self.record_metrics = record_metrics;
         self
     }
+
+    /// Enables continuous-delivery (traffic) mode: every lone
+    /// primary-channel transmission delivers a packet and retires its
+    /// sender, instead of only the first one latching a solve.
+    #[must_use]
+    pub fn continuous_delivery(mut self, continuous_delivery: bool) -> Self {
+        self.continuous_delivery = continuous_delivery;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -185,12 +205,19 @@ mod tests {
         assert_eq!(cfg.stop_when, StopWhen::Solved);
         assert_eq!(cfg.round_budget, None);
         assert!(cfg.record_metrics);
+        assert!(!cfg.continuous_delivery);
     }
 
     #[test]
     fn metrics_recording_can_be_disabled() {
         let cfg = SimConfig::new(1).record_metrics(false);
         assert!(!cfg.record_metrics);
+    }
+
+    #[test]
+    fn continuous_delivery_can_be_enabled() {
+        let cfg = SimConfig::new(1).continuous_delivery(true);
+        assert!(cfg.continuous_delivery);
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub struct DenseEngine<P: Protocol, F: FeedbackModel = CdMode> {
     trace: Trace,
     solved_round: Option<u64>,
     solver: Option<NodeId>,
+    deliveries: u64,
     round: u64,
     finished: bool,
     latest_wake: u64,
@@ -96,6 +97,7 @@ impl<P: Protocol, F: FeedbackModel> DenseEngine<P, F> {
             trace: Trace::new(),
             solved_round: None,
             solver: None,
+            deliveries: 0,
             round: 0,
             finished: false,
             latest_wake: 0,
@@ -114,8 +116,11 @@ impl<P: Protocol, F: FeedbackModel> DenseEngine<P, F> {
         self.add_node_at(protocol, 0)
     }
 
-    /// Adds a node that wakes in round `start_round`. Returns its id.
+    /// Adds a node that wakes in round `start_round`. Returns its id. Like
+    /// the active-set engine, a latched stop condition is re-armed so
+    /// mid-run arrival injection can continue stepping.
     pub fn add_node_at(&mut self, protocol: P, start_round: u64) -> NodeId {
+        self.finished = false;
         let id = NodeId(self.nodes.len());
         let seed = derive_node_seed(self.config.master_seed, id.0 as u64);
         self.nodes.push(DenseSlot {
@@ -151,6 +156,39 @@ impl<P: Protocol, F: FeedbackModel> DenseEngine<P, F> {
     #[must_use]
     pub fn slot_state(&self, id: NodeId) -> SlotState {
         self.nodes[id.0].state
+    }
+
+    /// Number of [`SlotState::Live`] slots — full scan, this is the
+    /// reference engine.
+    #[must_use]
+    pub fn live_len(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|slot| slot.state == SlotState::Live)
+            .count()
+    }
+
+    /// Number of [`SlotState::Pending`] slots — full scan.
+    #[must_use]
+    pub fn pending_len(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|slot| slot.state == SlotState::Pending)
+            .count()
+    }
+
+    /// Packets delivered under [`SimConfig::continuous_delivery`]; 0 in
+    /// one-shot mode. Mirrors [`Engine::deliveries`](crate::Engine::deliveries).
+    #[must_use]
+    pub fn deliveries(&self) -> u64 {
+        self.deliveries
+    }
+
+    /// The next round to be executed. Mirrors
+    /// [`Engine::current_round`](crate::Engine::current_round).
+    #[must_use]
+    pub fn current_round(&self) -> u64 {
+        self.round
     }
 
     /// Runs rounds until the configured stop condition is met.
@@ -337,13 +375,25 @@ impl<P: Protocol, F: FeedbackModel> DenseEngine<P, F> {
             }
         }
 
-        // Solve detection.
+        // Solve detection; with `continuous_delivery`, every allowed lone
+        // primary transmission is a delivery (same rule as the active-set
+        // engine).
         let primary = ChannelId::PRIMARY.index();
-        if self.solved_round.is_none() && self.tx_count[primary] == 1 {
-            let solver = NodeId(self.actions[self.lone_act[primary]].0);
+        let mut delivered: Option<usize> = None;
+        if self.tx_count[primary] == 1
+            && (self.solved_round.is_none() || self.config.continuous_delivery)
+        {
+            let solver_idx = self.actions[self.lone_act[primary]].0;
+            let solver = NodeId(solver_idx);
             if self.feedback.allows_solve(solver) {
-                self.solved_round = Some(round);
-                self.solver = Some(solver);
+                if self.solved_round.is_none() {
+                    self.solved_round = Some(round);
+                    self.solver = Some(solver);
+                }
+                if self.config.continuous_delivery {
+                    self.deliveries += 1;
+                    delivered = Some(solver_idx);
+                }
                 sink.on_solved(round, solver);
             }
         }
@@ -391,6 +441,16 @@ impl<P: Protocol, F: FeedbackModel> DenseEngine<P, F> {
             }
         }
         self.actions = actions;
+
+        // A delivered packet's sender retires regardless of what its
+        // protocol observed (mirrors the active-set engine's forced
+        // retirement).
+        if let Some(idx) = delivered {
+            let slot = &mut self.nodes[idx];
+            if slot.state == SlotState::Live {
+                slot.state = SlotState::Terminated;
+            }
+        }
 
         // Park terminated slots: full scan.
         for slot in &mut self.nodes {

@@ -224,6 +224,9 @@ struct RunState {
     trace: Trace,
     solved_round: Option<u64>,
     solver: Option<NodeId>,
+    /// Packets delivered under [`SimConfig::continuous_delivery`]; stays 0
+    /// in one-shot mode.
+    deliveries: u64,
     round: u64,
     finished: bool,
 }
@@ -315,6 +318,7 @@ impl<P: Protocol, F: FeedbackModel> Engine<P, F> {
                 trace: Trace::new(),
                 solved_round: None,
                 solver: None,
+                deliveries: 0,
                 round: 0,
                 finished: false,
             },
@@ -354,8 +358,14 @@ impl<P: Protocol, F: FeedbackModel> Engine<P, F> {
     /// Adds a node that wakes in round `start_round`. Returns its id.
     ///
     /// Staggered wake-ups model the harder non-simultaneous variant of the
-    /// problem discussed in §3 of the paper.
+    /// problem discussed in §3 of the paper. May also be called *mid-run*
+    /// (between [`Engine::step`] calls) to inject arrivals incrementally —
+    /// the [`crate::traffic`] layer does exactly that: the new slot lands
+    /// in its agenda bucket in O(log W) without touching the live set, and
+    /// a latched stop condition is re-armed, since a population with a
+    /// pending slot is no longer all-terminated.
     pub fn add_node_at(&mut self, protocol: P, start_round: u64) -> NodeId {
+        self.run.finished = false;
         let id = NodeId(self.nodes.len());
         let seed = derive_node_seed(self.config.master_seed, id.0 as u64);
         self.nodes.push(NodeSlot {
@@ -387,6 +397,20 @@ impl<P: Protocol, F: FeedbackModel> Engine<P, F> {
     #[must_use]
     pub fn live_len(&self) -> usize {
         self.live.len()
+    }
+
+    /// Number of [`SlotState::Pending`] slots: added but not yet woken.
+    #[must_use]
+    pub fn pending_len(&self) -> usize {
+        self.unwoken
+    }
+
+    /// Packets delivered so far under [`SimConfig::continuous_delivery`]
+    /// (one per lone primary-channel transmission the feedback model let
+    /// through). Always 0 in one-shot mode.
+    #[must_use]
+    pub fn deliveries(&self) -> u64 {
+        self.run.deliveries
     }
 
     /// Number of nodes added.
@@ -711,12 +735,27 @@ impl<P: Protocol, F: FeedbackModel> Engine<P, F> {
         // transmitter (crashed nodes were retired before acting, so faults
         // cannot manufacture a spurious solve), and the feedback model may
         // still veto a round it jammed, erased, or assassinated.
+        //
+        // In one-shot mode the detection latches once; with
+        // `continuous_delivery` every such round is a packet delivery, and
+        // the solver is force-retired below so the channel frees up for the
+        // next arrival.
         let primary = ChannelId::PRIMARY.index();
-        if self.run.solved_round.is_none() && self.tx_count[primary] == 1 {
-            let solver = NodeId(self.actions[self.lone_act[primary]].0);
+        let mut delivered: Option<usize> = None;
+        if self.tx_count[primary] == 1
+            && (self.run.solved_round.is_none() || self.config.continuous_delivery)
+        {
+            let solver_idx = self.actions[self.lone_act[primary]].0;
+            let solver = NodeId(solver_idx);
             if self.feedback.allows_solve(solver) {
-                self.run.solved_round = Some(round);
-                self.run.solver = Some(solver);
+                if self.run.solved_round.is_none() {
+                    self.run.solved_round = Some(round);
+                    self.run.solver = Some(solver);
+                }
+                if self.config.continuous_delivery {
+                    self.run.deliveries += 1;
+                    delivered = Some(solver_idx);
+                }
                 sink.on_solved(round, solver);
             }
         }
@@ -768,6 +807,16 @@ impl<P: Protocol, F: FeedbackModel> Engine<P, F> {
             }
         }
         self.actions = actions;
+
+        // A delivered packet's sender is done regardless of what its
+        // protocol could observe (under weak CD a transmitter cannot tell
+        // it succeeded): the engine retires it through the same shared
+        // transition the park and fault paths use.
+        if let Some(idx) = delivered {
+            if self.retire(idx, SlotState::Terminated) {
+                sink.on_retired(round, NodeId(idx), SlotState::Terminated);
+            }
+        }
 
         // Park: retire live slots whose protocol terminated this round, so
         // they drop out of the per-round loops for good. This is the same

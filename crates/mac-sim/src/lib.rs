@@ -135,6 +135,7 @@ pub mod render;
 mod rng;
 pub mod sink;
 mod trace;
+pub mod traffic;
 pub mod trials;
 
 pub use action::{Action, Feedback};
@@ -151,4 +152,10 @@ pub use protocol::{Protocol, RoundContext, Status};
 pub use rng::{derive_fault_seed, derive_node_seed, derive_stream_seed};
 pub use sink::EventSink;
 pub use trace::{RoundTrace, Trace, TraceLevel};
-pub use trials::{guarded_verdict, TrialVerdict, WedgeCause};
+pub use traffic::{
+    run_traffic, run_traffic_dense, ArrivalProcess, ArrivalStream, BackoffMac, SlottedAloha,
+    StopCause, TrafficReport, TrafficSpec,
+};
+pub use trials::{
+    guarded_verdict, run_traffic_trials, run_traffic_trials_observed, TrialVerdict, WedgeCause,
+};

@@ -178,6 +178,33 @@ impl PowHistogram {
         }
     }
 
+    /// The `q`-quantile (0.0 ≤ q ≤ 1.0) to bucket resolution: the upper
+    /// edge of the first bucket whose cumulative count reaches `⌈q·n⌉`,
+    /// clamped to the observed [`min`](PowHistogram::min) /
+    /// [`max`](PowHistogram::max). Returns 0 when empty. Deterministic in
+    /// the recorded multiset, so quantiles of merged shard histograms are
+    /// partition-independent.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+    #[allow(clippy::cast_possible_truncation)]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (&bucket, &count) in &self.buckets {
+            seen += count;
+            if seen >= rank {
+                // Upper edge of this bucket (inclusive), clamped to the
+                // exact extremes the histogram tracked.
+                let hi = ((bucket + 1) << self.shift).saturating_sub(1);
+                return hi.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
     fn to_json(&self) -> Json {
         Json::obj(vec![
             ("n".into(), self.n.into()),
@@ -273,6 +300,16 @@ impl Registry {
             .entry(name.into())
             .or_default()
             .record(value);
+    }
+
+    /// Folds a whole pre-built histogram into the histogram `name` — how
+    /// per-run histograms (e.g. packet latencies from
+    /// [`crate::traffic::TrafficReport`]) land in a shard registry without
+    /// being replayed sample by sample.
+    pub fn merge_histogram(&mut self, name: impl Into<String>, h: &PowHistogram) {
+        if h.count() > 0 {
+            self.histograms.entry(name.into()).or_default().merge(h);
+        }
     }
 
     /// Folds another registry into this one.

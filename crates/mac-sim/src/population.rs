@@ -47,6 +47,12 @@ use crate::engine::{Engine, NodeId};
 use crate::feedback::FeedbackModel;
 use crate::obs::RunManifest;
 use crate::protocol::Protocol;
+use crate::rng::derive_stream_seed;
+use crate::traffic::{ArrivalProcess, ArrivalStream};
+
+/// Salt separating the identity-drawing RNG of
+/// [`SparsePopulation::from_arrivals`] from the arrival stream itself.
+const ARRIVAL_ID_STREAM: u64 = 0x4944_u64; // "ID"
 
 /// One activated member of a sparse population.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -142,6 +148,41 @@ impl SparsePopulation {
                 rng.gen_range(0..window)
             };
             pop = pop.activate_at(virtual_id, wake_round);
+        }
+        pop
+    }
+
+    /// A population whose wake schedule is drawn from a traffic
+    /// [`ArrivalProcess`] over rounds `[0, window)`: every arriving packet
+    /// becomes one member with a distinct uniformly-drawn namespace
+    /// identity, waking at its arrival round. This is the bridge between
+    /// the dynamic-arrivals workload model ([`crate::traffic`]) and the
+    /// one-shot sparse-population experiments: the *same* seeded arrival
+    /// schedule can drive either a one-shot election run or a continuous
+    /// traffic run. Pure in `(namespace, process, window, seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `namespace == 0` or the stream produces more arrivals
+    /// than the namespace has identities.
+    #[must_use]
+    pub fn from_arrivals(namespace: u64, process: ArrivalProcess, window: u64, seed: u64) -> Self {
+        let mut stream = ArrivalStream::new(process, window, seed);
+        let mut pop = SparsePopulation::new(namespace);
+        let mut rng = SmallRng::seed_from_u64(derive_stream_seed(seed, ARRIVAL_ID_STREAM));
+        let mut chosen = HashSet::new();
+        while let Some((round, count)) = stream.next_batch() {
+            for _ in 0..count {
+                assert!(
+                    (chosen.len() as u64) < namespace,
+                    "arrival stream produced more than {namespace} members"
+                );
+                let mut virtual_id = rng.gen_range(0..namespace);
+                while !chosen.insert(virtual_id) {
+                    virtual_id = rng.gen_range(0..namespace);
+                }
+                pop = pop.activate_at(virtual_id, round);
+            }
         }
         pop
     }
@@ -259,5 +300,40 @@ mod tests {
     #[should_panic(expected = "outside namespace")]
     fn activation_outside_namespace_panics() {
         let _ = SparsePopulation::new(10).activate(10);
+    }
+
+    #[test]
+    fn from_arrivals_is_deterministic_with_distinct_ids() {
+        let process = ArrivalProcess::Poisson { rate: 0.5 };
+        let a = SparsePopulation::from_arrivals(1 << 20, process, 100, 11);
+        let b = SparsePopulation::from_arrivals(1 << 20, process, 100, 11);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        let mut ids: Vec<u64> = a.members().iter().map(|m| m.virtual_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), a.len(), "identities must be distinct");
+        assert!(a.members().iter().all(|m| m.wake_round < 100));
+        let mut wakes: Vec<u64> = a.members().iter().map(|m| m.wake_round).collect();
+        let sorted = {
+            let mut w = wakes.clone();
+            w.sort_unstable();
+            w
+        };
+        assert_eq!(wakes, sorted, "members activate in arrival order");
+        wakes.dedup();
+        assert!(!wakes.is_empty());
+    }
+
+    #[test]
+    fn from_arrivals_matches_the_traffic_schedule() {
+        let process = ArrivalProcess::FixedRate {
+            period: 5,
+            batch: 2,
+        };
+        let pop = SparsePopulation::from_arrivals(1 << 16, process, 20, 3);
+        assert_eq!(pop.len(), 8, "4 batches of 2 in [0, 20)");
+        let wakes: Vec<u64> = pop.members().iter().map(|m| m.wake_round).collect();
+        assert_eq!(wakes, vec![0, 0, 5, 5, 10, 10, 15, 15]);
     }
 }

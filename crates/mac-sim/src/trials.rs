@@ -35,6 +35,7 @@ use crate::obs::telemetry::{MetricsHub, TelemetrySink};
 use crate::obs::{RunRecord, RunRecorder};
 use crate::population::SparsePopulation;
 use crate::protocol::Protocol;
+use crate::traffic::{run_traffic, TrafficReport, TrafficSpec};
 
 /// Why a guarded trial ([`guarded_verdict`]) produced no solve.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -223,6 +224,70 @@ pub fn run_sparse_trials_summaries<P: Protocol>(
         engine
             .run_summary()
             .unwrap_or_else(|e| panic!("trial with seed {seed} failed: {e}"))
+    })
+}
+
+/// Traffic fan-out: `trials` independent [`run_traffic`] executions, trial
+/// `i` at seed `base_seed + i`, reports in seed order. `config` receives
+/// the trial seed (and must thread it into [`SimConfig::seed`] — the
+/// master seed is what drives both the arrival stream and the node RNGs);
+/// `feedback` builds a fresh fault stack per trial; `make` builds the
+/// protocol for each packet by arrival sequence number.
+///
+/// Like every trial-layer call, results are deterministic in the base
+/// seed regardless of worker-thread count — the property the traffic
+/// equivalence and invariance tests pin.
+///
+/// # Panics
+///
+/// Panics if any trial fails (budget exhaustion is *not* a failure — it
+/// surfaces as [`crate::traffic::StopCause::BudgetExhausted`] in the
+/// report); the message carries the seed for replay.
+pub fn run_traffic_trials<P, F>(
+    trials: usize,
+    base_seed: u64,
+    spec: &TrafficSpec,
+    config: impl Fn(u64) -> SimConfig + Sync,
+    feedback: impl Fn(u64) -> F + Sync,
+    make: impl Fn(u64) -> P + Sync,
+) -> Vec<TrafficReport>
+where
+    P: Protocol,
+    F: FeedbackModel,
+{
+    single_cell(trials, base_seed, default_threads(trials), &|seed| {
+        run_traffic(config(seed), feedback(seed), spec, &make)
+            .unwrap_or_else(|e| panic!("traffic trial with seed {seed} failed: {e}"))
+    })
+}
+
+/// Like [`run_traffic_trials`], but flushes every trial's
+/// [`TrafficReport`] into `hub` — one flush per finished trial, into the
+/// shard indexed by the trial number, mirroring [`run_trials_observed`].
+/// Reports are bit-identical to [`run_traffic_trials`] at the same seeds.
+///
+/// # Panics
+///
+/// Panics if any trial fails; the message carries the seed for replay.
+pub fn run_traffic_trials_observed<P, F>(
+    trials: usize,
+    base_seed: u64,
+    hub: &MetricsHub,
+    spec: &TrafficSpec,
+    config: impl Fn(u64) -> SimConfig + Sync,
+    feedback: impl Fn(u64) -> F + Sync,
+    make: impl Fn(u64) -> P + Sync,
+) -> Vec<TrafficReport>
+where
+    P: Protocol,
+    F: FeedbackModel,
+{
+    single_cell(trials, base_seed, default_threads(trials), &|seed| {
+        let report = run_traffic(config(seed), feedback(seed), spec, &make)
+            .unwrap_or_else(|e| panic!("traffic trial with seed {seed} failed: {e}"));
+        let trial = seed.wrapping_sub(base_seed) as usize;
+        report.flush_to(hub, trial);
+        report
     })
 }
 
@@ -442,6 +507,72 @@ mod tests {
     #[test]
     fn single_trial_works() {
         assert_eq!(run_trials(1, 0, build).len(), 1);
+    }
+
+    #[test]
+    fn traffic_trials_are_deterministic_and_seed_indexed() {
+        use crate::config::CdMode;
+        use crate::traffic::{ArrivalProcess, BackoffMac};
+        let spec = TrafficSpec::new(ArrivalProcess::Poisson { rate: 0.3 }, 80);
+        let run = |base| {
+            run_traffic_trials(
+                5,
+                base,
+                &spec,
+                |seed| SimConfig::new(2).seed(seed).max_rounds(100_000),
+                |_| CdMode::Strong,
+                |pkt| BackoffMac::new(2, 64, pkt),
+            )
+        };
+        let a = run(300);
+        assert_eq!(a, run(300));
+        assert_ne!(a, run(301), "different base seed, different traffic");
+        // Trial i is exactly the solo run at seed base + i.
+        let solo = crate::traffic::run_traffic(
+            SimConfig::new(2).seed(303).max_rounds(100_000),
+            CdMode::Strong,
+            &spec,
+            |pkt| BackoffMac::new(2, 64, pkt),
+        )
+        .unwrap();
+        assert_eq!(a[3], solo);
+    }
+
+    #[test]
+    fn observed_traffic_trials_match_bare_and_tally_into_the_hub() {
+        use crate::config::CdMode;
+        use crate::traffic::{ArrivalProcess, BackoffMac};
+        let spec = TrafficSpec::new(ArrivalProcess::Poisson { rate: 0.4 }, 60);
+        let config = |seed| SimConfig::new(2).seed(seed).max_rounds(100_000);
+        let bare = run_traffic_trials(
+            4,
+            7,
+            &spec,
+            config,
+            |_| CdMode::Strong,
+            |pkt| BackoffMac::new(2, 64, pkt),
+        );
+        let hub = MetricsHub::new(2);
+        let observed = run_traffic_trials_observed(
+            4,
+            7,
+            &hub,
+            &spec,
+            config,
+            |_| CdMode::Strong,
+            |pkt| BackoffMac::new(2, 64, pkt),
+        );
+        assert_eq!(bare, observed, "telemetry perturbed the traffic runs");
+        let snap = hub.snapshot();
+        assert_eq!(snap.registry.counter("traffic_runs_total"), 4);
+        let offered: u64 = bare.iter().map(|r| r.offered).sum();
+        let delivered: u64 = bare.iter().map(|r| r.delivered).sum();
+        assert_eq!(snap.registry.counter("traffic_offered_total"), offered);
+        assert_eq!(snap.registry.counter("traffic_delivered_total"), delivered);
+        assert_eq!(
+            snap.registry.histograms()["traffic_packet_latency_rounds"].count(),
+            delivered
+        );
     }
 
     #[test]

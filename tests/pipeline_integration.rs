@@ -215,7 +215,7 @@ fn leader_report_matches_node_status() {
 fn all_experiments_render_at_quick_scale() {
     use contention_harness::experiments;
     let reports = experiments::run_all(&RunCtx::new(Scale::Quick));
-    assert_eq!(reports.len(), 20);
+    assert_eq!(reports.len(), 21);
     for report in &reports {
         assert!(!report.sections.is_empty(), "{}: no sections", report.id);
         for section in &report.sections {

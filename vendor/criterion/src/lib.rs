@@ -10,6 +10,17 @@
 //! iterations to fill a fixed measurement window and reports the mean
 //! nanoseconds per iteration (plus derived throughput when configured).
 //! There is no statistical analysis, HTML report, or baseline comparison.
+//!
+//! Within a [`BenchmarkGroup`], execution is **deferred and interleaved**:
+//! `bench_function` registers the closure, and `finish` splits every
+//! benchmark's measurement window into [`ROUNDS`] batches executed
+//! round-robin across the group. Measuring each benchmark in one
+//! contiguous block made group-internal comparisons hostage to CPU
+//! frequency/steal drift between blocks — on shared machines the drift
+//! exceeds the differences under test, and exported means inverted ("less
+//! work measured slower") depending on which block caught a slow period.
+//! Interleaving spreads every benchmark across the same wall-clock span,
+//! so drift hits all of them alike and within-group ordering is trustworthy.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -91,34 +102,57 @@ pub enum Throughput {
     Bytes(u64),
 }
 
+/// Number of interleaved measurement batches each benchmark's window is
+/// split into within a group. Higher values decorrelate CPU drift better
+/// but amortize the per-batch closure setup less.
+pub const ROUNDS: u64 = 8;
+
+/// What a [`Bencher`] does when its benchmark closure calls `iter`.
+enum Mode {
+    /// Warm up and estimate the per-iteration cost (no recording).
+    Calibrate,
+    /// Run exactly this many timed iterations and accumulate them.
+    Measure {
+        /// Iterations to run in this batch.
+        iters: u64,
+    },
+}
+
 /// The timing loop handed to each benchmark closure.
+///
+/// A benchmark closure is invoked once per batch (`1` calibration pass plus
+/// [`ROUNDS`] measurement passes), so any setup it performs before calling
+/// [`Bencher::iter`] is repeated per batch and stays outside the timing.
 pub struct Bencher {
+    mode: Mode,
     total: Duration,
     iters: u64,
-    measurement_time: Duration,
+    per_iter: f64,
 }
 
 impl Bencher {
     /// Calls `routine` repeatedly, timing the calls.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        // Warm-up and calibration: time single calls until ~5 ms elapse.
-        let calib_start = Instant::now();
-        let mut calib_iters: u64 = 0;
-        while calib_start.elapsed() < Duration::from_millis(5) {
-            black_box(routine());
-            calib_iters += 1;
+        match self.mode {
+            Mode::Calibrate => {
+                // Warm-up and calibration: time single calls until ~5 ms elapse.
+                let calib_start = Instant::now();
+                let mut calib_iters: u64 = 0;
+                while calib_start.elapsed() < Duration::from_millis(5) {
+                    black_box(routine());
+                    calib_iters += 1;
+                }
+                self.per_iter = calib_start.elapsed().as_secs_f64() / calib_iters as f64;
+            }
+            Mode::Measure { iters } => {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                self.total += start.elapsed();
+                self.iters += iters;
+            }
         }
-        let per_iter = calib_start.elapsed().as_secs_f64() / calib_iters as f64;
-
-        // Measurement: as many iterations as fit the measurement window.
-        let target = (self.measurement_time.as_secs_f64() / per_iter.max(1e-9)).ceil();
-        let iters = (target as u64).clamp(1, 10_000_000);
-        let start = Instant::now();
-        for _ in 0..iters {
-            black_box(routine());
-        }
-        self.total = start.elapsed();
-        self.iters = iters;
     }
 }
 
@@ -151,27 +185,60 @@ impl Criterion {
             _criterion: self,
             name: name.into(),
             settings: Settings::default(),
+            entries: Vec::new(),
         }
     }
 
     /// Runs a standalone benchmark.
-    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(None, &id.into(), &Settings::default(), f);
+        let mut entries = vec![Entry::new(id.into(), Settings::default(), Box::new(&mut f))];
+        run_entries(None, &mut entries);
         self
     }
 }
 
+/// One registered benchmark awaiting (or accumulating) measurement.
+struct Entry<'a> {
+    id: BenchmarkId,
+    /// Group settings snapshotted at registration, so later
+    /// `throughput`/`measurement_time` calls affect later entries only.
+    settings: Settings,
+    f: Box<dyn FnMut(&mut Bencher) + 'a>,
+    /// Iterations per measurement batch, sized during calibration.
+    batch: u64,
+    total: Duration,
+    iters: u64,
+}
+
+impl<'a> Entry<'a> {
+    fn new(id: BenchmarkId, settings: Settings, f: Box<dyn FnMut(&mut Bencher) + 'a>) -> Self {
+        Entry {
+            id,
+            settings,
+            f,
+            batch: 0,
+            total: Duration::ZERO,
+            iters: 0,
+        }
+    }
+}
+
 /// A named group of benchmarks sharing settings.
+///
+/// Registration is deferred: benchmarks run when the group is
+/// [`finish`](BenchmarkGroup::finish)ed (or dropped), interleaved in
+/// [`ROUNDS`] batches so within-group comparisons share wall-clock drift.
 pub struct BenchmarkGroup<'a> {
     _criterion: &'a mut Criterion,
     name: String,
     settings: Settings,
+    entries: Vec<Entry<'a>>,
 }
 
-impl BenchmarkGroup<'_> {
+impl<'a> BenchmarkGroup<'a> {
     /// Sets the per-iteration throughput used to derive rates.
     pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
         self.settings.throughput = Some(throughput);
@@ -189,16 +256,20 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    /// Runs a benchmark in this group.
+    /// Registers a benchmark in this group; it runs at `finish`.
     pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
     where
-        F: FnMut(&mut Bencher),
+        F: FnMut(&mut Bencher) + 'a,
     {
-        run_one(Some(&self.name), &id.into(), &self.settings, f);
+        self.entries
+            .push(Entry::new(id.into(), self.settings.clone(), Box::new(f)));
         self
     }
 
-    /// Runs a benchmark parameterized by `input`.
+    /// Registers a benchmark parameterized by `input`; it runs at `finish`.
+    ///
+    /// The input is cloned into the deferred closure, since inputs are
+    /// commonly loop-scoped at call sites and measurement happens later.
     pub fn bench_with_input<I, F>(
         &mut self,
         id: impl Into<BenchmarkId>,
@@ -206,55 +277,88 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) -> &mut Self
     where
-        F: FnMut(&mut Bencher, &I),
+        I: Clone + 'a,
+        F: FnMut(&mut Bencher, &I) + 'a,
     {
-        run_one(Some(&self.name), &id.into(), &self.settings, |b| {
-            f(b, input);
-        });
-        self
+        let input = input.clone();
+        self.bench_function(id, move |b| f(b, &input))
     }
 
-    /// Ends the group.
-    pub fn finish(self) {}
+    /// Ends the group, running every registered benchmark interleaved.
+    pub fn finish(self) {
+        // Work happens in Drop so that groups which are dropped without an
+        // explicit `finish()` still measure.
+    }
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(
-    group: Option<&str>,
-    id: &BenchmarkId,
-    settings: &Settings,
-    mut f: F,
-) {
-    let mut bencher = Bencher {
-        total: Duration::ZERO,
-        iters: 0,
-        measurement_time: settings.measurement_time,
-    };
-    f(&mut bencher);
+impl Drop for BenchmarkGroup<'_> {
+    fn drop(&mut self) {
+        let mut entries = std::mem::take(&mut self.entries);
+        run_entries(Some(&self.name), &mut entries);
+    }
+}
+
+/// Measures a set of benchmarks: one calibration pass each, then
+/// [`ROUNDS`] rounds of batches executed round-robin, then records and
+/// prints each result in registration order.
+fn run_entries(group: Option<&str>, entries: &mut [Entry<'_>]) {
+    for entry in entries.iter_mut() {
+        let mut bencher = Bencher {
+            mode: Mode::Calibrate,
+            total: Duration::ZERO,
+            iters: 0,
+            per_iter: 0.0,
+        };
+        (entry.f)(&mut bencher);
+        let window = entry.settings.measurement_time.as_secs_f64();
+        let target = (window / bencher.per_iter.max(1e-9)).ceil();
+        let total_iters = (target as u64).clamp(1, 10_000_000);
+        entry.batch = (total_iters / ROUNDS).max(1);
+    }
+    for _ in 0..ROUNDS {
+        for entry in entries.iter_mut() {
+            let mut bencher = Bencher {
+                mode: Mode::Measure { iters: entry.batch },
+                total: Duration::ZERO,
+                iters: 0,
+                per_iter: 0.0,
+            };
+            (entry.f)(&mut bencher);
+            entry.total += bencher.total;
+            entry.iters += bencher.iters;
+        }
+    }
+    for entry in entries.iter() {
+        record_result(group, entry);
+    }
+}
+
+fn record_result(group: Option<&str>, entry: &Entry<'_>) {
     let full_name = match group {
-        Some(g) => format!("{g}/{}", id.id),
-        None => id.id.clone(),
+        Some(g) => format!("{g}/{}", entry.id.id),
+        None => entry.id.id.clone(),
     };
-    if bencher.iters == 0 {
+    if entry.iters == 0 {
         println!("{full_name:<60} (no iterations)");
         return;
     }
-    let ns = bencher.total.as_secs_f64() * 1e9 / bencher.iters as f64;
+    let ns = entry.total.as_secs_f64() * 1e9 / entry.iters as f64;
     RESULTS
         .lock()
         .expect("results lock poisoned")
         .push(BenchResult {
             name: full_name.clone(),
             mean_ns: ns,
-            iters: bencher.iters,
+            iters: entry.iters,
         });
-    let rate = settings.throughput.map(|t| match t {
+    let rate = entry.settings.throughput.map(|t| match t {
         Throughput::Elements(n) => format!("  {:>12.0} elem/s", n as f64 / (ns / 1e9)),
         Throughput::Bytes(n) => format!("  {:>12.0} B/s", n as f64 / (ns / 1e9)),
     });
     println!(
         "{full_name:<60} {:>14} ns/iter ({} iters){}",
         format!("{ns:.1}"),
-        bencher.iters,
+        entry.iters,
         rate.unwrap_or_default()
     );
 }
